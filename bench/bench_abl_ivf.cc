@@ -1,0 +1,127 @@
+// Ablation (paper Section 5 extension): flat PQ scan vs IVF-PQ probing for
+// the decode-time token search. IVF trades a little recall for sub-linear
+// scan cost — relevant once contexts reach hundreds of thousands of tokens.
+// All numbers here are real measurements on this machine.
+#include <cstdio>
+#include <iostream>
+#include <set>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/common/timer.h"
+#include "src/eval/report.h"
+#include "src/pq/ivf_index.h"
+#include "src/pq/pq_index.h"
+#include "src/tensor/ops.h"
+
+namespace pqcache {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "Ablation: flat PQ scan vs IVF-PQ probing (Section 5 extension)\n"
+      "131072 synthetic keys, d=64, m=2, b=6; real wall times");
+  const size_t n = 131072, d = 64;
+  Rng rng(3);
+  std::vector<float> basis(8 * d);
+  for (float& v : basis) v = rng.Gaussian();
+  std::vector<float> data(n * d);
+  for (size_t i = 0; i < n; ++i) {
+    float z[8];
+    for (float& v : z) v = rng.Gaussian();
+    for (size_t k = 0; k < d; ++k) {
+      float acc = 0.15f * rng.Gaussian();
+      for (size_t j = 0; j < 8; ++j) acc += z[j] * basis[j * d + k];
+      data[i * d + k] = acc;
+    }
+  }
+  ThreadPool pool;
+  KMeansOptions kmeans;
+  kmeans.max_iterations = 8;
+
+  PQConfig pq;
+  pq.num_partitions = 2;
+  pq.bits = 6;
+  pq.dim = d;
+
+  // Flat index.
+  auto book = PQCodebook::Train({data.data(), 16384 * d}, 16384, pq, kmeans,
+                                &pool);
+  PQIndex flat(std::move(book).value());
+  flat.AddVectors(data, n);
+
+  // Queries near data points; exact ground truth for recall.
+  const size_t k = 64;
+  const int n_queries = 10;
+  std::vector<std::vector<float>> queries;
+  std::vector<std::set<int32_t>> truth;
+  for (int qi = 0; qi < n_queries; ++qi) {
+    std::vector<float> q(d);
+    const size_t anchor = rng.UniformInt(n);
+    for (size_t i = 0; i < d; ++i) {
+      q[i] = data[anchor * d + i] + 0.05f * rng.Gaussian();
+    }
+    std::vector<float> exact(n);
+    for (size_t i = 0; i < n; ++i) {
+      exact[i] = Dot(q, {data.data() + i * d, d});
+    }
+    const auto top = TopKIndices(exact, k);
+    truth.emplace_back(top.begin(), top.end());
+    queries.push_back(std::move(q));
+  }
+
+  auto evaluate = [&](auto&& search) {
+    double recall = 0;
+    WallTimer timer;
+    for (int qi = 0; qi < n_queries; ++qi) {
+      const auto ids = search(queries[qi]);
+      size_t hits = 0;
+      for (int32_t id : ids) hits += truth[qi].count(id);
+      recall += static_cast<double>(hits) / k;
+    }
+    return std::pair<double, double>(recall / n_queries,
+                                     timer.ElapsedMillis() / n_queries);
+  };
+
+  TablePrinter table(
+      {"index", "recall@64", "ms/query", "scan_fraction"});
+  {
+    const auto [recall, ms] = evaluate(
+        [&](const std::vector<float>& q) { return flat.TopK(q, k); });
+    table.AddRow({"flat PQ (full ADC scan)", FormatScore(recall),
+                  FormatScore(ms), "1.00"});
+  }
+  for (int nprobe : {4, 8, 16, 32}) {
+    IVFConfig config;
+    config.nlist = 128;
+    config.nprobe = nprobe;
+    config.pq = pq;
+    auto ivf = IVFPQIndex::Train({data.data(), 16384 * d}, 16384, config,
+                                 kmeans, &pool);
+    if (!ivf.ok()) continue;
+    ivf.value().Add(data, n);
+    const auto [recall, ms] = evaluate([&](const std::vector<float>& q) {
+      return ivf.value().TopK(q, k);
+    });
+    char label[48], frac[16];
+    std::snprintf(label, sizeof(label), "IVF-PQ nlist=128 nprobe=%d",
+                  nprobe);
+    std::snprintf(frac, sizeof(frac), "%.2f",
+                  ivf.value().last_scan_fraction());
+    table.AddRow({label, FormatScore(recall), FormatScore(ms), frac});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nShape check: IVF probing scans a fraction of the corpus for most\n"
+      "of the flat-scan recall — the paper's suggested path to million-\n"
+      "token contexts where even O(s) ADC scans become the bottleneck.\n");
+}
+
+}  // namespace
+}  // namespace pqcache
+
+int main() {
+  pqcache::Run();
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Fig. 6: attention-score distributions. Two sources, both real computations:
+// (1) the transformer simulator's prefill attention at several (layer, head)
+// positions; (2) the planted-workload decode attention. Both should be
+// heavy-tailed (power-law-like): a small set of tokens holds most mass.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/eval/metrics.h"
+#include "src/eval/report.h"
+#include "src/kvcache/layered_kv_cache.h"
+#include "src/llm/transformer.h"
+#include "src/workload/generator.h"
+
+namespace pqcache {
+namespace {
+
+struct TailStats {
+  double top1 = 0, top5 = 0, top10 = 0, gini_like = 0;
+};
+
+TailStats Analyze(std::vector<float> scores) {
+  std::sort(scores.begin(), scores.end(), std::greater<float>());
+  TailStats st;
+  const size_t n = scores.size();
+  double acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += scores[i];
+    if (i + 1 == std::max<size_t>(1, n / 100)) st.top1 = acc;
+    if (i + 1 == std::max<size_t>(1, n / 20)) st.top5 = acc;
+    if (i + 1 == std::max<size_t>(1, n / 10)) st.top10 = acc;
+  }
+  // Mean rank-weighted share (1 = perfectly concentrated).
+  double wsum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    wsum += scores[i] * (n - i);
+  }
+  st.gini_like = 2.0 * wsum / n - 1.0;
+  return st;
+}
+
+void Run() {
+  bench::PrintHeader(
+      "Figure 6: attention-score distributions are heavy-tailed\n"
+      "mass captured by the top 1% / 5% / 10% of tokens");
+
+  // Source 1: real transformer prefill attention.
+  {
+    ModelConfig config = ModelConfig::Small();
+    auto model = TransformerModel::Create(config);
+    KVCacheConfig kv;
+    kv.num_layers = config.num_layers;
+    kv.num_kv_heads = config.num_kv_heads;
+    kv.store.head_dim = static_cast<size_t>(config.head_dim);
+    LayeredKVCache cache(kv);
+    std::vector<int32_t> prompt(1024);
+    for (size_t i = 0; i < prompt.size(); ++i) {
+      prompt[i] = static_cast<int32_t>((i * 131 + 7) % 1000);
+    }
+    // Sample positions like the paper's randomly-selected ones.
+    const std::vector<std::pair<int, int>> picks = {
+        {0, 1}, {1, 3}, {2, 5}, {3, 7}};
+    std::vector<std::vector<float>> captured(picks.size());
+    auto observer = [&](int layer, int head, size_t pos,
+                        std::span<const float> scores) {
+      if (pos != prompt.size() - 1) return;
+      for (size_t p = 0; p < picks.size(); ++p) {
+        if (picks[p].first == layer && picks[p].second == head) {
+          captured[p].assign(scores.begin(), scores.end());
+        }
+      }
+    };
+    auto st = model.value()->Prefill(prompt, &cache, observer);
+    (void)st;
+    TablePrinter table(
+        {"source", "layer", "head", "top1%", "top5%", "top10%"});
+    for (size_t p = 0; p < picks.size(); ++p) {
+      const TailStats t = Analyze(captured[p]);
+      table.AddRow({"transformer", std::to_string(picks[p].first),
+                    std::to_string(picks[p].second), FormatScore(t.top1),
+                    FormatScore(t.top5), FormatScore(t.top10)});
+    }
+
+    // Source 2: planted workload (XSUM-like summarization analog).
+    TaskSpec spec;
+    spec.name = "xsum_like";
+    spec.seq_len = 8192;
+    spec.n_decode_steps = 4;
+    spec.n_spans = 8;
+    spec.span_len = 6;
+    spec.broad_weight = 0.6f;
+    spec.evidence_mass = 0.5f;
+    spec.score_kind = ScoreKind::kCoverage;
+    spec.seed = 1301;
+    WorkloadGenerator gen(spec, 64, 4, 32);
+    const InstanceLayout layout = gen.MakeLayout(0);
+    for (int h = 0; h < 4; ++h) {
+      const HeadData head = gen.MakeHead(layout, 0, h);
+      std::span<const float> q(head.dec_queries.data(), head.dim);
+      auto scores =
+          TrueAttentionScores(q, head.keys, layout.seq_len, head.dim);
+      const TailStats t = Analyze(std::move(scores));
+      table.AddRow({"workload", "-", std::to_string(h), FormatScore(t.top1),
+                    FormatScore(t.top5), FormatScore(t.top10)});
+    }
+    table.Print(std::cout);
+  }
+  std::printf(
+      "\nShape check vs paper: scores follow power-law-like distributions;\n"
+      "a small fraction of tokens dominates -> selective attention with a\n"
+      "modest top-k budget can capture most of the attention mass.\n");
+}
+
+}  // namespace
+}  // namespace pqcache
+
+int main() {
+  pqcache::Run();
+  return 0;
+}

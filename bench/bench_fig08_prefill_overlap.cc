@@ -1,0 +1,64 @@
+// Fig. 8: per-layer prefill compute vs KV offload vs K-Means clustering time
+// as the sequence length grows. Clustering times are REAL measurements of
+// this repo's K-Means on this machine; compute times come from the GPU cost
+// model (no GPU here; DESIGN.md Section 2); offload times from the PCIe
+// model. Also reports the adaptive iteration budget T_max (Eq. 3).
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/eval/report.h"
+#include "src/sched/prefill_pipeline.h"
+#include "src/sched/profiling.h"
+#include "src/sched/system_model.h"
+
+namespace pqcache {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "Figure 8: one-layer prefill compute vs offload vs clustering\n"
+      "clustering = real K-Means measurement (m=2, b=6, sub_dim=64)");
+  ThreadPool pool;
+  SystemModel sys;
+  sys.model = ModelProfile::Llama3_8B();
+
+  // Fit Eq. 1 from real measurements before predicting.
+  CalibrateClusteringModel(&sys, &pool);
+  std::printf("fitted clustering model: t = %.4g + %.4g * (s*T) seconds\n",
+              sys.clustering.clustering_fit().alpha,
+              sys.clustering.clustering_fit().beta);
+
+  TablePrinter table({"seq_len", "compute_s", "offload_s",
+                      "cluster_T5_s(real)", "cluster_adaptive_s", "T_max"});
+  for (size_t s : {1024, 4096, 16384, 65536, 131072}) {
+    const double compute = sys.ComputeLayerSeconds(static_cast<double>(s));
+    const double offload =
+        sys.pcie.TransferSeconds(sys.LayerKVBytes(static_cast<double>(s)));
+    const double measured = MeasureClusteringSeconds(
+        s, static_cast<size_t>(sys.model.head_dim / sys.pq_partitions),
+        1 << sys.pq_bits, 5, &pool);
+    const int t_max = AdaptiveIterations(sys, static_cast<double>(s));
+    const double adaptive =
+        sys.ClusteringLayerSeconds(static_cast<double>(s), t_max);
+    table.AddRow({std::to_string(s), bench::FormatSeconds(compute),
+                  bench::FormatSeconds(offload),
+                  bench::FormatSeconds(measured),
+                  bench::FormatSeconds(adaptive), std::to_string(t_max)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nShape check vs paper Fig. 8: compute grows quadratically while\n"
+      "offload and clustering grow linearly, so past a crossover length the\n"
+      "GPU compute fully hides both -> the adaptive budget T_max grows with\n"
+      "sequence length.\n");
+}
+
+}  // namespace
+}  // namespace pqcache
+
+int main() {
+  pqcache::Run();
+  return 0;
+}

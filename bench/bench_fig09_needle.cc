@@ -1,0 +1,76 @@
+// Fig. 9: Needle-in-a-Haystack. A single strong fact is planted at varying
+// depths of haystacks of varying lengths; each cell reports retrieval
+// success (%). Expect Full/Oracle/SnapKV(C)/PyramidKV(C)/PQCache mostly
+// green (100), InfLLM mostly red, H2O partially failing, SPARQ weak at 1-dim
+// communication budgets.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/eval/report.h"
+#include "src/workload/spec.h"
+
+namespace pqcache {
+namespace {
+
+void Run(ThreadPool* pool) {
+  bench::PrintHeader(
+      "Figure 9: Needle-in-a-Haystack (success %, rows = context length,\n"
+      "columns = needle depth; 1/10 #tokens, 1/64 extra comm)");
+  EvalOptions options = bench::DefaultEvalOptions(pool);
+  options.token_ratio = 0.1;
+  options.comm_ratio = 1.0 / 64;
+  options.n_heads = 2;
+  QualityHarness harness(options);
+  auto methods = StandardMethodSet(bench::LongBenchPQ());
+
+  const std::vector<size_t> lengths = {8192, 16384, 32768, 65536, 131072};
+  const std::vector<double> depths = {0.0, 0.25, 0.5, 0.75, 1.0};
+
+  // results[m][len][depth]
+  std::vector<std::vector<std::vector<double>>> results(
+      methods.size(),
+      std::vector<std::vector<double>>(lengths.size(),
+                                       std::vector<double>(depths.size())));
+  for (size_t li = 0; li < lengths.size(); ++li) {
+    for (size_t di = 0; di < depths.size(); ++di) {
+      TaskSpec spec = MakeNeedleTask(lengths[li], depths[di],
+                                     /*seed=*/9000 + li * 17 + di);
+      spec.n_instances = 1;
+      const TaskResult r = harness.RunTask(spec, methods);
+      for (size_t m = 0; m < methods.size(); ++m) {
+        results[m][li][di] = r.raw[m];
+      }
+    }
+  }
+
+  for (size_t m = 0; m < methods.size(); ++m) {
+    std::printf("\n--- %s ---\n", methods[m].label.c_str());
+    std::vector<std::string> header = {"len\\depth"};
+    for (double d : depths) header.push_back(FormatScore(d));
+    TablePrinter table(header);
+    for (size_t li = 0; li < lengths.size(); ++li) {
+      std::vector<std::string> row = {std::to_string(lengths[li])};
+      for (size_t di = 0; di < depths.size(); ++di) {
+        row.push_back(FormatScore(results[m][li][di]));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print(std::cout);
+  }
+  std::printf(
+      "\nShape check vs paper Fig. 9: PQCache/SnapKV(C)/Oracle retrieve the\n"
+      "needle nearly everywhere; InfLLM misses it in most cells because the\n"
+      "needle is rarely a block representative; H2O degrades at depths the\n"
+      "greedy accumulation has already evicted.\n");
+}
+
+}  // namespace
+}  // namespace pqcache
+
+int main() {
+  pqcache::ThreadPool pool;
+  pqcache::Run(&pool);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Fig. 11d: cache hit rate for LRU vs LFU across the number of top-k_cache
+// blocks admitted per step (4K-token cache, 128-token blocks -> 32-block
+// capacity). The curve rises while admissions focus on dense blocks and
+// falls once the admitted block count exceeds capacity and thrashes.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/cache_trace.h"
+#include "src/cache/block_cache.h"
+#include "src/eval/report.h"
+
+namespace pqcache {
+namespace {
+
+double MeasureHitRate(const bench::CacheTrace& trace, EvictionPolicy policy,
+                      size_t k_cache_blocks) {
+  BlockCacheOptions options;
+  options.capacity_tokens = 4096;
+  options.block_tokens = 128;
+  options.policy = policy;
+  BlockCache cache(options);
+  std::vector<bool> hits;
+  for (const auto& step : trace.steps) {
+    cache.Probe(step, &hits);
+    cache.AdmitTopBlocks(step, k_cache_blocks);
+  }
+  return cache.stats().hit_rate();
+}
+
+void Run() {
+  bench::PrintHeader(
+      "Figure 11d: LRU/LFU hit rate vs top-k_cache admitted blocks\n"
+      "(4K-token cache = 32 blocks; HotpotQA-like PQCache trace, 1/10 "
+      "#tokens)");
+  const bench::CacheTrace trace =
+      bench::BuildCacheTrace(32768, 96, 0.1, /*seed=*/23);
+  const std::vector<size_t> block_counts = {4, 8, 16, 32, 64, 96};
+
+  std::vector<std::string> header = {"policy"};
+  for (size_t b : block_counts) header.push_back(std::to_string(b));
+  TablePrinter table(header);
+  for (EvictionPolicy policy :
+       {EvictionPolicy::kLRU, EvictionPolicy::kLFU}) {
+    std::vector<std::string> row = {
+        policy == EvictionPolicy::kLRU ? "LRU" : "LFU"};
+    for (size_t b : block_counts) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%.3f",
+                    MeasureHitRate(trace, policy, b));
+      row.push_back(buf);
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nShape check vs paper Fig. 11d: LRU and LFU track each other; the\n"
+      "hit rate peaks when the admitted block count matches the cache's\n"
+      "32-block capacity (~0.5-0.6) and declines beyond it as admissions\n"
+      "thrash the residency.\n");
+}
+
+}  // namespace
+}  // namespace pqcache
+
+int main() {
+  pqcache::Run();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Fig. 12a: prefill-phase time decomposition — GPU compute, KV offload,
+// K-Means clustering, and the overlapped end-to-end total vs the sequential
+// schedule. The headline: end-to-end ~ max(component), not sum(components).
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/eval/report.h"
+#include "src/sched/prefill_pipeline.h"
+#include "src/sched/profiling.h"
+
+namespace pqcache {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "Figure 12a: prefill time decomposition (per full 32-layer prefill)\n"
+      "adaptive K-Means iterations; clustering model fit from real K-Means");
+  ThreadPool pool;
+  SystemModel sys;
+  sys.model = ModelProfile::Llama3_8B();
+  CalibrateClusteringModel(&sys, &pool);
+
+  TablePrinter table({"seq_len", "T", "gpu_compute", "offload", "kmeans",
+                      "end_to_end", "sequential"});
+  for (double s : {8192.0, 16384.0, 32768.0, 65536.0, 131072.0}) {
+    const PrefillTimeline tl = SimulatePrefill(sys, s);
+    double offload_total = 0, kmeans_total = 0;
+    for (const auto& iv : tl.offload) offload_total += iv.duration();
+    for (const auto& iv : tl.clustering) kmeans_total += iv.duration();
+    table.AddRow({std::to_string((int)s),
+                  std::to_string(tl.kmeans_iterations),
+                  bench::FormatSeconds(tl.ttft),
+                  bench::FormatSeconds(offload_total),
+                  bench::FormatSeconds(kmeans_total),
+                  bench::FormatSeconds(tl.end_to_end),
+                  bench::FormatSeconds(tl.sequential_total)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nShape check vs paper Fig. 12a: offload time is negligible next to\n"
+      "compute; with the adaptive iteration budget the K-Means total tracks\n"
+      "the GPU compute total, and the overlapped end-to-end stays close to\n"
+      "the GPU-compute-only time instead of the sequential sum.\n");
+}
+
+}  // namespace
+}  // namespace pqcache
+
+int main() {
+  pqcache::Run();
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Fig. 12b: decode-phase time decomposition — PQ computation (centroid
+// multiply + gather + top-k), LLM computation, communications (PQ codes and
+// top-k KV), and the overlapped end-to-end with all optimizations.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/eval/report.h"
+#include "src/sched/decode_pipeline.h"
+
+namespace pqcache {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "Figure 12b: decode time decomposition per output token\n"
+      "(1/5 #tokens, 4K GPU cache at 0.5 hit rate)");
+  SystemModel sys;
+  sys.model = ModelProfile::Llama3_8B();
+  sys.cache_hit_rate = 0.5;
+
+  TablePrinter table({"seq_len", "pq_compute", "llm_compute", "comm_codes",
+                      "comm_topk", "comm_topk_nocache", "end_to_end",
+                      "sequential"});
+  for (double s : {8192.0, 16384.0, 32768.0, 65536.0, 131072.0}) {
+    const DecodeTimeline tl = SimulateDecode(sys, s);
+    table.AddRow({std::to_string((int)s),
+                  bench::FormatSeconds(tl.pq_compute),
+                  bench::FormatSeconds(tl.llm_compute),
+                  bench::FormatSeconds(tl.comm_codes),
+                  bench::FormatSeconds(tl.comm_topk),
+                  bench::FormatSeconds(tl.comm_topk_nocache),
+                  bench::FormatSeconds(tl.tpot),
+                  bench::FormatSeconds(tl.tpot_sequential)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nShape check vs paper Fig. 12b: code prefetch overlaps fully; the\n"
+      "GPU cache removes about half of the top-k fetch bytes; the\n"
+      "overlapped end-to-end is well under the sum of components and grows\n"
+      "slowly with the input length.\n");
+}
+
+}  // namespace
+}  // namespace pqcache
+
+int main() {
+  pqcache::Run();
+  return 0;
+}

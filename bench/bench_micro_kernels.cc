@@ -1,0 +1,119 @@
+// Micro benchmarks (google-benchmark) for the kernels on PQCache's decode
+// critical path: K-Means clustering, PQ encode, ADC scoring, and top-k.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/kmeans/kmeans.h"
+#include "src/pq/pq_index.h"
+#include "src/tensor/ops.h"
+
+namespace pqcache {
+namespace {
+
+std::vector<float> RandomData(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> out(n * d);
+  for (float& v : out) v = rng.Gaussian();
+  return out;
+}
+
+void BM_KMeansIteration(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t d = 32;
+  const auto data = RandomData(n, d, 1);
+  for (auto _ : state) {
+    KMeansOptions opts;
+    opts.num_clusters = 64;
+    opts.max_iterations = 1;
+    opts.tolerance = 0.0;
+    auto r = RunKMeans(data, n, d, opts);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KMeansIteration)->Arg(4096)->Arg(16384)->Arg(65536);
+
+void BM_PQEncode(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t d = 64;
+  const auto data = RandomData(n, d, 2);
+  PQConfig config;
+  config.num_partitions = 2;
+  config.bits = 6;
+  config.dim = d;
+  KMeansOptions kmeans;
+  kmeans.max_iterations = 5;
+  const size_t n_train = std::min<size_t>(n, 8192);
+  auto book = PQCodebook::Train({data.data(), n_train * d}, n_train, config,
+                                kmeans);
+  std::vector<uint16_t> codes(n * 2);
+  for (auto _ : state) {
+    book.value().EncodeBatch(data, n, codes);
+    benchmark::DoNotOptimize(codes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PQEncode)->Arg(4096)->Arg(32768);
+
+void BM_ADCSearch(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t d = 64;
+  const auto data = RandomData(n, d, 3);
+  PQConfig config;
+  config.num_partitions = 2;
+  config.bits = 6;
+  config.dim = d;
+  KMeansOptions kmeans;
+  kmeans.max_iterations = 5;
+  const size_t n_train = std::min<size_t>(n, 8192);
+  auto book = PQCodebook::Train({data.data(), n_train * d}, n_train, config,
+                                kmeans);
+  PQIndex index(std::move(book).value());
+  index.AddVectors(data, n);
+  const auto query = RandomData(1, d, 4);
+  std::vector<float> scores(n);
+  std::vector<float> table(2 * 64);
+  for (auto _ : state) {
+    index.ApproxInnerProductsWithTable(query, table, scores);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ADCSearch)->Arg(8192)->Arg(32768)->Arg(131072);
+
+void BM_ExactScores(benchmark::State& state) {
+  // The brute-force alternative ADC replaces: full q.K inner products.
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t d = 64;
+  const auto data = RandomData(n, d, 5);
+  const auto query = RandomData(1, d, 6);
+  std::vector<float> scores(n);
+  for (auto _ : state) {
+    for (size_t i = 0; i < n; ++i) {
+      scores[i] = Dot(query, {data.data() + i * d, d});
+    }
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ExactScores)->Arg(8192)->Arg(32768)->Arg(131072);
+
+void BM_TopK(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<float> scores(n);
+  for (float& v : scores) v = rng.Gaussian();
+  for (auto _ : state) {
+    auto top = TopKIndices(scores, n / 10);
+    benchmark::DoNotOptimize(top.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TopK)->Arg(8192)->Arg(131072);
+
+}  // namespace
+}  // namespace pqcache
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// Table 5: PQCache combined with MInference-style sparse prefill. Sparse
+// prefill attention degrades the model state every decode-phase method
+// inherits; we model it as reduced evidence alignment (evidence_mass) and a
+// weaker prefill hint, and shorten PQCache's clustering budget (faster
+// prefill = less overlap room) — the two interactions the paper identifies.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/eval/metrics.h"
+#include "src/eval/report.h"
+#include "src/policies/basic_policies.h"
+#include "src/workload/generator.h"
+#include "src/workload/spec.h"
+
+namespace pqcache {
+namespace {
+
+// Sparse prefill degrades the hidden states every decode-phase method
+// inherits: evidence alignment drops and the prefill hint weakens.
+SuiteSpec Sparsify(SuiteSpec suite) {
+  for (TaskSpec& t : suite.tasks) {
+    t.evidence_mass *= 0.82f;
+    t.prefill_hint *= 0.9f;
+  }
+  return suite;
+}
+
+// Coverage ratios cannot express full-attention quality loss (Full always
+// captures all of whatever evidence mass remains), so answer quality under
+// sparse prefill is modeled as coverage x the MEASURED ratio of evidence
+// mass between the degraded and clean workloads — measured per task from
+// the generated instances, not assumed.
+double MeasuredMassRatio(const TaskSpec& dense, const TaskSpec& sparse) {
+  auto mean_mass = [](const TaskSpec& spec) {
+    WorkloadGenerator gen(spec, 64, 2, 32);
+    const InstanceLayout layout = gen.MakeLayout(0);
+    double sum = 0;
+    int count = 0;
+    for (int h = 0; h < 2; ++h) {
+      const HeadData head = gen.MakeHead(layout, 0, h);
+      for (int step = 0; step < spec.n_decode_steps; ++step) {
+        std::span<const float> q(
+            head.dec_queries.data() + static_cast<size_t>(step) * head.dim,
+            head.dim);
+        const auto scores =
+            TrueAttentionScores(q, head.keys, layout.seq_len, head.dim);
+        for (int32_t t : layout.critical_per_step[step]) {
+          sum += scores[static_cast<size_t>(t)];
+        }
+        ++count;
+      }
+    }
+    return sum / count;
+  };
+  const double dense_mass = mean_mass(dense);
+  if (dense_mass <= 0) return 1.0;
+  return std::min(1.0, mean_mass(sparse) / dense_mass);
+}
+
+void Run(ThreadPool* pool) {
+  bench::PrintHeader(
+      "Table 5: PQCache + MInference-style sparse prefill\n"
+      "(InfiniteBench-like, 1/5 #tokens, 1/64 comm)");
+  EvalOptions options = bench::DefaultEvalOptions(pool);
+  options.token_ratio = 0.2;
+  options.comm_ratio = 1.0 / 64;
+  options.n_heads = 3;
+  QualityHarness harness(options);
+
+  const SuiteSpec dense = MakeInfiniteBenchLikeSuite(/*seed=*/4096);
+  const SuiteSpec sparse = Sparsify(dense);
+
+  // Dense prefill: Full and PQCache.
+  std::vector<MethodSpec> dense_methods;
+  dense_methods.push_back(MakeMethod(
+      "Full", [] { return std::make_unique<FullPolicy>(); }));
+  dense_methods.push_back(MakeMethod("PQC", [] {
+    return std::make_unique<PQCachePolicy>(bench::InfiniteBenchPQ());
+  }));
+  const SuiteResult dense_result = harness.RunSuite(dense, dense_methods);
+
+  // Sparse prefill: MInference alone (full attention over degraded state)
+  // and the combination (PQCache over degraded state, fewer K-Means iters).
+  std::vector<MethodSpec> sparse_methods;
+  sparse_methods.push_back(MakeMethod(
+      "MInf", [] { return std::make_unique<FullPolicy>(); }));
+  sparse_methods.push_back(MakeMethod("Comb", [] {
+    PQCachePolicyOptions o = bench::InfiniteBenchPQ();
+    o.kmeans_iterations = 3;  // Faster prefill shrinks the overlap budget.
+    return std::make_unique<PQCachePolicy>(o);
+  }));
+  const SuiteResult sparse_result = harness.RunSuite(sparse, sparse_methods);
+
+  TablePrinter table({"Dataset", "Full", "PQC", "MInf", "Comb"});
+  double avg_minf = 0, avg_comb = 0;
+  for (size_t i = 0; i < dense_result.tasks.size(); ++i) {
+    const double ratio =
+        MeasuredMassRatio(dense.tasks[i], sparse.tasks[i]);
+    const double minf = sparse_result.tasks[i].scaled[0] * ratio;
+    const double comb = sparse_result.tasks[i].scaled[1] * ratio;
+    avg_minf += minf;
+    avg_comb += comb;
+    table.AddRow({dense_result.tasks[i].task,
+                  FormatScore(dense_result.tasks[i].scaled[0]),
+                  FormatScore(dense_result.tasks[i].scaled[1]),
+                  FormatScore(minf), FormatScore(comb)});
+  }
+  table.AddRow({"Average", FormatScore(dense_result.average_scaled[0]),
+                FormatScore(dense_result.average_scaled[1]),
+                FormatScore(avg_minf / dense_result.tasks.size()),
+                FormatScore(avg_comb / dense_result.tasks.size())});
+  table.Print(std::cout);
+  std::printf(
+      "\nShape check vs paper Table 5: MInference costs several points vs\n"
+      "dense prefill for everyone; PQCache composed with it loses only a\n"
+      "little more (Comb ~ MInf), i.e. the methods compose.\n");
+}
+
+}  // namespace
+}  // namespace pqcache
+
+int main() {
+  pqcache::ThreadPool pool;
+  pqcache::Run(&pool);
+  return 0;
+}

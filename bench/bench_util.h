@@ -1,0 +1,69 @@
+// Shared helpers for the table/figure reproduction binaries.
+#ifndef PQCACHE_BENCH_BENCH_UTIL_H_
+#define PQCACHE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/common/threadpool.h"
+#include "src/eval/harness.h"
+#include "src/policies/pqcache_policy.h"
+
+namespace pqcache {
+namespace bench {
+
+/// Default evaluation options sized for this machine (see DESIGN.md: the
+/// virtual-head count and observation budget trade statistical smoothing
+/// against runtime on a small CPU box).
+inline EvalOptions DefaultEvalOptions(ThreadPool* pool) {
+  EvalOptions options;
+  options.dim = 64;
+  options.n_heads = 4;
+  options.n_obs = 48;
+  options.pool = pool;
+  return options;
+}
+
+/// PQ policy options matching the paper's LongBench setting (m=2, b=6).
+inline PQCachePolicyOptions LongBenchPQ() {
+  PQCachePolicyOptions o;
+  o.num_partitions = 2;
+  o.bits = 6;
+  o.kmeans_iterations = 8;
+  o.train_subsample = 8192;
+  return o;
+}
+
+/// PQ policy options matching the paper's InfiniteBench setting (m=4, b=8).
+inline PQCachePolicyOptions InfiniteBenchPQ() {
+  PQCachePolicyOptions o;
+  o.num_partitions = 4;
+  o.bits = 8;
+  o.kmeans_iterations = 6;
+  o.train_subsample = 8192;
+  return o;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Formats seconds as adaptive ms/s text.
+inline std::string FormatSeconds(double seconds) {
+  char buf[64];
+  if (seconds < 0) {
+    std::snprintf(buf, sizeof(buf), "OOM");
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+  }
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace pqcache
+
+#endif  // PQCACHE_BENCH_BENCH_UTIL_H_

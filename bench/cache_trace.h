@@ -1,0 +1,92 @@
+// Builds a realistic GPU-cache access trace: the per-step top-k middle-token
+// selections of a real PQCachePolicy over a long decode (rotating evidence
+// targets + persistent heavy hitters), used by the Fig. 11c/d experiments.
+#ifndef PQCACHE_BENCH_CACHE_TRACE_H_
+#define PQCACHE_BENCH_CACHE_TRACE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/policies/policy.h"
+#include "src/policies/pqcache_policy.h"
+#include "src/workload/generator.h"
+#include "src/workload/spec.h"
+
+namespace pqcache {
+namespace bench {
+
+struct CacheTrace {
+  size_t seq_len = 0;
+  /// Per step: the middle-token ids fetched (anchors excluded — they are
+  /// GPU-resident and never touch the cache).
+  std::vector<std::vector<int32_t>> steps;
+};
+
+inline CacheTrace BuildCacheTrace(size_t seq_len, int n_steps,
+                                  double token_ratio, uint64_t seed) {
+  TaskSpec spec;
+  spec.name = "cache_trace";
+  spec.seq_len = seq_len;
+  spec.n_instances = 1;
+  spec.n_decode_steps = n_steps;
+  spec.n_spans = 3;   // Few recurring topics: successive steps reuse the
+  spec.chain = false; // same pivotal blocks (the paper's Section 3.4
+                      // observation that certain tokens stay important).
+  spec.span_len = 8;
+  spec.evidence_mass = 0.55f;
+  spec.context_correlation = 0.8f;  // Topic documents stay hot too.
+  spec.n_documents = 64;
+  spec.seed = seed;
+
+  WorkloadGenerator gen(spec, 64, 1, 48);
+  const InstanceLayout layout = gen.MakeLayout(0);
+  const HeadData head = gen.MakeHead(layout, 0, 0);
+  const PrefillObservation obs(head, layout.seq_len);
+
+  SelectionContext ctx;
+  ctx.spec = &spec;
+  ctx.layout = &layout;
+  ctx.head = &head;
+  ctx.obs = &obs;
+  ctx.budget.seq_len = seq_len;
+  ctx.budget.n_init = 4;
+  ctx.budget.local_window = 64;
+  ctx.budget.token_budget =
+      static_cast<size_t>(token_ratio * static_cast<double>(seq_len));
+  ctx.budget.comm_ratio = 1.0 / 128;
+  ctx.head_idx = 0;
+  ctx.n_heads = 1;
+
+  PQCachePolicyOptions options;
+  options.num_partitions = 2;
+  options.bits = 6;
+  options.kmeans_iterations = 6;
+  options.train_subsample = 8192;
+  PQCachePolicy policy(options);
+  const Status st = policy.Prepare(ctx);
+  (void)st;
+
+  CacheTrace trace;
+  trace.seq_len = seq_len;
+  const size_t middle_end = seq_len - ctx.budget.local_window;
+  for (int step = 0; step < n_steps; ++step) {
+    std::span<const float> q(
+        head.dec_queries.data() + static_cast<size_t>(step) * head.dim,
+        head.dim);
+    std::vector<int32_t> selection = policy.Select(step, q);
+    std::vector<int32_t> middle_only;
+    for (int32_t t : selection) {
+      if (static_cast<size_t>(t) >= ctx.budget.n_init &&
+          static_cast<size_t>(t) < middle_end) {
+        middle_only.push_back(t);
+      }
+    }
+    trace.steps.push_back(std::move(middle_only));
+  }
+  return trace;
+}
+
+}  // namespace bench
+}  // namespace pqcache
+
+#endif  // PQCACHE_BENCH_CACHE_TRACE_H_

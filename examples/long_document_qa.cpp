@@ -1,0 +1,57 @@
+// Long-document QA scenario: the workload the paper's introduction
+// motivates. Generates a synthetic 16K-token "document" with two buried
+// evidence passages, then compares how much of the answer-relevant attention
+// each KVCache-management policy captures at a 1/10 token budget.
+//
+//   build/examples/long_document_qa
+#include <cstdio>
+#include <iostream>
+
+#include "src/common/threadpool.h"
+#include "src/eval/harness.h"
+#include "src/eval/report.h"
+#include "src/workload/spec.h"
+
+int main() {
+  using namespace pqcache;
+  ThreadPool pool;
+
+  TaskSpec task;
+  task.name = "long_document_qa";
+  task.seq_len = 16384;
+  task.n_instances = 2;
+  task.n_decode_steps = 4;
+  task.n_spans = 2;
+  task.span_len = 8;
+  task.evidence_mass = 0.55f;
+  task.prefill_hint = 0.9f;
+  task.n_documents = 48;
+  task.seed = 20240610;
+
+  EvalOptions options;
+  options.dim = 64;
+  options.n_heads = 4;
+  options.n_obs = 48;
+  options.token_ratio = 0.1;  // Only 1/10 of the context attends.
+  options.comm_ratio = 1.0 / 128;
+  options.pool = &pool;
+
+  QualityHarness harness(options);
+  PQCachePolicyOptions pq;  // Paper defaults: m=2, b=6.
+  const TaskResult result =
+      harness.RunTask(task, StandardMethodSet(pq));
+
+  std::printf(
+      "Long-document QA, 16K tokens, 1/10 attention budget.\n"
+      "Score = %% of decode steps where the selected tokens captured the\n"
+      "answer passage's attention mass.\n\n");
+  TablePrinter table({"method", "score"});
+  for (size_t m = 0; m < result.labels.size(); ++m) {
+    table.AddRow({result.labels[m], FormatScore(result.raw[m])});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nPQCache retrieves the evidence per decode step through PQ codes,\n"
+      "so it tracks the exact-top-k Oracle without moving raw keys.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Streaming generation scenario: long decode on top of a prefilled context.
+// Demonstrates the decode-phase mechanics the paper's Algorithm 2 describes:
+// tokens evicted from the local window receive PQ codes and join the
+// searchable middle region, the GPU cache warms up, and per-step work stays
+// flat as the sequence grows.
+//
+//   build/examples/streaming_generation
+#include <cstdio>
+#include <vector>
+
+#include "src/core/pqcache_engine.h"
+
+int main() {
+  using namespace pqcache;
+
+  PQCacheEngineOptions options;
+  options.model = ModelConfig::Small();
+  options.initial_tokens = 4;
+  options.local_window = 16;
+  options.pq_partitions = 2;
+  options.pq_bits = 5;
+  options.token_ratio = 0.25;
+  options.cache.capacity_tokens = 128;
+  options.cache.block_tokens = 16;
+
+  auto engine = PQCacheEngine::Create(options).value();
+  std::vector<int32_t> prompt(384);
+  for (size_t i = 0; i < prompt.size(); ++i) {
+    prompt[i] = static_cast<int32_t>((i * 37 + 5) % 1000);
+  }
+  if (!engine->Prefill(prompt).ok()) return 1;
+
+  std::printf("%-6s %-10s %-12s %-14s %-10s\n", "step", "seq_len",
+              "pq_index(0,0)", "cache_hit_rate", "ms/token");
+  const int kSteps = 64;
+  for (int step = 0; step < kSteps; ++step) {
+    const double before = engine->stats().decode_wall_seconds;
+    auto token = engine->DecodeNext();
+    if (!token.ok()) {
+      std::fprintf(stderr, "decode failed: %s\n",
+                   token.status().ToString().c_str());
+      return 1;
+    }
+    if (step % 8 == 7) {
+      const EngineStats& stats = engine->stats();
+      std::printf("%-6d %-10zu %-12zu %-14.2f %-10.2f\n", step + 1,
+                  engine->sequence_length(), engine->pq_index(0, 0).size(),
+                  stats.cache.hit_rate(),
+                  (stats.decode_wall_seconds - before) * 1e3);
+    }
+  }
+  std::printf(
+      "\nEvery decoded token pushed the oldest local token into the middle\n"
+      "region (PQ-coded, searchable); the cache hit rate climbs as pivotal\n"
+      "tokens stabilize — the paper's Section 3.4 behaviour.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+#include "src/cache/block_cache.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace pqcache {
+
+BlockCache::BlockCache(const BlockCacheOptions& options) : options_(options) {
+  PQC_CHECK_GT(options_.block_tokens, size_t{0});
+  capacity_blocks_ = options_.capacity_tokens / options_.block_tokens;
+}
+
+void BlockCache::Probe(std::span<const int32_t> tokens,
+                       std::vector<bool>* hits) {
+  hits->assign(tokens.size(), false);
+  ++tick_;
+  // Count uses per block first so Touch sees one aggregate use count.
+  std::unordered_map<int64_t, uint64_t> uses;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const int64_t block = BlockOf(tokens[i]);
+    auto it = entries_.find(block);
+    if (it != entries_.end()) {
+      (*hits)[i] = true;
+      ++stats_.token_hits;
+      ++uses[block];
+    }
+    ++stats_.token_lookups;
+  }
+  for (const auto& [block, count] : uses) {
+    Touch(entries_[block], count);
+  }
+}
+
+void BlockCache::AdmitTopBlocks(std::span<const int32_t> tokens,
+                                size_t k_cache_blocks) {
+  if (k_cache_blocks == 0 || capacity_blocks_ == 0) return;
+  std::unordered_map<int64_t, uint32_t> counts;
+  for (int32_t token : tokens) ++counts[BlockOf(token)];
+  std::vector<std::pair<int64_t, uint32_t>> ranked(counts.begin(),
+                                                   counts.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  const size_t n = std::min(k_cache_blocks, ranked.size());
+  for (size_t i = 0; i < n; ++i) Admit(ranked[i].first);
+}
+
+void BlockCache::Admit(int64_t block) {
+  if (capacity_blocks_ == 0) return;
+  ++tick_;
+  auto it = entries_.find(block);
+  if (it != entries_.end()) {
+    Touch(it->second, 1);
+    return;
+  }
+  while (entries_.size() >= capacity_blocks_) EvictOne();
+  Entry entry;
+  entry.frequency = 1;
+  entry.last_tick = tick_;
+  entries_.emplace(block, entry);
+  ++stats_.block_insertions;
+}
+
+void BlockCache::Clear() {
+  entries_.clear();
+  stats_ = CacheStats{};
+  tick_ = 0;
+}
+
+void BlockCache::Touch(Entry& entry, uint64_t uses) {
+  entry.frequency += uses;
+  entry.last_tick = tick_;
+}
+
+void BlockCache::EvictOne() {
+  PQC_CHECK(!entries_.empty());
+  auto victim = entries_.begin();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    const Entry& e = it->second;
+    const Entry& v = victim->second;
+    bool worse;
+    if (options_.policy == EvictionPolicy::kLFU) {
+      worse = e.frequency < v.frequency ||
+              (e.frequency == v.frequency && e.last_tick < v.last_tick);
+    } else {
+      worse = e.last_tick < v.last_tick;
+    }
+    if (worse) victim = it;
+  }
+  entries_.erase(victim);
+  ++stats_.block_evictions;
+}
+
+}  // namespace pqcache

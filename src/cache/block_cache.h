@@ -1,0 +1,96 @@
+// Block-level GPU cache for frequently accessed key-value pairs (paper
+// Section 3.4, Fig. 11c/d). Tokens are grouped into fixed-size blocks; the
+// cache holds whole blocks and is updated after each retrieval with the
+// top-k_cache blocks, i.e. the blocks containing the most requested tokens.
+// Supports LRU and LFU eviction.
+#ifndef PQCACHE_CACHE_BLOCK_CACHE_H_
+#define PQCACHE_CACHE_BLOCK_CACHE_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace pqcache {
+
+/// Cache eviction policy (paper evaluates both; Fig. 11d).
+enum class EvictionPolicy { kLRU, kLFU };
+
+/// Sizing and policy for a BlockCache.
+struct BlockCacheOptions {
+  /// Total tokens' worth of KV the cache can hold (paper default 4096).
+  size_t capacity_tokens = 4096;
+  /// Tokens per block (paper uses 128; 1 gives a token-level cache).
+  size_t block_tokens = 128;
+  EvictionPolicy policy = EvictionPolicy::kLRU;
+};
+
+/// Hit/miss accounting.
+struct CacheStats {
+  uint64_t token_lookups = 0;
+  uint64_t token_hits = 0;
+  uint64_t block_insertions = 0;
+  uint64_t block_evictions = 0;
+
+  double hit_rate() const {
+    return token_lookups == 0
+               ? 0.0
+               : static_cast<double>(token_hits) / token_lookups;
+  }
+};
+
+/// A set-associative-free (fully associative) block cache keyed by block id.
+class BlockCache {
+ public:
+  explicit BlockCache(const BlockCacheOptions& options);
+
+  const BlockCacheOptions& options() const { return options_; }
+  size_t capacity_blocks() const { return capacity_blocks_; }
+  size_t resident_blocks() const { return entries_.size(); }
+
+  /// Block id owning a token.
+  int64_t BlockOf(int32_t token) const {
+    return token / static_cast<int64_t>(options_.block_tokens);
+  }
+
+  bool Contains(int64_t block) const { return entries_.count(block) > 0; }
+
+  /// Token-granularity probe: hits[i] = token i's block is resident.
+  /// Updates stats and touches resident blocks (a probe hit is a use).
+  void Probe(std::span<const int32_t> tokens, std::vector<bool>* hits);
+
+  /// Ranks the blocks containing `tokens` by how many of the tokens they
+  /// hold, then admits the best `k_cache_blocks` of them (paper's
+  /// "top-k_cache blocks"), evicting per policy as needed.
+  void AdmitTopBlocks(std::span<const int32_t> tokens, size_t k_cache_blocks);
+
+  /// Admits one block, evicting if full. No-op if already resident.
+  void Admit(int64_t block);
+
+  const CacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = CacheStats{}; }
+
+  /// Clears residency and stats.
+  void Clear();
+
+ private:
+  struct Entry {
+    uint64_t frequency = 0;
+    uint64_t last_tick = 0;
+  };
+
+  void Touch(Entry& entry, uint64_t uses);
+  void EvictOne();
+
+  BlockCacheOptions options_;
+  size_t capacity_blocks_;
+  std::unordered_map<int64_t, Entry> entries_;
+  CacheStats stats_;
+  uint64_t tick_ = 0;
+};
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_CACHE_BLOCK_CACHE_H_

@@ -1,0 +1,73 @@
+// Minimal leveled logging plus CHECK macros for internal invariants.
+// Library code uses Status for recoverable errors; PQC_CHECK is reserved for
+// programmer errors that indicate a bug (it aborts).
+#ifndef PQCACHE_COMMON_LOGGING_H_
+#define PQCACHE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace pqcache {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that will be emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// LogMessage that aborts the process in its destructor (used by PQC_CHECK).
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace pqcache
+
+#define PQC_LOG(level)                                                      \
+  ::pqcache::internal::LogMessage(::pqcache::LogLevel::k##level, __FILE__, \
+                                  __LINE__)
+
+/// Aborts with a message when `cond` is false. For bugs, not user errors.
+#define PQC_CHECK(cond)                                                  \
+  (cond) ? (void)0                                                       \
+         : (void)::pqcache::internal::FatalLogMessage(__FILE__, __LINE__, \
+                                                      #cond)
+
+#define PQC_CHECK_EQ(a, b) PQC_CHECK((a) == (b))
+#define PQC_CHECK_NE(a, b) PQC_CHECK((a) != (b))
+#define PQC_CHECK_LT(a, b) PQC_CHECK((a) < (b))
+#define PQC_CHECK_LE(a, b) PQC_CHECK((a) <= (b))
+#define PQC_CHECK_GT(a, b) PQC_CHECK((a) > (b))
+#define PQC_CHECK_GE(a, b) PQC_CHECK((a) >= (b))
+
+#endif  // PQCACHE_COMMON_LOGGING_H_

@@ -1,0 +1,96 @@
+// Deterministic, fast pseudo-random number generation. Every stochastic
+// component of the library (weights, workloads, K-Means seeding) draws from a
+// seeded Rng so all experiments are exactly reproducible.
+#ifndef PQCACHE_COMMON_RNG_H_
+#define PQCACHE_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace pqcache {
+
+/// SplitMix64: used for seeding and cheap hashing of stream identifiers.
+inline uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator with Gaussian and integer-range helpers.
+/// Distinct (seed, stream) pairs give independent streams, which lets the
+/// workload generator re-derive any token's vectors without storing them.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5DEECE66DULL, uint64_t stream = 0) {
+    uint64_t sm = seed ^ (0x9E3779B97F4A7C15ULL * (stream + 1));
+    for (int i = 0; i < 4; ++i) state_[i] = SplitMix64(sm);
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double Uniform() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  float UniformFloat(float lo, float hi) {
+    return lo + static_cast<float>(Uniform()) * (hi - lo);
+  }
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  uint64_t UniformInt(uint64_t n) {
+    // Lemire's multiply-shift rejection-free approximation is fine here; the
+    // tiny modulo bias is irrelevant for simulation purposes.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(Next()) * n) >> 64);
+  }
+
+  /// Standard normal via Box-Muller (caches the second deviate).
+  float Gaussian() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = 0.0;
+    do {
+      u1 = Uniform();
+    } while (u1 <= 1e-300);
+    const double u2 = Uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_ = static_cast<float>(r * std::sin(theta));
+    has_cached_ = true;
+    return static_cast<float>(r * std::cos(theta));
+  }
+
+  /// Normal with the given mean and standard deviation.
+  float Gaussian(float mean, float stddev) { return mean + stddev * Gaussian(); }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+  bool has_cached_ = false;
+  float cached_ = 0.0f;
+};
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_COMMON_RNG_H_

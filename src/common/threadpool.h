@@ -1,0 +1,58 @@
+// Fixed-size thread pool with a ParallelFor helper. Used to parallelize
+// K-Means clustering over (head, sub-space) pairs the way the paper runs
+// h_kv * m clustering processes per layer on idle CPU cores.
+#ifndef PQCACHE_COMMON_THREADPOOL_H_
+#define PQCACHE_COMMON_THREADPOOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pqcache {
+
+/// A fixed pool of worker threads executing submitted closures FIFO.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (>= 1; 0 means hardware concurrency).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task; the returned future resolves when it completes.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void Wait();
+
+  /// Shared process-wide pool sized to the hardware.
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs fn(i) for i in [begin, end) across the pool, blocking until done.
+/// Falls back to serial execution for tiny ranges.
+void ParallelFor(ThreadPool& pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_COMMON_THREADPOOL_H_

@@ -1,0 +1,32 @@
+// Wall-clock timing helpers for profiling real CPU-side work (K-Means, PQ
+// search, cache lookups). Simulated device time lives in src/memory instead.
+#ifndef PQCACHE_COMMON_TIMER_H_
+#define PQCACHE_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace pqcache {
+
+/// Monotonic stopwatch returning elapsed time in seconds or milliseconds.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_COMMON_TIMER_H_

@@ -1,0 +1,300 @@
+#include "src/core/pqcache_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/common/timer.h"
+#include "src/tensor/ops.h"
+
+namespace pqcache {
+
+// Selective attention backend: PQ search over middle tokens, anchors always
+// included, fetches routed through the per-(layer, head) block cache.
+class PQCacheEngine::SelectiveBackend : public AttentionBackend {
+ public:
+  explicit SelectiveBackend(PQCacheEngine* engine) : engine_(engine) {}
+
+  void Attend(int layer, int q_head, std::span<const float> query,
+              const KVStore& store, size_t seq_len,
+              std::span<float> out) override {
+    PQCacheEngine& e = *engine_;
+    const int group = e.options_.model.gqa_group();
+    const int kv_head = q_head / group;
+    const size_t idx = static_cast<size_t>(layer) *
+                           e.options_.model.num_kv_heads +
+                       static_cast<size_t>(kv_head);
+    PQIndex& index = e.indexes_[idx];
+    BlockCache& cache = *e.caches_[idx];
+
+    // Algorithm 2 lines 3-5 + 13: tokens evicted from the local window this
+    // step get PQ codes and join the searchable middle region before the
+    // search runs. Idempotent; only the first query head of a group does
+    // work.
+    if (index.trained()) {
+      std::vector<float> evicted_key(store.head_dim());
+      while (index.size() < store.middle_count()) {
+        const size_t token = store.middle_begin() + index.size();
+        store.GetKey(token, evicted_key);
+        index.AddVector(evicted_key);
+        e.stats_.bytes_offloaded += store.BytesPerToken();
+      }
+    }
+
+    // Token budget for this step.
+    const size_t budget = std::max<size_t>(
+        1, static_cast<size_t>(std::llround(e.options_.token_ratio *
+                                            static_cast<double>(seq_len))));
+    const size_t reserved = store.initial_count() + store.local_count();
+    const size_t selectable =
+        budget > reserved ? budget - reserved : 0;
+
+    // Approximate top-k over the middle segment via PQ (Step 4).
+    std::vector<int32_t> selection;
+    if (selectable > 0 && index.size() > 0) {
+      selection = index.TopK(query, std::min(selectable, index.size()));
+      const int32_t offset = static_cast<int32_t>(store.middle_begin());
+      for (int32_t& t : selection) t += offset;
+      // Cache probe + fetch accounting (Step 5). Only q_head 0 of each
+      // group updates stats so GQA groups are not double-counted.
+      if (q_head % group == 0) {
+        std::vector<bool> hits;
+        cache.Probe(selection, &hits);
+        size_t misses = 0;
+        for (bool h : hits) {
+          if (!h) ++misses;
+        }
+        e.stats_.bytes_topk_fetched +=
+            static_cast<double>(misses) * store.BytesPerToken();
+        e.stats_.middle_tokens_selected += selection.size();
+        cache.AdmitTopBlocks(selection,
+                             std::max<size_t>(1, cache.capacity_blocks()));
+      }
+    }
+    // Anchors: initial + local (Step 6 uses InitKV + TopkKV + LocalKV).
+    for (size_t t = 0; t < store.initial_count(); ++t) {
+      selection.push_back(static_cast<int32_t>(t));
+    }
+    for (size_t t = store.middle_end(); t < seq_len; ++t) {
+      selection.push_back(static_cast<int32_t>(t));
+    }
+    SortUniqueSelection(&selection);
+
+    // Attention over the selected set only.
+    const size_t d = store.head_dim();
+    std::vector<float> scores(selection.size());
+    std::vector<float> key(d);
+    for (size_t i = 0; i < selection.size(); ++i) {
+      store.GetKey(static_cast<size_t>(selection[i]), key);
+      scores[i] = Dot(query, key);
+    }
+    ScaledSoftmaxInplace(scores, 1.0f / std::sqrt(static_cast<float>(d)));
+    std::fill(out.begin(), out.end(), 0.0f);
+    std::vector<float> value(d);
+    for (size_t i = 0; i < selection.size(); ++i) {
+      if (scores[i] == 0.0f) continue;
+      store.GetValue(static_cast<size_t>(selection[i]), value);
+      for (size_t j = 0; j < d; ++j) out[j] += scores[i] * value[j];
+    }
+  }
+
+ private:
+  static void SortUniqueSelection(std::vector<int32_t>* v) {
+    std::sort(v->begin(), v->end());
+    v->erase(std::unique(v->begin(), v->end()), v->end());
+  }
+
+  PQCacheEngine* engine_;
+};
+
+PQCacheEngine::PQCacheEngine(const PQCacheEngineOptions& options)
+    : options_(options) {}
+
+PQCacheEngine::~PQCacheEngine() = default;
+
+Result<std::unique_ptr<PQCacheEngine>> PQCacheEngine::Create(
+    const PQCacheEngineOptions& options) {
+  PQC_RETURN_IF_ERROR(options.model.Validate());
+  if (options.model.head_dim % options.pq_partitions != 0) {
+    return Status::InvalidArgument(
+        "PQCacheEngine: pq_partitions must divide head_dim");
+  }
+  if (options.token_ratio <= 0.0 || options.token_ratio > 1.0) {
+    return Status::InvalidArgument(
+        "PQCacheEngine: token_ratio must be in (0, 1]");
+  }
+  std::unique_ptr<PQCacheEngine> engine(new PQCacheEngine(options));
+
+  auto model = TransformerModel::Create(options.model);
+  if (!model.ok()) return model.status();
+  engine->model_ = std::move(model).value();
+
+  KVCacheConfig kv_config;
+  kv_config.num_layers = options.model.num_layers;
+  kv_config.num_kv_heads = options.model.num_kv_heads;
+  kv_config.store.head_dim = static_cast<size_t>(options.model.head_dim);
+  kv_config.store.initial_tokens = options.initial_tokens;
+  kv_config.store.local_window = options.local_window;
+  engine->kv_cache_ = std::make_unique<LayeredKVCache>(kv_config);
+
+  engine->hierarchy_ = std::make_unique<MemoryHierarchy>(options.hardware);
+
+  const size_t n_stores = static_cast<size_t>(options.model.num_layers) *
+                          options.model.num_kv_heads;
+  engine->indexes_.resize(n_stores);
+  engine->caches_.reserve(n_stores);
+  for (size_t i = 0; i < n_stores; ++i) {
+    engine->caches_.push_back(std::make_unique<BlockCache>(options.cache));
+  }
+  engine->backend_ = std::make_unique<SelectiveBackend>(engine.get());
+  return engine;
+}
+
+const PQIndex& PQCacheEngine::pq_index(int layer, int kv_head) const {
+  return indexes_[static_cast<size_t>(layer) * options_.model.num_kv_heads +
+                  static_cast<size_t>(kv_head)];
+}
+
+Status PQCacheEngine::BuildPQIndexes(size_t seq_len) {
+  WallTimer timer;
+  PQConfig config;
+  config.num_partitions = options_.pq_partitions;
+  config.bits = options_.pq_bits;
+  config.dim = static_cast<size_t>(options_.model.head_dim);
+  PQC_RETURN_IF_ERROR(config.Validate());
+
+  const int layers = options_.model.num_layers;
+  const int kv_heads = options_.model.num_kv_heads;
+  const size_t d = config.dim;
+
+  std::vector<Status> statuses(static_cast<size_t>(layers) * kv_heads,
+                               Status::OK());
+  auto build_one = [&](size_t job) {
+    const int layer = static_cast<int>(job) / kv_heads;
+    const int head = static_cast<int>(job) % kv_heads;
+    const KVStore& store = kv_cache_->store(layer, head);
+    const size_t n_middle = store.middle_count();
+    if (n_middle == 0) return;
+    // Decode the middle keys to float for clustering (the CPU-side copy the
+    // paper clusters over).
+    std::vector<float> keys(n_middle * d);
+    for (size_t i = 0; i < n_middle; ++i) {
+      store.GetKey(store.middle_begin() + i, {keys.data() + i * d, d});
+    }
+    KMeansOptions kmeans;
+    kmeans.max_iterations = options_.kmeans_iterations;
+    kmeans.seed = 0x9100 + job;
+    auto book = PQCodebook::Train(keys, n_middle, config, kmeans, nullptr);
+    if (!book.ok()) {
+      statuses[job] = book.status();
+      return;
+    }
+    PQIndex index(std::move(book).value());
+    index.AddVectors(keys, n_middle);
+    indexes_[job] = std::move(index);
+  };
+
+  const size_t n_jobs = static_cast<size_t>(layers) * kv_heads;
+  if (options_.pool != nullptr) {
+    ParallelFor(*options_.pool, 0, n_jobs, build_one);
+  } else {
+    for (size_t job = 0; job < n_jobs; ++job) build_one(job);
+  }
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  (void)seq_len;
+  stats_.pq_train_wall_seconds = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+Result<int32_t> PQCacheEngine::Prefill(std::span<const int32_t> tokens) {
+  if (prefilled_) {
+    return Status::FailedPrecondition("PQCacheEngine: already prefilled");
+  }
+  WallTimer timer;
+  auto logits = model_->Prefill(tokens, kv_cache_.get());
+  if (!logits.ok()) return logits.status();
+
+  // Offload accounting: all middle KV moves to CPU (Step 1).
+  stats_.bytes_offloaded = static_cast<double>(kv_cache_->CpuBytes());
+  PQC_RETURN_IF_ERROR(
+      hierarchy_->cpu().Allocate(kv_cache_->CpuBytes()));
+
+  // PQ construction (Step 2).
+  PQC_RETURN_IF_ERROR(BuildPQIndexes(tokens.size()));
+
+  stats_.prefill_wall_seconds = timer.ElapsedSeconds();
+  last_token_ = TransformerModel::GreedyToken(logits.value());
+  prefilled_ = true;
+  return last_token_;
+}
+
+Result<int32_t> PQCacheEngine::DecodeNext() {
+  if (!prefilled_) {
+    return Status::FailedPrecondition("PQCacheEngine: prefill first");
+  }
+  WallTimer timer;
+  const size_t position = kv_cache_->size();
+
+  // PQ codes prefetch accounting (Step 3): codes of all middle tokens.
+  for (int l = 0; l < options_.model.num_layers; ++l) {
+    for (int h = 0; h < options_.model.num_kv_heads; ++h) {
+      stats_.bytes_code_traffic +=
+          pq_index(l, h).LogicalCodeBytes();
+    }
+  }
+
+  // Track which tokens get evicted from local windows this step so their
+  // codes are appended (Algorithm 2 lines 3-5). Eviction happens inside
+  // KVStore::AppendToken during DecodeStep; reconcile afterwards.
+  auto logits = model_->DecodeStep(last_token_, position, kv_cache_.get(),
+                                   backend_.get());
+  if (!logits.ok()) return logits.status();
+
+  ++stats_.decode_steps;
+  stats_.decode_wall_seconds += timer.ElapsedSeconds();
+  // Aggregate cache stats.
+  stats_.cache = CacheStats{};
+  for (const auto& c : caches_) {
+    stats_.cache.token_lookups += c->stats().token_lookups;
+    stats_.cache.token_hits += c->stats().token_hits;
+    stats_.cache.block_insertions += c->stats().block_insertions;
+    stats_.cache.block_evictions += c->stats().block_evictions;
+  }
+  last_token_ = TransformerModel::GreedyToken(logits.value());
+  return last_token_;
+}
+
+Status PQCacheEngine::FeedTokens(std::span<const int32_t> tokens) {
+  if (!prefilled_) {
+    return Status::FailedPrecondition("PQCacheEngine: prefill first");
+  }
+  for (int32_t token : tokens) {
+    // Teacher-forced pass: run the step for the provided token; its logits
+    // are discarded, its KV extends the cache and the PQ indexes.
+    last_token_ = token;
+    const size_t position = kv_cache_->size();
+    auto logits = model_->DecodeStep(token, position, kv_cache_.get(),
+                                     backend_.get());
+    if (!logits.ok()) return logits.status();
+    last_token_ = TransformerModel::GreedyToken(logits.value());
+  }
+  return Status::OK();
+}
+
+Result<std::vector<int32_t>> PQCacheEngine::Generate(int n) {
+  if (!prefilled_) {
+    return Status::FailedPrecondition("PQCacheEngine: prefill first");
+  }
+  std::vector<int32_t> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto token = DecodeNext();
+    if (!token.ok()) return token.status();
+    out.push_back(token.value());
+  }
+  return out;
+}
+
+}  // namespace pqcache

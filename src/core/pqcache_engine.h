@@ -1,0 +1,123 @@
+// PQCacheEngine — the end-to-end system of the paper, and this library's
+// primary public API. It wires together:
+//   - the transformer simulator (src/llm) producing real queries/keys/values,
+//   - the three-segment KVCache (src/kvcache) with CPU-resident middle
+//     tokens,
+//   - per-(layer, kv-head) PQ indexes (src/pq) trained during prefill with a
+//     bounded K-Means budget on the thread pool,
+//   - the block-level GPU cache (src/cache) in front of top-k KV fetches,
+//   - byte accounting against the memory hierarchy (src/memory).
+//
+// Usage:
+//   auto engine = PQCacheEngine::Create(options).value();
+//   engine->Prefill(prompt_tokens);
+//   auto out = engine->Generate(32);   // greedy decoding
+//   engine->stats();                   // fetch/cache/timing counters
+#ifndef PQCACHE_CORE_PQCACHE_ENGINE_H_
+#define PQCACHE_CORE_PQCACHE_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/cache/block_cache.h"
+#include "src/common/status.h"
+#include "src/common/threadpool.h"
+#include "src/kvcache/layered_kv_cache.h"
+#include "src/llm/transformer.h"
+#include "src/memory/hierarchy.h"
+#include "src/pq/pq_index.h"
+
+namespace pqcache {
+
+/// Engine configuration.
+struct PQCacheEngineOptions {
+  ModelConfig model = ModelConfig::Tiny();
+  /// Pinned-segment sizes (head_dim is taken from the model).
+  size_t initial_tokens = 4;
+  size_t local_window = 32;
+  /// PQ shape (paper defaults m=2, b=6).
+  int pq_partitions = 2;
+  int pq_bits = 6;
+  /// K-Means budget for codebook training (fixed; the latency-side adaptive
+  /// budget lives in src/sched and feeds this knob in deployments).
+  int kmeans_iterations = 8;
+  /// Fraction of the context attended per head (top-k = ratio * seq_len).
+  double token_ratio = 0.2;
+  /// GPU cache configuration (block-level, LRU by default).
+  BlockCacheOptions cache;
+  /// Simulated hardware for byte accounting.
+  HardwareConfig hardware;
+  /// Worker pool for K-Means (nullptr = serial).
+  ThreadPool* pool = nullptr;
+};
+
+/// Counters exposed after prefill/decode.
+struct EngineStats {
+  double prefill_wall_seconds = 0;
+  double pq_train_wall_seconds = 0;
+  double decode_wall_seconds = 0;
+  size_t decode_steps = 0;
+  uint64_t middle_tokens_selected = 0;  ///< Sum of top-k sizes.
+  double bytes_offloaded = 0;   ///< KV moved GPU -> CPU (logical FP16).
+  double bytes_code_traffic = 0;  ///< PQ codes moved CPU -> GPU.
+  double bytes_topk_fetched = 0;  ///< Top-k KV moved CPU -> GPU (post-cache).
+  CacheStats cache;             ///< Aggregated over (layer, head) caches.
+};
+
+/// The end-to-end PQCache inference engine.
+class PQCacheEngine {
+ public:
+  static Result<std::unique_ptr<PQCacheEngine>> Create(
+      const PQCacheEngineOptions& options);
+  ~PQCacheEngine();  // Out-of-line: SelectiveBackend is incomplete here.
+
+  const PQCacheEngineOptions& options() const { return options_; }
+  const EngineStats& stats() const { return stats_; }
+  const LayeredKVCache& cache() const { return *kv_cache_; }
+  TransformerModel& model() { return *model_; }
+
+  /// Current sequence length (prefill + decoded tokens).
+  size_t sequence_length() const { return kv_cache_->size(); }
+
+  /// Runs the prefill phase: transformer forward over `tokens`, KVCache
+  /// population + offload accounting, PQ codebook training and encoding for
+  /// every (layer, kv-head). Returns the first generated token (greedy).
+  Result<int32_t> Prefill(std::span<const int32_t> tokens);
+
+  /// Decodes one token (greedy) with PQ-selective attention.
+  Result<int32_t> DecodeNext();
+
+  /// Feeds user-provided tokens (a new conversation turn) through the model
+  /// with PQ-selective attention, extending the KVCache. This implements
+  /// the paper's Section 5 multi-turn strategy (2): the existing PQ
+  /// structures persist and the new turn's tokens receive codes as they
+  /// leave the local window — no re-prefill of previous turns.
+  Status FeedTokens(std::span<const int32_t> tokens);
+
+  /// Convenience: prefill must have run; generates `n` tokens greedily.
+  Result<std::vector<int32_t>> Generate(int n);
+
+  /// The PQ index of one (layer, kv-head) — exposed for tests/examples.
+  const PQIndex& pq_index(int layer, int kv_head) const;
+
+ private:
+  class SelectiveBackend;
+
+  explicit PQCacheEngine(const PQCacheEngineOptions& options);
+  Status BuildPQIndexes(size_t seq_len);
+
+  PQCacheEngineOptions options_;
+  std::unique_ptr<TransformerModel> model_;
+  std::unique_ptr<LayeredKVCache> kv_cache_;
+  std::unique_ptr<MemoryHierarchy> hierarchy_;
+  std::vector<PQIndex> indexes_;           // [layer * kv_heads]
+  std::vector<std::unique_ptr<BlockCache>> caches_;  // Same layout.
+  std::unique_ptr<SelectiveBackend> backend_;
+  EngineStats stats_;
+  int32_t last_token_ = -1;
+  bool prefilled_ = false;
+};
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_CORE_PQCACHE_ENGINE_H_

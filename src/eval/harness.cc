@@ -1,0 +1,220 @@
+#include "src/eval/harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+#include "src/common/logging.h"
+#include "src/policies/basic_policies.h"
+#include "src/policies/h2o_policy.h"
+#include "src/policies/infllm_policy.h"
+#include "src/policies/snapkv_policy.h"
+#include "src/policies/sparq_policy.h"
+
+namespace pqcache {
+
+PolicyBudget QualityHarness::MakeBudget(const TaskSpec& spec,
+                                        bool compensated) const {
+  PolicyBudget budget;
+  budget.seq_len = spec.seq_len;
+  budget.n_init = 4;
+  budget.local_window = std::min<size_t>(64, spec.seq_len / 8);
+  budget.comm_ratio = options_.comm_ratio;
+  size_t k = static_cast<size_t>(
+      std::llround(options_.token_ratio * static_cast<double>(spec.seq_len)));
+  if (compensated) {
+    // Dropping methods may retain extra tokens worth the offloading methods'
+    // transfer budget: comm_ratio of the keys' bytes = comm_ratio * s / 2
+    // tokens of full KV (keys are half of a KV pair).
+    k += static_cast<size_t>(std::llround(
+        options_.comm_ratio * static_cast<double>(spec.seq_len) / 2.0));
+  }
+  budget.token_budget =
+      std::max(k, budget.n_init + budget.local_window + 1);
+  return budget;
+}
+
+TaskResult QualityHarness::RunTask(
+    const TaskSpec& spec, const std::vector<MethodSpec>& methods) const {
+  WorkloadGenerator generator(spec, options_.dim, options_.n_heads,
+                              options_.n_obs);
+  const size_t n_methods = methods.size();
+  const int n_steps = spec.n_decode_steps;
+
+  // coverage_sums[m][instance][step] accumulated over heads.
+  std::vector<std::vector<std::vector<StepCoverage>>> sums(
+      n_methods,
+      std::vector<std::vector<StepCoverage>>(
+          static_cast<size_t>(spec.n_instances),
+          std::vector<StepCoverage>(static_cast<size_t>(n_steps))));
+  std::mutex mu;
+
+  auto run_one = [&](int instance, int head_idx) {
+    const InstanceLayout layout = generator.MakeLayout(instance);
+    const HeadData head = generator.MakeHead(layout, instance, head_idx);
+    const PrefillObservation obs(head, layout.seq_len);
+
+    // Prepare all policies for this head.
+    std::vector<std::unique_ptr<SelectionPolicy>> policies;
+    policies.reserve(n_methods);
+    for (const MethodSpec& m : methods) {
+      auto policy = m.factory();
+      SelectionContext ctx;
+      ctx.spec = &spec;
+      ctx.layout = &layout;
+      ctx.head = &head;
+      ctx.obs = &obs;
+      ctx.budget = MakeBudget(spec, m.compensated);
+      ctx.head_idx = head_idx;
+      ctx.n_heads = options_.n_heads;
+      ctx.pool = nullptr;  // Head-level parallelism happens above.
+      const Status st = policy->Prepare(ctx);
+      PQC_CHECK(st.ok());
+      policies.push_back(std::move(policy));
+    }
+
+    // Decode steps.
+    std::vector<std::vector<StepCoverage>> local(
+        n_methods, std::vector<StepCoverage>(static_cast<size_t>(n_steps)));
+    for (int step = 0; step < n_steps; ++step) {
+      std::span<const float> query(
+          head.dec_queries.data() + static_cast<size_t>(step) * head.dim,
+          head.dim);
+      const std::vector<float> true_scores = TrueAttentionScores(
+          query, head.keys, layout.seq_len, head.dim);
+      const auto& critical =
+          layout.critical_per_step[static_cast<size_t>(step)];
+      for (size_t m = 0; m < n_methods; ++m) {
+        std::vector<int32_t> selection = policies[m]->Select(step, query);
+        local[m][static_cast<size_t>(step)] =
+            ComputeCoverage(true_scores, selection, critical);
+        policies[m]->Observe(step, true_scores);
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    for (size_t m = 0; m < n_methods; ++m) {
+      for (int step = 0; step < n_steps; ++step) {
+        sums[m][static_cast<size_t>(instance)][static_cast<size_t>(step)]
+            .critical += local[m][static_cast<size_t>(step)].critical;
+        sums[m][static_cast<size_t>(instance)][static_cast<size_t>(step)]
+            .total += local[m][static_cast<size_t>(step)].total;
+      }
+    }
+  };
+
+  // Jobs: one per (instance, head).
+  if (options_.pool != nullptr) {
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < spec.n_instances; ++i) {
+      for (int h = 0; h < options_.n_heads; ++h) {
+        futures.push_back(
+            options_.pool->Submit([&, i, h] { run_one(i, h); }));
+      }
+    }
+    for (auto& f : futures) f.get();
+  } else {
+    for (int i = 0; i < spec.n_instances; ++i) {
+      for (int h = 0; h < options_.n_heads; ++h) run_one(i, h);
+    }
+  }
+
+  // Aggregate: head-mean coverage -> per-step success -> task score.
+  TaskResult result;
+  result.task = spec.name;
+  for (size_t m = 0; m < n_methods; ++m) {
+    result.labels.push_back(methods[m].label);
+    double score_sum = 0.0;
+    for (int i = 0; i < spec.n_instances; ++i) {
+      double instance_score = 0.0;
+      bool all_ok = true;
+      double acc = 0.0;
+      for (int step = 0; step < n_steps; ++step) {
+        const StepCoverage& sum =
+            sums[m][static_cast<size_t>(i)][static_cast<size_t>(step)];
+        const double critical = sum.critical / options_.n_heads;
+        const double total = sum.total / options_.n_heads;
+        switch (spec.score_kind) {
+          case ScoreKind::kThresholdAccuracy:
+            acc += critical >= spec.success_threshold ? 1.0 : 0.0;
+            break;
+          case ScoreKind::kCoverage:
+            acc += spec.broad_weight * total +
+                   (1.0 - spec.broad_weight) * critical;
+            break;
+          case ScoreKind::kAllOrNothing:
+            if (critical < spec.success_threshold) all_ok = false;
+            break;
+        }
+      }
+      if (spec.score_kind == ScoreKind::kAllOrNothing) {
+        instance_score = all_ok ? 100.0 : 0.0;
+      } else {
+        instance_score = 100.0 * acc / n_steps;
+      }
+      score_sum += instance_score;
+    }
+    const double raw = score_sum / spec.n_instances;
+    result.raw.push_back(raw);
+    result.scaled.push_back(raw * spec.full_score_scale / 100.0);
+  }
+  return result;
+}
+
+SuiteResult QualityHarness::RunSuite(
+    const SuiteSpec& suite, const std::vector<MethodSpec>& methods) const {
+  SuiteResult result;
+  result.suite = suite.name;
+  for (const MethodSpec& m : methods) result.labels.push_back(m.label);
+  result.average_scaled.assign(methods.size(), 0.0);
+  result.average_raw.assign(methods.size(), 0.0);
+  for (const TaskSpec& task : suite.tasks) {
+    result.tasks.push_back(RunTask(task, methods));
+    for (size_t m = 0; m < methods.size(); ++m) {
+      result.average_scaled[m] += result.tasks.back().scaled[m];
+      result.average_raw[m] += result.tasks.back().raw[m];
+    }
+  }
+  if (!suite.tasks.empty()) {
+    for (size_t m = 0; m < methods.size(); ++m) {
+      result.average_scaled[m] /= suite.tasks.size();
+      result.average_raw[m] /= suite.tasks.size();
+    }
+  }
+  return result;
+}
+
+MethodSpec MakeMethod(std::string label,
+                      std::function<std::unique_ptr<SelectionPolicy>()> f,
+                      bool compensated) {
+  MethodSpec m;
+  m.label = std::move(label);
+  m.factory = std::move(f);
+  m.compensated = compensated;
+  return m;
+}
+
+std::vector<MethodSpec> StandardMethodSet(const PQCachePolicyOptions& pqc) {
+  std::vector<MethodSpec> methods;
+  methods.push_back(MakeMethod(
+      "Full", [] { return std::make_unique<FullPolicy>(); }));
+  methods.push_back(MakeMethod(
+      "Oracle", [] { return std::make_unique<OraclePolicy>(); }));
+  methods.push_back(MakeMethod(
+      "H2O(C)", [] { return std::make_unique<H2OPolicy>(); },
+      /*compensated=*/true));
+  methods.push_back(MakeMethod(
+      "SnapKV(C)", [] { return std::make_unique<SnapKVPolicy>(); },
+      /*compensated=*/true));
+  methods.push_back(MakeMethod(
+      "PyramidKV(C)", [] { return std::make_unique<PyramidKVPolicy>(); },
+      /*compensated=*/true));
+  methods.push_back(MakeMethod(
+      "InfLLM", [] { return std::make_unique<InfLLMPolicy>(); }));
+  methods.push_back(MakeMethod(
+      "SPARQ", [] { return std::make_unique<SPARQPolicy>(); }));
+  methods.push_back(MakeMethod(
+      "PQCache", [pqc] { return std::make_unique<PQCachePolicy>(pqc); }));
+  return methods;
+}
+
+}  // namespace pqcache

@@ -1,0 +1,90 @@
+// The quality-evaluation harness: runs a set of selection policies over a
+// synthetic task (or a whole suite), computing per-step coverage against the
+// planted ground truth and mapping it to task scores. Reproduces the paper's
+// Tables 2-6 and Figs. 9/10 experiment loops.
+#ifndef PQCACHE_EVAL_HARNESS_H_
+#define PQCACHE_EVAL_HARNESS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/threadpool.h"
+#include "src/eval/metrics.h"
+#include "src/policies/policy.h"
+#include "src/policies/pqcache_policy.h"
+#include "src/workload/generator.h"
+#include "src/workload/spec.h"
+
+namespace pqcache {
+
+/// Evaluation-wide knobs.
+struct EvalOptions {
+  size_t dim = 64;       ///< Per-head key dimension.
+  int n_heads = 4;       ///< Virtual (layer, head) pairs (= virtual layers).
+  size_t n_obs = 64;     ///< Observable prefill queries per head.
+  double token_ratio = 0.2;        ///< 1/5 or 1/10 of tokens (paper axis 1).
+  double comm_ratio = 1.0 / 128;   ///< Extra communication (paper axis 2).
+  ThreadPool* pool = nullptr;      ///< Parallelism over (instance, head).
+};
+
+/// One evaluated method: label + fresh-policy factory. `compensated` gives
+/// KVCache-dropping methods the enlarged budget matching offloading methods'
+/// memory + transfer (the paper's "(C)" suffix).
+struct MethodSpec {
+  std::string label;
+  std::function<std::unique_ptr<SelectionPolicy>()> factory;
+  bool compensated = false;
+};
+
+/// Scores of every method on one task.
+struct TaskResult {
+  std::string task;
+  std::vector<std::string> labels;
+  std::vector<double> raw;     ///< In [0, 100]: measured quality.
+  std::vector<double> scaled;  ///< raw * full_score_scale / 100.
+};
+
+/// Scores on a suite plus per-method averages.
+struct SuiteResult {
+  std::string suite;
+  std::vector<TaskResult> tasks;
+  std::vector<std::string> labels;
+  std::vector<double> average_scaled;
+  std::vector<double> average_raw;
+};
+
+class QualityHarness {
+ public:
+  explicit QualityHarness(const EvalOptions& options) : options_(options) {}
+
+  const EvalOptions& options() const { return options_; }
+
+  /// Runs all methods on one task.
+  TaskResult RunTask(const TaskSpec& spec,
+                     const std::vector<MethodSpec>& methods) const;
+
+  /// Runs all methods on every task of a suite and averages.
+  SuiteResult RunSuite(const SuiteSpec& suite,
+                       const std::vector<MethodSpec>& methods) const;
+
+  /// Token budget for a sequence length under these options.
+  PolicyBudget MakeBudget(const TaskSpec& spec, bool compensated) const;
+
+ private:
+  EvalOptions options_;
+};
+
+/// The paper's standard comparison set: Full, Oracle, H2O(C), SnapKV(C),
+/// PyramidKV(C), InfLLM, SPARQ, PQCache (with the given PQ options).
+std::vector<MethodSpec> StandardMethodSet(const PQCachePolicyOptions& pqc);
+
+/// Convenience single-method wrapper.
+MethodSpec MakeMethod(std::string label,
+                      std::function<std::unique_ptr<SelectionPolicy>()> f,
+                      bool compensated = false);
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_EVAL_HARNESS_H_

@@ -1,0 +1,57 @@
+#include "src/eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/tensor/ops.h"
+
+namespace pqcache {
+
+StepCoverage ComputeCoverage(std::span<const float> true_scores,
+                             std::span<const int32_t> selection,
+                             std::span<const int32_t> critical) {
+  StepCoverage cov;
+  double selected_mass = 0.0;
+  for (int32_t t : selection) {
+    selected_mass += true_scores[static_cast<size_t>(t)];
+  }
+  cov.total = selected_mass;
+
+  double critical_mass = 0.0;
+  double captured_critical = 0.0;
+  // Both lists sorted: intersect with two pointers.
+  size_t si = 0;
+  for (int32_t c : critical) {
+    critical_mass += true_scores[static_cast<size_t>(c)];
+    while (si < selection.size() && selection[si] < c) ++si;
+    if (si < selection.size() && selection[si] == c) {
+      captured_critical += true_scores[static_cast<size_t>(c)];
+    }
+  }
+  cov.critical = critical_mass > 0.0 ? captured_critical / critical_mass : 1.0;
+  return cov;
+}
+
+double SelectionRecall(std::span<const int32_t> selection,
+                       std::span<const int32_t> reference) {
+  if (reference.empty()) return 1.0;
+  size_t si = 0, found = 0;
+  for (int32_t r : reference) {
+    while (si < selection.size() && selection[si] < r) ++si;
+    if (si < selection.size() && selection[si] == r) ++found;
+  }
+  return static_cast<double>(found) / reference.size();
+}
+
+std::vector<float> TrueAttentionScores(std::span<const float> query,
+                                       std::span<const float> keys, size_t n,
+                                       size_t d) {
+  std::vector<float> scores(n);
+  for (size_t t = 0; t < n; ++t) {
+    scores[t] = Dot(query, {keys.data() + t * d, d});
+  }
+  ScaledSoftmaxInplace(scores, 1.0f / std::sqrt(static_cast<float>(d)));
+  return scores;
+}
+
+}  // namespace pqcache

@@ -1,0 +1,41 @@
+// Quality metrics for selective attention. The central quantity is
+// *coverage*: how much of the true softmax attention mass a selected token
+// set captures — overall, and restricted to the task's critical tokens.
+// Selective attention changes exactly this quantity, so coverage of ground-
+// truth critical tokens is the principled stand-in for downstream task
+// scores (DESIGN.md Section 2).
+#ifndef PQCACHE_EVAL_METRICS_H_
+#define PQCACHE_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pqcache {
+
+/// Coverage of one (step, head) selection.
+struct StepCoverage {
+  double critical = 0.0;  ///< Captured critical mass / total critical mass.
+  double total = 0.0;     ///< Captured mass over all tokens.
+};
+
+/// `true_scores`: softmax attention over all tokens; `selection` and
+/// `critical` are sorted unique token-id lists.
+StepCoverage ComputeCoverage(std::span<const float> true_scores,
+                             std::span<const int32_t> selection,
+                             std::span<const int32_t> critical);
+
+/// Fraction of `reference` ids present in `selection` (recall@k when
+/// reference is the exact top-k). Both lists sorted unique.
+double SelectionRecall(std::span<const int32_t> selection,
+                       std::span<const int32_t> reference);
+
+/// Causal softmax attention of `query` over `n` keys (row-major, dim d),
+/// scaled by 1/sqrt(d). Returns the probability vector.
+std::vector<float> TrueAttentionScores(std::span<const float> query,
+                                       std::span<const float> keys, size_t n,
+                                       size_t d);
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_EVAL_METRICS_H_

@@ -1,0 +1,63 @@
+#include "src/eval/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pqcache {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << cell;
+      for (size_t pad = cell.size(); pad < widths[c] + 2; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  std::string rule;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule += std::string(widths[c], '-') + "  ";
+  }
+  os << rule << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatScore(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", value);
+  return buf;
+}
+
+void PrintSuiteResult(const SuiteResult& result, std::ostream& os) {
+  std::vector<std::string> header = {"Dataset"};
+  for (const auto& label : result.labels) header.push_back(label);
+  TablePrinter printer(std::move(header));
+  for (const auto& task : result.tasks) {
+    std::vector<std::string> row = {task.task};
+    for (double v : task.scaled) row.push_back(FormatScore(v));
+    printer.AddRow(std::move(row));
+  }
+  std::vector<std::string> avg = {"Average"};
+  for (double v : result.average_scaled) avg.push_back(FormatScore(v));
+  printer.AddRow(std::move(avg));
+  printer.Print(os);
+}
+
+}  // namespace pqcache

@@ -1,0 +1,36 @@
+// Fixed-width table rendering for benchmark output: the bench binaries print
+// the same rows/columns the paper's tables report.
+#ifndef PQCACHE_EVAL_REPORT_H_
+#define PQCACHE_EVAL_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/eval/harness.h"
+
+namespace pqcache {
+
+/// Column-aligned plain-text table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "12.34" with two decimals.
+std::string FormatScore(double value);
+
+/// Prints a SuiteResult as a paper-style table (tasks as rows, methods as
+/// columns, average last).
+void PrintSuiteResult(const SuiteResult& result, std::ostream& os);
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_EVAL_REPORT_H_

@@ -1,0 +1,130 @@
+#include "src/kmeans/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pqcache {
+
+Result<LinearFit> FitLinear(std::span<const double> x,
+                            std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2) {
+    return Status::InvalidArgument("FitLinear: need >= 2 paired samples");
+  }
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) {
+    return Status::InvalidArgument("FitLinear: degenerate x values");
+  }
+  LinearFit fit;
+  fit.beta = (n * sxy - sx * sy) / denom;
+  fit.alpha = (sy - fit.beta * sx) / n;
+  return fit;
+}
+
+Result<QuadraticFit> FitQuadratic(std::span<const double> x,
+                                  std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 3) {
+    return Status::InvalidArgument("FitQuadratic: need >= 3 paired samples");
+  }
+  // Normal equations for the 3x3 system: sum of x^p moments, p in [0,4].
+  double m[5] = {static_cast<double>(x.size()), 0, 0, 0, 0};
+  double b[3] = {0, 0, 0};
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double x1 = x[i], x2 = x1 * x1;
+    m[1] += x1;
+    m[2] += x2;
+    m[3] += x2 * x1;
+    m[4] += x2 * x2;
+    b[0] += y[i];
+    b[1] += y[i] * x1;
+    b[2] += y[i] * x2;
+  }
+  double a[3][4] = {{m[0], m[1], m[2], b[0]},
+                    {m[1], m[2], m[3], b[1]},
+                    {m[2], m[3], m[4], b[2]}};
+  // Gaussian elimination with partial pivoting.
+  for (int col = 0; col < 3; ++col) {
+    int pivot = col;
+    for (int row = col + 1; row < 3; ++row) {
+      if (std::abs(a[row][col]) > std::abs(a[pivot][col])) pivot = row;
+    }
+    if (std::abs(a[pivot][col]) < 1e-12) {
+      return Status::InvalidArgument("FitQuadratic: degenerate x values");
+    }
+    std::swap(a[col], a[pivot]);
+    for (int row = col + 1; row < 3; ++row) {
+      const double f = a[row][col] / a[col][col];
+      for (int j = col; j < 4; ++j) a[row][j] -= f * a[col][j];
+    }
+  }
+  double sol[3];
+  for (int row = 2; row >= 0; --row) {
+    double acc = a[row][3];
+    for (int j = row + 1; j < 3; ++j) acc -= a[row][j] * sol[j];
+    sol[row] = acc / a[row][row];
+  }
+  QuadraticFit fit;
+  fit.alpha = sol[0];
+  fit.beta = sol[1];
+  fit.gamma = sol[2];
+  return fit;
+}
+
+void ClusteringCostModel::AddClusteringSample(double s, double iterations,
+                                              double seconds) {
+  clus_x_.push_back(s * iterations);
+  clus_y_.push_back(seconds);
+  fitted_ = false;
+}
+
+void ClusteringCostModel::AddComputeSample(double s, double seconds) {
+  comp_x_.push_back(s);
+  comp_y_.push_back(seconds);
+  fitted_ = false;
+}
+
+Status ClusteringCostModel::Fit() {
+  auto clus = FitLinear(clus_x_, clus_y_);
+  if (!clus.ok()) return clus.status();
+  auto comp = FitQuadratic(comp_x_, comp_y_);
+  if (!comp.ok()) return comp.status();
+  clus_ = clus.value();
+  comp_ = comp.value();
+  fitted_ = true;
+  return Status::OK();
+}
+
+double ClusteringCostModel::PredictClusteringSeconds(double s,
+                                                     double iterations) const {
+  return clus_.Eval(s * iterations);
+}
+
+double ClusteringCostModel::PredictComputeSeconds(double s) const {
+  return comp_.Eval(s);
+}
+
+int ClusteringCostModel::MaxIterations(double s, int min_iterations,
+                                       int max_iterations) const {
+  // Eq. 3: T_max = (gamma2 s^2 + beta2 s + alpha2 - alpha1) / (beta1 s).
+  const double denom = clus_.beta * s;
+  double t_max;
+  if (denom <= 0.0) {
+    t_max = max_iterations;  // Clustering is free under this fit.
+  } else {
+    t_max = (comp_.Eval(s) - clus_.alpha) / denom;
+  }
+  if (!std::isfinite(t_max)) t_max = min_iterations;
+  const double clipped =
+      std::clamp(t_max, static_cast<double>(min_iterations),
+                 static_cast<double>(max_iterations));
+  return static_cast<int>(clipped);
+}
+
+}  // namespace pqcache

@@ -1,0 +1,82 @@
+// The adaptive K-Means iteration budget of paper Section 3.3 (Eq. 1-3).
+// Clustering time is modeled as linear in s*T (Eq. 1) and per-layer GPU
+// compute time as quadratic in s (Eq. 2); solving Time_clus = Time_comp for T
+// gives the largest iteration count that still hides under GPU compute
+// (Eq. 3). Coefficients are fitted with ordinary least squares from profiled
+// samples, exactly as the paper prescribes.
+#ifndef PQCACHE_KMEANS_COST_MODEL_H_
+#define PQCACHE_KMEANS_COST_MODEL_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace pqcache {
+
+/// y = alpha + beta * x.
+struct LinearFit {
+  double alpha = 0.0;
+  double beta = 0.0;
+  double Eval(double x) const { return alpha + beta * x; }
+};
+
+/// y = alpha + beta * x + gamma * x^2.
+struct QuadraticFit {
+  double alpha = 0.0;
+  double beta = 0.0;
+  double gamma = 0.0;
+  double Eval(double x) const { return alpha + x * (beta + gamma * x); }
+};
+
+/// Ordinary least squares for y = alpha + beta x. Requires >= 2 points.
+Result<LinearFit> FitLinear(std::span<const double> x,
+                            std::span<const double> y);
+
+/// Ordinary least squares for y = alpha + beta x + gamma x^2. Requires >= 3
+/// points with at least 3 distinct x values.
+Result<QuadraticFit> FitQuadratic(std::span<const double> x,
+                                  std::span<const double> y);
+
+/// Fits the two cost curves from profiled samples and answers "how many
+/// Lloyd iterations fit under this layer's GPU compute time?" (Eq. 3).
+class ClusteringCostModel {
+ public:
+  /// One clustering profile point: sequence length s, iterations T, seconds.
+  void AddClusteringSample(double s, double iterations, double seconds);
+
+  /// One compute profile point: sequence length s, per-layer seconds.
+  void AddComputeSample(double s, double seconds);
+
+  /// Fits both curves. Fails when too few samples were added.
+  Status Fit();
+
+  bool fitted() const { return fitted_; }
+  const LinearFit& clustering_fit() const { return clus_; }
+  const QuadraticFit& compute_fit() const { return comp_; }
+
+  /// Predicted seconds for clustering a length-s input with T iterations.
+  double PredictClusteringSeconds(double s, double iterations) const;
+
+  /// Predicted per-layer GPU compute seconds at length s.
+  double PredictComputeSeconds(double s) const;
+
+  /// T_max from Eq. 3, clipped into [min_iterations, max_iterations].
+  /// Precondition: fitted().
+  int MaxIterations(double s, int min_iterations, int max_iterations) const;
+
+ private:
+  // Clustering samples are stored against the regressor x = s * T.
+  std::vector<double> clus_x_;
+  std::vector<double> clus_y_;
+  std::vector<double> comp_x_;
+  std::vector<double> comp_y_;
+  LinearFit clus_;
+  QuadraticFit comp_;
+  bool fitted_ = false;
+};
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_KMEANS_COST_MODEL_H_

@@ -1,0 +1,212 @@
+#include "src/kmeans/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "src/common/rng.h"
+#include "src/tensor/ops.h"
+
+namespace pqcache {
+
+namespace {
+
+// Picks initial centroids by uniform sampling of distinct points. When there
+// are fewer points than clusters, points repeat.
+void SeedRandomSample(std::span<const float> data, size_t n, size_t dim,
+                      size_t k, Rng& rng, std::vector<float>& centroids) {
+  std::vector<uint32_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = static_cast<uint32_t>(i);
+  // Partial Fisher-Yates: we only need min(k, n) distinct picks.
+  const size_t picks = std::min(k, n);
+  for (size_t i = 0; i < picks; ++i) {
+    const size_t j = i + rng.UniformInt(n - i);
+    std::swap(perm[i], perm[j]);
+  }
+  for (size_t c = 0; c < k; ++c) {
+    const size_t src = perm[c % picks];
+    std::memcpy(centroids.data() + c * dim, data.data() + src * dim,
+                dim * sizeof(float));
+  }
+}
+
+// k-means++ D^2 seeding. To bound cost on very long sequences, the candidate
+// set is subsampled to at most `kSeedSampleFactor * k` points.
+void SeedPlusPlus(std::span<const float> data, size_t n, size_t dim, size_t k,
+                  Rng& rng, std::vector<float>& centroids) {
+  constexpr size_t kSeedSampleFactor = 32;
+  const size_t sample_n = std::min(n, kSeedSampleFactor * k);
+  std::vector<uint32_t> sample(sample_n);
+  if (sample_n == n) {
+    for (size_t i = 0; i < n; ++i) sample[i] = static_cast<uint32_t>(i);
+  } else {
+    for (size_t i = 0; i < sample_n; ++i) {
+      sample[i] = static_cast<uint32_t>(rng.UniformInt(n));
+    }
+  }
+  auto point = [&](uint32_t id) {
+    return std::span<const float>(data.data() + size_t{id} * dim, dim);
+  };
+
+  std::vector<float> dist2(sample_n, std::numeric_limits<float>::max());
+  // First centroid: uniform.
+  uint32_t first = sample[rng.UniformInt(sample_n)];
+  std::memcpy(centroids.data(), data.data() + size_t{first} * dim,
+              dim * sizeof(float));
+  for (size_t c = 1; c < k; ++c) {
+    std::span<const float> prev(centroids.data() + (c - 1) * dim, dim);
+    double total = 0.0;
+    for (size_t i = 0; i < sample_n; ++i) {
+      const float d2 = L2DistanceSquared(point(sample[i]), prev);
+      dist2[i] = std::min(dist2[i], d2);
+      total += dist2[i];
+    }
+    size_t chosen = 0;
+    if (total > 0.0) {
+      double target = rng.Uniform() * total;
+      for (size_t i = 0; i < sample_n; ++i) {
+        target -= dist2[i];
+        if (target <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = rng.UniformInt(sample_n);
+    }
+    std::memcpy(centroids.data() + c * dim,
+                data.data() + size_t{sample[chosen]} * dim,
+                dim * sizeof(float));
+  }
+}
+
+}  // namespace
+
+Result<KMeansResult> RunKMeans(std::span<const float> data, size_t n,
+                               size_t dim, const KMeansOptions& options) {
+  if (n == 0 || dim == 0) {
+    return Status::InvalidArgument("RunKMeans: empty input");
+  }
+  if (options.num_clusters < 1) {
+    return Status::InvalidArgument("RunKMeans: num_clusters must be >= 1");
+  }
+  if (data.size() != n * dim) {
+    return Status::InvalidArgument("RunKMeans: data size != n * dim");
+  }
+  const size_t k = static_cast<size_t>(options.num_clusters);
+
+  KMeansResult result;
+  result.centroids.assign(k * dim, 0.0f);
+  result.assignments.assign(n, 0);
+
+  Rng rng(options.seed);
+  if (options.seeding == KMeansOptions::Seeding::kPlusPlus) {
+    SeedPlusPlus(data, n, dim, k, rng, result.centroids);
+  } else {
+    SeedRandomSample(data, n, dim, k, rng, result.centroids);
+  }
+
+  auto assign_all = [&]() -> double {
+    double inertia = 0.0;
+    auto assign_range = [&](size_t lo, size_t hi, double* partial) {
+      double local = 0.0;
+      for (size_t i = lo; i < hi; ++i) {
+        std::span<const float> p(data.data() + i * dim, dim);
+        float best = std::numeric_limits<float>::max();
+        int32_t best_c = 0;
+        for (size_t c = 0; c < k; ++c) {
+          const float d2 = L2DistanceSquared(
+              p, {result.centroids.data() + c * dim, dim});
+          if (d2 < best) {
+            best = d2;
+            best_c = static_cast<int32_t>(c);
+          }
+        }
+        result.assignments[i] = best_c;
+        local += best;
+      }
+      *partial = local;
+    };
+    if (options.pool != nullptr && n > 4096) {
+      const size_t shards = options.pool->num_threads();
+      const size_t shard = (n + shards - 1) / shards;
+      std::vector<double> partials(shards, 0.0);
+      std::vector<std::future<void>> futs;
+      for (size_t sidx = 0; sidx < shards; ++sidx) {
+        const size_t lo = sidx * shard;
+        const size_t hi = std::min(n, lo + shard);
+        if (lo >= hi) break;
+        futs.push_back(options.pool->Submit(
+            [&, lo, hi, sidx] { assign_range(lo, hi, &partials[sidx]); }));
+      }
+      for (auto& f : futs) f.get();
+      for (double p : partials) inertia += p;
+    } else {
+      assign_range(0, n, &inertia);
+    }
+    return inertia;
+  };
+
+  // Initial assignment establishes inertia even with zero Lloyd iterations,
+  // so the adaptive budget can legally choose T = 0.
+  result.inertia = assign_all();
+
+  std::vector<double> sums(k * dim);
+  std::vector<uint32_t> counts(k);
+  double prev_inertia = result.inertia;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Update step.
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0u);
+    for (size_t i = 0; i < n; ++i) {
+      const int32_t c = result.assignments[i];
+      ++counts[c];
+      double* srow = sums.data() + size_t{static_cast<size_t>(c)} * dim;
+      const float* p = data.data() + i * dim;
+      for (size_t d = 0; d < dim; ++d) srow[d] += p[d];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Empty-cluster repair: respawn at a random point. Rare with sane k.
+        const size_t src = rng.UniformInt(n);
+        std::memcpy(result.centroids.data() + c * dim, data.data() + src * dim,
+                    dim * sizeof(float));
+        continue;
+      }
+      const double inv = 1.0 / counts[c];
+      float* crow = result.centroids.data() + c * dim;
+      const double* srow = sums.data() + c * dim;
+      for (size_t d = 0; d < dim; ++d) {
+        crow[d] = static_cast<float>(srow[d] * inv);
+      }
+    }
+    // Assignment step.
+    result.inertia = assign_all();
+    result.iterations = iter + 1;
+    if (prev_inertia > 0.0 &&
+        (prev_inertia - result.inertia) < options.tolerance * prev_inertia) {
+      break;
+    }
+    prev_inertia = result.inertia;
+  }
+  return result;
+}
+
+int32_t NearestCentroid(std::span<const float> point,
+                        std::span<const float> centroids, size_t num_clusters,
+                        size_t dim) {
+  float best = std::numeric_limits<float>::max();
+  int32_t best_c = 0;
+  for (size_t c = 0; c < num_clusters; ++c) {
+    const float d2 =
+        L2DistanceSquared(point, {centroids.data() + c * dim, dim});
+    if (d2 < best) {
+      best = d2;
+      best_c = static_cast<int32_t>(c);
+    }
+  }
+  return best_c;
+}
+
+}  // namespace pqcache

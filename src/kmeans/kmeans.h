@@ -1,0 +1,63 @@
+// Lloyd's K-Means with k-means++ or random-sample seeding, empty-cluster
+// repair, and an iteration cap. This is the clustering engine behind PQ
+// codebook construction (paper Section 3.1 Step 2). The iteration cap is what
+// the adaptive budget of Section 3.3 controls.
+#ifndef PQCACHE_KMEANS_KMEANS_H_
+#define PQCACHE_KMEANS_KMEANS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/threadpool.h"
+
+namespace pqcache {
+
+/// Configuration for one K-Means run.
+struct KMeansOptions {
+  /// Number of clusters (2^b in PQ terms).
+  int num_clusters = 64;
+  /// Upper bound on Lloyd iterations (the paper's T). 0 means "seed only":
+  /// centroids are chosen but no refinement happens.
+  int max_iterations = 10;
+  /// Early-stop when the relative inertia improvement falls below this.
+  double tolerance = 1e-4;
+  /// Seeding strategy. kRandomSample picks distinct input points uniformly;
+  /// kPlusPlus uses D^2 sampling (better starts, costlier).
+  enum class Seeding { kRandomSample, kPlusPlus };
+  Seeding seeding = Seeding::kRandomSample;
+  /// RNG seed for deterministic runs.
+  uint64_t seed = 42;
+  /// Optional pool for parallelizing the assignment step over points.
+  ThreadPool* pool = nullptr;
+};
+
+/// Output of a K-Means run.
+struct KMeansResult {
+  /// Row-major [num_clusters, dim] centroid matrix.
+  std::vector<float> centroids;
+  /// Cluster id per input point, in [0, num_clusters).
+  std::vector<int32_t> assignments;
+  /// Lloyd iterations actually executed (<= max_iterations).
+  int iterations = 0;
+  /// Final sum of squared distances from points to their centroids.
+  double inertia = 0.0;
+};
+
+/// Clusters `n` points of dimension `dim` stored row-major in `data`.
+/// Fails with InvalidArgument when n == 0, dim == 0, or num_clusters < 1.
+/// When n < num_clusters, the surplus centroids duplicate input points, which
+/// keeps PQ code width fixed (codes simply never reference the duplicates).
+Result<KMeansResult> RunKMeans(std::span<const float> data, size_t n,
+                               size_t dim, const KMeansOptions& options);
+
+/// Index of the centroid nearest (L2) to `point`. Centroids are row-major
+/// [num_clusters, dim]. Used to assign PQ codes to evicted local tokens.
+int32_t NearestCentroid(std::span<const float> point,
+                        std::span<const float> centroids, size_t num_clusters,
+                        size_t dim);
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_KMEANS_KMEANS_H_

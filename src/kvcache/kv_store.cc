@@ -1,0 +1,99 @@
+#include "src/kvcache/kv_store.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace pqcache {
+
+TokenSegment KVStore::SegmentOf(size_t token) const {
+  PQC_CHECK_LT(token, size_);
+  if (token < middle_begin_) return TokenSegment::kInitial;
+  if (token < middle_end_) return TokenSegment::kMiddle;
+  return TokenSegment::kLocal;
+}
+
+Status KVStore::AppendPrefill(std::span<const float> keys,
+                              std::span<const float> values, size_t n) {
+  if (prefilled_) {
+    return Status::FailedPrecondition("KVStore: prefill already applied");
+  }
+  if (keys.size() != n * options_.head_dim ||
+      values.size() != n * options_.head_dim) {
+    return Status::InvalidArgument("KVStore: bad prefill tensor sizes");
+  }
+  keys_.reserve(n * options_.head_dim);
+  values_.reserve(n * options_.head_dim);
+  for (size_t i = 0; i < n; ++i) {
+    AppendRow({keys.data() + i * options_.head_dim, options_.head_dim},
+              {values.data() + i * options_.head_dim, options_.head_dim});
+  }
+  prefilled_ = true;
+  RecomputeBoundaries();
+  return Status::OK();
+}
+
+std::optional<int32_t> KVStore::AppendToken(std::span<const float> key,
+                                            std::span<const float> value) {
+  const size_t old_middle_end = middle_end_;
+  AppendRow(key, value);
+  RecomputeBoundaries();
+  if (middle_end_ > old_middle_end) {
+    // Exactly one token can migrate per append.
+    PQC_CHECK_EQ(middle_end_, old_middle_end + 1);
+    return static_cast<int32_t>(old_middle_end);
+  }
+  return std::nullopt;
+}
+
+void KVStore::GetKey(size_t token, std::span<float> out) const {
+  PQC_CHECK_EQ(out.size(), options_.head_dim);
+  const Half* row = keys_.data() + token * options_.head_dim;
+  for (size_t d = 0; d < options_.head_dim; ++d) out[d] = row[d];
+}
+
+void KVStore::GetValue(size_t token, std::span<float> out) const {
+  PQC_CHECK_EQ(out.size(), options_.head_dim);
+  const Half* row = values_.data() + token * options_.head_dim;
+  for (size_t d = 0; d < options_.head_dim; ++d) out[d] = row[d];
+}
+
+std::span<const Half> KVStore::KeyRow(size_t token) const {
+  return {keys_.data() + token * options_.head_dim, options_.head_dim};
+}
+
+std::span<const Half> KVStore::ValueRow(size_t token) const {
+  return {values_.data() + token * options_.head_dim, options_.head_dim};
+}
+
+void KVStore::Gather(std::span<const int32_t> tokens,
+                     std::span<float> keys_out,
+                     std::span<float> values_out) const {
+  const size_t d = options_.head_dim;
+  PQC_CHECK_EQ(keys_out.size(), tokens.size() * d);
+  PQC_CHECK_EQ(values_out.size(), tokens.size() * d);
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    GetKey(static_cast<size_t>(tokens[i]), {keys_out.data() + i * d, d});
+    GetValue(static_cast<size_t>(tokens[i]), {values_out.data() + i * d, d});
+  }
+}
+
+void KVStore::AppendRow(std::span<const float> key,
+                        std::span<const float> value) {
+  PQC_CHECK_EQ(key.size(), options_.head_dim);
+  PQC_CHECK_EQ(value.size(), options_.head_dim);
+  for (size_t d = 0; d < options_.head_dim; ++d) {
+    keys_.push_back(Half(key[d]));
+    values_.push_back(Half(value[d]));
+  }
+  ++size_;
+}
+
+void KVStore::RecomputeBoundaries() {
+  middle_begin_ = std::min(options_.initial_tokens, size_);
+  const size_t local_start =
+      size_ > options_.local_window ? size_ - options_.local_window : 0;
+  middle_end_ = std::max(middle_begin_, local_start);
+}
+
+}  // namespace pqcache

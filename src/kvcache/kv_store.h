@@ -1,0 +1,95 @@
+// Per-(layer, kv-head) KVCache storage with the paper's three-segment
+// partitioning (Section 3.4): initial tokens and local tokens are pinned on
+// GPU; middle tokens live on CPU and are fetched on demand. Keys and values
+// are stored FP16 like the real system, so quantization error and byte
+// accounting match.
+#ifndef PQCACHE_KVCACHE_KV_STORE_H_
+#define PQCACHE_KVCACHE_KV_STORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/tensor/fp16.h"
+
+namespace pqcache {
+
+/// Token-segment layout parameters.
+struct KVStoreOptions {
+  size_t head_dim = 64;       ///< d_h.
+  size_t initial_tokens = 4;  ///< Attention-sink tokens pinned on GPU.
+  size_t local_window = 64;   ///< Most recent tokens pinned on GPU.
+};
+
+/// Which segment a token currently belongs to.
+enum class TokenSegment { kInitial, kMiddle, kLocal };
+
+/// KV storage for one (layer, kv-head) with segment tracking.
+class KVStore {
+ public:
+  explicit KVStore(const KVStoreOptions& options) : options_(options) {}
+
+  const KVStoreOptions& options() const { return options_; }
+  size_t size() const { return size_; }
+  size_t head_dim() const { return options_.head_dim; }
+
+  /// [begin, end) of the middle segment.
+  size_t middle_begin() const { return middle_begin_; }
+  size_t middle_end() const { return middle_end_; }
+  size_t middle_count() const { return middle_end_ - middle_begin_; }
+  size_t local_count() const { return size_ - middle_end_; }
+  size_t initial_count() const { return middle_begin_; }
+
+  TokenSegment SegmentOf(size_t token) const;
+
+  /// Bulk-appends the prefill keys/values (row-major [n, head_dim] floats)
+  /// and establishes segment boundaries. Must be called once, first.
+  Status AppendPrefill(std::span<const float> keys,
+                       std::span<const float> values, size_t n);
+
+  /// Appends one decoded token's KV into the local window. When the window
+  /// overflows, the oldest local token migrates to the middle segment and
+  /// its id is returned so the caller can PQ-encode and offload it
+  /// (Algorithm 2 lines 3-5).
+  std::optional<int32_t> AppendToken(std::span<const float> key,
+                                     std::span<const float> value);
+
+  /// Decodes token i's key / value to float.
+  void GetKey(size_t token, std::span<float> out) const;
+  void GetValue(size_t token, std::span<float> out) const;
+
+  /// Raw FP16 rows (for zero-copy consumers and byte-exact transfers).
+  std::span<const Half> KeyRow(size_t token) const;
+  std::span<const Half> ValueRow(size_t token) const;
+
+  /// Gathers keys and values of `tokens` into row-major float buffers.
+  void Gather(std::span<const int32_t> tokens, std::span<float> keys_out,
+              std::span<float> values_out) const;
+
+  /// FP16 bytes of one token's K+V pair (the unit of fetch traffic).
+  size_t BytesPerToken() const { return 2 * options_.head_dim * sizeof(Half); }
+
+  /// FP16 bytes held by each segment (GPU = initial + local, CPU = middle).
+  size_t GpuBytes() const {
+    return (initial_count() + local_count()) * BytesPerToken();
+  }
+  size_t CpuBytes() const { return middle_count() * BytesPerToken(); }
+
+ private:
+  void AppendRow(std::span<const float> key, std::span<const float> value);
+  void RecomputeBoundaries();
+
+  KVStoreOptions options_;
+  std::vector<Half> keys_;    // [size, head_dim]
+  std::vector<Half> values_;  // [size, head_dim]
+  size_t size_ = 0;
+  size_t middle_begin_ = 0;
+  size_t middle_end_ = 0;
+  bool prefilled_ = false;
+};
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_KVCACHE_KV_STORE_H_

@@ -1,0 +1,69 @@
+// The full model-wide KVCache: a [layers x kv_heads] grid of KVStores plus
+// aggregate byte accounting against the memory hierarchy.
+#ifndef PQCACHE_KVCACHE_LAYERED_KV_CACHE_H_
+#define PQCACHE_KVCACHE_LAYERED_KV_CACHE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/kvcache/kv_store.h"
+
+namespace pqcache {
+
+/// Model-level KVCache shape.
+struct KVCacheConfig {
+  int num_layers = 4;
+  int num_kv_heads = 4;
+  KVStoreOptions store;
+};
+
+/// Owns one KVStore per (layer, kv-head).
+class LayeredKVCache {
+ public:
+  explicit LayeredKVCache(const KVCacheConfig& config) : config_(config) {
+    stores_.reserve(static_cast<size_t>(config.num_layers) *
+                    config.num_kv_heads);
+    for (int l = 0; l < config.num_layers; ++l) {
+      for (int h = 0; h < config.num_kv_heads; ++h) {
+        stores_.push_back(std::make_unique<KVStore>(config.store));
+      }
+    }
+  }
+
+  const KVCacheConfig& config() const { return config_; }
+
+  KVStore& store(int layer, int kv_head) {
+    return *stores_[static_cast<size_t>(layer) * config_.num_kv_heads +
+                    kv_head];
+  }
+  const KVStore& store(int layer, int kv_head) const {
+    return *stores_[static_cast<size_t>(layer) * config_.num_kv_heads +
+                    kv_head];
+  }
+
+  /// Sequence length (identical across stores by construction).
+  size_t size() const { return stores_.empty() ? 0 : stores_[0]->size(); }
+
+  /// Aggregate FP16 bytes pinned on GPU (initial + local across all stores).
+  size_t GpuBytes() const {
+    size_t total = 0;
+    for (const auto& s : stores_) total += s->GpuBytes();
+    return total;
+  }
+
+  /// Aggregate FP16 bytes resident on CPU (middle segments).
+  size_t CpuBytes() const {
+    size_t total = 0;
+    for (const auto& s : stores_) total += s->CpuBytes();
+    return total;
+  }
+
+ private:
+  KVCacheConfig config_;
+  std::vector<std::unique_ptr<KVStore>> stores_;
+};
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_KVCACHE_LAYERED_KV_CACHE_H_

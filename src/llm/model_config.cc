@@ -1,0 +1,83 @@
+#include "src/llm/model_config.h"
+
+namespace pqcache {
+
+Status ModelConfig::Validate() const {
+  if (num_heads <= 0 || num_kv_heads <= 0 || head_dim <= 0) {
+    return Status::InvalidArgument("ModelConfig: non-positive dimensions");
+  }
+  if (num_heads % num_kv_heads != 0) {
+    return Status::InvalidArgument(
+        "ModelConfig: num_kv_heads must divide num_heads (GQA)");
+  }
+  if (vocab_size <= 0 || num_layers <= 0 || ffn_dim <= 0) {
+    return Status::InvalidArgument("ModelConfig: non-positive sizes");
+  }
+  return Status::OK();
+}
+
+ModelConfig ModelConfig::Tiny() {
+  ModelConfig c;
+  c.name = "tiny";
+  c.vocab_size = 256;
+  c.num_layers = 2;
+  c.num_heads = 4;
+  c.num_kv_heads = 2;
+  c.head_dim = 16;
+  c.ffn_dim = 128;
+  return c;
+}
+
+ModelConfig ModelConfig::Small() {
+  ModelConfig c;
+  c.name = "small";
+  c.vocab_size = 1024;
+  c.num_layers = 4;
+  c.num_heads = 8;
+  c.num_kv_heads = 2;
+  c.head_dim = 32;
+  c.ffn_dim = 512;
+  return c;
+}
+
+double ModelProfile::PrefillLayerFlops(double s) const {
+  const double d = hidden_dim;
+  // QKV + output projections: 2*s*d*(d + 2*h_kv*d_h + d) MACs -> ~2x flops.
+  const double proj =
+      2.0 * s * d * (d + 2.0 * num_kv_heads * head_dim + d);
+  // Attention scores + weighted sum: 2 * s^2 * d_h per head (causal halves it).
+  const double attn = 2.0 * 0.5 * s * s * head_dim * num_heads * 2.0;
+  // SwiGLU FFN: three d x ffn matmuls.
+  const double ffn = 2.0 * s * 3.0 * d * ffn_dim;
+  return proj + attn + ffn;
+}
+
+double ModelProfile::DecodeLayerFlops(double s) const {
+  const double d = hidden_dim;
+  const double proj = 2.0 * d * (d + 2.0 * num_kv_heads * head_dim + d);
+  const double attn = 2.0 * s * head_dim * num_heads * 2.0;
+  const double ffn = 2.0 * 3.0 * d * ffn_dim;
+  return proj + attn + ffn;
+}
+
+ModelProfile ModelProfile::Llama2_7B() {
+  return {"llama2-7b", 32, 32, 32, 128, 11008, 4096, 6.7e9};
+}
+
+ModelProfile ModelProfile::Llama2_13B() {
+  return {"llama2-13b", 40, 40, 40, 128, 13824, 5120, 13.0e9};
+}
+
+ModelProfile ModelProfile::Llama3_8B() {
+  return {"llama3.1-8b", 32, 32, 8, 128, 14336, 4096, 8.0e9};
+}
+
+ModelProfile ModelProfile::Llama3_70B() {
+  return {"llama3.1-70b", 80, 64, 8, 128, 28672, 8192, 70.6e9};
+}
+
+ModelProfile ModelProfile::Mistral_7B() {
+  return {"mistral-7b", 32, 32, 8, 128, 14336, 4096, 7.2e9};
+}
+
+}  // namespace pqcache

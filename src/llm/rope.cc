@@ -1,0 +1,25 @@
+#include "src/llm/rope.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace pqcache {
+
+void ApplyRope(std::span<float> vec, size_t position, float theta) {
+  const size_t d = vec.size();
+  PQC_CHECK_EQ(d % 2, size_t{0});
+  for (size_t i = 0; i < d; i += 2) {
+    const float freq =
+        std::pow(theta, -static_cast<float>(i) / static_cast<float>(d));
+    const float angle = static_cast<float>(position) * freq;
+    const float c = std::cos(angle);
+    const float s = std::sin(angle);
+    const float x0 = vec[i];
+    const float x1 = vec[i + 1];
+    vec[i] = x0 * c - x1 * s;
+    vec[i + 1] = x0 * s + x1 * c;
+  }
+}
+
+}  // namespace pqcache

@@ -1,0 +1,16 @@
+// Rotary position embedding (RoPE), applied to query and key vectors before
+// attention. Pairs dimension 2i with 2i+1 and rotates by pos * theta^(-2i/d).
+#ifndef PQCACHE_LLM_ROPE_H_
+#define PQCACHE_LLM_ROPE_H_
+
+#include <cstddef>
+#include <span>
+
+namespace pqcache {
+
+/// Applies RoPE in place to a single head vector of even dimension.
+void ApplyRope(std::span<float> vec, size_t position, float theta);
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_LLM_ROPE_H_

@@ -1,0 +1,342 @@
+#include "src/llm/transformer.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/llm/rope.h"
+#include "src/tensor/ops.h"
+
+namespace pqcache {
+
+namespace {
+
+void FillGaussian(std::vector<float>& w, size_t rows, size_t cols, Rng& rng) {
+  w.assign(rows * cols, 0.0f);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(rows));
+  for (float& v : w) v = rng.Gaussian(0.0f, scale);
+}
+
+float Silu(float x) { return x / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+void FullAttentionBackend::Attend(int /*layer*/, int /*q_head*/,
+                                  std::span<const float> query,
+                                  const KVStore& store, size_t seq_len,
+                                  std::span<float> out) {
+  const size_t d = store.head_dim();
+  std::vector<float> scores(seq_len);
+  std::vector<float> key(d);
+  for (size_t t = 0; t < seq_len; ++t) {
+    store.GetKey(t, key);
+    scores[t] = Dot(query, key);
+  }
+  ScaledSoftmaxInplace(scores, 1.0f / std::sqrt(static_cast<float>(d)));
+  std::fill(out.begin(), out.end(), 0.0f);
+  std::vector<float> value(d);
+  for (size_t t = 0; t < seq_len; ++t) {
+    if (scores[t] == 0.0f) continue;
+    store.GetValue(t, value);
+    for (size_t i = 0; i < d; ++i) out[i] += scores[t] * value[i];
+  }
+}
+
+TransformerModel::TransformerModel(const ModelConfig& config)
+    : config_(config) {}
+
+Result<std::unique_ptr<TransformerModel>> TransformerModel::Create(
+    const ModelConfig& config) {
+  PQC_RETURN_IF_ERROR(config.Validate());
+  std::unique_ptr<TransformerModel> model(new TransformerModel(config));
+  model->InitWeights();
+  return model;
+}
+
+void TransformerModel::InitWeights() {
+  Rng rng(config_.weight_seed);
+  const size_t d = static_cast<size_t>(config_.hidden_dim());
+  const size_t dh = static_cast<size_t>(config_.head_dim);
+  const size_t h = static_cast<size_t>(config_.num_heads);
+  const size_t hkv = static_cast<size_t>(config_.num_kv_heads);
+  const size_t f = static_cast<size_t>(config_.ffn_dim);
+
+  FillGaussian(embedding_, static_cast<size_t>(config_.vocab_size), d, rng);
+  final_norm_.assign(d, 1.0f);
+  layers_.resize(config_.num_layers);
+  for (auto& layer : layers_) {
+    FillGaussian(layer.wq, d, h * dh, rng);
+    FillGaussian(layer.wk, d, hkv * dh, rng);
+    FillGaussian(layer.wv, d, hkv * dh, rng);
+    FillGaussian(layer.wo, h * dh, d, rng);
+    FillGaussian(layer.w_gate, d, f, rng);
+    FillGaussian(layer.w_up, d, f, rng);
+    FillGaussian(layer.w_down, f, d, rng);
+    layer.attn_norm.assign(d, 1.0f);
+    layer.ffn_norm.assign(d, 1.0f);
+  }
+}
+
+void TransformerModel::RmsNorm(std::span<const float> x,
+                               std::span<const float> gain,
+                               std::span<float> out) const {
+  float ms = 0.0f;
+  for (float v : x) ms += v * v;
+  const float inv = 1.0f / std::sqrt(ms / x.size() + 1e-5f);
+  for (size_t i = 0; i < x.size(); ++i) out[i] = x[i] * inv * gain[i];
+}
+
+void TransformerModel::RunFfn(const LayerWeights& layer,
+                              std::span<float> hidden) {
+  const size_t d = static_cast<size_t>(config_.hidden_dim());
+  const size_t f = static_cast<size_t>(config_.ffn_dim);
+  std::vector<float> normed(d);
+  RmsNorm(hidden, layer.ffn_norm, normed);
+  std::vector<float> gate(f), up(f);
+  // w_gate is [d, f] row-major: gate = normed^T * w_gate.
+  for (size_t j = 0; j < f; ++j) gate[j] = 0.0f;
+  for (size_t i = 0; i < d; ++i) {
+    const float x = normed[i];
+    if (x == 0.0f) continue;
+    const float* grow = layer.w_gate.data() + i * f;
+    const float* urow = layer.w_up.data() + i * f;
+    for (size_t j = 0; j < f; ++j) {
+      gate[j] += x * grow[j];
+      up[j] += x * urow[j];
+    }
+  }
+  std::vector<float> act(f);
+  for (size_t j = 0; j < f; ++j) act[j] = Silu(gate[j]) * up[j];
+  // down projection accumulate into hidden (residual).
+  for (size_t j = 0; j < f; ++j) {
+    const float a = act[j];
+    if (a == 0.0f) continue;
+    const float* drow = layer.w_down.data() + j * d;
+    for (size_t i = 0; i < d; ++i) hidden[i] += a * drow[i];
+  }
+}
+
+Result<std::vector<float>> TransformerModel::Prefill(
+    std::span<const int32_t> tokens, LayeredKVCache* cache,
+    const PrefillAttentionObserver& observer) {
+  if (tokens.empty()) {
+    return Status::InvalidArgument("Prefill: empty input");
+  }
+  if (cache->size() != 0) {
+    return Status::FailedPrecondition("Prefill: cache not empty");
+  }
+  const size_t s = tokens.size();
+  const size_t d = static_cast<size_t>(config_.hidden_dim());
+  const size_t dh = static_cast<size_t>(config_.head_dim);
+  const size_t h = static_cast<size_t>(config_.num_heads);
+  const size_t hkv = static_cast<size_t>(config_.num_kv_heads);
+  const int group = config_.gqa_group();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+  // Hidden states for the whole sequence (s x d floats): fine at sim scale.
+  std::vector<float> hidden(s * d);
+  for (size_t t = 0; t < s; ++t) {
+    const int32_t tok = tokens[t];
+    if (tok < 0 || tok >= config_.vocab_size) {
+      return Status::InvalidArgument("Prefill: token out of vocab");
+    }
+    std::memcpy(hidden.data() + t * d,
+                embedding_.data() + static_cast<size_t>(tok) * d,
+                d * sizeof(float));
+  }
+
+  std::vector<float> normed(d), q(h * dh), k(hkv * dh), v(hkv * dh);
+  // Per-layer K/V staging: [s, hkv*dh].
+  std::vector<float> keys(s * hkv * dh), values(s * hkv * dh);
+  std::vector<float> attn_out(h * dh), proj(d);
+
+  for (int l = 0; l < config_.num_layers; ++l) {
+    const LayerWeights& layer = layers_[l];
+    // First pass: project all tokens' q/k/v (keys/values staged per layer).
+    std::vector<float> queries(s * h * dh);
+    for (size_t t = 0; t < s; ++t) {
+      std::span<const float> x(hidden.data() + t * d, d);
+      RmsNorm(x, layer.attn_norm, normed);
+      // q = normed^T * wq ; k, v similarly.
+      std::fill(q.begin(), q.end(), 0.0f);
+      std::fill(k.begin(), k.end(), 0.0f);
+      std::fill(v.begin(), v.end(), 0.0f);
+      for (size_t i = 0; i < d; ++i) {
+        const float xv = normed[i];
+        if (xv == 0.0f) continue;
+        const float* qrow = layer.wq.data() + i * h * dh;
+        for (size_t j = 0; j < h * dh; ++j) q[j] += xv * qrow[j];
+        const float* krow = layer.wk.data() + i * hkv * dh;
+        const float* vrow = layer.wv.data() + i * hkv * dh;
+        for (size_t j = 0; j < hkv * dh; ++j) {
+          k[j] += xv * krow[j];
+          v[j] += xv * vrow[j];
+        }
+      }
+      for (size_t head = 0; head < h; ++head) {
+        ApplyRope({q.data() + head * dh, dh}, t, config_.rope_theta);
+      }
+      for (size_t head = 0; head < hkv; ++head) {
+        ApplyRope({k.data() + head * dh, dh}, t, config_.rope_theta);
+      }
+      std::memcpy(queries.data() + t * h * dh, q.data(),
+                  h * dh * sizeof(float));
+      std::memcpy(keys.data() + t * hkv * dh, k.data(),
+                  hkv * dh * sizeof(float));
+      std::memcpy(values.data() + t * hkv * dh, v.data(),
+                  hkv * dh * sizeof(float));
+    }
+
+    // Append this layer's K/V to the cache (the paper offloads these
+    // asynchronously; timing is handled by the scheduler, data here).
+    for (size_t head = 0; head < hkv; ++head) {
+      std::vector<float> hk(s * dh), hv(s * dh);
+      for (size_t t = 0; t < s; ++t) {
+        std::memcpy(hk.data() + t * dh, keys.data() + t * hkv * dh + head * dh,
+                    dh * sizeof(float));
+        std::memcpy(hv.data() + t * dh,
+                    values.data() + t * hkv * dh + head * dh,
+                    dh * sizeof(float));
+      }
+      PQC_RETURN_IF_ERROR(cache->store(l, static_cast<int>(head))
+                              .AppendPrefill(hk, hv, s));
+    }
+
+    // Second pass: causal attention per token, then FFN.
+    std::vector<float> scores;
+    for (size_t t = 0; t < s; ++t) {
+      std::fill(attn_out.begin(), attn_out.end(), 0.0f);
+      for (size_t head = 0; head < h; ++head) {
+        const size_t kv_head = head / static_cast<size_t>(group);
+        std::span<const float> qh(queries.data() + t * h * dh + head * dh, dh);
+        scores.assign(t + 1, 0.0f);
+        for (size_t u = 0; u <= t; ++u) {
+          scores[u] = Dot(qh, {keys.data() + u * hkv * dh + kv_head * dh, dh});
+        }
+        ScaledSoftmaxInplace(scores, scale);
+        if (observer) {
+          observer(l, static_cast<int>(head), t, scores);
+        }
+        float* out = attn_out.data() + head * dh;
+        for (size_t u = 0; u <= t; ++u) {
+          const float w = scores[u];
+          if (w == 0.0f) continue;
+          const float* val = values.data() + u * hkv * dh + kv_head * dh;
+          for (size_t i = 0; i < dh; ++i) out[i] += w * val[i];
+        }
+      }
+      // Output projection + residual.
+      std::fill(proj.begin(), proj.end(), 0.0f);
+      for (size_t j = 0; j < h * dh; ++j) {
+        const float a = attn_out[j];
+        if (a == 0.0f) continue;
+        const float* orow = layer.wo.data() + j * d;
+        for (size_t i = 0; i < d; ++i) proj[i] += a * orow[i];
+      }
+      float* hrow = hidden.data() + t * d;
+      for (size_t i = 0; i < d; ++i) hrow[i] += proj[i];
+      RunFfn(layer, {hrow, d});
+    }
+  }
+
+  // Classifier over the last hidden state (tied embedding).
+  std::vector<float> final_hidden(d);
+  RmsNorm({hidden.data() + (s - 1) * d, d}, final_norm_, final_hidden);
+  std::vector<float> logits(config_.vocab_size);
+  MatVec(embedding_, final_hidden, logits,
+         static_cast<size_t>(config_.vocab_size), d);
+  return logits;
+}
+
+Result<std::vector<float>> TransformerModel::DecodeStep(
+    int32_t token, size_t position, LayeredKVCache* cache,
+    AttentionBackend* backend) {
+  if (token < 0 || token >= config_.vocab_size) {
+    return Status::InvalidArgument("DecodeStep: token out of vocab");
+  }
+  if (cache->size() != position) {
+    return Status::FailedPrecondition(
+        "DecodeStep: cache size does not match position");
+  }
+  if (backend == nullptr) backend = &full_backend_;
+
+  const size_t d = static_cast<size_t>(config_.hidden_dim());
+  const size_t dh = static_cast<size_t>(config_.head_dim);
+  const size_t h = static_cast<size_t>(config_.num_heads);
+  const size_t hkv = static_cast<size_t>(config_.num_kv_heads);
+  const int group = config_.gqa_group();
+
+  backend->BeginDecodeStep(position);
+
+  std::vector<float> hidden(d);
+  std::memcpy(hidden.data(),
+              embedding_.data() + static_cast<size_t>(token) * d,
+              d * sizeof(float));
+  std::vector<float> normed(d), q(h * dh), k(hkv * dh), v(hkv * dh);
+  std::vector<float> attn_out(h * dh), proj(d), head_out(dh);
+
+  for (int l = 0; l < config_.num_layers; ++l) {
+    const LayerWeights& layer = layers_[l];
+    RmsNorm(hidden, layer.attn_norm, normed);
+    std::fill(q.begin(), q.end(), 0.0f);
+    std::fill(k.begin(), k.end(), 0.0f);
+    std::fill(v.begin(), v.end(), 0.0f);
+    for (size_t i = 0; i < d; ++i) {
+      const float xv = normed[i];
+      if (xv == 0.0f) continue;
+      const float* qrow = layer.wq.data() + i * h * dh;
+      for (size_t j = 0; j < h * dh; ++j) q[j] += xv * qrow[j];
+      const float* krow = layer.wk.data() + i * hkv * dh;
+      const float* vrow = layer.wv.data() + i * hkv * dh;
+      for (size_t j = 0; j < hkv * dh; ++j) {
+        k[j] += xv * krow[j];
+        v[j] += xv * vrow[j];
+      }
+    }
+    for (size_t head = 0; head < h; ++head) {
+      ApplyRope({q.data() + head * dh, dh}, position, config_.rope_theta);
+    }
+    for (size_t head = 0; head < hkv; ++head) {
+      ApplyRope({k.data() + head * dh, dh}, position, config_.rope_theta);
+    }
+    // Append the new token's KV first (it participates in its own attention).
+    for (size_t head = 0; head < hkv; ++head) {
+      cache->store(l, static_cast<int>(head))
+          .AppendToken({k.data() + head * dh, dh}, {v.data() + head * dh, dh});
+    }
+    const size_t seq_len = position + 1;
+    std::fill(attn_out.begin(), attn_out.end(), 0.0f);
+    for (size_t head = 0; head < h; ++head) {
+      const size_t kv_head = head / static_cast<size_t>(group);
+      backend->Attend(l, static_cast<int>(head),
+                      {q.data() + head * dh, dh},
+                      cache->store(l, static_cast<int>(kv_head)), seq_len,
+                      head_out);
+      std::memcpy(attn_out.data() + head * dh, head_out.data(),
+                  dh * sizeof(float));
+    }
+    std::fill(proj.begin(), proj.end(), 0.0f);
+    for (size_t j = 0; j < h * dh; ++j) {
+      const float a = attn_out[j];
+      if (a == 0.0f) continue;
+      const float* orow = layer.wo.data() + j * d;
+      for (size_t i = 0; i < d; ++i) proj[i] += a * orow[i];
+    }
+    for (size_t i = 0; i < d; ++i) hidden[i] += proj[i];
+    RunFfn(layer, hidden);
+  }
+
+  std::vector<float> final_hidden(d);
+  RmsNorm(hidden, final_norm_, final_hidden);
+  std::vector<float> logits(config_.vocab_size);
+  MatVec(embedding_, final_hidden, logits,
+         static_cast<size_t>(config_.vocab_size), d);
+  return logits;
+}
+
+int32_t TransformerModel::GreedyToken(std::span<const float> logits) {
+  return static_cast<int32_t>(ArgMax(logits));
+}
+
+}  // namespace pqcache

@@ -1,0 +1,115 @@
+// A real (small) decoder-only transformer with GQA, RoPE, RMSNorm and SwiGLU,
+// running prefill and autoregressive decode against a LayeredKVCache. Weights
+// are deterministic pseudo-random (no trained checkpoints exist in this
+// environment); every KVCache-management mechanism the paper describes is
+// dimension- and weight-agnostic, so this model exercises the identical code
+// paths. Selective attention plugs in through AttentionBackend.
+#ifndef PQCACHE_LLM_TRANSFORMER_H_
+#define PQCACHE_LLM_TRANSFORMER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/kvcache/layered_kv_cache.h"
+#include "src/llm/model_config.h"
+
+namespace pqcache {
+
+/// Strategy object deciding which cached tokens participate in attention for
+/// one (layer, query-head) at decode time. The default implementation
+/// (FullAttentionBackend) attends to everything; the PQCache engine installs
+/// a selective backend.
+class AttentionBackend {
+ public:
+  virtual ~AttentionBackend() = default;
+
+  /// Computes the attention output for one query head.
+  /// `query` has head_dim entries (RoPE already applied); `store` is the KV
+  /// store of the matching kv head; tokens [0, seq_len) are attendable.
+  /// Writes head_dim outputs.
+  virtual void Attend(int layer, int q_head, std::span<const float> query,
+                      const KVStore& store, size_t seq_len,
+                      std::span<float> out) = 0;
+
+  /// Called once per decode step before any Attend, so backends can run
+  /// per-step work (PQ search, fetch scheduling).
+  virtual void BeginDecodeStep(size_t /*position*/) {}
+};
+
+/// Exact softmax attention over all cached tokens.
+class FullAttentionBackend : public AttentionBackend {
+ public:
+  void Attend(int layer, int q_head, std::span<const float> query,
+              const KVStore& store, size_t seq_len,
+              std::span<float> out) override;
+};
+
+/// Observer invoked during prefill with each token's per-head attention
+/// distribution. Used to collect Fig. 6 statistics and to feed prefill-
+/// attention-based policies (H2O, SnapKV). Heavy for long inputs; optional.
+using PrefillAttentionObserver = std::function<void(
+    int layer, int q_head, size_t query_pos, std::span<const float> scores)>;
+
+/// The transformer model.
+class TransformerModel {
+ public:
+  /// Builds the model with deterministic pseudo-random weights.
+  static Result<std::unique_ptr<TransformerModel>> Create(
+      const ModelConfig& config);
+
+  const ModelConfig& config() const { return config_; }
+
+  /// Runs the prefill phase: computes K/V for all `tokens`, appends them to
+  /// `cache`, and returns the logits of the last position.
+  /// `observer` (optional) sees every attention distribution.
+  Result<std::vector<float>> Prefill(std::span<const int32_t> tokens,
+                                     LayeredKVCache* cache,
+                                     const PrefillAttentionObserver& observer =
+                                         nullptr);
+
+  /// Runs one decode step for `token` at `position`, appending its KV to the
+  /// cache and returning the next-token logits. `backend` selects tokens for
+  /// attention (nullptr = full attention).
+  Result<std::vector<float>> DecodeStep(int32_t token, size_t position,
+                                        LayeredKVCache* cache,
+                                        AttentionBackend* backend = nullptr);
+
+  /// Greedy argmax over logits.
+  static int32_t GreedyToken(std::span<const float> logits);
+
+ private:
+  explicit TransformerModel(const ModelConfig& config);
+  void InitWeights();
+
+  struct LayerWeights {
+    std::vector<float> wq;      // [d, h*dh]
+    std::vector<float> wk;      // [d, hkv*dh]
+    std::vector<float> wv;      // [d, hkv*dh]
+    std::vector<float> wo;      // [h*dh, d]
+    std::vector<float> w_gate;  // [d, f]
+    std::vector<float> w_up;    // [d, f]
+    std::vector<float> w_down;  // [f, d]
+    std::vector<float> attn_norm;  // [d]
+    std::vector<float> ffn_norm;   // [d]
+  };
+
+  // Computes one token's hidden-state update through a layer given its
+  // already-projected q/k/v; shared between prefill and decode.
+  void RunFfn(const LayerWeights& layer, std::span<float> hidden);
+  void RmsNorm(std::span<const float> x, std::span<const float> gain,
+               std::span<float> out) const;
+
+  ModelConfig config_;
+  std::vector<float> embedding_;  // [vocab, d]
+  std::vector<float> final_norm_;
+  std::vector<LayerWeights> layers_;
+  FullAttentionBackend full_backend_;
+};
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_LLM_TRANSFORMER_H_

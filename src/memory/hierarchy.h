@@ -1,0 +1,55 @@
+// The two-tier GPU/CPU memory hierarchy of paper Section 2.3: a small fast
+// pool (HBM), a large slow pool (DRAM), and a bidirectional PCIe link between
+// them. Bundles the pieces the engine and the pipeline simulator share.
+#ifndef PQCACHE_MEMORY_HIERARCHY_H_
+#define PQCACHE_MEMORY_HIERARCHY_H_
+
+#include <memory>
+
+#include "src/memory/link.h"
+#include "src/memory/memory_pool.h"
+
+namespace pqcache {
+
+/// Hardware description for the simulated server.
+struct HardwareConfig {
+  size_t gpu_memory_bytes = 24ull << 30;   ///< RTX 4090-class (paper).
+  size_t cpu_memory_bytes = 500ull << 30;  ///< Paper's host memory.
+  LinkModel pcie = LinkModel::PCIe1x16();  ///< Paper's interconnect.
+  /// CPU-side K-Means worker threads available for PQ construction
+  /// (the paper uses m * h_kv processes x 4 threads on two Xeon 6330s).
+  int cpu_workers = 32;
+};
+
+/// Owning bundle of pools and link timelines.
+class MemoryHierarchy {
+ public:
+  explicit MemoryHierarchy(const HardwareConfig& config)
+      : config_(config),
+        gpu_("gpu", config.gpu_memory_bytes),
+        cpu_("cpu", config.cpu_memory_bytes),
+        h2d_(config.pcie),
+        d2h_(config.pcie) {}
+
+  const HardwareConfig& config() const { return config_; }
+  MemoryPool& gpu() { return gpu_; }
+  MemoryPool& cpu() { return cpu_; }
+  LinkTimeline& h2d() { return h2d_; }  ///< Host-to-device (fetch) direction.
+  LinkTimeline& d2h() { return d2h_; }  ///< Device-to-host (offload) direction.
+
+  void ResetTimelines() {
+    h2d_.Reset();
+    d2h_.Reset();
+  }
+
+ private:
+  HardwareConfig config_;
+  MemoryPool gpu_;
+  MemoryPool cpu_;
+  LinkTimeline h2d_;
+  LinkTimeline d2h_;
+};
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_MEMORY_HIERARCHY_H_

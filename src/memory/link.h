@@ -1,0 +1,76 @@
+// Interconnect timing model. A LinkModel converts bytes to seconds with a
+// base latency plus bandwidth term; a LinkTimeline serializes transfers on a
+// directional link (PCIe up / down), which is what makes "can this
+// communication hide under compute?" a well-posed question in the
+// discrete-event pipeline (paper Fig. 7).
+#ifndef PQCACHE_MEMORY_LINK_H_
+#define PQCACHE_MEMORY_LINK_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pqcache {
+
+/// Half-open time interval in simulated seconds.
+struct Interval {
+  double start = 0.0;
+  double end = 0.0;
+  double duration() const { return end - start; }
+};
+
+/// Bandwidth/latency description of one link direction.
+struct LinkModel {
+  double bandwidth_bytes_per_sec = 4.0e9;  ///< PCIe 1.0 x16 default (paper).
+  double latency_sec = 10e-6;              ///< Per-transfer setup cost.
+
+  double TransferSeconds(double bytes) const {
+    return latency_sec + bytes / bandwidth_bytes_per_sec;
+  }
+
+  /// PCIe generation presets (x16 effective bandwidths).
+  static LinkModel PCIe1x16() { return {4.0e9, 10e-6}; }
+  static LinkModel PCIe3x16() { return {16.0e9, 10e-6}; }
+  static LinkModel PCIe4x16() { return {32.0e9, 10e-6}; }
+  static LinkModel PCIe5x16() { return {64.0e9, 10e-6}; }
+};
+
+/// FIFO occupancy tracking for one link direction: transfers queue behind
+/// each other; a transfer requested at `ready_time` starts at
+/// max(ready_time, link free time).
+class LinkTimeline {
+ public:
+  explicit LinkTimeline(LinkModel model) : model_(model) {}
+
+  const LinkModel& model() const { return model_; }
+  double free_at() const { return free_at_; }
+
+  /// Schedules a transfer of `bytes` that becomes ready at `ready_time`.
+  Interval Schedule(double ready_time, double bytes) {
+    Interval iv;
+    iv.start = ready_time > free_at_ ? ready_time : free_at_;
+    iv.end = iv.start + model_.TransferSeconds(bytes);
+    free_at_ = iv.end;
+    total_bytes_ += bytes;
+    ++num_transfers_;
+    return iv;
+  }
+
+  void Reset() {
+    free_at_ = 0.0;
+    total_bytes_ = 0.0;
+    num_transfers_ = 0;
+  }
+
+  double total_bytes() const { return total_bytes_; }
+  uint64_t num_transfers() const { return num_transfers_; }
+
+ private:
+  LinkModel model_;
+  double free_at_ = 0.0;
+  double total_bytes_ = 0.0;
+  uint64_t num_transfers_ = 0;
+};
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_MEMORY_LINK_H_

@@ -1,0 +1,25 @@
+#include "src/memory/memory_pool.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace pqcache {
+
+Status MemoryPool::Allocate(size_t bytes) {
+  if (used_ + bytes > capacity_) {
+    return Status::OutOfMemory(name_ + ": requested " + std::to_string(bytes) +
+                               " bytes, " + std::to_string(available_bytes()) +
+                               " available");
+  }
+  used_ += bytes;
+  peak_ = std::max(peak_, used_);
+  return Status::OK();
+}
+
+void MemoryPool::Free(size_t bytes) {
+  PQC_CHECK_LE(bytes, used_);
+  used_ -= bytes;
+}
+
+}  // namespace pqcache

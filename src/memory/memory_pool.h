@@ -1,0 +1,57 @@
+// Capacity-accounted memory pools standing in for GPU HBM and CPU DRAM.
+// This environment has no GPU, so "device memory" is a byte-accounting
+// abstraction: allocations fail with OutOfMemory exactly when the real system
+// would, which is what drives KVCache offloading decisions and the H2O OOM
+// behaviour in Fig. 11a.
+#ifndef PQCACHE_MEMORY_MEMORY_POOL_H_
+#define PQCACHE_MEMORY_MEMORY_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace pqcache {
+
+/// A named byte budget with peak tracking.
+class MemoryPool {
+ public:
+  MemoryPool(std::string name, size_t capacity_bytes)
+      : name_(std::move(name)), capacity_(capacity_bytes) {}
+
+  const std::string& name() const { return name_; }
+  size_t capacity_bytes() const { return capacity_; }
+  size_t used_bytes() const { return used_; }
+  size_t peak_bytes() const { return peak_; }
+  size_t available_bytes() const { return capacity_ - used_; }
+
+  /// Reserves `bytes`; fails with OutOfMemory when the pool would overflow.
+  Status Allocate(size_t bytes);
+
+  /// Releases `bytes`. Releasing more than allocated is a bug (checked).
+  void Free(size_t bytes);
+
+  /// Drops all accounting (used by per-request reset).
+  void Reset() { used_ = 0; }
+
+ private:
+  std::string name_;
+  size_t capacity_;
+  size_t used_ = 0;
+  size_t peak_ = 0;
+};
+
+/// Sizes of common LLM artifacts, used for capacity planning (Fig. 1).
+struct KVCacheFootprint {
+  /// Bytes of FP16 KVCache for a model: 2 (K and V) * 2 bytes * layers *
+  /// kv_heads * head_dim * seq_len * batch.
+  static double Bytes(int layers, int kv_heads, int head_dim, double seq_len,
+                      double batch_size) {
+    return 2.0 * 2.0 * layers * kv_heads * head_dim * seq_len * batch_size;
+  }
+};
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_MEMORY_MEMORY_POOL_H_

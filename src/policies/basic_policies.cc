@@ -1,0 +1,53 @@
+#include "src/policies/basic_policies.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "src/tensor/ops.h"
+
+namespace pqcache {
+
+Status FullPolicy::Prepare(const SelectionContext& ctx) {
+  seq_len_ = ctx.budget.seq_len;
+  return Status::OK();
+}
+
+std::vector<int32_t> FullPolicy::Select(int /*step*/,
+                                        std::span<const float> /*query*/) {
+  std::vector<int32_t> all(seq_len_);
+  std::iota(all.begin(), all.end(), 0);
+  return all;
+}
+
+Status OraclePolicy::Prepare(const SelectionContext& ctx) {
+  head_ = ctx.head;
+  budget_ = ctx.budget;
+  return Status::OK();
+}
+
+std::vector<int32_t> OraclePolicy::Select(int /*step*/,
+                                          std::span<const float> query) {
+  const size_t s = budget_.seq_len;
+  const size_t d = head_->dim;
+  std::vector<float> scores(s);
+  for (size_t t = 0; t < s; ++t) {
+    scores[t] = Dot(query, {head_->keys.data() + t * d, d});
+  }
+  std::vector<int32_t> selection = TopKIndices(scores, budget_.selectable());
+  AddAnchors(budget_, &selection);
+  return selection;
+}
+
+Status StreamingLLMPolicy::Prepare(const SelectionContext& ctx) {
+  budget_ = ctx.budget;
+  return Status::OK();
+}
+
+std::vector<int32_t> StreamingLLMPolicy::Select(
+    int /*step*/, std::span<const float> /*query*/) {
+  std::vector<int32_t> selection;
+  AddAnchors(budget_, &selection);
+  return selection;
+}
+
+}  // namespace pqcache

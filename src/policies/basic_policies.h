@@ -1,0 +1,50 @@
+// The trivial reference policies: Full (no compression), Oracle (exact
+// top-k, the paper's upper bound), and StreamingLLM (initial + local only,
+// the LM-Infinite / attention-sink baseline from related work).
+#ifndef PQCACHE_POLICIES_BASIC_POLICIES_H_
+#define PQCACHE_POLICIES_BASIC_POLICIES_H_
+
+#include "src/policies/policy.h"
+
+namespace pqcache {
+
+/// Attends to every previous token.
+class FullPolicy : public SelectionPolicy {
+ public:
+  std::string name() const override { return "Full"; }
+  Status Prepare(const SelectionContext& ctx) override;
+  std::vector<int32_t> Select(int step,
+                              std::span<const float> query) override;
+
+ private:
+  size_t seq_len_ = 0;
+};
+
+/// Exact top-k by true attention scores, per head, each step (paper "Ora").
+class OraclePolicy : public SelectionPolicy {
+ public:
+  std::string name() const override { return "Oracle"; }
+  Status Prepare(const SelectionContext& ctx) override;
+  std::vector<int32_t> Select(int step,
+                              std::span<const float> query) override;
+
+ private:
+  const HeadData* head_ = nullptr;
+  PolicyBudget budget_;
+};
+
+/// Initial + local tokens only (StreamingLLM / LM-Infinite).
+class StreamingLLMPolicy : public SelectionPolicy {
+ public:
+  std::string name() const override { return "StreamingLLM"; }
+  Status Prepare(const SelectionContext& ctx) override;
+  std::vector<int32_t> Select(int step,
+                              std::span<const float> query) override;
+
+ private:
+  PolicyBudget budget_;
+};
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_POLICIES_BASIC_POLICIES_H_

@@ -1,0 +1,67 @@
+#include "src/policies/h2o_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/tensor/ops.h"
+
+namespace pqcache {
+
+Status H2OPolicy::Prepare(const SelectionContext& ctx) {
+  budget_ = ctx.budget;
+  const size_t s = budget_.seq_len;
+
+  // H2O accumulates attention column sums over the prefill (materializing
+  // the score matrix — the FlashAttention incompatibility the latency
+  // experiments charge it for) and retains the heavy hitters plus the
+  // initial tokens and recent window at the budget.
+  accumulated_ = ctx.obs->accumulated();
+  PQC_CHECK_EQ(accumulated_.size(), s);
+
+  const size_t local_start =
+      s > budget_.local_window ? s - budget_.local_window : 0;
+  std::vector<int32_t> candidates;
+  retained_.clear();
+  for (size_t t = 0; t < s; ++t) {
+    if (t < budget_.n_init || t >= local_start) {
+      retained_.push_back(static_cast<int32_t>(t));
+    } else {
+      candidates.push_back(static_cast<int32_t>(t));
+    }
+  }
+  const size_t allowance = budget_.token_budget > retained_.size()
+                               ? budget_.token_budget - retained_.size()
+                               : 0;
+  if (candidates.size() > allowance) {
+    std::nth_element(candidates.begin(), candidates.begin() + allowance,
+                     candidates.end(), [&](int32_t a, int32_t b) {
+                       return accumulated_[static_cast<size_t>(a)] >
+                              accumulated_[static_cast<size_t>(b)];
+                     });
+    candidates.resize(allowance);
+  }
+  retained_.insert(retained_.end(), candidates.begin(), candidates.end());
+  SortUnique(&retained_);
+  return Status::OK();
+}
+
+std::vector<int32_t> H2OPolicy::Select(int /*step*/,
+                                       std::span<const float> /*query*/) {
+  // Evicted tokens are gone for good (the dropping-method property); the
+  // retained set only carries forward.
+  std::vector<int32_t> selection = retained_;
+  AddAnchors(budget_, &selection);
+  return selection;
+}
+
+void H2OPolicy::Observe(int /*step*/, std::span<const float> true_scores) {
+  // Decode-time accumulation over the retained set (scores of evicted
+  // tokens are unobservable to H2O and must not be read).
+  for (int32_t t : retained_) {
+    accumulated_[static_cast<size_t>(t)] +=
+        true_scores[static_cast<size_t>(t)];
+  }
+}
+
+}  // namespace pqcache

@@ -1,0 +1,34 @@
+// H2O (Heavy-Hitter Oracle) baseline: accumulates attention column sums over
+// the prefill and retains the heavy hitters (plus initial + recent tokens)
+// at the token budget. Dropped tokens can never return — the failure mode
+// the paper highlights when importance emerges only at decode time
+// (multi-hop chains, Retr.KV, question-first prompts). The "(C)" variant is
+// realized by the harness inflating the token budget to match offloading
+// methods' memory + transfer (paper Section 4.1.3).
+#ifndef PQCACHE_POLICIES_H2O_POLICY_H_
+#define PQCACHE_POLICIES_H2O_POLICY_H_
+
+#include "src/policies/policy.h"
+
+namespace pqcache {
+
+class H2OPolicy : public SelectionPolicy {
+ public:
+  std::string name() const override { return "H2O"; }
+  Status Prepare(const SelectionContext& ctx) override;
+  std::vector<int32_t> Select(int step,
+                              std::span<const float> query) override;
+  void Observe(int step, std::span<const float> true_scores) override;
+
+  /// Tokens currently retained (exposed for tests).
+  const std::vector<int32_t>& retained() const { return retained_; }
+
+ private:
+  PolicyBudget budget_;
+  std::vector<int32_t> retained_;       // Sorted token ids.
+  std::vector<float> accumulated_;      // Accumulated score per token id.
+};
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_POLICIES_H2O_POLICY_H_

@@ -1,0 +1,96 @@
+#include "src/policies/infllm_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/tensor/ops.h"
+
+namespace pqcache {
+
+Status InfLLMPolicy::Prepare(const SelectionContext& ctx) {
+  budget_ = ctx.budget;
+  head_ = ctx.head;
+  const size_t s = budget_.seq_len;
+  if (reps_override_ > 0) {
+    reps_ = reps_override_;
+  } else {
+    reps_ = std::max(1, static_cast<int>(std::round(budget_.comm_ratio *
+                                                    block_tokens_)));
+  }
+  n_blocks_ = (s + block_tokens_ - 1) / block_tokens_;
+  rep_tokens_.assign(n_blocks_ * static_cast<size_t>(reps_), -1);
+
+  // Representatives: tokens with the highest attention received during
+  // InfLLM's *chunked streaming* prefill — each chunk only attends locally,
+  // so a token's representative score comes from observed queries within a
+  // chunk's reach, not from the question at the end of the prompt. This is
+  // exactly why discretely scattered evidence rarely becomes representative
+  // (paper Section 1).
+  constexpr size_t kChunkReach = 512;
+  std::vector<float> acc(s, 0.0f);
+  for (size_t i = 0; i < ctx.obs->num_queries(); ++i) {
+    const size_t pos = static_cast<size_t>(ctx.obs->positions()[i]);
+    const auto row = ctx.obs->Row(i);
+    const size_t lo = pos > kChunkReach ? pos - kChunkReach : 0;
+    for (size_t t = lo; t <= pos && t < s; ++t) acc[t] += row[t];
+  }
+  std::vector<std::pair<float, int32_t>> block_scores;
+  for (size_t b = 0; b < n_blocks_; ++b) {
+    const size_t lo = b * block_tokens_;
+    const size_t hi = std::min(s, lo + block_tokens_);
+    block_scores.clear();
+    for (size_t t = lo; t < hi; ++t) {
+      block_scores.push_back({acc[t], static_cast<int32_t>(t)});
+    }
+    const size_t take =
+        std::min(block_scores.size(), static_cast<size_t>(reps_));
+    std::partial_sort(block_scores.begin(), block_scores.begin() + take,
+                      block_scores.end(),
+                      [](const auto& a, const auto& b) {
+                        return a.first > b.first;
+                      });
+    for (size_t r = 0; r < take; ++r) {
+      rep_tokens_[b * static_cast<size_t>(reps_) + r] = block_scores[r].second;
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<int32_t> InfLLMPolicy::Select(int /*step*/,
+                                          std::span<const float> query) {
+  const size_t s = budget_.seq_len;
+  const size_t d = head_->dim;
+  // Score each block by the best representative inner product.
+  std::vector<float> block_scores(n_blocks_,
+                                  -std::numeric_limits<float>::infinity());
+  for (size_t b = 0; b < n_blocks_; ++b) {
+    for (int r = 0; r < reps_; ++r) {
+      const int32_t tok = rep_tokens_[b * static_cast<size_t>(reps_) + r];
+      if (tok < 0) continue;
+      const float score =
+          Dot(query, {head_->keys.data() + static_cast<size_t>(tok) * d, d});
+      block_scores[b] = std::max(block_scores[b], score);
+    }
+  }
+  // Greedily take whole blocks until the selectable budget is exhausted.
+  std::vector<int32_t> order = TopKIndices(block_scores, n_blocks_);
+  std::vector<int32_t> selection;
+  size_t remaining = budget_.selectable();
+  for (int32_t b : order) {
+    if (remaining == 0) break;
+    const size_t lo = static_cast<size_t>(b) * block_tokens_;
+    const size_t hi = std::min(s, lo + block_tokens_);
+    for (size_t t = lo; t < hi && remaining > 0; ++t, --remaining) {
+      selection.push_back(static_cast<int32_t>(t));
+    }
+  }
+  AddAnchors(budget_, &selection);
+  return selection;
+}
+
+double InfLLMPolicy::ExtraCommBytesPerStep() const {
+  // Representative tokens' keys fetched per step: n_blocks * reps FP16 keys.
+  return static_cast<double>(n_blocks_) * reps_ * head_->dim * 2.0;
+}
+
+}  // namespace pqcache

@@ -1,0 +1,43 @@
+// InfLLM baseline: the context is partitioned into fixed blocks; each block
+// is summarized by a few representative tokens (the tokens that received the
+// most prefill attention inside the block). At decode time the query scores
+// blocks by their representatives and attends to whole top blocks. The
+// block-contiguity assumption is its weakness: discretely scattered relevant
+// tokens are invisible unless they happen to be representatives (paper
+// Section 1, Fig. 9 failure).
+#ifndef PQCACHE_POLICIES_INFLLM_POLICY_H_
+#define PQCACHE_POLICIES_INFLLM_POLICY_H_
+
+#include "src/policies/policy.h"
+
+namespace pqcache {
+
+class InfLLMPolicy : public SelectionPolicy {
+ public:
+  /// `block_tokens`: block size (paper uses 128).
+  /// `reps_override`: representatives per block; otherwise
+  /// max(1, comm_ratio * block_tokens), the paper's 1-2 per 128.
+  explicit InfLLMPolicy(size_t block_tokens = 128, int reps_override = 0)
+      : block_tokens_(block_tokens), reps_override_(reps_override) {}
+
+  std::string name() const override { return "InfLLM"; }
+  Status Prepare(const SelectionContext& ctx) override;
+  std::vector<int32_t> Select(int step,
+                              std::span<const float> query) override;
+  double ExtraCommBytesPerStep() const override;
+
+  int reps_per_block() const { return reps_; }
+
+ private:
+  size_t block_tokens_;
+  int reps_override_;
+  int reps_ = 1;
+  PolicyBudget budget_;
+  const HeadData* head_ = nullptr;
+  std::vector<int32_t> rep_tokens_;  // [n_blocks * reps_], -1 padded.
+  size_t n_blocks_ = 0;
+};
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_POLICIES_INFLLM_POLICY_H_

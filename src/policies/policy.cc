@@ -1,0 +1,81 @@
+#include "src/policies/policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/tensor/ops.h"
+
+namespace pqcache {
+
+PrefillObservation::PrefillObservation(const HeadData& head, size_t seq_len)
+    : seq_len_(seq_len) {
+  const size_t d = head.dim;
+  const size_t n_obs = head.obs_positions.size();
+  positions_ = head.obs_positions;
+  rows_.assign(n_obs * seq_len_, 0.0f);
+  accumulated_.assign(seq_len_, 0.0f);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+  int32_t prev_pos = -1;
+  for (size_t i = 0; i < n_obs; ++i) {
+    const size_t pos = static_cast<size_t>(positions_[i]);
+    PQC_CHECK_LT(pos, seq_len_);
+    std::span<const float> q(head.obs_queries.data() + i * d, d);
+    float* row = rows_.data() + i * seq_len_;
+    // Causal: query at pos attends to [0, pos].
+    for (size_t t = 0; t <= pos; ++t) {
+      row[t] = Dot(q, {head.keys.data() + t * d, d});
+    }
+    ScaledSoftmaxInplace({row, pos + 1}, scale);
+    // Each sampled query stands in for the real queries back to the
+    // previous sample. Real ambient attention rows are diverse — the
+    // represented queries do not all concentrate on the same tokens — so
+    // the effective per-token dilution grows sub-linearly in the gap
+    // (sqrt). This is what makes H2O's full-prefill accumulation properly
+    // diluted by ambient attention (it loses weak signals like Retr.KV's
+    // pairs) without drowning strong question-marked evidence, unlike
+    // SnapKV's focused last window.
+    const float weight =
+        std::sqrt(static_cast<float>(positions_[i] - prev_pos));
+    prev_pos = positions_[i];
+    for (size_t t = 0; t <= pos; ++t) accumulated_[t] += weight * row[t];
+  }
+}
+
+std::vector<float> PrefillObservation::LastWindowScores(
+    size_t window_tokens) const {
+  std::vector<float> out(seq_len_, 0.0f);
+  const size_t cutoff =
+      seq_len_ > window_tokens ? seq_len_ - window_tokens : 0;
+  for (size_t i = 0; i < positions_.size(); ++i) {
+    if (static_cast<size_t>(positions_[i]) < cutoff) continue;
+    const float* row = rows_.data() + i * seq_len_;
+    for (size_t t = 0; t < seq_len_; ++t) out[t] += row[t];
+  }
+  return out;
+}
+
+std::span<const float> PrefillObservation::Row(size_t i) const {
+  return {rows_.data() + i * seq_len_, seq_len_};
+}
+
+void SelectionPolicy::AddAnchors(const PolicyBudget& budget,
+                                 std::vector<int32_t>* selection) {
+  for (size_t t = 0; t < std::min(budget.n_init, budget.seq_len); ++t) {
+    selection->push_back(static_cast<int32_t>(t));
+  }
+  const size_t local_start = budget.seq_len > budget.local_window
+                                 ? budget.seq_len - budget.local_window
+                                 : 0;
+  for (size_t t = local_start; t < budget.seq_len; ++t) {
+    selection->push_back(static_cast<int32_t>(t));
+  }
+  SortUnique(selection);
+}
+
+void SortUnique(std::vector<int32_t>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+}  // namespace pqcache

@@ -1,0 +1,122 @@
+// Selective-attention policy interface. A policy decides, at every decode
+// step, which previous tokens participate in attention for one (layer, head)
+// under a token budget and a communication budget — the axis along which the
+// paper compares PQCache with KVCache-dropping (H2O, SnapKV, PyramidKV) and
+// KVCache-offloading (SPARQ, InfLLM) baselines.
+//
+// Information-access convention (enforced by code review, not the type
+// system): every policy receives the full per-head tensors in its
+// SelectionContext, but may only use what its real counterpart could see:
+//   - Full/StreamingLLM: positions only.
+//   - Oracle: exact scores (that is its definition).
+//   - H2O/SnapKV/PyramidKV: prefill attention observations + own history.
+//   - SPARQ: r query dimensions' worth of key data per step.
+//   - InfLLM: representative tokens' keys per block.
+//   - PQCache: keys at prefill time (CPU-side clustering) and PQ structures
+//     at decode time.
+#ifndef PQCACHE_POLICIES_POLICY_H_
+#define PQCACHE_POLICIES_POLICY_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/threadpool.h"
+#include "src/workload/generator.h"
+
+namespace pqcache {
+
+/// Token and communication budgets for one head.
+struct PolicyBudget {
+  size_t token_budget = 0;   ///< Selected tokens incl. initial + local.
+  double comm_ratio = 1.0 / 128;  ///< Extra comm as a fraction of key bytes.
+  size_t n_init = 4;
+  size_t local_window = 64;
+  size_t seq_len = 0;
+
+  /// Middle tokens the policy may choose freely.
+  size_t selectable() const {
+    const size_t reserved = n_init + local_window;
+    return token_budget > reserved ? token_budget - reserved : 0;
+  }
+};
+
+/// Prefill-attention statistics shared by prefill-snooping policies.
+/// Computes causal softmax rows for every observed query once per head.
+class PrefillObservation {
+ public:
+  PrefillObservation(const HeadData& head, size_t seq_len);
+
+  /// Sum of attention rows over all observed queries (H2O-style
+  /// accumulated score signal; also used for InfLLM representatives).
+  const std::vector<float>& accumulated() const { return accumulated_; }
+
+  /// Sum of attention rows over observed queries positioned in the last
+  /// `window_tokens` positions (SnapKV's observation window).
+  std::vector<float> LastWindowScores(size_t window_tokens) const;
+
+  /// Observed query count and their positions.
+  size_t num_queries() const { return positions_.size(); }
+  std::span<const int32_t> positions() const { return positions_; }
+
+  /// Softmax attention row of observed query `i` (over tokens [0, pos_i]).
+  std::span<const float> Row(size_t i) const;
+
+ private:
+  size_t seq_len_;
+  std::vector<int32_t> positions_;
+  std::vector<float> rows_;  // Concatenated rows, each padded to seq_len_.
+  std::vector<float> accumulated_;
+};
+
+/// Everything a policy may inspect when preparing for decode.
+struct SelectionContext {
+  const TaskSpec* spec = nullptr;
+  const InstanceLayout* layout = nullptr;
+  const HeadData* head = nullptr;
+  const PrefillObservation* obs = nullptr;
+  PolicyBudget budget;
+  int head_idx = 0;   ///< Virtual (layer, head) index; doubles as layer id.
+  int n_heads = 1;    ///< Total virtual heads (= virtual layers).
+  ThreadPool* pool = nullptr;
+};
+
+/// Base class for all selective-attention policies.
+class SelectionPolicy {
+ public:
+  virtual ~SelectionPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Builds per-head state from the prefill (PQ training, heavy-hitter
+  /// eviction, observation-window analysis, block representatives...).
+  virtual Status Prepare(const SelectionContext& ctx) = 0;
+
+  /// Returns the token ids attending at decode step `step` for this head.
+  /// `query` is the current decode query (RoPE-free workload space).
+  virtual std::vector<int32_t> Select(int step,
+                                      std::span<const float> query) = 0;
+
+  /// Feedback after the step: the true softmax scores over all tokens.
+  /// Adaptive policies (H2O) may use the entries of their retained set only.
+  virtual void Observe(int /*step*/, std::span<const float> /*scores*/) {}
+
+  /// Non-overlappable extra communication bytes this policy incurs per
+  /// decode step (Fig. 10d / latency accounting).
+  virtual double ExtraCommBytesPerStep() const { return 0.0; }
+
+ protected:
+  /// Appends initial and local tokens to a selection (dedup by sort-unique).
+  static void AddAnchors(const PolicyBudget& budget,
+                         std::vector<int32_t>* selection);
+};
+
+/// Convenience: sorted unique selection.
+void SortUnique(std::vector<int32_t>* v);
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_POLICIES_POLICY_H_

@@ -1,0 +1,82 @@
+#include "src/policies/pqcache_policy.h"
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+#include "src/tensor/ops.h"
+
+namespace pqcache {
+
+Status PQCachePolicy::Prepare(const SelectionContext& ctx) {
+  budget_ = ctx.budget;
+  const HeadData& head = *ctx.head;
+  const size_t s = budget_.seq_len;
+  const size_t d = head.dim;
+
+  // Middle region = everything outside the pinned anchors.
+  middle_begin_ = budget_.n_init;
+  middle_end_ = s > budget_.local_window ? s - budget_.local_window : 0;
+  middle_end_ = std::max(middle_end_, middle_begin_);
+  const size_t n_middle = middle_end_ - middle_begin_;
+  if (n_middle == 0) {
+    index_ = PQIndex();
+    return Status::OK();
+  }
+
+  PQConfig config;
+  config.num_partitions = options_.num_partitions;
+  config.bits = options_.bits;
+  config.dim = d;
+  PQC_RETURN_IF_ERROR(config.Validate());
+
+  // Train on a uniform subsample of the middle keys (caps clustering cost).
+  const float* middle_keys = head.keys.data() + middle_begin_ * d;
+  KMeansOptions kmeans;
+  kmeans.max_iterations = options_.kmeans_iterations;
+  kmeans.seed = options_.seed;
+  Result<PQCodebook> book = [&]() -> Result<PQCodebook> {
+    if (n_middle <= options_.train_subsample) {
+      return PQCodebook::Train({middle_keys, n_middle * d}, n_middle, config,
+                               kmeans, ctx.pool);
+    }
+    Rng rng(options_.seed, 0x7A91);
+    const size_t n_train = options_.train_subsample;
+    std::vector<float> sample(n_train * d);
+    for (size_t i = 0; i < n_train; ++i) {
+      const size_t src = rng.UniformInt(n_middle);
+      std::copy(middle_keys + src * d, middle_keys + (src + 1) * d,
+                sample.begin() + i * d);
+    }
+    return PQCodebook::Train(sample, n_train, config, kmeans, ctx.pool);
+  }();
+  if (!book.ok()) return book.status();
+
+  index_ = PQIndex(std::move(book).value());
+  index_.AddVectors({middle_keys, n_middle * d}, n_middle);
+  scores_.assign(n_middle, 0.0f);
+  table_.assign(static_cast<size_t>(config.num_partitions) *
+                    config.num_centroids(),
+                0.0f);
+  return Status::OK();
+}
+
+std::vector<int32_t> PQCachePolicy::Select(int /*step*/,
+                                           std::span<const float> query) {
+  std::vector<int32_t> selection;
+  if (index_.size() > 0) {
+    index_.ApproxInnerProductsWithTable(query, table_, scores_);
+    selection = TopKIndices(scores_, budget_.selectable());
+    // Scores index the middle region; shift to absolute token ids.
+    for (int32_t& t : selection) t += static_cast<int32_t>(middle_begin_);
+  }
+  AddAnchors(budget_, &selection);
+  return selection;
+}
+
+double PQCachePolicy::ExtraCommBytesPerStep() const {
+  // PQ codes fetched per step (overlappable with the previous layer's
+  // compute; counted here for the communication-budget bookkeeping).
+  return index_.LogicalCodeBytes();
+}
+
+}  // namespace pqcache

@@ -1,0 +1,52 @@
+// The paper's method as a selection policy: train per-head PQ on the middle
+// tokens' keys during prefill (K-Means on CPU, iteration budget adjustable /
+// adaptive), then at each decode step score all middle tokens through the PQ
+// centroid tables and codes, fetch the approximate top-k, and attend to them
+// together with the initial and local anchors.
+#ifndef PQCACHE_POLICIES_PQCACHE_POLICY_H_
+#define PQCACHE_POLICIES_PQCACHE_POLICY_H_
+
+#include "src/policies/policy.h"
+#include "src/pq/pq_index.h"
+
+namespace pqcache {
+
+/// Knobs for the PQCache policy.
+struct PQCachePolicyOptions {
+  int num_partitions = 2;  ///< m (paper: 2 on LongBench, 4 on InfiniteBench).
+  int bits = 6;            ///< b (paper: 6 on LongBench, 8 on InfiniteBench).
+  /// Lloyd iterations for codebook training. The engine's adaptive budget
+  /// (Eq. 3) feeds this; quality sweeps (Fig. 12c) set it directly.
+  int kmeans_iterations = 8;
+  /// K-Means training subsample cap: clustering trains on at most this many
+  /// middle keys (standard practice; keeps prefill-side cost linear).
+  size_t train_subsample = 16384;
+  uint64_t seed = 7;
+};
+
+class PQCachePolicy : public SelectionPolicy {
+ public:
+  explicit PQCachePolicy(const PQCachePolicyOptions& options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "PQCache"; }
+  Status Prepare(const SelectionContext& ctx) override;
+  std::vector<int32_t> Select(int step,
+                              std::span<const float> query) override;
+  double ExtraCommBytesPerStep() const override;
+
+  const PQIndex& index() const { return index_; }
+
+ private:
+  PQCachePolicyOptions options_;
+  PolicyBudget budget_;
+  size_t middle_begin_ = 0;
+  size_t middle_end_ = 0;
+  PQIndex index_;
+  std::vector<float> scores_;  // Scratch: middle-token scores.
+  std::vector<float> table_;   // Scratch: ADC table.
+};
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_POLICIES_PQCACHE_POLICY_H_

@@ -1,0 +1,49 @@
+#include "src/policies/snapkv_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/tensor/ops.h"
+
+namespace pqcache {
+
+double SnapKVPolicy::LayerBudgetFactor(
+    const SelectionContext& /*ctx*/) const {
+  return 1.0;
+}
+
+double PyramidKVPolicy::LayerBudgetFactor(const SelectionContext& ctx) const {
+  // Linear schedule from 1.5x at the first layer to 0.5x at the last; the
+  // average budget over layers matches SnapKV's.
+  if (ctx.n_heads <= 1) return 1.0;
+  const double frac =
+      static_cast<double>(ctx.head_idx) / (ctx.n_heads - 1);
+  return 1.5 - frac;
+}
+
+Status SnapKVPolicy::Prepare(const SelectionContext& ctx) {
+  budget_ = ctx.budget;
+  const size_t s = budget_.seq_len;
+
+  // Attention received from the observation window at the prompt tail.
+  std::vector<float> scores = ctx.obs->LastWindowScores(observation_window_);
+  // Max-pool to preserve the neighborhoods of high-scoring tokens.
+  std::vector<float> pooled(s);
+  MaxPool1DSame(scores, pooled, pool_kernel_ | 1);
+
+  const double factor = LayerBudgetFactor(ctx);
+  const size_t selectable = static_cast<size_t>(
+      std::max(0.0, std::floor(budget_.selectable() * factor)));
+  kept_ = TopKIndices(pooled, selectable);
+  AddAnchors(budget_, &kept_);
+  return Status::OK();
+}
+
+std::vector<int32_t> SnapKVPolicy::Select(int /*step*/,
+                                          std::span<const float> /*query*/) {
+  // The compressed cache is fixed after prefill; decode tokens would be
+  // appended in the real system and are covered by the local anchor window.
+  return kept_;
+}
+
+}  // namespace pqcache

@@ -1,0 +1,52 @@
+// SnapKV and PyramidKV baselines. SnapKV scores every prompt token by the
+// attention it receives from the prompt's last observation window, smooths
+// the scores with 1-D max pooling (to keep span neighborhoods together), and
+// keeps the top tokens — a fixed compressed cache for all of decoding. It is
+// strong when the question sits at the end of the prompt and collapses when
+// it does not (paper Table 3). PyramidKV is SnapKV with per-layer budgets
+// that shrink with depth.
+#ifndef PQCACHE_POLICIES_SNAPKV_POLICY_H_
+#define PQCACHE_POLICIES_SNAPKV_POLICY_H_
+
+#include "src/policies/policy.h"
+
+namespace pqcache {
+
+class SnapKVPolicy : public SelectionPolicy {
+ public:
+  /// `observation_window`: prompt-tail positions whose queries are analyzed.
+  /// `pool_kernel`: max-pooling width over token scores (odd).
+  explicit SnapKVPolicy(size_t observation_window = 64,
+                        size_t pool_kernel = 7)
+      : observation_window_(observation_window), pool_kernel_(pool_kernel) {}
+
+  std::string name() const override { return "SnapKV"; }
+  Status Prepare(const SelectionContext& ctx) override;
+  std::vector<int32_t> Select(int step,
+                              std::span<const float> query) override;
+
+ protected:
+  /// Budget multiplier hook for PyramidKV.
+  virtual double LayerBudgetFactor(const SelectionContext& ctx) const;
+
+ private:
+  size_t observation_window_;
+  size_t pool_kernel_;
+  PolicyBudget budget_;
+  std::vector<int32_t> kept_;  // Fixed compressed set (sorted).
+};
+
+/// PyramidKV: SnapKV with linearly decaying budgets over layers — more
+/// budget to lower layers, less to higher (paper Section 4.1.3).
+class PyramidKVPolicy : public SnapKVPolicy {
+ public:
+  using SnapKVPolicy::SnapKVPolicy;
+  std::string name() const override { return "PyramidKV"; }
+
+ protected:
+  double LayerBudgetFactor(const SelectionContext& ctx) const override;
+};
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_POLICIES_SNAPKV_POLICY_H_

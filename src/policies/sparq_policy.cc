@@ -1,0 +1,52 @@
+#include "src/policies/sparq_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/tensor/ops.h"
+
+namespace pqcache {
+
+Status SPARQPolicy::Prepare(const SelectionContext& ctx) {
+  budget_ = ctx.budget;
+  head_ = ctx.head;
+  if (rank_override_ > 0) {
+    rank_ = rank_override_;
+  } else {
+    // r dims of FP16 keys per token cost r/d of the key bytes.
+    rank_ = std::max(
+        1, static_cast<int>(std::round(budget_.comm_ratio * head_->dim)));
+  }
+  rank_ = std::min<int>(rank_, static_cast<int>(head_->dim));
+  return Status::OK();
+}
+
+std::vector<int32_t> SPARQPolicy::Select(int /*step*/,
+                                         std::span<const float> query) {
+  const size_t s = budget_.seq_len;
+  const size_t d = head_->dim;
+  // Top-r |q| dimensions.
+  std::vector<float> mags(d);
+  for (size_t i = 0; i < d; ++i) mags[i] = std::abs(query[i]);
+  std::vector<int32_t> dims = TopKIndices(mags, static_cast<size_t>(rank_));
+
+  // Partial inner products using only those dimensions of each key.
+  std::vector<float> scores(s, 0.0f);
+  for (int32_t dim : dims) {
+    const float qv = query[static_cast<size_t>(dim)];
+    const float* col = head_->keys.data() + static_cast<size_t>(dim);
+    for (size_t t = 0; t < s; ++t) {
+      scores[t] += qv * col[t * d];
+    }
+  }
+  std::vector<int32_t> selection = TopKIndices(scores, budget_.selectable());
+  AddAnchors(budget_, &selection);
+  return selection;
+}
+
+double SPARQPolicy::ExtraCommBytesPerStep() const {
+  // r FP16 values per key, for every token, each step, not overlappable.
+  return static_cast<double>(budget_.seq_len) * rank_ * 2.0;
+}
+
+}  // namespace pqcache

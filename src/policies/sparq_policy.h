@@ -1,0 +1,36 @@
+// SPARQ baseline: at each decode step, take the r dimensions of the query
+// with the largest magnitude, fetch those dimensions of every key from CPU,
+// and rank tokens by the partial inner product. Effective with generous r,
+// but its per-step communication (s * r values) cannot be overlapped because
+// it depends on the just-computed query — the paper's Fig. 11 latency story.
+#ifndef PQCACHE_POLICIES_SPARQ_POLICY_H_
+#define PQCACHE_POLICIES_SPARQ_POLICY_H_
+
+#include "src/policies/policy.h"
+
+namespace pqcache {
+
+class SPARQPolicy : public SelectionPolicy {
+ public:
+  /// `rank_override` forces r; otherwise r = max(1, comm_ratio * dim).
+  explicit SPARQPolicy(int rank_override = 0)
+      : rank_override_(rank_override) {}
+
+  std::string name() const override { return "SPARQ"; }
+  Status Prepare(const SelectionContext& ctx) override;
+  std::vector<int32_t> Select(int step,
+                              std::span<const float> query) override;
+  double ExtraCommBytesPerStep() const override;
+
+  int rank() const { return rank_; }
+
+ private:
+  int rank_override_;
+  int rank_ = 1;
+  PolicyBudget budget_;
+  const HeadData* head_ = nullptr;
+};
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_POLICIES_SPARQ_POLICY_H_

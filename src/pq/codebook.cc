@@ -1,0 +1,159 @@
+#include "src/pq/codebook.h"
+
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/tensor/ops.h"
+
+namespace pqcache {
+
+Status PQConfig::Validate() const {
+  if (num_partitions < 1) {
+    return Status::InvalidArgument("PQConfig: num_partitions must be >= 1");
+  }
+  if (bits < 1 || bits > 16) {
+    return Status::InvalidArgument("PQConfig: bits must be in [1, 16]");
+  }
+  if (dim == 0 || dim % static_cast<size_t>(num_partitions) != 0) {
+    return Status::InvalidArgument(
+        "PQConfig: num_partitions must divide dim");
+  }
+  return Status::OK();
+}
+
+Result<PQCodebook> PQCodebook::Train(std::span<const float> vectors, size_t n,
+                                     const PQConfig& config,
+                                     const KMeansOptions& kmeans,
+                                     ThreadPool* pool) {
+  PQC_RETURN_IF_ERROR(config.Validate());
+  if (n == 0) return Status::InvalidArgument("PQCodebook::Train: no vectors");
+  if (vectors.size() != n * config.dim) {
+    return Status::InvalidArgument("PQCodebook::Train: bad vectors size");
+  }
+
+  const int m = config.num_partitions;
+  const size_t sub = config.sub_dim();
+  const size_t kc = static_cast<size_t>(config.num_centroids());
+
+  PQCodebook book;
+  book.config_ = config;
+  book.centroids_.assign(static_cast<size_t>(m) * kc * sub, 0.0f);
+  book.iterations_.assign(m, 0);
+
+  std::vector<Status> statuses(m, Status::OK());
+  auto train_partition = [&](size_t p) {
+    // Gather the p-th sub-vector of every input into a contiguous buffer.
+    std::vector<float> subdata(n * sub);
+    for (size_t i = 0; i < n; ++i) {
+      std::memcpy(subdata.data() + i * sub,
+                  vectors.data() + i * config.dim + p * sub,
+                  sub * sizeof(float));
+    }
+    KMeansOptions opts = kmeans;
+    opts.num_clusters = config.num_centroids();
+    opts.seed = kmeans.seed + 0x9E37u * (p + 1);
+    opts.pool = nullptr;  // Partition-level parallelism only.
+    auto res = RunKMeans(subdata, n, sub, opts);
+    if (!res.ok()) {
+      statuses[p] = res.status();
+      return;
+    }
+    std::memcpy(book.centroids_.data() + p * kc * sub,
+                res.value().centroids.data(), kc * sub * sizeof(float));
+    book.iterations_[p] = res.value().iterations;
+  };
+
+  if (pool != nullptr && m > 1) {
+    ParallelFor(*pool, 0, static_cast<size_t>(m), train_partition);
+  } else {
+    for (int p = 0; p < m; ++p) train_partition(static_cast<size_t>(p));
+  }
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return book;
+}
+
+Result<PQCodebook> PQCodebook::FromParts(const PQConfig& config,
+                                         std::vector<float> centroids) {
+  PQC_RETURN_IF_ERROR(config.Validate());
+  const size_t expected = static_cast<size_t>(config.num_partitions) *
+                          static_cast<size_t>(config.num_centroids()) *
+                          config.sub_dim();
+  if (centroids.size() != expected) {
+    return Status::InvalidArgument("PQCodebook::FromParts: bad centroid size");
+  }
+  PQCodebook book;
+  book.config_ = config;
+  book.centroids_ = std::move(centroids);
+  book.iterations_.assign(static_cast<size_t>(config.num_partitions), 0);
+  return book;
+}
+
+std::span<const float> PQCodebook::PartitionCentroids(int partition) const {
+  const size_t kc = static_cast<size_t>(config_.num_centroids());
+  const size_t sub = config_.sub_dim();
+  return {centroids_.data() + static_cast<size_t>(partition) * kc * sub,
+          kc * sub};
+}
+
+std::span<float> PQCodebook::MutablePartitionCentroids(int partition) {
+  const size_t kc = static_cast<size_t>(config_.num_centroids());
+  const size_t sub = config_.sub_dim();
+  return {centroids_.data() + static_cast<size_t>(partition) * kc * sub,
+          kc * sub};
+}
+
+void PQCodebook::Encode(std::span<const float> vec,
+                        std::span<uint16_t> codes) const {
+  PQC_CHECK_EQ(vec.size(), config_.dim);
+  PQC_CHECK_EQ(codes.size(), static_cast<size_t>(config_.num_partitions));
+  const size_t sub = config_.sub_dim();
+  const size_t kc = static_cast<size_t>(config_.num_centroids());
+  for (int p = 0; p < config_.num_partitions; ++p) {
+    codes[p] = static_cast<uint16_t>(
+        NearestCentroid({vec.data() + p * sub, sub}, PartitionCentroids(p),
+                        kc, sub));
+  }
+}
+
+void PQCodebook::EncodeBatch(std::span<const float> vecs, size_t n,
+                             std::span<uint16_t> codes) const {
+  PQC_CHECK_EQ(vecs.size(), n * config_.dim);
+  PQC_CHECK_EQ(codes.size(), n * static_cast<size_t>(config_.num_partitions));
+  const int m = config_.num_partitions;
+  for (size_t i = 0; i < n; ++i) {
+    Encode({vecs.data() + i * config_.dim, config_.dim},
+           {codes.data() + i * m, static_cast<size_t>(m)});
+  }
+}
+
+void PQCodebook::Decode(std::span<const uint16_t> codes,
+                        std::span<float> out) const {
+  PQC_CHECK_EQ(codes.size(), static_cast<size_t>(config_.num_partitions));
+  PQC_CHECK_EQ(out.size(), config_.dim);
+  const size_t sub = config_.sub_dim();
+  for (int p = 0; p < config_.num_partitions; ++p) {
+    std::span<const float> table = PartitionCentroids(p);
+    std::memcpy(out.data() + p * sub, table.data() + size_t{codes[p]} * sub,
+                sub * sizeof(float));
+  }
+}
+
+void PQCodebook::BuildInnerProductTable(std::span<const float> query,
+                                        std::span<float> table) const {
+  PQC_CHECK_EQ(query.size(), config_.dim);
+  const size_t kc = static_cast<size_t>(config_.num_centroids());
+  PQC_CHECK_EQ(table.size(), static_cast<size_t>(config_.num_partitions) * kc);
+  const size_t sub = config_.sub_dim();
+  for (int p = 0; p < config_.num_partitions; ++p) {
+    std::span<const float> cents = PartitionCentroids(p);
+    std::span<const float> q{query.data() + p * sub, sub};
+    float* out = table.data() + static_cast<size_t>(p) * kc;
+    for (size_t c = 0; c < kc; ++c) {
+      out[c] = Dot(q, {cents.data() + c * sub, sub});
+    }
+  }
+}
+
+}  // namespace pqcache

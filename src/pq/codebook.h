@@ -1,0 +1,102 @@
+// Product Quantization codebook (paper Section 2.2 / 3.1). A vector of
+// dimension d is split into m sub-vectors of dimension d/m; each sub-space is
+// clustered into 2^b centroids; a vector is represented by m b-bit codes.
+#ifndef PQCACHE_PQ_CODEBOOK_H_
+#define PQCACHE_PQ_CODEBOOK_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/threadpool.h"
+#include "src/kmeans/kmeans.h"
+
+namespace pqcache {
+
+/// Shape of a PQ quantizer: m sub-spaces, b bits per code, input dim.
+struct PQConfig {
+  int num_partitions = 2;  ///< m in the paper.
+  int bits = 6;            ///< b in the paper; codes take b bits each.
+  size_t dim = 64;         ///< Full vector dimension (d_h per head).
+
+  int num_centroids() const { return 1 << bits; }
+  size_t sub_dim() const { return dim / static_cast<size_t>(num_partitions); }
+
+  /// Storage/communication cost of one vector's codes in bytes (m*b/8).
+  /// The paper budgets extra communication as a fraction m*b/(16*d_h) of the
+  /// FP16 key bytes; this is the numerator.
+  double code_bytes_per_vector() const {
+    return num_partitions * bits / 8.0;
+  }
+
+  /// Validates m >= 1, 1 <= b <= 16, and m divides dim.
+  Status Validate() const;
+};
+
+/// Trained PQ centroids for one (layer, head). Codes reference rows of the
+/// per-partition centroid tables.
+class PQCodebook {
+ public:
+  PQCodebook() = default;
+
+  /// Trains per-partition K-Means on `n` row-major `config.dim`-dimensional
+  /// vectors. `kmeans.max_iterations` is the adaptive budget T. Partitions
+  /// train in parallel on `pool` when provided (the paper runs h_kv * m
+  /// clustering processes concurrently).
+  static Result<PQCodebook> Train(std::span<const float> vectors, size_t n,
+                                  const PQConfig& config,
+                                  const KMeansOptions& kmeans,
+                                  ThreadPool* pool = nullptr);
+
+  const PQConfig& config() const { return config_; }
+  bool trained() const { return !centroids_.empty(); }
+
+  /// Lloyd iterations executed per partition during training.
+  const std::vector<int>& iterations_per_partition() const {
+    return iterations_;
+  }
+
+  /// Row-major [2^b, sub_dim] centroid table of one partition.
+  std::span<const float> PartitionCentroids(int partition) const;
+
+  /// Mutable access for deserialization / testing.
+  std::span<float> MutablePartitionCentroids(int partition);
+
+  /// Encodes one vector into m codes (nearest centroid per partition).
+  void Encode(std::span<const float> vec, std::span<uint16_t> codes) const;
+
+  /// Encodes n row-major vectors; `codes` has n * m entries.
+  void EncodeBatch(std::span<const float> vecs, size_t n,
+                   std::span<uint16_t> codes) const;
+
+  /// Reconstructs the approximate vector from m codes.
+  void Decode(std::span<const uint16_t> codes, std::span<float> out) const;
+
+  /// Fills `table` (size m * 2^b) with dot products between the query's
+  /// sub-vectors and every centroid: table[p * 2^b + c] = <q_p, centroid_pc>.
+  /// This is the (h, m, 1, d_m) x (h, m, d_m, 2^b) multiply of Section 3.2.
+  void BuildInnerProductTable(std::span<const float> query,
+                              std::span<float> table) const;
+
+  /// Total centroid memory in bytes (m * 2^b * sub_dim * 4).
+  size_t CentroidBytes() const { return centroids_.size() * sizeof(float); }
+
+  /// Reassembles a codebook from its parts (deserialization). The centroid
+  /// vector must have m * 2^b * sub_dim entries.
+  static Result<PQCodebook> FromParts(const PQConfig& config,
+                                      std::vector<float> centroids);
+
+  /// All centroids, partition-major (serialization).
+  std::span<const float> AllCentroids() const { return centroids_; }
+
+ private:
+  PQConfig config_;
+  /// Layout: partition-major, [m][2^b][sub_dim] flattened.
+  std::vector<float> centroids_;
+  std::vector<int> iterations_;
+};
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_PQ_CODEBOOK_H_

@@ -1,0 +1,119 @@
+#include "src/pq/ivf_index.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/kmeans/kmeans.h"
+#include "src/tensor/ops.h"
+
+namespace pqcache {
+
+Result<IVFPQIndex> IVFPQIndex::Train(std::span<const float> vectors, size_t n,
+                                     const IVFConfig& config,
+                                     const KMeansOptions& kmeans,
+                                     ThreadPool* pool) {
+  if (config.nlist < 1) {
+    return Status::InvalidArgument("IVFPQIndex: nlist must be >= 1");
+  }
+  if (config.nprobe < 1 || config.nprobe > config.nlist) {
+    return Status::InvalidArgument(
+        "IVFPQIndex: nprobe must be in [1, nlist]");
+  }
+  PQC_RETURN_IF_ERROR(config.pq.Validate());
+  if (n == 0 || vectors.size() != n * config.pq.dim) {
+    return Status::InvalidArgument("IVFPQIndex: bad training data");
+  }
+
+  IVFPQIndex index;
+  index.config_ = config;
+
+  // Coarse quantizer over full vectors.
+  KMeansOptions coarse = kmeans;
+  coarse.num_clusters = config.nlist;
+  coarse.pool = pool;
+  auto coarse_result = RunKMeans(vectors, n, config.pq.dim, coarse);
+  if (!coarse_result.ok()) return coarse_result.status();
+  index.coarse_centroids_ = std::move(coarse_result.value().centroids);
+
+  // Fine quantizer (shared across lists).
+  auto book = PQCodebook::Train(vectors, n, config.pq, kmeans, pool);
+  if (!book.ok()) return book.status();
+  index.codebook_ = std::move(book).value();
+
+  index.list_ids_.resize(static_cast<size_t>(config.nlist));
+  index.list_codes_.resize(static_cast<size_t>(config.nlist));
+  return index;
+}
+
+void IVFPQIndex::Add(std::span<const float> vectors, size_t n) {
+  const size_t d = config_.pq.dim;
+  const size_t m = static_cast<size_t>(config_.pq.num_partitions);
+  PQC_CHECK_EQ(vectors.size(), n * d);
+  std::vector<uint16_t> codes(m);
+  for (size_t i = 0; i < n; ++i) {
+    std::span<const float> vec(vectors.data() + i * d, d);
+    const int32_t list = NearestCentroid(
+        vec, coarse_centroids_, static_cast<size_t>(config_.nlist), d);
+    codebook_.Encode(vec, codes);
+    auto& ids = list_ids_[static_cast<size_t>(list)];
+    auto& lcodes = list_codes_[static_cast<size_t>(list)];
+    ids.push_back(static_cast<int32_t>(total_));
+    lcodes.insert(lcodes.end(), codes.begin(), codes.end());
+    ++total_;
+  }
+}
+
+std::vector<int32_t> IVFPQIndex::TopK(std::span<const float> query,
+                                      size_t k) const {
+  const size_t d = config_.pq.dim;
+  const size_t m = static_cast<size_t>(config_.pq.num_partitions);
+  const size_t kc = static_cast<size_t>(config_.pq.num_centroids());
+
+  // Rank lists by coarse-centroid inner product.
+  std::vector<float> coarse_scores(static_cast<size_t>(config_.nlist));
+  for (int c = 0; c < config_.nlist; ++c) {
+    coarse_scores[static_cast<size_t>(c)] =
+        Dot(query, {coarse_centroids_.data() + static_cast<size_t>(c) * d, d});
+  }
+  const std::vector<int32_t> probe_order =
+      TopKIndices(coarse_scores, static_cast<size_t>(config_.nprobe));
+
+  // ADC inside the probed lists.
+  std::vector<float> table(m * kc);
+  codebook_.BuildInnerProductTable(query, table);
+  std::vector<std::pair<float, int32_t>> candidates;
+  size_t scanned = 0;
+  for (int32_t list : probe_order) {
+    const auto& ids = list_ids_[static_cast<size_t>(list)];
+    const auto& codes = list_codes_[static_cast<size_t>(list)];
+    for (size_t i = 0; i < ids.size(); ++i) {
+      float score = 0.0f;
+      const uint16_t* code = codes.data() + i * m;
+      for (size_t p = 0; p < m; ++p) score += table[p * kc + code[p]];
+      candidates.push_back({score, ids[i]});
+    }
+    scanned += ids.size();
+  }
+  last_scan_fraction_ =
+      total_ == 0 ? 0.0 : static_cast<double>(scanned) / total_;
+
+  const size_t take = std::min(k, candidates.size());
+  std::partial_sort(candidates.begin(), candidates.begin() + take,
+                    candidates.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.first > b.first;
+                    });
+  std::vector<int32_t> out;
+  out.reserve(take);
+  for (size_t i = 0; i < take; ++i) out.push_back(candidates[i].second);
+  return out;
+}
+
+std::vector<size_t> IVFPQIndex::ListSizes() const {
+  std::vector<size_t> sizes;
+  sizes.reserve(list_ids_.size());
+  for (const auto& ids : list_ids_) sizes.push_back(ids.size());
+  return sizes;
+}
+
+}  // namespace pqcache

@@ -1,0 +1,73 @@
+// IVF-PQ index: the paper's Section 5 extension path ("other retrieval
+// techniques, such as IVF ... could potentially contribute to more efficient
+// LLM inference"). A coarse K-Means quantizer partitions tokens into nlist
+// inverted lists; searches probe only the nprobe most promising lists and
+// run ADC scoring inside them — trading a little recall for sub-linear scan
+// cost at very long contexts. PQ codes are over raw vectors (the paper notes
+// PQ and IVF are independent techniques often applied separately).
+#ifndef PQCACHE_PQ_IVF_INDEX_H_
+#define PQCACHE_PQ_IVF_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/pq/codebook.h"
+
+namespace pqcache {
+
+/// Shape of an IVF-PQ index.
+struct IVFConfig {
+  int nlist = 64;   ///< Coarse clusters (inverted lists).
+  int nprobe = 8;   ///< Lists scanned per query.
+  PQConfig pq;      ///< Fine quantizer inside lists.
+};
+
+/// Inverted-file index with PQ-compressed entries.
+class IVFPQIndex {
+ public:
+  IVFPQIndex() = default;
+
+  /// Trains the coarse quantizer and the PQ codebook on `n` row-major
+  /// vectors (typically a subsample of the corpus).
+  static Result<IVFPQIndex> Train(std::span<const float> vectors, size_t n,
+                                  const IVFConfig& config,
+                                  const KMeansOptions& kmeans,
+                                  ThreadPool* pool = nullptr);
+
+  const IVFConfig& config() const { return config_; }
+  bool trained() const { return !coarse_centroids_.empty(); }
+  size_t size() const { return total_; }
+
+  /// Assigns `n` vectors to lists and PQ-encodes them. Ids are assigned
+  /// sequentially in insertion order (token positions).
+  void Add(std::span<const float> vectors, size_t n);
+
+  /// Approximate top-k ids by inner product, probing `nprobe` lists whose
+  /// coarse centroids best match the query. Ids are insertion-order ids.
+  std::vector<int32_t> TopK(std::span<const float> query, size_t k) const;
+
+  /// Fraction of indexed vectors ADC-scanned by the last TopK call
+  /// (selectivity of the coarse quantizer; 1.0 = full scan).
+  double last_scan_fraction() const { return last_scan_fraction_; }
+
+  /// Entries per list (diagnostics; unbalanced lists hurt selectivity).
+  std::vector<size_t> ListSizes() const;
+
+ private:
+  IVFConfig config_;
+  std::vector<float> coarse_centroids_;  // [nlist, dim]
+  PQCodebook codebook_;
+  struct ListEntry {
+    int32_t id;
+  };
+  std::vector<std::vector<int32_t>> list_ids_;        // Per-list ids.
+  std::vector<std::vector<uint16_t>> list_codes_;     // Per-list PQ codes.
+  size_t total_ = 0;
+  mutable double last_scan_fraction_ = 0.0;
+};
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_PQ_IVF_INDEX_H_

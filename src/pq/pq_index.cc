@@ -1,0 +1,81 @@
+#include "src/pq/pq_index.h"
+
+#include "src/common/logging.h"
+#include "src/tensor/ops.h"
+
+namespace pqcache {
+
+void PQIndex::AddVectors(std::span<const float> vecs, size_t n) {
+  const int m = codebook_.config().num_partitions;
+  const size_t old = codes_.size();
+  codes_.resize(old + n * static_cast<size_t>(m));
+  codebook_.EncodeBatch(vecs, n,
+                        {codes_.data() + old, n * static_cast<size_t>(m)});
+}
+
+void PQIndex::AddCodes(std::span<const uint16_t> codes, size_t n) {
+  PQC_CHECK_EQ(codes.size(),
+               n * static_cast<size_t>(codebook_.config().num_partitions));
+  codes_.insert(codes_.end(), codes.begin(), codes.end());
+}
+
+void PQIndex::AddVector(std::span<const float> vec) {
+  const int m = codebook_.config().num_partitions;
+  const size_t old = codes_.size();
+  codes_.resize(old + static_cast<size_t>(m));
+  codebook_.Encode(vec, {codes_.data() + old, static_cast<size_t>(m)});
+}
+
+void PQIndex::ApproxInnerProducts(std::span<const float> query,
+                                  std::span<float> scores) const {
+  const size_t kc = static_cast<size_t>(codebook_.config().num_centroids());
+  const size_t m = static_cast<size_t>(codebook_.config().num_partitions);
+  std::vector<float> table(m * kc);
+  ApproxInnerProductsWithTable(query, table, scores);
+}
+
+void PQIndex::ApproxInnerProductsWithTable(std::span<const float> query,
+                                           std::span<float> table,
+                                           std::span<float> scores) const {
+  const size_t n = size();
+  PQC_CHECK_EQ(scores.size(), n);
+  codebook_.BuildInnerProductTable(query, table);
+  const size_t m = static_cast<size_t>(codebook_.config().num_partitions);
+  const size_t kc = static_cast<size_t>(codebook_.config().num_centroids());
+  // Gather-and-reduce over codes: the (h_kv, s, m) x (h_kv, m, 1) step of
+  // Section 3.2. Specialize the common small-m cases so the inner loop stays
+  // branch-free.
+  const uint16_t* code = codes_.data();
+  if (m == 2) {
+    const float* t0 = table.data();
+    const float* t1 = table.data() + kc;
+    for (size_t i = 0; i < n; ++i, code += 2) {
+      scores[i] = t0[code[0]] + t1[code[1]];
+    }
+    return;
+  }
+  if (m == 4) {
+    const float* t0 = table.data();
+    const float* t1 = table.data() + kc;
+    const float* t2 = table.data() + 2 * kc;
+    const float* t3 = table.data() + 3 * kc;
+    for (size_t i = 0; i < n; ++i, code += 4) {
+      scores[i] = t0[code[0]] + t1[code[1]] + t2[code[2]] + t3[code[3]];
+    }
+    return;
+  }
+  for (size_t i = 0; i < n; ++i, code += m) {
+    float acc = 0.0f;
+    for (size_t p = 0; p < m; ++p) acc += table[p * kc + code[p]];
+    scores[i] = acc;
+  }
+}
+
+std::vector<int32_t> PQIndex::TopK(std::span<const float> query,
+                                   size_t k) const {
+  std::vector<float> scores(size());
+  ApproxInnerProducts(query, scores);
+  return TopKIndices(scores, k);
+}
+
+}  // namespace pqcache

@@ -1,0 +1,72 @@
+// A growing PQ index over token keys for one (layer, head): codes plus the
+// trained codebook, supporting approximate inner-product scoring of a query
+// against every indexed token (Asymmetric Distance Computation) and top-k
+// retrieval. This is the "PQ search on GPU" of paper Step 4.
+#ifndef PQCACHE_PQ_PQ_INDEX_H_
+#define PQCACHE_PQ_PQ_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/pq/codebook.h"
+
+namespace pqcache {
+
+/// PQ codes for a token sequence plus search over them.
+class PQIndex {
+ public:
+  PQIndex() = default;
+  explicit PQIndex(PQCodebook codebook) : codebook_(std::move(codebook)) {}
+
+  const PQCodebook& codebook() const { return codebook_; }
+  bool trained() const { return codebook_.trained(); }
+
+  /// Number of indexed vectors.
+  size_t size() const {
+    const int m = codebook_.config().num_partitions;
+    return m == 0 ? 0 : codes_.size() / static_cast<size_t>(m);
+  }
+
+  /// Encodes and appends `n` row-major vectors.
+  void AddVectors(std::span<const float> vecs, size_t n);
+
+  /// Appends pre-computed codes for `n` vectors (n * m entries).
+  void AddCodes(std::span<const uint16_t> codes, size_t n);
+
+  /// Encodes and appends a single vector (an evicted local token).
+  void AddVector(std::span<const float> vec);
+
+  /// Raw code matrix, row-major [size, m].
+  std::span<const uint16_t> codes() const { return codes_; }
+
+  /// Approximate inner product of `query` with every indexed vector:
+  /// scores[i] = sum_p table[p][code_ip]. `scores` must have size() entries.
+  void ApproxInnerProducts(std::span<const float> query,
+                           std::span<float> scores) const;
+
+  /// Same as ApproxInnerProducts but reuses a caller-provided table buffer
+  /// of size m * 2^b (avoids per-call allocation on the decode hot path).
+  void ApproxInnerProductsWithTable(std::span<const float> query,
+                                    std::span<float> table,
+                                    std::span<float> scores) const;
+
+  /// Token ids of the approximately most similar k vectors, best first.
+  std::vector<int32_t> TopK(std::span<const float> query, size_t k) const;
+
+  /// Bytes of code storage held (for memory accounting at b-bit precision,
+  /// i.e. size * m * b / 8, not the in-memory uint16 footprint).
+  double LogicalCodeBytes() const {
+    return static_cast<double>(size()) *
+           codebook_.config().code_bytes_per_vector();
+  }
+
+ private:
+  PQCodebook codebook_;
+  std::vector<uint16_t> codes_;  // Row-major [size, m].
+};
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_PQ_PQ_INDEX_H_

@@ -1,0 +1,108 @@
+#include "src/pq/serialize.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace pqcache {
+
+namespace {
+
+constexpr uint32_t kCodebookMagic = 0x50514342;  // "PQCB"
+constexpr uint32_t kIndexMagic = 0x50514958;     // "PQIX"
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& is, T* value) {
+  is.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(is);
+}
+
+}  // namespace
+
+Status SaveCodebook(const PQCodebook& codebook, std::ostream& os) {
+  if (!codebook.trained()) {
+    return Status::FailedPrecondition("SaveCodebook: codebook not trained");
+  }
+  WritePod(os, kCodebookMagic);
+  WritePod(os, kVersion);
+  const PQConfig& config = codebook.config();
+  WritePod(os, static_cast<int32_t>(config.num_partitions));
+  WritePod(os, static_cast<int32_t>(config.bits));
+  WritePod(os, static_cast<uint64_t>(config.dim));
+  const auto centroids = codebook.AllCentroids();
+  WritePod(os, static_cast<uint64_t>(centroids.size()));
+  os.write(reinterpret_cast<const char*>(centroids.data()),
+           static_cast<std::streamsize>(centroids.size() * sizeof(float)));
+  if (!os) return Status::Internal("SaveCodebook: stream write failed");
+  return Status::OK();
+}
+
+Result<PQCodebook> LoadCodebook(std::istream& is) {
+  uint32_t magic = 0, version = 0;
+  if (!ReadPod(is, &magic) || magic != kCodebookMagic) {
+    return Status::InvalidArgument("LoadCodebook: bad magic");
+  }
+  if (!ReadPod(is, &version) || version != kVersion) {
+    return Status::InvalidArgument("LoadCodebook: unsupported version");
+  }
+  int32_t partitions = 0, bits = 0;
+  uint64_t dim = 0, n_centroids = 0;
+  if (!ReadPod(is, &partitions) || !ReadPod(is, &bits) ||
+      !ReadPod(is, &dim) || !ReadPod(is, &n_centroids)) {
+    return Status::InvalidArgument("LoadCodebook: truncated header");
+  }
+  PQConfig config;
+  config.num_partitions = partitions;
+  config.bits = bits;
+  config.dim = static_cast<size_t>(dim);
+  PQC_RETURN_IF_ERROR(config.Validate());
+  std::vector<float> centroids(static_cast<size_t>(n_centroids));
+  is.read(reinterpret_cast<char*>(centroids.data()),
+          static_cast<std::streamsize>(centroids.size() * sizeof(float)));
+  if (!is) return Status::InvalidArgument("LoadCodebook: truncated data");
+  return PQCodebook::FromParts(config, std::move(centroids));
+}
+
+Status SaveIndex(const PQIndex& index, std::ostream& os) {
+  WritePod(os, kIndexMagic);
+  WritePod(os, kVersion);
+  PQC_RETURN_IF_ERROR(SaveCodebook(index.codebook(), os));
+  const auto codes = index.codes();
+  WritePod(os, static_cast<uint64_t>(index.size()));
+  os.write(reinterpret_cast<const char*>(codes.data()),
+           static_cast<std::streamsize>(codes.size() * sizeof(uint16_t)));
+  if (!os) return Status::Internal("SaveIndex: stream write failed");
+  return Status::OK();
+}
+
+Result<PQIndex> LoadIndex(std::istream& is) {
+  uint32_t magic = 0, version = 0;
+  if (!ReadPod(is, &magic) || magic != kIndexMagic) {
+    return Status::InvalidArgument("LoadIndex: bad magic");
+  }
+  if (!ReadPod(is, &version) || version != kVersion) {
+    return Status::InvalidArgument("LoadIndex: unsupported version");
+  }
+  auto codebook = LoadCodebook(is);
+  if (!codebook.ok()) return codebook.status();
+  uint64_t n = 0;
+  if (!ReadPod(is, &n)) {
+    return Status::InvalidArgument("LoadIndex: truncated count");
+  }
+  PQIndex index(std::move(codebook).value());
+  const size_t m =
+      static_cast<size_t>(index.codebook().config().num_partitions);
+  std::vector<uint16_t> codes(static_cast<size_t>(n) * m);
+  is.read(reinterpret_cast<char*>(codes.data()),
+          static_cast<std::streamsize>(codes.size() * sizeof(uint16_t)));
+  if (!is) return Status::InvalidArgument("LoadIndex: truncated codes");
+  index.AddCodes(codes, static_cast<size_t>(n));
+  return index;
+}
+
+}  // namespace pqcache

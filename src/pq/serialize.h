@@ -1,0 +1,30 @@
+// Binary (de)serialization of PQ codebooks and indexes, so prefill-built
+// structures can be persisted and shipped — the building block for the
+// paper's multi-turn reuse and disk-tier extensions (Sections 2.3 and 5).
+// Format: little-endian, versioned, no external dependencies.
+#ifndef PQCACHE_PQ_SERIALIZE_H_
+#define PQCACHE_PQ_SERIALIZE_H_
+
+#include <istream>
+#include <ostream>
+
+#include "src/common/status.h"
+#include "src/pq/pq_index.h"
+
+namespace pqcache {
+
+/// Writes a trained codebook. Fails on stream errors or untrained input.
+Status SaveCodebook(const PQCodebook& codebook, std::ostream& os);
+
+/// Reads a codebook written by SaveCodebook.
+Result<PQCodebook> LoadCodebook(std::istream& is);
+
+/// Writes an index (codebook + codes).
+Status SaveIndex(const PQIndex& index, std::ostream& os);
+
+/// Reads an index written by SaveIndex.
+Result<PQIndex> LoadIndex(std::istream& is);
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_PQ_SERIALIZE_H_

@@ -1,0 +1,53 @@
+#include "src/sched/decode_pipeline.h"
+
+#include <algorithm>
+
+#include "src/memory/link.h"
+
+namespace pqcache {
+
+DecodeTimeline SimulateDecode(const SystemModel& system, double s) {
+  DecodeTimeline tl;
+  tl.s = s;
+  const int layers = system.model.num_layers;
+
+  const double layer_llm = system.DecodeLayerSeconds(s);
+  const double layer_pq = system.PQSearchLayerSeconds(s);
+  const double code_bytes = system.LayerCodeBytes(s);
+  const double fetch_bytes = system.LayerTopKFetchBytes(s);
+  const double fetch_bytes_nocache =
+      fetch_bytes / std::max(1e-9, 1.0 - system.cache_hit_rate);
+
+  LinkTimeline h2d(system.pcie);
+  double gpu_free = 0.0;
+  // Codes for layer 0 are prefetched before the step begins (Algorithm 2
+  // line 1), so the first layer's codes are ready at its start.
+  Interval next_codes = h2d.Schedule(0.0, code_bytes);
+  for (int l = 0; l < layers; ++l) {
+    const Interval codes_ready = next_codes;
+    // Kick off the next layer's code prefetch as this layer starts.
+    if (l + 1 < layers) {
+      next_codes = h2d.Schedule(gpu_free, code_bytes);
+    }
+    // PQ search needs this layer's codes on GPU.
+    const double search_start = std::max(gpu_free, codes_ready.end);
+    const double search_end = search_start + layer_pq;
+    // Top-k fetch depends on the search result; it rides the same h2d link.
+    const Interval fetch = h2d.Schedule(search_end, fetch_bytes);
+    // Attention + FFN start once the KV pairs arrived.
+    gpu_free = fetch.end + layer_llm;
+  }
+  tl.tpot = gpu_free;
+
+  tl.llm_compute = layers * layer_llm;
+  tl.pq_compute = layers * layer_pq;
+  tl.comm_codes = layers * system.pcie.TransferSeconds(code_bytes);
+  tl.comm_topk = layers * system.pcie.TransferSeconds(fetch_bytes);
+  tl.comm_topk_nocache =
+      layers * system.pcie.TransferSeconds(fetch_bytes_nocache);
+  tl.tpot_sequential = tl.llm_compute + tl.pq_compute + tl.comm_codes +
+                       tl.comm_topk_nocache;
+  return tl;
+}
+
+}  // namespace pqcache

@@ -1,0 +1,32 @@
+// Discrete-event simulation of one PQCache decode step (paper Fig. 7b,
+// Algorithm 2): per layer — PQ codes for the next layer prefetched during
+// this layer's compute, PQ search on GPU, top-k KV fetch through the GPU
+// cache (the only non-overlappable communication), then attention + FFN.
+// Also produces the sequential (no-overlap, no-cache) schedule and the time
+// decomposition of Fig. 12b.
+#ifndef PQCACHE_SCHED_DECODE_PIPELINE_H_
+#define PQCACHE_SCHED_DECODE_PIPELINE_H_
+
+#include "src/sched/system_model.h"
+
+namespace pqcache {
+
+/// Result of simulating one decode step.
+struct DecodeTimeline {
+  double s = 0;
+  double tpot = 0;             ///< Overlapped, cached end-to-end seconds.
+  double tpot_sequential = 0;  ///< No overlap, no cache.
+  /// Decomposition (per step totals across layers):
+  double llm_compute = 0;      ///< Attention + FFN + projections.
+  double pq_compute = 0;       ///< Centroid multiply + gather + top-k.
+  double comm_codes = 0;       ///< PQ code prefetch (overlappable).
+  double comm_topk = 0;        ///< Top-k KV fetch (critical path, after cache).
+  double comm_topk_nocache = 0;  ///< Same without the GPU cache.
+};
+
+/// Simulates one decode step at context length s.
+DecodeTimeline SimulateDecode(const SystemModel& system, double s);
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_SCHED_DECODE_PIPELINE_H_

@@ -1,0 +1,141 @@
+#include "src/sched/method_latency.h"
+
+#include <cmath>
+
+#include "src/sched/decode_pipeline.h"
+#include "src/sched/prefill_pipeline.h"
+
+namespace pqcache {
+
+namespace {
+
+// Prefill GPU time common to every method.
+double PrefillComputeSeconds(const SystemModel& system, double s) {
+  return system.model.num_layers * system.ComputeLayerSeconds(s);
+}
+
+// Decode compute over k = ratio * s selected tokens (dropping methods touch
+// no interconnect).
+double SelectiveDecodeSeconds(const SystemModel& system, double s) {
+  return system.model.num_layers * system.DecodeLayerSeconds(s);
+}
+
+}  // namespace
+
+const char* MethodKindName(MethodKind kind) {
+  switch (kind) {
+    case MethodKind::kH2O:
+      return "H2O";
+    case MethodKind::kSnapKV:
+      return "SnapKV";
+    case MethodKind::kPyramidKV:
+      return "PyramidKV";
+    case MethodKind::kSPARQ:
+      return "SPARQ";
+    case MethodKind::kInfLLM:
+      return "InfLLM";
+    case MethodKind::kPQCache:
+      return "PQCache";
+  }
+  return "?";
+}
+
+std::optional<double> MethodTPOT(const SystemModel& system, MethodKind kind,
+                                 double s) {
+  const double decode = SelectiveDecodeSeconds(system, s);
+  switch (kind) {
+    case MethodKind::kH2O: {
+      if (s > system.H2OOOMSequenceLength()) return std::nullopt;
+      // Dropping method: decode over retained tokens, plus the accumulated-
+      // score bookkeeping (linear, cheap).
+      return decode * 1.05;
+    }
+    case MethodKind::kSnapKV:
+    case MethodKind::kPyramidKV:
+      // Fixed compressed cache: pure selective compute.
+      return decode;
+    case MethodKind::kSPARQ: {
+      // Per step and per layer: fetch r dims of every key *after* the query
+      // exists (serial), then fetch the chosen top-k KV pairs (serial).
+      const int r = std::max(
+          1, static_cast<int>(std::round(system.comm_ratio *
+                                         system.model.head_dim)));
+      const double dim_bytes = static_cast<double>(system.model.num_kv_heads) *
+                               s * r * 2.0;
+      const double topk_bytes = system.token_ratio * s * 4.0 *
+                                system.model.head_dim *
+                                system.model.num_kv_heads;
+      const double per_layer = system.pcie.TransferSeconds(dim_bytes) +
+                               system.pcie.TransferSeconds(topk_bytes);
+      return decode + system.model.num_layers * per_layer;
+    }
+    case MethodKind::kInfLLM: {
+      // Block-contiguous gathers transfer efficiently and overlap with
+      // compute except for a dependent residue.
+      const double topk_bytes = system.token_ratio * s * 4.0 *
+                                system.model.head_dim *
+                                system.model.num_kv_heads;
+      const double per_layer =
+          0.35 * system.pcie.TransferSeconds(topk_bytes);
+      return decode + system.model.num_layers * per_layer;
+    }
+    case MethodKind::kPQCache:
+      return SimulateDecode(system, s).tpot;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> MethodTT2T(const SystemModel& system, MethodKind kind,
+                                 double s) {
+  const double prefill = PrefillComputeSeconds(system, s);
+  switch (kind) {
+    case MethodKind::kH2O: {
+      if (s > system.H2OOOMSequenceLength()) return std::nullopt;
+      // Without FlashAttention the prefill attention is materialized:
+      // memory-bound pass over the s^2 score matrix on top of compute.
+      const double score_bytes = 2.0 * s * s * system.model.num_heads *
+                                 system.model.num_layers;
+      const double hbm_bw = 900e9;  // 4090-class effective bandwidth.
+      const double slow_prefill = prefill + score_bytes / hbm_bw;
+      const auto tpot = MethodTPOT(system, kind, s);
+      if (!tpot) return std::nullopt;
+      return slow_prefill + *tpot;
+    }
+    case MethodKind::kSnapKV:
+    case MethodKind::kPyramidKV: {
+      // Negligible prefill overhead (observation-window analysis).
+      const auto tpot = MethodTPOT(system, kind, s);
+      return prefill * 1.01 + *tpot;
+    }
+    case MethodKind::kSPARQ: {
+      const auto tpot = MethodTPOT(system, kind, s);
+      return prefill + *tpot;
+    }
+    case MethodKind::kInfLLM: {
+      // Block metadata + representative setup before decoding can start.
+      const double setup =
+          0.15 * prefill +
+          system.pcie.TransferSeconds(system.model.num_layers *
+                                      system.LayerKVBytes(s));
+      const auto tpot = MethodTPOT(system, kind, s);
+      return prefill + setup + *tpot;
+    }
+    case MethodKind::kPQCache: {
+      // Overlapped prefill: decoding layer l waits for layer l's clustering
+      // (Algorithm 1 lines 14-17). TT2T = first decode step's finish under
+      // those gates.
+      const PrefillTimeline pf = SimulatePrefill(system, s);
+      const DecodeTimeline dec = SimulateDecode(system, s);
+      double start = pf.ttft;
+      const double per_layer_decode = dec.tpot / system.model.num_layers;
+      double t = start;
+      for (int l = 0; l < system.model.num_layers; ++l) {
+        t = std::max(t, pf.ClusteringDone(l)) + per_layer_decode;
+      }
+      return t;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace pqcache

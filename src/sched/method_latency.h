@@ -1,0 +1,43 @@
+// Closed-form latency models for every compared method (Fig. 11a/b):
+// TT2T (time to second token — prefill + any setup + one decode step) and
+// TPOT (time per output token). Mechanistic per method: H2O materializes the
+// attention matrix (no FlashAttention -> OOM past a length), SPARQ's per-step
+// fetch serializes behind the query, InfLLM pays block-management setup,
+// PQCache overlaps clustering/prefetch and fetches through its GPU cache.
+#ifndef PQCACHE_SCHED_METHOD_LATENCY_H_
+#define PQCACHE_SCHED_METHOD_LATENCY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/sched/system_model.h"
+
+namespace pqcache {
+
+enum class MethodKind {
+  kH2O,
+  kSnapKV,
+  kPyramidKV,
+  kSPARQ,
+  kInfLLM,
+  kPQCache,
+};
+
+const char* MethodKindName(MethodKind kind);
+
+/// TT2T in seconds; nullopt = out of memory at this length (H2O).
+std::optional<double> MethodTT2T(const SystemModel& system, MethodKind kind,
+                                 double s);
+
+/// TPOT in seconds; nullopt = out of memory at this length.
+std::optional<double> MethodTPOT(const SystemModel& system, MethodKind kind,
+                                 double s);
+
+/// Human reading speed in seconds per token (~333 tokens/minute, paper
+/// Section 4.3.1).
+inline double HumanReadingSecondsPerToken() { return 60.0 / 333.0; }
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_SCHED_METHOD_LATENCY_H_

@@ -1,0 +1,89 @@
+#include "src/sched/prefill_pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pqcache {
+
+int AdaptiveIterations(const SystemModel& system, double s, int min_iters,
+                       int max_iters) {
+  if (system.clustering.fitted()) {
+    // Eq. 3 with the fitted models, divided by the CPU speed factor applied
+    // inside ClusteringLayerSeconds: invert numerically for robustness.
+    int best = min_iters;
+    const double compute = system.ComputeLayerSeconds(s);
+    for (int t = min_iters; t <= max_iters; ++t) {
+      if (system.ClusteringLayerSeconds(s, t) <= compute) {
+        best = t;
+      } else {
+        break;
+      }
+    }
+    return best;
+  }
+  // Closed-form Eq. 3 on the fallback constants.
+  const double compute = system.ComputeLayerSeconds(s);
+  const double beta = system.clus_beta / system.cpu_speed_factor;
+  const double alpha = system.clus_alpha / system.cpu_speed_factor;
+  if (beta * s <= 0) return max_iters;
+  const double t_max = (compute - alpha) / (beta * s);
+  return static_cast<int>(std::clamp(
+      t_max, static_cast<double>(min_iters), static_cast<double>(max_iters)));
+}
+
+PrefillTimeline SimulatePrefill(const SystemModel& system, double s,
+                                int kmeans_iterations) {
+  PrefillTimeline tl;
+  tl.s = s;
+  tl.kmeans_iterations = kmeans_iterations < 0
+                             ? AdaptiveIterations(system, s)
+                             : kmeans_iterations;
+
+  const int layers = system.model.num_layers;
+  const double layer_compute = system.ComputeLayerSeconds(s);
+  const double layer_kv_bytes = system.LayerKVBytes(s);
+  const double layer_cluster =
+      system.ClusteringLayerSeconds(s, tl.kmeans_iterations);
+
+  LinkTimeline d2h(system.pcie);
+  double gpu_free = 0.0;
+  // The CPU clustering pool: the paper launches all of a layer's m * h_kv
+  // clusterings in parallel; consecutive layers' clusterings also overlap as
+  // long as cores remain. We model the pool as admitting `cpu_slots`
+  // concurrent layer-clusterings.
+  const int cpu_slots = 4;
+  std::vector<double> slot_free(cpu_slots, 0.0);
+
+  tl.compute.resize(layers);
+  tl.offload.resize(layers);
+  tl.clustering.resize(layers);
+
+  for (int l = 0; l < layers; ++l) {
+    // GPU compute for this layer.
+    Interval comp{gpu_free, gpu_free + layer_compute};
+    gpu_free = comp.end;
+    tl.compute[l] = comp;
+    // Offload K/V as soon as the layer's projections exist (the paper issues
+    // the copy right after K/V are produced, i.e. within the layer).
+    Interval off = d2h.Schedule(comp.start + 0.25 * layer_compute,
+                                layer_kv_bytes);
+    tl.offload[l] = off;
+    // Clustering starts when the data lands on CPU and a slot frees up.
+    auto slot = std::min_element(slot_free.begin(), slot_free.end());
+    const double start = std::max(off.end, *slot);
+    Interval clus{start, start + layer_cluster};
+    *slot = clus.end;
+    tl.clustering[l] = clus;
+  }
+
+  tl.ttft = gpu_free;  // Classifier cost folded into the last layer.
+  tl.end_to_end = tl.ttft;
+  for (const Interval& c : tl.clustering) {
+    tl.end_to_end = std::max(tl.end_to_end, c.end);
+  }
+  tl.sequential_total = layers * (layer_compute + layer_cluster) +
+                        layers * system.pcie.TransferSeconds(layer_kv_bytes);
+  return tl;
+}
+
+}  // namespace pqcache

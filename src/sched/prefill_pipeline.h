@@ -1,0 +1,44 @@
+// Discrete-event simulation of the PQCache prefill phase (paper Fig. 7a,
+// Algorithm 1): per-layer GPU compute serialized on the GPU, KV offload
+// queued on the device-to-host link as each layer finishes, and K-Means
+// clustering starting on the CPU as each layer's offload lands. Produces
+// TTFT, per-layer clustering completion times (which gate the first decode
+// step = TT2T), and the sequential-schedule baseline for comparison.
+#ifndef PQCACHE_SCHED_PREFILL_PIPELINE_H_
+#define PQCACHE_SCHED_PREFILL_PIPELINE_H_
+
+#include <vector>
+
+#include "src/memory/link.h"
+#include "src/sched/system_model.h"
+
+namespace pqcache {
+
+/// Result of simulating one prefill.
+struct PrefillTimeline {
+  double s = 0;                     ///< Sequence length.
+  int kmeans_iterations = 0;        ///< Iteration budget used.
+  std::vector<Interval> compute;    ///< Per-layer GPU compute intervals.
+  std::vector<Interval> offload;    ///< Per-layer d2h transfer intervals.
+  std::vector<Interval> clustering; ///< Per-layer CPU K-Means intervals.
+  double ttft = 0;                  ///< Time to first token (GPU path only).
+  double end_to_end = 0;            ///< All work drained (incl. clustering).
+  double sequential_total = 0;      ///< No-overlap schedule for comparison.
+
+  /// Time at which layer l's PQ structures are ready for decode.
+  double ClusteringDone(int layer) const { return clustering[layer].end; }
+};
+
+/// Simulates the overlapped prefill of Algorithm 1. `kmeans_iterations < 0`
+/// selects the adaptive budget (Eq. 3 against the system's cost models).
+PrefillTimeline SimulatePrefill(const SystemModel& system, double s,
+                                int kmeans_iterations = -1);
+
+/// The adaptive iteration budget the system would choose at length s
+/// (Eq. 3, clipped to [min_iters, max_iters]).
+int AdaptiveIterations(const SystemModel& system, double s,
+                       int min_iters = 1, int max_iters = 50);
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_SCHED_PREFILL_PIPELINE_H_

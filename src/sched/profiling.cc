@@ -1,0 +1,59 @@
+#include "src/sched/profiling.h"
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/timer.h"
+#include "src/kmeans/kmeans.h"
+
+namespace pqcache {
+
+double MeasureClusteringSeconds(size_t s, size_t sub_dim, int num_centroids,
+                                int iterations, ThreadPool* pool,
+                                uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> data(s * sub_dim);
+  for (float& v : data) v = rng.Gaussian();
+  KMeansOptions opts;
+  opts.num_clusters = num_centroids;
+  opts.max_iterations = iterations;
+  opts.tolerance = 0.0;  // Run exactly `iterations` for timing stability.
+  opts.seed = seed;
+  opts.pool = pool;
+  WallTimer timer;
+  auto result = RunKMeans(data, s, sub_dim, opts);
+  (void)result;
+  return timer.ElapsedSeconds();
+}
+
+std::vector<ClusteringSample> CalibrateClusteringModel(SystemModel* system,
+                                                       ThreadPool* pool) {
+  const size_t sub_dim = static_cast<size_t>(system->model.head_dim) /
+                         static_cast<size_t>(system->pq_partitions);
+  const int centroids = 1 << system->pq_bits;
+  std::vector<ClusteringSample> samples;
+  const size_t lengths[] = {2048, 8192, 16384};
+  const int iteration_counts[] = {2, 5, 10};
+  for (size_t s : lengths) {
+    for (int iters : iteration_counts) {
+      ClusteringSample sample;
+      sample.s = static_cast<double>(s);
+      sample.iterations = iters;
+      sample.seconds =
+          MeasureClusteringSeconds(s, sub_dim, centroids, iters, pool);
+      samples.push_back(sample);
+      system->clustering.AddClusteringSample(sample.s, sample.iterations,
+                                             sample.seconds);
+    }
+  }
+  // Eq. 2 samples come from the analytic GPU model: the paper profiles a
+  // real GPU here; this environment has none (DESIGN.md Section 2).
+  for (double s : {4096.0, 16384.0, 65536.0, 131072.0}) {
+    system->clustering.AddComputeSample(s, system->ComputeLayerSeconds(s));
+  }
+  const Status st = system->clustering.Fit();
+  (void)st;  // Falls back to default constants when the fit fails.
+  return samples;
+}
+
+}  // namespace pqcache

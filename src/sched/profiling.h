@@ -1,0 +1,39 @@
+// Real measurements feeding the cost models: times this machine's K-Means on
+// synthetic key data (the CPU-side work is real in this reproduction) and
+// fits the Eq. 1 clustering model from the samples.
+#ifndef PQCACHE_SCHED_PROFILING_H_
+#define PQCACHE_SCHED_PROFILING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/threadpool.h"
+#include "src/kmeans/cost_model.h"
+#include "src/sched/system_model.h"
+
+namespace pqcache {
+
+/// One measured clustering sample.
+struct ClusteringSample {
+  double s = 0;
+  double iterations = 0;
+  double seconds = 0;
+};
+
+/// Runs real K-Means (one PQ sub-space: dim = head_dim / m, 2^b centroids)
+/// on `s` synthetic keys with exactly `iterations` Lloyd iterations and
+/// returns wall seconds. `pool` parallelizes the assignment step the way the
+/// paper's 4-thread clustering processes do.
+double MeasureClusteringSeconds(size_t s, size_t sub_dim, int num_centroids,
+                                int iterations, ThreadPool* pool,
+                                uint64_t seed = 11);
+
+/// Profiles clustering at several lengths/iteration counts and fits the
+/// system's Eq. 1 model in place. Also seeds Eq. 2 samples from the
+/// analytic GPU model (the paper profiles the GPU; we must model it).
+std::vector<ClusteringSample> CalibrateClusteringModel(SystemModel* system,
+                                                       ThreadPool* pool);
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_SCHED_PROFILING_H_

@@ -1,0 +1,121 @@
+// The simulated serving system: a production-scale model profile, GPU
+// throughput assumptions, the PCIe link, PQ configuration and budgets, plus
+// a clustering cost model (fitted from real K-Means measurements on this
+// machine where available). All latency experiments (Fig. 8, 11, 12,
+// Table 6) are driven by this description.
+#ifndef PQCACHE_SCHED_SYSTEM_MODEL_H_
+#define PQCACHE_SCHED_SYSTEM_MODEL_H_
+
+#include <cmath>
+#include <cstddef>
+
+#include "src/kmeans/cost_model.h"
+#include "src/llm/model_config.h"
+#include "src/memory/link.h"
+#include "src/pq/codebook.h"
+
+namespace pqcache {
+
+/// Full description of the simulated deployment.
+struct SystemModel {
+  ModelProfile model = ModelProfile::Llama3_8B();
+  DeviceThroughput gpu;
+  LinkModel pcie = LinkModel::PCIe1x16();
+  size_t gpu_memory_bytes = 24ull << 30;
+
+  /// PQ configuration (per head; dim = model.head_dim).
+  int pq_partitions = 2;
+  int pq_bits = 6;
+
+  /// Selective-attention token ratio (1/5 default).
+  double token_ratio = 0.2;
+  /// Extra-communication budget (SPARQ r, InfLLM reps derive from this).
+  double comm_ratio = 1.0 / 128;
+
+  /// GPU cache for fetched KV pairs.
+  size_t gpu_cache_tokens = 4096;
+  double cache_hit_rate = 0.5;  ///< Measured by the Fig. 11d experiment.
+
+  /// Relative CPU capability for clustering (Table 6 "Half" = 0.5). Scales
+  /// clustering duration by 1/cpu_speed_factor.
+  double cpu_speed_factor = 1.0;
+
+  /// Clustering time model (Eq. 1). When not fitted, falls back to the
+  /// default constants below (calibrated to this repo's measured K-Means).
+  ClusteringCostModel clustering;
+  /// Fallback Eq. 1 constants: seconds = alpha + beta * (s * T).
+  double clus_alpha = 2e-3;
+  double clus_beta = 2.2e-7;
+
+  /// --- Derived quantities -------------------------------------------------
+
+  /// Seconds to cluster one layer's keys (all m * h_kv sub-space clusterings
+  /// run in parallel on the CPU pool; duration = one clustering).
+  double ClusteringLayerSeconds(double s, double iterations) const {
+    double sec;
+    if (clustering.fitted()) {
+      sec = clustering.PredictClusteringSeconds(s, iterations);
+    } else {
+      sec = clus_alpha + clus_beta * s * iterations;
+    }
+    return sec / cpu_speed_factor;
+  }
+
+  /// Per-layer GPU prefill seconds at length s (Eq. 2's ground truth).
+  double ComputeLayerSeconds(double s) const {
+    return gpu.PrefillLayerSeconds(model, s);
+  }
+
+  /// FP16 bytes of one layer's K+V for s tokens.
+  double LayerKVBytes(double s) const {
+    return 2.0 * 2.0 * model.num_kv_heads * model.head_dim * s;
+  }
+
+  /// Bytes of one layer's PQ codes for s tokens (b bits per code, m codes).
+  double LayerCodeBytes(double s) const {
+    return static_cast<double>(model.num_kv_heads) * s * pq_partitions *
+           pq_bits / 8.0;
+  }
+
+  /// Bytes fetched for the top-k tokens' KV pairs in one layer (all kv
+  /// heads), after cache hits.
+  double LayerTopKFetchBytes(double s) const {
+    const double k = token_ratio * s;
+    const double bytes =
+        k * 2.0 * 2.0 * model.head_dim * model.num_kv_heads;
+    return bytes * (1.0 - cache_hit_rate);
+  }
+
+  /// GPU seconds for the PQ scoring + top-k of one layer (Section 3.2:
+  /// O(2^b d^2/(h m) + h_kv m s) plus the radix top-k O(h_kv s)).
+  double PQSearchLayerSeconds(double s) const {
+    const double d = model.hidden_dim;
+    const double table_flops =
+        2.0 * (1 << pq_bits) * d * d / (model.num_heads * pq_partitions);
+    const double gather_flops =
+        static_cast<double>(model.num_kv_heads) * pq_partitions * s;
+    const double topk_ops = static_cast<double>(model.num_kv_heads) * s;
+    return (table_flops + gather_flops + topk_ops) / gpu.gpu_decode_flops;
+  }
+
+  /// Per-layer decode compute with selective attention over k = ratio * s.
+  double DecodeLayerSeconds(double s) const {
+    return gpu.DecodeLayerSeconds(model, token_ratio * s);
+  }
+
+  /// Sequence length at which H2O's un-tiled attention-score matrix
+  /// overflows GPU memory (paper: H2O is incompatible with FlashAttention).
+  double H2OOOMSequenceLength() const {
+    // One layer's score matrix in FP16: s^2 * num_heads * 2 bytes must fit
+    // in the memory left after weights (param_count * 2 bytes).
+    const double weights = model.param_count * 2.0;
+    const double budget =
+        static_cast<double>(gpu_memory_bytes) * 2.0 - weights;  // 2 GPUs.
+    if (budget <= 0) return 0.0;
+    return std::sqrt(budget / (2.0 * model.num_heads));
+  }
+};
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_SCHED_SYSTEM_MODEL_H_

@@ -1,0 +1,103 @@
+// IEEE-754 binary16 storage type. The paper stores the KVCache in FP16; we do
+// the same so memory accounting and quantization error behave like the real
+// system. Arithmetic happens in float; fp16 is a storage format only.
+#ifndef PQCACHE_TENSOR_FP16_H_
+#define PQCACHE_TENSOR_FP16_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace pqcache {
+
+namespace internal {
+
+inline uint16_t FloatToHalfBits(float f) {
+  uint32_t x;
+  std::memcpy(&x, &f, sizeof(x));
+  const uint32_t sign = (x >> 16) & 0x8000u;
+  uint32_t mantissa = x & 0x7FFFFFu;
+  int32_t exponent = static_cast<int32_t>((x >> 23) & 0xFFu) - 127 + 15;
+  if (exponent >= 31) {
+    // Overflow to infinity; preserve NaN payload bit.
+    const bool is_nan = ((x & 0x7F800000u) == 0x7F800000u) && mantissa != 0;
+    return static_cast<uint16_t>(sign | 0x7C00u | (is_nan ? 0x200u : 0u));
+  }
+  if (exponent <= 0) {
+    if (exponent < -10) return static_cast<uint16_t>(sign);  // Underflow to 0.
+    // Subnormal: shift mantissa (with implicit leading 1) into place.
+    mantissa |= 0x800000u;
+    const int shift = 14 - exponent;
+    uint32_t half_mant = mantissa >> shift;
+    // Round to nearest even.
+    const uint32_t round_bit = 1u << (shift - 1);
+    if ((mantissa & round_bit) &&
+        ((mantissa & (round_bit - 1)) || (half_mant & 1))) {
+      ++half_mant;
+    }
+    return static_cast<uint16_t>(sign | half_mant);
+  }
+  uint32_t half = sign | (static_cast<uint32_t>(exponent) << 10) |
+                  (mantissa >> 13);
+  // Round to nearest even on the 13 dropped bits.
+  const uint32_t round_bit = 0x1000u;
+  if ((mantissa & round_bit) && ((mantissa & 0xFFFu) || (half & 1))) {
+    ++half;  // May carry into the exponent; that is correct rounding.
+  }
+  return static_cast<uint16_t>(half);
+}
+
+inline float HalfBitsToFloat(uint16_t h) {
+  const uint32_t sign = static_cast<uint32_t>(h & 0x8000u) << 16;
+  const uint32_t exponent = (h >> 10) & 0x1Fu;
+  const uint32_t mantissa = h & 0x3FFu;
+  uint32_t x;
+  if (exponent == 0) {
+    if (mantissa == 0) {
+      x = sign;  // Zero.
+    } else {
+      // Subnormal: normalize.
+      int e = -1;
+      uint32_t m = mantissa;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x400u) == 0);
+      x = sign | (static_cast<uint32_t>(127 - 15 - e) << 23) |
+          ((m & 0x3FFu) << 13);
+    }
+  } else if (exponent == 31) {
+    x = sign | 0x7F800000u | (mantissa << 13);  // Inf / NaN.
+  } else {
+    x = sign | ((exponent - 15 + 127) << 23) | (mantissa << 13);
+  }
+  float f;
+  std::memcpy(&f, &x, sizeof(f));
+  return f;
+}
+
+}  // namespace internal
+
+/// Half-precision storage scalar with implicit float conversion.
+class Half {
+ public:
+  Half() : bits_(0) {}
+  Half(float f) : bits_(internal::FloatToHalfBits(f)) {}  // NOLINT
+
+  operator float() const { return internal::HalfBitsToFloat(bits_); }
+
+  uint16_t bits() const { return bits_; }
+  static Half FromBits(uint16_t bits) {
+    Half h;
+    h.bits_ = bits;
+    return h;
+  }
+
+ private:
+  uint16_t bits_;
+};
+
+static_assert(sizeof(Half) == 2, "Half must be 2 bytes");
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_TENSOR_FP16_H_

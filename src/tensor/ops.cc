@@ -1,0 +1,136 @@
+#include "src/tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "src/common/logging.h"
+
+namespace pqcache {
+
+float Dot(std::span<const float> a, std::span<const float> b) {
+  PQC_CHECK_EQ(a.size(), b.size());
+  float acc = 0.0f;
+  const size_t n = a.size();
+  size_t i = 0;
+  // Four independent accumulators help the compiler vectorize.
+  float acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < n; ++i) acc += a[i] * b[i];
+  return acc + acc0 + acc1 + acc2 + acc3;
+}
+
+float L2Norm(std::span<const float> a) { return std::sqrt(Dot(a, a)); }
+
+float L2DistanceSquared(std::span<const float> a, std::span<const float> b) {
+  PQC_CHECK_EQ(a.size(), b.size());
+  float acc = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+void MatMul(std::span<const float> a, std::span<const float> b,
+            std::span<float> c, size_t m, size_t k, size_t n) {
+  PQC_CHECK_EQ(a.size(), m * k);
+  PQC_CHECK_EQ(b.size(), k * n);
+  PQC_CHECK_EQ(c.size(), m * n);
+  std::fill(c.begin(), c.end(), 0.0f);
+  // ikj loop order: streams over B and C rows, friendly to the prefetcher.
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* crow = c.data() + i * n;
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b.data() + kk * n;
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatVec(std::span<const float> a, std::span<const float> x,
+            std::span<float> y, size_t m, size_t k) {
+  PQC_CHECK_EQ(a.size(), m * k);
+  PQC_CHECK_EQ(x.size(), k);
+  PQC_CHECK_EQ(y.size(), m);
+  for (size_t i = 0; i < m; ++i) {
+    y[i] = Dot({a.data() + i * k, k}, x);
+  }
+}
+
+void SoftmaxInplace(std::span<float> x) { ScaledSoftmaxInplace(x, 1.0f); }
+
+void ScaledSoftmaxInplace(std::span<float> x, float scale) {
+  if (x.empty()) return;
+  float max_val = -std::numeric_limits<float>::infinity();
+  for (float v : x) max_val = std::max(max_val, v * scale);
+  if (!std::isfinite(max_val)) {
+    // All entries masked: define the output as uniform-zero.
+    std::fill(x.begin(), x.end(), 0.0f);
+    return;
+  }
+  float sum = 0.0f;
+  for (float& v : x) {
+    v = std::exp(v * scale - max_val);
+    sum += v;
+  }
+  const float inv = 1.0f / sum;
+  for (float& v : x) v *= inv;
+}
+
+std::vector<int32_t> TopKIndices(std::span<const float> scores, size_t k) {
+  const size_t n = scores.size();
+  k = std::min(k, n);
+  std::vector<int32_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  if (k == 0) return {};
+  if (k < n) {
+    std::nth_element(idx.begin(), idx.begin() + k - 1, idx.end(),
+                     [&](int32_t a, int32_t b) { return scores[a] > scores[b]; });
+    idx.resize(k);
+  }
+  std::sort(idx.begin(), idx.end(),
+            [&](int32_t a, int32_t b) { return scores[a] > scores[b]; });
+  return idx;
+}
+
+size_t ArgMax(std::span<const float> x) {
+  PQC_CHECK(!x.empty());
+  return static_cast<size_t>(
+      std::max_element(x.begin(), x.end()) - x.begin());
+}
+
+void MaxPool1DSame(std::span<const float> in, std::span<float> out,
+                   size_t kernel) {
+  PQC_CHECK_EQ(in.size(), out.size());
+  PQC_CHECK_EQ(kernel % 2, size_t{1});
+  const size_t n = in.size();
+  const size_t half = kernel / 2;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t lo = i >= half ? i - half : 0;
+    const size_t hi = std::min(n, i + half + 1);
+    float best = in[lo];
+    for (size_t j = lo + 1; j < hi; ++j) best = std::max(best, in[j]);
+    out[i] = best;
+  }
+}
+
+void AddInplace(std::span<float> a, std::span<const float> b) {
+  PQC_CHECK_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+}
+
+void ScaleInplace(std::span<float> a, float s) {
+  for (float& v : a) v *= s;
+}
+
+}  // namespace pqcache

@@ -1,0 +1,58 @@
+// Numeric kernels used throughout the library: GEMM/GEMV, numerically-stable
+// softmax, partial top-k selection, dot products, and 1-D max pooling
+// (SnapKV's score smoothing). All kernels operate on contiguous float spans.
+#ifndef PQCACHE_TENSOR_OPS_H_
+#define PQCACHE_TENSOR_OPS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pqcache {
+
+/// Inner product of two equal-length vectors.
+float Dot(std::span<const float> a, std::span<const float> b);
+
+/// Euclidean norm.
+float L2Norm(std::span<const float> a);
+
+/// Squared Euclidean distance between two equal-length vectors.
+float L2DistanceSquared(std::span<const float> a, std::span<const float> b);
+
+/// C[m,n] = A[m,k] * B[k,n], row-major, accumulated in float.
+void MatMul(std::span<const float> a, std::span<const float> b,
+            std::span<float> c, size_t m, size_t k, size_t n);
+
+/// y[m] = A[m,k] * x[k].
+void MatVec(std::span<const float> a, std::span<const float> x,
+            std::span<float> y, size_t m, size_t k);
+
+/// In-place numerically stable softmax over `x`. Handles -inf entries
+/// (masked positions) by assigning them zero probability.
+void SoftmaxInplace(std::span<float> x);
+
+/// In-place softmax with temperature `1/scale` (i.e. x_i <- exp(scale*x_i)/Z).
+void ScaledSoftmaxInplace(std::span<float> x, float scale);
+
+/// Indices of the k largest values of `scores`, in descending score order.
+/// k is clamped to scores.size(). O(n + k log k) via nth_element.
+std::vector<int32_t> TopKIndices(std::span<const float> scores, size_t k);
+
+/// Index of the maximum element (first one on ties). Precondition: non-empty.
+size_t ArgMax(std::span<const float> x);
+
+/// 1-D max pooling with odd `kernel` width and same-size output (stride 1,
+/// symmetric zero-free padding by clamping the window to the array bounds).
+void MaxPool1DSame(std::span<const float> in, std::span<float> out,
+                   size_t kernel);
+
+/// out = a + b (element-wise, equal sizes).
+void AddInplace(std::span<float> a, std::span<const float> b);
+
+/// a *= s.
+void ScaleInplace(std::span<float> a, float s);
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_TENSOR_OPS_H_

@@ -1,0 +1,68 @@
+// A small row-major dense tensor over float32. Deliberately minimal: the hot
+// paths in this library operate on raw spans; Tensor exists for shape-checked
+// plumbing between transformer layers and for test readability.
+#ifndef PQCACHE_TENSOR_TENSOR_H_
+#define PQCACHE_TENSOR_TENSOR_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace pqcache {
+
+/// Dense row-major float tensor with up to 4 dimensions.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Allocates a zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<size_t> shape) : shape_(std::move(shape)) {
+    size_t n = 1;
+    for (size_t d : shape_) n *= d;
+    data_.assign(n, 0.0f);
+  }
+
+  Tensor(std::initializer_list<size_t> shape)
+      : Tensor(std::vector<size_t>(shape)) {}
+
+  const std::vector<size_t>& shape() const { return shape_; }
+  size_t ndim() const { return shape_.size(); }
+  size_t size() const { return data_.size(); }
+  size_t dim(size_t i) const {
+    PQC_CHECK_LT(i, shape_.size());
+    return shape_[i];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> flat() { return {data_.data(), data_.size()}; }
+  std::span<const float> flat() const { return {data_.data(), data_.size()}; }
+
+  float& operator[](size_t i) { return data_[i]; }
+  float operator[](size_t i) const { return data_[i]; }
+
+  /// 2-D element access (row-major). Precondition: ndim() == 2.
+  float& at(size_t i, size_t j) { return data_[i * shape_[1] + j]; }
+  float at(size_t i, size_t j) const { return data_[i * shape_[1] + j]; }
+
+  /// Row view for a 2-D tensor.
+  std::span<float> row(size_t i) {
+    PQC_CHECK_EQ(ndim(), size_t{2});
+    return {data_.data() + i * shape_[1], shape_[1]};
+  }
+  std::span<const float> row(size_t i) const {
+    PQC_CHECK_EQ(ndim(), size_t{2});
+    return {data_.data() + i * shape_[1], shape_[1]};
+  }
+
+ private:
+  std::vector<size_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_TENSOR_TENSOR_H_

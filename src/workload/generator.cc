@@ -1,0 +1,478 @@
+#include "src/workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <set>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+
+namespace pqcache {
+
+namespace {
+
+// Key composition coefficients: key = sqrt(d) * (a * direction + b * noise),
+// a^2 + b^2 = 1. Background tokens align moderately with their document
+// topic; evidence tokens align strongly with their span direction.
+constexpr float kBgAlign = 0.75f;
+constexpr float kEvAlign = 0.90f;
+// Attention-sink logit for initial tokens (Fig. 6 shows prominent sinks).
+constexpr float kSinkLogit = 3.0f;
+// Local-document logit for queries (recency attention).
+constexpr float kLocalLogit = 3.5f;
+// Document-relevance logit: how strongly a decode query attends to the
+// *document* containing its target evidence, scaled by the task's
+// context_correlation (topical coherence of natural text).
+constexpr float kDocRelevanceLogit = 4.2f;
+// Global-salience logit: discourse-salient tokens (document heads) receive
+// attention from queries throughout the context AND from broad decode
+// queries — the persistent "heavy hitters" H2O-style accumulation rides on.
+constexpr float kSalienceLogit = 4.5f;
+constexpr float kSalienceAlign = 0.5f;
+// Query noise coefficient (adds ambient attention jitter).
+constexpr float kQueryNoise = 1.5f;
+
+void UnitGaussian(Rng& rng, std::span<float> out) {
+  float norm2 = 0.0f;
+  for (float& v : out) {
+    v = rng.Gaussian();
+    norm2 += v * v;
+  }
+  const float inv = 1.0f / std::sqrt(std::max(norm2, 1e-12f));
+  for (float& v : out) v *= inv;
+}
+
+// Solves for the evidence logit that yields mass ~= `target_mass` on a span
+// of `span_len` tokens against the competing partition mass: `seq_len`
+// background tokens with logits N(0, sigma^2) (sigma itself induced by the
+// evidence coefficient), `n_init` sink tokens at kSinkLogit, and
+// `local_len` recent-document tokens at kLocalLogit. Fixed point over 4
+// iterations.
+float SolveEvidenceLogit(double target_mass, double span_len, double seq_len,
+                         double n_init, double dim, double local_len,
+                         double extra_z = 0.0, double doc_logit = 0.0) {
+  target_mass = std::clamp(target_mass, 0.05, 0.95);
+  double logit = 6.0;
+  // Cross-talk variance of background logits: every query component's
+  // direction has O(1/sqrt(d)) overlap with a background key's topic.
+  const double fixed_var =
+      (kLocalLogit / kBgAlign) * (kLocalLogit / kBgAlign) +
+      (doc_logit / kBgAlign) * (doc_logit / kBgAlign) +
+      kSinkLogit * kSinkLogit + kQueryNoise * kQueryNoise;
+  for (int it = 0; it < 4; ++it) {
+    const double ev_coeff = logit / kEvAlign;
+    const double sigma2 =
+        (ev_coeff * ev_coeff * kBgAlign * kBgAlign + fixed_var) / dim;
+    const double z = seq_len * std::exp(0.5 * sigma2) +
+                     n_init * std::exp(kSinkLogit) +
+                     local_len * std::exp(kLocalLogit) + extra_z;
+    logit = std::log(target_mass / (1.0 - target_mass) * z /
+                     std::max(span_len, 1.0));
+  }
+  return static_cast<float>(std::max(logit, 1.0));
+}
+
+}  // namespace
+
+WorkloadGenerator::WorkloadGenerator(TaskSpec spec, size_t dim, int n_heads,
+                                     size_t n_obs)
+    : spec_(std::move(spec)), dim_(dim), n_heads_(n_heads), n_obs_(n_obs) {
+  PQC_CHECK_GT(dim_, size_t{0});
+  PQC_CHECK_GT(n_heads_, 0);
+}
+
+InstanceLayout WorkloadGenerator::MakeLayout(int instance_idx) const {
+  Rng rng(spec_.seed, 0x1A70u + static_cast<uint64_t>(instance_idx));
+  InstanceLayout layout;
+  const size_t s = spec_.seq_len;
+  layout.seq_len = s;
+  layout.n_init = 4;
+  layout.local_window = std::min<size_t>(64, s / 8);
+
+  // Documents: contiguous topic runs covering the context.
+  const size_t n_docs = std::max<size_t>(1, spec_.n_documents);
+  const size_t base = s / n_docs;
+  size_t pos = 0;
+  for (size_t d = 0; d < n_docs && pos < s; ++d) {
+    layout.doc_starts.push_back(pos);
+    const size_t len = base / 2 + rng.UniformInt(std::max<size_t>(base, 2));
+    pos += std::max<size_t>(len, 16);
+  }
+
+  // Question segment: inside the local window at the end, or right after the
+  // initial tokens at the front (Table 3 setup).
+  layout.question_len = 16;
+  if (spec_.question_pos == QuestionPosition::kEnd) {
+    layout.question_begin = s - layout.question_len - 4;
+  } else {
+    layout.question_begin = layout.n_init;
+  }
+
+  // Evidence spans: scattered through the middle region, avoiding the
+  // initial tokens, the question, and the local window.
+  const size_t lo = layout.n_init + layout.question_len + 64;
+  const size_t hi = s - layout.local_window - 64;
+  PQC_CHECK_GT(hi, lo + spec_.span_len);
+  std::set<size_t> taken;
+  for (int j = 0; j < spec_.n_spans; ++j) {
+    size_t begin;
+    if (spec_.needle_depth >= 0.0 && spec_.n_spans == 1) {
+      // Needle-in-a-haystack: plant at the requested depth fraction.
+      begin = lo + static_cast<size_t>(spec_.needle_depth *
+                                       static_cast<double>(hi - lo -
+                                                           spec_.span_len));
+    } else if (spec_.chain || spec_.n_spans > 8) {
+      // Spread deterministically (chains and marker tasks).
+      const size_t stride = (hi - lo) / static_cast<size_t>(spec_.n_spans);
+      begin = lo + static_cast<size_t>(j) * stride +
+              rng.UniformInt(std::max<size_t>(stride / 2, 1));
+    } else {
+      begin = lo + rng.UniformInt(hi - lo - spec_.span_len);
+    }
+    begin = std::min(begin, hi - spec_.span_len);
+    // Nudge spans apart.
+    while (taken.count(begin / 64) != 0) begin += 64 + spec_.span_len;
+    begin = std::min(begin, hi - spec_.span_len);
+    taken.insert(begin / 64);
+    layout.spans.push_back({begin, spec_.span_len});
+  }
+
+  // Decode-step targets and critical sets.
+  layout.target_span_per_step.resize(spec_.n_decode_steps);
+  layout.critical_per_step.resize(spec_.n_decode_steps);
+  for (int step = 0; step < spec_.n_decode_steps; ++step) {
+    int target;
+    if (spec_.broad_weight > 0.5f) {
+      target = -1;  // Broad coverage task (summarization).
+    } else if (spec_.chain) {
+      target = step % std::max(1, spec_.n_spans);
+    } else if (spec_.all_spans_critical) {
+      target = -2;  // Marker-counting task: all spans critical.
+    } else {
+      target = static_cast<int>(rng.UniformInt(
+          static_cast<uint64_t>(std::max(1, spec_.n_spans))));
+    }
+    layout.target_span_per_step[step] = target;
+    auto& critical = layout.critical_per_step[step];
+    if (target >= 0) {
+      const auto& span = layout.spans[static_cast<size_t>(target)];
+      for (size_t t = 0; t < span.len; ++t) {
+        critical.push_back(static_cast<int32_t>(span.begin + t));
+      }
+    } else {
+      // Broad / marker: all spans' tokens are critical.
+      for (const auto& span : layout.spans) {
+        for (size_t t = 0; t < span.len; ++t) {
+          critical.push_back(static_cast<int32_t>(span.begin + t));
+        }
+      }
+    }
+  }
+  return layout;
+}
+
+HeadData WorkloadGenerator::MakeHead(const InstanceLayout& layout,
+                                     int instance_idx, int head_idx) const {
+  Rng rng(spec_.seed,
+          0xBEEF0000u + static_cast<uint64_t>(instance_idx) * 131 +
+              static_cast<uint64_t>(head_idx));
+  const size_t s = layout.seq_len;
+  const size_t d = dim_;
+  const int n_spans = static_cast<int>(layout.spans.size());
+  const size_t n_docs = layout.doc_starts.size();
+
+  HeadData head;
+  head.dim = d;
+
+  // Directions.
+  std::vector<float> v_sink(d), scratch(d);
+  UnitGaussian(rng, v_sink);
+  std::vector<std::vector<float>> u_doc(n_docs, std::vector<float>(d));
+  for (auto& u : u_doc) UnitGaussian(rng, u);
+  std::vector<std::vector<float>> v_span(n_spans, std::vector<float>(d));
+  for (auto& v : v_span) UnitGaussian(rng, v);
+  if (spec_.span_family_similarity > 0.0f && n_spans > 1) {
+    // Shared family template, spread FLAT across dimensions (sign vector):
+    // no single coordinate carries the family signal, so low-rank
+    // projections see the template but cannot separate members.
+    std::vector<float> family(d);
+    const float flat = 1.0f / std::sqrt(static_cast<float>(d));
+    for (size_t i = 0; i < d; ++i) {
+      family[i] = rng.Bernoulli(0.5) ? flat : -flat;
+    }
+    const float sim = spec_.span_family_similarity;
+    const float distinct = std::sqrt(1.0f - sim * sim);
+    for (auto& v : v_span) {
+      for (size_t i = 0; i < d; ++i) {
+        v[i] = sim * family[i] + distinct * v[i];
+      }
+    }
+  }
+
+  // Global-salience direction and salient tokens (document heads).
+  std::vector<float> v_sal(d);
+  UnitGaussian(rng, v_sal);
+
+  // Maps token -> document index.
+  auto doc_of = [&](size_t t) {
+    size_t lo = 0, hi = n_docs;
+    while (lo + 1 < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (layout.doc_starts[mid] <= t) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  };
+  // Maps token -> span index or -1.
+  std::vector<int32_t> span_of(s, -1);
+  for (int j = 0; j < n_spans; ++j) {
+    const auto& span = layout.spans[static_cast<size_t>(j)];
+    for (size_t t = 0; t < span.len; ++t) {
+      span_of[span.begin + t] = j;
+    }
+  }
+
+  const float sqrt_d = std::sqrt(static_cast<float>(d));
+  const float bg_noise = std::sqrt(1.0f - kBgAlign * kBgAlign);
+  const float ev_noise = std::sqrt(1.0f - kEvAlign * kEvAlign);
+
+  // --- Keys ---
+  head.keys.assign(s * d, 0.0f);
+  for (size_t t = 0; t < s; ++t) {
+    float* k = head.keys.data() + t * d;
+    UnitGaussian(rng, scratch);  // Per-token noise direction.
+    if (t < layout.n_init) {
+      // Attention sinks: pure sink direction plus slight noise.
+      for (size_t i = 0; i < d; ++i) {
+        k[i] = sqrt_d * (0.95f * v_sink[i] + 0.31f * scratch[i]);
+      }
+    } else if (span_of[t] >= 0) {
+      const auto& v = v_span[static_cast<size_t>(span_of[t])];
+      for (size_t i = 0; i < d; ++i) {
+        k[i] = sqrt_d * (kEvAlign * v[i] + ev_noise * scratch[i]);
+      }
+    } else {
+      const size_t doc = doc_of(t);
+      const auto& u = u_doc[doc];
+      const size_t doc_start = layout.doc_starts[doc];
+      const bool salient = t >= doc_start && t < doc_start + 2;
+      if (salient) {
+        // Document heads are discourse-salient: their keys mix the global
+        // salience direction, so they accumulate attention from queries
+        // everywhere — the persistent heavy hitters.
+        for (size_t i = 0; i < d; ++i) {
+          k[i] = sqrt_d * (0.62f * u[i] + kSalienceAlign * v_sal[i] +
+                           0.60f * scratch[i]);
+        }
+      } else {
+        for (size_t i = 0; i < d; ++i) {
+          k[i] = sqrt_d * (kBgAlign * u[i] + bg_noise * scratch[i]);
+        }
+      }
+    }
+  }
+
+  // Expected size of the recency-attended document (query local component).
+  const double local_len =
+      static_cast<double>(s) / std::max<size_t>(n_docs, 1);
+  // Document-relevance component of decode queries (topical coherence of
+  // natural text; zero for random-content retrieval tasks).
+  const float doc_logit = spec_.context_correlation * kDocRelevanceLogit;
+  const double doc_z =
+      spec_.context_correlation > 0.05f
+          ? local_len * std::exp(static_cast<double>(doc_logit))
+          : 0.0;
+  // Target logit for the active evidence span under decode queries.
+  const float ev_logit = SolveEvidenceLogit(
+      spec_.evidence_mass, static_cast<double>(spec_.span_len),
+      static_cast<double>(s), static_cast<double>(layout.n_init),
+      static_cast<double>(d), local_len, doc_z, doc_logit);
+
+  // Builds a query with the given (span, logit) targets, optional
+  // (document, logit) relevance components, plus sink, local-document and
+  // noise components.
+  auto build_query =
+      [&](Rng& qrng, std::span<float> q,
+          const std::vector<std::pair<int, float>>& span_logits,
+          const std::vector<std::pair<size_t, float>>& doc_logits,
+          size_t position, bool with_salience) {
+        std::fill(q.begin(), q.end(), 0.0f);
+        if (with_salience) {
+          const float sc = kSalienceLogit / kSalienceAlign;
+          for (size_t i = 0; i < d; ++i) q[i] += sc * v_sal[i];
+        }
+        for (const auto& [span_idx, logit] : span_logits) {
+          if (logit <= 0.0f) continue;
+          const auto& v = v_span[static_cast<size_t>(span_idx)];
+          const float coeff = logit / kEvAlign;
+          for (size_t i = 0; i < d; ++i) q[i] += coeff * v[i];
+        }
+        for (const auto& [doc_idx, logit] : doc_logits) {
+          if (logit <= 0.0f) continue;
+          const auto& u = u_doc[doc_idx];
+          const float coeff = logit / kBgAlign;
+          for (size_t i = 0; i < d; ++i) q[i] += coeff * u[i];
+        }
+        // Sink component.
+        for (size_t i = 0; i < d; ++i) q[i] += kSinkLogit * v_sink[i];
+        // Local-document component.
+        const auto& u = u_doc[doc_of(std::min(position, s - 1))];
+        const float lc = kLocalLogit / kBgAlign;
+        for (size_t i = 0; i < d; ++i) q[i] += lc * u[i];
+        // Ambient noise.
+        UnitGaussian(qrng, scratch);
+        for (size_t i = 0; i < d; ++i) q[i] += kQueryNoise * scratch[i];
+      };
+
+  // --- Observed prefill queries ---
+  // Always include the question positions (capped), plus a uniform sample.
+  std::vector<int32_t> positions;
+  const size_t q_begin = layout.question_begin;
+  const size_t q_take = std::min<size_t>(layout.question_len, n_obs_ / 4);
+  for (size_t i = 0; i < q_take; ++i) {
+    positions.push_back(static_cast<int32_t>(q_begin + i));
+  }
+  // SnapKV-style policies observe the prompt tail regardless of where the
+  // question sits; always sample a few positions from the final window.
+  const size_t tail_take = std::min<size_t>(6, n_obs_ / 8);
+  for (size_t i = 0; i < tail_take; ++i) {
+    positions.push_back(static_cast<int32_t>(s - 1 - i * 4));
+  }
+  const size_t remaining = n_obs_ > positions.size()
+                               ? n_obs_ - positions.size()
+                               : 0;
+  for (size_t i = 0; i < remaining; ++i) {
+    // Evenly spaced with jitter, covering the whole context.
+    const size_t base = (i + 1) * s / (remaining + 1);
+    const size_t jitter = rng.UniformInt(64);
+    positions.push_back(
+        static_cast<int32_t>(std::min(s - 1, base + jitter)));
+  }
+  std::sort(positions.begin(), positions.end());
+  positions.erase(std::unique(positions.begin(), positions.end()),
+                  positions.end());
+
+  head.obs_positions = positions;
+  head.obs_queries.assign(positions.size() * d, 0.0f);
+  const bool question_first =
+      spec_.question_pos == QuestionPosition::kFront;
+  // Per-(head, span) coin flips: did this head notice the passage while
+  // reading with the question in mind? (Question-first carry signal.)
+  constexpr double kCarryNoticeProb = 0.65;
+  std::vector<bool> carry_noticed(static_cast<size_t>(n_spans), false);
+  if (question_first) {
+    for (int j = 0; j < n_spans; ++j) {
+      carry_noticed[static_cast<size_t>(j)] = rng.Bernoulli(kCarryNoticeProb);
+    }
+  }
+  for (size_t qi = 0; qi < positions.size(); ++qi) {
+    const size_t p = static_cast<size_t>(positions[qi]);
+    std::span<float> q(head.obs_queries.data() + qi * d, d);
+    const bool is_question =
+        p >= q_begin && p < q_begin + layout.question_len;
+    std::vector<std::pair<int, float>> targets;
+    if (is_question && !question_first) {
+      // The question reads the context: it highlights evidence spans that
+      // precede it, attenuated by the task's prefill hint. Chain tasks only
+      // reveal the first hop.
+      for (int j = 0; j < n_spans; ++j) {
+        float hint = spec_.prefill_hint;
+        if (spec_.chain && j > 0) hint *= 0.5f;
+        if (hint <= 0.01f) continue;
+        // Map hint to a mass fraction of the decode-time evidence mass.
+        const float mass =
+            spec_.evidence_mass * hint /
+            std::max(1.0f, static_cast<float>(n_spans) * 0.5f);
+        const float logit = SolveEvidenceLogit(
+            mass, static_cast<double>(spec_.span_len),
+            static_cast<double>(s), static_cast<double>(layout.n_init),
+            static_cast<double>(d), local_len);
+        targets.push_back({j, logit});
+      }
+    }
+    if (question_first && !is_question) {
+      // Question-first: the question's own queries cannot see the evidence
+      // (causality), but the model carries the question while reading and
+      // *sometimes* marks evidence it passes — per (head, span) it either
+      // noticed the passage or it did not. This partial residual signal is
+      // why SnapKV retains reduced-but-nonzero quality in the paper's
+      // Table 3 instead of collapsing outright.
+      for (int j = 0; j < n_spans; ++j) {
+        const auto& span = layout.spans[static_cast<size_t>(j)];
+        if (p <= span.begin + span.len) continue;  // Not yet read.
+        if (!carry_noticed[static_cast<size_t>(j)]) continue;
+        float hint = spec_.prefill_hint * 0.5f;
+        if (spec_.chain && j > 0) hint *= 0.5f;
+        if (hint <= 0.01f) continue;
+        const float mass =
+            spec_.evidence_mass * hint /
+            std::max(1.0f, static_cast<float>(n_spans) * 0.5f);
+        const float logit = SolveEvidenceLogit(
+            mass, static_cast<double>(spec_.span_len),
+            static_cast<double>(s), static_cast<double>(layout.n_init),
+            static_cast<double>(d), local_len);
+        targets.push_back({j, logit});
+      }
+    }
+    build_query(rng, q, targets, {}, p, /*with_salience=*/true);
+  }
+
+  // --- Decode queries ---
+  head.dec_queries.assign(static_cast<size_t>(spec_.n_decode_steps) * d,
+                          0.0f);
+  for (int step = 0; step < spec_.n_decode_steps; ++step) {
+    std::span<float> q(head.dec_queries.data() +
+                           static_cast<size_t>(step) * d,
+                       d);
+    const int target = layout.target_span_per_step[static_cast<size_t>(step)];
+    const bool broad_step = target == -1;
+    std::vector<std::pair<int, float>> targets;
+    std::vector<std::pair<size_t, float>> doc_targets;
+    if (target >= 0) {
+      targets.push_back({target, ev_logit});
+      if (doc_logit > 0.0f) {
+        doc_targets.push_back(
+            {doc_of(layout.spans[static_cast<size_t>(target)].begin),
+             doc_logit});
+      }
+    } else if (target == -2) {
+      // Marker counting: attend to every span (smaller per-span mass).
+      const float mass =
+          spec_.evidence_mass / std::max(1, n_spans);
+      const float logit = SolveEvidenceLogit(
+          mass, static_cast<double>(spec_.span_len), static_cast<double>(s),
+          static_cast<double>(layout.n_init), static_cast<double>(d),
+          local_len);
+      for (int j = 0; j < n_spans; ++j) targets.push_back({j, logit});
+    } else {
+      // Broad (summarization): rotate over a subset of spans per step, each
+      // with its surrounding document moderately relevant.
+      const int n_mix = std::min(n_spans, 6);
+      const float mass = spec_.evidence_mass / std::max(1, n_mix);
+      const double salience_z =
+          2.0 * static_cast<double>(n_docs) * std::exp(kSalienceLogit);
+      const float logit = SolveEvidenceLogit(
+          mass, static_cast<double>(spec_.span_len), static_cast<double>(s),
+          static_cast<double>(layout.n_init), static_cast<double>(d),
+          local_len, n_mix * doc_z + salience_z, doc_logit);
+      for (int j = 0; j < n_mix; ++j) {
+        const int span = (step + j) % std::max(1, n_spans);
+        targets.push_back({span, logit});
+        if (doc_logit > 0.0f) {
+          doc_targets.push_back(
+              {doc_of(layout.spans[static_cast<size_t>(span)].begin),
+               doc_logit});
+        }
+      }
+    }
+    build_query(rng, q, targets, doc_targets, s - 1,
+                /*with_salience=*/broad_step);
+  }
+  return head;
+}
+
+}  // namespace pqcache

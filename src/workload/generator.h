@@ -1,0 +1,79 @@
+// Generates the per-head key/query tensors of a workload instance with
+// planted ground truth. Keys live on an anisotropic, cluster-structured
+// manifold (documents share topic clusters), evidence spans sit on their own
+// directions, and queries are constructed so that full-softmax attention
+// places a controlled amount of mass on the active evidence — reproducing
+// the power-law attention of paper Fig. 6 with known critical tokens.
+#ifndef PQCACHE_WORKLOAD_GENERATOR_H_
+#define PQCACHE_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/workload/spec.h"
+
+namespace pqcache {
+
+/// Token-position layout of one instance (shared across heads).
+struct InstanceLayout {
+  size_t seq_len = 0;
+  size_t n_init = 4;          ///< Attention-sink tokens.
+  size_t local_window = 64;   ///< Always-resident recent tokens.
+  /// Evidence spans: [begin, begin+len) per span.
+  struct Span {
+    size_t begin;
+    size_t len;
+  };
+  std::vector<Span> spans;
+  /// Question segment [begin, begin+len).
+  size_t question_begin = 0;
+  size_t question_len = 16;
+  /// Document boundaries (for broad-coverage scoring and InfLLM blocks).
+  std::vector<size_t> doc_starts;
+  /// Critical token ids per decode step.
+  std::vector<std::vector<int32_t>> critical_per_step;
+  /// Which span each decode step targets (-1 = broad).
+  std::vector<int> target_span_per_step;
+};
+
+/// One head's tensors.
+struct HeadData {
+  size_t dim = 64;
+  std::vector<float> keys;          ///< [seq_len, dim]
+  std::vector<float> obs_queries;   ///< [n_obs, dim] sampled prefill queries.
+  std::vector<int32_t> obs_positions;  ///< Position of each observed query.
+  std::vector<float> dec_queries;   ///< [n_decode_steps, dim]
+};
+
+/// Deterministic generator: same (spec, instance, head) -> same tensors.
+class WorkloadGenerator {
+ public:
+  /// `dim` is the per-head key dimension; `n_heads` the number of virtual
+  /// (layer, head) pairs evaluated; `n_obs` the number of prefill queries
+  /// observable by prefill-snooping policies.
+  WorkloadGenerator(TaskSpec spec, size_t dim = 64, int n_heads = 4,
+                    size_t n_obs = 64);
+
+  const TaskSpec& spec() const { return spec_; }
+  size_t dim() const { return dim_; }
+  int n_heads() const { return n_heads_; }
+
+  /// Layout for instance `idx` (position structure, ground truth).
+  InstanceLayout MakeLayout(int instance_idx) const;
+
+  /// Tensors for (instance, head). Heads are independent; generate, use,
+  /// discard to bound memory.
+  HeadData MakeHead(const InstanceLayout& layout, int instance_idx,
+                    int head_idx) const;
+
+ private:
+  TaskSpec spec_;
+  size_t dim_;
+  int n_heads_;
+  size_t n_obs_;
+};
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_WORKLOAD_GENERATOR_H_

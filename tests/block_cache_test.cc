@@ -1,0 +1,143 @@
+#include "src/cache/block_cache.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pqcache {
+namespace {
+
+BlockCacheOptions MakeOptions(size_t capacity_tokens, size_t block_tokens,
+                              EvictionPolicy policy) {
+  BlockCacheOptions o;
+  o.capacity_tokens = capacity_tokens;
+  o.block_tokens = block_tokens;
+  o.policy = policy;
+  return o;
+}
+
+TEST(BlockCacheTest, CapacityBlocks) {
+  BlockCache cache(MakeOptions(1024, 128, EvictionPolicy::kLRU));
+  EXPECT_EQ(cache.capacity_blocks(), 8u);
+}
+
+TEST(BlockCacheTest, MissThenHit) {
+  BlockCache cache(MakeOptions(256, 128, EvictionPolicy::kLRU));
+  std::vector<int32_t> tokens = {0, 1, 130};
+  std::vector<bool> hits;
+  cache.Probe(tokens, &hits);
+  EXPECT_FALSE(hits[0]);
+  EXPECT_FALSE(hits[2]);
+  cache.AdmitTopBlocks(tokens, 2);
+  cache.Probe(tokens, &hits);
+  EXPECT_TRUE(hits[0]);
+  EXPECT_TRUE(hits[1]);
+  EXPECT_TRUE(hits[2]);
+  EXPECT_EQ(cache.stats().token_lookups, 6u);
+  EXPECT_EQ(cache.stats().token_hits, 3u);
+}
+
+TEST(BlockCacheTest, AdmitTopBlocksPrefersDenseBlocks) {
+  // Capacity of one block: the block holding more requested tokens wins.
+  BlockCache cache(MakeOptions(128, 128, EvictionPolicy::kLRU));
+  std::vector<int32_t> tokens = {0, 1, 2, 200};  // Block 0 x3, block 1 x1.
+  cache.AdmitTopBlocks(tokens, 1);
+  EXPECT_TRUE(cache.Contains(0));
+  EXPECT_FALSE(cache.Contains(1));
+}
+
+TEST(BlockCacheTest, LRUEvictsOldest) {
+  BlockCache cache(MakeOptions(256, 128, EvictionPolicy::kLRU));  // 2 blocks.
+  cache.Admit(0);
+  cache.Admit(1);
+  // Touch block 0 so block 1 becomes LRU.
+  std::vector<bool> hits;
+  std::vector<int32_t> t0 = {5};
+  cache.Probe(t0, &hits);
+  cache.Admit(2);
+  EXPECT_TRUE(cache.Contains(0));
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+}
+
+TEST(BlockCacheTest, LFUEvictsLeastFrequent) {
+  BlockCache cache(MakeOptions(256, 128, EvictionPolicy::kLFU));
+  cache.Admit(0);
+  cache.Admit(1);
+  // Hit block 0 many times.
+  std::vector<bool> hits;
+  std::vector<int32_t> t0 = {5, 6, 7};
+  for (int i = 0; i < 3; ++i) cache.Probe(t0, &hits);
+  // Hit block 1 once.
+  std::vector<int32_t> t1 = {130};
+  cache.Probe(t1, &hits);
+  cache.Admit(2);  // Evicts block 1 (lower frequency).
+  EXPECT_TRUE(cache.Contains(0));
+  EXPECT_FALSE(cache.Contains(1));
+}
+
+TEST(BlockCacheTest, AdmitExistingRefreshes) {
+  BlockCache cache(MakeOptions(256, 128, EvictionPolicy::kLRU));
+  cache.Admit(0);
+  cache.Admit(1);
+  cache.Admit(0);  // Refresh block 0.
+  cache.Admit(2);  // Now block 1 is the LRU victim.
+  EXPECT_TRUE(cache.Contains(0));
+  EXPECT_FALSE(cache.Contains(1));
+}
+
+TEST(BlockCacheTest, HitRateStats) {
+  BlockCache cache(MakeOptions(128, 128, EvictionPolicy::kLRU));
+  cache.Admit(0);
+  std::vector<bool> hits;
+  std::vector<int32_t> tokens = {0, 128};  // One hit, one miss.
+  cache.Probe(tokens, &hits);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.5);
+  cache.ResetStats();
+  EXPECT_EQ(cache.stats().token_lookups, 0u);
+}
+
+TEST(BlockCacheTest, TokenLevelCache) {
+  // block_tokens = 1 degenerates to a token-level cache.
+  BlockCache cache(MakeOptions(4, 1, EvictionPolicy::kLRU));
+  EXPECT_EQ(cache.capacity_blocks(), 4u);
+  std::vector<int32_t> tokens = {10, 11, 12, 13};
+  cache.AdmitTopBlocks(tokens, 4);
+  std::vector<bool> hits;
+  cache.Probe(tokens, &hits);
+  for (bool h : hits) EXPECT_TRUE(h);
+  cache.Admit(99);
+  EXPECT_EQ(cache.resident_blocks(), 4u);
+}
+
+TEST(BlockCacheTest, ZeroCapacityNeverAdmits) {
+  BlockCache cache(MakeOptions(0, 128, EvictionPolicy::kLRU));
+  cache.Admit(0);
+  EXPECT_EQ(cache.resident_blocks(), 0u);
+  EXPECT_FALSE(cache.Contains(0));
+}
+
+TEST(BlockCacheTest, ClearResetsEverything) {
+  BlockCache cache(MakeOptions(256, 128, EvictionPolicy::kLRU));
+  cache.Admit(0);
+  std::vector<bool> hits;
+  std::vector<int32_t> tokens = {0};
+  cache.Probe(tokens, &hits);
+  cache.Clear();
+  EXPECT_EQ(cache.resident_blocks(), 0u);
+  EXPECT_EQ(cache.stats().token_lookups, 0u);
+}
+
+TEST(BlockCacheTest, ThrashWhenAdmittingBeyondCapacity) {
+  // Admitting more blocks than capacity per update cycles residency —
+  // the Fig. 11d "block count exceeds cache size" regime.
+  BlockCache cache(MakeOptions(256, 128, EvictionPolicy::kLRU));  // 2 blocks.
+  std::vector<int32_t> tokens;
+  for (int b = 0; b < 6; ++b) tokens.push_back(b * 128);
+  cache.AdmitTopBlocks(tokens, 6);
+  EXPECT_EQ(cache.resident_blocks(), 2u);
+  EXPECT_GT(cache.stats().block_evictions, 0u);
+}
+
+}  // namespace
+}  // namespace pqcache

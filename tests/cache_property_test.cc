@@ -1,0 +1,117 @@
+// Parameterized property tests for the block cache across policies, block
+// sizes and capacities: residency never exceeds capacity, statistics are
+// consistent, and behaviour under random traces is sane.
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/cache/block_cache.h"
+#include "src/common/rng.h"
+
+namespace pqcache {
+namespace {
+
+// (policy, capacity_tokens, block_tokens)
+using CacheParam = std::tuple<EvictionPolicy, size_t, size_t>;
+
+class CacheSweep : public ::testing::TestWithParam<CacheParam> {
+ protected:
+  BlockCacheOptions Options() const {
+    BlockCacheOptions o;
+    o.policy = std::get<0>(GetParam());
+    o.capacity_tokens = std::get<1>(GetParam());
+    o.block_tokens = std::get<2>(GetParam());
+    return o;
+  }
+};
+
+TEST_P(CacheSweep, ResidencyNeverExceedsCapacity) {
+  BlockCache cache(Options());
+  Rng rng(1);
+  std::vector<int32_t> tokens;
+  for (int round = 0; round < 50; ++round) {
+    tokens.clear();
+    for (int i = 0; i < 64; ++i) {
+      tokens.push_back(static_cast<int32_t>(rng.UniformInt(4096)));
+    }
+    std::sort(tokens.begin(), tokens.end());
+    std::vector<bool> hits;
+    cache.Probe(tokens, &hits);
+    cache.AdmitTopBlocks(tokens, 8);
+    EXPECT_LE(cache.resident_blocks(), cache.capacity_blocks());
+  }
+}
+
+TEST_P(CacheSweep, StatsConsistent) {
+  BlockCache cache(Options());
+  Rng rng(2);
+  uint64_t expected_lookups = 0;
+  for (int round = 0; round < 20; ++round) {
+    std::vector<int32_t> tokens;
+    for (int i = 0; i < 32; ++i) {
+      tokens.push_back(static_cast<int32_t>(rng.UniformInt(2048)));
+    }
+    std::vector<bool> hits;
+    cache.Probe(tokens, &hits);
+    expected_lookups += tokens.size();
+    cache.AdmitTopBlocks(tokens, 4);
+  }
+  EXPECT_EQ(cache.stats().token_lookups, expected_lookups);
+  EXPECT_LE(cache.stats().token_hits, cache.stats().token_lookups);
+  EXPECT_GE(cache.stats().hit_rate(), 0.0);
+  EXPECT_LE(cache.stats().hit_rate(), 1.0);
+}
+
+TEST_P(CacheSweep, RepeatedWorkingSetConverges) {
+  // A working set that fits must eventually hit ~100%.
+  BlockCache cache(Options());
+  const size_t working_blocks =
+      std::max<size_t>(1, cache.capacity_blocks() / 2);
+  std::vector<int32_t> tokens;
+  for (size_t b = 0; b < working_blocks; ++b) {
+    tokens.push_back(static_cast<int32_t>(b * Options().block_tokens));
+  }
+  std::vector<bool> hits;
+  for (int round = 0; round < 5; ++round) {
+    cache.Probe(tokens, &hits);
+    cache.AdmitTopBlocks(tokens, working_blocks);
+  }
+  cache.ResetStats();
+  cache.Probe(tokens, &hits);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 1.0);
+}
+
+TEST_P(CacheSweep, ProbeHitsMatchContains) {
+  BlockCache cache(Options());
+  cache.Admit(0);
+  cache.Admit(2);
+  std::vector<int32_t> tokens;
+  const int32_t bt = static_cast<int32_t>(Options().block_tokens);
+  tokens = {0, bt, 2 * bt, 3 * bt};
+  std::sort(tokens.begin(), tokens.end());
+  std::vector<bool> hits;
+  cache.Probe(tokens, &hits);
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    EXPECT_EQ(hits[i], cache.Contains(tokens[i] / bt));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CacheSweep,
+    ::testing::Combine(::testing::Values(EvictionPolicy::kLRU,
+                                         EvictionPolicy::kLFU),
+                       ::testing::Values(size_t{256}, size_t{1024},
+                                         size_t{4096}),
+                       ::testing::Values(size_t{1}, size_t{32},
+                                         size_t{128})),
+    [](const ::testing::TestParamInfo<CacheParam>& info) {
+      return std::string(std::get<0>(info.param) == EvictionPolicy::kLRU
+                             ? "LRU"
+                             : "LFU") +
+             "_cap" + std::to_string(std::get<1>(info.param)) + "_blk" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace pqcache

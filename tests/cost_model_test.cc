@@ -1,0 +1,103 @@
+#include "src/kmeans/cost_model.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pqcache {
+namespace {
+
+TEST(FitLinearTest, ExactLine) {
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y = {3, 5, 7, 9};  // y = 1 + 2x
+  auto fit = FitLinear(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit.value().alpha, 1.0, 1e-9);
+  EXPECT_NEAR(fit.value().beta, 2.0, 1e-9);
+  EXPECT_NEAR(fit.value().Eval(10), 21.0, 1e-9);
+}
+
+TEST(FitLinearTest, RejectsDegenerate) {
+  std::vector<double> x = {2, 2, 2};
+  std::vector<double> y = {1, 2, 3};
+  EXPECT_FALSE(FitLinear(x, y).ok());
+  EXPECT_FALSE(FitLinear({}, {}).ok());
+}
+
+TEST(FitQuadraticTest, ExactParabola) {
+  std::vector<double> x = {0, 1, 2, 3, 4};
+  std::vector<double> y;
+  for (double v : x) y.push_back(2.0 + 0.5 * v + 3.0 * v * v);
+  auto fit = FitQuadratic(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit.value().alpha, 2.0, 1e-6);
+  EXPECT_NEAR(fit.value().beta, 0.5, 1e-6);
+  EXPECT_NEAR(fit.value().gamma, 3.0, 1e-6);
+}
+
+TEST(FitQuadraticTest, RejectsTooFewPoints) {
+  std::vector<double> x = {0, 1};
+  std::vector<double> y = {0, 1};
+  EXPECT_FALSE(FitQuadratic(x, y).ok());
+}
+
+TEST(ClusteringCostModelTest, FitsAndPredicts) {
+  ClusteringCostModel model;
+  // Clustering: t = 0.001 + 2e-7 * (s * T).
+  for (double s : {1000.0, 5000.0, 20000.0}) {
+    for (double iters : {2.0, 5.0, 10.0}) {
+      model.AddClusteringSample(s, iters, 0.001 + 2e-7 * s * iters);
+    }
+  }
+  // Compute: t = 0.002 + 1e-6 s + 3e-11 s^2.
+  for (double s : {1000.0, 4000.0, 16000.0, 64000.0}) {
+    model.AddComputeSample(s, 0.002 + 1e-6 * s + 3e-11 * s * s);
+  }
+  ASSERT_TRUE(model.Fit().ok());
+  EXPECT_TRUE(model.fitted());
+  EXPECT_NEAR(model.PredictClusteringSeconds(10000, 5),
+              0.001 + 2e-7 * 50000, 1e-5);
+  EXPECT_NEAR(model.PredictComputeSeconds(10000),
+              0.002 + 1e-6 * 10000 + 3e-11 * 1e8, 1e-5);
+}
+
+TEST(ClusteringCostModelTest, MaxIterationsGrowsWithLength) {
+  ClusteringCostModel model;
+  for (double s : {1000.0, 5000.0, 20000.0}) {
+    for (double iters : {2.0, 5.0, 10.0}) {
+      model.AddClusteringSample(s, iters, 0.001 + 2e-7 * s * iters);
+    }
+  }
+  for (double s : {1000.0, 4000.0, 16000.0, 64000.0}) {
+    model.AddComputeSample(s, 0.002 + 1e-6 * s + 3e-11 * s * s);
+  }
+  ASSERT_TRUE(model.Fit().ok());
+  // Compute grows quadratically while clustering grows linearly in s, so
+  // longer sequences afford more iterations (paper Fig. 8 argument).
+  const int t_short = model.MaxIterations(2000, 1, 100);
+  const int t_long = model.MaxIterations(100000, 1, 100);
+  EXPECT_GT(t_long, t_short);
+}
+
+TEST(ClusteringCostModelTest, ClipsToBounds) {
+  ClusteringCostModel model;
+  for (double s : {1000.0, 5000.0, 20000.0}) {
+    model.AddClusteringSample(s, 5, 0.001 + 2e-7 * s * 5);
+    model.AddClusteringSample(s, 10, 0.001 + 2e-7 * s * 10);
+  }
+  for (double s : {1000.0, 4000.0, 16000.0}) {
+    model.AddComputeSample(s, 1e-9 * s);  // Compute is nearly free.
+  }
+  ASSERT_TRUE(model.Fit().ok());
+  EXPECT_EQ(model.MaxIterations(10000, 3, 40), 3);  // Clipped to min.
+}
+
+TEST(ClusteringCostModelTest, FitFailsWithoutSamples) {
+  ClusteringCostModel model;
+  EXPECT_FALSE(model.Fit().ok());
+  EXPECT_FALSE(model.fitted());
+}
+
+}  // namespace
+}  // namespace pqcache

@@ -1,0 +1,165 @@
+#include "src/core/pqcache_engine.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/tensor/ops.h"
+
+namespace pqcache {
+namespace {
+
+PQCacheEngineOptions SmallEngineOptions() {
+  PQCacheEngineOptions options;
+  options.model = ModelConfig::Tiny();
+  options.initial_tokens = 2;
+  options.local_window = 8;
+  options.pq_partitions = 2;
+  options.pq_bits = 4;
+  options.kmeans_iterations = 6;
+  options.token_ratio = 0.5;
+  options.cache.capacity_tokens = 64;
+  options.cache.block_tokens = 8;
+  return options;
+}
+
+std::vector<int32_t> MakePrompt(size_t n) {
+  std::vector<int32_t> prompt(n);
+  for (size_t i = 0; i < n; ++i) {
+    prompt[i] = static_cast<int32_t>((i * 37 + 11) % 250);
+  }
+  return prompt;
+}
+
+TEST(EngineTest, CreateValidatesOptions) {
+  PQCacheEngineOptions bad = SmallEngineOptions();
+  bad.pq_partitions = 3;  // Does not divide head_dim 16.
+  EXPECT_FALSE(PQCacheEngine::Create(bad).ok());
+  bad = SmallEngineOptions();
+  bad.token_ratio = 0.0;
+  EXPECT_FALSE(PQCacheEngine::Create(bad).ok());
+  EXPECT_TRUE(PQCacheEngine::Create(SmallEngineOptions()).ok());
+}
+
+TEST(EngineTest, PrefillBuildsIndexes) {
+  auto engine = PQCacheEngine::Create(SmallEngineOptions());
+  ASSERT_TRUE(engine.ok());
+  auto& e = *engine.value();
+  const auto prompt = MakePrompt(64);
+  auto first = e.Prefill(prompt);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(e.sequence_length(), 64u);
+  // Middle = 64 - 2 - 8 = 54 tokens per store.
+  const auto& index = e.pq_index(0, 0);
+  EXPECT_TRUE(index.trained());
+  EXPECT_EQ(index.size(), 54u);
+  EXPECT_GT(e.stats().bytes_offloaded, 0.0);
+  EXPECT_GT(e.stats().pq_train_wall_seconds, 0.0);
+}
+
+TEST(EngineTest, PrefillTwiceRejected) {
+  auto engine = PQCacheEngine::Create(SmallEngineOptions());
+  ASSERT_TRUE(engine.ok());
+  const auto prompt = MakePrompt(32);
+  ASSERT_TRUE(engine.value()->Prefill(prompt).ok());
+  EXPECT_EQ(engine.value()->Prefill(prompt).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineTest, DecodeBeforePrefillRejected) {
+  auto engine = PQCacheEngine::Create(SmallEngineOptions());
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(engine.value()->DecodeNext().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineTest, GenerateExtendsSequence) {
+  auto engine = PQCacheEngine::Create(SmallEngineOptions());
+  ASSERT_TRUE(engine.ok());
+  auto& e = *engine.value();
+  ASSERT_TRUE(e.Prefill(MakePrompt(64)).ok());
+  auto out = e.Generate(10);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().size(), 10u);
+  EXPECT_EQ(e.sequence_length(), 74u);
+  EXPECT_EQ(e.stats().decode_steps, 10u);
+  for (int32_t t : out.value()) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 256);
+  }
+}
+
+TEST(EngineTest, EvictedTokensEnterIndex) {
+  auto engine = PQCacheEngine::Create(SmallEngineOptions());
+  ASSERT_TRUE(engine.ok());
+  auto& e = *engine.value();
+  ASSERT_TRUE(e.Prefill(MakePrompt(64)).ok());
+  const size_t before = e.pq_index(0, 0).size();
+  ASSERT_TRUE(e.Generate(5).ok());
+  // 5 appended tokens -> 5 evictions from the local window into the middle.
+  EXPECT_EQ(e.pq_index(0, 0).size(), before + 5);
+}
+
+TEST(EngineTest, CacheSeesTraffic) {
+  auto engine = PQCacheEngine::Create(SmallEngineOptions());
+  ASSERT_TRUE(engine.ok());
+  auto& e = *engine.value();
+  ASSERT_TRUE(e.Prefill(MakePrompt(96)).ok());
+  ASSERT_TRUE(e.Generate(8).ok());
+  EXPECT_GT(e.stats().cache.token_lookups, 0u);
+  // Repeated decode steps over stable top-k should produce some hits.
+  EXPECT_GT(e.stats().cache.token_hits, 0u);
+}
+
+TEST(EngineTest, DeterministicGeneration) {
+  auto e1 = PQCacheEngine::Create(SmallEngineOptions());
+  auto e2 = PQCacheEngine::Create(SmallEngineOptions());
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE(e2.ok());
+  ASSERT_TRUE(e1.value()->Prefill(MakePrompt(64)).ok());
+  ASSERT_TRUE(e2.value()->Prefill(MakePrompt(64)).ok());
+  auto o1 = e1.value()->Generate(6);
+  auto o2 = e2.value()->Generate(6);
+  ASSERT_TRUE(o1.ok());
+  ASSERT_TRUE(o2.ok());
+  EXPECT_EQ(o1.value(), o2.value());
+}
+
+TEST(EngineTest, SelectiveMatchesFullAtRatioOne) {
+  // With token_ratio = 1 the engine attends to everything; its first
+  // generated tokens should match a full-attention engine.
+  PQCacheEngineOptions opt_full = SmallEngineOptions();
+  opt_full.token_ratio = 1.0;
+  auto selective = PQCacheEngine::Create(opt_full);
+  ASSERT_TRUE(selective.ok());
+  ASSERT_TRUE(selective.value()->Prefill(MakePrompt(48)).ok());
+  auto sel_out = selective.value()->Generate(4);
+  ASSERT_TRUE(sel_out.ok());
+
+  // Reference: raw transformer with the default full backend.
+  auto model = TransformerModel::Create(opt_full.model);
+  ASSERT_TRUE(model.ok());
+  KVCacheConfig kv;
+  kv.num_layers = opt_full.model.num_layers;
+  kv.num_kv_heads = opt_full.model.num_kv_heads;
+  kv.store.head_dim = static_cast<size_t>(opt_full.model.head_dim);
+  kv.store.initial_tokens = opt_full.initial_tokens;
+  kv.store.local_window = opt_full.local_window;
+  LayeredKVCache cache(kv);
+  const auto prompt = MakePrompt(48);
+  auto logits = model.value()->Prefill(prompt, &cache);
+  ASSERT_TRUE(logits.ok());
+  int32_t token = TransformerModel::GreedyToken(logits.value());
+  std::vector<int32_t> ref;
+  for (int i = 0; i < 4; ++i) {
+    auto l = model.value()->DecodeStep(token, cache.size(), &cache);
+    ASSERT_TRUE(l.ok());
+    token = TransformerModel::GreedyToken(l.value());
+    ref.push_back(token);
+  }
+  EXPECT_EQ(sel_out.value(), ref);
+}
+
+}  // namespace
+}  // namespace pqcache

@@ -1,0 +1,74 @@
+#include "src/tensor/fp16.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace pqcache {
+namespace {
+
+TEST(Fp16Test, RoundTripExactValues) {
+  // Powers of two and small integers are exactly representable.
+  for (float v : {0.0f, 1.0f, -1.0f, 2.0f, 0.5f, 0.25f, 1024.0f, -348.0f}) {
+    EXPECT_EQ(static_cast<float>(Half(v)), v) << v;
+  }
+}
+
+TEST(Fp16Test, RoundTripPrecision) {
+  // Relative error of binary16 is at most 2^-11 for normal values.
+  for (float v = -8.0f; v <= 8.0f; v += 0.013f) {
+    const float r = Half(v);
+    EXPECT_NEAR(r, v, std::abs(v) * 0.001f + 1e-4f) << v;
+  }
+}
+
+TEST(Fp16Test, OverflowToInfinity) {
+  EXPECT_TRUE(std::isinf(static_cast<float>(Half(70000.0f))));
+  EXPECT_TRUE(std::isinf(static_cast<float>(Half(-70000.0f))));
+  EXPECT_LT(static_cast<float>(Half(-70000.0f)), 0.0f);
+}
+
+TEST(Fp16Test, MaxNormal) {
+  EXPECT_EQ(static_cast<float>(Half(65504.0f)), 65504.0f);
+}
+
+TEST(Fp16Test, SubnormalsPreserved) {
+  const float tiny = 6.0e-6f;  // Below the normal threshold 6.1e-5.
+  const float r = Half(tiny);
+  EXPECT_GT(r, 0.0f);
+  EXPECT_NEAR(r, tiny, 6e-8f);
+}
+
+TEST(Fp16Test, UnderflowToZero) {
+  EXPECT_EQ(static_cast<float>(Half(1e-10f)), 0.0f);
+}
+
+TEST(Fp16Test, NanPropagates) {
+  EXPECT_TRUE(std::isnan(
+      static_cast<float>(Half(std::numeric_limits<float>::quiet_NaN()))));
+}
+
+TEST(Fp16Test, InfinityPropagates) {
+  EXPECT_TRUE(std::isinf(
+      static_cast<float>(Half(std::numeric_limits<float>::infinity()))));
+}
+
+TEST(Fp16Test, SignedZero) {
+  EXPECT_EQ(Half(-0.0f).bits(), 0x8000);
+  EXPECT_EQ(Half(0.0f).bits(), 0x0000);
+}
+
+TEST(Fp16Test, BitsRoundTrip) {
+  const Half h = Half::FromBits(0x3C00);  // 1.0
+  EXPECT_EQ(static_cast<float>(h), 1.0f);
+}
+
+TEST(Fp16Test, RoundToNearestEven) {
+  // 1.0 + 2^-11 is exactly between 1.0 and the next half; ties to even -> 1.0.
+  const float v = 1.0f + std::pow(2.0f, -11.0f);
+  EXPECT_EQ(static_cast<float>(Half(v)), 1.0f);
+}
+
+}  // namespace
+}  // namespace pqcache

@@ -1,0 +1,148 @@
+#include "src/eval/harness.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/eval/report.h"
+#include "src/policies/basic_policies.h"
+
+namespace pqcache {
+namespace {
+
+TaskSpec QuickTask() {
+  TaskSpec t;
+  t.name = "quick";
+  t.seq_len = 2048;
+  t.n_instances = 2;
+  t.n_decode_steps = 2;
+  t.n_spans = 2;
+  t.span_len = 8;
+  t.evidence_mass = 0.6f;
+  t.n_documents = 8;
+  t.full_score_scale = 50.0;
+  t.seed = 91;
+  return t;
+}
+
+EvalOptions QuickOptions() {
+  EvalOptions o;
+  o.dim = 32;
+  o.n_heads = 2;
+  o.n_obs = 32;
+  o.token_ratio = 0.2;
+  return o;
+}
+
+TEST(HarnessTest, BudgetComputation) {
+  QualityHarness harness(QuickOptions());
+  const TaskSpec spec = QuickTask();
+  const PolicyBudget b = harness.MakeBudget(spec, /*compensated=*/false);
+  EXPECT_EQ(b.token_budget, 410u);  // round(0.2 * 2048)
+  const PolicyBudget bc = harness.MakeBudget(spec, /*compensated=*/true);
+  EXPECT_EQ(bc.token_budget, 418u);  // + s * comm / 2 = 8 tokens.
+}
+
+TEST(HarnessTest, FullAndOracleScoreAtCeiling) {
+  QualityHarness harness(QuickOptions());
+  std::vector<MethodSpec> methods;
+  methods.push_back(MakeMethod(
+      "Full", [] { return std::make_unique<FullPolicy>(); }));
+  methods.push_back(MakeMethod(
+      "Oracle", [] { return std::make_unique<OraclePolicy>(); }));
+  methods.push_back(MakeMethod(
+      "Streaming", [] { return std::make_unique<StreamingLLMPolicy>(); }));
+  const TaskResult result = harness.RunTask(QuickTask(), methods);
+  ASSERT_EQ(result.raw.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.raw[0], 100.0);   // Full.
+  EXPECT_GE(result.raw[1], 99.0);           // Oracle.
+  EXPECT_LE(result.raw[2], 10.0);           // StreamingLLM misses evidence.
+  // Scaling applied.
+  EXPECT_DOUBLE_EQ(result.scaled[0], 50.0);
+}
+
+TEST(HarnessTest, DeterministicAcrossRuns) {
+  QualityHarness harness(QuickOptions());
+  auto methods = StandardMethodSet(PQCachePolicyOptions{});
+  const TaskResult a = harness.RunTask(QuickTask(), methods);
+  const TaskResult b = harness.RunTask(QuickTask(), methods);
+  EXPECT_EQ(a.raw, b.raw);
+}
+
+TEST(HarnessTest, ParallelMatchesSerial) {
+  EvalOptions serial_opts = QuickOptions();
+  QualityHarness serial(serial_opts);
+  ThreadPool pool(4);
+  EvalOptions par_opts = QuickOptions();
+  par_opts.pool = &pool;
+  QualityHarness parallel(par_opts);
+  auto methods = StandardMethodSet(PQCachePolicyOptions{});
+  const TaskResult a = serial.RunTask(QuickTask(), methods);
+  const TaskResult b = parallel.RunTask(QuickTask(), methods);
+  EXPECT_EQ(a.raw, b.raw);
+}
+
+TEST(HarnessTest, StandardMethodSetLabels) {
+  auto methods = StandardMethodSet(PQCachePolicyOptions{});
+  ASSERT_EQ(methods.size(), 8u);
+  EXPECT_EQ(methods[0].label, "Full");
+  EXPECT_EQ(methods[7].label, "PQCache");
+  EXPECT_TRUE(methods[2].compensated);   // H2O(C)
+  EXPECT_FALSE(methods[6].compensated);  // SPARQ
+}
+
+TEST(HarnessTest, SuiteAveragesComputed) {
+  QualityHarness harness(QuickOptions());
+  SuiteSpec suite;
+  suite.name = "mini";
+  suite.tasks.push_back(QuickTask());
+  TaskSpec t2 = QuickTask();
+  t2.name = "quick2";
+  t2.seed = 92;
+  suite.tasks.push_back(t2);
+  std::vector<MethodSpec> methods;
+  methods.push_back(MakeMethod(
+      "Full", [] { return std::make_unique<FullPolicy>(); }));
+  const SuiteResult result = harness.RunSuite(suite, methods);
+  ASSERT_EQ(result.tasks.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.average_raw[0], 100.0);
+  EXPECT_DOUBLE_EQ(result.average_scaled[0], 50.0);
+}
+
+TEST(ReportTest, TablePrinterAligns) {
+  TablePrinter printer({"A", "LongHeader"});
+  printer.AddRow({"x", "1.00"});
+  printer.AddRow({"longer", "2.00"});
+  std::ostringstream os;
+  printer.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("LongHeader"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(ReportTest, FormatScore) {
+  EXPECT_EQ(FormatScore(12.345), "12.35");
+  EXPECT_EQ(FormatScore(100.0), "100.00");
+}
+
+TEST(ReportTest, PrintSuiteResult) {
+  SuiteResult result;
+  result.suite = "demo";
+  result.labels = {"Full", "PQCache"};
+  TaskResult task;
+  task.task = "qa";
+  task.labels = result.labels;
+  task.raw = {100.0, 95.0};
+  task.scaled = {50.0, 47.5};
+  result.tasks.push_back(task);
+  result.average_scaled = {50.0, 47.5};
+  result.average_raw = {100.0, 95.0};
+  std::ostringstream os;
+  PrintSuiteResult(result, os);
+  EXPECT_NE(os.str().find("Average"), std::string::npos);
+  EXPECT_NE(os.str().find("47.50"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pqcache

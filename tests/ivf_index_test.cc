@@ -1,0 +1,152 @@
+#include "src/pq/ivf_index.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/tensor/ops.h"
+
+namespace pqcache {
+namespace {
+
+std::vector<float> ClusteredData(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  const size_t r = 6;
+  std::vector<float> basis(r * d);
+  for (float& v : basis) v = rng.Gaussian();
+  std::vector<float> out(n * d);
+  for (size_t i = 0; i < n; ++i) {
+    float z[6];
+    for (float& v : z) v = rng.Gaussian();
+    for (size_t k = 0; k < d; ++k) {
+      float acc = 0.1f * rng.Gaussian();
+      for (size_t j = 0; j < r; ++j) acc += z[j] * basis[j * d + k];
+      out[i * d + k] = acc;
+    }
+  }
+  return out;
+}
+
+IVFConfig MakeConfig(int nlist, int nprobe) {
+  IVFConfig config;
+  config.nlist = nlist;
+  config.nprobe = nprobe;
+  config.pq.num_partitions = 4;
+  config.pq.bits = 6;
+  config.pq.dim = 32;
+  return config;
+}
+
+TEST(IVFIndexTest, TrainValidation) {
+  auto data = ClusteredData(256, 32, 1);
+  KMeansOptions kmeans;
+  EXPECT_FALSE(
+      IVFPQIndex::Train(data, 256, MakeConfig(0, 1), kmeans).ok());
+  EXPECT_FALSE(
+      IVFPQIndex::Train(data, 256, MakeConfig(8, 9), kmeans).ok());
+  EXPECT_TRUE(
+      IVFPQIndex::Train(data, 256, MakeConfig(8, 4), kmeans).ok());
+}
+
+TEST(IVFIndexTest, AddDistributesAcrossLists) {
+  auto data = ClusteredData(2048, 32, 2);
+  KMeansOptions kmeans;
+  kmeans.max_iterations = 8;
+  auto index = IVFPQIndex::Train(data, 2048, MakeConfig(16, 4), kmeans);
+  ASSERT_TRUE(index.ok());
+  index.value().Add(data, 2048);
+  EXPECT_EQ(index.value().size(), 2048u);
+  const auto sizes = index.value().ListSizes();
+  size_t total = 0, nonempty = 0;
+  for (size_t s : sizes) {
+    total += s;
+    nonempty += s > 0;
+  }
+  EXPECT_EQ(total, 2048u);
+  EXPECT_GE(nonempty, 8u);  // Structured data spreads over many lists.
+}
+
+TEST(IVFIndexTest, ProbeFractionScalesWithNprobe) {
+  auto data = ClusteredData(4096, 32, 3);
+  KMeansOptions kmeans;
+  kmeans.max_iterations = 8;
+  Rng rng(4);
+  std::vector<float> q(32);
+  for (float& v : q) v = rng.Gaussian();
+
+  auto probe_fraction = [&](int nprobe) {
+    auto index = IVFPQIndex::Train(data, 4096, MakeConfig(32, nprobe),
+                                   kmeans);
+    EXPECT_TRUE(index.ok());
+    index.value().Add(data, 4096);
+    index.value().TopK(q, 16);
+    return index.value().last_scan_fraction();
+  };
+  const double frac4 = probe_fraction(4);
+  const double frac16 = probe_fraction(16);
+  EXPECT_LT(frac4, frac16);
+  EXPECT_LT(frac4, 0.6);
+  EXPECT_GT(frac4, 0.0);
+}
+
+TEST(IVFIndexTest, FullProbeMatchesFlatPQRecall) {
+  // nprobe == nlist scans everything, so recall vs exact search should be
+  // at least as good as moderate-probe settings.
+  auto data = ClusteredData(4096, 32, 5);
+  KMeansOptions kmeans;
+  kmeans.max_iterations = 8;
+  Rng rng(6);
+  auto recall_at = [&](int nprobe) {
+    auto index =
+        IVFPQIndex::Train(data, 4096, MakeConfig(32, nprobe), kmeans);
+    EXPECT_TRUE(index.ok());
+    index.value().Add(data, 4096);
+    double recall = 0;
+    const size_t k = 16;
+    for (int t = 0; t < 8; ++t) {
+      const size_t anchor = rng.UniformInt(4096);
+      std::vector<float> q(32);
+      for (size_t i = 0; i < 32; ++i) {
+        q[i] = data[anchor * 32 + i] + 0.05f * rng.Gaussian();
+      }
+      const auto approx = index.value().TopK(q, k);
+      std::vector<float> exact(4096);
+      for (size_t i = 0; i < 4096; ++i) {
+        exact[i] = Dot(q, {data.data() + i * 32, 32});
+      }
+      const auto truth = TopKIndices(exact, k);
+      std::set<int32_t> truth_set(truth.begin(), truth.end());
+      size_t hits = 0;
+      for (int32_t id : approx) hits += truth_set.count(id);
+      recall += static_cast<double>(hits) / k;
+    }
+    return recall / 8;
+  };
+  const double full = recall_at(32);
+  const double probed = recall_at(4);
+  EXPECT_GE(full + 1e-9, probed);
+  // Bars reflect the m=4,b=6 quantizer's own recall ceiling on this data.
+  EXPECT_GT(full, 0.4);
+  EXPECT_GT(probed, 0.2);  // Probing keeps most of the recall.
+}
+
+TEST(IVFIndexTest, IdsAreInsertionOrder) {
+  auto data = ClusteredData(512, 32, 7);
+  KMeansOptions kmeans;
+  kmeans.max_iterations = 5;
+  auto index = IVFPQIndex::Train(data, 512, MakeConfig(8, 8), kmeans);
+  ASSERT_TRUE(index.ok());
+  index.value().Add(data, 512);
+  Rng rng(8);
+  std::vector<float> q(32);
+  for (float& v : q) v = rng.Gaussian();
+  for (int32_t id : index.value().TopK(q, 32)) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, 512);
+  }
+}
+
+}  // namespace
+}  // namespace pqcache

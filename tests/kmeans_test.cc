@@ -1,0 +1,163 @@
+#include "src/kmeans/kmeans.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace pqcache {
+namespace {
+
+// Three well-separated 2-D blobs.
+std::vector<float> MakeBlobs(size_t per_blob, Rng& rng) {
+  const float centers[3][2] = {{0, 0}, {10, 10}, {-10, 10}};
+  std::vector<float> data;
+  for (int c = 0; c < 3; ++c) {
+    for (size_t i = 0; i < per_blob; ++i) {
+      data.push_back(centers[c][0] + rng.Gaussian(0.0f, 0.3f));
+      data.push_back(centers[c][1] + rng.Gaussian(0.0f, 0.3f));
+    }
+  }
+  return data;
+}
+
+TEST(KMeansTest, RecoversWellSeparatedClusters) {
+  Rng rng(1);
+  auto data = MakeBlobs(100, rng);
+  KMeansOptions opts;
+  opts.num_clusters = 3;
+  opts.max_iterations = 20;
+  opts.seeding = KMeansOptions::Seeding::kPlusPlus;
+  auto result = RunKMeans(data, 300, 2, opts);
+  ASSERT_TRUE(result.ok());
+  const auto& r = result.value();
+  // Each blob should map to exactly one cluster.
+  std::set<int32_t> c0(r.assignments.begin(), r.assignments.begin() + 100);
+  std::set<int32_t> c1(r.assignments.begin() + 100,
+                       r.assignments.begin() + 200);
+  std::set<int32_t> c2(r.assignments.begin() + 200, r.assignments.end());
+  EXPECT_EQ(c0.size(), 1u);
+  EXPECT_EQ(c1.size(), 1u);
+  EXPECT_EQ(c2.size(), 1u);
+  EXPECT_NE(*c0.begin(), *c1.begin());
+  EXPECT_NE(*c1.begin(), *c2.begin());
+  // Inertia is tiny relative to the blob separation.
+  EXPECT_LT(r.inertia / 300.0, 1.0);
+}
+
+TEST(KMeansTest, RandomSeedingAlsoConverges) {
+  // Random seeding can land two seeds in one blob (a Lloyd local minimum),
+  // so only require a clear improvement over the single-cluster solution
+  // (whose inertia here is ~100 per point given the blob separation).
+  Rng rng(2);
+  auto data = MakeBlobs(50, rng);
+  KMeansOptions opts;
+  opts.num_clusters = 3;
+  opts.max_iterations = 30;
+  opts.seeding = KMeansOptions::Seeding::kRandomSample;
+  auto result = RunKMeans(data, 150, 2, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result.value().inertia / 150.0, 60.0);
+}
+
+TEST(KMeansTest, InertiaMonotoneInIterations) {
+  Rng rng(3);
+  std::vector<float> data(1000 * 8);
+  for (float& v : data) v = rng.Gaussian();
+  double prev = 1e30;
+  for (int iters : {0, 1, 3, 10}) {
+    KMeansOptions opts;
+    opts.num_clusters = 16;
+    opts.max_iterations = iters;
+    opts.tolerance = 0.0;
+    opts.seed = 5;
+    auto result = RunKMeans(data, 1000, 8, opts);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result.value().inertia, prev * 1.0001);
+    prev = result.value().inertia;
+  }
+}
+
+TEST(KMeansTest, ZeroIterationsStillAssigns) {
+  Rng rng(4);
+  std::vector<float> data(100 * 4);
+  for (float& v : data) v = rng.Gaussian();
+  KMeansOptions opts;
+  opts.num_clusters = 8;
+  opts.max_iterations = 0;
+  auto result = RunKMeans(data, 100, 4, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().iterations, 0);
+  EXPECT_EQ(result.value().assignments.size(), 100u);
+  EXPECT_GT(result.value().inertia, 0.0);
+}
+
+TEST(KMeansTest, FewerPointsThanClusters) {
+  std::vector<float> data = {0, 0, 1, 1, 2, 2};  // 3 points in 2-D.
+  KMeansOptions opts;
+  opts.num_clusters = 8;
+  opts.max_iterations = 5;
+  auto result = RunKMeans(data, 3, 2, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().centroids.size(), 8u * 2u);
+  for (int32_t a : result.value().assignments) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 8);
+  }
+}
+
+TEST(KMeansTest, InvalidInputsRejected) {
+  std::vector<float> data = {1, 2};
+  KMeansOptions opts;
+  EXPECT_FALSE(RunKMeans({}, 0, 2, opts).ok());
+  EXPECT_FALSE(RunKMeans(data, 1, 3, opts).ok());  // size mismatch
+  opts.num_clusters = 0;
+  EXPECT_FALSE(RunKMeans(data, 1, 2, opts).ok());
+}
+
+TEST(KMeansTest, DeterministicAcrossRuns) {
+  Rng rng(6);
+  std::vector<float> data(500 * 4);
+  for (float& v : data) v = rng.Gaussian();
+  KMeansOptions opts;
+  opts.num_clusters = 10;
+  opts.max_iterations = 5;
+  opts.seed = 99;
+  auto r1 = RunKMeans(data, 500, 4, opts);
+  auto r2 = RunKMeans(data, 500, 4, opts);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1.value().assignments, r2.value().assignments);
+  EXPECT_EQ(r1.value().centroids, r2.value().centroids);
+}
+
+TEST(KMeansTest, PoolMatchesSerial) {
+  Rng rng(7);
+  std::vector<float> data(8192 * 4);
+  for (float& v : data) v = rng.Gaussian();
+  KMeansOptions opts;
+  opts.num_clusters = 16;
+  opts.max_iterations = 3;
+  opts.seed = 13;
+  auto serial = RunKMeans(data, 8192, 4, opts);
+  ThreadPool pool(4);
+  opts.pool = &pool;
+  auto parallel = RunKMeans(data, 8192, 4, opts);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(serial.value().assignments, parallel.value().assignments);
+}
+
+TEST(NearestCentroidTest, PicksNearest) {
+  std::vector<float> centroids = {0, 0, 10, 10, -5, 5};  // 3 x 2
+  std::vector<float> p = {9, 9};
+  EXPECT_EQ(NearestCentroid(p, centroids, 3, 2), 1);
+  std::vector<float> q = {-4, 4};
+  EXPECT_EQ(NearestCentroid(q, centroids, 3, 2), 2);
+}
+
+}  // namespace
+}  // namespace pqcache

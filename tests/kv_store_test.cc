@@ -1,0 +1,142 @@
+#include "src/kvcache/kv_store.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/kvcache/layered_kv_cache.h"
+
+namespace pqcache {
+namespace {
+
+KVStoreOptions SmallOptions() {
+  KVStoreOptions o;
+  o.head_dim = 8;
+  o.initial_tokens = 2;
+  o.local_window = 4;
+  return o;
+}
+
+std::vector<float> RandomRows(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> out(n * d);
+  for (float& v : out) v = rng.UniformFloat(-2.0f, 2.0f);
+  return out;
+}
+
+TEST(KVStoreTest, PrefillEstablishesSegments) {
+  KVStore store(SmallOptions());
+  const size_t n = 16;
+  auto keys = RandomRows(n, 8, 1);
+  auto values = RandomRows(n, 8, 2);
+  ASSERT_TRUE(store.AppendPrefill(keys, values, n).ok());
+  EXPECT_EQ(store.size(), n);
+  EXPECT_EQ(store.initial_count(), 2u);
+  EXPECT_EQ(store.local_count(), 4u);
+  EXPECT_EQ(store.middle_count(), 10u);
+  EXPECT_EQ(store.SegmentOf(0), TokenSegment::kInitial);
+  EXPECT_EQ(store.SegmentOf(5), TokenSegment::kMiddle);
+  EXPECT_EQ(store.SegmentOf(13), TokenSegment::kLocal);
+}
+
+TEST(KVStoreTest, DoublePrefillRejected) {
+  KVStore store(SmallOptions());
+  auto keys = RandomRows(8, 8, 3);
+  ASSERT_TRUE(store.AppendPrefill(keys, keys, 8).ok());
+  EXPECT_EQ(store.AppendPrefill(keys, keys, 8).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(KVStoreTest, BadSizesRejected) {
+  KVStore store(SmallOptions());
+  std::vector<float> bad(7);
+  EXPECT_EQ(store.AppendPrefill(bad, bad, 1).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(KVStoreTest, Fp16RoundTripAccuracy) {
+  KVStore store(SmallOptions());
+  auto keys = RandomRows(8, 8, 4);
+  auto values = RandomRows(8, 8, 5);
+  ASSERT_TRUE(store.AppendPrefill(keys, values, 8).ok());
+  std::vector<float> out(8);
+  store.GetKey(3, out);
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(out[i], keys[3 * 8 + i], 2e-3f);
+  }
+  store.GetValue(5, out);
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(out[i], values[5 * 8 + i], 2e-3f);
+  }
+}
+
+TEST(KVStoreTest, AppendTokenEvictsOldestLocal) {
+  KVStore store(SmallOptions());
+  const size_t n = 16;
+  auto keys = RandomRows(n, 8, 6);
+  ASSERT_TRUE(store.AppendPrefill(keys, keys, n).ok());
+  // Local = [12, 16). Appending token 16 should evict token 12 to middle.
+  std::vector<float> row(8, 1.0f);
+  auto evicted = store.AppendToken(row, row);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, 12);
+  EXPECT_EQ(store.SegmentOf(12), TokenSegment::kMiddle);
+  EXPECT_EQ(store.SegmentOf(16), TokenSegment::kLocal);
+  EXPECT_EQ(store.local_count(), 4u);
+}
+
+TEST(KVStoreTest, AppendBeforeWindowFullNoEviction) {
+  KVStoreOptions o = SmallOptions();
+  KVStore store(o);
+  auto keys = RandomRows(3, 8, 7);  // Shorter than init + local.
+  ASSERT_TRUE(store.AppendPrefill(keys, keys, 3).ok());
+  std::vector<float> row(8, 0.5f);
+  // size 3 -> 4: local window (4) not exceeded beyond init yet.
+  auto evicted = store.AppendToken(row, row);
+  EXPECT_FALSE(evicted.has_value());
+}
+
+TEST(KVStoreTest, GatherMatchesGetters) {
+  KVStore store(SmallOptions());
+  auto keys = RandomRows(10, 8, 8);
+  auto values = RandomRows(10, 8, 9);
+  ASSERT_TRUE(store.AppendPrefill(keys, values, 10).ok());
+  std::vector<int32_t> ids = {1, 4, 7};
+  std::vector<float> gk(3 * 8), gv(3 * 8), single(8);
+  store.Gather(ids, gk, gv);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    store.GetKey(static_cast<size_t>(ids[i]), single);
+    for (size_t j = 0; j < 8; ++j) EXPECT_EQ(gk[i * 8 + j], single[j]);
+  }
+}
+
+TEST(KVStoreTest, ByteAccounting) {
+  KVStore store(SmallOptions());
+  auto keys = RandomRows(16, 8, 10);
+  ASSERT_TRUE(store.AppendPrefill(keys, keys, 16).ok());
+  EXPECT_EQ(store.BytesPerToken(), 2u * 8u * 2u);
+  EXPECT_EQ(store.GpuBytes(), (2u + 4u) * 32u);
+  EXPECT_EQ(store.CpuBytes(), 10u * 32u);
+}
+
+TEST(LayeredKVCacheTest, GridAndAggregates) {
+  KVCacheConfig config;
+  config.num_layers = 2;
+  config.num_kv_heads = 3;
+  config.store = SmallOptions();
+  LayeredKVCache cache(config);
+  EXPECT_EQ(cache.size(), 0u);
+  auto keys = RandomRows(16, 8, 11);
+  for (int l = 0; l < 2; ++l) {
+    for (int h = 0; h < 3; ++h) {
+      ASSERT_TRUE(cache.store(l, h).AppendPrefill(keys, keys, 16).ok());
+    }
+  }
+  EXPECT_EQ(cache.size(), 16u);
+  EXPECT_EQ(cache.CpuBytes(), 6u * 10u * 32u);
+  EXPECT_EQ(cache.GpuBytes(), 6u * 6u * 32u);
+}
+
+}  // namespace
+}  // namespace pqcache

@@ -1,0 +1,112 @@
+// Parameterized property tests over the latency models: every method's
+// TT2T/TPOT must be positive, monotone in sequence length, and bounded below
+// by the pure-compute floor — across model profiles and PCIe generations.
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "src/sched/decode_pipeline.h"
+#include "src/sched/method_latency.h"
+#include "src/sched/prefill_pipeline.h"
+
+namespace pqcache {
+namespace {
+
+struct LatencyCase {
+  std::string name;
+  ModelProfile model;
+  LinkModel pcie;
+};
+
+class LatencySweep : public ::testing::TestWithParam<LatencyCase> {
+ protected:
+  SystemModel System() const {
+    SystemModel sys;
+    sys.model = GetParam().model;
+    sys.pcie = GetParam().pcie;
+    return sys;
+  }
+};
+
+TEST_P(LatencySweep, TPOTMonotoneInLength) {
+  const SystemModel sys = System();
+  for (MethodKind kind :
+       {MethodKind::kSnapKV, MethodKind::kSPARQ, MethodKind::kInfLLM,
+        MethodKind::kPQCache}) {
+    double prev = 0.0;
+    for (double s : {8192.0, 32768.0, 131072.0}) {
+      const auto t = MethodTPOT(sys, kind, s);
+      ASSERT_TRUE(t.has_value()) << MethodKindName(kind);
+      EXPECT_GT(*t, 0.0);
+      EXPECT_GE(*t + 1e-9, prev) << MethodKindName(kind) << " at " << s;
+      prev = *t;
+    }
+  }
+}
+
+TEST_P(LatencySweep, TT2TAboveComputeFloor) {
+  const SystemModel sys = System();
+  for (double s : {8192.0, 65536.0}) {
+    const double floor = sys.model.num_layers * sys.ComputeLayerSeconds(s);
+    for (MethodKind kind :
+         {MethodKind::kSnapKV, MethodKind::kPyramidKV, MethodKind::kSPARQ,
+          MethodKind::kInfLLM, MethodKind::kPQCache}) {
+      const auto t = MethodTT2T(sys, kind, s);
+      ASSERT_TRUE(t.has_value()) << MethodKindName(kind);
+      EXPECT_GE(*t, floor) << MethodKindName(kind) << " at " << s;
+    }
+  }
+}
+
+TEST_P(LatencySweep, PrefillOverlapNeverWorseThanSequential) {
+  const SystemModel sys = System();
+  for (double s : {4096.0, 32768.0, 131072.0}) {
+    for (int iters : {1, 5, 20}) {
+      const PrefillTimeline tl = SimulatePrefill(sys, s, iters);
+      EXPECT_LE(tl.end_to_end, tl.sequential_total * 1.0001);
+      EXPECT_GE(tl.end_to_end, tl.ttft - 1e-12);
+      EXPECT_EQ(tl.compute.size(),
+                static_cast<size_t>(sys.model.num_layers));
+    }
+  }
+}
+
+TEST_P(LatencySweep, DecodeOverlapNeverWorseThanSequential) {
+  const SystemModel sys = System();
+  for (double s : {8192.0, 65536.0}) {
+    const DecodeTimeline tl = SimulateDecode(sys, s);
+    EXPECT_LE(tl.tpot, tl.tpot_sequential * 1.0001);
+    EXPECT_GT(tl.tpot, 0.0);
+  }
+}
+
+TEST_P(LatencySweep, FasterLinkNeverHurts) {
+  SystemModel slow = System();
+  SystemModel fast = System();
+  fast.pcie = LinkModel::PCIe5x16();
+  slow.pcie = LinkModel::PCIe1x16();
+  for (double s : {16384.0, 65536.0}) {
+    EXPECT_LE(SimulateDecode(fast, s).tpot,
+              SimulateDecode(slow, s).tpot * 1.0001);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Systems, LatencySweep,
+    ::testing::Values(
+        LatencyCase{"llama8b_pcie1", ModelProfile::Llama3_8B(),
+                    LinkModel::PCIe1x16()},
+        LatencyCase{"llama8b_pcie4", ModelProfile::Llama3_8B(),
+                    LinkModel::PCIe4x16()},
+        LatencyCase{"llama70b_pcie1", ModelProfile::Llama3_70B(),
+                    LinkModel::PCIe1x16()},
+        LatencyCase{"mistral7b_pcie3", ModelProfile::Mistral_7B(),
+                    LinkModel::PCIe3x16()},
+        LatencyCase{"llama13b_pcie1", ModelProfile::Llama2_13B(),
+                    LinkModel::PCIe1x16()}),
+    [](const ::testing::TestParamInfo<LatencyCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace pqcache

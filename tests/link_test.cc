@@ -1,0 +1,60 @@
+#include "src/memory/link.h"
+
+#include <gtest/gtest.h>
+
+namespace pqcache {
+namespace {
+
+TEST(LinkModelTest, TransferSeconds) {
+  LinkModel link{1e9, 1e-5};  // 1 GB/s, 10 us latency.
+  EXPECT_DOUBLE_EQ(link.TransferSeconds(1e9), 1e-5 + 1.0);
+  EXPECT_DOUBLE_EQ(link.TransferSeconds(0), 1e-5);
+}
+
+TEST(LinkModelTest, PresetsOrdered) {
+  EXPECT_LT(LinkModel::PCIe1x16().bandwidth_bytes_per_sec,
+            LinkModel::PCIe3x16().bandwidth_bytes_per_sec);
+  EXPECT_LT(LinkModel::PCIe3x16().bandwidth_bytes_per_sec,
+            LinkModel::PCIe4x16().bandwidth_bytes_per_sec);
+  EXPECT_LT(LinkModel::PCIe4x16().bandwidth_bytes_per_sec,
+            LinkModel::PCIe5x16().bandwidth_bytes_per_sec);
+}
+
+TEST(LinkTimelineTest, SerializesTransfers) {
+  LinkTimeline link(LinkModel{1e9, 0.0});
+  const Interval a = link.Schedule(0.0, 1e9);  // [0, 1]
+  const Interval b = link.Schedule(0.0, 1e9);  // Queued: [1, 2]
+  EXPECT_DOUBLE_EQ(a.start, 0.0);
+  EXPECT_DOUBLE_EQ(a.end, 1.0);
+  EXPECT_DOUBLE_EQ(b.start, 1.0);
+  EXPECT_DOUBLE_EQ(b.end, 2.0);
+}
+
+TEST(LinkTimelineTest, RespectsReadyTime) {
+  LinkTimeline link(LinkModel{1e9, 0.0});
+  const Interval a = link.Schedule(5.0, 1e9);
+  EXPECT_DOUBLE_EQ(a.start, 5.0);
+  EXPECT_DOUBLE_EQ(a.end, 6.0);
+  // A transfer ready earlier still waits for the link.
+  const Interval b = link.Schedule(0.0, 1e9);
+  EXPECT_DOUBLE_EQ(b.start, 6.0);
+}
+
+TEST(LinkTimelineTest, TracksTotals) {
+  LinkTimeline link(LinkModel{1e9, 0.0});
+  link.Schedule(0.0, 100.0);
+  link.Schedule(0.0, 200.0);
+  EXPECT_DOUBLE_EQ(link.total_bytes(), 300.0);
+  EXPECT_EQ(link.num_transfers(), 2u);
+  link.Reset();
+  EXPECT_DOUBLE_EQ(link.total_bytes(), 0.0);
+  EXPECT_DOUBLE_EQ(link.free_at(), 0.0);
+}
+
+TEST(IntervalTest, Duration) {
+  Interval iv{1.5, 4.0};
+  EXPECT_DOUBLE_EQ(iv.duration(), 2.5);
+}
+
+}  // namespace
+}  // namespace pqcache

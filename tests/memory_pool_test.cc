@@ -1,0 +1,66 @@
+#include "src/memory/memory_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "src/memory/hierarchy.h"
+
+namespace pqcache {
+namespace {
+
+TEST(MemoryPoolTest, AllocateAndFree) {
+  MemoryPool pool("gpu", 1000);
+  EXPECT_TRUE(pool.Allocate(600).ok());
+  EXPECT_EQ(pool.used_bytes(), 600u);
+  EXPECT_EQ(pool.available_bytes(), 400u);
+  pool.Free(200);
+  EXPECT_EQ(pool.used_bytes(), 400u);
+}
+
+TEST(MemoryPoolTest, OutOfMemory) {
+  MemoryPool pool("gpu", 100);
+  EXPECT_TRUE(pool.Allocate(100).ok());
+  const Status s = pool.Allocate(1);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOutOfMemory);
+}
+
+TEST(MemoryPoolTest, PeakTracking) {
+  MemoryPool pool("gpu", 1000);
+  ASSERT_TRUE(pool.Allocate(700).ok());
+  pool.Free(500);
+  ASSERT_TRUE(pool.Allocate(100).ok());
+  EXPECT_EQ(pool.peak_bytes(), 700u);
+}
+
+TEST(MemoryPoolTest, Reset) {
+  MemoryPool pool("gpu", 1000);
+  ASSERT_TRUE(pool.Allocate(500).ok());
+  pool.Reset();
+  EXPECT_EQ(pool.used_bytes(), 0u);
+}
+
+TEST(KVCacheFootprintTest, MatchesFormula) {
+  // Llama3-8B-like: 32 layers, 8 kv heads, dh=128, FP16 K+V.
+  const double per_token = KVCacheFootprint::Bytes(32, 8, 128, 1, 1);
+  EXPECT_DOUBLE_EQ(per_token, 2.0 * 2.0 * 32 * 8 * 128);
+  // 128K context, batch 128 lands in the hundreds-of-GB regime (Fig. 1).
+  const double big = KVCacheFootprint::Bytes(32, 8, 128, 131072, 128);
+  EXPECT_GT(big, 1e12 * 0.5);
+}
+
+TEST(MemoryHierarchyTest, Wiring) {
+  HardwareConfig config;
+  config.gpu_memory_bytes = 1 << 20;
+  config.cpu_memory_bytes = 1 << 24;
+  MemoryHierarchy h(config);
+  EXPECT_EQ(h.gpu().capacity_bytes(), size_t{1} << 20);
+  EXPECT_EQ(h.cpu().capacity_bytes(), size_t{1} << 24);
+  EXPECT_TRUE(h.gpu().Allocate(1024).ok());
+  h.h2d().Schedule(0.0, 1024);
+  EXPECT_EQ(h.h2d().num_transfers(), 1u);
+  h.ResetTimelines();
+  EXPECT_EQ(h.h2d().num_transfers(), 0u);
+}
+
+}  // namespace
+}  // namespace pqcache

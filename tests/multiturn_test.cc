@@ -1,0 +1,83 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/pqcache_engine.h"
+
+namespace pqcache {
+namespace {
+
+PQCacheEngineOptions Options() {
+  PQCacheEngineOptions options;
+  options.model = ModelConfig::Tiny();
+  options.initial_tokens = 2;
+  options.local_window = 8;
+  options.pq_partitions = 2;
+  options.pq_bits = 4;
+  options.kmeans_iterations = 5;
+  options.token_ratio = 0.5;
+  options.cache.capacity_tokens = 64;
+  options.cache.block_tokens = 8;
+  return options;
+}
+
+std::vector<int32_t> Turn(size_t n, int salt) {
+  std::vector<int32_t> tokens(n);
+  for (size_t i = 0; i < n; ++i) {
+    tokens[i] = static_cast<int32_t>((i * 17 + salt) % 200);
+  }
+  return tokens;
+}
+
+TEST(MultiTurnTest, FeedBeforePrefillRejected) {
+  auto engine = PQCacheEngine::Create(Options()).value();
+  const auto turn = Turn(8, 1);
+  EXPECT_EQ(engine->FeedTokens(turn).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(MultiTurnTest, FeedExtendsSequenceAndIndex) {
+  auto engine = PQCacheEngine::Create(Options()).value();
+  ASSERT_TRUE(engine->Prefill(Turn(64, 1)).ok());
+  const size_t index_before = engine->pq_index(0, 0).size();
+  ASSERT_TRUE(engine->FeedTokens(Turn(24, 2)).ok());
+  EXPECT_EQ(engine->sequence_length(), 88u);
+  // All 24 fed tokens pushed an older token each into the middle region.
+  EXPECT_EQ(engine->pq_index(0, 0).size(), index_before + 24);
+}
+
+TEST(MultiTurnTest, GenerationContinuesAfterFeed) {
+  auto engine = PQCacheEngine::Create(Options()).value();
+  ASSERT_TRUE(engine->Prefill(Turn(64, 1)).ok());
+  ASSERT_TRUE(engine->FeedTokens(Turn(16, 2)).ok());
+  auto out = engine->Generate(4);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().size(), 4u);
+  EXPECT_EQ(engine->sequence_length(), 64u + 16u + 4u);
+}
+
+TEST(MultiTurnTest, MultipleTurnsDeterministic) {
+  auto run = [] {
+    auto engine = PQCacheEngine::Create(Options()).value();
+    EXPECT_TRUE(engine->Prefill(Turn(48, 1)).ok());
+    std::vector<int32_t> all;
+    for (int turn = 0; turn < 3; ++turn) {
+      EXPECT_TRUE(engine->FeedTokens(Turn(12, 7 + turn)).ok());
+      auto out = engine->Generate(3);
+      EXPECT_TRUE(out.ok());
+      all.insert(all.end(), out.value().begin(), out.value().end());
+    }
+    return all;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(MultiTurnTest, InvalidTokenRejected) {
+  auto engine = PQCacheEngine::Create(Options()).value();
+  ASSERT_TRUE(engine->Prefill(Turn(32, 1)).ok());
+  std::vector<int32_t> bad = {5, 999999};
+  EXPECT_FALSE(engine->FeedTokens(bad).ok());
+}
+
+}  // namespace
+}  // namespace pqcache

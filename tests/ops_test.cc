@@ -1,0 +1,164 @@
+#include "src/tensor/ops.h"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace pqcache {
+namespace {
+
+TEST(OpsTest, DotBasic) {
+  std::vector<float> a = {1, 2, 3};
+  std::vector<float> b = {4, 5, 6};
+  EXPECT_FLOAT_EQ(Dot(a, b), 32.0f);
+}
+
+TEST(OpsTest, DotLongVector) {
+  std::vector<float> a(1001, 1.0f), b(1001, 2.0f);
+  EXPECT_FLOAT_EQ(Dot(a, b), 2002.0f);
+}
+
+TEST(OpsTest, L2Norm) {
+  std::vector<float> a = {3, 4};
+  EXPECT_FLOAT_EQ(L2Norm(a), 5.0f);
+}
+
+TEST(OpsTest, L2DistanceSquared) {
+  std::vector<float> a = {1, 2}, b = {4, 6};
+  EXPECT_FLOAT_EQ(L2DistanceSquared(a, b), 25.0f);
+}
+
+TEST(OpsTest, MatMulSmall) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  std::vector<float> a = {1, 2, 3, 4}, b = {5, 6, 7, 8}, c(4);
+  MatMul(a, b, c, 2, 2, 2);
+  EXPECT_FLOAT_EQ(c[0], 19);
+  EXPECT_FLOAT_EQ(c[1], 22);
+  EXPECT_FLOAT_EQ(c[2], 43);
+  EXPECT_FLOAT_EQ(c[3], 50);
+}
+
+TEST(OpsTest, MatMulRectangular) {
+  // [1 0 2] * [[1 1],[2 2],[3 3]] = [7 7]
+  std::vector<float> a = {1, 0, 2}, b = {1, 1, 2, 2, 3, 3}, c(2);
+  MatMul(a, b, c, 1, 3, 2);
+  EXPECT_FLOAT_EQ(c[0], 7);
+  EXPECT_FLOAT_EQ(c[1], 7);
+}
+
+TEST(OpsTest, MatVec) {
+  std::vector<float> a = {1, 2, 3, 4, 5, 6};  // 2x3
+  std::vector<float> x = {1, 1, 1}, y(2);
+  MatVec(a, x, y, 2, 3);
+  EXPECT_FLOAT_EQ(y[0], 6);
+  EXPECT_FLOAT_EQ(y[1], 15);
+}
+
+TEST(OpsTest, SoftmaxSumsToOne) {
+  std::vector<float> x = {1.0f, 2.0f, 3.0f, 4.0f};
+  SoftmaxInplace(x);
+  float sum = 0;
+  for (float v : x) sum += v;
+  EXPECT_NEAR(sum, 1.0f, 1e-6f);
+  EXPECT_GT(x[3], x[2]);
+  EXPECT_GT(x[2], x[1]);
+}
+
+TEST(OpsTest, SoftmaxNumericallyStable) {
+  std::vector<float> x = {1000.0f, 1000.0f};
+  SoftmaxInplace(x);
+  EXPECT_NEAR(x[0], 0.5f, 1e-6f);
+  EXPECT_NEAR(x[1], 0.5f, 1e-6f);
+}
+
+TEST(OpsTest, SoftmaxHandlesMaskedEntries) {
+  const float ninf = -std::numeric_limits<float>::infinity();
+  std::vector<float> x = {0.0f, ninf, 0.0f};
+  SoftmaxInplace(x);
+  EXPECT_NEAR(x[0], 0.5f, 1e-6f);
+  EXPECT_EQ(x[1], 0.0f);
+}
+
+TEST(OpsTest, SoftmaxAllMasked) {
+  const float ninf = -std::numeric_limits<float>::infinity();
+  std::vector<float> x = {ninf, ninf};
+  SoftmaxInplace(x);
+  EXPECT_EQ(x[0], 0.0f);
+  EXPECT_EQ(x[1], 0.0f);
+}
+
+TEST(OpsTest, ScaledSoftmaxMatchesManual) {
+  std::vector<float> x = {2.0f, 4.0f};
+  ScaledSoftmaxInplace(x, 0.5f);
+  const float e1 = std::exp(1.0f), e2 = std::exp(2.0f);
+  EXPECT_NEAR(x[0], e1 / (e1 + e2), 1e-6f);
+}
+
+TEST(OpsTest, TopKOrderedDescending) {
+  std::vector<float> scores = {0.1f, 0.9f, 0.5f, 0.7f, 0.3f};
+  auto top = TopKIndices(scores, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1);
+  EXPECT_EQ(top[1], 3);
+  EXPECT_EQ(top[2], 2);
+}
+
+TEST(OpsTest, TopKClampsToSize) {
+  std::vector<float> scores = {1.0f, 2.0f};
+  EXPECT_EQ(TopKIndices(scores, 10).size(), 2u);
+}
+
+TEST(OpsTest, TopKZero) {
+  std::vector<float> scores = {1.0f};
+  EXPECT_TRUE(TopKIndices(scores, 0).empty());
+}
+
+TEST(OpsTest, TopKExhaustiveAgainstSort) {
+  Rng rng(3);
+  std::vector<float> scores(200);
+  for (float& v : scores) v = rng.Gaussian();
+  auto top = TopKIndices(scores, 20);
+  std::vector<int32_t> all(scores.size());
+  std::iota(all.begin(), all.end(), 0);
+  std::sort(all.begin(), all.end(),
+            [&](int a, int b) { return scores[a] > scores[b]; });
+  for (size_t i = 0; i < 20; ++i) EXPECT_EQ(top[i], all[i]);
+}
+
+TEST(OpsTest, ArgMax) {
+  std::vector<float> x = {1.0f, 5.0f, 3.0f};
+  EXPECT_EQ(ArgMax(x), 1u);
+}
+
+TEST(OpsTest, MaxPool1DSame) {
+  std::vector<float> in = {1, 5, 2, 0, 3}, out(5);
+  MaxPool1DSame(in, out, 3);
+  EXPECT_FLOAT_EQ(out[0], 5);  // window {1,5}
+  EXPECT_FLOAT_EQ(out[1], 5);  // {1,5,2}
+  EXPECT_FLOAT_EQ(out[2], 5);  // {5,2,0}
+  EXPECT_FLOAT_EQ(out[3], 3);  // {2,0,3}
+  EXPECT_FLOAT_EQ(out[4], 3);  // {0,3}
+}
+
+TEST(OpsTest, MaxPoolKernelOne) {
+  std::vector<float> in = {1, 2, 3}, out(3);
+  MaxPool1DSame(in, out, 1);
+  EXPECT_EQ(out, in);
+}
+
+TEST(OpsTest, AddAndScale) {
+  std::vector<float> a = {1, 2}, b = {3, 4};
+  AddInplace(a, b);
+  EXPECT_FLOAT_EQ(a[0], 4);
+  EXPECT_FLOAT_EQ(a[1], 6);
+  ScaleInplace(a, 0.5f);
+  EXPECT_FLOAT_EQ(a[0], 2);
+  EXPECT_FLOAT_EQ(a[1], 3);
+}
+
+}  // namespace
+}  // namespace pqcache

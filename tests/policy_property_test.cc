@@ -1,0 +1,168 @@
+// Parameterized property tests sweeping every selection policy: budget
+// compliance, sorted-unique selections, anchor inclusion, determinism, and
+// monotone quality with budget. These invariants must hold for PQCache and
+// every baseline alike.
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/eval/metrics.h"
+#include "src/policies/basic_policies.h"
+#include "src/policies/h2o_policy.h"
+#include "src/policies/infllm_policy.h"
+#include "src/policies/pqcache_policy.h"
+#include "src/policies/snapkv_policy.h"
+#include "src/policies/sparq_policy.h"
+#include "src/workload/generator.h"
+
+namespace pqcache {
+namespace {
+
+struct PolicyCase {
+  std::string name;
+  std::function<std::unique_ptr<SelectionPolicy>()> factory;
+  bool budget_limited;  // Full attends to everything by design.
+};
+
+class PolicySweep : public ::testing::TestWithParam<PolicyCase> {
+ protected:
+  void SetUp() override {
+    spec_.name = "sweep";
+    spec_.seq_len = 2048;
+    spec_.n_decode_steps = 3;
+    spec_.n_spans = 3;
+    spec_.span_len = 8;
+    spec_.evidence_mass = 0.6f;
+    spec_.n_documents = 8;
+    spec_.seed = 4242;
+    generator_ = std::make_unique<WorkloadGenerator>(spec_, 48, 1, 40);
+    layout_ = generator_->MakeLayout(0);
+    head_ = generator_->MakeHead(layout_, 0, 0);
+    obs_ = std::make_unique<PrefillObservation>(head_, layout_.seq_len);
+    ctx_.spec = &spec_;
+    ctx_.layout = &layout_;
+    ctx_.head = &head_;
+    ctx_.obs = obs_.get();
+    ctx_.budget.seq_len = spec_.seq_len;
+    ctx_.budget.n_init = 4;
+    ctx_.budget.local_window = 64;
+    ctx_.budget.token_budget = 512;
+    ctx_.budget.comm_ratio = 1.0 / 128;
+    ctx_.head_idx = 1;
+    ctx_.n_heads = 4;
+  }
+
+  std::span<const float> Query(int step) const {
+    return {head_.dec_queries.data() + static_cast<size_t>(step) * head_.dim,
+            head_.dim};
+  }
+
+  TaskSpec spec_;
+  std::unique_ptr<WorkloadGenerator> generator_;
+  InstanceLayout layout_;
+  HeadData head_;
+  std::unique_ptr<PrefillObservation> obs_;
+  SelectionContext ctx_;
+};
+
+TEST_P(PolicySweep, SelectionSortedUniqueInRange) {
+  auto policy = GetParam().factory();
+  ASSERT_TRUE(policy->Prepare(ctx_).ok());
+  for (int step = 0; step < spec_.n_decode_steps; ++step) {
+    const auto sel = policy->Select(step, Query(step));
+    ASSERT_FALSE(sel.empty());
+    for (size_t i = 0; i < sel.size(); ++i) {
+      EXPECT_GE(sel[i], 0);
+      EXPECT_LT(sel[i], static_cast<int32_t>(spec_.seq_len));
+      if (i > 0) EXPECT_LT(sel[i - 1], sel[i]);
+    }
+  }
+}
+
+TEST_P(PolicySweep, BudgetRespected) {
+  if (!GetParam().budget_limited) return;
+  auto policy = GetParam().factory();
+  ASSERT_TRUE(policy->Prepare(ctx_).ok());
+  // Allow anchors on top of the budget plus PyramidKV's 1.5x layer factor.
+  const size_t cap = static_cast<size_t>(1.5 * ctx_.budget.token_budget) +
+                     ctx_.budget.n_init + ctx_.budget.local_window;
+  for (int step = 0; step < spec_.n_decode_steps; ++step) {
+    EXPECT_LE(policy->Select(step, Query(step)).size(), cap);
+  }
+}
+
+TEST_P(PolicySweep, AnchorsIncluded) {
+  auto policy = GetParam().factory();
+  ASSERT_TRUE(policy->Prepare(ctx_).ok());
+  const auto sel = policy->Select(0, Query(0));
+  std::set<int32_t> s(sel.begin(), sel.end());
+  for (size_t t = 0; t < ctx_.budget.n_init; ++t) {
+    EXPECT_TRUE(s.count(static_cast<int32_t>(t)));
+  }
+  for (size_t t = spec_.seq_len - ctx_.budget.local_window;
+       t < spec_.seq_len; ++t) {
+    EXPECT_TRUE(s.count(static_cast<int32_t>(t)));
+  }
+}
+
+TEST_P(PolicySweep, DeterministicAcrossInstances) {
+  auto p1 = GetParam().factory();
+  auto p2 = GetParam().factory();
+  ASSERT_TRUE(p1->Prepare(ctx_).ok());
+  ASSERT_TRUE(p2->Prepare(ctx_).ok());
+  for (int step = 0; step < spec_.n_decode_steps; ++step) {
+    EXPECT_EQ(p1->Select(step, Query(step)), p2->Select(step, Query(step)));
+  }
+}
+
+TEST_P(PolicySweep, QualityMonotoneInBudget) {
+  // Coverage with a 1/4 budget must not be (meaningfully) below coverage
+  // with a 1/16 budget.
+  auto run_at = [&](size_t budget) {
+    SelectionContext ctx = ctx_;
+    ctx.budget.token_budget = budget;
+    auto policy = GetParam().factory();
+    EXPECT_TRUE(policy->Prepare(ctx).ok());
+    double total = 0;
+    for (int step = 0; step < spec_.n_decode_steps; ++step) {
+      const auto scores = TrueAttentionScores(Query(step), head_.keys,
+                                              layout_.seq_len, head_.dim);
+      total += ComputeCoverage(scores, policy->Select(step, Query(step)),
+                               layout_.critical_per_step[step])
+                   .critical;
+    }
+    return total;
+  };
+  EXPECT_GE(run_at(spec_.seq_len / 4) + 0.05, run_at(spec_.seq_len / 16));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicySweep,
+    ::testing::Values(
+        PolicyCase{"Full", [] { return std::make_unique<FullPolicy>(); },
+                   false},
+        PolicyCase{"Oracle", [] { return std::make_unique<OraclePolicy>(); },
+                   true},
+        PolicyCase{"StreamingLLM",
+                   [] { return std::make_unique<StreamingLLMPolicy>(); },
+                   true},
+        PolicyCase{"H2O", [] { return std::make_unique<H2OPolicy>(); }, true},
+        PolicyCase{"SnapKV", [] { return std::make_unique<SnapKVPolicy>(); },
+                   true},
+        PolicyCase{"PyramidKV",
+                   [] { return std::make_unique<PyramidKVPolicy>(); }, true},
+        PolicyCase{"SPARQ", [] { return std::make_unique<SPARQPolicy>(); },
+                   true},
+        PolicyCase{"InfLLM", [] { return std::make_unique<InfLLMPolicy>(); },
+                   true},
+        PolicyCase{"PQCache",
+                   [] { return std::make_unique<PQCachePolicy>(); }, true}),
+    [](const ::testing::TestParamInfo<PolicyCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace pqcache

@@ -1,0 +1,297 @@
+#include "src/policies/policy.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/eval/metrics.h"
+#include "src/policies/basic_policies.h"
+#include "src/policies/h2o_policy.h"
+#include "src/policies/infllm_policy.h"
+#include "src/policies/pqcache_policy.h"
+#include "src/policies/snapkv_policy.h"
+#include "src/policies/sparq_policy.h"
+#include "src/workload/generator.h"
+
+namespace pqcache {
+namespace {
+
+class PolicyFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spec_.name = "policy_test";
+    spec_.seq_len = 2048;
+    spec_.n_instances = 1;
+    spec_.n_decode_steps = 2;
+    spec_.n_spans = 2;
+    spec_.span_len = 8;
+    spec_.evidence_mass = 0.6f;
+    spec_.n_documents = 8;
+    spec_.seed = 31;
+    generator_ = std::make_unique<WorkloadGenerator>(spec_, 64, 1, 48);
+    layout_ = generator_->MakeLayout(0);
+    head_ = generator_->MakeHead(layout_, 0, 0);
+    obs_ = std::make_unique<PrefillObservation>(head_, layout_.seq_len);
+
+    budget_.seq_len = spec_.seq_len;
+    budget_.n_init = 4;
+    budget_.local_window = 64;
+    budget_.token_budget = 2048 / 5;
+    budget_.comm_ratio = 1.0 / 128;
+
+    ctx_.spec = &spec_;
+    ctx_.layout = &layout_;
+    ctx_.head = &head_;
+    ctx_.obs = obs_.get();
+    ctx_.budget = budget_;
+    ctx_.head_idx = 0;
+    ctx_.n_heads = 4;
+  }
+
+  std::span<const float> DecQuery(int step) const {
+    return {head_.dec_queries.data() + static_cast<size_t>(step) * head_.dim,
+            head_.dim};
+  }
+
+  // Coverage of the step's critical tokens by the policy's selection.
+  double CriticalCoverage(SelectionPolicy& policy, int step) {
+    auto selection = policy.Select(step, DecQuery(step));
+    const auto scores = TrueAttentionScores(DecQuery(step), head_.keys,
+                                            layout_.seq_len, head_.dim);
+    return ComputeCoverage(scores, selection,
+                           layout_.critical_per_step[step])
+        .critical;
+  }
+
+  TaskSpec spec_;
+  std::unique_ptr<WorkloadGenerator> generator_;
+  InstanceLayout layout_;
+  HeadData head_;
+  std::unique_ptr<PrefillObservation> obs_;
+  PolicyBudget budget_;
+  SelectionContext ctx_;
+};
+
+TEST_F(PolicyFixture, PrefillObservationRowsAreDistributions) {
+  for (size_t i = 0; i < obs_->num_queries(); ++i) {
+    const auto row = obs_->Row(i);
+    const size_t pos = static_cast<size_t>(obs_->positions()[i]);
+    float sum = 0.0f;
+    for (size_t t = 0; t <= pos; ++t) sum += row[t];
+    EXPECT_NEAR(sum, 1.0f, 1e-3f);
+    // Causality: nothing after the query position.
+    for (size_t t = pos + 1; t < layout_.seq_len; ++t) {
+      EXPECT_EQ(row[t], 0.0f);
+    }
+  }
+}
+
+TEST_F(PolicyFixture, FullSelectsEverything) {
+  FullPolicy policy;
+  ASSERT_TRUE(policy.Prepare(ctx_).ok());
+  EXPECT_EQ(policy.Select(0, DecQuery(0)).size(), spec_.seq_len);
+  EXPECT_NEAR(CriticalCoverage(policy, 0), 1.0, 1e-9);
+}
+
+TEST_F(PolicyFixture, OracleNearFullCoverageAtBudget) {
+  OraclePolicy policy;
+  ASSERT_TRUE(policy.Prepare(ctx_).ok());
+  const auto selection = policy.Select(0, DecQuery(0));
+  EXPECT_LE(selection.size(), budget_.token_budget + 8);
+  EXPECT_GT(CriticalCoverage(policy, 0), 0.95);
+}
+
+TEST_F(PolicyFixture, StreamingLLMMissesEvidence) {
+  StreamingLLMPolicy policy;
+  ASSERT_TRUE(policy.Prepare(ctx_).ok());
+  const auto selection = policy.Select(0, DecQuery(0));
+  EXPECT_EQ(selection.size(), budget_.n_init + budget_.local_window);
+  EXPECT_LT(CriticalCoverage(policy, 0), 0.1);
+}
+
+TEST_F(PolicyFixture, SelectionsAreSortedUnique) {
+  OraclePolicy oracle;
+  ASSERT_TRUE(oracle.Prepare(ctx_).ok());
+  const auto sel = oracle.Select(0, DecQuery(0));
+  for (size_t i = 1; i < sel.size(); ++i) {
+    EXPECT_LT(sel[i - 1], sel[i]);
+  }
+}
+
+TEST_F(PolicyFixture, H2ORespectsBudget) {
+  H2OPolicy policy;
+  ASSERT_TRUE(policy.Prepare(ctx_).ok());
+  const auto sel = policy.Select(0, DecQuery(0));
+  EXPECT_LE(sel.size(),
+            budget_.token_budget + budget_.n_init + budget_.local_window);
+}
+
+TEST_F(PolicyFixture, H2OKeepsSinksAndLocal) {
+  H2OPolicy policy;
+  ASSERT_TRUE(policy.Prepare(ctx_).ok());
+  const auto sel = policy.Select(0, DecQuery(0));
+  std::set<int32_t> s(sel.begin(), sel.end());
+  EXPECT_TRUE(s.count(0));
+  EXPECT_TRUE(s.count(static_cast<int32_t>(spec_.seq_len - 1)));
+}
+
+TEST_F(PolicyFixture, SnapKVFindsEvidenceWithQuestionAtEnd) {
+  SnapKVPolicy policy;
+  ASSERT_TRUE(policy.Prepare(ctx_).ok());
+  EXPECT_GT(CriticalCoverage(policy, 0), 0.6);
+}
+
+TEST_F(PolicyFixture, PyramidBudgetVariesByLayer) {
+  // Layer 0 gets more than the last layer.
+  SelectionContext first = ctx_, last = ctx_;
+  first.head_idx = 0;
+  last.head_idx = 3;
+  PyramidKVPolicy p_first, p_last;
+  ASSERT_TRUE(p_first.Prepare(first).ok());
+  ASSERT_TRUE(p_last.Prepare(last).ok());
+  EXPECT_GT(p_first.Select(0, DecQuery(0)).size(),
+            p_last.Select(0, DecQuery(0)).size());
+}
+
+TEST_F(PolicyFixture, SPARQRankFromCommRatio) {
+  SPARQPolicy policy;  // comm 1/128 with d=64 -> r=1.
+  ASSERT_TRUE(policy.Prepare(ctx_).ok());
+  EXPECT_EQ(policy.rank(), 1);
+  SelectionContext rich = ctx_;
+  rich.budget.comm_ratio = 1.0 / 8;
+  SPARQPolicy policy8;
+  ASSERT_TRUE(policy8.Prepare(rich).ok());
+  EXPECT_EQ(policy8.rank(), 8);
+}
+
+TEST_F(PolicyFixture, SPARQImprovesWithRank) {
+  SPARQPolicy low(1), high(32);
+  ASSERT_TRUE(low.Prepare(ctx_).ok());
+  ASSERT_TRUE(high.Prepare(ctx_).ok());
+  double low_cov = 0, high_cov = 0;
+  for (int step = 0; step < 2; ++step) {
+    low_cov += CriticalCoverage(low, step);
+    high_cov += CriticalCoverage(high, step);
+  }
+  EXPECT_GE(high_cov + 1e-9, low_cov);
+  EXPECT_GT(high_cov / 2, 0.8);  // r=32 of 64 dims is nearly exact.
+}
+
+TEST_F(PolicyFixture, InfLLMSelectsWholeBlocks) {
+  InfLLMPolicy policy(128);
+  ASSERT_TRUE(policy.Prepare(ctx_).ok());
+  const auto sel = policy.Select(0, DecQuery(0));
+  // Count how many fully-contiguous 128-blocks the selection contains.
+  std::set<int32_t> s(sel.begin(), sel.end());
+  int full_blocks = 0;
+  for (int32_t b = 0; b < static_cast<int32_t>(spec_.seq_len / 128); ++b) {
+    bool full = true;
+    for (int32_t t = b * 128; t < (b + 1) * 128; ++t) {
+      if (!s.count(t)) {
+        full = false;
+        break;
+      }
+    }
+    full_blocks += full;
+  }
+  EXPECT_GE(full_blocks, 2);
+}
+
+TEST_F(PolicyFixture, PQCacheHighCoverage) {
+  PQCachePolicyOptions options;
+  options.num_partitions = 2;
+  options.bits = 6;
+  options.kmeans_iterations = 10;
+  PQCachePolicy policy(options);
+  ASSERT_TRUE(policy.Prepare(ctx_).ok());
+  EXPECT_GT(CriticalCoverage(policy, 0), 0.85);
+  EXPECT_GT(CriticalCoverage(policy, 1), 0.85);
+}
+
+TEST_F(PolicyFixture, PQCacheCommBytesMatchConfig) {
+  PQCachePolicyOptions options;
+  options.num_partitions = 2;
+  options.bits = 6;
+  PQCachePolicy policy(options);
+  ASSERT_TRUE(policy.Prepare(ctx_).ok());
+  const double middle = static_cast<double>(
+      spec_.seq_len - budget_.n_init - budget_.local_window);
+  EXPECT_DOUBLE_EQ(policy.ExtraCommBytesPerStep(), middle * 2 * 6 / 8.0);
+}
+
+TEST(PolicyComparisonTest, PQCacheBeatsInfLLMWhenImportanceEmergesLate) {
+  // Retr.KV-like setting: many scattered evidence spans, and prefill gives
+  // almost no hint which matters — so InfLLM's representatives are not the
+  // evidence and whole-block selection misses it, while PQCache's per-token
+  // PQ scores find it at decode time (the paper's central failure mode).
+  TaskSpec spec;
+  spec.name = "scattered";
+  spec.seq_len = 4096;
+  spec.n_decode_steps = 3;
+  spec.n_spans = 16;
+  spec.span_len = 4;
+  spec.evidence_mass = 0.55f;
+  spec.prefill_hint = 0.1f;
+  spec.context_correlation = 0.0f;  // Random content: no passage coherence.
+  spec.n_documents = 16;
+  spec.seed = 131;
+  WorkloadGenerator gen(spec, 64, 1, 48);
+  const InstanceLayout layout = gen.MakeLayout(0);
+  const HeadData head = gen.MakeHead(layout, 0, 0);
+  const PrefillObservation obs(head, layout.seq_len);
+
+  SelectionContext ctx;
+  ctx.spec = &spec;
+  ctx.layout = &layout;
+  ctx.head = &head;
+  ctx.obs = &obs;
+  ctx.budget.seq_len = spec.seq_len;
+  ctx.budget.n_init = 4;
+  ctx.budget.local_window = 64;
+  ctx.budget.token_budget = spec.seq_len / 10;
+  ctx.budget.comm_ratio = 1.0 / 128;
+  ctx.head_idx = 0;
+  ctx.n_heads = 4;
+
+  PQCachePolicy pqc;
+  InfLLMPolicy inf(128);
+  ASSERT_TRUE(pqc.Prepare(ctx).ok());
+  ASSERT_TRUE(inf.Prepare(ctx).ok());
+  double pqc_cov = 0, inf_cov = 0;
+  for (int step = 0; step < spec.n_decode_steps; ++step) {
+    std::span<const float> q(head.dec_queries.data() + step * head.dim,
+                             head.dim);
+    const auto scores =
+        TrueAttentionScores(q, head.keys, layout.seq_len, head.dim);
+    pqc_cov += ComputeCoverage(scores, pqc.Select(step, q),
+                               layout.critical_per_step[step])
+                   .critical;
+    inf_cov += ComputeCoverage(scores, inf.Select(step, q),
+                               layout.critical_per_step[step])
+                   .critical;
+  }
+  EXPECT_GT(pqc_cov, inf_cov + 0.3);
+}
+
+TEST_F(PolicyFixture, AnchorsAlwaysIncluded) {
+  PQCachePolicy pqc;
+  SnapKVPolicy snap;
+  ASSERT_TRUE(pqc.Prepare(ctx_).ok());
+  ASSERT_TRUE(snap.Prepare(ctx_).ok());
+  for (SelectionPolicy* p :
+       std::vector<SelectionPolicy*>{&pqc, &snap}) {
+    const auto sel = p->Select(0, DecQuery(0));
+    std::set<int32_t> s(sel.begin(), sel.end());
+    for (size_t t = 0; t < budget_.n_init; ++t) {
+      EXPECT_TRUE(s.count(static_cast<int32_t>(t))) << p->name();
+    }
+    for (size_t t = spec_.seq_len - budget_.local_window;
+         t < spec_.seq_len; ++t) {
+      EXPECT_TRUE(s.count(static_cast<int32_t>(t))) << p->name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pqcache

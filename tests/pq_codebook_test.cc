@@ -1,0 +1,190 @@
+#include "src/pq/codebook.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/tensor/ops.h"
+
+namespace pqcache {
+namespace {
+
+std::vector<float> RandomVectors(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> out(n * d);
+  for (float& v : out) v = rng.Gaussian();
+  return out;
+}
+
+TEST(PQConfigTest, Validation) {
+  PQConfig c;
+  c.num_partitions = 2;
+  c.bits = 6;
+  c.dim = 64;
+  EXPECT_TRUE(c.Validate().ok());
+  EXPECT_EQ(c.num_centroids(), 64);
+  EXPECT_EQ(c.sub_dim(), 32u);
+  EXPECT_DOUBLE_EQ(c.code_bytes_per_vector(), 1.5);
+
+  c.num_partitions = 3;  // Does not divide 64.
+  EXPECT_FALSE(c.Validate().ok());
+  c.num_partitions = 2;
+  c.bits = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c.bits = 17;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(PQCodebookTest, TrainEncodeDecode) {
+  const size_t n = 512, d = 16;
+  auto data = RandomVectors(n, d, 1);
+  PQConfig config;
+  config.num_partitions = 4;
+  config.bits = 5;
+  config.dim = d;
+  KMeansOptions kmeans;
+  kmeans.max_iterations = 10;
+  auto book = PQCodebook::Train(data, n, config, kmeans);
+  ASSERT_TRUE(book.ok());
+  EXPECT_TRUE(book.value().trained());
+
+  // Reconstruction error should be far below the data norm.
+  std::vector<uint16_t> codes(4);
+  std::vector<float> recon(d);
+  double err = 0.0, norm = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    std::span<const float> vec(data.data() + i * d, d);
+    book.value().Encode(vec, codes);
+    book.value().Decode(codes, recon);
+    err += L2DistanceSquared(vec, recon);
+    norm += Dot(vec, vec);
+  }
+  EXPECT_LT(err / norm, 0.5);
+}
+
+TEST(PQCodebookTest, MoreBitsLowerError) {
+  const size_t n = 1024, d = 16;
+  auto data = RandomVectors(n, d, 2);
+  auto run = [&](int bits) {
+    PQConfig config;
+    config.num_partitions = 2;
+    config.bits = bits;
+    config.dim = d;
+    KMeansOptions kmeans;
+    kmeans.max_iterations = 8;
+    auto book = PQCodebook::Train(data, n, config, kmeans);
+    EXPECT_TRUE(book.ok());
+    std::vector<uint16_t> codes(2);
+    std::vector<float> recon(d);
+    double err = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      std::span<const float> vec(data.data() + i * d, d);
+      book.value().Encode(vec, codes);
+      book.value().Decode(codes, recon);
+      err += L2DistanceSquared(vec, recon);
+    }
+    return err;
+  };
+  EXPECT_LT(run(6), run(3));
+}
+
+TEST(PQCodebookTest, InnerProductTableMatchesBruteForce) {
+  const size_t n = 256, d = 8;
+  auto data = RandomVectors(n, d, 3);
+  PQConfig config;
+  config.num_partitions = 2;
+  config.bits = 4;
+  config.dim = d;
+  KMeansOptions kmeans;
+  kmeans.max_iterations = 10;
+  auto book = PQCodebook::Train(data, n, config, kmeans);
+  ASSERT_TRUE(book.ok());
+
+  Rng rng(4);
+  std::vector<float> query(d);
+  for (float& v : query) v = rng.Gaussian();
+
+  std::vector<float> table(2 * 16);
+  book.value().BuildInnerProductTable(query, table);
+  // ADC(q, decode(codes)) == sum of table entries.
+  std::vector<uint16_t> codes(2);
+  std::vector<float> recon(d);
+  for (size_t i = 0; i < 16; ++i) {
+    book.value().Encode({data.data() + i * d, d}, codes);
+    book.value().Decode(codes, recon);
+    const float direct = Dot(query, recon);
+    const float via_table = table[codes[0]] + table[16 + codes[1]];
+    EXPECT_NEAR(direct, via_table, 1e-4f);
+  }
+}
+
+TEST(PQCodebookTest, EncodeBatchMatchesSingle) {
+  const size_t n = 64, d = 8;
+  auto data = RandomVectors(n, d, 5);
+  PQConfig config;
+  config.num_partitions = 2;
+  config.bits = 3;
+  config.dim = d;
+  KMeansOptions kmeans;
+  auto book = PQCodebook::Train(data, n, config, kmeans);
+  ASSERT_TRUE(book.ok());
+  std::vector<uint16_t> batch(n * 2);
+  book.value().EncodeBatch(data, n, batch);
+  std::vector<uint16_t> single(2);
+  for (size_t i = 0; i < n; ++i) {
+    book.value().Encode({data.data() + i * d, d}, single);
+    EXPECT_EQ(batch[i * 2], single[0]);
+    EXPECT_EQ(batch[i * 2 + 1], single[1]);
+  }
+}
+
+TEST(PQCodebookTest, ParallelTrainMatchesSerial) {
+  const size_t n = 512, d = 16;
+  auto data = RandomVectors(n, d, 6);
+  PQConfig config;
+  config.num_partitions = 4;
+  config.bits = 4;
+  config.dim = d;
+  KMeansOptions kmeans;
+  kmeans.max_iterations = 5;
+  auto serial = PQCodebook::Train(data, n, config, kmeans, nullptr);
+  ThreadPool pool(4);
+  auto parallel = PQCodebook::Train(data, n, config, kmeans, &pool);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  for (int p = 0; p < 4; ++p) {
+    auto a = serial.value().PartitionCentroids(p);
+    auto b = parallel.value().PartitionCentroids(p);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(PQCodebookTest, RejectsBadInput) {
+  PQConfig config;
+  config.num_partitions = 2;
+  config.bits = 4;
+  config.dim = 8;
+  KMeansOptions kmeans;
+  EXPECT_FALSE(PQCodebook::Train({}, 0, config, kmeans).ok());
+  std::vector<float> data(8);
+  EXPECT_FALSE(PQCodebook::Train(data, 2, config, kmeans).ok());
+}
+
+TEST(PQCodebookTest, CentroidBytes) {
+  const size_t n = 64, d = 8;
+  auto data = RandomVectors(n, d, 7);
+  PQConfig config;
+  config.num_partitions = 2;
+  config.bits = 3;
+  config.dim = d;
+  KMeansOptions kmeans;
+  auto book = PQCodebook::Train(data, n, config, kmeans);
+  ASSERT_TRUE(book.ok());
+  EXPECT_EQ(book.value().CentroidBytes(), 2u * 8u * 4u * 4u);
+}
+
+}  // namespace
+}  // namespace pqcache

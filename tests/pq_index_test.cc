@@ -1,0 +1,187 @@
+#include "src/pq/pq_index.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/tensor/ops.h"
+
+namespace pqcache {
+namespace {
+
+PQIndex MakeIndex(const std::vector<float>& data, size_t n, size_t d, int m,
+                  int bits, int iters = 10) {
+  PQConfig config;
+  config.num_partitions = m;
+  config.bits = bits;
+  config.dim = d;
+  KMeansOptions kmeans;
+  kmeans.max_iterations = iters;
+  auto book = PQCodebook::Train(data, n, config, kmeans);
+  EXPECT_TRUE(book.ok());
+  PQIndex index(std::move(book).value());
+  index.AddVectors(data, n);
+  return index;
+}
+
+std::vector<float> ClusteredData(size_t n, size_t d, uint64_t seed) {
+  // Low-rank structured data (like transformer keys) so PQ recall is high.
+  Rng rng(seed);
+  const size_t r = 4;
+  std::vector<float> basis(r * d);
+  for (float& v : basis) v = rng.Gaussian();
+  std::vector<float> out(n * d);
+  for (size_t i = 0; i < n; ++i) {
+    float z[4];
+    for (size_t j = 0; j < r; ++j) z[j] = rng.Gaussian();
+    for (size_t k = 0; k < d; ++k) {
+      float acc = 0.0f;
+      for (size_t j = 0; j < r; ++j) acc += z[j] * basis[j * d + k];
+      out[i * d + k] = acc + 0.1f * rng.Gaussian();
+    }
+  }
+  return out;
+}
+
+TEST(PQIndexTest, SizeTracksAdds) {
+  const size_t n = 128, d = 8;
+  auto data = ClusteredData(n, d, 1);
+  PQIndex index = MakeIndex(data, n, d, 2, 4);
+  EXPECT_EQ(index.size(), n);
+  std::vector<float> one(d, 0.5f);
+  index.AddVector(one);
+  EXPECT_EQ(index.size(), n + 1);
+}
+
+TEST(PQIndexTest, ApproxScoresCorrelateWithExact) {
+  const size_t n = 1024, d = 16;
+  auto data = ClusteredData(n, d, 2);
+  PQIndex index = MakeIndex(data, n, d, 4, 6);
+  Rng rng(3);
+  std::vector<float> q(d);
+  for (float& v : q) v = rng.Gaussian();
+
+  std::vector<float> approx(n), exact(n);
+  index.ApproxInnerProducts(q, approx);
+  for (size_t i = 0; i < n; ++i) {
+    exact[i] = Dot(q, {data.data() + i * d, d});
+  }
+  // Pearson correlation should be strong on structured data.
+  double ma = 0, me = 0;
+  for (size_t i = 0; i < n; ++i) {
+    ma += approx[i];
+    me += exact[i];
+  }
+  ma /= n;
+  me /= n;
+  double cov = 0, va = 0, ve = 0;
+  for (size_t i = 0; i < n; ++i) {
+    cov += (approx[i] - ma) * (exact[i] - me);
+    va += (approx[i] - ma) * (approx[i] - ma);
+    ve += (exact[i] - me) * (exact[i] - me);
+  }
+  const double corr = cov / std::sqrt(va * ve);
+  EXPECT_GT(corr, 0.9);
+}
+
+TEST(PQIndexTest, TopKRecallOnStructuredData) {
+  const size_t n = 2048, d = 32;
+  auto data = ClusteredData(n, d, 4);
+  PQIndex index = MakeIndex(data, n, d, 4, 6);
+  Rng rng(5);
+  double recall_sum = 0.0;
+  const size_t k = 32;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    // Query near a random data point (MIPS-favourable).
+    const size_t anchor = rng.UniformInt(n);
+    std::vector<float> q(d);
+    for (size_t i = 0; i < d; ++i) {
+      q[i] = data[anchor * d + i] + 0.05f * rng.Gaussian();
+    }
+    auto approx_top = index.TopK(q, k);
+    std::vector<float> exact(n);
+    for (size_t i = 0; i < n; ++i) {
+      exact[i] = Dot(q, {data.data() + i * d, d});
+    }
+    auto exact_top = TopKIndices(exact, k);
+    std::set<int32_t> exact_set(exact_top.begin(), exact_top.end());
+    size_t hit = 0;
+    for (int32_t id : approx_top) hit += exact_set.count(id);
+    recall_sum += static_cast<double>(hit) / k;
+  }
+  EXPECT_GT(recall_sum / trials, 0.7);
+}
+
+TEST(PQIndexTest, MoreIterationsBetterRecall) {
+  const size_t n = 2048, d = 32;
+  auto data = ClusteredData(n, d, 6);
+  auto recall_for = [&](int iters) {
+    PQIndex index = MakeIndex(data, n, d, 2, 6, iters);
+    Rng rng(7);
+    double recall_sum = 0.0;
+    const size_t k = 32;
+    for (int t = 0; t < 8; ++t) {
+      const size_t anchor = rng.UniformInt(n);
+      std::vector<float> q(d);
+      for (size_t i = 0; i < d; ++i) {
+        q[i] = data[anchor * d + i] + 0.05f * rng.Gaussian();
+      }
+      auto approx_top = index.TopK(q, k);
+      std::vector<float> exact(n);
+      for (size_t i = 0; i < n; ++i) {
+        exact[i] = Dot(q, {data.data() + i * d, d});
+      }
+      auto exact_top = TopKIndices(exact, k);
+      std::set<int32_t> exact_set(exact_top.begin(), exact_top.end());
+      size_t hit = 0;
+      for (int32_t id : approx_top) hit += exact_set.count(id);
+      recall_sum += static_cast<double>(hit) / k;
+    }
+    return recall_sum / 8;
+  };
+  // Recall with a converged codebook should beat the unrefined seeding.
+  EXPECT_GE(recall_for(15) + 0.05, recall_for(0));
+}
+
+TEST(PQIndexTest, AddVectorEncodesLikeBatch) {
+  const size_t n = 256, d = 8;
+  auto data = ClusteredData(n, d, 8);
+  PQIndex a = MakeIndex(data, n, d, 2, 4);
+  // Build an index with the same codebook but incremental adds.
+  PQIndex b(a.codebook());
+  for (size_t i = 0; i < n; ++i) {
+    b.AddVector({data.data() + i * d, d});
+  }
+  ASSERT_EQ(a.size(), b.size());
+  auto ca = a.codes();
+  auto cb = b.codes();
+  for (size_t i = 0; i < ca.size(); ++i) EXPECT_EQ(ca[i], cb[i]);
+}
+
+TEST(PQIndexTest, LogicalCodeBytes) {
+  const size_t n = 128, d = 8;
+  auto data = ClusteredData(n, d, 9);
+  PQIndex index = MakeIndex(data, n, d, 2, 6);
+  // 2 codes * 6 bits = 1.5 bytes per vector.
+  EXPECT_DOUBLE_EQ(index.LogicalCodeBytes(), 128 * 1.5);
+}
+
+TEST(PQIndexTest, WithTableMatchesPlain) {
+  const size_t n = 512, d = 16;
+  auto data = ClusteredData(n, d, 10);
+  PQIndex index = MakeIndex(data, n, d, 4, 5);
+  Rng rng(11);
+  std::vector<float> q(d);
+  for (float& v : q) v = rng.Gaussian();
+  std::vector<float> s1(n), s2(n), table(4 * 32);
+  index.ApproxInnerProducts(q, s1);
+  index.ApproxInnerProductsWithTable(q, table, s2);
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(s1[i], s2[i]);
+}
+
+}  // namespace
+}  // namespace pqcache

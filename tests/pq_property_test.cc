@@ -1,0 +1,152 @@
+// Parameterized property tests sweeping PQ configurations (m x b): the
+// quantizer's invariants must hold for every shape the paper evaluates
+// (Fig. 10b) and then some.
+#include <cmath>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/pq/pq_index.h"
+#include "src/tensor/ops.h"
+
+namespace pqcache {
+namespace {
+
+using PQParam = std::tuple<int, int>;  // (m, b)
+
+class PQConfigSweep : public ::testing::TestWithParam<PQParam> {
+ protected:
+  static constexpr size_t kN = 768;
+  static constexpr size_t kDim = 32;
+
+  void SetUp() override {
+    Rng rng(0xABCD);
+    data_.resize(kN * kDim);
+    // Low-rank + noise: the key-manifold structure PQ exploits.
+    std::vector<float> basis(4 * kDim);
+    for (float& v : basis) v = rng.Gaussian();
+    for (size_t i = 0; i < kN; ++i) {
+      float z[4];
+      for (float& v : z) v = rng.Gaussian();
+      for (size_t k = 0; k < kDim; ++k) {
+        float acc = 0.2f * rng.Gaussian();
+        for (size_t j = 0; j < 4; ++j) acc += z[j] * basis[j * kDim + k];
+        data_[i * kDim + k] = acc;
+      }
+    }
+    PQConfig config;
+    config.num_partitions = std::get<0>(GetParam());
+    config.bits = std::get<1>(GetParam());
+    config.dim = kDim;
+    KMeansOptions kmeans;
+    kmeans.max_iterations = 8;
+    auto book = PQCodebook::Train(data_, kN, config, kmeans);
+    ASSERT_TRUE(book.ok()) << book.status().ToString();
+    book_ = std::move(book).value();
+  }
+
+  std::vector<float> data_;
+  PQCodebook book_;
+};
+
+TEST_P(PQConfigSweep, CodesWithinRange) {
+  const int m = book_.config().num_partitions;
+  const int kc = book_.config().num_centroids();
+  std::vector<uint16_t> codes(static_cast<size_t>(m));
+  for (size_t i = 0; i < kN; i += 7) {
+    book_.Encode({data_.data() + i * kDim, kDim}, codes);
+    for (uint16_t c : codes) EXPECT_LT(c, kc);
+  }
+}
+
+TEST_P(PQConfigSweep, EncodeDecodeIdempotent) {
+  // decode(encode(x)) is a fixed point: re-encoding gives the same codes.
+  const int m = book_.config().num_partitions;
+  std::vector<uint16_t> codes(static_cast<size_t>(m)), codes2(codes.size());
+  std::vector<float> recon(kDim);
+  for (size_t i = 0; i < kN; i += 13) {
+    book_.Encode({data_.data() + i * kDim, kDim}, codes);
+    book_.Decode(codes, recon);
+    book_.Encode(recon, codes2);
+    EXPECT_EQ(codes, codes2) << "vector " << i;
+  }
+}
+
+TEST_P(PQConfigSweep, ReconstructionBeatsZeroBaseline) {
+  // The quantizer must beat the trivial all-zeros reconstruction.
+  const int m = book_.config().num_partitions;
+  std::vector<uint16_t> codes(static_cast<size_t>(m));
+  std::vector<float> recon(kDim);
+  double err = 0, norm = 0;
+  for (size_t i = 0; i < kN; ++i) {
+    std::span<const float> vec(data_.data() + i * kDim, kDim);
+    book_.Encode(vec, codes);
+    book_.Decode(codes, recon);
+    err += L2DistanceSquared(vec, recon);
+    norm += Dot(vec, vec);
+  }
+  EXPECT_LT(err, norm);
+}
+
+TEST_P(PQConfigSweep, ADCEqualsDecodedDotProduct) {
+  // The ADC identity: table-gather score == <q, decode(codes)>.
+  const int m = book_.config().num_partitions;
+  const size_t kc = static_cast<size_t>(book_.config().num_centroids());
+  Rng rng(77);
+  std::vector<float> q(kDim);
+  for (float& v : q) v = rng.Gaussian();
+  std::vector<float> table(static_cast<size_t>(m) * kc);
+  book_.BuildInnerProductTable(q, table);
+  std::vector<uint16_t> codes(static_cast<size_t>(m));
+  std::vector<float> recon(kDim);
+  for (size_t i = 0; i < kN; i += 31) {
+    book_.Encode({data_.data() + i * kDim, kDim}, codes);
+    book_.Decode(codes, recon);
+    float adc = 0.0f;
+    for (int p = 0; p < m; ++p) adc += table[p * kc + codes[p]];
+    EXPECT_NEAR(adc, Dot(q, recon), 1e-3f);
+  }
+}
+
+TEST_P(PQConfigSweep, IndexTopKSubsetOfIds) {
+  PQIndex index(book_);
+  index.AddVectors(data_, kN);
+  Rng rng(88);
+  std::vector<float> q(kDim);
+  for (float& v : q) v = rng.Gaussian();
+  const auto top = index.TopK(q, 50);
+  EXPECT_EQ(top.size(), 50u);
+  std::set<int32_t> seen;
+  for (int32_t id : top) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, static_cast<int32_t>(kN));
+    EXPECT_TRUE(seen.insert(id).second) << "duplicate id " << id;
+  }
+}
+
+TEST_P(PQConfigSweep, CommunicationAccounting) {
+  const auto& config = book_.config();
+  EXPECT_DOUBLE_EQ(config.code_bytes_per_vector(),
+                   config.num_partitions * config.bits / 8.0);
+  PQIndex index(book_);
+  index.AddVectors(data_, kN);
+  EXPECT_DOUBLE_EQ(index.LogicalCodeBytes(),
+                   kN * config.code_bytes_per_vector());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PQConfigSweep,
+    ::testing::Values(PQParam{1, 8}, PQParam{2, 4}, PQParam{2, 6},
+                      PQParam{2, 8}, PQParam{4, 4}, PQParam{4, 6},
+                      PQParam{4, 8}, PQParam{8, 2}, PQParam{8, 4},
+                      PQParam{16, 2}, PQParam{32, 1}),
+    [](const ::testing::TestParamInfo<PQParam>& info) {
+      return "m" + std::to_string(std::get<0>(info.param)) + "b" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace pqcache

@@ -1,0 +1,58 @@
+#include "src/llm/rope.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/tensor/ops.h"
+
+namespace pqcache {
+namespace {
+
+TEST(RopeTest, PositionZeroIsIdentity) {
+  std::vector<float> v = {1.0f, 2.0f, 3.0f, 4.0f};
+  const std::vector<float> orig = v;
+  ApplyRope(v, 0, 10000.0f);
+  for (size_t i = 0; i < v.size(); ++i) EXPECT_FLOAT_EQ(v[i], orig[i]);
+}
+
+TEST(RopeTest, PreservesNorm) {
+  std::vector<float> v = {1.0f, -2.0f, 0.5f, 3.0f, -1.0f, 0.25f, 2.0f, 1.5f};
+  const float norm_before = L2Norm(v);
+  ApplyRope(v, 1234, 10000.0f);
+  EXPECT_NEAR(L2Norm(v), norm_before, 1e-4f);
+}
+
+TEST(RopeTest, RelativePositionProperty) {
+  // RoPE's defining property: <R_m q, R_n k> depends only on (m - n).
+  std::vector<float> q = {0.3f, -0.7f, 1.1f, 0.2f};
+  std::vector<float> k = {-0.5f, 0.9f, 0.4f, -1.3f};
+  auto dot_at = [&](size_t m, size_t n) {
+    std::vector<float> qm = q, kn = k;
+    ApplyRope(qm, m, 10000.0f);
+    ApplyRope(kn, n, 10000.0f);
+    return Dot(qm, kn);
+  };
+  EXPECT_NEAR(dot_at(7, 3), dot_at(104, 100), 1e-4f);
+  EXPECT_NEAR(dot_at(20, 0), dot_at(520, 500), 1e-4f);
+}
+
+TEST(RopeTest, FirstPairRotatesByPosition) {
+  // Dimension pair 0 rotates by exactly `position` radians (freq = 1).
+  std::vector<float> v = {1.0f, 0.0f};
+  ApplyRope(v, 1, 10000.0f);
+  EXPECT_NEAR(v[0], std::cos(1.0f), 1e-5f);
+  EXPECT_NEAR(v[1], std::sin(1.0f), 1e-5f);
+}
+
+TEST(RopeTest, HigherDimsRotateSlower) {
+  std::vector<float> v = {1.0f, 0.0f, 1.0f, 0.0f};
+  ApplyRope(v, 10, 10000.0f);
+  const float angle0 = std::atan2(v[1], v[0]);
+  const float angle1 = std::atan2(v[3], v[2]);
+  EXPECT_GT(std::abs(angle0), std::abs(angle1));
+}
+
+}  // namespace
+}  // namespace pqcache

@@ -1,0 +1,162 @@
+#include "src/sched/prefill_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sched/decode_pipeline.h"
+#include "src/sched/method_latency.h"
+#include "src/sched/profiling.h"
+#include "src/sched/system_model.h"
+
+namespace pqcache {
+namespace {
+
+SystemModel DefaultSystem() {
+  SystemModel sys;
+  sys.model = ModelProfile::Llama3_8B();
+  return sys;
+}
+
+TEST(SystemModelTest, DerivedQuantities) {
+  SystemModel sys = DefaultSystem();
+  // One layer of 8B KV at s tokens: 2*2*8*128*s bytes.
+  EXPECT_DOUBLE_EQ(sys.LayerKVBytes(1000), 4.0 * 8 * 128 * 1000);
+  // Codes: hkv * s * m * b / 8.
+  EXPECT_DOUBLE_EQ(sys.LayerCodeBytes(1000), 8.0 * 1000 * 2 * 6 / 8.0);
+  EXPECT_GT(sys.ComputeLayerSeconds(65536), sys.ComputeLayerSeconds(8192));
+}
+
+TEST(SystemModelTest, H2OOOMThresholdFinite) {
+  SystemModel sys = DefaultSystem();
+  const double oom = sys.H2OOOMSequenceLength();
+  EXPECT_GT(oom, 1000.0);
+  EXPECT_LT(oom, 1e6);
+}
+
+TEST(PrefillPipelineTest, OverlapBeatsSequential) {
+  SystemModel sys = DefaultSystem();
+  const PrefillTimeline tl = SimulatePrefill(sys, 65536, 8);
+  EXPECT_LT(tl.end_to_end, tl.sequential_total);
+  EXPECT_GE(tl.end_to_end, tl.ttft);
+}
+
+TEST(PrefillPipelineTest, ComputeSerializedOnGpu) {
+  SystemModel sys = DefaultSystem();
+  const PrefillTimeline tl = SimulatePrefill(sys, 32768, 5);
+  for (size_t l = 1; l < tl.compute.size(); ++l) {
+    EXPECT_GE(tl.compute[l].start, tl.compute[l - 1].end - 1e-12);
+  }
+}
+
+TEST(PrefillPipelineTest, ClusteringAfterOffload) {
+  SystemModel sys = DefaultSystem();
+  const PrefillTimeline tl = SimulatePrefill(sys, 32768, 5);
+  for (size_t l = 0; l < tl.clustering.size(); ++l) {
+    EXPECT_GE(tl.clustering[l].start, tl.offload[l].end - 1e-12);
+  }
+}
+
+TEST(PrefillPipelineTest, AdaptiveIterationsGrowWithLength) {
+  SystemModel sys = DefaultSystem();
+  const int t_short = AdaptiveIterations(sys, 4096);
+  const int t_long = AdaptiveIterations(sys, 131072);
+  EXPECT_GE(t_long, t_short);
+  EXPECT_GE(t_short, 1);
+}
+
+TEST(PrefillPipelineTest, HalfCpuFewerIterations) {
+  SystemModel full = DefaultSystem();
+  SystemModel half = DefaultSystem();
+  half.cpu_speed_factor = 0.5;
+  EXPECT_LE(AdaptiveIterations(half, 65536),
+            AdaptiveIterations(full, 65536));
+}
+
+TEST(DecodePipelineTest, OverlapBeatsSequential) {
+  SystemModel sys = DefaultSystem();
+  const DecodeTimeline tl = SimulateDecode(sys, 32768);
+  EXPECT_LT(tl.tpot, tl.tpot_sequential);
+  EXPECT_GT(tl.tpot, 0.0);
+}
+
+TEST(DecodePipelineTest, CacheReducesFetch) {
+  SystemModel with_cache = DefaultSystem();
+  with_cache.cache_hit_rate = 0.6;
+  SystemModel no_cache = DefaultSystem();
+  no_cache.cache_hit_rate = 0.0;
+  EXPECT_LT(SimulateDecode(with_cache, 32768).tpot,
+            SimulateDecode(no_cache, 32768).tpot);
+}
+
+TEST(DecodePipelineTest, DecompositionConsistent) {
+  SystemModel sys = DefaultSystem();
+  const DecodeTimeline tl = SimulateDecode(sys, 16384);
+  EXPECT_GT(tl.llm_compute, 0.0);
+  EXPECT_GT(tl.pq_compute, 0.0);
+  EXPECT_GT(tl.comm_codes, 0.0);
+  EXPECT_GT(tl.comm_topk, 0.0);
+  // Overlapped end-to-end is below the sum of the parts.
+  EXPECT_LT(tl.tpot, tl.llm_compute + tl.pq_compute + tl.comm_codes +
+                         tl.comm_topk + 1e-9);
+}
+
+TEST(MethodLatencyTest, H2OOOMsAtLongContext) {
+  SystemModel sys = DefaultSystem();
+  const double oom = sys.H2OOOMSequenceLength();
+  EXPECT_TRUE(MethodTT2T(sys, MethodKind::kH2O, oom * 0.5).has_value());
+  EXPECT_FALSE(MethodTT2T(sys, MethodKind::kH2O, oom * 2.0).has_value());
+}
+
+TEST(MethodLatencyTest, SPARQTPOTGrowsWithLength) {
+  SystemModel sys = DefaultSystem();
+  const auto t1 = MethodTPOT(sys, MethodKind::kSPARQ, 16384);
+  const auto t2 = MethodTPOT(sys, MethodKind::kSPARQ, 65536);
+  ASSERT_TRUE(t1 && t2);
+  EXPECT_GT(*t2, *t1 * 2.0);
+}
+
+TEST(MethodLatencyTest, PQCacheTPOTBelowSPARQ) {
+  SystemModel sys = DefaultSystem();
+  const auto pqc = MethodTPOT(sys, MethodKind::kPQCache, 65536);
+  const auto sparq = MethodTPOT(sys, MethodKind::kSPARQ, 65536);
+  ASSERT_TRUE(pqc && sparq);
+  EXPECT_LT(*pqc, *sparq);
+}
+
+TEST(MethodLatencyTest, DroppingMethodsFastestTPOT) {
+  SystemModel sys = DefaultSystem();
+  const auto snap = MethodTPOT(sys, MethodKind::kSnapKV, 65536);
+  const auto pqc = MethodTPOT(sys, MethodKind::kPQCache, 65536);
+  ASSERT_TRUE(snap && pqc);
+  EXPECT_LE(*snap, *pqc);
+}
+
+TEST(MethodLatencyTest, PQCacheTT2TNearSnapKV) {
+  SystemModel sys = DefaultSystem();
+  const auto snap = MethodTT2T(sys, MethodKind::kSnapKV, 65536);
+  const auto pqc = MethodTT2T(sys, MethodKind::kPQCache, 65536);
+  ASSERT_TRUE(snap && pqc);
+  // Overlapped clustering keeps PQCache within ~2x of the cheapest method.
+  EXPECT_LT(*pqc, *snap * 2.0);
+}
+
+TEST(ProfilingTest, MeasureClusteringPositive) {
+  ThreadPool pool(2);
+  const double t =
+      MeasureClusteringSeconds(2048, 32, 64, 3, &pool);
+  EXPECT_GT(t, 0.0);
+  EXPECT_LT(t, 30.0);
+}
+
+TEST(ProfilingTest, CalibrationFitsModel) {
+  SystemModel sys = DefaultSystem();
+  ThreadPool pool(4);
+  const auto samples = CalibrateClusteringModel(&sys, &pool);
+  EXPECT_FALSE(samples.empty());
+  EXPECT_TRUE(sys.clustering.fitted());
+  // Fitted model predicts larger time for more work.
+  EXPECT_GT(sys.ClusteringLayerSeconds(65536, 10),
+            sys.ClusteringLayerSeconds(8192, 2));
+}
+
+}  // namespace
+}  // namespace pqcache

@@ -1,0 +1,99 @@
+#include "src/pq/serialize.h"
+
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace pqcache {
+namespace {
+
+PQIndex MakeIndex(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> data(n * d);
+  for (float& v : data) v = rng.Gaussian();
+  PQConfig config;
+  config.num_partitions = 2;
+  config.bits = 5;
+  config.dim = d;
+  KMeansOptions kmeans;
+  kmeans.max_iterations = 5;
+  auto book = PQCodebook::Train(data, n, config, kmeans);
+  EXPECT_TRUE(book.ok());
+  PQIndex index(std::move(book).value());
+  index.AddVectors(data, n);
+  return index;
+}
+
+TEST(SerializeTest, CodebookRoundTrip) {
+  PQIndex index = MakeIndex(256, 16, 1);
+  std::stringstream ss;
+  ASSERT_TRUE(SaveCodebook(index.codebook(), ss).ok());
+  auto loaded = LoadCodebook(ss);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const auto& a = index.codebook();
+  const auto& b = loaded.value();
+  EXPECT_EQ(a.config().num_partitions, b.config().num_partitions);
+  EXPECT_EQ(a.config().bits, b.config().bits);
+  EXPECT_EQ(a.config().dim, b.config().dim);
+  const auto ca = a.AllCentroids();
+  const auto cb = b.AllCentroids();
+  ASSERT_EQ(ca.size(), cb.size());
+  for (size_t i = 0; i < ca.size(); ++i) EXPECT_EQ(ca[i], cb[i]);
+}
+
+TEST(SerializeTest, IndexRoundTripPreservesSearch) {
+  PQIndex index = MakeIndex(512, 16, 2);
+  std::stringstream ss;
+  ASSERT_TRUE(SaveIndex(index, ss).ok());
+  auto loaded = LoadIndex(ss);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().size(), index.size());
+
+  Rng rng(3);
+  std::vector<float> q(16);
+  for (float& v : q) v = rng.Gaussian();
+  EXPECT_EQ(index.TopK(q, 20), loaded.value().TopK(q, 20));
+}
+
+TEST(SerializeTest, UntrainedCodebookRejected) {
+  PQCodebook empty;
+  std::stringstream ss;
+  EXPECT_EQ(SaveCodebook(empty, ss).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SerializeTest, BadMagicRejected) {
+  std::stringstream ss;
+  ss << "not a codebook at all";
+  EXPECT_EQ(LoadCodebook(ss).status().code(), StatusCode::kInvalidArgument);
+  std::stringstream ss2;
+  ss2 << "garbage";
+  EXPECT_EQ(LoadIndex(ss2).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, TruncatedStreamRejected) {
+  PQIndex index = MakeIndex(64, 16, 4);
+  std::stringstream ss;
+  ASSERT_TRUE(SaveIndex(index, ss).ok());
+  const std::string full = ss.str();
+  for (size_t cut : {size_t{6}, full.size() / 2, full.size() - 3}) {
+    std::stringstream truncated(full.substr(0, cut));
+    EXPECT_FALSE(LoadIndex(truncated).ok()) << "cut at " << cut;
+  }
+}
+
+TEST(SerializeTest, FromPartsValidates) {
+  PQConfig config;
+  config.num_partitions = 2;
+  config.bits = 4;
+  config.dim = 8;
+  EXPECT_FALSE(PQCodebook::FromParts(config, std::vector<float>(7)).ok());
+  const size_t expected = 2 * 16 * 4;
+  EXPECT_TRUE(
+      PQCodebook::FromParts(config, std::vector<float>(expected)).ok());
+}
+
+}  // namespace
+}  // namespace pqcache

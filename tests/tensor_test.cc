@@ -1,0 +1,55 @@
+#include "src/tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace pqcache {
+namespace {
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_EQ(t.ndim(), 2u);
+  for (size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, ShapeAccess) {
+  Tensor t({4, 5, 6});
+  EXPECT_EQ(t.dim(0), 4u);
+  EXPECT_EQ(t.dim(1), 5u);
+  EXPECT_EQ(t.dim(2), 6u);
+}
+
+TEST(TensorTest, At2D) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 7.0f;
+  EXPECT_EQ(t[5], 7.0f);
+  EXPECT_EQ(t.at(1, 2), 7.0f);
+}
+
+TEST(TensorTest, RowView) {
+  Tensor t({2, 3});
+  t.at(1, 0) = 1.0f;
+  t.at(1, 1) = 2.0f;
+  auto row = t.row(1);
+  EXPECT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], 1.0f);
+  EXPECT_EQ(row[1], 2.0f);
+  row[2] = 9.0f;
+  EXPECT_EQ(t.at(1, 2), 9.0f);
+}
+
+TEST(TensorTest, FlatSpan) {
+  Tensor t({3});
+  auto flat = t.flat();
+  flat[1] = 4.0f;
+  EXPECT_EQ(t[1], 4.0f);
+}
+
+TEST(TensorTest, EmptyTensor) {
+  Tensor t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.ndim(), 0u);
+}
+
+}  // namespace
+}  // namespace pqcache

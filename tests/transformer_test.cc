@@ -1,0 +1,175 @@
+#include "src/llm/transformer.h"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/llm/model_config.h"
+
+namespace pqcache {
+namespace {
+
+LayeredKVCache MakeCache(const ModelConfig& config) {
+  KVCacheConfig kv;
+  kv.num_layers = config.num_layers;
+  kv.num_kv_heads = config.num_kv_heads;
+  kv.store.head_dim = static_cast<size_t>(config.head_dim);
+  kv.store.initial_tokens = 2;
+  kv.store.local_window = 8;
+  return LayeredKVCache(kv);
+}
+
+TEST(ModelConfigTest, Validation) {
+  ModelConfig c = ModelConfig::Tiny();
+  EXPECT_TRUE(c.Validate().ok());
+  c.num_kv_heads = 3;  // Does not divide 4 heads.
+  EXPECT_FALSE(c.Validate().ok());
+  c = ModelConfig::Tiny();
+  c.vocab_size = 0;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(ModelConfigTest, DerivedDims) {
+  ModelConfig c = ModelConfig::Small();
+  EXPECT_EQ(c.hidden_dim(), 8 * 32);
+  EXPECT_EQ(c.gqa_group(), 4);
+}
+
+TEST(ModelProfileTest, KVBytes) {
+  const ModelProfile p = ModelProfile::Llama3_8B();
+  // 2 * 2 * 32 * 8 * 128 = 131072 bytes per token.
+  EXPECT_DOUBLE_EQ(p.KVBytesPerToken(), 131072.0);
+  // Fig. 1 regime check: 128 x 128K on the 8B-style GQA model ~ 2.2 TB.
+  EXPECT_NEAR(p.KVBytes(131072, 128) / 1e12, 2.2, 0.3);
+}
+
+TEST(ModelProfileTest, FlopsMonotone) {
+  const ModelProfile p = ModelProfile::Llama3_8B();
+  EXPECT_GT(p.PrefillLayerFlops(8192), p.PrefillLayerFlops(4096));
+  EXPECT_GT(p.DecodeLayerFlops(8192), p.DecodeLayerFlops(4096));
+  // Prefill is superlinear (attention s^2 term).
+  EXPECT_GT(p.PrefillLayerFlops(16384) / p.PrefillLayerFlops(8192), 2.0);
+}
+
+TEST(TransformerTest, CreateRejectsBadConfig) {
+  ModelConfig c = ModelConfig::Tiny();
+  c.num_kv_heads = 3;
+  EXPECT_FALSE(TransformerModel::Create(c).ok());
+}
+
+TEST(TransformerTest, PrefillProducesLogitsAndKV) {
+  ModelConfig config = ModelConfig::Tiny();
+  auto model = TransformerModel::Create(config);
+  ASSERT_TRUE(model.ok());
+  LayeredKVCache cache = MakeCache(config);
+  std::vector<int32_t> tokens = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  auto logits = model.value()->Prefill(tokens, &cache);
+  ASSERT_TRUE(logits.ok());
+  EXPECT_EQ(logits.value().size(), static_cast<size_t>(config.vocab_size));
+  EXPECT_EQ(cache.size(), tokens.size());
+  for (float v : logits.value()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(TransformerTest, PrefillRejectsBadTokens) {
+  ModelConfig config = ModelConfig::Tiny();
+  auto model = TransformerModel::Create(config);
+  ASSERT_TRUE(model.ok());
+  LayeredKVCache cache = MakeCache(config);
+  std::vector<int32_t> tokens = {1, 999999};
+  EXPECT_FALSE(model.value()->Prefill(tokens, &cache).ok());
+}
+
+TEST(TransformerTest, DeterministicAcrossInstances) {
+  ModelConfig config = ModelConfig::Tiny();
+  auto m1 = TransformerModel::Create(config);
+  auto m2 = TransformerModel::Create(config);
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m2.ok());
+  LayeredKVCache c1 = MakeCache(config), c2 = MakeCache(config);
+  std::vector<int32_t> tokens = {5, 6, 7, 8};
+  auto l1 = m1.value()->Prefill(tokens, &c1);
+  auto l2 = m2.value()->Prefill(tokens, &c2);
+  ASSERT_TRUE(l1.ok());
+  ASSERT_TRUE(l2.ok());
+  EXPECT_EQ(l1.value(), l2.value());
+}
+
+TEST(TransformerTest, DecodeStepAppendsKV) {
+  ModelConfig config = ModelConfig::Tiny();
+  auto model = TransformerModel::Create(config);
+  ASSERT_TRUE(model.ok());
+  LayeredKVCache cache = MakeCache(config);
+  std::vector<int32_t> tokens = {1, 2, 3, 4};
+  ASSERT_TRUE(model.value()->Prefill(tokens, &cache).ok());
+  auto logits = model.value()->DecodeStep(9, 4, &cache);
+  ASSERT_TRUE(logits.ok());
+  EXPECT_EQ(cache.size(), 5u);
+}
+
+TEST(TransformerTest, DecodePositionMustMatchCache) {
+  ModelConfig config = ModelConfig::Tiny();
+  auto model = TransformerModel::Create(config);
+  ASSERT_TRUE(model.ok());
+  LayeredKVCache cache = MakeCache(config);
+  std::vector<int32_t> tokens = {1, 2, 3};
+  ASSERT_TRUE(model.value()->Prefill(tokens, &cache).ok());
+  EXPECT_FALSE(model.value()->DecodeStep(4, 7, &cache).ok());
+}
+
+TEST(TransformerTest, FullBackendMatchesPrefillContinuation) {
+  // Decoding the next token with full attention must equal re-prefilling
+  // the extended sequence (teacher forcing equivalence).
+  ModelConfig config = ModelConfig::Tiny();
+  auto model = TransformerModel::Create(config);
+  ASSERT_TRUE(model.ok());
+
+  std::vector<int32_t> tokens = {3, 1, 4, 1, 5, 9, 2, 6};
+  LayeredKVCache c1 = MakeCache(config);
+  ASSERT_TRUE(model.value()->Prefill(tokens, &c1).ok());
+  auto decode_logits = model.value()->DecodeStep(7, tokens.size(), &c1);
+  ASSERT_TRUE(decode_logits.ok());
+
+  std::vector<int32_t> extended = tokens;
+  extended.push_back(7);
+  LayeredKVCache c2 = MakeCache(config);
+  auto prefill_logits = model.value()->Prefill(extended, &c2);
+  ASSERT_TRUE(prefill_logits.ok());
+
+  for (size_t i = 0; i < decode_logits.value().size(); ++i) {
+    // FP16 KVCache rounding makes this approximate.
+    EXPECT_NEAR(decode_logits.value()[i], prefill_logits.value()[i], 0.05f)
+        << "logit " << i;
+  }
+}
+
+TEST(TransformerTest, ObserverSeesCausalRows) {
+  ModelConfig config = ModelConfig::Tiny();
+  auto model = TransformerModel::Create(config);
+  ASSERT_TRUE(model.ok());
+  LayeredKVCache cache = MakeCache(config);
+  std::vector<int32_t> tokens = {1, 2, 3, 4, 5};
+  int rows = 0;
+  auto observer = [&](int layer, int head, size_t pos,
+                      std::span<const float> scores) {
+    EXPECT_GE(layer, 0);
+    EXPECT_LT(layer, config.num_layers);
+    EXPECT_GE(head, 0);
+    EXPECT_EQ(scores.size(), pos + 1);
+    float sum = 0;
+    for (float v : scores) sum += v;
+    EXPECT_NEAR(sum, 1.0f, 1e-4f);
+    ++rows;
+  };
+  ASSERT_TRUE(model.value()->Prefill(tokens, &cache, observer).ok());
+  EXPECT_EQ(rows, config.num_layers * config.num_heads * 5);
+}
+
+TEST(TransformerTest, GreedyToken) {
+  std::vector<float> logits = {0.1f, 0.9f, 0.3f};
+  EXPECT_EQ(TransformerModel::GreedyToken(logits), 1);
+}
+
+}  // namespace
+}  // namespace pqcache

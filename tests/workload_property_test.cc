@@ -1,0 +1,137 @@
+// Parameterized property tests over every task of every suite: the
+// generator's structural invariants (layout sanity, determinism, calibrated
+// evidence mass, finite tensors) must hold for each benchmark analog, not
+// just the handful spot-checked in workload_test.cc.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/eval/metrics.h"
+#include "src/workload/generator.h"
+#include "src/workload/spec.h"
+
+namespace pqcache {
+namespace {
+
+std::vector<TaskSpec> AllTasks() {
+  std::vector<TaskSpec> tasks;
+  for (auto& t : MakeLongBenchLikeSuite(5).tasks) tasks.push_back(t);
+  for (auto& t : MakeQuestionFirstSuite(5).tasks) {
+    t.name += "_qfirst";
+    tasks.push_back(t);
+  }
+  tasks.push_back(MakeGSM8kCoTTask(5));
+  tasks.push_back(MakeNeedleTask(8192, 0.5, 5));
+  tasks.push_back(MakeHotpotLikeTask(5));
+  // The InfiniteBench tasks run at 32K; shrink the length (but not the
+  // document count — the doc-length regime matters for calibration) for
+  // test speed. The invariants are length-independent.
+  for (auto& t : MakeInfiniteBenchLikeSuite(5).tasks) {
+    t.seq_len = 8192;
+    tasks.push_back(t);
+  }
+  return tasks;
+}
+
+class TaskSweep : public ::testing::TestWithParam<TaskSpec> {};
+
+TEST_P(TaskSweep, LayoutInvariants) {
+  const TaskSpec& spec = GetParam();
+  WorkloadGenerator gen(spec, 48, 2, 32);
+  const InstanceLayout layout = gen.MakeLayout(0);
+  EXPECT_EQ(layout.seq_len, spec.seq_len);
+  EXPECT_EQ(layout.spans.size(), static_cast<size_t>(spec.n_spans));
+  for (const auto& span : layout.spans) {
+    EXPECT_GE(span.begin, layout.n_init);
+    EXPECT_LE(span.begin + span.len, layout.seq_len);
+    EXPECT_EQ(span.len, spec.span_len);
+  }
+  ASSERT_EQ(layout.critical_per_step.size(),
+            static_cast<size_t>(spec.n_decode_steps));
+  for (const auto& critical : layout.critical_per_step) {
+    EXPECT_FALSE(critical.empty());
+    for (size_t i = 1; i < critical.size(); ++i) {
+      EXPECT_LE(critical[i - 1], critical[i]);
+    }
+  }
+}
+
+TEST_P(TaskSweep, HeadTensorsFiniteAndDeterministic) {
+  const TaskSpec& spec = GetParam();
+  WorkloadGenerator gen(spec, 48, 2, 32);
+  const InstanceLayout layout = gen.MakeLayout(0);
+  const HeadData a = gen.MakeHead(layout, 0, 0);
+  const HeadData b = gen.MakeHead(layout, 0, 0);
+  EXPECT_EQ(a.keys, b.keys);
+  EXPECT_EQ(a.obs_queries, b.obs_queries);
+  EXPECT_EQ(a.dec_queries, b.dec_queries);
+  for (float v : a.keys) ASSERT_TRUE(std::isfinite(v));
+  for (float v : a.dec_queries) ASSERT_TRUE(std::isfinite(v));
+}
+
+TEST_P(TaskSweep, EvidenceMassCalibrated) {
+  // Under full attention, the critical tokens of each step must carry
+  // meaningful mass — neither vanishing (task impossible) nor total
+  // (task trivial). Wide band: the solver targets spec.evidence_mass.
+  const TaskSpec& spec = GetParam();
+  WorkloadGenerator gen(spec, 64, 2, 32);
+  const InstanceLayout layout = gen.MakeLayout(0);
+  double mass_sum = 0;
+  int count = 0;
+  for (int h = 0; h < 2; ++h) {
+    const HeadData head = gen.MakeHead(layout, 0, h);
+    for (int step = 0; step < spec.n_decode_steps; ++step) {
+      std::span<const float> q(
+          head.dec_queries.data() + static_cast<size_t>(step) * head.dim,
+          head.dim);
+      const auto scores =
+          TrueAttentionScores(q, head.keys, layout.seq_len, head.dim);
+      double mass = 0;
+      for (int32_t t : layout.critical_per_step[step]) {
+        mass += scores[static_cast<size_t>(t)];
+      }
+      mass_sum += mass;
+      ++count;
+    }
+  }
+  const double mean = mass_sum / count;
+  // Broad and marker tasks spread the query across many spans, and family-
+  // similar spans (Retr.KV) add cross-talk the solver absorbs imperfectly;
+  // their structural floor is lower.
+  double lower = 0.15;
+  if (spec.broad_weight > 0.5f || spec.all_spans_critical) lower = 0.04;
+  if (spec.span_family_similarity > 0.5f) lower = 0.08;
+  EXPECT_GT(mean, lower) << spec.name;
+  EXPECT_LT(mean, 0.9) << spec.name;
+}
+
+TEST_P(TaskSweep, ObservationPositionsValid) {
+  const TaskSpec& spec = GetParam();
+  WorkloadGenerator gen(spec, 48, 1, 32);
+  const InstanceLayout layout = gen.MakeLayout(0);
+  const HeadData head = gen.MakeHead(layout, 0, 0);
+  EXPECT_FALSE(head.obs_positions.empty());
+  for (size_t i = 0; i < head.obs_positions.size(); ++i) {
+    EXPECT_GE(head.obs_positions[i], 0);
+    EXPECT_LT(head.obs_positions[i],
+              static_cast<int32_t>(layout.seq_len));
+    if (i > 0) EXPECT_LT(head.obs_positions[i - 1], head.obs_positions[i]);
+  }
+  // The prompt tail is always observed (SnapKV's window must be nonempty).
+  EXPECT_GE(head.obs_positions.back(),
+            static_cast<int32_t>(layout.seq_len - 64));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSuites, TaskSweep, ::testing::ValuesIn(AllTasks()),
+    [](const ::testing::TestParamInfo<TaskSpec>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name + "_" + std::to_string(info.index);
+    });
+
+}  // namespace
+}  // namespace pqcache

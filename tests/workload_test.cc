@@ -1,0 +1,219 @@
+#include "src/workload/generator.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/eval/metrics.h"
+#include "src/policies/policy.h"
+#include "src/workload/spec.h"
+
+namespace pqcache {
+namespace {
+
+TaskSpec SmallQA() {
+  TaskSpec t;
+  t.name = "qa_test";
+  t.seq_len = 2048;
+  t.n_instances = 1;
+  t.n_decode_steps = 3;
+  t.n_spans = 2;
+  t.span_len = 8;
+  t.evidence_mass = 0.55f;
+  t.n_documents = 8;
+  t.seed = 77;
+  return t;
+}
+
+TEST(WorkloadLayoutTest, SpansInsideMiddleRegion) {
+  WorkloadGenerator gen(SmallQA(), 32, 2, 32);
+  const InstanceLayout layout = gen.MakeLayout(0);
+  EXPECT_EQ(layout.seq_len, 2048u);
+  for (const auto& span : layout.spans) {
+    EXPECT_GE(span.begin, layout.n_init);
+    EXPECT_LE(span.begin + span.len,
+              layout.seq_len - layout.local_window);
+  }
+  EXPECT_EQ(layout.spans.size(), 2u);
+}
+
+TEST(WorkloadLayoutTest, CriticalSetsMatchTargets) {
+  WorkloadGenerator gen(SmallQA(), 32, 2, 32);
+  const InstanceLayout layout = gen.MakeLayout(0);
+  ASSERT_EQ(layout.critical_per_step.size(), 3u);
+  for (int step = 0; step < 3; ++step) {
+    const int target = layout.target_span_per_step[step];
+    ASSERT_GE(target, 0);
+    const auto& span = layout.spans[static_cast<size_t>(target)];
+    const auto& critical = layout.critical_per_step[step];
+    ASSERT_EQ(critical.size(), span.len);
+    EXPECT_EQ(critical.front(), static_cast<int32_t>(span.begin));
+  }
+}
+
+TEST(WorkloadLayoutTest, QuestionPositionRespected) {
+  TaskSpec spec = SmallQA();
+  spec.question_pos = QuestionPosition::kFront;
+  WorkloadGenerator gen(spec, 32, 2, 32);
+  const InstanceLayout layout = gen.MakeLayout(0);
+  EXPECT_LT(layout.question_begin, 64u);
+
+  spec.question_pos = QuestionPosition::kEnd;
+  WorkloadGenerator gen2(spec, 32, 2, 32);
+  const InstanceLayout layout2 = gen2.MakeLayout(0);
+  EXPECT_GT(layout2.question_begin, layout2.seq_len - 64);
+}
+
+TEST(WorkloadLayoutTest, NeedleDepthPlacement) {
+  TaskSpec shallow = MakeNeedleTask(4096, 0.1, 5);
+  TaskSpec deep = MakeNeedleTask(4096, 0.9, 5);
+  WorkloadGenerator g1(shallow, 32, 1, 16);
+  WorkloadGenerator g2(deep, 32, 1, 16);
+  const size_t b1 = g1.MakeLayout(0).spans[0].begin;
+  const size_t b2 = g2.MakeLayout(0).spans[0].begin;
+  EXPECT_LT(b1, 1024u);
+  EXPECT_GT(b2, 3000u);
+}
+
+TEST(WorkloadHeadTest, Deterministic) {
+  WorkloadGenerator gen(SmallQA(), 32, 2, 32);
+  const InstanceLayout layout = gen.MakeLayout(0);
+  const HeadData a = gen.MakeHead(layout, 0, 1);
+  const HeadData b = gen.MakeHead(layout, 0, 1);
+  EXPECT_EQ(a.keys, b.keys);
+  EXPECT_EQ(a.dec_queries, b.dec_queries);
+  const HeadData c = gen.MakeHead(layout, 0, 0);
+  EXPECT_NE(a.keys, c.keys);
+}
+
+TEST(WorkloadHeadTest, ShapesConsistent) {
+  WorkloadGenerator gen(SmallQA(), 32, 2, 32);
+  const InstanceLayout layout = gen.MakeLayout(0);
+  const HeadData head = gen.MakeHead(layout, 0, 0);
+  EXPECT_EQ(head.dim, 32u);
+  EXPECT_EQ(head.keys.size(), layout.seq_len * 32);
+  EXPECT_EQ(head.obs_queries.size(), head.obs_positions.size() * 32);
+  EXPECT_EQ(head.dec_queries.size(), 3u * 32);
+  for (float v : head.keys) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(WorkloadHeadTest, EvidenceMassNearTarget) {
+  // The planted evidence must receive roughly the requested attention mass
+  // under full softmax — the generator's core calibration contract.
+  TaskSpec spec = SmallQA();
+  WorkloadGenerator gen(spec, 64, 3, 32);
+  const InstanceLayout layout = gen.MakeLayout(0);
+  double mass_sum = 0.0;
+  int count = 0;
+  for (int h = 0; h < 3; ++h) {
+    const HeadData head = gen.MakeHead(layout, 0, h);
+    for (int step = 0; step < spec.n_decode_steps; ++step) {
+      std::span<const float> q(head.dec_queries.data() + step * 64, 64);
+      const auto scores =
+          TrueAttentionScores(q, head.keys, layout.seq_len, 64);
+      const auto& critical = layout.critical_per_step[step];
+      double mass = 0.0;
+      for (int32_t t : critical) mass += scores[static_cast<size_t>(t)];
+      mass_sum += mass;
+      ++count;
+    }
+  }
+  const double mean_mass = mass_sum / count;
+  EXPECT_GT(mean_mass, 0.25);
+  EXPECT_LT(mean_mass, 0.85);
+}
+
+TEST(WorkloadHeadTest, AttentionIsHeavyTailed) {
+  // Fig. 6 reproduction: a small fraction of tokens carries most of the
+  // attention mass.
+  TaskSpec spec = SmallQA();
+  WorkloadGenerator gen(spec, 64, 1, 32);
+  const InstanceLayout layout = gen.MakeLayout(0);
+  const HeadData head = gen.MakeHead(layout, 0, 0);
+  std::span<const float> q(head.dec_queries.data(), 64);
+  auto scores = TrueAttentionScores(q, head.keys, layout.seq_len, 64);
+  std::sort(scores.begin(), scores.end(), std::greater<float>());
+  double top32 = 0.0;
+  for (int i = 0; i < 32; ++i) top32 += scores[i];
+  EXPECT_GT(top32, 0.5);  // Top 1.5% of tokens > 50% of mass.
+}
+
+TEST(WorkloadHeadTest, QuestionQueriesRevealEvidenceWhenAtEnd) {
+  TaskSpec spec = SmallQA();
+  spec.prefill_hint = 1.0f;
+  WorkloadGenerator gen(spec, 64, 1, 32);
+  const InstanceLayout layout = gen.MakeLayout(0);
+  const HeadData head = gen.MakeHead(layout, 0, 0);
+  // Find an observed question query.
+  double evidence_mass = 0.0;
+  int n_question = 0;
+  for (size_t i = 0; i < head.obs_positions.size(); ++i) {
+    const size_t p = static_cast<size_t>(head.obs_positions[i]);
+    if (p < layout.question_begin ||
+        p >= layout.question_begin + layout.question_len) {
+      continue;
+    }
+    std::span<const float> q(head.obs_queries.data() + i * 64, 64);
+    const auto scores =
+        TrueAttentionScores(q, head.keys, layout.seq_len, 64);
+    for (const auto& span : layout.spans) {
+      for (size_t t = 0; t < span.len; ++t) {
+        evidence_mass += scores[span.begin + t];
+      }
+    }
+    ++n_question;
+  }
+  ASSERT_GT(n_question, 0);
+  EXPECT_GT(evidence_mass / n_question, 0.1);
+}
+
+TEST(WorkloadHeadTest, QuestionFirstWeakensPromptTailEvidence) {
+  // What SnapKV-style policies consume is the prompt-tail observation
+  // window. With the question at the end, that window is the question
+  // itself (strong, reliable evidence signal); with the question in front,
+  // the tail only carries the stochastic per-span "noticed it while
+  // reading" residue — its evidence share must drop clearly.
+  auto tail_evidence_share = [](QuestionPosition pos) {
+    TaskSpec spec = SmallQA();
+    spec.question_pos = pos;
+    WorkloadGenerator gen(spec, 64, 1, 32);
+    const InstanceLayout layout = gen.MakeLayout(0);
+    const HeadData head = gen.MakeHead(layout, 0, 0);
+    // Sum over 3 heads' instances for stability of the stochastic carry.
+    double evidence = 0.0, total = 0.0;
+    for (int h = 0; h < 3; ++h) {
+      const HeadData hd = gen.MakeHead(layout, 0, h);
+      const PrefillObservation obs(hd, layout.seq_len);
+      const auto window = obs.LastWindowScores(96);
+      for (size_t t = 0; t < window.size(); ++t) total += window[t];
+      for (const auto& span : layout.spans) {
+        for (size_t t = 0; t < span.len; ++t) {
+          evidence += window[span.begin + t];
+        }
+      }
+    }
+    return total > 0 ? evidence / total : 0.0;
+  };
+  const double at_end = tail_evidence_share(QuestionPosition::kEnd);
+  const double at_front = tail_evidence_share(QuestionPosition::kFront);
+  EXPECT_LT(at_front, at_end * 0.75);
+  EXPECT_GT(at_end, 0.05);
+}
+
+TEST(SuiteSpecTest, SuitesWellFormed) {
+  const SuiteSpec lb = MakeLongBenchLikeSuite(1);
+  EXPECT_EQ(lb.tasks.size(), 14u);
+  const SuiteSpec inf = MakeInfiniteBenchLikeSuite(1);
+  EXPECT_EQ(inf.tasks.size(), 9u);
+  const SuiteSpec qf = MakeQuestionFirstSuite(1);
+  EXPECT_EQ(qf.tasks.size(), 6u);
+  for (const auto& t : qf.tasks) {
+    EXPECT_EQ(t.question_pos, QuestionPosition::kFront);
+  }
+  const TaskSpec gsm = MakeGSM8kCoTTask(1);
+  EXPECT_TRUE(gsm.chain);
+}
+
+}  // namespace
+}  // namespace pqcache
