@@ -1,5 +1,10 @@
 // Micro benchmarks (google-benchmark) for the kernels on PQCache's decode
 // critical path: K-Means clustering, PQ encode, ADC scoring, and top-k.
+//
+// The BM_LutBuild / BM_GatherReduce pairs run the same kernel once per SIMD
+// tier (scalar reference vs AVX2 dispatch) at the paper-scale ADC shape
+// (d=128, m=8, 2^b=256, n=32k), so one run of bench/run_bench.sh captures
+// the before/after speedup in BENCH_micro.json.
 #include <benchmark/benchmark.h>
 
 #include <vector>
@@ -8,6 +13,7 @@
 #include "src/kmeans/kmeans.h"
 #include "src/pq/pq_index.h"
 #include "src/tensor/ops.h"
+#include "src/tensor/simd.h"
 
 namespace pqcache {
 namespace {
@@ -18,6 +24,62 @@ std::vector<float> RandomData(size_t n, size_t d, uint64_t seed) {
   for (float& v : out) v = rng.Gaussian();
   return out;
 }
+
+// ADC shape from the acceptance benchmark: d=128, m=8, b=8 (kc=256), n=32k.
+constexpr size_t kLutDim = 128;
+constexpr size_t kLutPartitions = 8;
+constexpr size_t kLutCentroids = 256;
+constexpr size_t kAdcTokens = 32768;
+
+void BM_LutBuild(benchmark::State& state, simd::SimdLevel level) {
+  const simd::KernelTable& kernels = simd::KernelsFor(level);
+  if (kernels.level != level) {
+    state.SkipWithError("requested SIMD tier unavailable on this CPU");
+    return;
+  }
+  const size_t sub = kLutDim / kLutPartitions;
+  const auto centroids =
+      RandomData(kLutPartitions * kLutCentroids, sub, 11);
+  const auto query = RandomData(1, kLutDim, 12);
+  std::vector<float> table(kLutPartitions * kLutCentroids);
+  for (auto _ : state) {
+    // Blocked centroid-matrix x query product, one MatVec per partition —
+    // identical to PQCodebook::BuildInnerProductTable's loop.
+    for (size_t p = 0; p < kLutPartitions; ++p) {
+      kernels.matvec(centroids.data() + p * kLutCentroids * sub,
+                     query.data() + p * sub, table.data() + p * kLutCentroids,
+                     kLutCentroids, sub);
+    }
+    benchmark::DoNotOptimize(table.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kLutPartitions *
+                          kLutCentroids);
+}
+BENCHMARK_CAPTURE(BM_LutBuild, scalar, simd::SimdLevel::kScalar);
+BENCHMARK_CAPTURE(BM_LutBuild, avx2, simd::SimdLevel::kAvx2);
+
+void BM_GatherReduce(benchmark::State& state, simd::SimdLevel level) {
+  const simd::KernelTable& kernels = simd::KernelsFor(level);
+  if (kernels.level != level) {
+    state.SkipWithError("requested SIMD tier unavailable on this CPU");
+    return;
+  }
+  const auto table = RandomData(kLutPartitions, kLutCentroids, 13);
+  Rng rng(14);
+  std::vector<uint16_t> codes(kAdcTokens * kLutPartitions);
+  for (auto& c : codes) {
+    c = static_cast<uint16_t>(rng.UniformInt(kLutCentroids));
+  }
+  std::vector<float> scores(kAdcTokens);
+  for (auto _ : state) {
+    kernels.gather_reduce_scores(table.data(), kLutCentroids, codes.data(),
+                                 kAdcTokens, kLutPartitions, scores.data());
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kAdcTokens);
+}
+BENCHMARK_CAPTURE(BM_GatherReduce, scalar, simd::SimdLevel::kScalar);
+BENCHMARK_CAPTURE(BM_GatherReduce, avx2, simd::SimdLevel::kAvx2);
 
 void BM_KMeansIteration(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Runs the micro-kernel benchmark suite and emits BENCH_micro.json, so the
+# kernel-level perf trajectory is tracked from PR to PR.
+#
+# Usage: bench/run_bench.sh [build_dir] [output_json]
+#   build_dir    CMake build directory holding bench_micro_kernels
+#                (default: build)
+#   output_json  Where to write the google-benchmark JSON report
+#                (default: BENCH_micro.json in the repo root)
+#
+# The scalar/avx2 benchmark pairs (BM_LutBuild, BM_GatherReduce) measure the
+# same kernel through both dispatch tiers; the printed summary reports the
+# AVX2 speedup over the scalar reference.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${1:-build}
+OUT=${2:-BENCH_micro.json}
+BIN="$BUILD_DIR/bench_micro_kernels"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not found; build it first:" >&2
+  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR --target bench_micro_kernels -j" >&2
+  exit 1
+fi
+
+"$BIN" --benchmark_out="$OUT" --benchmark_out_format=json \
+       --benchmark_repetitions=1 "${@:3}"
+
+echo
+echo "Wrote $OUT"
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$OUT" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+times = {b["name"]: b["real_time"] for b in report["benchmarks"]
+         if b.get("run_type", "iteration") == "iteration"
+         and not b.get("error_occurred", False) and b["real_time"] > 0}
+print("AVX2 speedup over scalar reference:")
+for base in ("BM_LutBuild", "BM_GatherReduce"):
+    scalar, avx2 = times.get(f"{base}/scalar"), times.get(f"{base}/avx2")
+    if scalar and avx2:
+        print(f"  {base:16s} {scalar / avx2:5.2f}x")
+EOF
+fi

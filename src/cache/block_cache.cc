@@ -9,42 +9,65 @@ namespace pqcache {
 BlockCache::BlockCache(const BlockCacheOptions& options) : options_(options) {
   PQC_CHECK_GT(options_.block_tokens, size_t{0});
   capacity_blocks_ = options_.capacity_tokens / options_.block_tokens;
+  // Residency never exceeds capacity, so one upfront reservation means the
+  // bucket array never rehashes (and Admit at capacity reuses the evicted
+  // node), keeping the steady-state decode path allocation-free.
+  entries_.reserve(capacity_blocks_ + 1);
 }
 
 void BlockCache::Probe(std::span<const int32_t> tokens,
                        std::vector<bool>* hits) {
   hits->assign(tokens.size(), false);
   ++tick_;
-  // Count uses per block first so Touch sees one aggregate use count.
-  std::unordered_map<int64_t, uint64_t> uses;
+  // Aggregate uses per resident block (sort + run-length over reused
+  // scratch) so Touch sees one aggregate use count per block.
+  block_scratch_.clear();
   for (size_t i = 0; i < tokens.size(); ++i) {
     const int64_t block = BlockOf(tokens[i]);
-    auto it = entries_.find(block);
-    if (it != entries_.end()) {
+    if (entries_.count(block) > 0) {
       (*hits)[i] = true;
       ++stats_.token_hits;
-      ++uses[block];
+      block_scratch_.emplace_back(block, 1);
     }
     ++stats_.token_lookups;
   }
-  for (const auto& [block, count] : uses) {
-    Touch(entries_[block], count);
+  std::sort(block_scratch_.begin(), block_scratch_.end());
+  for (size_t i = 0; i < block_scratch_.size();) {
+    size_t j = i + 1;
+    while (j < block_scratch_.size() &&
+           block_scratch_[j].first == block_scratch_[i].first) {
+      ++j;
+    }
+    Touch(entries_.find(block_scratch_[i].first)->second, j - i);
+    i = j;
   }
 }
 
 void BlockCache::AdmitTopBlocks(std::span<const int32_t> tokens,
                                 size_t k_cache_blocks) {
   if (k_cache_blocks == 0 || capacity_blocks_ == 0) return;
-  std::unordered_map<int64_t, uint32_t> counts;
-  for (int32_t token : tokens) ++counts[BlockOf(token)];
-  std::vector<std::pair<int64_t, uint32_t>> ranked(counts.begin(),
-                                                   counts.end());
-  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
-    if (a.second != b.second) return a.second > b.second;
-    return a.first < b.first;
-  });
-  const size_t n = std::min(k_cache_blocks, ranked.size());
-  for (size_t i = 0; i < n; ++i) Admit(ranked[i].first);
+  // Count tokens per block: sort the block ids, then collapse runs.
+  block_scratch_.clear();
+  for (int32_t token : tokens) block_scratch_.emplace_back(BlockOf(token), 0);
+  std::sort(block_scratch_.begin(), block_scratch_.end());
+  size_t n_blocks = 0;
+  for (size_t i = 0; i < block_scratch_.size();) {
+    size_t j = i + 1;
+    while (j < block_scratch_.size() &&
+           block_scratch_[j].first == block_scratch_[i].first) {
+      ++j;
+    }
+    block_scratch_[n_blocks++] = {block_scratch_[i].first, j - i};
+    i = j;
+  }
+  block_scratch_.resize(n_blocks);
+  std::sort(block_scratch_.begin(), block_scratch_.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  const size_t n = std::min(k_cache_blocks, block_scratch_.size());
+  for (size_t i = 0; i < n; ++i) Admit(block_scratch_[i].first);
 }
 
 void BlockCache::Admit(int64_t block) {
@@ -55,11 +78,19 @@ void BlockCache::Admit(int64_t block) {
     Touch(it->second, 1);
     return;
   }
-  while (entries_.size() >= capacity_blocks_) EvictOne();
   Entry entry;
   entry.frequency = 1;
   entry.last_tick = tick_;
-  entries_.emplace(block, entry);
+  if (entries_.size() >= capacity_blocks_) {
+    // Recycle the victim's node: extract, rekey, reinsert. No allocation.
+    auto node = entries_.extract(FindVictim());
+    ++stats_.block_evictions;
+    node.key() = block;
+    node.mapped() = entry;
+    entries_.insert(std::move(node));
+  } else {
+    entries_.emplace(block, entry);
+  }
   ++stats_.block_insertions;
 }
 
@@ -74,7 +105,8 @@ void BlockCache::Touch(Entry& entry, uint64_t uses) {
   entry.last_tick = tick_;
 }
 
-void BlockCache::EvictOne() {
+std::unordered_map<int64_t, BlockCache::Entry>::iterator
+BlockCache::FindVictim() {
   PQC_CHECK(!entries_.empty());
   auto victim = entries_.begin();
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
@@ -89,8 +121,7 @@ void BlockCache::EvictOne() {
     }
     if (worse) victim = it;
   }
-  entries_.erase(victim);
-  ++stats_.block_evictions;
+  return victim;
 }
 
 }  // namespace pqcache

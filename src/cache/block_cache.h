@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/common/status.h"
@@ -82,13 +83,17 @@ class BlockCache {
   };
 
   void Touch(Entry& entry, uint64_t uses);
-  void EvictOne();
+  std::unordered_map<int64_t, Entry>::iterator FindVictim();
 
   BlockCacheOptions options_;
   size_t capacity_blocks_;
   std::unordered_map<int64_t, Entry> entries_;
   CacheStats stats_;
   uint64_t tick_ = 0;
+  /// Reused per-call scratch for block-id aggregation in Probe /
+  /// AdmitTopBlocks. Once warm, those calls perform no heap allocation
+  /// (decode runs them once per token per head).
+  std::vector<std::pair<int64_t, uint64_t>> block_scratch_;
 };
 
 }  // namespace pqcache

@@ -9,8 +9,24 @@
 
 namespace pqcache {
 
+namespace {
+void (*g_attend_on_enter)() = nullptr;
+void (*g_attend_on_exit)() = nullptr;
+}  // namespace
+
+void SetAttendHooksForTesting(void (*on_enter)(), void (*on_exit)()) {
+  g_attend_on_enter = on_enter;
+  g_attend_on_exit = on_exit;
+}
+
 // Selective attention backend: PQ search over middle tokens, anchors always
 // included, fetches routed through the per-(layer, head) block cache.
+//
+// Every buffer the per-token path touches lives in the backend (or in a
+// thread-local inside the PQ layer) and is grown with 2x headroom, so
+// steady-state decode performs zero heap allocations per token — the
+// per-query work is PQ scoring + top-k + attention over the selected set,
+// all in reused storage.
 class PQCacheEngine::SelectiveBackend : public AttentionBackend {
  public:
   explicit SelectiveBackend(PQCacheEngine* engine) : engine_(engine) {}
@@ -18,6 +34,14 @@ class PQCacheEngine::SelectiveBackend : public AttentionBackend {
   void Attend(int layer, int q_head, std::span<const float> query,
               const KVStore& store, size_t seq_len,
               std::span<float> out) override {
+    if (g_attend_on_enter != nullptr) g_attend_on_enter();
+    AttendImpl(layer, q_head, query, store, seq_len, out);
+    if (g_attend_on_exit != nullptr) g_attend_on_exit();
+  }
+
+ private:
+  void AttendImpl(int layer, int q_head, std::span<const float> query,
+                  const KVStore& store, size_t seq_len, std::span<float> out) {
     PQCacheEngine& e = *engine_;
     const int group = e.options_.model.gqa_group();
     const int kv_head = q_head / group;
@@ -26,17 +50,18 @@ class PQCacheEngine::SelectiveBackend : public AttentionBackend {
                        static_cast<size_t>(kv_head);
     PQIndex& index = e.indexes_[idx];
     BlockCache& cache = *e.caches_[idx];
+    const size_t d = store.head_dim();
 
     // Algorithm 2 lines 3-5 + 13: tokens evicted from the local window this
     // step get PQ codes and join the searchable middle region before the
     // search runs. Idempotent; only the first query head of a group does
     // work.
     if (index.trained()) {
-      std::vector<float> evicted_key(store.head_dim());
+      if (evicted_key_.size() < d) evicted_key_.resize(d);
       while (index.size() < store.middle_count()) {
         const size_t token = store.middle_begin() + index.size();
-        store.GetKey(token, evicted_key);
-        index.AddVector(evicted_key);
+        store.GetKey(token, {evicted_key_.data(), d});
+        index.AddVector({evicted_key_.data(), d});
         e.stats_.bytes_offloaded += store.BytesPerToken();
       }
     }
@@ -49,62 +74,90 @@ class PQCacheEngine::SelectiveBackend : public AttentionBackend {
     const size_t selectable =
         budget > reserved ? budget - reserved : 0;
 
+    // Headroom for this step's selection (top-k + anchors): reserving 2x on
+    // growth keeps later steps allocation-free even as seq_len advances.
+    const size_t anchor_count =
+        store.initial_count() + (seq_len - store.middle_end());
+    const size_t max_selection =
+        std::min(selectable, index.size()) + anchor_count;
+    if (selection_.capacity() < max_selection) {
+      selection_.reserve(2 * max_selection);
+    }
+    if (pq_scores_.capacity() < index.size()) {
+      pq_scores_.reserve(2 * index.size());
+    }
+
     // Approximate top-k over the middle segment via PQ (Step 4).
-    std::vector<int32_t> selection;
+    selection_.clear();
     if (selectable > 0 && index.size() > 0) {
-      selection = index.TopK(query, std::min(selectable, index.size()));
+      index.TopKInto(query, std::min(selectable, index.size()), pq_table_,
+                     pq_scores_, selection_);
       const int32_t offset = static_cast<int32_t>(store.middle_begin());
-      for (int32_t& t : selection) t += offset;
+      for (int32_t& t : selection_) t += offset;
       // Cache probe + fetch accounting (Step 5). Only q_head 0 of each
       // group updates stats so GQA groups are not double-counted.
       if (q_head % group == 0) {
-        std::vector<bool> hits;
-        cache.Probe(selection, &hits);
+        if (hits_.capacity() < selection_.size()) {
+          hits_.reserve(2 * selection_.size());
+        }
+        cache.Probe(selection_, &hits_);
         size_t misses = 0;
-        for (bool h : hits) {
+        for (bool h : hits_) {
           if (!h) ++misses;
         }
         e.stats_.bytes_topk_fetched +=
             static_cast<double>(misses) * store.BytesPerToken();
-        e.stats_.middle_tokens_selected += selection.size();
-        cache.AdmitTopBlocks(selection,
+        e.stats_.middle_tokens_selected += selection_.size();
+        cache.AdmitTopBlocks(selection_,
                              std::max<size_t>(1, cache.capacity_blocks()));
       }
     }
     // Anchors: initial + local (Step 6 uses InitKV + TopkKV + LocalKV).
     for (size_t t = 0; t < store.initial_count(); ++t) {
-      selection.push_back(static_cast<int32_t>(t));
+      selection_.push_back(static_cast<int32_t>(t));
     }
     for (size_t t = store.middle_end(); t < seq_len; ++t) {
-      selection.push_back(static_cast<int32_t>(t));
+      selection_.push_back(static_cast<int32_t>(t));
     }
-    SortUniqueSelection(&selection);
+    SortUniqueSelection(&selection_);
 
     // Attention over the selected set only.
-    const size_t d = store.head_dim();
-    std::vector<float> scores(selection.size());
-    std::vector<float> key(d);
-    for (size_t i = 0; i < selection.size(); ++i) {
-      store.GetKey(static_cast<size_t>(selection[i]), key);
+    const size_t n_sel = selection_.size();
+    if (attn_scores_.capacity() < n_sel) attn_scores_.reserve(2 * n_sel);
+    attn_scores_.resize(n_sel);
+    if (key_.size() < d) key_.resize(d);
+    if (value_.size() < d) value_.resize(d);
+    std::span<float> scores{attn_scores_.data(), n_sel};
+    std::span<float> key{key_.data(), d};
+    std::span<float> value{value_.data(), d};
+    for (size_t i = 0; i < n_sel; ++i) {
+      store.GetKey(static_cast<size_t>(selection_[i]), key);
       scores[i] = Dot(query, key);
     }
     ScaledSoftmaxInplace(scores, 1.0f / std::sqrt(static_cast<float>(d)));
     std::fill(out.begin(), out.end(), 0.0f);
-    std::vector<float> value(d);
-    for (size_t i = 0; i < selection.size(); ++i) {
+    for (size_t i = 0; i < n_sel; ++i) {
       if (scores[i] == 0.0f) continue;
-      store.GetValue(static_cast<size_t>(selection[i]), value);
-      for (size_t j = 0; j < d; ++j) out[j] += scores[i] * value[j];
+      store.GetValue(static_cast<size_t>(selection_[i]), value);
+      Axpy(scores[i], value, out);
     }
   }
 
- private:
   static void SortUniqueSelection(std::vector<int32_t>* v) {
     std::sort(v->begin(), v->end());
     v->erase(std::unique(v->begin(), v->end()), v->end());
   }
 
   PQCacheEngine* engine_;
+  // Reused per-call scratch (decode is single-threaded per engine).
+  std::vector<float> evicted_key_;
+  std::vector<float> key_;
+  std::vector<float> value_;
+  std::vector<float> attn_scores_;
+  std::vector<float> pq_table_;
+  std::vector<float> pq_scores_;
+  std::vector<int32_t> selection_;
+  std::vector<bool> hits_;
 };
 
 PQCacheEngine::PQCacheEngine(const PQCacheEngineOptions& options)

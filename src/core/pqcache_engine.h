@@ -29,6 +29,13 @@
 
 namespace pqcache {
 
+/// Test-only instrumentation: `on_enter` / `on_exit` run at the start and
+/// end of every SelectiveBackend::Attend call. Used by the zero-allocation
+/// decode test to scope a counting allocator to exactly the selective
+/// attention hot path. Pass nullptrs to disable (the default; disabled hooks
+/// cost two branch checks per call).
+void SetAttendHooksForTesting(void (*on_enter)(), void (*on_exit)());
+
 /// Engine configuration.
 struct PQCacheEngineOptions {
   ModelConfig model = ModelConfig::Tiny();

@@ -5,8 +5,10 @@
 #include <cstring>
 #include <limits>
 
+#include "src/common/logging.h"
 #include "src/common/rng.h"
 #include "src/tensor/ops.h"
+#include "src/tensor/simd.h"
 
 namespace pqcache {
 
@@ -32,28 +34,58 @@ void SeedRandomSample(std::span<const float> data, size_t n, size_t dim,
 }
 
 // k-means++ D^2 seeding. To bound cost on very long sequences, the candidate
-// set is subsampled to at most `kSeedSampleFactor * k` points.
+// set is subsampled to at most `kSeedSampleFactor * k` points. Candidates are
+// drawn without replacement and deduplicated by value, so two identical
+// centroids are only ever seeded when the data itself has fewer than k
+// distinct points.
 void SeedPlusPlus(std::span<const float> data, size_t n, size_t dim, size_t k,
                   Rng& rng, std::vector<float>& centroids) {
   constexpr size_t kSeedSampleFactor = 32;
-  const size_t sample_n = std::min(n, kSeedSampleFactor * k);
-  std::vector<uint32_t> sample(sample_n);
+  size_t sample_n = std::min(n, kSeedSampleFactor * k);
+  std::vector<uint32_t> sample;
   if (sample_n == n) {
+    sample.resize(n);
     for (size_t i = 0; i < n; ++i) sample[i] = static_cast<uint32_t>(i);
   } else {
+    // Partial Fisher-Yates: sample_n distinct indices (sampling with
+    // replacement would let one point enter the candidate set twice and be
+    // picked as two "different" centroids).
+    std::vector<uint32_t> perm(n);
+    for (size_t i = 0; i < n; ++i) perm[i] = static_cast<uint32_t>(i);
     for (size_t i = 0; i < sample_n; ++i) {
-      sample[i] = static_cast<uint32_t>(rng.UniformInt(n));
+      const size_t j = i + rng.UniformInt(n - i);
+      std::swap(perm[i], perm[j]);
     }
+    sample.assign(perm.begin(), perm.begin() + sample_n);
   }
   auto point = [&](uint32_t id) {
     return std::span<const float>(data.data() + size_t{id} * dim, dim);
   };
+
+  // Value-level dedupe: distinct indices can still carry identical vectors
+  // (duplicated tokens). Sort lexicographically by content, keep one of each.
+  std::sort(sample.begin(), sample.end(), [&](uint32_t a, uint32_t b) {
+    const float* pa = data.data() + size_t{a} * dim;
+    const float* pb = data.data() + size_t{b} * dim;
+    return std::lexicographical_compare(pa, pa + dim, pb, pb + dim);
+  });
+  sample.erase(std::unique(sample.begin(), sample.end(),
+                           [&](uint32_t a, uint32_t b) {
+                             return std::memcmp(data.data() + size_t{a} * dim,
+                                                data.data() + size_t{b} * dim,
+                                                dim * sizeof(float)) == 0;
+                           }),
+               sample.end());
+  sample_n = sample.size();
 
   std::vector<float> dist2(sample_n, std::numeric_limits<float>::max());
   // First centroid: uniform.
   uint32_t first = sample[rng.UniformInt(sample_n)];
   std::memcpy(centroids.data(), data.data() + size_t{first} * dim,
               dim * sizeof(float));
+  // Set once the full dataset holds no point distinct from the centroids
+  // chosen so far; further rescue scans would be wasted work.
+  bool rescue_exhausted = false;
   for (size_t c = 1; c < k; ++c) {
     std::span<const float> prev(centroids.data() + (c - 1) * dim, dim);
     double total = 0.0;
@@ -62,9 +94,9 @@ void SeedPlusPlus(std::span<const float> data, size_t n, size_t dim, size_t k,
       dist2[i] = std::min(dist2[i], d2);
       total += dist2[i];
     }
-    size_t chosen = 0;
     if (total > 0.0) {
       double target = rng.Uniform() * total;
+      size_t chosen = 0;
       for (size_t i = 0; i < sample_n; ++i) {
         target -= dist2[i];
         if (target <= 0.0) {
@@ -72,12 +104,37 @@ void SeedPlusPlus(std::span<const float> data, size_t n, size_t dim, size_t k,
           break;
         }
       }
-    } else {
-      chosen = rng.UniformInt(sample_n);
+      std::memcpy(centroids.data() + c * dim,
+                  data.data() + size_t{sample[chosen]} * dim,
+                  dim * sizeof(float));
+      continue;
     }
-    std::memcpy(centroids.data() + c * dim,
-                data.data() + size_t{sample[chosen]} * dim,
-                dim * sizeof(float));
+    // Every candidate coincides with an already-chosen centroid (possible
+    // when the subsample caught fewer than k distinct values). Rescue: scan
+    // the full dataset for a point distinct from all chosen centroids.
+    bool rescued = false;
+    if (!rescue_exhausted) {
+      for (size_t i = 0; i < n && !rescued; ++i) {
+        std::span<const float> cand = point(static_cast<uint32_t>(i));
+        bool distinct = true;
+        for (size_t j = 0; j < c && distinct; ++j) {
+          distinct = L2DistanceSquared(
+                         cand, {centroids.data() + j * dim, dim}) > 0.0f;
+        }
+        if (distinct) {
+          std::memcpy(centroids.data() + c * dim, cand.data(),
+                      dim * sizeof(float));
+          rescued = true;
+        }
+      }
+      rescue_exhausted = !rescued;
+    }
+    if (!rescued) {
+      // Fewer than k distinct points exist; duplicates are unavoidable.
+      std::memcpy(centroids.data() + c * dim,
+                  data.data() + size_t{sample[rng.UniformInt(sample_n)]} * dim,
+                  dim * sizeof(float));
+    }
   }
 }
 
@@ -107,10 +164,44 @@ Result<KMeansResult> RunKMeans(std::span<const float> data, size_t n,
     SeedRandomSample(data, n, dim, k, rng, result.centroids);
   }
 
+  // With SIMD kernels active, nearest-centroid search uses the
+  // ||x-c||^2 = ||x||^2 - 2 x.c + ||c||^2 identity: one batched dot-product
+  // pass per point against the centroid matrix instead of an O(k*dim)
+  // subtract-square scan. Point norms are fixed across iterations and
+  // centroid norms are refreshed per assignment pass. The scalar tier keeps
+  // the exhaustive reference scan so PQCACHE_FORCE_SCALAR reproduces the
+  // pre-SIMD numerics exactly.
+  const bool norm_trick = simd::ActiveLevel() != simd::SimdLevel::kScalar;
+  std::vector<float> point_norms;
+  std::vector<float> centroid_norms;
+  if (norm_trick) {
+    point_norms.resize(n);
+    simd::Kernels().row_norms_squared(data.data(), n, dim,
+                                      point_norms.data());
+    centroid_norms.resize(k);
+  }
+
   auto assign_all = [&]() -> double {
     double inertia = 0.0;
+    if (norm_trick) {
+      simd::Kernels().row_norms_squared(result.centroids.data(), k, dim,
+                                        centroid_norms.data());
+    }
     auto assign_range = [&](size_t lo, size_t hi, double* partial) {
       double local = 0.0;
+      if (norm_trick) {
+        std::vector<float> dots(k);
+        for (size_t i = lo; i < hi; ++i) {
+          float rel = 0.0f;
+          const int32_t best_c = NearestCentroidNormTrick(
+              {data.data() + i * dim, dim}, result.centroids, centroid_norms,
+              k, dim, dots, &rel);
+          result.assignments[i] = best_c;
+          local += std::max(0.0f, point_norms[i] + rel);
+        }
+        *partial = local;
+        return;
+      }
       for (size_t i = lo; i < hi; ++i) {
         std::span<const float> p(data.data() + i * dim, dim);
         float best = std::numeric_limits<float>::max();
@@ -206,6 +297,32 @@ int32_t NearestCentroid(std::span<const float> point,
       best_c = static_cast<int32_t>(c);
     }
   }
+  return best_c;
+}
+
+int32_t NearestCentroidNormTrick(std::span<const float> point,
+                                 std::span<const float> centroids,
+                                 std::span<const float> centroid_norms_sq,
+                                 size_t num_clusters, size_t dim,
+                                 std::span<float> dots_scratch,
+                                 float* rel_distance_sq) {
+  PQC_CHECK_EQ(point.size(), dim);
+  PQC_CHECK_EQ(centroids.size(), num_clusters * dim);
+  PQC_CHECK_EQ(centroid_norms_sq.size(), num_clusters);
+  PQC_CHECK_GE(dots_scratch.size(), num_clusters);
+  const simd::KernelTable& kernels = simd::Kernels();
+  kernels.matvec(centroids.data(), point.data(), dots_scratch.data(),
+                 num_clusters, dim);
+  float best = std::numeric_limits<float>::max();
+  int32_t best_c = 0;
+  for (size_t c = 0; c < num_clusters; ++c) {
+    const float rel = centroid_norms_sq[c] - 2.0f * dots_scratch[c];
+    if (rel < best) {
+      best = rel;
+      best_c = static_cast<int32_t>(c);
+    }
+  }
+  if (rel_distance_sq != nullptr) *rel_distance_sq = best;
   return best_c;
 }
 

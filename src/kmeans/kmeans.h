@@ -58,6 +58,21 @@ int32_t NearestCentroid(std::span<const float> point,
                         std::span<const float> centroids, size_t num_clusters,
                         size_t dim);
 
+/// Nearest centroid via the  ||x-c||^2 = ||x||^2 - 2 x.c + ||c||^2  identity:
+/// one batched dot-product pass (SIMD MatVec) plus an argmin over
+/// `centroid_norms_sq[c] - 2 x.c`, instead of an O(k*dim) subtract-square
+/// scan. `centroid_norms_sq` holds each centroid's squared norm and
+/// `dots_scratch` must have room for `num_clusters` floats. Agrees with
+/// NearestCentroid up to floating-point tie-breaks. If `rel_distance_sq` is
+/// non-null it receives ||c*||^2 - 2 x.c* of the winner (add ||x||^2 for the
+/// true squared distance).
+int32_t NearestCentroidNormTrick(std::span<const float> point,
+                                 std::span<const float> centroids,
+                                 std::span<const float> centroid_norms_sq,
+                                 size_t num_clusters, size_t dim,
+                                 std::span<float> dots_scratch,
+                                 float* rel_distance_sq = nullptr);
+
 }  // namespace pqcache
 
 #endif  // PQCACHE_KMEANS_KMEANS_H_

@@ -27,19 +27,23 @@ void FullAttentionBackend::Attend(int /*layer*/, int /*q_head*/,
                                   const KVStore& store, size_t seq_len,
                                   std::span<float> out) {
   const size_t d = store.head_dim();
-  std::vector<float> scores(seq_len);
-  std::vector<float> key(d);
+  if (scores_.capacity() < seq_len) scores_.reserve(2 * seq_len);
+  scores_.resize(seq_len);
+  if (key_.size() < d) key_.resize(d);
+  if (value_.size() < d) value_.resize(d);
+  std::span<float> scores{scores_.data(), seq_len};
+  std::span<float> key{key_.data(), d};
+  std::span<float> value{value_.data(), d};
   for (size_t t = 0; t < seq_len; ++t) {
     store.GetKey(t, key);
     scores[t] = Dot(query, key);
   }
   ScaledSoftmaxInplace(scores, 1.0f / std::sqrt(static_cast<float>(d)));
   std::fill(out.begin(), out.end(), 0.0f);
-  std::vector<float> value(d);
   for (size_t t = 0; t < seq_len; ++t) {
     if (scores[t] == 0.0f) continue;
     store.GetValue(t, value);
-    for (size_t i = 0; i < d; ++i) out[i] += scores[t] * value[i];
+    Axpy(scores[t], value, out);
   }
 }
 
@@ -91,30 +95,33 @@ void TransformerModel::RunFfn(const LayerWeights& layer,
                               std::span<float> hidden) {
   const size_t d = static_cast<size_t>(config_.hidden_dim());
   const size_t f = static_cast<size_t>(config_.ffn_dim);
-  std::vector<float> normed(d);
+  scratch_.ffn_normed.resize(d);
+  scratch_.gate.assign(f, 0.0f);
+  scratch_.up.assign(f, 0.0f);
+  scratch_.act.resize(f);
+  std::span<float> normed{scratch_.ffn_normed.data(), d};
+  std::span<float> gate{scratch_.gate.data(), f};
+  std::span<float> up{scratch_.up.data(), f};
+  std::span<float> act{scratch_.act.data(), f};
   RmsNorm(hidden, layer.ffn_norm, normed);
-  std::vector<float> gate(f), up(f);
   // w_gate is [d, f] row-major: gate = normed^T * w_gate.
-  for (size_t j = 0; j < f; ++j) gate[j] = 0.0f;
-  for (size_t i = 0; i < d; ++i) {
-    const float x = normed[i];
-    if (x == 0.0f) continue;
-    const float* grow = layer.w_gate.data() + i * f;
-    const float* urow = layer.w_up.data() + i * f;
-    for (size_t j = 0; j < f; ++j) {
-      gate[j] += x * grow[j];
-      up[j] += x * urow[j];
-    }
-  }
-  std::vector<float> act(f);
+  VecMatAccum(normed, layer.w_gate, gate);
+  VecMatAccum(normed, layer.w_up, up);
   for (size_t j = 0; j < f; ++j) act[j] = Silu(gate[j]) * up[j];
   // down projection accumulate into hidden (residual).
-  for (size_t j = 0; j < f; ++j) {
-    const float a = act[j];
-    if (a == 0.0f) continue;
-    const float* drow = layer.w_down.data() + j * d;
-    for (size_t i = 0; i < d; ++i) hidden[i] += a * drow[i];
-  }
+  VecMatAccum(act, layer.w_down, hidden);
+}
+
+void TransformerModel::ProjectQkv(const LayerWeights& layer,
+                                  std::span<const float> normed,
+                                  std::span<float> q, std::span<float> k,
+                                  std::span<float> v) {
+  std::fill(q.begin(), q.end(), 0.0f);
+  std::fill(k.begin(), k.end(), 0.0f);
+  std::fill(v.begin(), v.end(), 0.0f);
+  VecMatAccum(normed, layer.wq, q);
+  VecMatAccum(normed, layer.wk, k);
+  VecMatAccum(normed, layer.wv, v);
 }
 
 Result<std::vector<float>> TransformerModel::Prefill(
@@ -158,22 +165,7 @@ Result<std::vector<float>> TransformerModel::Prefill(
     for (size_t t = 0; t < s; ++t) {
       std::span<const float> x(hidden.data() + t * d, d);
       RmsNorm(x, layer.attn_norm, normed);
-      // q = normed^T * wq ; k, v similarly.
-      std::fill(q.begin(), q.end(), 0.0f);
-      std::fill(k.begin(), k.end(), 0.0f);
-      std::fill(v.begin(), v.end(), 0.0f);
-      for (size_t i = 0; i < d; ++i) {
-        const float xv = normed[i];
-        if (xv == 0.0f) continue;
-        const float* qrow = layer.wq.data() + i * h * dh;
-        for (size_t j = 0; j < h * dh; ++j) q[j] += xv * qrow[j];
-        const float* krow = layer.wk.data() + i * hkv * dh;
-        const float* vrow = layer.wv.data() + i * hkv * dh;
-        for (size_t j = 0; j < hkv * dh; ++j) {
-          k[j] += xv * krow[j];
-          v[j] += xv * vrow[j];
-        }
-      }
+      ProjectQkv(layer, normed, q, k, v);
       for (size_t head = 0; head < h; ++head) {
         ApplyRope({q.data() + head * dh, dh}, t, config_.rope_theta);
       }
@@ -218,22 +210,16 @@ Result<std::vector<float>> TransformerModel::Prefill(
         if (observer) {
           observer(l, static_cast<int>(head), t, scores);
         }
-        float* out = attn_out.data() + head * dh;
+        std::span<float> out{attn_out.data() + head * dh, dh};
         for (size_t u = 0; u <= t; ++u) {
           const float w = scores[u];
           if (w == 0.0f) continue;
-          const float* val = values.data() + u * hkv * dh + kv_head * dh;
-          for (size_t i = 0; i < dh; ++i) out[i] += w * val[i];
+          Axpy(w, {values.data() + u * hkv * dh + kv_head * dh, dh}, out);
         }
       }
       // Output projection + residual.
       std::fill(proj.begin(), proj.end(), 0.0f);
-      for (size_t j = 0; j < h * dh; ++j) {
-        const float a = attn_out[j];
-        if (a == 0.0f) continue;
-        const float* orow = layer.wo.data() + j * d;
-        for (size_t i = 0; i < d; ++i) proj[i] += a * orow[i];
-      }
+      VecMatAccum(attn_out, layer.wo, proj);
       float* hrow = hidden.data() + t * d;
       for (size_t i = 0; i < d; ++i) hrow[i] += proj[i];
       RunFfn(layer, {hrow, d});
@@ -269,31 +255,36 @@ Result<std::vector<float>> TransformerModel::DecodeStep(
 
   backend->BeginDecodeStep(position);
 
-  std::vector<float> hidden(d);
+  // All intermediate buffers come from the reusable decode scratch: after
+  // the first step the only per-token allocation left in this function is
+  // the returned logits vector.
+  scratch_.hidden.resize(d);
+  scratch_.normed.resize(d);
+  scratch_.q.resize(h * dh);
+  scratch_.k.resize(hkv * dh);
+  scratch_.v.resize(hkv * dh);
+  scratch_.attn_out.resize(h * dh);
+  scratch_.proj.resize(d);
+  scratch_.head_out.resize(dh);
+  scratch_.final_hidden.resize(d);
+  std::span<float> hidden{scratch_.hidden.data(), d};
+  std::span<float> normed{scratch_.normed.data(), d};
+  std::span<float> q{scratch_.q.data(), h * dh};
+  std::span<float> k{scratch_.k.data(), hkv * dh};
+  std::span<float> v{scratch_.v.data(), hkv * dh};
+  std::span<float> attn_out{scratch_.attn_out.data(), h * dh};
+  std::span<float> proj{scratch_.proj.data(), d};
+  std::span<float> head_out{scratch_.head_out.data(), dh};
+  std::span<float> final_hidden{scratch_.final_hidden.data(), d};
+
   std::memcpy(hidden.data(),
               embedding_.data() + static_cast<size_t>(token) * d,
               d * sizeof(float));
-  std::vector<float> normed(d), q(h * dh), k(hkv * dh), v(hkv * dh);
-  std::vector<float> attn_out(h * dh), proj(d), head_out(dh);
 
   for (int l = 0; l < config_.num_layers; ++l) {
     const LayerWeights& layer = layers_[l];
     RmsNorm(hidden, layer.attn_norm, normed);
-    std::fill(q.begin(), q.end(), 0.0f);
-    std::fill(k.begin(), k.end(), 0.0f);
-    std::fill(v.begin(), v.end(), 0.0f);
-    for (size_t i = 0; i < d; ++i) {
-      const float xv = normed[i];
-      if (xv == 0.0f) continue;
-      const float* qrow = layer.wq.data() + i * h * dh;
-      for (size_t j = 0; j < h * dh; ++j) q[j] += xv * qrow[j];
-      const float* krow = layer.wk.data() + i * hkv * dh;
-      const float* vrow = layer.wv.data() + i * hkv * dh;
-      for (size_t j = 0; j < hkv * dh; ++j) {
-        k[j] += xv * krow[j];
-        v[j] += xv * vrow[j];
-      }
-    }
+    ProjectQkv(layer, normed, q, k, v);
     for (size_t head = 0; head < h; ++head) {
       ApplyRope({q.data() + head * dh, dh}, position, config_.rope_theta);
     }
@@ -317,17 +308,11 @@ Result<std::vector<float>> TransformerModel::DecodeStep(
                   dh * sizeof(float));
     }
     std::fill(proj.begin(), proj.end(), 0.0f);
-    for (size_t j = 0; j < h * dh; ++j) {
-      const float a = attn_out[j];
-      if (a == 0.0f) continue;
-      const float* orow = layer.wo.data() + j * d;
-      for (size_t i = 0; i < d; ++i) proj[i] += a * orow[i];
-    }
+    VecMatAccum(attn_out, layer.wo, proj);
     for (size_t i = 0; i < d; ++i) hidden[i] += proj[i];
     RunFfn(layer, hidden);
   }
 
-  std::vector<float> final_hidden(d);
   RmsNorm(hidden, final_norm_, final_hidden);
   std::vector<float> logits(config_.vocab_size);
   MatVec(embedding_, final_hidden, logits,

@@ -40,12 +40,19 @@ class AttentionBackend {
   virtual void BeginDecodeStep(size_t /*position*/) {}
 };
 
-/// Exact softmax attention over all cached tokens.
+/// Exact softmax attention over all cached tokens. Scratch buffers are
+/// reused across calls so steady-state decode does not allocate; keep one
+/// instance per decoding thread.
 class FullAttentionBackend : public AttentionBackend {
  public:
   void Attend(int layer, int q_head, std::span<const float> query,
               const KVStore& store, size_t seq_len,
               std::span<float> out) override;
+
+ private:
+  std::vector<float> scores_;
+  std::vector<float> key_;
+  std::vector<float> value_;
 };
 
 /// Observer invoked during prefill with each token's per-head attention
@@ -102,12 +109,24 @@ class TransformerModel {
   void RunFfn(const LayerWeights& layer, std::span<float> hidden);
   void RmsNorm(std::span<const float> x, std::span<const float> gain,
                std::span<float> out) const;
+  // Projects `normed` through the layer's q/k/v weight matrices.
+  void ProjectQkv(const LayerWeights& layer, std::span<const float> normed,
+                  std::span<float> q, std::span<float> k, std::span<float> v);
 
   ModelConfig config_;
   std::vector<float> embedding_;  // [vocab, d]
   std::vector<float> final_norm_;
   std::vector<LayerWeights> layers_;
   FullAttentionBackend full_backend_;
+
+  // Decode-step scratch, reused across tokens so the steady-state decode
+  // loop performs no per-token allocations beyond the returned logits.
+  struct DecodeScratch {
+    std::vector<float> hidden, normed, q, k, v;
+    std::vector<float> attn_out, proj, head_out, final_hidden;
+    std::vector<float> ffn_normed, gate, up, act;
+  };
+  DecodeScratch scratch_;
 };
 
 }  // namespace pqcache

@@ -4,6 +4,7 @@
 
 #include "src/common/logging.h"
 #include "src/tensor/ops.h"
+#include "src/tensor/simd.h"
 
 namespace pqcache {
 
@@ -71,6 +72,7 @@ Result<PQCodebook> PQCodebook::Train(std::span<const float> vectors, size_t n,
   for (const Status& s : statuses) {
     if (!s.ok()) return s;
   }
+  book.RefreshCentroidNorms();
   return book;
 }
 
@@ -87,17 +89,27 @@ Result<PQCodebook> PQCodebook::FromParts(const PQConfig& config,
   book.config_ = config;
   book.centroids_ = std::move(centroids);
   book.iterations_.assign(static_cast<size_t>(config.num_partitions), 0);
+  book.RefreshCentroidNorms();
   return book;
 }
 
-std::span<const float> PQCodebook::PartitionCentroids(int partition) const {
+void PQCodebook::RefreshCentroidNorms() {
   const size_t kc = static_cast<size_t>(config_.num_centroids());
   const size_t sub = config_.sub_dim();
-  return {centroids_.data() + static_cast<size_t>(partition) * kc * sub,
-          kc * sub};
+  const size_t total = static_cast<size_t>(config_.num_partitions) * kc;
+  centroid_norms_.resize(total);
+  // Centroid storage is contiguous across partitions, so one pass covers all.
+  simd::Kernels().row_norms_squared(centroids_.data(), total, sub,
+                                    centroid_norms_.data());
 }
 
-std::span<float> PQCodebook::MutablePartitionCentroids(int partition) {
+std::span<const float> PQCodebook::PartitionCentroidNormsSquared(
+    int partition) const {
+  const size_t kc = static_cast<size_t>(config_.num_centroids());
+  return {centroid_norms_.data() + static_cast<size_t>(partition) * kc, kc};
+}
+
+std::span<const float> PQCodebook::PartitionCentroids(int partition) const {
   const size_t kc = static_cast<size_t>(config_.num_centroids());
   const size_t sub = config_.sub_dim();
   return {centroids_.data() + static_cast<size_t>(partition) * kc * sub,
@@ -108,13 +120,7 @@ void PQCodebook::Encode(std::span<const float> vec,
                         std::span<uint16_t> codes) const {
   PQC_CHECK_EQ(vec.size(), config_.dim);
   PQC_CHECK_EQ(codes.size(), static_cast<size_t>(config_.num_partitions));
-  const size_t sub = config_.sub_dim();
-  const size_t kc = static_cast<size_t>(config_.num_centroids());
-  for (int p = 0; p < config_.num_partitions; ++p) {
-    codes[p] = static_cast<uint16_t>(
-        NearestCentroid({vec.data() + p * sub, sub}, PartitionCentroids(p),
-                        kc, sub));
-  }
+  EncodeBatch(vec, 1, codes);
 }
 
 void PQCodebook::EncodeBatch(std::span<const float> vecs, size_t n,
@@ -122,9 +128,39 @@ void PQCodebook::EncodeBatch(std::span<const float> vecs, size_t n,
   PQC_CHECK_EQ(vecs.size(), n * config_.dim);
   PQC_CHECK_EQ(codes.size(), n * static_cast<size_t>(config_.num_partitions));
   const int m = config_.num_partitions;
-  for (size_t i = 0; i < n; ++i) {
-    Encode({vecs.data() + i * config_.dim, config_.dim},
-           {codes.data() + i * m, static_cast<size_t>(m)});
+  const size_t sub = config_.sub_dim();
+  const size_t kc = static_cast<size_t>(config_.num_centroids());
+
+  if (simd::ActiveLevel() == simd::SimdLevel::kScalar) {
+    // Reference path: exhaustive nearest-centroid scan, bit-identical to the
+    // pre-SIMD implementation.
+    for (size_t i = 0; i < n; ++i) {
+      const float* vec = vecs.data() + i * config_.dim;
+      uint16_t* row = codes.data() + i * static_cast<size_t>(m);
+      for (int p = 0; p < m; ++p) {
+        row[p] = static_cast<uint16_t>(NearestCentroid(
+            {vec + p * sub, sub}, PartitionCentroids(p), kc, sub));
+      }
+    }
+    return;
+  }
+
+  // Norm-trick path: nearest-centroid search as batched dot products against
+  // the centroid matrix plus precomputed centroid norms. Partition-major
+  // iteration keeps one [2^b, sub_dim] centroid table hot per pass. The dots
+  // scratch is thread-local so steady-state encodes (one evicted token per
+  // decode step) allocate nothing.
+  thread_local std::vector<float> dots;
+  if (dots.size() < kc) dots.resize(kc);
+  for (int p = 0; p < m; ++p) {
+    std::span<const float> cents = PartitionCentroids(p);
+    std::span<const float> norms = PartitionCentroidNormsSquared(p);
+    for (size_t i = 0; i < n; ++i) {
+      const int32_t best = NearestCentroidNormTrick(
+          {vecs.data() + i * config_.dim + p * sub, sub}, cents, norms, kc,
+          sub, dots);
+      codes[i * static_cast<size_t>(m) + p] = static_cast<uint16_t>(best);
+    }
   }
 }
 
@@ -146,13 +182,13 @@ void PQCodebook::BuildInnerProductTable(std::span<const float> query,
   const size_t kc = static_cast<size_t>(config_.num_centroids());
   PQC_CHECK_EQ(table.size(), static_cast<size_t>(config_.num_partitions) * kc);
   const size_t sub = config_.sub_dim();
+  // Each partition's table is a [2^b, sub_dim] centroid matrix times the
+  // query sub-vector: a blocked MatVec through the SIMD dispatch.
+  const simd::KernelTable& kernels = simd::Kernels();
   for (int p = 0; p < config_.num_partitions; ++p) {
     std::span<const float> cents = PartitionCentroids(p);
-    std::span<const float> q{query.data() + p * sub, sub};
-    float* out = table.data() + static_cast<size_t>(p) * kc;
-    for (size_t c = 0; c < kc; ++c) {
-      out[c] = Dot(q, {cents.data() + c * sub, sub});
-    }
+    kernels.matvec(cents.data(), query.data() + p * sub,
+                   table.data() + static_cast<size_t>(p) * kc, kc, sub);
   }
 }
 

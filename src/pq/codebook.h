@@ -60,8 +60,11 @@ class PQCodebook {
   /// Row-major [2^b, sub_dim] centroid table of one partition.
   std::span<const float> PartitionCentroids(int partition) const;
 
-  /// Mutable access for deserialization / testing.
-  std::span<float> MutablePartitionCentroids(int partition);
+  /// Squared norms of one partition's centroids ([2^b] entries), maintained
+  /// for the ||x-c||^2 = ||x||^2 - 2 x.c + ||c||^2 encode fast path.
+  /// Computed once at construction (Train / FromParts), so all const
+  /// methods are safe for concurrent readers.
+  std::span<const float> PartitionCentroidNormsSquared(int partition) const;
 
   /// Encodes one vector into m codes (nearest centroid per partition).
   void Encode(std::span<const float> vec, std::span<uint16_t> codes) const;
@@ -91,10 +94,14 @@ class PQCodebook {
   std::span<const float> AllCentroids() const { return centroids_; }
 
  private:
+  void RefreshCentroidNorms();
+
   PQConfig config_;
   /// Layout: partition-major, [m][2^b][sub_dim] flattened.
   std::vector<float> centroids_;
   std::vector<int> iterations_;
+  /// Squared centroid norms, [m][2^b], fixed after construction.
+  std::vector<float> centroid_norms_;
 };
 
 }  // namespace pqcache

@@ -2,6 +2,7 @@
 
 #include "src/common/logging.h"
 #include "src/tensor/ops.h"
+#include "src/tensor/simd.h"
 
 namespace pqcache {
 
@@ -22,7 +23,11 @@ void PQIndex::AddCodes(std::span<const uint16_t> codes, size_t n) {
 void PQIndex::AddVector(std::span<const float> vec) {
   const int m = codebook_.config().num_partitions;
   const size_t old = codes_.size();
-  codes_.resize(old + static_cast<size_t>(m));
+  const size_t needed = old + static_cast<size_t>(m);
+  // Grow with 2x headroom: the decode loop appends one evicted token per
+  // step, and doubling keeps those appends allocation-free between growths.
+  if (codes_.capacity() < needed) codes_.reserve(2 * needed);
+  codes_.resize(needed);
   codebook_.Encode(vec, {codes_.data() + old, static_cast<size_t>(m)});
 }
 
@@ -30,8 +35,11 @@ void PQIndex::ApproxInnerProducts(std::span<const float> query,
                                   std::span<float> scores) const {
   const size_t kc = static_cast<size_t>(codebook_.config().num_centroids());
   const size_t m = static_cast<size_t>(codebook_.config().num_partitions);
-  std::vector<float> table(m * kc);
-  ApproxInnerProductsWithTable(query, table, scores);
+  // Thread-local table: repeated scoring (one call per decoded token per
+  // head) reuses the buffer instead of allocating m * 2^b floats each time.
+  thread_local std::vector<float> table;
+  if (table.size() < m * kc) table.resize(m * kc);
+  ApproxInnerProductsWithTable(query, {table.data(), m * kc}, scores);
 }
 
 void PQIndex::ApproxInnerProductsWithTable(std::span<const float> query,
@@ -42,40 +50,34 @@ void PQIndex::ApproxInnerProductsWithTable(std::span<const float> query,
   codebook_.BuildInnerProductTable(query, table);
   const size_t m = static_cast<size_t>(codebook_.config().num_partitions);
   const size_t kc = static_cast<size_t>(codebook_.config().num_centroids());
-  // Gather-and-reduce over codes: the (h_kv, s, m) x (h_kv, m, 1) step of
-  // Section 3.2. Specialize the common small-m cases so the inner loop stays
-  // branch-free.
-  const uint16_t* code = codes_.data();
-  if (m == 2) {
-    const float* t0 = table.data();
-    const float* t1 = table.data() + kc;
-    for (size_t i = 0; i < n; ++i, code += 2) {
-      scores[i] = t0[code[0]] + t1[code[1]];
-    }
-    return;
-  }
-  if (m == 4) {
-    const float* t0 = table.data();
-    const float* t1 = table.data() + kc;
-    const float* t2 = table.data() + 2 * kc;
-    const float* t3 = table.data() + 3 * kc;
-    for (size_t i = 0; i < n; ++i, code += 4) {
-      scores[i] = t0[code[0]] + t1[code[1]] + t2[code[2]] + t3[code[3]];
-    }
-    return;
-  }
-  for (size_t i = 0; i < n; ++i, code += m) {
-    float acc = 0.0f;
-    for (size_t p = 0; p < m; ++p) acc += table[p * kc + code[p]];
-    scores[i] = acc;
-  }
+  // Fused gather-and-reduce over codes: the (h_kv, s, m) x (h_kv, m, 1) step
+  // of Section 3.2, dispatched to the SIMD subsystem (AVX2 gathers across
+  // eight tokens per pass, or the branch-free scalar reference).
+  simd::Kernels().gather_reduce_scores(table.data(), kc, codes_.data(), n, m,
+                                       scores.data());
 }
 
 std::vector<int32_t> PQIndex::TopK(std::span<const float> query,
                                    size_t k) const {
-  std::vector<float> scores(size());
-  ApproxInnerProducts(query, scores);
-  return TopKIndices(scores, k);
+  std::vector<float> table;
+  std::vector<float> scores;
+  std::vector<int32_t> out;
+  TopKInto(query, k, table, scores, out);
+  return out;
+}
+
+void PQIndex::TopKInto(std::span<const float> query, size_t k,
+                       std::vector<float>& table_scratch,
+                       std::vector<float>& scores_scratch,
+                       std::vector<int32_t>& out) const {
+  const size_t kc = static_cast<size_t>(codebook_.config().num_centroids());
+  const size_t m = static_cast<size_t>(codebook_.config().num_partitions);
+  const size_t n = size();
+  if (table_scratch.size() < m * kc) table_scratch.resize(m * kc);
+  if (scores_scratch.size() < n) scores_scratch.resize(n);
+  ApproxInnerProductsWithTable(query, {table_scratch.data(), m * kc},
+                               {scores_scratch.data(), n});
+  TopKIndicesInto({scores_scratch.data(), n}, k, out);
 }
 
 }  // namespace pqcache

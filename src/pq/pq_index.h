@@ -55,6 +55,15 @@ class PQIndex {
   /// Token ids of the approximately most similar k vectors, best first.
   std::vector<int32_t> TopK(std::span<const float> query, size_t k) const;
 
+  /// Allocation-free TopK for the decode hot path: distance table and score
+  /// buffers come from the caller (resized in place, so reused buffers reach
+  /// a steady state with no per-call heap traffic) and the result is written
+  /// into `out`, best first.
+  void TopKInto(std::span<const float> query, size_t k,
+                std::vector<float>& table_scratch,
+                std::vector<float>& scores_scratch,
+                std::vector<int32_t>& out) const;
+
   /// Bytes of code storage held (for memory accounting at b-bit precision,
   /// i.e. size * m * b / 8, not the in-memory uint16 footprint).
   double LogicalCodeBytes() const {

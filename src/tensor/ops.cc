@@ -6,36 +6,20 @@
 #include <numeric>
 
 #include "src/common/logging.h"
+#include "src/tensor/simd.h"
 
 namespace pqcache {
 
 float Dot(std::span<const float> a, std::span<const float> b) {
   PQC_CHECK_EQ(a.size(), b.size());
-  float acc = 0.0f;
-  const size_t n = a.size();
-  size_t i = 0;
-  // Four independent accumulators help the compiler vectorize.
-  float acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
-  for (; i + 4 <= n; i += 4) {
-    acc0 += a[i] * b[i];
-    acc1 += a[i + 1] * b[i + 1];
-    acc2 += a[i + 2] * b[i + 2];
-    acc3 += a[i + 3] * b[i + 3];
-  }
-  for (; i < n; ++i) acc += a[i] * b[i];
-  return acc + acc0 + acc1 + acc2 + acc3;
+  return simd::Kernels().dot(a.data(), b.data(), a.size());
 }
 
 float L2Norm(std::span<const float> a) { return std::sqrt(Dot(a, a)); }
 
 float L2DistanceSquared(std::span<const float> a, std::span<const float> b) {
   PQC_CHECK_EQ(a.size(), b.size());
-  float acc = 0.0f;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const float d = a[i] - b[i];
-    acc += d * d;
-  }
-  return acc;
+  return simd::Kernels().l2_distance_squared(a.data(), b.data(), a.size());
 }
 
 void MatMul(std::span<const float> a, std::span<const float> b,
@@ -43,18 +27,7 @@ void MatMul(std::span<const float> a, std::span<const float> b,
   PQC_CHECK_EQ(a.size(), m * k);
   PQC_CHECK_EQ(b.size(), k * n);
   PQC_CHECK_EQ(c.size(), m * n);
-  std::fill(c.begin(), c.end(), 0.0f);
-  // ikj loop order: streams over B and C rows, friendly to the prefetcher.
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = a.data() + i * k;
-    float* crow = c.data() + i * n;
-    for (size_t kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = b.data() + kk * n;
-      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  simd::Kernels().matmul(a.data(), b.data(), c.data(), m, k, n);
 }
 
 void MatVec(std::span<const float> a, std::span<const float> x,
@@ -62,9 +35,19 @@ void MatVec(std::span<const float> a, std::span<const float> x,
   PQC_CHECK_EQ(a.size(), m * k);
   PQC_CHECK_EQ(x.size(), k);
   PQC_CHECK_EQ(y.size(), m);
-  for (size_t i = 0; i < m; ++i) {
-    y[i] = Dot({a.data() + i * k, k}, x);
-  }
+  simd::Kernels().matvec(a.data(), x.data(), y.data(), m, k);
+}
+
+void VecMatAccum(std::span<const float> x, std::span<const float> b,
+                 std::span<float> y) {
+  PQC_CHECK_EQ(b.size(), x.size() * y.size());
+  simd::Kernels().vecmat_accum(x.data(), b.data(), y.data(), x.size(),
+                               y.size());
+}
+
+void Axpy(float a, std::span<const float> x, std::span<float> y) {
+  PQC_CHECK_EQ(x.size(), y.size());
+  simd::Kernels().axpy(a, x.data(), y.data(), x.size());
 }
 
 void SoftmaxInplace(std::span<float> x) { ScaledSoftmaxInplace(x, 1.0f); }
@@ -87,20 +70,36 @@ void ScaledSoftmaxInplace(std::span<float> x, float scale) {
   for (float& v : x) v *= inv;
 }
 
-std::vector<int32_t> TopKIndices(std::span<const float> scores, size_t k) {
+void TopKIndicesInto(std::span<const float> scores, size_t k,
+                     std::vector<int32_t>& out) {
   const size_t n = scores.size();
   k = std::min(k, n);
-  std::vector<int32_t> idx(n);
-  std::iota(idx.begin(), idx.end(), 0);
-  if (k == 0) return {};
-  if (k < n) {
-    std::nth_element(idx.begin(), idx.begin() + k - 1, idx.end(),
-                     [&](int32_t a, int32_t b) { return scores[a] > scores[b]; });
-    idx.resize(k);
+  out.clear();
+  if (k == 0) return;
+  // "a ranks ahead of b": higher score first, ties by ascending index. With
+  // this as the heap comparator the root of `out` is the worst kept
+  // candidate, so the scan replaces it only when a better one appears.
+  auto ahead = [&scores](int32_t a, int32_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  };
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) out.push_back(static_cast<int32_t>(i));
+  std::make_heap(out.begin(), out.end(), ahead);
+  for (size_t i = k; i < n; ++i) {
+    const int32_t cand = static_cast<int32_t>(i);
+    if (!ahead(cand, out.front())) continue;
+    std::pop_heap(out.begin(), out.end(), ahead);
+    out.back() = cand;
+    std::push_heap(out.begin(), out.end(), ahead);
   }
-  std::sort(idx.begin(), idx.end(),
-            [&](int32_t a, int32_t b) { return scores[a] > scores[b]; });
-  return idx;
+  std::sort_heap(out.begin(), out.end(), ahead);
+}
+
+std::vector<int32_t> TopKIndices(std::span<const float> scores, size_t k) {
+  std::vector<int32_t> out;
+  TopKIndicesInto(scores, k, out);
+  return out;
 }
 
 size_t ArgMax(std::span<const float> x) {

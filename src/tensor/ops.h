@@ -1,6 +1,11 @@
 // Numeric kernels used throughout the library: GEMM/GEMV, numerically-stable
 // softmax, partial top-k selection, dot products, and 1-D max pooling
 // (SnapKV's score smoothing). All kernels operate on contiguous float spans.
+//
+// The dense kernels (Dot, L2DistanceSquared, MatVec, MatMul, VecMatAccum,
+// Axpy) route through the runtime-dispatched SIMD subsystem in
+// src/tensor/simd.h: AVX2+FMA on capable CPUs, the original scalar loops
+// otherwise (or when PQCACHE_FORCE_SCALAR is set).
 #ifndef PQCACHE_TENSOR_OPS_H_
 #define PQCACHE_TENSOR_OPS_H_
 
@@ -28,6 +33,14 @@ void MatMul(std::span<const float> a, std::span<const float> b,
 void MatVec(std::span<const float> a, std::span<const float> x,
             std::span<float> y, size_t m, size_t k);
 
+/// y[n] += x[k]^T * B[k,n], row-major B. The vector-times-matrix shape of
+/// the transformer's projection layers (output dimension contiguous).
+void VecMatAccum(std::span<const float> x, std::span<const float> b,
+                 std::span<float> y);
+
+/// y += a * x (element-wise, equal sizes).
+void Axpy(float a, std::span<const float> x, std::span<float> y);
+
 /// In-place numerically stable softmax over `x`. Handles -inf entries
 /// (masked positions) by assigning them zero probability.
 void SoftmaxInplace(std::span<float> x);
@@ -35,9 +48,15 @@ void SoftmaxInplace(std::span<float> x);
 /// In-place softmax with temperature `1/scale` (i.e. x_i <- exp(scale*x_i)/Z).
 void ScaledSoftmaxInplace(std::span<float> x, float scale);
 
-/// Indices of the k largest values of `scores`, in descending score order.
-/// k is clamped to scores.size(). O(n + k log k) via nth_element.
+/// Indices of the k largest values of `scores`, in descending score order
+/// (ties broken by ascending index). k is clamped to scores.size().
 std::vector<int32_t> TopKIndices(std::span<const float> scores, size_t k);
+
+/// As TopKIndices, but writes into `out` (cleared first) so steady-state
+/// callers reuse its capacity instead of allocating an n-element index
+/// permutation per call. O(n log k) via a bounded min-heap over the k best.
+void TopKIndicesInto(std::span<const float> scores, size_t k,
+                     std::vector<int32_t>& out);
 
 /// Index of the maximum element (first one on ties). Precondition: non-empty.
 size_t ArgMax(std::span<const float> x);

@@ -1,0 +1,85 @@
+#include "src/tensor/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "src/tensor/simd_scalar.h"
+
+// This TU must stay free of ISA-specific flags: it holds the scalar
+// reference tier (the portable fallback) and the dispatcher. The AVX2
+// bodies live in simd_avx2.cc behind per-function target attributes.
+
+namespace pqcache {
+namespace simd {
+
+namespace {
+
+const KernelTable kScalarTable = {
+    internal::DotScalar,
+    internal::L2DistanceSquaredScalar,
+    internal::MatVecScalar,
+    internal::MatMulScalar,
+    internal::VecMatAccumScalar,
+    internal::AxpyScalar,
+    internal::GatherReduceScoresScalar,
+    internal::RowNormsSquaredScalar,
+    SimdLevel::kScalar,
+    "scalar",
+};
+
+bool ForceScalarFromEnv() {
+  const char* v = std::getenv("PQCACHE_FORCE_SCALAR");
+  if (v == nullptr || v[0] == '\0') return false;
+  return !(v[0] == '0' && v[1] == '\0');
+}
+
+std::atomic<const KernelTable*> g_active{nullptr};
+
+}  // namespace
+
+const char* LevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool Avx2Available() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+const KernelTable& KernelsFor(SimdLevel level) {
+  if (level == SimdLevel::kAvx2 && Avx2Available()) {
+    if (const KernelTable* table = internal::Avx2TableOrNull()) {
+      return *table;
+    }
+  }
+  return kScalarTable;
+}
+
+const KernelTable& Kernels() {
+  const KernelTable* table = g_active.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    // Idempotent: racing initializers resolve to the same table.
+    table = ForceScalarFromEnv() ? &kScalarTable
+                                 : &KernelsFor(SimdLevel::kAvx2);
+    g_active.store(table, std::memory_order_release);
+  }
+  return *table;
+}
+
+SimdLevel ActiveLevel() { return Kernels().level; }
+
+void ResetDispatchForTesting() {
+  g_active.store(nullptr, std::memory_order_release);
+}
+
+}  // namespace simd
+}  // namespace pqcache

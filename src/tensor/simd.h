@@ -1,0 +1,108 @@
+// Runtime-dispatched SIMD kernel subsystem. Every hot numeric kernel in the
+// library (dot products, distances, GEMV/GEMM, the fused PQ gather-reduce)
+// resolves through a function-pointer table selected once at startup:
+//
+//   - kAvx2:   AVX2 + FMA bodies (compiled with per-function target
+//              attributes, so the rest of the library stays portable),
+//   - kScalar: the pre-SIMD reference implementations, bit-identical to the
+//              original hand-written loops in src/tensor/ops.cc.
+//
+// Selection order: the PQCACHE_FORCE_SCALAR environment variable (any
+// non-empty value other than "0") forces the scalar table; otherwise the CPU
+// is probed for AVX2+FMA support. Tests can obtain either table directly via
+// KernelsFor() to assert cross-path equivalence, and ResetDispatchForTesting()
+// re-reads the environment.
+//
+// Adding a kernel: add a function pointer to KernelTable, a scalar reference
+// body in simd_scalar.h, an AVX2 body in simd_avx2.cc (per-function
+// target("avx2,fma") attribute), and wire both into the tables in simd.cc /
+// simd_avx2.cc. The equivalence suite in tests/simd_kernels_test.cc compares
+// the two paths on randomized shapes, including remainder lanes (n % 8 != 0).
+#ifndef PQCACHE_TENSOR_SIMD_H_
+#define PQCACHE_TENSOR_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pqcache {
+namespace simd {
+
+/// Instruction-set tier of a kernel table.
+enum class SimdLevel {
+  kScalar = 0,  ///< Reference loops; always available.
+  kAvx2 = 1,    ///< AVX2 + FMA bodies; requires CPU support.
+};
+
+/// Human-readable tier name ("scalar", "avx2").
+const char* LevelName(SimdLevel level);
+
+/// The kernel function-pointer table. All pointers are always non-null.
+struct KernelTable {
+  /// Inner product of two length-n vectors.
+  float (*dot)(const float* a, const float* b, size_t n);
+
+  /// Squared Euclidean distance between two length-n vectors.
+  float (*l2_distance_squared)(const float* a, const float* b, size_t n);
+
+  /// y[m] = A[m,k] * x[k], row-major A.
+  void (*matvec)(const float* a, const float* x, float* y, size_t m,
+                 size_t k);
+
+  /// C[m,n] = A[m,k] * B[k,n], row-major, C overwritten.
+  void (*matmul)(const float* a, const float* b, float* c, size_t m, size_t k,
+                 size_t n);
+
+  /// y[n] += x[k]^T * B[k,n] (row-major B). The vector-times-matrix shape of
+  /// the transformer's projection layers.
+  void (*vecmat_accum)(const float* x, const float* b, float* y, size_t k,
+                       size_t n);
+
+  /// y[n] += a * x[n].
+  void (*axpy)(float a, const float* x, float* y, size_t n);
+
+  /// Fused PQ score kernel: scores[i] = sum_p table[p*kc + codes[i*m + p]]
+  /// for i in [0, n). The gather-and-reduce of paper Section 3.2.
+  void (*gather_reduce_scores)(const float* table, size_t kc,
+                               const uint16_t* codes, size_t n, size_t m,
+                               float* scores);
+
+  /// out[r] = ||A[r,:]||^2 for each of `rows` rows of dimension `dim`.
+  /// Powers the  ||x-c||^2 = ||x||^2 - 2 x.c + ||c||^2  nearest-centroid
+  /// identity used by PQ encode and k-means assignment.
+  void (*row_norms_squared)(const float* a, size_t rows, size_t dim,
+                            float* out);
+
+  SimdLevel level = SimdLevel::kScalar;
+  const char* name = "scalar";
+};
+
+/// The active table (environment + CPUID, resolved once, cached).
+const KernelTable& Kernels();
+
+/// A specific tier's table regardless of the environment. Requesting kAvx2
+/// on a CPU without AVX2+FMA returns the scalar table.
+const KernelTable& KernelsFor(SimdLevel level);
+
+/// Tier of the active table.
+SimdLevel ActiveLevel();
+
+/// True when this CPU supports the AVX2+FMA kernels (ignores the
+/// PQCACHE_FORCE_SCALAR override).
+bool Avx2Available();
+
+/// Drops the cached dispatch decision so the next Kernels() call re-reads
+/// PQCACHE_FORCE_SCALAR. Test-only; not thread-safe against concurrent
+/// kernel use.
+void ResetDispatchForTesting();
+
+namespace internal {
+/// Defined in simd_avx2.cc: the AVX2 kernel table, or nullptr when the
+/// build target cannot carry AVX2 bodies (non-x86 / non-GNU compilers).
+/// Callers must still gate on Avx2Available() before executing kernels.
+const KernelTable* Avx2TableOrNull();
+}  // namespace internal
+
+}  // namespace simd
+}  // namespace pqcache
+
+#endif  // PQCACHE_TENSOR_SIMD_H_

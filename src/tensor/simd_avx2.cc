@@ -1,0 +1,278 @@
+// AVX2 + FMA kernel bodies. Every function in this translation unit carries
+// a per-function target("avx2,fma") attribute, so the file compiles in a
+// fully portable build; the dispatcher in simd.cc guarantees these bodies
+// only execute on CPUs that advertise AVX2 and FMA. The kernel table itself
+// is a constant-initialized object (no runtime init code), so nothing in
+// this TU runs before dispatch.
+//
+// Deliberately does NOT include simd_scalar.h: this TU may be compiled with
+// ISA flags (portable mode passes -mavx2 -mfma), and instantiating the
+// shared inline scalar kernels here would emit weak COMDAT copies carrying
+// AVX2 codegen that the linker could select over simd.cc's portable ones.
+// The one scalar tail this file needs is a file-local static instead.
+#include "src/tensor/simd.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define PQCACHE_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace pqcache {
+namespace simd {
+namespace internal {
+
+#if PQCACHE_SIMD_X86
+
+namespace {
+
+// Generic scalar tail for the vector gather kernel's last tokens. Internal
+// linkage, only ever called after the AVX2 dispatch check.
+void GatherReduceTail(const float* table, size_t kc, const uint16_t* codes,
+                      size_t n, size_t m, float* scores) {
+  for (size_t i = 0; i < n; ++i, codes += m) {
+    float acc = 0.0f;
+    for (size_t p = 0; p < m; ++p) acc += table[p * kc + codes[p]];
+    scores[i] = acc;
+  }
+}
+
+#define PQCACHE_AVX2 __attribute__((target("avx2,fma")))
+
+PQCACHE_AVX2 inline float HorizontalSum(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 sum = _mm_add_ps(lo, hi);
+  sum = _mm_add_ps(sum, _mm_movehl_ps(sum, sum));
+  sum = _mm_add_ss(sum, _mm_movehdup_ps(sum));
+  return _mm_cvtss_f32(sum);
+}
+
+PQCACHE_AVX2 float DotAvx2(const float* a, const float* b, size_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  __m256 acc2 = _mm256_setzero_ps();
+  __m256 acc3 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+    acc2 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 16),
+                           _mm256_loadu_ps(b + i + 16), acc2);
+    acc3 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 24),
+                           _mm256_loadu_ps(b + i + 24), acc3);
+  }
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+  }
+  acc0 = _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3));
+  float sum = HorizontalSum(acc0);
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+PQCACHE_AVX2 float L2DistanceSquaredAvx2(const float* a, const float* b,
+                                         size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 d =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc = _mm256_fmadd_ps(d, d, acc);
+  }
+  float sum = HorizontalSum(acc);
+  for (; i < n; ++i) {
+    const float d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+PQCACHE_AVX2 void MatVecAvx2(const float* a, const float* x, float* y,
+                             size_t m, size_t k) {
+  // Four rows at a time share the x loads; each row keeps its own
+  // accumulator, so the loop is bound by FMA throughput, not latency.
+  size_t r = 0;
+  for (; r + 4 <= m; r += 4) {
+    const float* r0 = a + (r + 0) * k;
+    const float* r1 = a + (r + 1) * k;
+    const float* r2 = a + (r + 2) * k;
+    const float* r3 = a + (r + 3) * k;
+    __m256 a0 = _mm256_setzero_ps();
+    __m256 a1 = _mm256_setzero_ps();
+    __m256 a2 = _mm256_setzero_ps();
+    __m256 a3 = _mm256_setzero_ps();
+    size_t i = 0;
+    for (; i + 8 <= k; i += 8) {
+      const __m256 xv = _mm256_loadu_ps(x + i);
+      a0 = _mm256_fmadd_ps(_mm256_loadu_ps(r0 + i), xv, a0);
+      a1 = _mm256_fmadd_ps(_mm256_loadu_ps(r1 + i), xv, a1);
+      a2 = _mm256_fmadd_ps(_mm256_loadu_ps(r2 + i), xv, a2);
+      a3 = _mm256_fmadd_ps(_mm256_loadu_ps(r3 + i), xv, a3);
+    }
+    float s0 = HorizontalSum(a0);
+    float s1 = HorizontalSum(a1);
+    float s2 = HorizontalSum(a2);
+    float s3 = HorizontalSum(a3);
+    for (; i < k; ++i) {
+      const float xv = x[i];
+      s0 += r0[i] * xv;
+      s1 += r1[i] * xv;
+      s2 += r2[i] * xv;
+      s3 += r3[i] * xv;
+    }
+    y[r + 0] = s0;
+    y[r + 1] = s1;
+    y[r + 2] = s2;
+    y[r + 3] = s3;
+  }
+  for (; r < m; ++r) y[r] = DotAvx2(a + r * k, x, k);
+}
+
+PQCACHE_AVX2 void AxpyAvx2(float a, const float* x, float* y, size_t n) {
+  const __m256 av = _mm256_set1_ps(a);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 yv =
+        _mm256_fmadd_ps(av, _mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i));
+    _mm256_storeu_ps(y + i, yv);
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+PQCACHE_AVX2 void VecMatAccumAvx2(const float* x, const float* b, float* y,
+                                  size_t k, size_t n) {
+  // Two B rows per pass halve the traffic over y.
+  size_t kk = 0;
+  for (; kk + 2 <= k; kk += 2) {
+    const __m256 x0 = _mm256_set1_ps(x[kk]);
+    const __m256 x1 = _mm256_set1_ps(x[kk + 1]);
+    const float* b0 = b + kk * n;
+    const float* b1 = b0 + n;
+    size_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      __m256 yv = _mm256_loadu_ps(y + j);
+      yv = _mm256_fmadd_ps(x0, _mm256_loadu_ps(b0 + j), yv);
+      yv = _mm256_fmadd_ps(x1, _mm256_loadu_ps(b1 + j), yv);
+      _mm256_storeu_ps(y + j, yv);
+    }
+    for (; j < n; ++j) y[j] += x[kk] * b0[j] + x[kk + 1] * b1[j];
+  }
+  if (kk < k) AxpyAvx2(x[kk], b + kk * n, y, n);
+}
+
+PQCACHE_AVX2 void MatMulAvx2(const float* a, const float* b, float* c,
+                             size_t m, size_t k, size_t n) {
+  for (size_t i = 0; i < m * n; ++i) c[i] = 0.0f;
+  for (size_t i = 0; i < m; ++i) {
+    VecMatAccumAvx2(a + i * k, b, c + i * n, k, n);
+  }
+}
+
+// m == 8 fast path: a token's eight codes are one 16-byte load, so the whole
+// per-token lookup fuses into a single 8-lane gather whose indices carry the
+// per-partition table offsets. Four tokens run per pass; their lane sums
+// collapse through hadd instead of four separate horizontal reductions.
+PQCACHE_AVX2 void GatherReduceScores8Avx2(const float* table, size_t kc,
+                                          const uint16_t* codes, size_t n,
+                                          float* scores) {
+  const __m256i poff = _mm256_setr_epi32(
+      0, static_cast<int>(kc), static_cast<int>(2 * kc),
+      static_cast<int>(3 * kc), static_cast<int>(4 * kc),
+      static_cast<int>(5 * kc), static_cast<int>(6 * kc),
+      static_cast<int>(7 * kc));
+  auto gather_token = [&](size_t i) PQCACHE_AVX2 {
+    const __m128i raw =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + i * 8));
+    const __m256i idx = _mm256_add_epi32(_mm256_cvtepu16_epi32(raw), poff);
+    return _mm256_i32gather_ps(table, idx, 4);
+  };
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256 g0 = gather_token(i);
+    const __m256 g1 = gather_token(i + 1);
+    const __m256 g2 = gather_token(i + 2);
+    const __m256 g3 = gather_token(i + 3);
+    const __m256 h = _mm256_hadd_ps(_mm256_hadd_ps(g0, g1),
+                                    _mm256_hadd_ps(g2, g3));
+    const __m128 sums =
+        _mm_add_ps(_mm256_castps256_ps128(h), _mm256_extractf128_ps(h, 1));
+    _mm_storeu_ps(scores + i, sums);
+  }
+  for (; i < n; ++i) {
+    scores[i] = HorizontalSum(gather_token(i));
+  }
+}
+
+PQCACHE_AVX2 void GatherReduceScoresAvx2(const float* table, size_t kc,
+                                         const uint16_t* codes, size_t n,
+                                         size_t m, float* scores) {
+  if (n == 0) return;
+  if (m == 8) {
+    GatherReduceScores8Avx2(table, kc, codes, n, scores);
+    return;
+  }
+  // Eight tokens per pass: for each partition, gather the 8 codes (stride m
+  // uint16 -> 32-bit gather + mask) and then gather the 8 table entries.
+  // The code gather reads 4 bytes at each lane, i.e. 2 bytes beyond the last
+  // uint16 it needs, so the final token is always handled by the scalar tail
+  // (the loop bound is n - 1, not n) to keep every access in bounds.
+  const __m256i lane_offsets = _mm256_setr_epi32(
+      0, static_cast<int>(m), static_cast<int>(2 * m), static_cast<int>(3 * m),
+      static_cast<int>(4 * m), static_cast<int>(5 * m),
+      static_cast<int>(6 * m), static_cast<int>(7 * m));
+  const __m256i code_mask = _mm256_set1_epi32(0xFFFF);
+  size_t i = 0;
+  for (; i + 8 <= n - 1; i += 8) {
+    __m256 acc = _mm256_setzero_ps();
+    const uint16_t* base = codes + i * m;
+    for (size_t p = 0; p < m; ++p) {
+      const __m256i raw = _mm256_i32gather_epi32(
+          reinterpret_cast<const int*>(base + p), lane_offsets, 2);
+      const __m256i idx = _mm256_and_si256(raw, code_mask);
+      acc = _mm256_add_ps(acc, _mm256_i32gather_ps(table + p * kc, idx, 4));
+    }
+    _mm256_storeu_ps(scores + i, acc);
+  }
+  GatherReduceTail(table, kc, codes + i * m, n - i, m, scores + i);
+}
+
+PQCACHE_AVX2 void RowNormsSquaredAvx2(const float* a, size_t rows, size_t dim,
+                                      float* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    const float* row = a + r * dim;
+    out[r] = DotAvx2(row, row, dim);
+  }
+}
+
+// Constant-initialized (function pointers only): no runtime init code runs
+// in this TU, which matters on CPUs where the kernels themselves must not
+// execute.
+const KernelTable kAvx2Table = {
+    DotAvx2,
+    L2DistanceSquaredAvx2,
+    MatVecAvx2,
+    MatMulAvx2,
+    VecMatAccumAvx2,
+    AxpyAvx2,
+    GatherReduceScoresAvx2,
+    RowNormsSquaredAvx2,
+    SimdLevel::kAvx2,
+    "avx2",
+};
+
+}  // namespace
+
+const KernelTable* Avx2TableOrNull() { return &kAvx2Table; }
+
+#else  // !PQCACHE_SIMD_X86
+
+const KernelTable* Avx2TableOrNull() { return nullptr; }
+
+#endif  // PQCACHE_SIMD_X86
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace pqcache

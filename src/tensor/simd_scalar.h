@@ -1,0 +1,121 @@
+// Internal header: the scalar reference kernel bodies shared by the two
+// SIMD translation units. These are the pre-SIMD implementations verbatim
+// (same loop structure and accumulation order), so the scalar dispatch tier
+// (PQCACHE_FORCE_SCALAR=1) reproduces the original numerics bit for bit
+// under any given set of compiler flags.
+//
+// simd.cc builds the scalar KernelTable from these; simd_avx2.cc inlines the
+// gather tail into its vector kernels. Not part of the public API.
+#ifndef PQCACHE_TENSOR_SIMD_SCALAR_H_
+#define PQCACHE_TENSOR_SIMD_SCALAR_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pqcache {
+namespace simd {
+namespace internal {
+
+inline float DotScalar(const float* a, const float* b, size_t n) {
+  float acc = 0.0f;
+  size_t i = 0;
+  // Four independent accumulators help the compiler vectorize.
+  float acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < n; ++i) acc += a[i] * b[i];
+  return acc + acc0 + acc1 + acc2 + acc3;
+}
+
+inline float L2DistanceSquaredScalar(const float* a, const float* b,
+                                     size_t n) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    const float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+inline void MatVecScalar(const float* a, const float* x, float* y, size_t m,
+                         size_t k) {
+  for (size_t i = 0; i < m; ++i) {
+    y[i] = DotScalar(a + i * k, x, k);
+  }
+}
+
+inline void MatMulScalar(const float* a, const float* b, float* c, size_t m,
+                         size_t k, size_t n) {
+  for (size_t i = 0; i < m * n; ++i) c[i] = 0.0f;
+  // ikj loop order: streams over B and C rows, friendly to the prefetcher.
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      const float* brow = b + kk * n;
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+inline void VecMatAccumScalar(const float* x, const float* b, float* y,
+                              size_t k, size_t n) {
+  for (size_t kk = 0; kk < k; ++kk) {
+    const float xv = x[kk];
+    const float* brow = b + kk * n;
+    for (size_t j = 0; j < n; ++j) y[j] += xv * brow[j];
+  }
+}
+
+inline void AxpyScalar(float a, const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+inline void GatherReduceScoresScalar(const float* table, size_t kc,
+                                     const uint16_t* codes, size_t n,
+                                     size_t m, float* scores) {
+  const uint16_t* code = codes;
+  // Specialize the common small-m cases so the inner loop stays branch-free.
+  if (m == 2) {
+    const float* t0 = table;
+    const float* t1 = table + kc;
+    for (size_t i = 0; i < n; ++i, code += 2) {
+      scores[i] = t0[code[0]] + t1[code[1]];
+    }
+    return;
+  }
+  if (m == 4) {
+    const float* t0 = table;
+    const float* t1 = table + kc;
+    const float* t2 = table + 2 * kc;
+    const float* t3 = table + 3 * kc;
+    for (size_t i = 0; i < n; ++i, code += 4) {
+      scores[i] = t0[code[0]] + t1[code[1]] + t2[code[2]] + t3[code[3]];
+    }
+    return;
+  }
+  for (size_t i = 0; i < n; ++i, code += m) {
+    float acc = 0.0f;
+    for (size_t p = 0; p < m; ++p) acc += table[p * kc + code[p]];
+    scores[i] = acc;
+  }
+}
+
+inline void RowNormsSquaredScalar(const float* a, size_t rows, size_t dim,
+                                  float* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    const float* row = a + r * dim;
+    out[r] = DotScalar(row, row, dim);
+  }
+}
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace pqcache
+
+#endif  // PQCACHE_TENSOR_SIMD_SCALAR_H_

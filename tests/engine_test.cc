@@ -1,11 +1,38 @@
 #include "src/core/pqcache_engine.h"
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <new>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/tensor/ops.h"
+
+// Counting allocator: global operator new replacements that bump a counter
+// while the flag is armed. The flag is toggled by the Attend instrumentation
+// hooks, scoping the count to exactly the SelectiveBackend::Attend hot path.
+namespace {
+std::atomic<bool> g_count_allocations{false};
+std::atomic<uint64_t> g_allocation_count{0};
+
+void* CountedAlloc(std::size_t size) {
+  if (g_count_allocations.load(std::memory_order_relaxed)) {
+    g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace pqcache {
 namespace {
@@ -124,6 +151,31 @@ TEST(EngineTest, DeterministicGeneration) {
   ASSERT_TRUE(o1.ok());
   ASSERT_TRUE(o2.ok());
   EXPECT_EQ(o1.value(), o2.value());
+}
+
+TEST(EngineTest, SteadyStateAttendPerformsZeroAllocations) {
+  // Acceptance: once warm, SelectiveBackend::Attend must perform zero heap
+  // allocations per decoded token. The Attend hooks arm the counting
+  // allocator on entry and disarm it on exit, so only the selective
+  // attention path (PQ scoring, top-k, cache probe/admit, softmax-weighted
+  // accumulation) is measured — not the surrounding transformer step.
+  auto engine = PQCacheEngine::Create(SmallEngineOptions());
+  ASSERT_TRUE(engine.ok());
+  auto& e = *engine.value();
+  ASSERT_TRUE(e.Prefill(MakePrompt(96)).ok());
+  // Warm-up: scratch buffers grow to steady-state capacity (with headroom)
+  // and the block cache reaches full residency.
+  ASSERT_TRUE(e.Generate(8).ok());
+
+  SetAttendHooksForTesting(
+      +[] { g_count_allocations.store(true, std::memory_order_relaxed); },
+      +[] { g_count_allocations.store(false, std::memory_order_relaxed); });
+  g_allocation_count.store(0);
+  ASSERT_TRUE(e.Generate(4).ok());
+  SetAttendHooksForTesting(nullptr, nullptr);
+
+  EXPECT_EQ(g_allocation_count.load(), 0u)
+      << "SelectiveBackend::Attend allocated on the steady-state decode path";
 }
 
 TEST(EngineTest, SelectiveMatchesFullAtRatioOne) {

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "src/common/rng.h"
+#include "src/tensor/simd.h"
 
 namespace pqcache {
 namespace {
@@ -157,6 +158,49 @@ TEST(NearestCentroidTest, PicksNearest) {
   EXPECT_EQ(NearestCentroid(p, centroids, 3, 2), 1);
   std::vector<float> q = {-4, 4};
   EXPECT_EQ(NearestCentroid(q, centroids, 3, 2), 2);
+}
+
+TEST(KMeansTest, PlusPlusSeedingNeverDuplicatesCentroidsOnDuplicateData) {
+  // 999 copies of one point plus a single distinct point. The k-means++
+  // candidate subsample (32 * k = 64 of 1000) almost surely misses the rare
+  // point, which used to make D^2 seeding pick the duplicated point twice.
+  // The deduped sampler must fall back to scanning the full dataset and seed
+  // two distinct centroids whenever the data holds >= k distinct values.
+  const size_t n = 1000, dim = 4;
+  std::vector<float> data(n * dim);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d = 0; d < dim; ++d) {
+      data[i * dim + d] = static_cast<float>(d + 1);
+    }
+  }
+  // One needle, buried mid-sequence.
+  for (size_t d = 0; d < dim; ++d) data[507 * dim + d] = 100.0f + d;
+
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    KMeansOptions opts;
+    opts.num_clusters = 2;
+    opts.max_iterations = 0;  // Inspect the raw seeding.
+    opts.seeding = KMeansOptions::Seeding::kPlusPlus;
+    opts.seed = seed;
+    auto result = RunKMeans(data, n, dim, opts);
+    ASSERT_TRUE(result.ok());
+    const auto& c = result.value().centroids;
+    bool distinct = false;
+    for (size_t d = 0; d < dim && !distinct; ++d) {
+      distinct = c[d] != c[dim + d];
+    }
+    EXPECT_TRUE(distinct) << "duplicate centroids seeded with seed " << seed;
+  }
+}
+
+TEST(NearestCentroidTest, NormTrickAgreesOnSeparatedCentroids) {
+  std::vector<float> centroids = {0, 0, 10, 10, -5, 5};  // 3 x 2
+  std::vector<float> norms(3), dots(3);
+  simd::Kernels().row_norms_squared(centroids.data(), 3, 2, norms.data());
+  std::vector<float> p = {9, 9};
+  EXPECT_EQ(NearestCentroidNormTrick(p, centroids, norms, 3, 2, dots), 1);
+  std::vector<float> q = {-4, 4};
+  EXPECT_EQ(NearestCentroidNormTrick(q, centroids, norms, 3, 2, dots), 2);
 }
 
 }  // namespace

@@ -117,6 +117,48 @@ TEST(OpsTest, TopKZero) {
   EXPECT_TRUE(TopKIndices(scores, 0).empty());
 }
 
+TEST(OpsTest, TopKDeterministicTieBreak) {
+  // Equal scores resolve to ascending index, deterministically.
+  std::vector<float> scores = {1.0f, 1.0f, 0.5f, 1.0f};
+  auto top = TopKIndices(scores, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 0);
+  EXPECT_EQ(top[1], 1);
+}
+
+TEST(OpsTest, TopKIntoReusesBuffer) {
+  std::vector<float> scores = {0.1f, 0.9f, 0.5f, 0.7f, 0.3f};
+  std::vector<int32_t> out;
+  TopKIndicesInto(scores, 3, out);
+  EXPECT_EQ(out, (std::vector<int32_t>{1, 3, 2}));
+  // A second call with smaller k reuses (and truncates) the same buffer.
+  TopKIndicesInto(scores, 1, out);
+  EXPECT_EQ(out, (std::vector<int32_t>{1}));
+  TopKIndicesInto(scores, 0, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(OpsTest, VecMatAccumMatchesMatMulRow) {
+  // x^T * B == (1 x k) * (k x n) GEMM.
+  Rng rng(9);
+  const size_t k = 13, n = 21;
+  std::vector<float> x(k), b(k * n);
+  for (float& v : x) v = rng.Gaussian();
+  for (float& v : b) v = rng.Gaussian();
+  std::vector<float> y(n, 0.0f), ref(n);
+  VecMatAccum(x, b, y);
+  MatMul(x, b, ref, 1, k, n);
+  for (size_t j = 0; j < n; ++j) EXPECT_NEAR(y[j], ref[j], 1e-5f);
+}
+
+TEST(OpsTest, AxpyAccumulates) {
+  std::vector<float> x = {1, 2, 3}, y = {10, 20, 30};
+  Axpy(2.0f, x, y);
+  EXPECT_FLOAT_EQ(y[0], 12);
+  EXPECT_FLOAT_EQ(y[1], 24);
+  EXPECT_FLOAT_EQ(y[2], 36);
+}
+
 TEST(OpsTest, TopKExhaustiveAgainstSort) {
   Rng rng(3);
   std::vector<float> scores(200);

@@ -1,0 +1,434 @@
+// Kernel-equivalence suite for the runtime-dispatched SIMD subsystem
+// (src/tensor/simd.h):
+//   - the scalar tier must be bit-identical to the pre-SIMD reference
+//     implementations (reproduced here verbatim), so PQCACHE_FORCE_SCALAR=1
+//     reproduces the original numerics exactly;
+//   - the AVX2 tier must agree with the scalar tier within 1e-4 relative
+//     tolerance on randomized shapes, including remainder lanes (n % 8 != 0);
+//   - the algorithmic rewrites layered on the kernels (batched encode, the
+//     norm-trick nearest-centroid) must match their per-vector / exhaustive
+//     counterparts.
+#include "src/tensor/simd.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/kmeans/kmeans.h"
+#include "src/pq/codebook.h"
+#include "src/tensor/ops.h"
+
+namespace pqcache {
+namespace {
+
+using simd::KernelTable;
+using simd::KernelsFor;
+using simd::SimdLevel;
+
+// Shapes exercising full vectors, remainder lanes, and sub-vector tails.
+const size_t kSizes[] = {1, 2, 3, 5, 7, 8, 9, 15, 16, 17,
+                         31, 32, 33, 63, 64, 100, 127, 128, 129, 1000};
+
+std::vector<float> RandomVec(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) x = rng.Gaussian();
+  return v;
+}
+
+void ExpectNearRel(float a, float b, float rtol) {
+  const float scale = std::max({1.0f, std::fabs(a), std::fabs(b)});
+  EXPECT_LE(std::fabs(a - b), rtol * scale) << a << " vs " << b;
+}
+
+// ---------------------------------------------------------------------------
+// Reference implementations: the original scalar loops from the pre-SIMD
+// src/tensor/ops.cc, kept verbatim as the ground truth for bit-identity.
+// ---------------------------------------------------------------------------
+
+float RefDot(const float* a, const float* b, size_t n) {
+  float acc = 0.0f;
+  size_t i = 0;
+  float acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < n; ++i) acc += a[i] * b[i];
+  return acc + acc0 + acc1 + acc2 + acc3;
+}
+
+float RefL2DistanceSquared(const float* a, const float* b, size_t n) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    const float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+void RefMatMul(const float* a, const float* b, float* c, size_t m, size_t k,
+               size_t n) {
+  for (size_t i = 0; i < m * n; ++i) c[i] = 0.0f;
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      const float* brow = b + kk * n;
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void RefGatherReduce(const float* table, size_t kc, const uint16_t* codes,
+                     size_t n, size_t m, float* scores) {
+  for (size_t i = 0; i < n; ++i) {
+    float acc = 0.0f;
+    for (size_t p = 0; p < m; ++p) acc += table[p * kc + codes[i * m + p]];
+    scores[i] = acc;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar tier == reference, bit for bit.
+// ---------------------------------------------------------------------------
+
+TEST(SimdKernelsTest, ScalarDotBitIdenticalToReference) {
+  const KernelTable& scalar = KernelsFor(SimdLevel::kScalar);
+  for (size_t n : kSizes) {
+    const auto a = RandomVec(n, 1000 + n);
+    const auto b = RandomVec(n, 2000 + n);
+    EXPECT_EQ(scalar.dot(a.data(), b.data(), n), RefDot(a.data(), b.data(), n))
+        << "n=" << n;
+  }
+}
+
+TEST(SimdKernelsTest, ScalarL2BitIdenticalToReference) {
+  const KernelTable& scalar = KernelsFor(SimdLevel::kScalar);
+  for (size_t n : kSizes) {
+    const auto a = RandomVec(n, 3000 + n);
+    const auto b = RandomVec(n, 4000 + n);
+    EXPECT_EQ(scalar.l2_distance_squared(a.data(), b.data(), n),
+              RefL2DistanceSquared(a.data(), b.data(), n))
+        << "n=" << n;
+  }
+}
+
+TEST(SimdKernelsTest, ScalarMatVecBitIdenticalToReference) {
+  const KernelTable& scalar = KernelsFor(SimdLevel::kScalar);
+  for (size_t k : {3u, 8u, 17u, 64u}) {
+    for (size_t m : {1u, 5u, 32u}) {
+      const auto a = RandomVec(m * k, 5000 + m * k);
+      const auto x = RandomVec(k, 6000 + k);
+      std::vector<float> y(m), ref(m);
+      scalar.matvec(a.data(), x.data(), y.data(), m, k);
+      for (size_t r = 0; r < m; ++r) {
+        ref[r] = RefDot(a.data() + r * k, x.data(), k);
+      }
+      EXPECT_EQ(y, ref) << "m=" << m << " k=" << k;
+    }
+  }
+}
+
+TEST(SimdKernelsTest, ScalarMatMulBitIdenticalToReference) {
+  // The `av == 0` skip was removed from the hot loop; with finite inputs the
+  // result is still bit-identical to the original (0 * x + acc == acc).
+  const KernelTable& scalar = KernelsFor(SimdLevel::kScalar);
+  const size_t m = 7, k = 13, n = 9;
+  auto a = RandomVec(m * k, 42);
+  a[3] = 0.0f;  // Exercise the formerly-skipped case.
+  const auto b = RandomVec(k * n, 43);
+  std::vector<float> c(m * n), ref(m * n);
+  scalar.matmul(a.data(), b.data(), c.data(), m, k, n);
+  RefMatMul(a.data(), b.data(), ref.data(), m, k, n);
+  EXPECT_EQ(c, ref);
+}
+
+TEST(SimdKernelsTest, ScalarGatherReduceMatchesReference) {
+  const KernelTable& scalar = KernelsFor(SimdLevel::kScalar);
+  Rng rng(7);
+  for (size_t m : {1u, 2u, 3u, 4u, 8u}) {
+    for (size_t kc : {16u, 64u, 256u}) {
+      for (size_t n : {0u, 1u, 7u, 8u, 9u, 100u}) {
+        const auto table = RandomVec(m * kc, 8000 + m * kc);
+        std::vector<uint16_t> codes(n * m);
+        for (auto& c : codes) {
+          c = static_cast<uint16_t>(rng.UniformInt(kc));
+        }
+        std::vector<float> scores(n), ref(n);
+        scalar.gather_reduce_scores(table.data(), kc, codes.data(), n, m,
+                                    scores.data());
+        RefGatherReduce(table.data(), kc, codes.data(), n, m, ref.data());
+        EXPECT_EQ(scores, ref) << "m=" << m << " kc=" << kc << " n=" << n;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 tier == scalar tier within 1e-4 relative tolerance.
+// ---------------------------------------------------------------------------
+
+TEST(SimdKernelsTest, Avx2DotMatchesScalar) {
+  if (!simd::Avx2Available()) GTEST_SKIP() << "no AVX2 on this CPU";
+  const KernelTable& scalar = KernelsFor(SimdLevel::kScalar);
+  const KernelTable& avx2 = KernelsFor(SimdLevel::kAvx2);
+  ASSERT_EQ(avx2.level, SimdLevel::kAvx2);
+  for (size_t n : kSizes) {
+    const auto a = RandomVec(n, 100 + n);
+    const auto b = RandomVec(n, 200 + n);
+    ExpectNearRel(avx2.dot(a.data(), b.data(), n),
+                  scalar.dot(a.data(), b.data(), n), 1e-4f);
+  }
+}
+
+TEST(SimdKernelsTest, Avx2L2MatchesScalar) {
+  if (!simd::Avx2Available()) GTEST_SKIP() << "no AVX2 on this CPU";
+  const KernelTable& scalar = KernelsFor(SimdLevel::kScalar);
+  const KernelTable& avx2 = KernelsFor(SimdLevel::kAvx2);
+  for (size_t n : kSizes) {
+    const auto a = RandomVec(n, 300 + n);
+    const auto b = RandomVec(n, 400 + n);
+    ExpectNearRel(avx2.l2_distance_squared(a.data(), b.data(), n),
+                  scalar.l2_distance_squared(a.data(), b.data(), n), 1e-4f);
+  }
+}
+
+TEST(SimdKernelsTest, Avx2MatVecMatchesScalar) {
+  if (!simd::Avx2Available()) GTEST_SKIP() << "no AVX2 on this CPU";
+  const KernelTable& scalar = KernelsFor(SimdLevel::kScalar);
+  const KernelTable& avx2 = KernelsFor(SimdLevel::kAvx2);
+  for (size_t k : {1u, 7u, 8u, 16u, 17u, 33u, 128u}) {
+    for (size_t m : {1u, 2u, 3u, 4u, 5u, 9u, 64u, 256u}) {
+      const auto a = RandomVec(m * k, 500 + m * 131 + k);
+      const auto x = RandomVec(k, 600 + k);
+      std::vector<float> ys(m), yv(m);
+      scalar.matvec(a.data(), x.data(), ys.data(), m, k);
+      avx2.matvec(a.data(), x.data(), yv.data(), m, k);
+      for (size_t r = 0; r < m; ++r) ExpectNearRel(yv[r], ys[r], 1e-4f);
+    }
+  }
+}
+
+TEST(SimdKernelsTest, Avx2MatMulMatchesScalar) {
+  if (!simd::Avx2Available()) GTEST_SKIP() << "no AVX2 on this CPU";
+  const KernelTable& scalar = KernelsFor(SimdLevel::kScalar);
+  const KernelTable& avx2 = KernelsFor(SimdLevel::kAvx2);
+  for (size_t n : {1u, 7u, 8u, 9u, 24u, 33u}) {
+    const size_t m = 6, k = 11;
+    const auto a = RandomVec(m * k, 700 + n);
+    const auto b = RandomVec(k * n, 800 + n);
+    std::vector<float> cs(m * n), cv(m * n);
+    scalar.matmul(a.data(), b.data(), cs.data(), m, k, n);
+    avx2.matmul(a.data(), b.data(), cv.data(), m, k, n);
+    for (size_t i = 0; i < m * n; ++i) ExpectNearRel(cv[i], cs[i], 1e-4f);
+  }
+}
+
+TEST(SimdKernelsTest, Avx2VecMatAccumMatchesScalar) {
+  if (!simd::Avx2Available()) GTEST_SKIP() << "no AVX2 on this CPU";
+  const KernelTable& scalar = KernelsFor(SimdLevel::kScalar);
+  const KernelTable& avx2 = KernelsFor(SimdLevel::kAvx2);
+  for (size_t k : {1u, 2u, 3u, 8u, 13u, 64u}) {
+    for (size_t n : {1u, 7u, 8u, 9u, 31u, 64u, 100u}) {
+      const auto x = RandomVec(k, 900 + k);
+      const auto b = RandomVec(k * n, 950 + k * n);
+      auto ys = RandomVec(n, 990 + n);
+      auto yv = ys;
+      scalar.vecmat_accum(x.data(), b.data(), ys.data(), k, n);
+      avx2.vecmat_accum(x.data(), b.data(), yv.data(), k, n);
+      for (size_t i = 0; i < n; ++i) ExpectNearRel(yv[i], ys[i], 1e-4f);
+    }
+  }
+}
+
+TEST(SimdKernelsTest, Avx2AxpyMatchesScalar) {
+  if (!simd::Avx2Available()) GTEST_SKIP() << "no AVX2 on this CPU";
+  const KernelTable& scalar = KernelsFor(SimdLevel::kScalar);
+  const KernelTable& avx2 = KernelsFor(SimdLevel::kAvx2);
+  for (size_t n : kSizes) {
+    const auto x = RandomVec(n, 1100 + n);
+    auto ys = RandomVec(n, 1200 + n);
+    auto yv = ys;
+    scalar.axpy(0.37f, x.data(), ys.data(), n);
+    avx2.axpy(0.37f, x.data(), yv.data(), n);
+    for (size_t i = 0; i < n; ++i) ExpectNearRel(yv[i], ys[i], 1e-4f);
+  }
+}
+
+TEST(SimdKernelsTest, Avx2GatherReduceMatchesScalar) {
+  if (!simd::Avx2Available()) GTEST_SKIP() << "no AVX2 on this CPU";
+  const KernelTable& scalar = KernelsFor(SimdLevel::kScalar);
+  const KernelTable& avx2 = KernelsFor(SimdLevel::kAvx2);
+  Rng rng(11);
+  for (size_t m : {1u, 2u, 3u, 4u, 8u, 16u}) {
+    for (size_t kc : {16u, 64u, 256u}) {
+      for (size_t n : {0u, 1u, 7u, 8u, 9u, 16u, 17u, 1000u}) {
+        const auto table = RandomVec(m * kc, 1300 + m * kc);
+        std::vector<uint16_t> codes(n * m);
+        for (auto& c : codes) {
+          c = static_cast<uint16_t>(rng.UniformInt(kc));
+        }
+        std::vector<float> ss(n), sv(n);
+        scalar.gather_reduce_scores(table.data(), kc, codes.data(), n, m,
+                                    ss.data());
+        avx2.gather_reduce_scores(table.data(), kc, codes.data(), n, m,
+                                  sv.data());
+        for (size_t i = 0; i < n; ++i) ExpectNearRel(sv[i], ss[i], 1e-4f);
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, Avx2RowNormsMatchScalar) {
+  if (!simd::Avx2Available()) GTEST_SKIP() << "no AVX2 on this CPU";
+  const KernelTable& scalar = KernelsFor(SimdLevel::kScalar);
+  const KernelTable& avx2 = KernelsFor(SimdLevel::kAvx2);
+  for (size_t dim : {1u, 7u, 8u, 9u, 32u, 100u}) {
+    const size_t rows = 13;
+    const auto a = RandomVec(rows * dim, 1400 + dim);
+    std::vector<float> ns(rows), nv(rows);
+    scalar.row_norms_squared(a.data(), rows, dim, ns.data());
+    avx2.row_norms_squared(a.data(), rows, dim, nv.data());
+    for (size_t r = 0; r < rows; ++r) ExpectNearRel(nv[r], ns[r], 1e-4f);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch behavior.
+// ---------------------------------------------------------------------------
+
+TEST(SimdDispatchTest, ForceScalarEnvSelectsScalar) {
+  char* prev = std::getenv("PQCACHE_FORCE_SCALAR");
+  const std::string saved = prev == nullptr ? "" : prev;
+
+  setenv("PQCACHE_FORCE_SCALAR", "1", 1);
+  simd::ResetDispatchForTesting();
+  EXPECT_EQ(simd::ActiveLevel(), SimdLevel::kScalar);
+  EXPECT_STREQ(simd::Kernels().name, "scalar");
+
+  // "0" and unset mean "no override".
+  setenv("PQCACHE_FORCE_SCALAR", "0", 1);
+  simd::ResetDispatchForTesting();
+  if (simd::Avx2Available()) {
+    EXPECT_EQ(simd::ActiveLevel(), SimdLevel::kAvx2);
+  } else {
+    EXPECT_EQ(simd::ActiveLevel(), SimdLevel::kScalar);
+  }
+
+  if (prev == nullptr) {
+    unsetenv("PQCACHE_FORCE_SCALAR");
+  } else {
+    setenv("PQCACHE_FORCE_SCALAR", saved.c_str(), 1);
+  }
+  simd::ResetDispatchForTesting();
+}
+
+TEST(SimdDispatchTest, KernelsForFallsBackWhenUnavailable) {
+  const KernelTable& t = KernelsFor(SimdLevel::kAvx2);
+  if (simd::Avx2Available()) {
+    EXPECT_EQ(t.level, SimdLevel::kAvx2);
+    EXPECT_STREQ(t.name, "avx2");
+  } else {
+    EXPECT_EQ(t.level, SimdLevel::kScalar);
+  }
+  EXPECT_EQ(KernelsFor(SimdLevel::kScalar).level, SimdLevel::kScalar);
+}
+
+// ---------------------------------------------------------------------------
+// Algorithmic rewrites on top of the kernels.
+// ---------------------------------------------------------------------------
+
+TEST(SimdPropertyTest, BatchedEncodeMatchesExhaustivePerVectorEncode) {
+  const size_t n = 257, d = 32;  // Odd n exercises remainder handling.
+  const size_t m = 4, sub = d / m;
+  Rng rng(21);
+  std::vector<float> data(n * d);
+  for (float& v : data) v = rng.Gaussian();
+  PQConfig config;
+  config.num_partitions = static_cast<int>(m);
+  config.bits = 5;
+  config.dim = d;
+  const size_t kc = static_cast<size_t>(config.num_centroids());
+  KMeansOptions kmeans;
+  kmeans.max_iterations = 4;
+  auto book = PQCodebook::Train(data, n, config, kmeans);
+  ASSERT_TRUE(book.ok());
+
+  // Ground truth is the exhaustive per-sub-vector NearestCentroid scan —
+  // deliberately NOT Encode(), which shares the batched implementation.
+  std::vector<uint16_t> batched(n * m);
+  book.value().EncodeBatch(data, n, batched);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t p = 0; p < m; ++p) {
+      std::span<const float> x{data.data() + i * d + p * sub, sub};
+      std::span<const float> cents =
+          book.value().PartitionCentroids(static_cast<int>(p));
+      const uint16_t got = batched[i * m + p];
+      const int32_t want = NearestCentroid(x, cents, kc, sub);
+      if (got == static_cast<uint16_t>(want)) continue;
+      // Disagreement is only acceptable on a floating-point near-tie
+      // between the norm-trick and exhaustive formulations.
+      const float d_got =
+          L2DistanceSquared(x, {cents.data() + size_t{got} * sub, sub});
+      const float d_want = L2DistanceSquared(
+          x, {cents.data() + static_cast<size_t>(want) * sub, sub});
+      ExpectNearRel(d_got, d_want, 1e-4f);
+    }
+  }
+
+  // And batched == per-vector for the public Encode entry point.
+  std::vector<uint16_t> single(m);
+  for (size_t i = 0; i < n; ++i) {
+    book.value().Encode({data.data() + i * d, d}, single);
+    for (size_t p = 0; p < m; ++p) {
+      EXPECT_EQ(batched[i * m + p], single[p]) << "i=" << i << " p=" << p;
+    }
+  }
+}
+
+TEST(SimdPropertyTest, NormTrickNearestCentroidMatchesExhaustive) {
+  const size_t k = 37, dim = 19, n_points = 200;
+  Rng rng(31);
+  std::vector<float> centroids(k * dim);
+  for (float& v : centroids) v = rng.Gaussian();
+  std::vector<float> norms(k);
+  simd::Kernels().row_norms_squared(centroids.data(), k, dim, norms.data());
+  std::vector<float> dots(k);
+
+  for (size_t i = 0; i < n_points; ++i) {
+    std::vector<float> p(dim);
+    for (float& v : p) v = rng.Gaussian();
+    const int32_t exhaustive = NearestCentroid(p, centroids, k, dim);
+    const int32_t trick =
+        NearestCentroidNormTrick(p, centroids, norms, k, dim, dots);
+    if (trick == exhaustive) continue;
+    // Disagreement is only acceptable on a floating-point near-tie.
+    const float d_ex = L2DistanceSquared(
+        p, {centroids.data() + size_t{static_cast<size_t>(exhaustive)} * dim,
+            dim});
+    const float d_tr = L2DistanceSquared(
+        p, {centroids.data() + size_t{static_cast<size_t>(trick)} * dim,
+            dim});
+    ExpectNearRel(d_tr, d_ex, 1e-4f);
+  }
+}
+
+TEST(SimdPropertyTest, OpsEntryPointsUseActiveKernels) {
+  // Smoke check: public ops wrappers agree with the active table exactly
+  // (they are thin shims over the same function pointers).
+  const auto a = RandomVec(37, 51);
+  const auto b = RandomVec(37, 52);
+  EXPECT_EQ(Dot(a, b), simd::Kernels().dot(a.data(), b.data(), 37));
+  EXPECT_EQ(L2DistanceSquared(a, b),
+            simd::Kernels().l2_distance_squared(a.data(), b.data(), 37));
+}
+
+}  // namespace
+}  // namespace pqcache
