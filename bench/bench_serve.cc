@@ -1,0 +1,262 @@
+// Concurrent serving benchmark: drives the src/serve subsystem with a
+// session mix derived from the LongBench-like workload suite and sweeps the
+// decode-slot count, reporting sessions/sec, aggregate tokens/sec, and
+// p50/p99 TPOT vs. concurrency. Admission runs against the paper's 24 GB
+// simulated GPU budget. The largest sweep also verifies the serving layer's
+// fidelity claim end to end: every session's tokens must be bit-identical to
+// the same request run through a lone engine (the binary fails otherwise).
+//
+//   build/bench_serve [output_json]   (default: BENCH_serve.json)
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/eval/report.h"
+#include "src/serve/session_manager.h"
+#include "src/workload/generator.h"
+
+namespace pqcache {
+namespace {
+
+constexpr size_t kSessionsPerSweep = 16;
+constexpr size_t kMaxNewTokens = 12;
+
+PQCacheEngineOptions ServeEngineOptions() {
+  PQCacheEngineOptions options;
+  options.model = ModelConfig::Tiny();
+  options.initial_tokens = 4;
+  options.local_window = 16;
+  options.pq_partitions = 2;
+  options.pq_bits = 5;
+  options.kmeans_iterations = 6;
+  options.token_ratio = 0.25;
+  options.cache.capacity_tokens = 128;
+  options.cache.block_tokens = 16;
+  // Paper hardware: 24 GB GPU, 500 GB host (HardwareConfig defaults).
+  return options;
+}
+
+// Maps one workload-layout position to a vocabulary token: background tokens
+// are keyed by their document, evidence-span and question positions get
+// distinct streams. Deterministic in (layout, position), so a request's
+// prompt is a pure function of its task spec.
+std::vector<int32_t> PromptFromLayout(const InstanceLayout& layout,
+                                      int vocab_size, uint64_t seed) {
+  std::vector<int32_t> prompt(layout.seq_len);
+  size_t doc = 0;
+  for (size_t pos = 0; pos < layout.seq_len; ++pos) {
+    while (doc + 1 < layout.doc_starts.size() &&
+           layout.doc_starts[doc + 1] <= pos) {
+      ++doc;
+    }
+    uint64_t role = doc * 131 + 17;
+    for (const InstanceLayout::Span& span : layout.spans) {
+      if (pos >= span.begin && pos < span.begin + span.len) {
+        role = 0x5EED + (pos - span.begin) * 7;
+      }
+    }
+    if (pos >= layout.question_begin &&
+        pos < layout.question_begin + layout.question_len) {
+      role = 0xA5C + (pos - layout.question_begin) * 3;
+    }
+    const uint64_t mixed = (role ^ seed) * 0x9E3779B97F4A7C15ull + pos * 31;
+    prompt[pos] = static_cast<int32_t>(mixed % vocab_size);
+  }
+  return prompt;
+}
+
+struct BenchRequest {
+  std::string tag;
+  std::vector<int32_t> prompt;
+};
+
+// One request per LongBench-like task (cycled to kSessionsPerSweep), with
+// prompt lengths varied across sessions so the mix is heterogeneous.
+std::vector<BenchRequest> MakeRequests(int vocab_size) {
+  const SuiteSpec suite = MakeLongBenchLikeSuite(/*seed=*/2025);
+  std::vector<BenchRequest> requests;
+  requests.reserve(kSessionsPerSweep);
+  for (size_t s = 0; s < kSessionsPerSweep; ++s) {
+    TaskSpec spec = suite.tasks[s % suite.tasks.size()];
+    spec.seq_len = 256 + 32 * (s % 4);  // 256..352-token prompts.
+    spec.seed += s;
+    WorkloadGenerator generator(spec);
+    const InstanceLayout layout = generator.MakeLayout(0);
+    BenchRequest request;
+    request.tag = spec.name;
+    request.prompt = PromptFromLayout(layout, vocab_size, spec.seed);
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+std::vector<int32_t> SingleSessionReference(const PQCacheEngineOptions& opts,
+                                            const std::vector<int32_t>& prompt) {
+  auto engine = PQCacheEngine::Create(opts).value();
+  std::vector<int32_t> out;
+  out.push_back(engine->Prefill(prompt).value());
+  auto rest = engine->Generate(static_cast<int>(kMaxNewTokens - 1));
+  out.insert(out.end(), rest.value().begin(), rest.value().end());
+  return out;
+}
+
+struct SweepResult {
+  size_t max_sessions = 0;
+  ServerStats stats;
+};
+
+void WriteJson(const std::string& path, size_t gpu_budget,
+               const std::vector<SweepResult>& sweeps, bool verified) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"serve\",\n");
+  std::fprintf(f, "  \"gpu_budget_bytes\": %zu,\n", gpu_budget);
+  std::fprintf(f, "  \"sessions_per_sweep\": %zu,\n", kSessionsPerSweep);
+  std::fprintf(f, "  \"max_new_tokens\": %zu,\n", kMaxNewTokens);
+  std::fprintf(f, "  \"tokens_bit_identical_to_single_session\": %s,\n",
+               verified ? "true" : "false");
+  std::fprintf(f, "  \"sweeps\": [\n");
+  for (size_t i = 0; i < sweeps.size(); ++i) {
+    const ServerStats& s = sweeps[i].stats;
+    std::fprintf(f,
+                 "    {\"max_sessions\": %zu, \"completed\": %llu, "
+                 "\"peak_active_sessions\": %zu, \"peak_gpu_bytes\": %zu, "
+                 "\"wall_seconds\": %.6f, \"sessions_per_sec\": %.3f, "
+                 "\"tokens_per_sec\": %.1f, \"mean_ttft_ms\": %.3f, "
+                 "\"mean_queue_wait_ms\": %.3f, \"tpot_p50_ms\": %.3f, "
+                 "\"tpot_p99_ms\": %.3f, \"cache_hit_rate\": %.4f, "
+                 "\"rejected\": %llu}%s\n",
+                 sweeps[i].max_sessions,
+                 static_cast<unsigned long long>(s.completed),
+                 s.peak_active_sessions, s.peak_gpu_bytes, s.wall_seconds,
+                 s.SessionsPerSecond(), s.TokensPerSecond(),
+                 s.MeanTtftSeconds() * 1e3, s.MeanQueueWaitSeconds() * 1e3,
+                 s.TpotPercentileSeconds(50) * 1e3,
+                 s.TpotPercentileSeconds(99) * 1e3, s.AggregateCacheHitRate(),
+                 static_cast<unsigned long long>(s.rejected_capacity +
+                                                 s.rejected_queue_full),
+                 i + 1 < sweeps.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nWrote %s\n", path.c_str());
+}
+
+int Run(const std::string& out_path) {
+  bench::PrintHeader(
+      "Concurrent serving: sessions/sec, tokens/sec, TPOT vs. concurrency\n"
+      "(16-session LongBench-like mix, 24 GB simulated GPU budget)");
+  ThreadPool pool;
+  const PQCacheEngineOptions engine_options = ServeEngineOptions();
+  const std::vector<BenchRequest> requests =
+      MakeRequests(engine_options.model.vocab_size);
+
+  const std::vector<size_t> concurrency = {1, 2, 4, 8};
+  std::vector<SweepResult> sweeps;
+  bool verified = true;
+
+  TablePrinter table({"slots", "sess/s", "tok/s", "ttft_ms", "wait_ms",
+                      "p50_tpot_ms", "p99_tpot_ms", "peak_sess", "peak_gpu_MB",
+                      "hit_rate"});
+  for (size_t slots : concurrency) {
+    ServeOptions serve;
+    serve.engine = engine_options;
+    serve.max_sessions = slots;
+    serve.max_queue = kSessionsPerSweep;
+    serve.pool = &pool;
+    auto manager = SessionManager::Create(serve).value();
+
+    std::vector<std::vector<int32_t>> streamed(requests.size());
+    for (size_t s = 0; s < requests.size(); ++s) {
+      ServeRequest request;
+      request.tag = requests[s].tag;
+      request.prompt = requests[s].prompt;
+      request.max_new_tokens = kMaxNewTokens;
+      request.on_token = [&streamed, s](int32_t token, size_t) {
+        streamed[s].push_back(token);
+      };
+      auto id = manager->Submit(std::move(request));
+      if (!id.ok()) {
+        std::fprintf(stderr, "submit failed: %s\n",
+                     id.status().ToString().c_str());
+        return 1;
+      }
+    }
+    Status run = manager->RunUntilDrained();
+    if (!run.ok()) {
+      std::fprintf(stderr, "scheduler failed: %s\n", run.ToString().c_str());
+      return 1;
+    }
+    const ServerStats& stats = manager->stats();
+
+    // Fidelity gate at the widest sweep: interleaved tokens must equal the
+    // lone-engine reference for every session.
+    if (slots == concurrency.back()) {
+      for (size_t s = 0; s < requests.size(); ++s) {
+        if (streamed[s] !=
+            SingleSessionReference(engine_options, requests[s].prompt)) {
+          std::fprintf(stderr,
+                       "FIDELITY FAILURE: session %zu (%s) diverged from its "
+                       "single-session run\n",
+                       s, requests[s].tag.c_str());
+          verified = false;
+        }
+      }
+      if (stats.peak_active_sessions < slots) {
+        std::fprintf(stderr,
+                     "CONCURRENCY FAILURE: sustained only %zu of %zu slots\n",
+                     stats.peak_active_sessions, slots);
+        verified = false;
+      }
+    }
+
+    char sess_s[32], tok_s[32], ttft[32], wait[32], p50[32], p99[32],
+        peak_mb[32], hit[32];
+    std::snprintf(sess_s, sizeof(sess_s), "%.2f", stats.SessionsPerSecond());
+    std::snprintf(tok_s, sizeof(tok_s), "%.0f", stats.TokensPerSecond());
+    std::snprintf(ttft, sizeof(ttft), "%.2f", stats.MeanTtftSeconds() * 1e3);
+    std::snprintf(wait, sizeof(wait), "%.2f",
+                  stats.MeanQueueWaitSeconds() * 1e3);
+    std::snprintf(p50, sizeof(p50), "%.3f",
+                  stats.TpotPercentileSeconds(50) * 1e3);
+    std::snprintf(p99, sizeof(p99), "%.3f",
+                  stats.TpotPercentileSeconds(99) * 1e3);
+    std::snprintf(peak_mb, sizeof(peak_mb), "%.2f",
+                  static_cast<double>(stats.peak_gpu_bytes) / (1 << 20));
+    std::snprintf(hit, sizeof(hit), "%.3f", stats.AggregateCacheHitRate());
+    table.AddRow({std::to_string(slots), sess_s, tok_s, ttft, wait, p50, p99,
+                  std::to_string(stats.peak_active_sessions), peak_mb, hit});
+    sweeps.push_back({slots, stats});
+  }
+  table.Print(std::cout);
+  const ServerStats& first = sweeps.front().stats;
+  const ServerStats& last = sweeps.back().stats;
+  std::printf(
+      "\n%zu -> %zu decode slots: %.0f -> %.0f tokens/sec aggregate, mean\n"
+      "queue wait %.1f -> %.1f ms, p99 TPOT %.2f -> %.2f ms. Tokens at\n"
+      "%zu-way concurrency verified bit-identical to single-session runs:\n"
+      "%s\n",
+      sweeps.front().max_sessions, sweeps.back().max_sessions,
+      first.TokensPerSecond(), last.TokensPerSecond(),
+      first.MeanQueueWaitSeconds() * 1e3, last.MeanQueueWaitSeconds() * 1e3,
+      first.TpotPercentileSeconds(99) * 1e3,
+      last.TpotPercentileSeconds(99) * 1e3, sweeps.back().max_sessions,
+      verified ? "yes" : "NO");
+
+  WriteJson(out_path,
+            engine_options.hardware.gpu_memory_bytes, sweeps, verified);
+  return verified ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace pqcache
+
+int main(int argc, char** argv) {
+  const std::string out = argc > 1 ? argv[1] : "BENCH_serve.json";
+  return pqcache::Run(out);
+}

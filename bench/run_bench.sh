@@ -1,12 +1,19 @@
 #!/usr/bin/env bash
-# Runs the micro-kernel benchmark suite and emits BENCH_micro.json, so the
-# kernel-level perf trajectory is tracked from PR to PR.
+# Runs the tracked benchmark suites and emits their JSON reports, so the
+# perf trajectory is tracked from PR to PR:
+#   - bench_micro_kernels -> BENCH_micro.json   (kernel-level, google-benchmark)
+#   - bench_serve         -> BENCH_serve.json   (serving-level: sessions/sec,
+#                            tokens/sec, p50/p99 TPOT vs. concurrency)
 #
-# Usage: bench/run_bench.sh [build_dir] [output_json]
-#   build_dir    CMake build directory holding bench_micro_kernels
-#                (default: build)
-#   output_json  Where to write the google-benchmark JSON report
-#                (default: BENCH_micro.json in the repo root)
+# Usage: bench/run_bench.sh [build_dir] [micro_json] [serve_json] [args...]
+#   build_dir   CMake build directory holding the bench binaries
+#               (default: build)
+#   micro_json  google-benchmark JSON report path (default: BENCH_micro.json)
+#   serve_json  serving benchmark JSON report path (default: BENCH_serve.json)
+#   args...     passed through to bench_micro_kernels; flags (-*) in the
+#               serve_json position are treated as passthrough args, so the
+#               pre-serve interface `run_bench.sh build out.json --flag` still
+#               works
 #
 # The scalar/avx2 benchmark pairs (BM_LutBuild, BM_GatherReduce) measure the
 # same kernel through both dispatch tiers; the printed summary reports the
@@ -16,7 +23,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR=${1:-build}
 OUT=${2:-BENCH_micro.json}
+SERVE_OUT=BENCH_serve.json
+EXTRA_START=3
+if [[ $# -ge 3 && ${3} != -* ]]; then
+  SERVE_OUT=$3
+  EXTRA_START=4
+fi
 BIN="$BUILD_DIR/bench_micro_kernels"
+SERVE_BIN="$BUILD_DIR/bench_serve"
 
 if [[ ! -x "$BIN" ]]; then
   echo "error: $BIN not found; build it first:" >&2
@@ -25,7 +39,7 @@ if [[ ! -x "$BIN" ]]; then
 fi
 
 "$BIN" --benchmark_out="$OUT" --benchmark_out_format=json \
-       --benchmark_repetitions=1 "${@:3}"
+       --benchmark_repetitions=1 "${@:EXTRA_START}"
 
 echo
 echo "Wrote $OUT"
@@ -46,3 +60,13 @@ for base in ("BM_LutBuild", "BM_GatherReduce"):
         print(f"  {base:16s} {scalar / avx2:5.2f}x")
 EOF
 fi
+
+if [[ ! -x "$SERVE_BIN" ]]; then
+  echo "warning: $SERVE_BIN not found; skipping the serving benchmark:" >&2
+  echo "  cmake --build $BUILD_DIR --target bench_serve -j" >&2
+  exit 0
+fi
+
+# bench_serve also self-verifies that concurrent sessions produce tokens
+# bit-identical to single-session runs; a fidelity failure exits non-zero.
+"$SERVE_BIN" "$SERVE_OUT"

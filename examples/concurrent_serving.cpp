@@ -1,0 +1,84 @@
+// Concurrent serving scenario: several generation requests share one
+// simulated GPU through the src/serve subsystem. Admission control charges
+// each session's estimated footprint (pinned KV + PQ codes/codebooks + block
+// cache) against the shared pool; the continuous-batching scheduler
+// interleaves prefills and decodes round-robin across decode slots, and each
+// session streams its tokens through a callback as they are produced.
+//
+//   build/example_concurrent_serving
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/serve/session_manager.h"
+
+int main() {
+  using namespace pqcache;
+
+  ServeOptions serve;
+  serve.engine.model = ModelConfig::Tiny();
+  serve.engine.initial_tokens = 4;
+  serve.engine.local_window = 16;
+  serve.engine.pq_partitions = 2;
+  serve.engine.pq_bits = 5;
+  serve.engine.token_ratio = 0.25;
+  serve.engine.cache.capacity_tokens = 128;
+  serve.engine.cache.block_tokens = 16;
+  serve.max_sessions = 2;  // Two decode slots -> the rest queue.
+  serve.max_queue = 8;
+  ThreadPool pool(4);
+  serve.pool = &pool;
+
+  auto manager = SessionManager::Create(serve).value();
+  std::printf("GPU pool: %.1f GB | decode slots: %zu\n\n",
+              static_cast<double>(
+                  manager->hierarchy().gpu().capacity_bytes()) /
+                  (1ull << 30),
+              serve.max_sessions);
+
+  const size_t kUsers = 4;
+  for (size_t u = 0; u < kUsers; ++u) {
+    ServeRequest request;
+    request.tag = "user-" + std::to_string(u);
+    request.prompt.resize(192 + 32 * u);
+    for (size_t i = 0; i < request.prompt.size(); ++i) {
+      request.prompt[i] = static_cast<int32_t>(
+          (i * 37 + u * 91 + 5) %
+          static_cast<size_t>(serve.engine.model.vocab_size));
+    }
+    request.max_new_tokens = 8;
+    request.on_token = [u](int32_t token, size_t index) {
+      std::printf("  user-%zu token[%zu] = %d\n", u, index, token);
+    };
+    auto id = manager->Submit(std::move(request));
+    std::printf("submit user-%zu (%zu prompt tokens): %s\n", u,
+                192 + 32 * u,
+                id.ok() ? ("session " + std::to_string(id.value())).c_str()
+                        : id.status().ToString().c_str());
+  }
+
+  std::printf("\nstreaming (tokens interleave across admitted sessions):\n");
+  if (!manager->RunUntilDrained().ok()) return 1;
+
+  const ServerStats& stats = manager->stats();
+  std::printf("\n%-10s %-8s %-8s %-10s %-10s %-10s\n", "session", "prompt",
+              "tokens", "wait_ms", "ttft_ms", "tpot_ms");
+  for (const SessionRecord& s : stats.sessions) {
+    std::printf("%-10s %-8zu %-8zu %-10.2f %-10.2f %-10.3f\n", s.tag.c_str(),
+                s.prompt_tokens, s.generated_tokens,
+                s.queue_wait_seconds * 1e3, s.ttft_seconds * 1e3,
+                s.MeanTpotSeconds() * 1e3);
+  }
+  std::printf(
+      "\n%llu/%llu sessions completed, %.0f tokens/sec aggregate, peak %zu\n"
+      "concurrent sessions, peak GPU %.2f MB of %.1f GB; queued users waited\n"
+      "for a slot (wait_ms) while earlier sessions decoded — continuous\n"
+      "batching over one shared memory budget.\n",
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.submitted),
+      stats.TokensPerSecond(), stats.peak_active_sessions,
+      static_cast<double>(stats.peak_gpu_bytes) / (1 << 20),
+      static_cast<double>(manager->hierarchy().gpu().capacity_bytes()) /
+          (1ull << 30));
+  return 0;
+}

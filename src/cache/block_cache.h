@@ -43,6 +43,15 @@ struct CacheStats {
 };
 
 /// A set-associative-free (fully associative) block cache keyed by block id.
+///
+/// Threading contract (audited for the concurrent serving layer): a
+/// BlockCache holds no global or shared mutable state — every member,
+/// including the reused aggregation scratch, is per-instance — so distinct
+/// instances may be used from distinct threads freely. A single instance is
+/// NOT internally synchronized: it is owned by one (engine, layer, kv-head)
+/// and mutated only from that engine's step, and the serving scheduler runs
+/// at most one step per engine at a time, so no lock is needed on the decode
+/// hot path. Concurrent calls into the *same* instance are a caller bug.
 class BlockCache {
  public:
   explicit BlockCache(const BlockCacheOptions& options);

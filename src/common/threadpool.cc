@@ -65,27 +65,89 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+namespace {
+
+// Heap-owned state of one ParallelFor call. Shared (via shared_ptr) with the
+// helper tasks so a helper that the pool only gets around to running after
+// the call has returned finds valid state — and an exhausted range — instead
+// of a dangling stack frame.
+struct ParallelForState {
+  std::atomic<size_t> next{0};
+  size_t end = 0;
+  size_t chunk = 1;
+  std::atomic<bool> abort{false};
+  std::function<void(size_t)> fn;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t active_helpers = 0;  // Helpers currently inside Drain.
+  std::exception_ptr error;   // First exception thrown by fn.
+
+  // Claims and runs chunks until the range is exhausted or aborted. Never
+  // throws: the first exception is parked in `error` and aborts the range.
+  void Drain() noexcept {
+    for (;;) {
+      if (abort.load(std::memory_order_relaxed)) return;
+      const size_t lo = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (lo >= end) return;
+      const size_t hi = std::min(end, lo + chunk);
+      try {
+        for (size_t i = lo; i < hi; ++i) fn(i);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          if (!error) error = std::current_exception();
+        }
+        abort.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
 void ParallelFor(ThreadPool& pool, size_t begin, size_t end,
                  const std::function<void(size_t)>& fn) {
   if (end <= begin) return;
   const size_t n = end - begin;
-  if (n == 1 || pool.num_threads() == 1) {
-    for (size_t i = begin; i < end; ++i) fn(i);
+  if (n == 1) {
+    fn(begin);
     return;
   }
-  const size_t num_shards = std::min(n, pool.num_threads() * 4);
-  const size_t shard_size = (n + num_shards - 1) / num_shards;
-  std::vector<std::future<void>> futures;
-  futures.reserve(num_shards);
-  for (size_t shard = 0; shard < num_shards; ++shard) {
-    const size_t lo = begin + shard * shard_size;
-    const size_t hi = std::min(end, lo + shard_size);
-    if (lo >= hi) break;
-    futures.push_back(pool.Submit([lo, hi, &fn] {
-      for (size_t i = lo; i < hi; ++i) fn(i);
-    }));
+  // Caller and helper tasks race to claim fixed-size chunks off a shared
+  // counter, so the caller participating guarantees completion even when no
+  // worker is ever free (nested calls from pool workers are safe). The
+  // caller must NOT wait on the helpers' futures: under nesting, a helper
+  // can sit in the queue behind tasks whose owners are themselves waiting —
+  // a cycle with every worker blocked (the deadlock this function had).
+  // Instead the caller waits only for helpers *actively* draining; a helper
+  // scheduled later finds the shared state exhausted and returns without
+  // touching fn, so fn is never invoked after ParallelFor returns.
+  auto state = std::make_shared<ParallelForState>();
+  state->next.store(begin, std::memory_order_relaxed);
+  state->end = end;
+  state->chunk = std::max<size_t>(1, n / (8 * pool.num_threads()));
+  state->fn = fn;
+  const size_t total_chunks = (n + state->chunk - 1) / state->chunk;
+  const size_t n_helpers = std::min(total_chunks - 1, pool.num_threads());
+  for (size_t i = 0; i < n_helpers; ++i) {
+    pool.Submit([state] {
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        ++state->active_helpers;
+      }
+      state->Drain();
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (--state->active_helpers == 0) state->cv.notify_all();
+      }
+    });
   }
-  for (auto& future : futures) future.get();
+  state->Drain();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&state] { return state->active_helpers == 0; });
+  if (state->error) std::rethrow_exception(state->error);
 }
 
 }  // namespace pqcache

@@ -27,7 +27,12 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
-  /// Enqueues a task; the returned future resolves when it completes.
+  /// Enqueues a task; the returned future resolves when it completes. An
+  /// exception thrown by the task is captured and rethrown by future::get().
+  /// Do not block on the future from inside a worker thread of this pool —
+  /// with every worker blocked nothing can run the task. Use ParallelFor for
+  /// nested fan-out: its calling thread participates in the work, so it is
+  /// safe (and deadlock-free) at any nesting depth.
   std::future<void> Submit(std::function<void()> task);
 
   /// Blocks until every task submitted so far has finished.
@@ -50,6 +55,18 @@ class ThreadPool {
 
 /// Runs fn(i) for i in [begin, end) across the pool, blocking until done.
 /// Falls back to serial execution for tiny ranges.
+///
+/// The calling thread claims work chunks alongside the pool's workers, and it
+/// never blocks on a queued pool task, so the range always completes even
+/// when every worker is busy — in particular, calling ParallelFor from inside
+/// a pool task (nested parallelism, e.g. per-engine K-Means jobs spawned
+/// from a serving step that itself runs on the pool) cannot deadlock: in the
+/// worst case the caller drains the whole range itself, and helper tasks the
+/// pool schedules later find the range exhausted and return as no-ops
+/// against heap-owned state. The first exception thrown by fn is captured,
+/// remaining unclaimed work is abandoned, and the exception is rethrown here
+/// once no thread is still inside fn — fn is never invoked after ParallelFor
+/// returns, so it may safely reference stack state of the caller.
 void ParallelFor(ThreadPool& pool, size_t begin, size_t end,
                  const std::function<void(size_t)>& fn);
 

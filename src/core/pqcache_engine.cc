@@ -190,7 +190,12 @@ Result<std::unique_ptr<PQCacheEngine>> PQCacheEngine::Create(
   kv_config.store.local_window = options.local_window;
   engine->kv_cache_ = std::make_unique<LayeredKVCache>(kv_config);
 
-  engine->hierarchy_ = std::make_unique<MemoryHierarchy>(options.hardware);
+  if (options.shared_hierarchy != nullptr) {
+    engine->mem_ = options.shared_hierarchy;
+  } else {
+    engine->hierarchy_ = std::make_unique<MemoryHierarchy>(options.hardware);
+    engine->mem_ = engine->hierarchy_.get();
+  }
 
   const size_t n_stores = static_cast<size_t>(options.model.num_layers) *
                           options.model.num_kv_heads;
@@ -206,6 +211,66 @@ Result<std::unique_ptr<PQCacheEngine>> PQCacheEngine::Create(
 const PQIndex& PQCacheEngine::pq_index(int layer, int kv_head) const {
   return indexes_[static_cast<size_t>(layer) * options_.model.num_kv_heads +
                   static_cast<size_t>(kv_head)];
+}
+
+namespace {
+// FP16 bytes of one (layer, kv-head) PQ codebook resident on GPU: 2^b
+// centroid rows spanning the full head_dim across the m partitions.
+size_t CodebookGpuBytes(int bits, int head_dim) {
+  return (size_t{1} << bits) * static_cast<size_t>(head_dim) * sizeof(Half);
+}
+}  // namespace
+
+size_t PQCacheEngine::GpuFootprintBytes() const {
+  size_t total = kv_cache_->GpuBytes();
+  for (const auto& index : indexes_) {
+    total += static_cast<size_t>(std::ceil(index.LogicalCodeBytes()));
+    if (index.trained()) {
+      total += CodebookGpuBytes(index.codebook().config().bits,
+                                options_.model.head_dim);
+    }
+  }
+  const size_t bytes_per_token =
+      2 * static_cast<size_t>(options_.model.head_dim) * sizeof(Half);
+  total += caches_.size() * options_.cache.capacity_tokens * bytes_per_token;
+  return total;
+}
+
+size_t PQCacheEngine::EstimateGpuFootprintBytes(
+    const PQCacheEngineOptions& options, size_t prompt_tokens,
+    size_t max_new_tokens) {
+  const size_t stores = static_cast<size_t>(options.model.num_layers) *
+                        options.model.num_kv_heads;
+  const size_t bytes_per_token =
+      2 * static_cast<size_t>(options.model.head_dim) * sizeof(Half);
+  const size_t final_seq = prompt_tokens + max_new_tokens;
+  const size_t reserved = options.initial_tokens + options.local_window;
+  const size_t pinned_tokens = std::min(final_seq, reserved);
+  const size_t middle_max = final_seq > reserved ? final_seq - reserved : 0;
+  PQConfig pq;
+  pq.num_partitions = options.pq_partitions;
+  pq.bits = options.pq_bits;
+  pq.dim = static_cast<size_t>(options.model.head_dim);
+  const size_t code_bytes = static_cast<size_t>(
+      std::ceil(static_cast<double>(middle_max) * pq.code_bytes_per_vector()));
+  const size_t per_store =
+      pinned_tokens * bytes_per_token + code_bytes +
+      CodebookGpuBytes(options.pq_bits, options.model.head_dim) +
+      options.cache.capacity_tokens * bytes_per_token;
+  return stores * per_store;
+}
+
+size_t PQCacheEngine::EstimateCpuFootprintBytes(
+    const PQCacheEngineOptions& options, size_t prompt_tokens,
+    size_t max_new_tokens) {
+  const size_t stores = static_cast<size_t>(options.model.num_layers) *
+                        options.model.num_kv_heads;
+  const size_t bytes_per_token =
+      2 * static_cast<size_t>(options.model.head_dim) * sizeof(Half);
+  const size_t final_seq = prompt_tokens + max_new_tokens;
+  const size_t reserved = options.initial_tokens + options.local_window;
+  const size_t middle_max = final_seq > reserved ? final_seq - reserved : 0;
+  return stores * middle_max * bytes_per_token;
 }
 
 Status PQCacheEngine::BuildPQIndexes(size_t seq_len) {
@@ -269,10 +334,13 @@ Result<int32_t> PQCacheEngine::Prefill(std::span<const int32_t> tokens) {
   auto logits = model_->Prefill(tokens, kv_cache_.get());
   if (!logits.ok()) return logits.status();
 
-  // Offload accounting: all middle KV moves to CPU (Step 1).
+  // Offload accounting: all middle KV moves to CPU (Step 1). Against a
+  // shared hierarchy the admission layer has already reserved this (and
+  // more) via EstimateCpuFootprintBytes, so only a private pool is charged.
   stats_.bytes_offloaded = static_cast<double>(kv_cache_->CpuBytes());
-  PQC_RETURN_IF_ERROR(
-      hierarchy_->cpu().Allocate(kv_cache_->CpuBytes()));
+  if (hierarchy_ != nullptr) {
+    PQC_RETURN_IF_ERROR(mem_->cpu().Allocate(kv_cache_->CpuBytes()));
+  }
 
   // PQ construction (Step 2).
   PQC_RETURN_IF_ERROR(BuildPQIndexes(tokens.size()));

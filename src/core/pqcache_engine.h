@@ -56,6 +56,15 @@ struct PQCacheEngineOptions {
   HardwareConfig hardware;
   /// Worker pool for K-Means (nullptr = serial).
   ThreadPool* pool = nullptr;
+  /// Shared memory hierarchy for multi-engine serving (non-owning; must
+  /// outlive the engine). When null the engine builds a private hierarchy
+  /// from `hardware` and charges offloaded CPU bytes against it at prefill.
+  /// When set, byte accounting belongs to the owner: the serving layer's
+  /// admission control charges the Estimate*FootprintBytes upper bounds
+  /// before the engine exists and releases them when the session retires,
+  /// so the engine itself never allocates from the shared pools (a prefill
+  /// can therefore never OOM once admitted).
+  MemoryHierarchy* shared_hierarchy = nullptr;
 };
 
 /// Counters exposed after prefill/decode.
@@ -107,6 +116,32 @@ class PQCacheEngine {
   /// The PQ index of one (layer, kv-head) — exposed for tests/examples.
   const PQIndex& pq_index(int layer, int kv_head) const;
 
+  /// The hierarchy byte accounting runs against (the shared one when
+  /// `options.shared_hierarchy` was set, the private one otherwise).
+  MemoryHierarchy& hierarchy() { return *mem_; }
+
+  /// Simulated GPU bytes this engine pins while resident: the initial+local
+  /// KV segments, the PQ codebooks and code arrays (paper Step 2: codes live
+  /// on GPU), and the block cache's full capacity, across all (layer,
+  /// kv-head) pairs. This is what a serving layer should charge against the
+  /// GPU pool for an admitted session.
+  size_t GpuFootprintBytes() const;
+
+  /// A-priori upper bound on GpuFootprintBytes() for a session that prefills
+  /// `prompt_tokens` and then decodes up to `max_new_tokens`. Admission
+  /// control charges this before the engine exists; the bound holds at every
+  /// point of the session's lifetime (unit-tested).
+  static size_t EstimateGpuFootprintBytes(const PQCacheEngineOptions& options,
+                                          size_t prompt_tokens,
+                                          size_t max_new_tokens);
+
+  /// Same contract for the host side: upper bound on the CPU bytes of the
+  /// session's offloaded middle KV (the segment grows during decode as local
+  /// tokens are evicted, so the bound is taken at the final sequence length).
+  static size_t EstimateCpuFootprintBytes(const PQCacheEngineOptions& options,
+                                          size_t prompt_tokens,
+                                          size_t max_new_tokens);
+
  private:
   class SelectiveBackend;
 
@@ -116,7 +151,8 @@ class PQCacheEngine {
   PQCacheEngineOptions options_;
   std::unique_ptr<TransformerModel> model_;
   std::unique_ptr<LayeredKVCache> kv_cache_;
-  std::unique_ptr<MemoryHierarchy> hierarchy_;
+  std::unique_ptr<MemoryHierarchy> hierarchy_;  // Owned when not shared.
+  MemoryHierarchy* mem_ = nullptr;  // Shared or owned (see shared_hierarchy).
   std::vector<PQIndex> indexes_;           // [layer * kv_heads]
   std::vector<std::unique_ptr<BlockCache>> caches_;  // Same layout.
   std::unique_ptr<SelectiveBackend> backend_;

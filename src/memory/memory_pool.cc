@@ -7,9 +7,11 @@
 namespace pqcache {
 
 Status MemoryPool::Allocate(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (used_ + bytes > capacity_) {
     return Status::OutOfMemory(name_ + ": requested " + std::to_string(bytes) +
-                               " bytes, " + std::to_string(available_bytes()) +
+                               " bytes, " +
+                               std::to_string(capacity_ - used_) +
                                " available");
   }
   used_ += bytes;
@@ -18,6 +20,7 @@ Status MemoryPool::Allocate(size_t bytes) {
 }
 
 void MemoryPool::Free(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
   PQC_CHECK_LE(bytes, used_);
   used_ -= bytes;
 }

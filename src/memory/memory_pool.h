@@ -8,13 +8,16 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "src/common/status.h"
 
 namespace pqcache {
 
-/// A named byte budget with peak tracking.
+/// A named byte budget with peak tracking. Thread-safe: the serving layer
+/// shares one hierarchy across sessions whose prefills run concurrently on
+/// the thread pool, so Allocate/Free race with each other and with readers.
 class MemoryPool {
  public:
   MemoryPool(std::string name, size_t capacity_bytes)
@@ -22,9 +25,18 @@ class MemoryPool {
 
   const std::string& name() const { return name_; }
   size_t capacity_bytes() const { return capacity_; }
-  size_t used_bytes() const { return used_; }
-  size_t peak_bytes() const { return peak_; }
-  size_t available_bytes() const { return capacity_ - used_; }
+  size_t used_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return used_;
+  }
+  size_t peak_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_;
+  }
+  size_t available_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return capacity_ - used_;
+  }
 
   /// Reserves `bytes`; fails with OutOfMemory when the pool would overflow.
   Status Allocate(size_t bytes);
@@ -33,11 +45,15 @@ class MemoryPool {
   void Free(size_t bytes);
 
   /// Drops all accounting (used by per-request reset).
-  void Reset() { used_ = 0; }
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    used_ = 0;
+  }
 
  private:
   std::string name_;
   size_t capacity_;
+  mutable std::mutex mu_;
   size_t used_ = 0;
   size_t peak_ = 0;
 };

@@ -1,0 +1,69 @@
+// Bounded FIFO of sessions awaiting admission. Submissions may arrive from
+// any thread while the scheduler drains from its own, so the queue is
+// internally synchronized. Admission order is strict FIFO: the scheduler only
+// ever pops the head, so a large session cannot be starved by smaller ones
+// arriving behind it (head-of-line fairness over throughput).
+#ifndef PQCACHE_SERVE_REQUEST_QUEUE_H_
+#define PQCACHE_SERVE_REQUEST_QUEUE_H_
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "src/serve/session.h"
+
+namespace pqcache {
+
+/// Mutex-guarded bounded queue of queued sessions.
+class RequestQueue {
+ public:
+  explicit RequestQueue(size_t capacity) : capacity_(capacity) {}
+
+  size_t capacity() const { return capacity_; }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+  /// Enqueues; returns false (leaving `session` untouched) when full.
+  bool TryPush(std::unique_ptr<Session>& session) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(session));
+    return true;
+  }
+
+  /// Footprints of the head session; false when empty. The scheduler uses
+  /// these to decide whether the head fits the remaining pools before
+  /// popping (the head is stable between this call and TryPop because only
+  /// the scheduler thread pops).
+  bool HeadFootprints(size_t* gpu_bytes, size_t* cpu_bytes) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    *gpu_bytes = queue_.front()->gpu_footprint_bytes();
+    *cpu_bytes = queue_.front()->cpu_footprint_bytes();
+    return true;
+  }
+
+  /// Pops the head (nullptr when empty).
+  std::unique_ptr<Session> TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return nullptr;
+    std::unique_ptr<Session> session = std::move(queue_.front());
+    queue_.pop_front();
+    return session;
+  }
+
+ private:
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<std::unique_ptr<Session>> queue_;
+};
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_SERVE_REQUEST_QUEUE_H_

@@ -1,0 +1,63 @@
+#include "src/serve/server_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pqcache {
+
+double SessionRecord::MeanTpotSeconds() const {
+  if (step_seconds.empty()) return 0;
+  double sum = 0;
+  for (double s : step_seconds) sum += s;
+  return sum / static_cast<double>(step_seconds.size());
+}
+
+double ServerStats::SessionsPerSecond() const {
+  return wall_seconds > 0 ? static_cast<double>(completed) / wall_seconds : 0;
+}
+
+double ServerStats::TokensPerSecond() const {
+  return wall_seconds > 0
+             ? static_cast<double>(total_generated_tokens) / wall_seconds
+             : 0;
+}
+
+double ServerStats::MeanTtftSeconds() const {
+  if (sessions.empty()) return 0;
+  double sum = 0;
+  for (const SessionRecord& s : sessions) sum += s.ttft_seconds;
+  return sum / static_cast<double>(sessions.size());
+}
+
+double ServerStats::MeanQueueWaitSeconds() const {
+  if (sessions.empty()) return 0;
+  double sum = 0;
+  for (const SessionRecord& s : sessions) sum += s.queue_wait_seconds;
+  return sum / static_cast<double>(sessions.size());
+}
+
+double ServerStats::TpotPercentileSeconds(double p) const {
+  std::vector<double> samples;
+  for (const SessionRecord& s : sessions) {
+    samples.insert(samples.end(), s.step_seconds.begin(),
+                   s.step_seconds.end());
+  }
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = p / 100.0 * static_cast<double>(samples.size());
+  size_t idx = static_cast<size_t>(std::ceil(rank));
+  idx = std::min(std::max<size_t>(idx, 1), samples.size()) - 1;
+  return samples[idx];
+}
+
+double ServerStats::AggregateCacheHitRate() const {
+  uint64_t lookups = 0;
+  uint64_t hits = 0;
+  for (const SessionRecord& s : sessions) {
+    lookups += s.cache_token_lookups;
+    hits += s.cache_token_hits;
+  }
+  return lookups > 0 ? static_cast<double>(hits) / lookups : 0;
+}
+
+}  // namespace pqcache

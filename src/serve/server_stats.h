@@ -1,0 +1,64 @@
+// Server-wide serving metrics: per-session records (TTFT, TPOT samples,
+// queue wait, cache hits) plus admission counters and the aggregates the
+// serving benchmark reports (sessions/sec, tokens/sec, TPOT percentiles).
+#ifndef PQCACHE_SERVE_SERVER_STATS_H_
+#define PQCACHE_SERVE_SERVER_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pqcache {
+
+/// Final metrics of one retired session.
+struct SessionRecord {
+  int64_t id = 0;
+  std::string tag;
+  size_t prompt_tokens = 0;
+  size_t generated_tokens = 0;
+  size_t gpu_footprint_bytes = 0;
+  double queue_wait_seconds = 0;
+  double ttft_seconds = 0;
+  /// Per-token decode latencies (one per generated token after the first).
+  std::vector<double> step_seconds;
+  /// Block-cache counters rolled up from the session's engine.
+  uint64_t cache_token_lookups = 0;
+  uint64_t cache_token_hits = 0;
+  bool failed = false;
+  std::string error;
+
+  double MeanTpotSeconds() const;
+};
+
+/// Aggregated serving metrics over one scheduler run.
+struct ServerStats {
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  /// Submit-time rejections: a footprint can never fit its pool (GPU or
+  /// CPU).
+  uint64_t rejected_capacity = 0;
+  /// Submit-time rejections: the bounded request queue was full.
+  uint64_t rejected_queue_full = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+
+  size_t peak_active_sessions = 0;
+  size_t peak_gpu_bytes = 0;
+  double wall_seconds = 0;
+  uint64_t total_generated_tokens = 0;
+  std::vector<SessionRecord> sessions;
+
+  double SessionsPerSecond() const;
+  double TokensPerSecond() const;
+  double MeanTtftSeconds() const;
+  double MeanQueueWaitSeconds() const;
+  /// Percentile (0 < p <= 100) over all sessions' pooled TPOT samples.
+  double TpotPercentileSeconds(double p) const;
+  /// Hit rate over all sessions' block-cache lookups.
+  double AggregateCacheHitRate() const;
+};
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_SERVE_SERVER_STATS_H_

@@ -1,0 +1,74 @@
+#include "src/serve/session.h"
+
+#include <utility>
+
+namespace pqcache {
+
+Session::Session(int64_t id, ServeRequest request,
+                 const PQCacheEngineOptions& engine_options,
+                 size_t gpu_footprint_bytes, size_t cpu_footprint_bytes)
+    : id_(id),
+      request_(std::move(request)),
+      engine_options_(engine_options),
+      gpu_footprint_bytes_(gpu_footprint_bytes),
+      cpu_footprint_bytes_(cpu_footprint_bytes) {
+  generated_.reserve(request_.max_new_tokens);
+  if (request_.max_new_tokens > 1) {
+    step_seconds_.reserve(request_.max_new_tokens - 1);
+  }
+}
+
+void Session::Step() {
+  if (done()) return;
+  if (state_ == SessionState::kQueued) {
+    // First step: build the engine and run the prefill phase; the prefill's
+    // greedy next-token is the session's first generated token (TTFT).
+    queue_wait_seconds_ = since_enqueue_.ElapsedSeconds();
+    auto engine = PQCacheEngine::Create(engine_options_);
+    if (!engine.ok()) {
+      error_ = engine.status();
+      state_ = SessionState::kFailed;
+      return;
+    }
+    engine_ = std::move(engine).value();
+    auto first = engine_->Prefill(request_.prompt);
+    if (!first.ok()) {
+      error_ = first.status();
+      state_ = SessionState::kFailed;
+      return;
+    }
+    generated_.push_back(first.value());
+    ttft_seconds_ = since_enqueue_.ElapsedSeconds();
+    state_ = SessionState::kDecoding;
+  } else {
+    WallTimer step_timer;
+    auto token = engine_->DecodeNext();
+    if (!token.ok()) {
+      error_ = token.status();
+      state_ = SessionState::kFailed;
+      return;
+    }
+    generated_.push_back(token.value());
+    step_seconds_.push_back(step_timer.ElapsedSeconds());
+  }
+  if (generated_.size() >= request_.max_new_tokens) {
+    state_ = SessionState::kFinished;
+  }
+}
+
+void Session::DispatchNewTokens() {
+  if (!request_.on_token) {
+    dispatched_ = generated_.size();
+    return;
+  }
+  while (dispatched_ < generated_.size()) {
+    // Advance the cursor before invoking: if the callback throws (the
+    // exception propagates to the RunUntilDrained caller), a resumed drain
+    // must not deliver the same (token, index) twice — delivery is
+    // at-most-once per token, never duplicated.
+    const size_t index = dispatched_++;
+    request_.on_token(generated_[index], index);
+  }
+}
+
+}  // namespace pqcache

@@ -1,0 +1,114 @@
+// One serving session: a queued generation request plus, once admitted, the
+// PQCacheEngine that executes it. The scheduler drives a session through
+// discrete steps (engine creation + prefill first, then one decoded token per
+// step), so many sessions interleave on shared hardware without any session
+// ever blocking the others for more than one step.
+#ifndef PQCACHE_SERVE_SESSION_H_
+#define PQCACHE_SERVE_SESSION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/timer.h"
+#include "src/core/pqcache_engine.h"
+
+namespace pqcache {
+
+/// A user-facing generation request.
+struct ServeRequest {
+  /// Label carried into the stats report (e.g. the workload task name).
+  std::string tag;
+  std::vector<int32_t> prompt;
+  /// Total tokens to generate (the prefill's first token counts as one).
+  size_t max_new_tokens = 16;
+  /// Streaming callback, invoked at most once per generated token, in
+  /// order. Called from the scheduler thread after the step that produced
+  /// the token, so implementations need no internal synchronization per
+  /// session. Should not throw: an exception propagates out of the
+  /// scheduler to its caller, and the token it was delivering is skipped
+  /// (at-most-once, never duplicated) if the drain is resumed.
+  std::function<void(int32_t token, size_t index)> on_token;
+};
+
+/// Session lifecycle states.
+enum class SessionState {
+  kQueued,     ///< In the request queue; no engine exists yet.
+  kDecoding,   ///< Admitted; engine live (prefill runs on the first step).
+  kFinished,   ///< All max_new_tokens produced.
+  kFailed,     ///< A step returned an error (see error()).
+};
+
+/// A single admitted-or-queued generation session.
+class Session {
+ public:
+  /// `engine_options` is the per-session engine template; the serving layer
+  /// points its `shared_hierarchy` at the server-wide pools before
+  /// constructing sessions. The footprints are the admission charges
+  /// (PQCacheEngine::Estimate{Gpu,Cpu}FootprintBytes of the request).
+  Session(int64_t id, ServeRequest request,
+          const PQCacheEngineOptions& engine_options,
+          size_t gpu_footprint_bytes, size_t cpu_footprint_bytes);
+
+  int64_t id() const { return id_; }
+  const ServeRequest& request() const { return request_; }
+  SessionState state() const { return state_; }
+  size_t gpu_footprint_bytes() const { return gpu_footprint_bytes_; }
+  size_t cpu_footprint_bytes() const { return cpu_footprint_bytes_; }
+  const Status& error() const { return error_; }
+  const std::vector<int32_t>& generated() const { return generated_; }
+  bool done() const {
+    return state_ == SessionState::kFinished ||
+           state_ == SessionState::kFailed;
+  }
+
+  /// The engine, once the first step has run (nullptr while queued).
+  const PQCacheEngine* engine() const { return engine_.get(); }
+
+  /// Runs one unit of work: the first call creates the engine and prefills
+  /// (producing generated token 0); subsequent calls decode one token.
+  /// Transitions to kFinished / kFailed as appropriate. Safe to call from a
+  /// worker thread — each session steps on at most one thread at a time.
+  void Step();
+
+  /// Fires request.on_token for tokens produced since the last dispatch.
+  /// Called by the scheduler on its own thread, in session order, so
+  /// streaming output is deterministic.
+  void DispatchNewTokens();
+
+  /// Releases the engine (retired sessions keep their stats but return all
+  /// engine memory, including shared-pool CPU bytes, immediately).
+  void ReleaseEngine() { engine_.reset(); }
+
+  // Timing, in seconds, all measured by the session itself:
+  /// Enqueue -> first Step (admission + queue wait).
+  double queue_wait_seconds() const { return queue_wait_seconds_; }
+  /// Enqueue -> first generated token available (includes queue wait).
+  double ttft_seconds() const { return ttft_seconds_; }
+  /// Per-token decode-step latencies (TPOT samples; one per token after the
+  /// first).
+  const std::vector<double>& step_seconds() const { return step_seconds_; }
+
+ private:
+  int64_t id_;
+  ServeRequest request_;
+  PQCacheEngineOptions engine_options_;
+  size_t gpu_footprint_bytes_;
+  size_t cpu_footprint_bytes_;
+  std::unique_ptr<PQCacheEngine> engine_;
+  SessionState state_ = SessionState::kQueued;
+  Status error_ = Status::OK();
+  std::vector<int32_t> generated_;
+  size_t dispatched_ = 0;
+
+  WallTimer since_enqueue_;  // Started at construction (== submission).
+  double queue_wait_seconds_ = 0;
+  double ttft_seconds_ = 0;
+  std::vector<double> step_seconds_;
+};
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_SERVE_SESSION_H_

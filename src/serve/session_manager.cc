@@ -1,0 +1,176 @@
+#include "src/serve/session_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/timer.h"
+
+namespace pqcache {
+
+SessionManager::SessionManager(const ServeOptions& options)
+    : options_(options), queue_(options.max_queue) {}
+
+Result<std::unique_ptr<SessionManager>> SessionManager::Create(
+    const ServeOptions& options) {
+  if (options.max_sessions == 0) {
+    return Status::InvalidArgument("SessionManager: max_sessions must be > 0");
+  }
+  if (options.max_queue == 0) {
+    return Status::InvalidArgument("SessionManager: max_queue must be > 0");
+  }
+  PQC_RETURN_IF_ERROR(options.engine.model.Validate());
+  std::unique_ptr<SessionManager> manager(new SessionManager(options));
+  manager->hierarchy_ =
+      std::make_unique<MemoryHierarchy>(options.engine.hardware);
+  // Every session's engine accounts against the shared pools and trains
+  // K-Means on the shared worker pool.
+  manager->options_.engine.shared_hierarchy = manager->hierarchy_.get();
+  manager->options_.engine.pool = options.pool;
+  return manager;
+}
+
+Result<int64_t> SessionManager::Submit(ServeRequest request) {
+  if (request.prompt.empty()) {
+    return Status::InvalidArgument("Submit: empty prompt");
+  }
+  if (request.max_new_tokens == 0) {
+    return Status::InvalidArgument("Submit: max_new_tokens must be > 0");
+  }
+  const size_t gpu_footprint = PQCacheEngine::EstimateGpuFootprintBytes(
+      options_.engine, request.prompt.size(), request.max_new_tokens);
+  const size_t cpu_footprint = PQCacheEngine::EstimateCpuFootprintBytes(
+      options_.engine, request.prompt.size(), request.max_new_tokens);
+  std::lock_guard<std::mutex> lock(submit_mu_);
+  ++stats_.submitted;
+  if (gpu_footprint > hierarchy_->gpu().capacity_bytes()) {
+    ++stats_.rejected_capacity;
+    return Status::OutOfMemory(
+        "Submit: session footprint " + std::to_string(gpu_footprint) +
+        " bytes exceeds the GPU pool (" +
+        std::to_string(hierarchy_->gpu().capacity_bytes()) + " bytes)");
+  }
+  if (cpu_footprint > hierarchy_->cpu().capacity_bytes()) {
+    ++stats_.rejected_capacity;
+    return Status::OutOfMemory(
+        "Submit: session offload footprint " + std::to_string(cpu_footprint) +
+        " bytes exceeds the CPU pool (" +
+        std::to_string(hierarchy_->cpu().capacity_bytes()) + " bytes)");
+  }
+  const int64_t id = next_id_++;
+  auto session =
+      std::make_unique<Session>(id, std::move(request), options_.engine,
+                                gpu_footprint, cpu_footprint);
+  if (!queue_.TryPush(session)) {
+    ++stats_.rejected_queue_full;
+    return Status::FailedPrecondition(
+        "Submit: request queue full (" + std::to_string(queue_.capacity()) +
+        " sessions)");
+  }
+  return id;
+}
+
+void SessionManager::AdmitFromQueue() {
+  while (active_.size() < options_.max_sessions) {
+    // Only this thread pops, so a non-empty head observed here is stable
+    // through the TryPop below; a Submit racing in behind the head waits
+    // for the next round.
+    size_t gpu_footprint = 0;
+    size_t cpu_footprint = 0;
+    if (!queue_.HeadFootprints(&gpu_footprint, &cpu_footprint)) return;
+    // Strict FIFO: when the head does not fit the remaining pools it waits
+    // for a retirement rather than being overtaken by a smaller session.
+    // Both charges must land or neither (no partial reservations).
+    if (!hierarchy_->gpu().Allocate(gpu_footprint).ok()) return;
+    if (!hierarchy_->cpu().Allocate(cpu_footprint).ok()) {
+      hierarchy_->gpu().Free(gpu_footprint);
+      return;
+    }
+    std::unique_ptr<Session> session = queue_.TryPop();
+    PQC_CHECK(session != nullptr);  // Single-consumer: the head cannot vanish.
+    ++stats_.admitted;
+    active_.push_back(std::move(session));
+    active_count_.store(active_.size(), std::memory_order_relaxed);
+  }
+}
+
+void SessionManager::RunRound() {
+  auto step = [this](size_t i) { active_[i]->Step(); };
+  if (options_.pool != nullptr && active_.size() > 1) {
+    ParallelFor(*options_.pool, 0, active_.size(), step);
+  } else {
+    for (size_t i = 0; i < active_.size(); ++i) step(i);
+  }
+}
+
+void SessionManager::DispatchAndRetire() {
+  for (auto& session : active_) session->DispatchNewTokens();
+  for (auto& session : active_) {
+    if (!session->done()) continue;
+    SessionRecord record;
+    record.id = session->id();
+    record.tag = session->request().tag;
+    record.prompt_tokens = session->request().prompt.size();
+    record.generated_tokens = session->generated().size();
+    record.gpu_footprint_bytes = session->gpu_footprint_bytes();
+    record.queue_wait_seconds = session->queue_wait_seconds();
+    record.ttft_seconds = session->ttft_seconds();
+    record.step_seconds = session->step_seconds();
+    if (session->engine() != nullptr) {
+      record.cache_token_lookups = session->engine()->stats().cache.token_lookups;
+      record.cache_token_hits = session->engine()->stats().cache.token_hits;
+    }
+    record.failed = session->state() == SessionState::kFailed;
+    if (record.failed) {
+      record.error = session->error().ToString();
+      ++stats_.failed;
+    } else {
+      ++stats_.completed;
+    }
+    stats_.total_generated_tokens += session->generated().size();
+    stats_.sessions.push_back(std::move(record));
+    session->ReleaseEngine();
+    hierarchy_->gpu().Free(session->gpu_footprint_bytes());
+    hierarchy_->cpu().Free(session->cpu_footprint_bytes());
+    session.reset();
+  }
+  active_.erase(std::remove(active_.begin(), active_.end(), nullptr),
+                active_.end());
+  active_count_.store(active_.size(), std::memory_order_relaxed);
+}
+
+Status SessionManager::RunUntilDrained() {
+  WallTimer timer;
+  // Elapsed time and the pool peak must land in stats_ even when a throwing
+  // on_token callback aborts the drain mid-run: the work already done counts
+  // toward throughput when the caller resumes per the header contract.
+  struct StatsFlusher {
+    SessionManager* manager;
+    WallTimer* timer;
+    ~StatsFlusher() {
+      manager->stats_.wall_seconds += timer->ElapsedSeconds();
+      // The pool tracks its exact peak at every Allocate; don't sample a
+      // copy.
+      manager->stats_.peak_gpu_bytes =
+          manager->hierarchy_->gpu().peak_bytes();
+    }
+  } flusher{this, &timer};
+  for (;;) {
+    AdmitFromQueue();
+    stats_.peak_active_sessions =
+        std::max(stats_.peak_active_sessions, active_.size());
+    if (active_.empty()) {
+      if (queue_.empty()) break;
+      // Queue non-empty with zero active sessions: a Submit raced in after
+      // this round's AdmitFromQueue. With the server empty every charge is
+      // released and Submit bounds footprints by pool capacity, so the next
+      // admission pass is guaranteed to make progress — retry, don't error.
+      continue;
+    }
+    RunRound();
+    DispatchAndRetire();
+  }
+  return Status::OK();
+}
+
+}  // namespace pqcache

@@ -1,0 +1,119 @@
+// Multi-session serving: admission control against the shared GPU pool plus
+// a continuous-batching scheduler that interleaves prefill and decode steps
+// across ready sessions on the thread pool.
+//
+// Memory model. Every session is charged a-priori footprints on BOTH tiers
+// of one shared MemoryHierarchy: GPU (EstimateGpuFootprintBytes: pinned KV
+// segments + PQ codebooks/codes + block-cache capacity) and CPU
+// (EstimateCpuFootprintBytes: offloaded middle KV at the final sequence
+// length) — proven upper bounds on actual usage. Submit rejects outright
+// when either footprint can never fit its pool; otherwise the session waits
+// in a bounded FIFO queue and is admitted only when a decode slot is free
+// AND both pools' remaining bytes cover its footprints (charged atomically:
+// both or neither). Charges return to the pools when the session retires.
+// Engines never allocate from the shared pools themselves, so an admitted
+// session's prefill cannot OOM.
+//
+// Scheduling. Each scheduler round runs one step for every active session —
+// a step is either "create engine + prefill" (first step after admission) or
+// "decode one token". Steps of different sessions touch disjoint engines, so
+// a round executes them in parallel on the thread pool; within a session,
+// steps are strictly sequential. One step per session per round gives fair
+// round-robin decode; admission happens between rounds, so prefills of
+// freshly admitted sessions interleave with decodes of running ones
+// (continuous batching). Streaming callbacks fire on the scheduler thread
+// after each round, in session-admission order — fully deterministic.
+//
+// Determinism. Sessions own disjoint PQCacheEngines and a step runs on one
+// thread at a time, so generated tokens are bit-identical to running the
+// same request through a single engine in isolation (unit-tested).
+#ifndef PQCACHE_SERVE_SESSION_MANAGER_H_
+#define PQCACHE_SERVE_SESSION_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/threadpool.h"
+#include "src/core/pqcache_engine.h"
+#include "src/memory/hierarchy.h"
+#include "src/serve/request_queue.h"
+#include "src/serve/server_stats.h"
+#include "src/serve/session.h"
+
+namespace pqcache {
+
+/// Serving configuration.
+struct ServeOptions {
+  /// Per-session engine template. `hardware` describes the *shared* server;
+  /// `pool` and `shared_hierarchy` are overwritten by the manager.
+  PQCacheEngineOptions engine;
+  /// Maximum sessions decoding concurrently (decode slots).
+  size_t max_sessions = 8;
+  /// Bounded request-queue capacity; Submit rejects beyond this.
+  size_t max_queue = 64;
+  /// Worker pool for session steps and K-Means (nullptr = serial).
+  ThreadPool* pool = nullptr;
+};
+
+/// Owns the shared memory hierarchy, the request queue, the active session
+/// set, and the scheduler loop.
+class SessionManager {
+ public:
+  static Result<std::unique_ptr<SessionManager>> Create(
+      const ServeOptions& options);
+
+  const ServeOptions& options() const { return options_; }
+  MemoryHierarchy& hierarchy() { return *hierarchy_; }
+
+  /// Admission gate. Rejects with OutOfMemory when either of the session's
+  /// estimated footprints exceeds its whole pool (it could never run), and
+  /// with FailedPrecondition when the request queue is full. Otherwise
+  /// enqueues and returns the session id. Thread-safe.
+  Result<int64_t> Submit(ServeRequest request);
+
+  /// Runs the scheduler until queue and active set are both empty. Admits,
+  /// steps, streams, and retires sessions; returns the first scheduler-level
+  /// error (session-level failures are recorded per session instead). A
+  /// session Submitted concurrently with the final drain check may remain
+  /// queued for the next RunUntilDrained call — a drain API cannot wait for
+  /// future submissions.
+  Status RunUntilDrained();
+
+  /// Sessions currently holding decode slots. Safe from any thread (reads an
+  /// atomic mirror the scheduler maintains).
+  size_t active_sessions() const {
+    return active_count_.load(std::memory_order_relaxed);
+  }
+  size_t queued_sessions() const { return queue_.size(); }
+
+  /// Aggregated metrics; stable once RunUntilDrained returned.
+  const ServerStats& stats() const { return stats_; }
+
+ private:
+  explicit SessionManager(const ServeOptions& options);
+
+  /// Moves queue-head sessions into the active set while a slot is free and
+  /// the head's footprint fits the remaining GPU pool.
+  void AdmitFromQueue();
+  /// Runs one step for every active session (parallel across sessions).
+  void RunRound();
+  /// Streams new tokens and retires finished/failed sessions.
+  void DispatchAndRetire();
+
+  ServeOptions options_;
+  std::unique_ptr<MemoryHierarchy> hierarchy_;
+  RequestQueue queue_;
+  std::vector<std::unique_ptr<Session>> active_;  // Scheduler thread only.
+  std::atomic<size_t> active_count_{0};  // Mirror for cross-thread readers.
+  std::mutex submit_mu_;
+  int64_t next_id_ = 0;
+  ServerStats stats_;
+};
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_SERVE_SESSION_MANAGER_H_

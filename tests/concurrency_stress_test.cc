@@ -1,0 +1,95 @@
+// Determinism under contention: N engines sharing one ThreadPool — stepped
+// concurrently, with their K-Means jobs fanned out onto the same pool from
+// inside pool tasks (nested ParallelFor) — must produce bit-identical outputs
+// to the same N engines run one after another. This is the correctness
+// backbone of the serving layer: scheduling order and thread placement must
+// never leak into generated tokens.
+#include <future>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/threadpool.h"
+#include "src/core/pqcache_engine.h"
+
+namespace pqcache {
+namespace {
+
+constexpr size_t kEngines = 6;
+constexpr size_t kPromptTokens = 96;
+constexpr int kDecodeTokens = 8;
+
+PQCacheEngineOptions StressEngineOptions(ThreadPool* pool) {
+  PQCacheEngineOptions options;
+  options.model = ModelConfig::Tiny();
+  options.initial_tokens = 2;
+  options.local_window = 8;
+  options.pq_partitions = 2;
+  options.pq_bits = 4;
+  options.kmeans_iterations = 6;
+  options.token_ratio = 0.5;
+  options.cache.capacity_tokens = 64;
+  options.cache.block_tokens = 8;
+  options.pool = pool;
+  return options;
+}
+
+std::vector<int32_t> MakePrompt(size_t engine_idx) {
+  std::vector<int32_t> prompt(kPromptTokens);
+  for (size_t i = 0; i < prompt.size(); ++i) {
+    prompt[i] = static_cast<int32_t>((i * 31 + engine_idx * 101 + 7) % 250);
+  }
+  return prompt;
+}
+
+// Runs one engine end to end (create, prefill, decode) and returns every
+// generated token including the prefill's.
+std::vector<int32_t> RunEngine(size_t engine_idx, ThreadPool* pool) {
+  auto engine = PQCacheEngine::Create(StressEngineOptions(pool)).value();
+  std::vector<int32_t> out;
+  out.push_back(engine->Prefill(MakePrompt(engine_idx)).value());
+  auto rest = engine->Generate(kDecodeTokens);
+  EXPECT_TRUE(rest.ok());
+  out.insert(out.end(), rest.value().begin(), rest.value().end());
+  return out;
+}
+
+TEST(ConcurrencyStressTest, ContendedEnginesMatchSerialRuns) {
+  ThreadPool pool(4);
+
+  // Serial reference: engines run one after another, still using the shared
+  // pool for K-Means so the comparison isolates *contention*, not codepath.
+  std::vector<std::vector<int32_t>> serial(kEngines);
+  for (size_t e = 0; e < kEngines; ++e) serial[e] = RunEngine(e, &pool);
+
+  // Contended run: all engines execute as tasks on the same pool. Each
+  // engine's prefill fans its K-Means jobs onto the pool from inside a pool
+  // task, exercising nested ParallelFor under full contention.
+  for (int round = 0; round < 2; ++round) {
+    std::vector<std::vector<int32_t>> contended(kEngines);
+    std::vector<std::future<void>> futures;
+    futures.reserve(kEngines);
+    for (size_t e = 0; e < kEngines; ++e) {
+      futures.push_back(pool.Submit(
+          [&contended, &pool, e] { contended[e] = RunEngine(e, &pool); }));
+    }
+    for (auto& f : futures) f.get();
+    for (size_t e = 0; e < kEngines; ++e) {
+      EXPECT_EQ(contended[e], serial[e])
+          << "engine " << e << " diverged under contention (round " << round
+          << ")";
+    }
+  }
+}
+
+TEST(ConcurrencyStressTest, SerialRunsAreReproducible) {
+  // Sanity anchor for the test above: the serial reference itself is stable
+  // across repetitions (otherwise the contended comparison proves nothing).
+  ThreadPool pool(4);
+  for (size_t e = 0; e < 2; ++e) {
+    EXPECT_EQ(RunEngine(e, &pool), RunEngine(e, &pool));
+  }
+}
+
+}  // namespace
+}  // namespace pqcache

@@ -1,0 +1,319 @@
+#include "src/serve/session_manager.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/serve/request_queue.h"
+
+namespace pqcache {
+namespace {
+
+PQCacheEngineOptions ServeEngineOptions() {
+  PQCacheEngineOptions options;
+  options.model = ModelConfig::Tiny();
+  options.initial_tokens = 2;
+  options.local_window = 8;
+  options.pq_partitions = 2;
+  options.pq_bits = 4;
+  options.kmeans_iterations = 6;
+  options.token_ratio = 0.5;
+  options.cache.capacity_tokens = 64;
+  options.cache.block_tokens = 8;
+  return options;
+}
+
+std::vector<int32_t> MakePrompt(size_t n, int32_t salt) {
+  std::vector<int32_t> prompt(n);
+  for (size_t i = 0; i < n; ++i) {
+    prompt[i] = static_cast<int32_t>((i * 37 + 11 + salt * 13) % 250);
+  }
+  return prompt;
+}
+
+ServeOptions DefaultServeOptions(ThreadPool* pool = nullptr) {
+  ServeOptions options;
+  options.engine = ServeEngineOptions();
+  options.max_sessions = 4;
+  options.max_queue = 16;
+  options.pool = pool;
+  return options;
+}
+
+/// Reference: the same request run through a lone engine end to end.
+std::vector<int32_t> SingleSessionReference(const PQCacheEngineOptions& opts,
+                                            std::span<const int32_t> prompt,
+                                            size_t max_new_tokens) {
+  PQCacheEngineOptions local = opts;
+  local.shared_hierarchy = nullptr;
+  local.pool = nullptr;
+  auto engine = PQCacheEngine::Create(local).value();
+  std::vector<int32_t> out;
+  out.push_back(engine->Prefill(prompt).value());
+  if (max_new_tokens > 1) {
+    auto rest = engine->Generate(static_cast<int>(max_new_tokens - 1));
+    out.insert(out.end(), rest.value().begin(), rest.value().end());
+  }
+  return out;
+}
+
+TEST(SessionManagerTest, CreateValidatesOptions) {
+  ServeOptions bad = DefaultServeOptions();
+  bad.max_sessions = 0;
+  EXPECT_FALSE(SessionManager::Create(bad).ok());
+  bad = DefaultServeOptions();
+  bad.max_queue = 0;
+  EXPECT_FALSE(SessionManager::Create(bad).ok());
+  EXPECT_TRUE(SessionManager::Create(DefaultServeOptions()).ok());
+}
+
+TEST(SessionManagerTest, SubmitValidatesRequest) {
+  auto manager = SessionManager::Create(DefaultServeOptions()).value();
+  ServeRequest empty_prompt;
+  empty_prompt.max_new_tokens = 4;
+  EXPECT_EQ(manager->Submit(std::move(empty_prompt)).status().code(),
+            StatusCode::kInvalidArgument);
+  ServeRequest zero_tokens;
+  zero_tokens.prompt = MakePrompt(32, 0);
+  zero_tokens.max_new_tokens = 0;
+  EXPECT_EQ(manager->Submit(std::move(zero_tokens)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SessionManagerTest, AdmissionRejectsFootprintExceedingGpuPool) {
+  // Acceptance criterion: a session whose footprint exceeds the remaining
+  // GPU pool is provably rejected. With an empty server the remaining pool
+  // is the whole pool; shrink it below one session's estimated footprint.
+  ServeOptions options = DefaultServeOptions();
+  const size_t footprint = PQCacheEngine::EstimateGpuFootprintBytes(
+      options.engine, /*prompt_tokens=*/64, /*max_new_tokens=*/8);
+  options.engine.hardware.gpu_memory_bytes = footprint - 1;
+  auto manager = SessionManager::Create(options).value();
+
+  ServeRequest request;
+  request.prompt = MakePrompt(64, 0);
+  request.max_new_tokens = 8;
+  auto id = manager->Submit(std::move(request));
+  EXPECT_FALSE(id.ok());
+  EXPECT_EQ(id.status().code(), StatusCode::kOutOfMemory);
+  EXPECT_EQ(manager->stats().rejected_capacity, 1u);
+  EXPECT_EQ(manager->queued_sessions(), 0u);
+  // Nothing to drain; the rejected session never entered the system.
+  EXPECT_TRUE(manager->RunUntilDrained().ok());
+  EXPECT_EQ(manager->stats().completed, 0u);
+}
+
+TEST(SessionManagerTest, AdmissionDefersUntilPoolBytesReturn) {
+  // GPU pool fits exactly one session: with three submitted, admission must
+  // serialize them (peak concurrency 1) yet all three must complete.
+  ServeOptions options = DefaultServeOptions();
+  const size_t footprint = PQCacheEngine::EstimateGpuFootprintBytes(
+      options.engine, 64, 6);
+  options.engine.hardware.gpu_memory_bytes = footprint + footprint / 2;
+  auto manager = SessionManager::Create(options).value();
+
+  for (int s = 0; s < 3; ++s) {
+    ServeRequest request;
+    request.prompt = MakePrompt(64, s);
+    request.max_new_tokens = 6;
+    ASSERT_TRUE(manager->Submit(std::move(request)).ok());
+  }
+  ASSERT_TRUE(manager->RunUntilDrained().ok());
+  const ServerStats& stats = manager->stats();
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.peak_active_sessions, 1u);
+  EXPECT_LE(stats.peak_gpu_bytes, options.engine.hardware.gpu_memory_bytes);
+  // All admission charges returned once drained.
+  EXPECT_EQ(manager->hierarchy().gpu().used_bytes(), 0u);
+  EXPECT_EQ(manager->hierarchy().cpu().used_bytes(), 0u);
+}
+
+TEST(SessionManagerTest, BoundedQueueRejectsWhenFull) {
+  ServeOptions options = DefaultServeOptions();
+  options.max_queue = 2;
+  auto manager = SessionManager::Create(options).value();
+  for (int s = 0; s < 2; ++s) {
+    ServeRequest request;
+    request.prompt = MakePrompt(48, s);
+    request.max_new_tokens = 4;
+    ASSERT_TRUE(manager->Submit(std::move(request)).ok());
+  }
+  ServeRequest overflow;
+  overflow.prompt = MakePrompt(48, 9);
+  overflow.max_new_tokens = 4;
+  auto id = manager->Submit(std::move(overflow));
+  EXPECT_FALSE(id.ok());
+  EXPECT_EQ(id.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(manager->stats().rejected_queue_full, 1u);
+  ASSERT_TRUE(manager->RunUntilDrained().ok());
+  EXPECT_EQ(manager->stats().completed, 2u);
+}
+
+TEST(SessionManagerTest, ConcurrentSessionsMatchSingleSessionRuns) {
+  // The core fidelity claim: interleaved continuous-batching decode produces
+  // per-session tokens bit-identical to each request run alone.
+  ThreadPool pool(4);
+  ServeOptions options = DefaultServeOptions(&pool);
+  options.max_sessions = 4;
+  auto manager = SessionManager::Create(options).value();
+
+  const size_t kSessions = 4;
+  const size_t kPromptLens[kSessions] = {64, 80, 96, 72};
+  const size_t kNewTokens[kSessions] = {6, 9, 4, 12};
+  std::vector<std::vector<int32_t>> streamed(kSessions);
+  for (size_t s = 0; s < kSessions; ++s) {
+    ServeRequest request;
+    request.tag = "session-" + std::to_string(s);
+    request.prompt = MakePrompt(kPromptLens[s], static_cast<int32_t>(s));
+    request.max_new_tokens = kNewTokens[s];
+    request.on_token = [&streamed, s](int32_t token, size_t index) {
+      EXPECT_EQ(index, streamed[s].size());
+      streamed[s].push_back(token);
+    };
+    ASSERT_TRUE(manager->Submit(std::move(request)).ok());
+  }
+  ASSERT_TRUE(manager->RunUntilDrained().ok());
+  EXPECT_EQ(manager->stats().completed, kSessions);
+  EXPECT_EQ(manager->stats().peak_active_sessions, kSessions);
+
+  for (size_t s = 0; s < kSessions; ++s) {
+    const std::vector<int32_t> reference = SingleSessionReference(
+        DefaultServeOptions().engine,
+        MakePrompt(kPromptLens[s], static_cast<int32_t>(s)), kNewTokens[s]);
+    EXPECT_EQ(streamed[s], reference) << "session " << s;
+  }
+}
+
+TEST(SessionManagerTest, StatsArePopulated) {
+  auto manager = SessionManager::Create(DefaultServeOptions()).value();
+  for (int s = 0; s < 2; ++s) {
+    ServeRequest request;
+    request.tag = "t" + std::to_string(s);
+    request.prompt = MakePrompt(64, s);
+    request.max_new_tokens = 5;
+    ASSERT_TRUE(manager->Submit(std::move(request)).ok());
+  }
+  ASSERT_TRUE(manager->RunUntilDrained().ok());
+  const ServerStats& stats = manager->stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.total_generated_tokens, 10u);
+  EXPECT_GT(stats.wall_seconds, 0.0);
+  EXPECT_GT(stats.SessionsPerSecond(), 0.0);
+  EXPECT_GT(stats.TokensPerSecond(), 0.0);
+  EXPECT_GT(stats.TpotPercentileSeconds(50), 0.0);
+  EXPECT_LE(stats.TpotPercentileSeconds(50), stats.TpotPercentileSeconds(99));
+  ASSERT_EQ(stats.sessions.size(), 2u);
+  for (const SessionRecord& record : stats.sessions) {
+    EXPECT_FALSE(record.failed);
+    EXPECT_EQ(record.generated_tokens, 5u);
+    EXPECT_EQ(record.step_seconds.size(), 4u);  // One per token after TTFT.
+    EXPECT_GT(record.ttft_seconds, 0.0);
+    EXPECT_GE(record.ttft_seconds, record.queue_wait_seconds);
+    EXPECT_GT(record.cache_token_lookups, 0u);
+    EXPECT_GT(record.gpu_footprint_bytes, 0u);
+  }
+}
+
+TEST(SessionManagerTest, FootprintEstimateUpperBoundsActualUsage) {
+  // Admission soundness: the a-priori charge must dominate the engine's
+  // actual GPU-resident bytes at every point in the session's lifetime.
+  PQCacheEngineOptions options = ServeEngineOptions();
+  const size_t prompt_tokens = 96;
+  const size_t max_new = 12;
+  const size_t estimate = PQCacheEngine::EstimateGpuFootprintBytes(
+      options, prompt_tokens, max_new);
+  const size_t cpu_estimate = PQCacheEngine::EstimateCpuFootprintBytes(
+      options, prompt_tokens, max_new);
+  auto engine = PQCacheEngine::Create(options).value();
+  EXPECT_LE(engine->GpuFootprintBytes(), estimate);
+  ASSERT_TRUE(engine->Prefill(MakePrompt(prompt_tokens, 3)).ok());
+  EXPECT_LE(engine->GpuFootprintBytes(), estimate);
+  EXPECT_LE(engine->cache().CpuBytes(), cpu_estimate);
+  for (size_t i = 0; i + 1 < max_new; ++i) {
+    ASSERT_TRUE(engine->DecodeNext().ok());
+    EXPECT_LE(engine->GpuFootprintBytes(), estimate);
+    EXPECT_LE(engine->cache().CpuBytes(), cpu_estimate);
+  }
+}
+
+TEST(SessionManagerTest, SharedHierarchyReleasesCpuBytesOnRetire) {
+  ServeOptions options = DefaultServeOptions();
+  auto manager = SessionManager::Create(options).value();
+  ServeRequest request;
+  request.prompt = MakePrompt(64, 1);
+  request.max_new_tokens = 3;
+  ASSERT_TRUE(manager->Submit(std::move(request)).ok());
+  ASSERT_TRUE(manager->RunUntilDrained().ok());
+  EXPECT_GT(manager->hierarchy().cpu().peak_bytes(), 0u);
+  EXPECT_EQ(manager->hierarchy().cpu().used_bytes(), 0u);
+  EXPECT_EQ(manager->hierarchy().gpu().used_bytes(), 0u);
+}
+
+TEST(RequestQueueTest, BoundedFifoSemantics) {
+  PQCacheEngineOptions engine_options = ServeEngineOptions();
+  RequestQueue queue(2);
+  size_t gpu = 0;
+  size_t cpu = 0;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(queue.HeadFootprints(&gpu, &cpu));
+  auto make = [&](int64_t id, size_t gpu_fp, size_t cpu_fp) {
+    ServeRequest request;
+    request.prompt = MakePrompt(32, static_cast<int32_t>(id));
+    return std::make_unique<Session>(id, std::move(request), engine_options,
+                                     gpu_fp, cpu_fp);
+  };
+  auto a = make(0, 100, 10);
+  auto b = make(1, 200, 20);
+  auto c = make(2, 300, 30);
+  EXPECT_TRUE(queue.TryPush(a));
+  EXPECT_TRUE(queue.TryPush(b));
+  EXPECT_FALSE(queue.TryPush(c));
+  EXPECT_NE(c, nullptr);  // Rejected push leaves ownership with the caller.
+  EXPECT_EQ(queue.size(), 2u);
+  ASSERT_TRUE(queue.HeadFootprints(&gpu, &cpu));
+  EXPECT_EQ(gpu, 100u);
+  EXPECT_EQ(cpu, 10u);
+  EXPECT_EQ(queue.TryPop()->id(), 0);
+  ASSERT_TRUE(queue.HeadFootprints(&gpu, &cpu));
+  EXPECT_EQ(gpu, 200u);
+  EXPECT_EQ(queue.TryPop()->id(), 1);
+  EXPECT_EQ(queue.TryPop(), nullptr);
+}
+
+TEST(SessionManagerTest, CpuAdmissionRejectsAndDefers) {
+  // The host pool gates admission too: a session whose offload footprint
+  // exceeds the whole CPU pool is rejected at Submit, and a pool sized for
+  // one session serializes several (no mid-prefill OOM hard-failures).
+  ServeOptions options = DefaultServeOptions();
+  const size_t cpu_footprint = PQCacheEngine::EstimateCpuFootprintBytes(
+      options.engine, 64, 6);
+  options.engine.hardware.cpu_memory_bytes = cpu_footprint - 1;
+  {
+    auto manager = SessionManager::Create(options).value();
+    ServeRequest request;
+    request.prompt = MakePrompt(64, 0);
+    request.max_new_tokens = 6;
+    auto id = manager->Submit(std::move(request));
+    EXPECT_FALSE(id.ok());
+    EXPECT_EQ(id.status().code(), StatusCode::kOutOfMemory);
+    EXPECT_EQ(manager->stats().rejected_capacity, 1u);
+  }
+  options.engine.hardware.cpu_memory_bytes = cpu_footprint + cpu_footprint / 2;
+  auto manager = SessionManager::Create(options).value();
+  for (int s = 0; s < 3; ++s) {
+    ServeRequest request;
+    request.prompt = MakePrompt(64, s);
+    request.max_new_tokens = 6;
+    ASSERT_TRUE(manager->Submit(std::move(request)).ok());
+  }
+  ASSERT_TRUE(manager->RunUntilDrained().ok());
+  EXPECT_EQ(manager->stats().completed, 3u);
+  EXPECT_EQ(manager->stats().failed, 0u);
+  EXPECT_EQ(manager->stats().peak_active_sessions, 1u);
+  EXPECT_EQ(manager->hierarchy().cpu().used_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace pqcache

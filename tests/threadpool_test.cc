@@ -1,6 +1,7 @@
 #include "src/common/threadpool.h"
 
 #include <atomic>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -64,6 +65,119 @@ TEST(ParallelForTest, SingleElement) {
 
 TEST(ThreadPoolTest, GlobalPoolIsSingleton) {
   EXPECT_EQ(&ThreadPool::Global(), &ThreadPool::Global());
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([] { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The worker survives a throwing task and keeps serving.
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); }).get();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ParallelForTest, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(ParallelFor(pool, 0, 256,
+                           [](size_t i) {
+                             if (i == 97) throw std::runtime_error("boom");
+                           }),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, ExceptionAbandonsUnclaimedWork) {
+  // After the first throw, remaining chunks are abandoned rather than
+  // executed: with a large range, strictly fewer than all iterations run.
+  ThreadPool pool(4);
+  std::atomic<size_t> executed{0};
+  const size_t n = 100000;
+  EXPECT_THROW(ParallelFor(pool, 0, n,
+                           [&executed](size_t i) {
+                             if (i == 0) throw std::runtime_error("early");
+                             executed.fetch_add(1);
+                           }),
+               std::runtime_error);
+  EXPECT_LT(executed.load(), n - 1);
+}
+
+TEST(ParallelForTest, ExceptionDoesNotLeaveStragglers) {
+  // Regression: helper tasks referencing the caller's fn must all have
+  // returned by the time ParallelFor throws; a straggler would observe a
+  // destroyed flag here and crash or corrupt. Run many times to give a
+  // racing straggler every chance.
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<bool> alive{true};
+    try {
+      ParallelFor(pool, 0, 64, [&alive](size_t i) {
+        ASSERT_TRUE(alive.load());
+        if (i % 7 == 3) throw std::runtime_error("boom");
+      });
+      FAIL() << "expected throw";
+    } catch (const std::runtime_error&) {
+    }
+    alive.store(false);
+    pool.Wait();
+  }
+}
+
+TEST(ParallelForTest, NestedCallFromWorkerDoesNotDeadlock) {
+  // Every outer iteration runs an inner ParallelFor on the same pool from a
+  // worker thread. Pre-fix this deadlocked (workers blocked in future::get
+  // with nobody left to run the inner shards); the caller-participates
+  // design drains the inner range on the blocked worker itself.
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> touched(4 * 8);
+  ParallelFor(pool, 0, 4, [&](size_t outer) {
+    ParallelFor(pool, 0, 8, [&, outer](size_t inner) {
+      touched[outer * 8 + inner].fetch_add(1);
+    });
+  });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ParallelForTest, DeeplyNestedOnSingleWorkerPool) {
+  // Worst case: one worker, three nesting levels. Progress must come
+  // entirely from calling threads draining their own ranges.
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  ParallelFor(pool, 0, 3, [&](size_t) {
+    ParallelFor(pool, 0, 3, [&](size_t) {
+      ParallelFor(pool, 0, 3, [&](size_t) { count.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(count.load(), 27);
+}
+
+TEST(ParallelForTest, NestedExceptionPropagatesToOuterCaller) {
+  ThreadPool pool(2);
+  EXPECT_THROW(ParallelFor(pool, 0, 4,
+                           [&](size_t outer) {
+                             ParallelFor(pool, 0, 4, [outer](size_t inner) {
+                               if (outer == 2 && inner == 1) {
+                                 throw std::runtime_error("inner boom");
+                               }
+                             });
+                           }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, NestedSubmitFromWorker) {
+  // A worker may enqueue follow-up work (fire-and-forget); only *blocking*
+  // on that work from the worker is disallowed (see Submit's contract).
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> outer;
+  for (int i = 0; i < 8; ++i) {
+    outer.push_back(pool.Submit([&pool, &counter] {
+      counter.fetch_add(1);
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }));
+  }
+  for (auto& f : outer) f.get();
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 16);
 }
 
 }  // namespace
