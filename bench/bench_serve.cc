@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/common/logging.h"
 #include "src/eval/report.h"
 #include "src/serve/session_manager.h"
 #include "src/workload/generator.h"
@@ -22,6 +23,11 @@ namespace {
 
 constexpr size_t kSessionsPerSweep = 16;
 constexpr size_t kMaxNewTokens = 12;
+// Shared-prefix scenario shape: every session's prompt opens with the same
+// system-prompt/few-shot header of this many tokens.
+constexpr size_t kSharedPrefixTokens = 192;
+constexpr size_t kPrefixBlockTokens = 32;
+constexpr size_t kPrefixScenarioSlots = 4;
 
 PQCacheEngineOptions ServeEngineOptions() {
   PQCacheEngineOptions options;
@@ -107,8 +113,102 @@ struct SweepResult {
   ServerStats stats;
 };
 
+// ---------------------------------------------------------------------------
+// Shared-prefix scenario: a 16-session mix whose prompts all open with the
+// same kSharedPrefixTokens-token system prompt, run once with prefix sharing
+// off and once with it on. Reports the prefill-time and GPU-byte savings and
+// gates on bit-identical tokens vs. lone-engine references in both modes.
+
+PQCacheEngineOptions PrefixEngineOptions() {
+  PQCacheEngineOptions options = ServeEngineOptions();
+  // Finite PQ spans make codebooks/codes shareable; identical in both runs
+  // so the comparison isolates sharing itself.
+  options.pq_span_tokens = kPrefixBlockTokens;
+  return options;
+}
+
+std::vector<BenchRequest> MakeSharedPrefixRequests(int vocab_size) {
+  std::vector<BenchRequest> requests;
+  requests.reserve(kSessionsPerSweep);
+  for (size_t s = 0; s < kSessionsPerSweep; ++s) {
+    const size_t len = 256 + 32 * (s % 4);  // 256..352-token prompts.
+    BenchRequest request;
+    request.tag = "shared_prefix_" + std::to_string(s);
+    request.prompt.resize(len);
+    for (size_t pos = 0; pos < len; ++pos) {
+      const uint64_t role =
+          pos < kSharedPrefixTokens ? pos * 131 + 29 : (s + 1) * 977 + pos * 7;
+      const uint64_t mixed = role * 0x9E3779B97F4A7C15ull + pos * 31;
+      request.prompt[pos] = static_cast<int32_t>(mixed % vocab_size);
+    }
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+struct PrefixRunResult {
+  ServerStats stats;
+  size_t charged_gpu_bytes = 0;  ///< Sum of per-session admission charges
+                                 ///< plus retained registry segments.
+  bool fidelity = true;
+};
+
+PrefixRunResult RunPrefixScenario(
+    const std::vector<BenchRequest>& requests,
+    const std::vector<std::vector<int32_t>>& references, bool sharing,
+    ThreadPool* pool) {
+  const PQCacheEngineOptions engine_options = PrefixEngineOptions();
+  ServeOptions serve;
+  serve.engine = engine_options;
+  serve.max_sessions = kPrefixScenarioSlots;
+  serve.max_queue = kSessionsPerSweep;
+  serve.pool = pool;
+  serve.enable_prefix_sharing = sharing;
+  serve.prefix.block_tokens = kPrefixBlockTokens;
+  // Tight retention: distinct prompts publish distinct full-prompt segments,
+  // but only the hot (LRU-touched) system-prompt carrier needs to stay
+  // resident; cold per-session tails are evicted so the registry's resident
+  // bytes stay far below the per-session savings it enables.
+  serve.prefix.max_segments = 2;
+  auto manager = SessionManager::Create(serve).value();
+
+  std::vector<std::vector<int32_t>> streamed(requests.size());
+  for (size_t s = 0; s < requests.size(); ++s) {
+    ServeRequest request;
+    request.tag = requests[s].tag;
+    request.prompt = requests[s].prompt;
+    request.max_new_tokens = kMaxNewTokens;
+    request.on_token = [&streamed, s](int32_t token, size_t) {
+      streamed[s].push_back(token);
+    };
+    auto id = manager->Submit(std::move(request));
+    PQC_CHECK(id.ok());
+  }
+  PQC_CHECK(manager->RunUntilDrained().ok());
+
+  PrefixRunResult result;
+  result.stats = manager->stats();
+  for (const SessionRecord& record : result.stats.sessions) {
+    result.charged_gpu_bytes += record.gpu_footprint_bytes;
+  }
+  result.charged_gpu_bytes += result.stats.prefix_resident_gpu_bytes;
+  // Fidelity gate: shared or not, every session must match its lone run.
+  for (size_t s = 0; s < requests.size(); ++s) {
+    if (streamed[s] != references[s]) {
+      std::fprintf(stderr,
+                   "PREFIX FIDELITY FAILURE (sharing=%d): session %zu "
+                   "diverged from its single-session run\n",
+                   sharing ? 1 : 0, s);
+      result.fidelity = false;
+    }
+  }
+  return result;
+}
+
 void WriteJson(const std::string& path, size_t gpu_budget,
-               const std::vector<SweepResult>& sweeps, bool verified) {
+               const std::vector<SweepResult>& sweeps, bool verified,
+               const PrefixRunResult& unshared,
+               const PrefixRunResult& shared) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -142,7 +242,37 @@ void WriteJson(const std::string& path, size_t gpu_budget,
                                                  s.rejected_queue_full),
                  i + 1 < sweeps.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+  const double unshared_prefill = unshared.stats.TotalPrefillSeconds();
+  const double shared_prefill = shared.stats.TotalPrefillSeconds();
+  const double prefill_reduction =
+      unshared_prefill > 0 ? 1.0 - shared_prefill / unshared_prefill : 0.0;
+  const double gpu_reduction =
+      unshared.charged_gpu_bytes > 0
+          ? 1.0 - static_cast<double>(shared.charged_gpu_bytes) /
+                      static_cast<double>(unshared.charged_gpu_bytes)
+          : 0.0;
+  std::fprintf(
+      f,
+      "  \"prefix_sharing\": {\n"
+      "    \"sessions\": %zu, \"shared_prefix_tokens\": %zu, "
+      "\"block_tokens\": %zu, \"decode_slots\": %zu,\n"
+      "    \"unshared_prefill_seconds\": %.6f, "
+      "\"shared_prefill_seconds\": %.6f, \"prefill_reduction\": %.4f,\n"
+      "    \"unshared_charged_gpu_bytes\": %zu, "
+      "\"shared_charged_gpu_bytes\": %zu, \"gpu_bytes_reduction\": %.4f,\n"
+      "    \"unshared_peak_gpu_bytes\": %zu, \"shared_peak_gpu_bytes\": %zu,\n"
+      "    \"prefix_hits\": %llu, \"reused_tokens\": %llu, "
+      "\"tokens_bit_identical\": %s\n"
+      "  }\n}\n",
+      kSessionsPerSweep, kSharedPrefixTokens, kPrefixBlockTokens,
+      kPrefixScenarioSlots, unshared_prefill, shared_prefill,
+      prefill_reduction, unshared.charged_gpu_bytes, shared.charged_gpu_bytes,
+      gpu_reduction, unshared.stats.peak_gpu_bytes,
+      shared.stats.peak_gpu_bytes,
+      static_cast<unsigned long long>(shared.stats.prefix_hits),
+      static_cast<unsigned long long>(shared.stats.prefix_reused_tokens),
+      unshared.fidelity && shared.fidelity ? "true" : "false");
   std::fclose(f);
   std::printf("\nWrote %s\n", path.c_str());
 }
@@ -234,6 +364,51 @@ int Run(const std::string& out_path) {
     sweeps.push_back({slots, stats});
   }
   table.Print(std::cout);
+
+  // Shared-prefix scenario: same mix with and without prefix sharing.
+  bench::PrintHeader(
+      "Prefix sharing: 16 sessions with a common 192-token system prompt\n"
+      "(4 decode slots; sharing off vs. on; both gated on bit-identity)");
+  const std::vector<BenchRequest> prefix_requests =
+      MakeSharedPrefixRequests(engine_options.model.vocab_size);
+  // One set of lone-engine references serves both runs' fidelity gates (the
+  // requests and engine options are identical).
+  std::vector<std::vector<int32_t>> prefix_references;
+  prefix_references.reserve(prefix_requests.size());
+  for (const BenchRequest& request : prefix_requests) {
+    prefix_references.push_back(
+        SingleSessionReference(PrefixEngineOptions(), request.prompt));
+  }
+  const PrefixRunResult unshared = RunPrefixScenario(
+      prefix_requests, prefix_references, /*sharing=*/false, &pool);
+  const PrefixRunResult shared = RunPrefixScenario(
+      prefix_requests, prefix_references, /*sharing=*/true, &pool);
+  verified = verified && unshared.fidelity && shared.fidelity;
+  const double unshared_prefill = unshared.stats.TotalPrefillSeconds();
+  const double shared_prefill = shared.stats.TotalPrefillSeconds();
+  std::printf(
+      "prefill time (summed): %.1f ms -> %.1f ms (%.1f%% reduction)\n"
+      "charged GPU bytes:     %.2f MB -> %.2f MB (%.1f%% reduction)\n"
+      "peak GPU bytes:        %.2f MB -> %.2f MB\n"
+      "prefix hits: %llu/%zu sessions, %llu prompt tokens reused\n"
+      "tokens bit-identical to single-session runs: %s\n",
+      unshared_prefill * 1e3, shared_prefill * 1e3,
+      unshared_prefill > 0
+          ? 100.0 * (1.0 - shared_prefill / unshared_prefill)
+          : 0.0,
+      static_cast<double>(unshared.charged_gpu_bytes) / (1 << 20),
+      static_cast<double>(shared.charged_gpu_bytes) / (1 << 20),
+      unshared.charged_gpu_bytes > 0
+          ? 100.0 * (1.0 - static_cast<double>(shared.charged_gpu_bytes) /
+                               static_cast<double>(unshared.charged_gpu_bytes))
+          : 0.0,
+      static_cast<double>(unshared.stats.peak_gpu_bytes) / (1 << 20),
+      static_cast<double>(shared.stats.peak_gpu_bytes) / (1 << 20),
+      static_cast<unsigned long long>(shared.stats.prefix_hits),
+      kSessionsPerSweep,
+      static_cast<unsigned long long>(shared.stats.prefix_reused_tokens),
+      unshared.fidelity && shared.fidelity ? "yes" : "NO");
+
   const ServerStats& first = sweeps.front().stats;
   const ServerStats& last = sweeps.back().stats;
   std::printf(
@@ -248,8 +423,8 @@ int Run(const std::string& out_path) {
       last.TpotPercentileSeconds(99) * 1e3, sweeps.back().max_sessions,
       verified ? "yes" : "NO");
 
-  WriteJson(out_path,
-            engine_options.hardware.gpu_memory_bytes, sweeps, verified);
+  WriteJson(out_path, engine_options.hardware.gpu_memory_bytes, sweeps,
+            verified, unshared, shared);
   return verified ? 0 : 1;
 }
 

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate: compares a fresh benchmark report against the
+checked-in baseline and fails when a tracked metric regressed beyond the
+tolerance band.
+
+Tracked metrics
+  BENCH_serve.json:
+    - tokens_per_sec per sweep (higher is better)
+    - prefix_sharing.prefill_reduction (higher is better; absolute band)
+    - prefix_sharing.tokens_bit_identical / tokens_bit_identical_to_single_
+      session must be true in the FRESH report (hard gate, no tolerance)
+  BENCH_micro.json (optional, google-benchmark format):
+    - real_time per benchmark (lower is better)
+
+Usage:
+  bench/check_regression.py --baseline BENCH_serve.json --fresh fresh.json \
+      [--micro-baseline BENCH_micro.json --micro-fresh fresh_micro.json] \
+      [--tolerance 0.15]
+
+Exit code 0 = within tolerance, 1 = regression (or fidelity failure),
+2 = bad input. Improvements are reported but never fail the gate; refresh
+the committed baselines in the PR that earns them.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def check_serve(baseline, fresh, tolerance, failures):
+    base_sweeps = {s["max_sessions"]: s for s in baseline.get("sweeps", [])}
+    fresh_sweeps = {s["max_sessions"]: s for s in fresh.get("sweeps", [])}
+    for slots, base in sorted(base_sweeps.items()):
+        if slots not in fresh_sweeps:
+            failures.append(f"serve: sweep max_sessions={slots} missing from "
+                            "fresh report")
+            continue
+        base_tps = base.get("tokens_per_sec", 0.0)
+        fresh_tps = fresh_sweeps[slots].get("tokens_per_sec", 0.0)
+        if base_tps <= 0:
+            continue
+        ratio = fresh_tps / base_tps
+        status = "OK"
+        if ratio < 1.0 - tolerance:
+            status = "REGRESSION"
+            failures.append(
+                f"serve: tokens_per_sec at {slots} slots fell "
+                f"{(1.0 - ratio) * 100.0:.1f}% ({base_tps:.0f} -> "
+                f"{fresh_tps:.0f}, tolerance {tolerance * 100.0:.0f}%)")
+        print(f"  serve tokens/s @ {slots:2d} slots: {base_tps:8.0f} -> "
+              f"{fresh_tps:8.0f}  ({(ratio - 1.0) * 100.0:+5.1f}%)  {status}")
+
+    if not fresh.get("tokens_bit_identical_to_single_session", False):
+        failures.append("serve: fidelity gate failed "
+                        "(tokens_bit_identical_to_single_session is false)")
+
+    base_prefix = baseline.get("prefix_sharing")
+    fresh_prefix = fresh.get("prefix_sharing")
+    if base_prefix and fresh_prefix:
+        if not fresh_prefix.get("tokens_bit_identical", False):
+            failures.append("serve: prefix-sharing fidelity gate failed")
+        base_red = base_prefix.get("prefill_reduction", 0.0)
+        fresh_red = fresh_prefix.get("prefill_reduction", 0.0)
+        # Absolute band for a ratio-of-times metric: a baseline of 0.45 with
+        # a 0.15 tolerance fails below 0.30.
+        status = "OK"
+        if fresh_red < base_red - tolerance:
+            status = "REGRESSION"
+            failures.append(
+                f"serve: prefix-sharing prefill_reduction fell from "
+                f"{base_red:.2f} to {fresh_red:.2f} "
+                f"(tolerance band {tolerance:.2f})")
+        print(f"  prefix prefill_reduction:    {base_red:8.2f} -> "
+              f"{fresh_red:8.2f}  {status}")
+
+
+def check_micro(baseline, fresh, tolerance, failures):
+    def times(report):
+        return {
+            b["name"]: b["real_time"]
+            for b in report.get("benchmarks", [])
+            if b.get("run_type", "iteration") == "iteration"
+            and not b.get("error_occurred", False) and b.get("real_time", 0) > 0
+        }
+
+    base_times, fresh_times = times(baseline), times(fresh)
+    for name, base_t in sorted(base_times.items()):
+        fresh_t = fresh_times.get(name)
+        if fresh_t is None:
+            failures.append(f"micro: {name} missing from fresh report")
+            continue
+        ratio = fresh_t / base_t
+        status = "OK"
+        if ratio > 1.0 + tolerance:
+            status = "REGRESSION"
+            failures.append(
+                f"micro: {name} slowed {(ratio - 1.0) * 100.0:.1f}% "
+                f"({base_t:.0f}ns -> {fresh_t:.0f}ns, tolerance "
+                f"{tolerance * 100.0:.0f}%)")
+        print(f"  micro {name:40s} {base_t:10.0f} -> {fresh_t:10.0f} ns "
+              f"({(ratio - 1.0) * 100.0:+6.1f}%)  {status}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in BENCH_serve.json")
+    parser.add_argument("--fresh", required=True,
+                        help="freshly generated serve report")
+    parser.add_argument("--micro-baseline", help="checked-in BENCH_micro.json")
+    parser.add_argument("--micro-fresh", help="freshly generated micro report")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed relative regression (default 0.15)")
+    args = parser.parse_args()
+
+    failures = []
+    print(f"bench-regression gate (tolerance {args.tolerance * 100.0:.0f}%)")
+    check_serve(load(args.baseline), load(args.fresh), args.tolerance,
+                failures)
+    if args.micro_baseline and args.micro_fresh:
+        check_micro(load(args.micro_baseline), load(args.micro_fresh),
+                    args.tolerance, failures)
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        print("(if this regression is expected and accepted, refresh the "
+              "committed baseline JSONs in this PR)", file=sys.stderr)
+        return 1
+    print("\nall tracked metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

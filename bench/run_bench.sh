@@ -15,15 +15,40 @@
 #               pre-serve interface `run_bench.sh build out.json --flag` still
 #               works
 #
+# Pass --check (anywhere in args) to additionally run
+# bench/check_regression.py comparing the fresh reports against the
+# committed BENCH_micro.json / BENCH_serve.json baselines (15% band) —
+# the same gate CI's bench-regression job applies. With --check the fresh
+# reports are written to BENCH_*_fresh.json so the baselines are untouched;
+# without it the defaults overwrite the baselines in place (how they get
+# refreshed for a PR).
+#
 # The scalar/avx2 benchmark pairs (BM_LutBuild, BM_GatherReduce) measure the
 # same kernel through both dispatch tiers; the printed summary reports the
 # AVX2 speedup over the scalar reference.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+CHECK=0
+ARGS=()
+for arg in "$@"; do
+  if [[ "$arg" == "--check" ]]; then
+    CHECK=1
+  else
+    ARGS+=("$arg")
+  fi
+done
+set -- "${ARGS[@]+"${ARGS[@]}"}"
+
 BUILD_DIR=${1:-build}
-OUT=${2:-BENCH_micro.json}
-SERVE_OUT=BENCH_serve.json
+if [[ $CHECK -eq 1 ]]; then
+  OUT=${2:-BENCH_micro_fresh.json}
+  SERVE_OUT=BENCH_serve_fresh.json
+else
+  OUT=${2:-BENCH_micro.json}
+  SERVE_OUT=BENCH_serve.json
+fi
 EXTRA_START=3
 if [[ $# -ge 3 && ${3} != -* ]]; then
   SERVE_OUT=$3
@@ -70,3 +95,10 @@ fi
 # bench_serve also self-verifies that concurrent sessions produce tokens
 # bit-identical to single-session runs; a fidelity failure exits non-zero.
 "$SERVE_BIN" "$SERVE_OUT"
+
+if [[ $CHECK -eq 1 ]]; then
+  echo
+  python3 bench/check_regression.py \
+    --baseline BENCH_serve.json --fresh "$SERVE_OUT" \
+    --micro-baseline BENCH_micro.json --micro-fresh "$OUT"
+fi

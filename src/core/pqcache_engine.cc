@@ -48,7 +48,7 @@ class PQCacheEngine::SelectiveBackend : public AttentionBackend {
     const size_t idx = static_cast<size_t>(layer) *
                            e.options_.model.num_kv_heads +
                        static_cast<size_t>(kv_head);
-    PQIndex& index = e.indexes_[idx];
+    PQSpanSet& index = e.indexes_[idx];
     BlockCache& cache = *e.caches_[idx];
     const size_t d = store.head_dim();
 
@@ -176,6 +176,24 @@ Result<std::unique_ptr<PQCacheEngine>> PQCacheEngine::Create(
     return Status::InvalidArgument(
         "PQCacheEngine: token_ratio must be in (0, 1]");
   }
+  if (options.prefix != nullptr) {
+    const PrefixSegmentConfig& config = options.prefix->segment->config;
+    PrefixSegmentConfig expected;
+    expected.num_layers = options.model.num_layers;
+    expected.num_kv_heads = options.model.num_kv_heads;
+    expected.head_dim = options.model.head_dim;
+    expected.initial_tokens = options.initial_tokens;
+    expected.local_window = options.local_window;
+    expected.pq_span_tokens = options.pq_span_tokens;
+    expected.pq_partitions = options.pq_partitions;
+    expected.pq_bits = options.pq_bits;
+    expected.kmeans_iterations = options.kmeans_iterations;
+    if (!(config == expected)) {
+      return Status::InvalidArgument(
+          "PQCacheEngine: prefix segment was built under a different "
+          "engine configuration");
+    }
+  }
   std::unique_ptr<PQCacheEngine> engine(new PQCacheEngine(options));
 
   auto model = TransformerModel::Create(options.model);
@@ -208,30 +226,28 @@ Result<std::unique_ptr<PQCacheEngine>> PQCacheEngine::Create(
   return engine;
 }
 
-const PQIndex& PQCacheEngine::pq_index(int layer, int kv_head) const {
+const PQSpanSet& PQCacheEngine::pq_index(int layer, int kv_head) const {
   return indexes_[static_cast<size_t>(layer) * options_.model.num_kv_heads +
                   static_cast<size_t>(kv_head)];
 }
 
-namespace {
-// FP16 bytes of one (layer, kv-head) PQ codebook resident on GPU: 2^b
-// centroid rows spanning the full head_dim across the m partitions.
-size_t CodebookGpuBytes(int bits, int head_dim) {
-  return (size_t{1} << bits) * static_cast<size_t>(head_dim) * sizeof(Half);
-}
-}  // namespace
-
 size_t PQCacheEngine::GpuFootprintBytes() const {
-  size_t total = kv_cache_->GpuBytes();
-  for (const auto& index : indexes_) {
-    total += static_cast<size_t>(std::ceil(index.LogicalCodeBytes()));
-    if (index.trained()) {
-      total += CodebookGpuBytes(index.codebook().config().bits,
-                                options_.model.head_dim);
-    }
-  }
   const size_t bytes_per_token =
       2 * static_cast<size_t>(options_.model.head_dim) * sizeof(Half);
+  size_t total = kv_cache_->GpuBytes();
+  // Shared prefix rows inside the pinned initial window are charged by the
+  // segment owner, not per session.
+  if (!indexes_.empty()) {
+    const KVStore& store0 = kv_cache_->store(0, 0);
+    total -= indexes_.size() *
+             std::min(store0.shared_count(), store0.initial_count()) *
+             bytes_per_token;
+  }
+  for (const auto& index : indexes_) {
+    total += static_cast<size_t>(std::ceil(index.PrivateLogicalCodeBytes()));
+    total += index.PrivateCodebooks() *
+             PqCodebookGpuBytes(options_.pq_bits, options_.model.head_dim);
+  }
   total += caches_.size() * options_.cache.capacity_tokens * bytes_per_token;
   return total;
 }
@@ -253,11 +269,25 @@ size_t PQCacheEngine::EstimateGpuFootprintBytes(
   pq.dim = static_cast<size_t>(options.model.head_dim);
   const size_t code_bytes = static_cast<size_t>(
       std::ceil(static_cast<double>(middle_max) * pq.code_bytes_per_vector()));
+  // Span-structured PQ holds one codebook per closed span plus the open
+  // tail; the legacy single-span layout holds exactly one.
+  const size_t codebooks =
+      options.pq_span_tokens == 0
+          ? 1
+          : middle_max / options.pq_span_tokens + 1;
   const size_t per_store =
       pinned_tokens * bytes_per_token + code_bytes +
-      CodebookGpuBytes(options.pq_bits, options.model.head_dim) +
+      codebooks * PqCodebookGpuBytes(options.pq_bits, options.model.head_dim) +
       options.cache.capacity_tokens * bytes_per_token;
-  return stores * per_store;
+  size_t total = stores * per_store;
+  if (options.prefix != nullptr) {
+    // The reused shared state is charged once by the segment owner; deduct
+    // its exact bytes (each deducted term is bounded by the matching term
+    // above, so the result stays an upper bound on the private footprint).
+    const size_t shared = options.prefix->SharedGpuBytes();
+    total -= std::min(total, shared);
+  }
+  return total;
 }
 
 size_t PQCacheEngine::EstimateCpuFootprintBytes(
@@ -270,8 +300,22 @@ size_t PQCacheEngine::EstimateCpuFootprintBytes(
   const size_t final_seq = prompt_tokens + max_new_tokens;
   const size_t reserved = options.initial_tokens + options.local_window;
   const size_t middle_max = final_seq > reserved ? final_seq - reserved : 0;
-  return stores * middle_max * bytes_per_token;
+  size_t total = stores * middle_max * bytes_per_token;
+  if (options.prefix != nullptr) {
+    const size_t shared = options.prefix->SharedCpuBytes();
+    total -= std::min(total, shared);
+  }
+  return total;
 }
+
+namespace {
+// Deterministic K-Means seed for one (store, span) pair. With the legacy
+// single-span layout (span_tokens == 0, span_index == 0) this reduces to the
+// historical 0x9100 + job seed, keeping pre-span numerics bit-identical.
+uint64_t SpanSeed(size_t job, size_t span_index) {
+  return (0x9100 + job) + span_index * 0x9E3779B97F4A7C15ull;
+}
+}  // namespace
 
 Status PQCacheEngine::BuildPQIndexes(size_t seq_len) {
   WallTimer timer;
@@ -284,6 +328,8 @@ Status PQCacheEngine::BuildPQIndexes(size_t seq_len) {
   const int layers = options_.model.num_layers;
   const int kv_heads = options_.model.num_kv_heads;
   const size_t d = config.dim;
+  const size_t span_tokens = options_.pq_span_tokens;
+  const PrefixAttachment* prefix = options_.prefix.get();
 
   std::vector<Status> statuses(static_cast<size_t>(layers) * kv_heads,
                                Status::OK());
@@ -291,25 +337,75 @@ Status PQCacheEngine::BuildPQIndexes(size_t seq_len) {
     const int layer = static_cast<int>(job) / kv_heads;
     const int head = static_cast<int>(job) % kv_heads;
     const KVStore& store = kv_cache_->store(layer, head);
-    const size_t n_middle = store.middle_count();
-    if (n_middle == 0) return;
-    // Decode the middle keys to float for clustering (the CPU-side copy the
-    // paper clusters over).
-    std::vector<float> keys(n_middle * d);
-    for (size_t i = 0; i < n_middle; ++i) {
-      store.GetKey(store.middle_begin() + i, {keys.data() + i * d, d});
+    const size_t mb = store.middle_begin();
+    const size_t me = store.middle_end();
+    PQSpanSet& set = indexes_[job];
+    set.Reset(mb);
+    if (me == mb) return;  // No middle region: stays untrained (legacy).
+
+    // Adopt the attachment's closed spans: their codebooks and codes are
+    // exactly what training over the same rows would produce, so both the
+    // clustering and the encode pass are skipped for these ranges.
+    size_t cursor = mb;
+    if (prefix != nullptr) {
+      const auto& shared_spans = prefix->segment->spans[job];
+      for (size_t i = 0; i < prefix->use_spans; ++i) {
+        const PQClosedSpan& span = shared_spans[i];
+        set.AddClosed(span.begin, span.index, /*shared=*/true);
+        cursor = span.end();
+      }
     }
-    KMeansOptions kmeans;
-    kmeans.max_iterations = options_.kmeans_iterations;
-    kmeans.seed = 0x9100 + job;
-    auto book = PQCodebook::Train(keys, n_middle, config, kmeans, nullptr);
-    if (!book.ok()) {
-      statuses[job] = book.status();
-      return;
+
+    // Trains one span over middle keys [begin, end) and returns it.
+    auto train_span = [&](size_t begin, size_t end,
+                          PQIndex* out) -> Status {
+      const size_t n = end - begin;
+      std::vector<float> keys(n * d);
+      for (size_t i = 0; i < n; ++i) {
+        store.GetKey(begin + i, {keys.data() + i * d, d});
+      }
+      KMeansOptions kmeans;
+      kmeans.max_iterations = options_.kmeans_iterations;
+      kmeans.seed = SpanSeed(job, span_tokens == 0 ? 0 : (begin - mb) /
+                                                            span_tokens);
+      auto book = PQCodebook::Train(keys, n, config, kmeans, nullptr);
+      if (!book.ok()) return book.status();
+      PQIndex index(std::move(book).value());
+      index.AddVectors(keys, n);
+      *out = std::move(index);
+      return Status::OK();
+    };
+
+    // Private closed spans over the remaining full span ranges.
+    if (span_tokens > 0) {
+      while (cursor + span_tokens <= me) {
+        PQIndex index;
+        Status st = train_span(cursor, cursor + span_tokens, &index);
+        if (!st.ok()) {
+          statuses[job] = st;
+          return;
+        }
+        set.AddClosed(cursor,
+                      std::make_shared<const PQIndex>(std::move(index)),
+                      /*shared=*/false);
+        cursor += span_tokens;
+      }
     }
-    PQIndex index(std::move(book).value());
-    index.AddVectors(keys, n_middle);
-    indexes_[job] = std::move(index);
+
+    // Open tail span: the partial range past the last closed boundary. An
+    // empty tail inherits the previous span's codebook so decode-era
+    // evictions can still be encoded.
+    if (cursor < me) {
+      PQIndex index;
+      Status st = train_span(cursor, me, &index);
+      if (!st.ok()) {
+        statuses[job] = st;
+        return;
+      }
+      set.SetOpen(std::move(index));
+    } else if (!set.closed().empty()) {
+      set.SetOpen(PQIndex(set.closed().back().index->codebook()));
+    }
   };
 
   const size_t n_jobs = static_cast<size_t>(layers) * kv_heads;
@@ -331,18 +427,52 @@ Result<int32_t> PQCacheEngine::Prefill(std::span<const int32_t> tokens) {
     return Status::FailedPrecondition("PQCacheEngine: already prefilled");
   }
   WallTimer timer;
-  auto logits = model_->Prefill(tokens, kv_cache_.get());
-  if (!logits.ok()) return logits.status();
 
-  // Offload accounting: all middle KV moves to CPU (Step 1). Against a
-  // shared hierarchy the admission layer has already reserved this (and
-  // more) via EstimateCpuFootprintBytes, so only a private pool is charged.
-  stats_.bytes_offloaded = static_cast<double>(kv_cache_->CpuBytes());
-  if (hierarchy_ != nullptr) {
-    PQC_RETURN_IF_ERROR(mem_->cpu().Allocate(kv_cache_->CpuBytes()));
+  // Prefix-sharing fast path: attach the segment's rows for the matched
+  // prefix and run the transformer only over the suffix.
+  size_t shared_tokens = 0;
+  if (options_.prefix != nullptr) {
+    const PrefixAttachment& att = *options_.prefix;
+    shared_tokens = att.use_tokens;
+    if (shared_tokens >= tokens.size() ||
+        shared_tokens + options_.local_window > tokens.size()) {
+      return Status::InvalidArgument(
+          "PQCacheEngine: shared prefix too long for this prompt (must "
+          "leave the local window and final position private)");
+    }
+    if (!std::equal(tokens.begin(), tokens.begin() + shared_tokens,
+                    att.segment->tokens.begin())) {
+      return Status::InvalidArgument(
+          "PQCacheEngine: prompt does not start with the shared prefix");
+    }
+    PQC_RETURN_IF_ERROR(
+        kv_cache_->AttachSharedPrefix(att.segment->rows, shared_tokens));
+    stats_.prefix_shared_tokens = shared_tokens;
+    stats_.prefix_reused_span_vectors = att.use_span_vectors;
   }
 
-  // PQ construction (Step 2).
+  auto logits = model_->PrefillFrom(tokens.subspan(shared_tokens),
+                                    kv_cache_.get(), shared_tokens);
+  if (!logits.ok()) return logits.status();
+
+  // Offload accounting: the privately computed middle KV moves to CPU
+  // (Step 1); shared middle rows are already host-resident and charged once
+  // by the segment owner. Against a shared hierarchy the admission layer
+  // has already reserved this (and more) via EstimateCpuFootprintBytes, so
+  // only a private pool is charged.
+  const KVStore& store0 = kv_cache_->store(0, 0);
+  const size_t shared_middle =
+      store0.shared_count() -
+      std::min(store0.shared_count(), store0.initial_count());
+  const size_t private_cpu_bytes =
+      kv_cache_->CpuBytes() -
+      indexes_.size() * shared_middle * store0.BytesPerToken();
+  stats_.bytes_offloaded = static_cast<double>(private_cpu_bytes);
+  if (hierarchy_ != nullptr) {
+    PQC_RETURN_IF_ERROR(mem_->cpu().Allocate(private_cpu_bytes));
+  }
+
+  // PQ construction (Step 2): shared spans are adopted, the rest trains.
   PQC_RETURN_IF_ERROR(BuildPQIndexes(tokens.size()));
 
   stats_.prefill_wall_seconds = timer.ElapsedSeconds();
@@ -375,7 +505,12 @@ Result<int32_t> PQCacheEngine::DecodeNext() {
 
   ++stats_.decode_steps;
   stats_.decode_wall_seconds += timer.ElapsedSeconds();
-  // Aggregate cache stats.
+  RefreshCacheStats();
+  last_token_ = TransformerModel::GreedyToken(logits.value());
+  return last_token_;
+}
+
+void PQCacheEngine::RefreshCacheStats() {
   stats_.cache = CacheStats{};
   for (const auto& c : caches_) {
     stats_.cache.token_lookups += c->stats().token_lookups;
@@ -383,8 +518,6 @@ Result<int32_t> PQCacheEngine::DecodeNext() {
     stats_.cache.block_insertions += c->stats().block_insertions;
     stats_.cache.block_evictions += c->stats().block_evictions;
   }
-  last_token_ = TransformerModel::GreedyToken(logits.value());
-  return last_token_;
 }
 
 Status PQCacheEngine::FeedTokens(std::span<const int32_t> tokens) {

@@ -22,10 +22,11 @@
 #include "src/cache/block_cache.h"
 #include "src/common/status.h"
 #include "src/common/threadpool.h"
+#include "src/core/prefix_registry.h"
 #include "src/kvcache/layered_kv_cache.h"
 #include "src/llm/transformer.h"
 #include "src/memory/hierarchy.h"
-#include "src/pq/pq_index.h"
+#include "src/pq/pq_span_set.h"
 
 namespace pqcache {
 
@@ -45,6 +46,19 @@ struct PQCacheEngineOptions {
   /// PQ shape (paper defaults m=2, b=6).
   int pq_partitions = 2;
   int pq_bits = 6;
+  /// Span-structured PQ: the middle region is covered by closed
+  /// (codebook, codes) spans of this many tokens each, trained independently
+  /// and deterministically per span, plus an open tail span for decode-era
+  /// evictions. 0 (default) = one span over the whole middle region (the
+  /// legacy layout, bit for bit). Finite spans are what make PQ state
+  /// shareable across sessions with a common prompt prefix.
+  size_t pq_span_tokens = 0;
+  /// Shared prompt-prefix attachment (prefix sharing): when set, Prefill
+  /// attaches the segment's KV rows and closed PQ spans for the first
+  /// use_tokens positions and runs the transformer + K-Means only over the
+  /// remainder. Tokens stay bit-identical to an unshared run. The engine
+  /// holds the refcount for its lifetime.
+  std::shared_ptr<const PrefixAttachment> prefix;
   /// K-Means budget for codebook training (fixed; the latency-side adaptive
   /// budget lives in src/sched and feeds this knob in deployments).
   int kmeans_iterations = 8;
@@ -74,6 +88,9 @@ struct EngineStats {
   double decode_wall_seconds = 0;
   size_t decode_steps = 0;
   uint64_t middle_tokens_selected = 0;  ///< Sum of top-k sizes.
+  size_t prefix_shared_tokens = 0;  ///< Prompt positions reused via sharing.
+  size_t prefix_reused_span_vectors = 0;  ///< Middle keys whose PQ training
+                                          ///< was skipped (per store).
   double bytes_offloaded = 0;   ///< KV moved GPU -> CPU (logical FP16).
   double bytes_code_traffic = 0;  ///< PQ codes moved CPU -> GPU.
   double bytes_topk_fetched = 0;  ///< Top-k KV moved CPU -> GPU (post-cache).
@@ -113,31 +130,43 @@ class PQCacheEngine {
   /// Convenience: prefill must have run; generates `n` tokens greedily.
   Result<std::vector<int32_t>> Generate(int n);
 
-  /// The PQ index of one (layer, kv-head) — exposed for tests/examples.
-  const PQIndex& pq_index(int layer, int kv_head) const;
+  /// The PQ span set of one (layer, kv-head) — exposed for tests/examples
+  /// and for PrefixRegistry::Publish.
+  const PQSpanSet& pq_index(int layer, int kv_head) const;
+
+  /// Re-aggregates the per-(layer, head) block-cache counters into
+  /// stats().cache. DecodeNext does this after every step; the serving layer
+  /// calls it once more at retire time so sessions that end mid-step (or
+  /// after prefill only) still report their final hit rates.
+  void RefreshCacheStats();
 
   /// The hierarchy byte accounting runs against (the shared one when
   /// `options.shared_hierarchy` was set, the private one otherwise).
   MemoryHierarchy& hierarchy() { return *mem_; }
 
-  /// Simulated GPU bytes this engine pins while resident: the initial+local
-  /// KV segments, the PQ codebooks and code arrays (paper Step 2: codes live
-  /// on GPU), and the block cache's full capacity, across all (layer,
-  /// kv-head) pairs. This is what a serving layer should charge against the
+  /// Simulated GPU bytes this engine pins *privately* while resident: the
+  /// initial+local KV segments, the PQ codebooks and code arrays (paper
+  /// Step 2: codes live on GPU), and the block cache's full capacity, across
+  /// all (layer, kv-head) pairs — minus anything referenced from a shared
+  /// prefix segment, whose bytes the segment owner charges once
+  /// process-wide. This is what a serving layer should charge against the
   /// GPU pool for an admitted session.
   size_t GpuFootprintBytes() const;
 
   /// A-priori upper bound on GpuFootprintBytes() for a session that prefills
   /// `prompt_tokens` and then decodes up to `max_new_tokens`. Admission
   /// control charges this before the engine exists; the bound holds at every
-  /// point of the session's lifetime (unit-tested).
+  /// point of the session's lifetime (unit-tested). When options.prefix is
+  /// set the exact bytes of the reused shared state are deducted (they are
+  /// charged once by the segment owner, not per session).
   static size_t EstimateGpuFootprintBytes(const PQCacheEngineOptions& options,
                                           size_t prompt_tokens,
                                           size_t max_new_tokens);
 
   /// Same contract for the host side: upper bound on the CPU bytes of the
-  /// session's offloaded middle KV (the segment grows during decode as local
-  /// tokens are evicted, so the bound is taken at the final sequence length).
+  /// session's *privately* offloaded middle KV (the segment grows during
+  /// decode as local tokens are evicted, so the bound is taken at the final
+  /// sequence length; shared middle rows are deducted as above).
   static size_t EstimateCpuFootprintBytes(const PQCacheEngineOptions& options,
                                           size_t prompt_tokens,
                                           size_t max_new_tokens);
@@ -153,7 +182,7 @@ class PQCacheEngine {
   std::unique_ptr<LayeredKVCache> kv_cache_;
   std::unique_ptr<MemoryHierarchy> hierarchy_;  // Owned when not shared.
   MemoryHierarchy* mem_ = nullptr;  // Shared or owned (see shared_hierarchy).
-  std::vector<PQIndex> indexes_;           // [layer * kv_heads]
+  std::vector<PQSpanSet> indexes_;         // [layer * kv_heads]
   std::vector<std::unique_ptr<BlockCache>> caches_;  // Same layout.
   std::unique_ptr<SelectiveBackend> backend_;
   EngineStats stats_;

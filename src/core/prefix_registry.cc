@@ -1,0 +1,338 @@
+#include "src/core/prefix_registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/core/pqcache_engine.h"
+
+namespace pqcache {
+
+namespace {
+
+size_t StoreCount(const PrefixSegmentConfig& config) {
+  return static_cast<size_t>(config.num_layers) *
+         static_cast<size_t>(config.num_kv_heads);
+}
+
+size_t BytesPerToken(const PrefixSegmentConfig& config) {
+  return 2 * static_cast<size_t>(config.head_dim) * sizeof(Half);
+}
+
+double CodeBytesPerVector(const PrefixSegmentConfig& config) {
+  return config.pq_partitions * config.pq_bits / 8.0;
+}
+
+}  // namespace
+
+PrefixSegment::~PrefixSegment() {
+  if (hierarchy != nullptr) {
+    hierarchy->gpu().Free(gpu_bytes);
+    hierarchy->cpu().Free(cpu_bytes);
+  }
+}
+
+size_t PrefixAttachment::SharedGpuBytes() const {
+  const PrefixSegmentConfig& config = segment->config;
+  const size_t stores = StoreCount(config);
+  const size_t pinned = std::min(use_tokens, config.initial_tokens);
+  const size_t code_bytes = static_cast<size_t>(
+      std::ceil(static_cast<double>(use_span_vectors) *
+                CodeBytesPerVector(config)));
+  return stores * (pinned * BytesPerToken(config) + code_bytes +
+                   use_spans *
+                       PqCodebookGpuBytes(config.pq_bits, config.head_dim));
+}
+
+size_t PrefixAttachment::SharedCpuBytes() const {
+  const PrefixSegmentConfig& config = segment->config;
+  const size_t middle = use_tokens - std::min(use_tokens, config.initial_tokens);
+  return StoreCount(config) * middle * BytesPerToken(config);
+}
+
+PrefixRegistry::PrefixRegistry(const Options& options) : options_(options) {
+  PQC_CHECK_GT(options_.block_tokens, 0u);
+}
+
+PrefixRegistry::~PrefixRegistry() = default;
+
+uint64_t PrefixRegistry::ChainBlockHash(uint64_t chain,
+                                        std::span<const int32_t> block) {
+  // FNV-1a over the block's token ids, seeded with the parent chain value so
+  // equal blocks at different depths/prefixes hash apart.
+  uint64_t h = chain ^ 0xCBF29CE484222325ull;
+  for (int32_t token : block) {
+    h ^= static_cast<uint64_t>(static_cast<uint32_t>(token));
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+std::shared_ptr<const PrefixAttachment> PrefixRegistry::Lookup(
+    std::span<const int32_t> prompt, size_t cap_tokens) {
+  const size_t block = options_.block_tokens;
+  const size_t max_depth = std::min(prompt.size(), cap_tokens) / block;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.lookups;
+  if (max_depth == 0) return nullptr;
+
+  Node* node = &root_;
+  uint64_t chain = 0;
+  size_t matched_depth = 0;
+  std::shared_ptr<PrefixSegment> found;
+  for (size_t depth = 1; depth <= max_depth; ++depth) {
+    chain = ChainBlockHash(chain,
+                           prompt.subspan((depth - 1) * block, block));
+    auto it = node->children.find(chain);
+    if (it == node->children.end()) break;
+    node = it->second.get();
+    if (node->segment != nullptr) {
+      matched_depth = depth;
+      found = node->segment;
+    }
+  }
+  if (found == nullptr) return nullptr;
+  const size_t use_tokens = matched_depth * block;
+  // Hash-collision guard: the match is only real if the actual token ids
+  // agree. A collision is treated as a miss.
+  if (std::memcmp(prompt.data(), found->tokens.data(),
+                  use_tokens * sizeof(int32_t)) != 0) {
+    return nullptr;
+  }
+
+  auto attachment = std::make_shared<PrefixAttachment>();
+  attachment->segment = found;
+  attachment->use_tokens = use_tokens;
+  if (!found->spans.empty()) {
+    for (const PQClosedSpan& span : found->spans[0]) {
+      if (span.end() > use_tokens) break;
+      ++attachment->use_spans;
+      attachment->use_span_vectors += span.count();
+    }
+  }
+  // Touch LRU (linear scan: retention caps keep this list small).
+  auto lru_it = std::find(lru_.begin(), lru_.end(), found);
+  if (lru_it != lru_.end()) lru_.splice(lru_.begin(), lru_, lru_it);
+  ++stats_.hits;
+  stats_.reused_tokens += use_tokens;
+  return attachment;
+}
+
+Status PrefixRegistry::Publish(std::span<const int32_t> prompt,
+                               const PQCacheEngine& engine) {
+  const size_t block = options_.block_tokens;
+  const size_t depth = prompt.size() / block;
+  const size_t n_tokens = depth * block;
+  if (depth == 0) return Status::OK();  // Nothing block-aligned to share.
+
+  const PQCacheEngineOptions& opts = engine.options();
+  PrefixSegmentConfig config;
+  config.num_layers = opts.model.num_layers;
+  config.num_kv_heads = opts.model.num_kv_heads;
+  config.head_dim = opts.model.head_dim;
+  config.initial_tokens = opts.initial_tokens;
+  config.local_window = opts.local_window;
+  config.pq_span_tokens = opts.pq_span_tokens;
+  config.pq_partitions = opts.pq_partitions;
+  config.pq_bits = opts.pq_bits;
+  config.kmeans_iterations = opts.kmeans_iterations;
+  const size_t stores = StoreCount(config);
+
+  if (engine.sequence_length() < n_tokens) {
+    return Status::FailedPrecondition(
+        "PrefixRegistry::Publish: engine holds fewer rows than the prefix");
+  }
+
+  // Fast duplicate check before paying for the row copy.
+  std::vector<uint64_t> chain_hashes(depth);
+  {
+    uint64_t chain = 0;
+    for (size_t i = 0; i < depth; ++i) {
+      chain = ChainBlockHash(chain, prompt.subspan(i * block, block));
+      chain_hashes[i] = chain;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    Node* node = &root_;
+    bool covered = true;
+    for (size_t i = 0; i < depth; ++i) {
+      auto it = node->children.find(chain_hashes[i]);
+      if (it == node->children.end()) {
+        covered = false;
+        break;
+      }
+      node = it->second.get();
+    }
+    if (covered && node->segment != nullptr &&
+        node->segment->n_tokens >= n_tokens) {
+      ++stats_.duplicate_publishes;
+      return Status::OK();
+    }
+  }
+
+  // Build the segment outside the lock: copy the FP16 rows once, adopt the
+  // closed spans by reference.
+  auto segment = std::make_shared<PrefixSegment>();
+  segment->config = config;
+  segment->tokens.assign(prompt.begin(), prompt.begin() + n_tokens);
+  segment->n_tokens = n_tokens;
+  segment->rows.reserve(stores);
+  segment->spans.resize(stores);
+  const size_t d = static_cast<size_t>(config.head_dim);
+  size_t span_code_bytes = 0;
+  size_t span_codebooks = 0;
+  for (int layer = 0; layer < config.num_layers; ++layer) {
+    for (int head = 0; head < config.num_kv_heads; ++head) {
+      const size_t job = static_cast<size_t>(layer) * config.num_kv_heads +
+                         static_cast<size_t>(head);
+      const KVStore& store = engine.cache().store(layer, head);
+      auto rows = std::make_shared<SharedKVRows>();
+      rows->n = n_tokens;
+      rows->head_dim = d;
+      rows->keys.resize(n_tokens * d);
+      rows->values.resize(n_tokens * d);
+      for (size_t t = 0; t < n_tokens; ++t) {
+        std::span<const Half> key = store.KeyRow(t);
+        std::span<const Half> value = store.ValueRow(t);
+        std::copy(key.begin(), key.end(), rows->keys.begin() + t * d);
+        std::copy(value.begin(), value.end(), rows->values.begin() + t * d);
+      }
+      segment->rows.push_back(std::move(rows));
+      for (const PQClosedSpan& span : engine.pq_index(layer, head).closed()) {
+        if (span.end() > n_tokens) break;
+        segment->spans[job].push_back(
+            PQClosedSpan{span.begin, span.index, /*shared=*/true});
+        if (job == 0) {
+          span_code_bytes += static_cast<size_t>(
+              std::ceil(static_cast<double>(span.count()) *
+                        CodeBytesPerVector(config)));
+          ++span_codebooks;
+        }
+      }
+    }
+  }
+
+  // Charge the segment's bytes once (both pools or neither). An unfundable
+  // segment is simply not shared.
+  const size_t pinned = std::min(n_tokens, config.initial_tokens);
+  segment->gpu_bytes =
+      stores * (pinned * BytesPerToken(config) + span_code_bytes +
+                span_codebooks *
+                    PqCodebookGpuBytes(config.pq_bits, config.head_dim));
+  segment->cpu_bytes = stores * (n_tokens - pinned) * BytesPerToken(config);
+  if (segment->gpu_bytes + segment->cpu_bytes > options_.max_bytes) {
+    // Would blow the retention budget on its own; eviction never drops the
+    // most recent segment, so refusing up front is the only way to honor
+    // max_bytes for oversized prefixes.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.rejected_bytes;
+    return Status::OK();
+  }
+  if (options_.hierarchy != nullptr) {
+    if (!options_.hierarchy->gpu().Allocate(segment->gpu_bytes).ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.rejected_bytes;
+      return Status::OK();
+    }
+    if (!options_.hierarchy->cpu().Allocate(segment->cpu_bytes).ok()) {
+      options_.hierarchy->gpu().Free(segment->gpu_bytes);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.rejected_bytes;
+      return Status::OK();
+    }
+    segment->hierarchy = options_.hierarchy;  // Charges release at last unref.
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // Re-walk under the lock: a racing Publish may have covered us meanwhile.
+  Node* node = &root_;
+  for (size_t i = 0; i < depth; ++i) {
+    auto [it, inserted] =
+        node->children.try_emplace(chain_hashes[i], nullptr);
+    if (inserted) it->second = std::make_unique<Node>();
+    node = it->second.get();
+    if (i + 1 == depth) {
+      if (node->segment != nullptr) {
+        ++stats_.duplicate_publishes;
+        return Status::OK();  // Segment dies here, releasing its charges.
+      }
+      node->segment = segment;
+    } else if (node->segment == nullptr) {
+      node->segment = segment;
+    }
+  }
+  lru_.push_front(segment);
+  ++stats_.publishes;
+  stats_.segments = lru_.size();
+  stats_.resident_gpu_bytes += segment->gpu_bytes;
+  stats_.resident_cpu_bytes += segment->cpu_bytes;
+  EvictOverBudgetLocked();
+  return Status::OK();
+}
+
+void PrefixRegistry::EvictOverBudgetLocked() {
+  bool evicted = false;
+  while (lru_.size() > 1 &&
+         (lru_.size() > options_.max_segments ||
+          stats_.resident_gpu_bytes + stats_.resident_cpu_bytes >
+              options_.max_bytes)) {
+    std::shared_ptr<PrefixSegment> victim = lru_.back();
+    lru_.pop_back();
+    RemoveFromTrieLocked(*victim);
+    stats_.resident_gpu_bytes -= victim->gpu_bytes;
+    stats_.resident_cpu_bytes -= victim->cpu_bytes;
+    ++stats_.evictions;
+    evicted = true;
+    // The charges release when live attachments (if any) drop their refs.
+  }
+  stats_.segments = lru_.size();
+  if (!evicted) return;
+  // Heal interior markers: an evicted short segment may have been the
+  // registered carrier on trie nodes that retained longer segments still
+  // pass through. Re-registering every retained segment along its own chain
+  // restores the Node::segment invariant (nodes shared with a retained
+  // chain were not pruned — they still have children toward it).
+  for (const std::shared_ptr<PrefixSegment>& segment : lru_) {
+    const size_t block = options_.block_tokens;
+    const size_t depth = segment->n_tokens / block;
+    Node* node = &root_;
+    uint64_t chain = 0;
+    for (size_t i = 0; i < depth; ++i) {
+      chain = ChainBlockHash(
+          chain, std::span<const int32_t>(segment->tokens).subspan(i * block,
+                                                                   block));
+      auto it = node->children.find(chain);
+      if (it == node->children.end()) break;
+      node = it->second.get();
+      if (node->segment == nullptr) node->segment = segment;
+    }
+  }
+}
+
+void PrefixRegistry::RemoveFromTrieLocked(const PrefixSegment& segment) {
+  const size_t block = options_.block_tokens;
+  const size_t depth = segment.n_tokens / block;
+  std::vector<Node*> path;
+  path.reserve(depth + 1);
+  path.push_back(&root_);
+  uint64_t chain = 0;
+  std::vector<uint64_t> hashes(depth);
+  for (size_t i = 0; i < depth; ++i) {
+    chain = ChainBlockHash(
+        chain, std::span<const int32_t>(segment.tokens).subspan(i * block,
+                                                                block));
+    hashes[i] = chain;
+    auto it = path.back()->children.find(chain);
+    if (it == path.back()->children.end()) return;  // Already detached.
+    path.push_back(it->second.get());
+  }
+  for (size_t i = depth; i >= 1; --i) {
+    Node* node = path[i];
+    if (node->segment.get() == &segment) node->segment = nullptr;
+    if (node->segment == nullptr && node->children.empty()) {
+      path[i - 1]->children.erase(hashes[i - 1]);
+    }
+  }
+}
+
+}  // namespace pqcache

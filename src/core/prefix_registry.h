@@ -1,0 +1,202 @@
+// Cross-session prompt-prefix sharing (the ROADMAP's "top capacity
+// multiplier"): a process-wide registry that hashes token-ID prefixes at
+// block granularity into a trie, so a new session whose prompt starts with
+// tokens another session already prefilled attaches that session's published
+// KV rows and closed PQ spans instead of re-running the transformer and
+// K-Means over them.
+//
+// What a segment holds, per (layer, kv-head):
+//   - the FP16 K/V rows of the prefix (SharedKVRows, attached zero-copy into
+//     the new session's KVStore), and
+//   - the closed PQ spans (codebook + codes) fully contained in the prefix.
+// Both are immutable and refcounted (shared_ptr); divergence past the shared
+// prefix writes into the attaching session's private storage, so
+// copy-on-write never copies.
+//
+// Exactness: K/V of token t depends only on tokens [0, t], prefill attention
+// and cache rows use the same FP16 values (see TransformerModel::Prefill),
+// and each closed PQ span is trained deterministically on its own range with
+// a (store, span-index)-derived seed. A session attaching a shared prefix
+// therefore produces tokens bit-identical to prefilling solo (unit-tested).
+//
+// Byte accounting: a published segment's bytes are charged ONCE against the
+// owning MemoryHierarchy (GPU: initial-window rows + PQ codes + codebooks;
+// CPU: middle rows) when it is published, and released when the last
+// reference — registry retention or an attached session — drops. Attaching
+// sessions deduct the reused bytes from their own admission footprints, so
+// shared bytes are never double-charged.
+#ifndef PQCACHE_CORE_PREFIX_REGISTRY_H_
+#define PQCACHE_CORE_PREFIX_REGISTRY_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/kvcache/kv_store.h"
+#include "src/memory/hierarchy.h"
+#include "src/pq/pq_span_set.h"
+#include "src/tensor/fp16.h"
+
+namespace pqcache {
+
+class PQCacheEngine;
+
+/// FP16 bytes of one (layer, kv-head) PQ codebook resident on GPU: 2^b
+/// centroid rows spanning the full head_dim across the m partitions. Shared
+/// between the engine's footprint math and the registry's segment charges so
+/// the two can never drift apart.
+inline size_t PqCodebookGpuBytes(int bits, int head_dim) {
+  return (size_t{1} << bits) * static_cast<size_t>(head_dim) * sizeof(Half);
+}
+
+/// The engine/layout parameters a segment was built under. Sharing is only
+/// exact between engines with identical values (the serving layer guarantees
+/// this by using one engine template per SessionManager; the engine
+/// re-validates at attach time).
+struct PrefixSegmentConfig {
+  int num_layers = 0;
+  int num_kv_heads = 0;
+  int head_dim = 0;
+  size_t initial_tokens = 0;
+  size_t local_window = 0;
+  size_t pq_span_tokens = 0;
+  int pq_partitions = 0;
+  int pq_bits = 0;
+  int kmeans_iterations = 0;
+
+  bool operator==(const PrefixSegmentConfig&) const = default;
+};
+
+/// One published, immutable prefix: token ids, per-store KV rows, and the
+/// closed PQ spans contained in the prefix. Destroying the last reference
+/// releases the segment's hierarchy charges.
+struct PrefixSegment {
+  PrefixSegmentConfig config;
+  std::vector<int32_t> tokens;  ///< The prefix token ids ([0, n_tokens)).
+  size_t n_tokens = 0;          ///< Block-aligned.
+  /// Per (layer * num_kv_heads + kv_head): n_tokens FP16 K/V rows.
+  std::vector<std::shared_ptr<const SharedKVRows>> rows;
+  /// Per store: closed spans with end() <= n_tokens, identical boundaries
+  /// across stores, all flagged shared.
+  std::vector<std::vector<PQClosedSpan>> spans;
+
+  /// Hierarchy charges taken at publish (zero / null when uncharged).
+  size_t gpu_bytes = 0;
+  size_t cpu_bytes = 0;
+  MemoryHierarchy* hierarchy = nullptr;
+
+  ~PrefixSegment();
+
+  PrefixSegment() = default;
+  PrefixSegment(const PrefixSegment&) = delete;
+  PrefixSegment& operator=(const PrefixSegment&) = delete;
+};
+
+/// A session's view of a segment: the first `use_tokens` rows and the closed
+/// spans inside them. use_tokens may be smaller than the segment (a shorter
+/// prompt matching only part of a published prefix).
+struct PrefixAttachment {
+  std::shared_ptr<const PrefixSegment> segment;
+  size_t use_tokens = 0;        ///< Block-aligned, <= segment->n_tokens.
+  size_t use_spans = 0;         ///< Per store: leading spans with end <= use_tokens.
+  size_t use_span_vectors = 0;  ///< Vectors covered by those spans (per store).
+
+  /// Exact bytes of the reused parts, for admission-charge deduction.
+  /// GPU: initial-window rows + span codes + span codebooks; CPU: middle rows.
+  size_t SharedGpuBytes() const;
+  size_t SharedCpuBytes() const;
+};
+
+/// Thread-safe trie of published prefixes with LRU retention.
+class PrefixRegistry {
+ public:
+  struct Options {
+    /// Hashing/sharing granularity in tokens. Sharing requires at least one
+    /// whole block to match. Use the engine's pq_span_tokens for maximal PQ
+    /// reuse (span and block boundaries then coincide up to initial_tokens).
+    size_t block_tokens = 64;
+    /// Retention caps: beyond either, least-recently-used segments are
+    /// dropped from the registry (live attachments keep them alive — and
+    /// charged — until the last session unrefs). The most recently
+    /// published segment is always retained; a single segment that would
+    /// exceed max_bytes by itself is refused at publish instead (counted in
+    /// stats().rejected_bytes).
+    size_t max_segments = 32;
+    size_t max_bytes = 256ull << 20;  ///< GPU+CPU bytes of retained segments.
+    /// When set, each segment's bytes are charged here once at publish and
+    /// released at last unref. Must outlive every segment (in serving, the
+    /// SessionManager owns both and destroys the registry first).
+    MemoryHierarchy* hierarchy = nullptr;
+  };
+
+  struct Stats {
+    uint64_t lookups = 0;
+    uint64_t hits = 0;
+    uint64_t publishes = 0;
+    uint64_t duplicate_publishes = 0;  ///< Prefix already covered.
+    uint64_t rejected_bytes = 0;       ///< Hierarchy could not fund a segment.
+    uint64_t evictions = 0;
+    uint64_t reused_tokens = 0;  ///< Sum of use_tokens over hits.
+    size_t segments = 0;
+    size_t resident_gpu_bytes = 0;  ///< Charged bytes of retained segments.
+    size_t resident_cpu_bytes = 0;
+  };
+
+  explicit PrefixRegistry(const Options& options);
+  ~PrefixRegistry();
+
+  PrefixRegistry(const PrefixRegistry&) = delete;
+  PrefixRegistry& operator=(const PrefixRegistry&) = delete;
+
+  const Options& options() const { return options_; }
+
+  /// Longest published prefix matching `prompt`, capped at `cap_tokens`
+  /// (callers pass min(prompt_len - 1, prompt_len - local_window) so the
+  /// attach stays exact; the result is additionally block-aligned). Returns
+  /// nullptr when no whole block matches. Thread-safe.
+  std::shared_ptr<const PrefixAttachment> Lookup(
+      std::span<const int32_t> prompt, size_t cap_tokens);
+
+  /// Publishes the prefilled engine's prompt prefix (rows copied once, spans
+  /// adopted by reference). Best-effort: an already-covered prefix or an
+  /// unfundable charge is skipped (visible in stats), not an error. The
+  /// engine must have prefilled exactly `prompt`. Thread-safe.
+  Status Publish(std::span<const int32_t> prompt, const PQCacheEngine& engine);
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+ private:
+  struct Node {
+    std::unordered_map<uint64_t, std::unique_ptr<Node>> children;
+    /// A segment whose block chain passes through this node (usable up to
+    /// this node's depth via a partial attachment). Null when none is
+    /// retained.
+    std::shared_ptr<PrefixSegment> segment;
+  };
+
+  /// Chained hash of one block given the previous block's chain value.
+  static uint64_t ChainBlockHash(uint64_t chain,
+                                 std::span<const int32_t> block);
+
+  void EvictOverBudgetLocked();
+  void RemoveFromTrieLocked(const PrefixSegment& segment);
+
+  Options options_;
+  mutable std::mutex mu_;
+  Node root_;
+  /// Retained segments, most recently used first.
+  std::list<std::shared_ptr<PrefixSegment>> lru_;
+  Stats stats_;
+};
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_CORE_PREFIX_REGISTRY_H_

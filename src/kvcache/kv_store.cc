@@ -13,6 +13,25 @@ TokenSegment KVStore::SegmentOf(size_t token) const {
   return TokenSegment::kLocal;
 }
 
+Status KVStore::AttachSharedPrefix(std::shared_ptr<const SharedKVRows> rows,
+                                   size_t use_tokens) {
+  if (prefilled_ || size_ != 0) {
+    return Status::FailedPrecondition(
+        "KVStore: shared prefix must attach to an empty store");
+  }
+  if (rows == nullptr || use_tokens == 0 || use_tokens > rows->n) {
+    return Status::InvalidArgument("KVStore: bad shared prefix view");
+  }
+  if (rows->head_dim != options_.head_dim) {
+    return Status::InvalidArgument("KVStore: shared prefix head_dim mismatch");
+  }
+  shared_ = std::move(rows);
+  shared_count_ = use_tokens;
+  size_ = use_tokens;
+  RecomputeBoundaries();
+  return Status::OK();
+}
+
 Status KVStore::AppendPrefill(std::span<const float> keys,
                               std::span<const float> values, size_t n) {
   if (prefilled_) {
@@ -48,22 +67,32 @@ std::optional<int32_t> KVStore::AppendToken(std::span<const float> key,
 
 void KVStore::GetKey(size_t token, std::span<float> out) const {
   PQC_CHECK_EQ(out.size(), options_.head_dim);
-  const Half* row = keys_.data() + token * options_.head_dim;
+  const Half* row = KeyRow(token).data();
   for (size_t d = 0; d < options_.head_dim; ++d) out[d] = row[d];
 }
 
 void KVStore::GetValue(size_t token, std::span<float> out) const {
   PQC_CHECK_EQ(out.size(), options_.head_dim);
-  const Half* row = values_.data() + token * options_.head_dim;
+  const Half* row = ValueRow(token).data();
   for (size_t d = 0; d < options_.head_dim; ++d) out[d] = row[d];
 }
 
 std::span<const Half> KVStore::KeyRow(size_t token) const {
-  return {keys_.data() + token * options_.head_dim, options_.head_dim};
+  if (token < shared_count_) {
+    return {shared_->keys.data() + token * options_.head_dim,
+            options_.head_dim};
+  }
+  return {keys_.data() + (token - shared_count_) * options_.head_dim,
+          options_.head_dim};
 }
 
 std::span<const Half> KVStore::ValueRow(size_t token) const {
-  return {values_.data() + token * options_.head_dim, options_.head_dim};
+  if (token < shared_count_) {
+    return {shared_->values.data() + token * options_.head_dim,
+            options_.head_dim};
+  }
+  return {values_.data() + (token - shared_count_) * options_.head_dim,
+          options_.head_dim};
 }
 
 void KVStore::Gather(std::span<const int32_t> tokens,

@@ -7,6 +7,7 @@
 #define PQCACHE_KVCACHE_KV_STORE_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -15,6 +16,21 @@
 #include "src/tensor/fp16.h"
 
 namespace pqcache {
+
+/// An immutable, refcounted block of FP16 KV rows for one (layer, kv-head):
+/// the unit of cross-session prefix sharing. Built once (from a prefilled
+/// store), then attached read-only to any number of KVStores whose prompt
+/// starts with the same tokens. Shared rows are never mutated — divergence
+/// past the shared prefix writes into the attaching store's private tail, so
+/// "copy-on-write" never actually copies.
+struct SharedKVRows {
+  size_t n = 0;         ///< Token rows held.
+  size_t head_dim = 0;  ///< d_h (must match the attaching store).
+  std::vector<Half> keys;    // [n, head_dim]
+  std::vector<Half> values;  // [n, head_dim]
+
+  size_t Bytes() const { return 2 * n * head_dim * sizeof(Half); }
+};
 
 /// Token-segment layout parameters.
 struct KVStoreOptions {
@@ -44,8 +60,25 @@ class KVStore {
 
   TokenSegment SegmentOf(size_t token) const;
 
+  /// Attaches the first `use_tokens` rows of an immutable shared segment as
+  /// this store's prefix (prefix sharing). Must run before AppendPrefill, on
+  /// an empty store; afterwards AppendPrefill appends only the private
+  /// suffix rows. The store holds a refcount on `rows` for its lifetime and
+  /// never writes through it.
+  Status AttachSharedPrefix(std::shared_ptr<const SharedKVRows> rows,
+                            size_t use_tokens);
+
+  /// Rows referenced from an attached shared segment (a prefix of [0, size)).
+  size_t shared_count() const { return shared_count_; }
+
+  /// FP16 bytes of the attached shared prefix (counted once process-wide by
+  /// whoever owns the segment, not per attaching store).
+  size_t SharedBytes() const { return shared_count_ * BytesPerToken(); }
+
   /// Bulk-appends the prefill keys/values (row-major [n, head_dim] floats)
-  /// and establishes segment boundaries. Must be called once, first.
+  /// and establishes segment boundaries. Must be called once, first (after
+  /// an optional AttachSharedPrefix, in which case `keys`/`values` hold only
+  /// the rows past the shared prefix).
   Status AppendPrefill(std::span<const float> keys,
                        std::span<const float> values, size_t n);
 
@@ -82,8 +115,12 @@ class KVStore {
   void RecomputeBoundaries();
 
   KVStoreOptions options_;
-  std::vector<Half> keys_;    // [size, head_dim]
-  std::vector<Half> values_;  // [size, head_dim]
+  /// Immutable shared rows for tokens [0, shared_count_), if attached.
+  std::shared_ptr<const SharedKVRows> shared_;
+  size_t shared_count_ = 0;
+  /// Private rows for tokens [shared_count_, size), row-major.
+  std::vector<Half> keys_;
+  std::vector<Half> values_;
   size_t size_ = 0;
   size_t middle_begin_ = 0;
   size_t middle_end_ = 0;

@@ -42,6 +42,35 @@ class LayeredKVCache {
                     kv_head];
   }
 
+  /// Attaches one shared-prefix row segment per store (prefix sharing).
+  /// `rows` is indexed [layer * num_kv_heads + kv_head]; every store
+  /// references the first `use_tokens` rows of its segment. Must run before
+  /// the prefill forward pass populates the cache.
+  Status AttachSharedPrefix(
+      const std::vector<std::shared_ptr<const SharedKVRows>>& rows,
+      size_t use_tokens) {
+    if (rows.size() != stores_.size()) {
+      return Status::InvalidArgument(
+          "LayeredKVCache: shared prefix store-count mismatch");
+    }
+    for (size_t i = 0; i < stores_.size(); ++i) {
+      PQC_RETURN_IF_ERROR(stores_[i]->AttachSharedPrefix(rows[i], use_tokens));
+    }
+    return Status::OK();
+  }
+
+  /// Tokens referenced from a shared segment (identical across stores).
+  size_t shared_count() const {
+    return stores_.empty() ? 0 : stores_[0]->shared_count();
+  }
+
+  /// Aggregate FP16 bytes of attached shared rows across all stores.
+  size_t SharedBytes() const {
+    size_t total = 0;
+    for (const auto& s : stores_) total += s->SharedBytes();
+    return total;
+  }
+
   /// Sequence length (identical across stores by construction).
   size_t size() const { return stores_.empty() ? 0 : stores_[0]->size(); }
 

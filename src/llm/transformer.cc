@@ -127,11 +127,19 @@ void TransformerModel::ProjectQkv(const LayerWeights& layer,
 Result<std::vector<float>> TransformerModel::Prefill(
     std::span<const int32_t> tokens, LayeredKVCache* cache,
     const PrefillAttentionObserver& observer) {
+  return PrefillFrom(tokens, cache, /*start_pos=*/0, observer);
+}
+
+Result<std::vector<float>> TransformerModel::PrefillFrom(
+    std::span<const int32_t> tokens, LayeredKVCache* cache, size_t start_pos,
+    const PrefillAttentionObserver& observer) {
   if (tokens.empty()) {
     return Status::InvalidArgument("Prefill: empty input");
   }
-  if (cache->size() != 0) {
-    return Status::FailedPrecondition("Prefill: cache not empty");
+  if (cache->size() != start_pos) {
+    return Status::FailedPrecondition(
+        start_pos == 0 ? "Prefill: cache not empty"
+                       : "PrefillFrom: cache does not hold the prefix rows");
   }
   const size_t s = tokens.size();
   const size_t d = static_cast<size_t>(config_.hidden_dim());
@@ -141,7 +149,9 @@ Result<std::vector<float>> TransformerModel::Prefill(
   const int group = config_.gqa_group();
   const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
 
-  // Hidden states for the whole sequence (s x d floats): fine at sim scale.
+  // Hidden states for the (suffix of the) sequence (s x d floats): fine at
+  // sim scale. Prefix positions need no hidden state — only their K/V rows,
+  // which already sit in the cache.
   std::vector<float> hidden(s * d);
   for (size_t t = 0; t < s; ++t) {
     const int32_t tok = tokens[t];
@@ -154,64 +164,91 @@ Result<std::vector<float>> TransformerModel::Prefill(
   }
 
   std::vector<float> normed(d), q(h * dh), k(hkv * dh), v(hkv * dh);
-  // Per-layer K/V staging: [s, hkv*dh].
-  std::vector<float> keys(s * hkv * dh), values(s * hkv * dh);
+  // Per-layer K/V staging over the FULL sequence: [start_pos + s, hkv*dh].
+  // The prefix part is decoded from the cache rows once per layer (below),
+  // so the attention loop costs the same whether rows were computed here or
+  // attached from a shared segment.
+  const size_t total = start_pos + s;
+  std::vector<float> keys(total * hkv * dh), values(total * hkv * dh);
   std::vector<float> attn_out(h * dh), proj(d);
 
   for (int l = 0; l < config_.num_layers; ++l) {
     const LayerWeights& layer = layers_[l];
-    // First pass: project all tokens' q/k/v (keys/values staged per layer).
+    // First pass: project all suffix tokens' q/k/v (keys/values staged per
+    // layer).
     std::vector<float> queries(s * h * dh);
     for (size_t t = 0; t < s; ++t) {
+      const size_t pos = start_pos + t;
       std::span<const float> x(hidden.data() + t * d, d);
       RmsNorm(x, layer.attn_norm, normed);
       ProjectQkv(layer, normed, q, k, v);
       for (size_t head = 0; head < h; ++head) {
-        ApplyRope({q.data() + head * dh, dh}, t, config_.rope_theta);
+        ApplyRope({q.data() + head * dh, dh}, pos, config_.rope_theta);
       }
       for (size_t head = 0; head < hkv; ++head) {
-        ApplyRope({k.data() + head * dh, dh}, t, config_.rope_theta);
+        ApplyRope({k.data() + head * dh, dh}, pos, config_.rope_theta);
+      }
+      // Round staged K/V to the FP16 values the cache will hold (exact
+      // round-trip: storing these floats as Half is lossless), so attention
+      // below is independent of whether a row came from staging or cache.
+      for (size_t i = 0; i < hkv * dh; ++i) {
+        k[i] = static_cast<float>(Half(k[i]));
+        v[i] = static_cast<float>(Half(v[i]));
       }
       std::memcpy(queries.data() + t * h * dh, q.data(),
                   h * dh * sizeof(float));
-      std::memcpy(keys.data() + t * hkv * dh, k.data(),
+      std::memcpy(keys.data() + pos * hkv * dh, k.data(),
                   hkv * dh * sizeof(float));
-      std::memcpy(values.data() + t * hkv * dh, v.data(),
+      std::memcpy(values.data() + pos * hkv * dh, v.data(),
                   hkv * dh * sizeof(float));
     }
 
-    // Append this layer's K/V to the cache (the paper offloads these
+    // Decode the prefix rows into the staging arrays (FP16 -> float, done
+    // once per layer rather than once per attending head).
+    for (size_t head = 0; head < hkv; ++head) {
+      const KVStore& store = cache->store(l, static_cast<int>(head));
+      for (size_t u = 0; u < start_pos; ++u) {
+        store.GetKey(u, {keys.data() + u * hkv * dh + head * dh, dh});
+        store.GetValue(u, {values.data() + u * hkv * dh + head * dh, dh});
+      }
+    }
+
+    // Append this layer's suffix K/V to the cache (the paper offloads these
     // asynchronously; timing is handled by the scheduler, data here).
     for (size_t head = 0; head < hkv; ++head) {
       std::vector<float> hk(s * dh), hv(s * dh);
       for (size_t t = 0; t < s; ++t) {
-        std::memcpy(hk.data() + t * dh, keys.data() + t * hkv * dh + head * dh,
+        std::memcpy(hk.data() + t * dh,
+                    keys.data() + (start_pos + t) * hkv * dh + head * dh,
                     dh * sizeof(float));
         std::memcpy(hv.data() + t * dh,
-                    values.data() + t * hkv * dh + head * dh,
+                    values.data() + (start_pos + t) * hkv * dh + head * dh,
                     dh * sizeof(float));
       }
       PQC_RETURN_IF_ERROR(cache->store(l, static_cast<int>(head))
                               .AppendPrefill(hk, hv, s));
     }
 
-    // Second pass: causal attention per token, then FFN.
+    // Second pass: causal attention per suffix token, then FFN. Prefix
+    // positions use the rows decoded above — bit-identical to the staged
+    // values a full prefill would have used (see the rounding note).
     std::vector<float> scores;
     for (size_t t = 0; t < s; ++t) {
+      const size_t pos = start_pos + t;
       std::fill(attn_out.begin(), attn_out.end(), 0.0f);
       for (size_t head = 0; head < h; ++head) {
         const size_t kv_head = head / static_cast<size_t>(group);
         std::span<const float> qh(queries.data() + t * h * dh + head * dh, dh);
-        scores.assign(t + 1, 0.0f);
-        for (size_t u = 0; u <= t; ++u) {
+        scores.assign(pos + 1, 0.0f);
+        for (size_t u = 0; u <= pos; ++u) {
           scores[u] = Dot(qh, {keys.data() + u * hkv * dh + kv_head * dh, dh});
         }
         ScaledSoftmaxInplace(scores, scale);
         if (observer) {
-          observer(l, static_cast<int>(head), t, scores);
+          observer(l, static_cast<int>(head), pos, scores);
         }
         std::span<float> out{attn_out.data() + head * dh, dh};
-        for (size_t u = 0; u <= t; ++u) {
+        for (size_t u = 0; u <= pos; ++u) {
           const float w = scores[u];
           if (w == 0.0f) continue;
           Axpy(w, {values.data() + u * hkv * dh + kv_head * dh, dh}, out);

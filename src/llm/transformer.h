@@ -73,10 +73,30 @@ class TransformerModel {
   /// Runs the prefill phase: computes K/V for all `tokens`, appends them to
   /// `cache`, and returns the logits of the last position.
   /// `observer` (optional) sees every attention distribution.
+  ///
+  /// Staged prefill K/V are rounded through FP16 before attention, matching
+  /// the precision of the cache rows they become. This keeps prefill
+  /// bit-identical whether a position's K/V is computed in this call or read
+  /// back from (possibly shared) cache rows in PrefillFrom, and matches the
+  /// decode path, which always attends over FP16 rows.
   Result<std::vector<float>> Prefill(std::span<const int32_t> tokens,
                                      LayeredKVCache* cache,
                                      const PrefillAttentionObserver& observer =
                                          nullptr);
+
+  /// Prefix-sharing fast path: prefills only `tokens` (the suffix of the
+  /// prompt from absolute position `start_pos`) against a cache whose stores
+  /// already hold K/V rows for positions [0, start_pos) — e.g. rows attached
+  /// from a shared prefix segment. Suffix positions attend over the cached
+  /// prefix rows plus the staged suffix; returns the logits of the last
+  /// suffix position. Bit-identical to running the full Prefill over the
+  /// whole prompt (see precision note above). start_pos == 0 is exactly
+  /// Prefill.
+  Result<std::vector<float>> PrefillFrom(std::span<const int32_t> tokens,
+                                         LayeredKVCache* cache,
+                                         size_t start_pos,
+                                         const PrefillAttentionObserver&
+                                             observer = nullptr);
 
   /// Runs one decode step for `token` at `position`, appending its KV to the
   /// cache and returning the next-token logits. `backend` selects tokens for

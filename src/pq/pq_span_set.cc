@@ -1,0 +1,110 @@
+#include "src/pq/pq_span_set.h"
+
+#include "src/common/logging.h"
+#include "src/tensor/ops.h"
+
+namespace pqcache {
+
+void PQSpanSet::Reset(size_t base_token) {
+  base_token_ = base_token;
+  closed_.clear();
+  closed_total_ = 0;
+  open_ = PQIndex();
+  open_begin_ = base_token;
+  has_open_ = false;
+}
+
+void PQSpanSet::AddClosed(size_t begin, std::shared_ptr<const PQIndex> index,
+                          bool shared) {
+  PQC_CHECK(!has_open_);  // Closed spans precede the open tail.
+  PQC_CHECK_EQ(begin, base_token_ + closed_total_);
+  PQC_CHECK(index != nullptr);
+  closed_total_ += index->size();
+  open_begin_ = begin + index->size();
+  closed_.push_back(PQClosedSpan{begin, std::move(index), shared});
+}
+
+void PQSpanSet::SetOpen(PQIndex index) {
+  PQC_CHECK(!has_open_);
+  open_ = std::move(index);
+  open_begin_ = base_token_ + closed_total_;
+  has_open_ = true;
+}
+
+bool PQSpanSet::trained() const {
+  if (has_open_ && open_.trained()) return true;
+  return !closed_.empty();
+}
+
+void PQSpanSet::AddVector(std::span<const float> vec) {
+  PQC_CHECK(has_open_ && open_.trained());
+  open_.AddVector(vec);
+}
+
+void PQSpanSet::TopKInto(std::span<const float> query, size_t k,
+                         std::vector<float>& table_scratch,
+                         std::vector<float>& scores_scratch,
+                         std::vector<int32_t>& out) const {
+  const size_t n = size();
+  out.clear();
+  if (n == 0 || k == 0) return;
+  if (scores_scratch.size() < n) scores_scratch.resize(n);
+
+  size_t offset = 0;
+  for (const PQClosedSpan& span : closed_) {
+    const PQConfig& config = span.index->codebook().config();
+    const size_t table_len = static_cast<size_t>(config.num_partitions) *
+                             static_cast<size_t>(config.num_centroids());
+    if (table_scratch.size() < table_len) table_scratch.resize(table_len);
+    span.index->ApproxInnerProductsWithTable(
+        query, {table_scratch.data(), table_len},
+        {scores_scratch.data() + offset, span.index->size()});
+    offset += span.index->size();
+  }
+  if (has_open_ && open_.size() > 0) {
+    const PQConfig& config = open_.codebook().config();
+    const size_t table_len = static_cast<size_t>(config.num_partitions) *
+                             static_cast<size_t>(config.num_centroids());
+    if (table_scratch.size() < table_len) table_scratch.resize(table_len);
+    open_.ApproxInnerProductsWithTable(
+        query, {table_scratch.data(), table_len},
+        {scores_scratch.data() + offset, open_.size()});
+    offset += open_.size();
+  }
+  PQC_CHECK_EQ(offset, n);
+  TopKIndicesInto({scores_scratch.data(), n}, k, out);
+}
+
+double PQSpanSet::LogicalCodeBytes() const {
+  double total = has_open_ ? open_.LogicalCodeBytes() : 0.0;
+  for (const PQClosedSpan& span : closed_) {
+    total += span.index->LogicalCodeBytes();
+  }
+  return total;
+}
+
+double PQSpanSet::PrivateLogicalCodeBytes() const {
+  double total = has_open_ ? open_.LogicalCodeBytes() : 0.0;
+  for (const PQClosedSpan& span : closed_) {
+    if (!span.shared) total += span.index->LogicalCodeBytes();
+  }
+  return total;
+}
+
+size_t PQSpanSet::PrivateCodebooks() const {
+  size_t count = has_open_ && open_.trained() ? 1 : 0;
+  for (const PQClosedSpan& span : closed_) {
+    if (!span.shared) ++count;
+  }
+  return count;
+}
+
+size_t PQSpanSet::SharedCodebooks() const {
+  size_t count = 0;
+  for (const PQClosedSpan& span : closed_) {
+    if (span.shared) ++count;
+  }
+  return count;
+}
+
+}  // namespace pqcache

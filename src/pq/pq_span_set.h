@@ -1,0 +1,110 @@
+// Span-structured PQ storage for one (layer, kv-head): the middle region is
+// covered by an ordered list of *closed* spans — immutable (codebook, codes)
+// pairs over fixed token ranges — plus one *open* tail span that absorbs
+// tokens evicted from the local window during decode.
+//
+// Span boundaries are pure arithmetic over the sequence layout
+// (middle_begin + i * span_tokens), and each closed span's codebook is
+// trained only on its own range with a seed derived from (store, span
+// index). A closed span is therefore a deterministic function of the token
+// prefix that produced it, which is what makes spans shareable across
+// sessions bit-exactly: any session whose prompt starts with the same tokens
+// would train the identical span. Shared spans are adopted by shared_ptr
+// (refcounted, never copied, never mutated); private spans are built locally
+// and can later be published to a PrefixRegistry.
+//
+// span_tokens == 0 degenerates to the pre-span layout: a single open span
+// over the whole middle region (the legacy single-codebook behavior, bit
+// for bit).
+#ifndef PQCACHE_PQ_PQ_SPAN_SET_H_
+#define PQCACHE_PQ_PQ_SPAN_SET_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/pq/pq_index.h"
+
+namespace pqcache {
+
+/// One immutable closed span: PQ codes for tokens [begin, begin + count).
+struct PQClosedSpan {
+  size_t begin = 0;  ///< Absolute token id of the first encoded vector.
+  std::shared_ptr<const PQIndex> index;
+  bool shared = false;  ///< Adopted from a PrefixRegistry segment.
+
+  size_t count() const { return index->size(); }
+  size_t end() const { return begin + index->size(); }
+};
+
+/// Ordered closed spans + the open tail span for one (layer, kv-head).
+class PQSpanSet {
+ public:
+  PQSpanSet() = default;
+
+  /// Clears everything and pins the base token (middle_begin at prefill;
+  /// fixed for the life of the sequence).
+  void Reset(size_t base_token);
+
+  size_t base_token() const { return base_token_; }
+
+  /// Appends a closed span (shared or private). Spans must be adjacent and
+  /// in order: the span's begin must equal the current coverage end.
+  void AddClosed(size_t begin, std::shared_ptr<const PQIndex> index,
+                 bool shared);
+
+  /// Installs the open tail span starting at the current coverage end. The
+  /// index may carry pre-encoded tail codes (prefill) or only a trained
+  /// codebook (empty tail inheriting the previous span's centroids).
+  void SetOpen(PQIndex index);
+
+  bool has_open() const { return has_open_; }
+
+  /// True once any span holds a trained codebook — the engine's gate for
+  /// running PQ search / encoding evictions.
+  bool trained() const;
+
+  /// Total encoded vectors across closed spans and the open tail.
+  size_t size() const { return closed_total_ + open_.size(); }
+
+  const std::vector<PQClosedSpan>& closed() const { return closed_; }
+  const PQIndex& open() const { return open_; }
+
+  /// Encodes one evicted-local token into the open span.
+  void AddVector(std::span<const float> vec);
+
+  /// Allocation-free approximate top-k over every span, best first. Indices
+  /// are relative to base_token(). Each span is scored with its own
+  /// codebook's distance table (rebuilt in `table_scratch` per span); the
+  /// scores land in one contiguous buffer so ranking spans jointly costs
+  /// the same single partial top-k as the legacy one-span layout.
+  void TopKInto(std::span<const float> query, size_t k,
+                std::vector<float>& table_scratch,
+                std::vector<float>& scores_scratch,
+                std::vector<int32_t>& out) const;
+
+  /// Logical b-bit code bytes across all spans (memory/traffic accounting).
+  double LogicalCodeBytes() const;
+
+  /// Logical code bytes held by private (non-shared) spans only.
+  double PrivateLogicalCodeBytes() const;
+
+  /// Trained codebooks resident for this store, split by ownership (the
+  /// shared ones are charged once process-wide by the segment owner).
+  size_t PrivateCodebooks() const;
+  size_t SharedCodebooks() const;
+
+ private:
+  size_t base_token_ = 0;
+  std::vector<PQClosedSpan> closed_;
+  size_t closed_total_ = 0;  ///< Sum of closed span sizes.
+  PQIndex open_;
+  size_t open_begin_ = 0;
+  bool has_open_ = false;
+};
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_PQ_PQ_SPAN_SET_H_

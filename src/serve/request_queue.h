@@ -49,6 +49,16 @@ class RequestQueue {
     return true;
   }
 
+  /// The head session, or nullptr when empty. Scheduler thread only: the
+  /// pointer stays valid because only that thread pops, and it stops being
+  /// valid at its own TryPop. Used to resolve prefix-sharing attachments
+  /// (which need the head's prompt, not just its footprints) before
+  /// charging admission.
+  Session* PeekHead() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.empty() ? nullptr : queue_.front().get();
+  }
+
   /// Pops the head (nullptr when empty).
   std::unique_ptr<Session> TryPop() {
     std::lock_guard<std::mutex> lock(mu_);

@@ -50,6 +50,18 @@ double ServerStats::TpotPercentileSeconds(double p) const {
   return samples[idx];
 }
 
+double ServerStats::TotalPrefillSeconds() const {
+  double sum = 0;
+  for (const SessionRecord& s : sessions) sum += s.prefill_seconds;
+  return sum;
+}
+
+uint64_t ServerStats::TotalPrefixSharedTokens() const {
+  uint64_t sum = 0;
+  for (const SessionRecord& s : sessions) sum += s.prefix_shared_tokens;
+  return sum;
+}
+
 double ServerStats::AggregateCacheHitRate() const {
   uint64_t lookups = 0;
   uint64_t hits = 0;

@@ -17,9 +17,14 @@ struct SessionRecord {
   std::string tag;
   size_t prompt_tokens = 0;
   size_t generated_tokens = 0;
+  /// Prompt positions whose KV/PQ state was attached from a shared prefix
+  /// segment instead of being recomputed (0 for unshared sessions).
+  size_t prefix_shared_tokens = 0;
   size_t gpu_footprint_bytes = 0;
   double queue_wait_seconds = 0;
   double ttft_seconds = 0;
+  /// Engine prefill wall time (transformer forward + PQ training).
+  double prefill_seconds = 0;
   /// Per-token decode latencies (one per generated token after the first).
   std::vector<double> step_seconds;
   /// Block-cache counters rolled up from the session's engine.
@@ -49,14 +54,30 @@ struct ServerStats {
   uint64_t total_generated_tokens = 0;
   std::vector<SessionRecord> sessions;
 
+  /// Prefix-sharing registry counters, copied from the PrefixRegistry when
+  /// the drain finishes (all zero when sharing is disabled).
+  uint64_t prefix_lookups = 0;
+  uint64_t prefix_hits = 0;
+  uint64_t prefix_reused_tokens = 0;
+  size_t prefix_segments = 0;
+  size_t prefix_resident_gpu_bytes = 0;
+  size_t prefix_resident_cpu_bytes = 0;
+
   double SessionsPerSecond() const;
   double TokensPerSecond() const;
   double MeanTtftSeconds() const;
   double MeanQueueWaitSeconds() const;
   /// Percentile (0 < p <= 100) over all sessions' pooled TPOT samples.
   double TpotPercentileSeconds(double p) const;
-  /// Hit rate over all sessions' block-cache lookups.
+  /// Hit rate over all sessions' block-cache lookups. Includes retired
+  /// sessions: their engines' final counters are rolled into the record at
+  /// retire time.
   double AggregateCacheHitRate() const;
+  /// Summed engine prefill wall seconds across all sessions (the quantity
+  /// prefix sharing reduces).
+  double TotalPrefillSeconds() const;
+  /// Summed prefix_shared_tokens across all sessions.
+  uint64_t TotalPrefixSharedTokens() const;
 };
 
 }  // namespace pqcache

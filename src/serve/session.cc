@@ -18,6 +18,14 @@ Session::Session(int64_t id, ServeRequest request,
   }
 }
 
+void Session::ResolvePrefix(std::shared_ptr<const PrefixAttachment> attachment) {
+  engine_options_.prefix = std::move(attachment);
+  gpu_footprint_bytes_ = PQCacheEngine::EstimateGpuFootprintBytes(
+      engine_options_, request_.prompt.size(), request_.max_new_tokens);
+  cpu_footprint_bytes_ = PQCacheEngine::EstimateCpuFootprintBytes(
+      engine_options_, request_.prompt.size(), request_.max_new_tokens);
+}
+
 void Session::Step() {
   if (done()) return;
   if (state_ == SessionState::kQueued) {

@@ -67,6 +67,29 @@ class Session {
   /// The engine, once the first step has run (nullptr while queued).
   const PQCacheEngine* engine() const { return engine_.get(); }
 
+  /// Installs a prefix-sharing attachment (or clears it with nullptr) and
+  /// recomputes both admission footprints for the reduced private state.
+  /// Scheduler thread only, before the first Step; the attachment's shared
+  /// bytes are charged once by the segment owner, so the session must not be
+  /// charged for them again.
+  void ResolvePrefix(std::shared_ptr<const PrefixAttachment> attachment);
+
+  /// The attachment in effect (null when unshared).
+  const std::shared_ptr<const PrefixAttachment>& prefix_attachment() const {
+    return engine_options_.prefix;
+  }
+
+  /// Publish-once bookkeeping for the serving layer's registry wiring.
+  bool prefix_published() const { return prefix_published_; }
+  void set_prefix_published() { prefix_published_ = true; }
+
+  /// Re-aggregates the engine's block-cache counters (no-op while queued).
+  /// The manager calls this at retire time so the final SessionRecord
+  /// includes steps after the last full stats refresh.
+  void RefreshEngineStats() {
+    if (engine_ != nullptr) engine_->RefreshCacheStats();
+  }
+
   /// Runs one unit of work: the first call creates the engine and prefills
   /// (producing generated token 0); subsequent calls decode one token.
   /// Transitions to kFinished / kFailed as appropriate. Safe to call from a
@@ -98,6 +121,7 @@ class Session {
   size_t gpu_footprint_bytes_;
   size_t cpu_footprint_bytes_;
   std::unique_ptr<PQCacheEngine> engine_;
+  bool prefix_published_ = false;
   SessionState state_ = SessionState::kQueued;
   Status error_ = Status::OK();
   std::vector<int32_t> generated_;

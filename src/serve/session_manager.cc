@@ -27,6 +27,11 @@ Result<std::unique_ptr<SessionManager>> SessionManager::Create(
   // K-Means on the shared worker pool.
   manager->options_.engine.shared_hierarchy = manager->hierarchy_.get();
   manager->options_.engine.pool = options.pool;
+  if (options.enable_prefix_sharing) {
+    PrefixRegistry::Options prefix = options.prefix;
+    prefix.hierarchy = manager->hierarchy_.get();
+    manager->registry_ = std::make_unique<PrefixRegistry>(prefix);
+  }
   return manager;
 }
 
@@ -75,6 +80,20 @@ void SessionManager::AdmitFromQueue() {
     // Only this thread pops, so a non-empty head observed here is stable
     // through the TryPop below; a Submit racing in behind the head waits
     // for the next round.
+    if (registry_ != nullptr) {
+      // Resolve prefix sharing for the head right before charging: the
+      // registry grows as earlier sessions prefill, so a fresh lookup per
+      // admission attempt catches segments published since the last round.
+      // The matched prefix must leave the local window and the final prompt
+      // position private (the exactness conditions; see prefix_registry.h).
+      Session* head = queue_.PeekHead();
+      if (head == nullptr) return;
+      const auto& prompt = head->request().prompt;
+      const size_t lw = options_.engine.local_window;
+      size_t cap = prompt.size() > lw ? prompt.size() - lw : 0;
+      cap = std::min(cap, prompt.size() - 1);
+      head->ResolvePrefix(registry_->Lookup(prompt, cap));
+    }
     size_t gpu_footprint = 0;
     size_t cpu_footprint = 0;
     if (!queue_.HeadFootprints(&gpu_footprint, &cpu_footprint)) return;
@@ -106,7 +125,27 @@ void SessionManager::RunRound() {
 void SessionManager::DispatchAndRetire() {
   for (auto& session : active_) session->DispatchNewTokens();
   for (auto& session : active_) {
+    // Publish freshly prefilled prompts so later admissions can share them.
+    // Runs on the scheduler thread between rounds; the registry dedupes
+    // prefixes that are already covered.
+    if (registry_ != nullptr && !session->prefix_published() &&
+        session->engine() != nullptr &&
+        session->state() != SessionState::kFailed) {
+      session->set_prefix_published();
+      Status published =
+          registry_->Publish(session->request().prompt, *session->engine());
+      if (!published.ok()) {
+        PQC_LOG(Warning) << "prefix publish failed for session "
+                         << session->id() << ": " << published.ToString();
+      }
+    }
+  }
+  for (auto& session : active_) {
     if (!session->done()) continue;
+    // Roll up the engine's final block-cache counters before recording: a
+    // session that failed mid-step (or generated only its prefill token)
+    // would otherwise report counters that are stale by up to one step.
+    session->RefreshEngineStats();
     SessionRecord record;
     record.id = session->id();
     record.tag = session->request().tag;
@@ -119,6 +158,9 @@ void SessionManager::DispatchAndRetire() {
     if (session->engine() != nullptr) {
       record.cache_token_lookups = session->engine()->stats().cache.token_lookups;
       record.cache_token_hits = session->engine()->stats().cache.token_hits;
+      record.prefill_seconds = session->engine()->stats().prefill_wall_seconds;
+      record.prefix_shared_tokens =
+          session->engine()->stats().prefix_shared_tokens;
     }
     record.failed = session->state() == SessionState::kFailed;
     if (record.failed) {
@@ -153,6 +195,15 @@ Status SessionManager::RunUntilDrained() {
       // copy.
       manager->stats_.peak_gpu_bytes =
           manager->hierarchy_->gpu().peak_bytes();
+      if (manager->registry_ != nullptr) {
+        const PrefixRegistry::Stats prefix = manager->registry_->stats();
+        manager->stats_.prefix_lookups = prefix.lookups;
+        manager->stats_.prefix_hits = prefix.hits;
+        manager->stats_.prefix_reused_tokens = prefix.reused_tokens;
+        manager->stats_.prefix_segments = prefix.segments;
+        manager->stats_.prefix_resident_gpu_bytes = prefix.resident_gpu_bytes;
+        manager->stats_.prefix_resident_cpu_bytes = prefix.resident_cpu_bytes;
+      }
     }
   } flusher{this, &timer};
   for (;;) {

@@ -49,7 +49,8 @@ namespace pqcache {
 /// Serving configuration.
 struct ServeOptions {
   /// Per-session engine template. `hardware` describes the *shared* server;
-  /// `pool` and `shared_hierarchy` are overwritten by the manager.
+  /// `pool`, `shared_hierarchy` and (per session) `prefix` are overwritten
+  /// by the manager.
   PQCacheEngineOptions engine;
   /// Maximum sessions decoding concurrently (decode slots).
   size_t max_sessions = 8;
@@ -57,6 +58,15 @@ struct ServeOptions {
   size_t max_queue = 64;
   /// Worker pool for session steps and K-Means (nullptr = serial).
   ThreadPool* pool = nullptr;
+  /// Cross-session prompt-prefix sharing: when enabled, every prefilled
+  /// session publishes its prompt prefix to a process-wide PrefixRegistry
+  /// and every admission first looks its prompt up there, attaching matched
+  /// KV rows + PQ spans instead of recomputing them (tokens stay
+  /// bit-identical; see src/core/prefix_registry.h). `prefix.hierarchy` is
+  /// overwritten with the manager's shared hierarchy so segment bytes are
+  /// charged exactly once.
+  bool enable_prefix_sharing = false;
+  PrefixRegistry::Options prefix;
 };
 
 /// Owns the shared memory hierarchy, the request queue, the active session
@@ -68,6 +78,9 @@ class SessionManager {
 
   const ServeOptions& options() const { return options_; }
   MemoryHierarchy& hierarchy() { return *hierarchy_; }
+
+  /// The prefix-sharing registry (nullptr when disabled).
+  PrefixRegistry* prefix_registry() { return registry_.get(); }
 
   /// Admission gate. Rejects with OutOfMemory when either of the session's
   /// estimated footprints exceeds its whole pool (it could never run), and
@@ -106,6 +119,9 @@ class SessionManager {
 
   ServeOptions options_;
   std::unique_ptr<MemoryHierarchy> hierarchy_;
+  /// Declared after hierarchy_ (and destroyed before it): dropping the
+  /// registry's retained segments releases their hierarchy charges.
+  std::unique_ptr<PrefixRegistry> registry_;
   RequestQueue queue_;
   std::vector<std::unique_ptr<Session>> active_;  // Scheduler thread only.
   std::atomic<size_t> active_count_{0};  // Mirror for cross-thread readers.

@@ -138,5 +138,89 @@ TEST(LayeredKVCacheTest, GridAndAggregates) {
   EXPECT_EQ(cache.GpuBytes(), 6u * 6u * 32u);
 }
 
+// Builds a SharedKVRows segment holding the first `n` rows of `store`.
+std::shared_ptr<const SharedKVRows> SnapshotRows(const KVStore& store,
+                                                 size_t n) {
+  auto rows = std::make_shared<SharedKVRows>();
+  rows->n = n;
+  rows->head_dim = store.head_dim();
+  rows->keys.resize(n * store.head_dim());
+  rows->values.resize(n * store.head_dim());
+  for (size_t t = 0; t < n; ++t) {
+    auto key = store.KeyRow(t);
+    auto value = store.ValueRow(t);
+    std::copy(key.begin(), key.end(),
+              rows->keys.begin() + t * store.head_dim());
+    std::copy(value.begin(), value.end(),
+              rows->values.begin() + t * store.head_dim());
+  }
+  return rows;
+}
+
+TEST(KVStoreTest, SharedPrefixRowsBitIdenticalToFullPrefill) {
+  const size_t n = 16, d = 8, shared = 6;
+  auto keys = RandomRows(n, d, 7);
+  auto values = RandomRows(n, d, 8);
+
+  KVStore full(SmallOptions());
+  ASSERT_TRUE(full.AppendPrefill(keys, values, n).ok());
+
+  KVStore attached(SmallOptions());
+  ASSERT_TRUE(
+      attached.AttachSharedPrefix(SnapshotRows(full, shared), shared).ok());
+  EXPECT_EQ(attached.size(), shared);
+  EXPECT_EQ(attached.shared_count(), shared);
+  std::vector<float> suffix_keys(keys.begin() + shared * d, keys.end());
+  std::vector<float> suffix_values(values.begin() + shared * d, values.end());
+  ASSERT_TRUE(
+      attached.AppendPrefill(suffix_keys, suffix_values, n - shared).ok());
+
+  ASSERT_EQ(attached.size(), full.size());
+  EXPECT_EQ(attached.middle_count(), full.middle_count());
+  for (size_t t = 0; t < n; ++t) {
+    auto full_key = full.KeyRow(t);
+    auto attached_key = attached.KeyRow(t);
+    auto full_value = full.ValueRow(t);
+    auto attached_value = attached.ValueRow(t);
+    for (size_t i = 0; i < d; ++i) {
+      EXPECT_EQ(attached_key[i].bits(), full_key[i].bits());
+      EXPECT_EQ(attached_value[i].bits(), full_value[i].bits());
+    }
+  }
+  EXPECT_EQ(attached.SharedBytes(), shared * 2 * d * sizeof(Half));
+
+  // Divergence past the shared prefix stays private: appending decode
+  // tokens never touches the shared rows.
+  auto extra = RandomRows(1, d, 9);
+  attached.AppendToken(extra, extra);
+  EXPECT_EQ(attached.shared_count(), shared);
+  EXPECT_EQ(attached.size(), n + 1);
+}
+
+TEST(KVStoreTest, SharedPrefixAttachValidation) {
+  const size_t d = 8;
+  auto keys = RandomRows(8, d, 11);
+  KVStore full(SmallOptions());
+  ASSERT_TRUE(full.AppendPrefill(keys, keys, 8).ok());
+  auto rows = SnapshotRows(full, 4);
+
+  KVStore prefilled(SmallOptions());
+  ASSERT_TRUE(prefilled.AppendPrefill(keys, keys, 8).ok());
+  EXPECT_EQ(prefilled.AttachSharedPrefix(rows, 4).code(),
+            StatusCode::kFailedPrecondition);
+
+  KVStore empty(SmallOptions());
+  EXPECT_EQ(empty.AttachSharedPrefix(rows, 5).code(),
+            StatusCode::kInvalidArgument);  // More tokens than the segment.
+  EXPECT_EQ(empty.AttachSharedPrefix(nullptr, 2).code(),
+            StatusCode::kInvalidArgument);
+
+  KVStoreOptions wide = SmallOptions();
+  wide.head_dim = 16;
+  KVStore mismatched(wide);
+  EXPECT_EQ(mismatched.AttachSharedPrefix(rows, 4).code(),
+            StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace pqcache

@@ -1,0 +1,122 @@
+// Property test: PrefixRegistry lookup / publish / unref under concurrent
+// churn never double-frees or leaks a segment. The invariant checked is the
+// hierarchy's byte accounting: every charge a segment takes at publish must
+// be released exactly once, when its last reference (registry retention or a
+// churning "session" attachment) drops — so after all threads finish and the
+// registry dies, both pools must be back to zero. Runs under the CI TSan
+// job, where the lock ordering and the shared_ptr refcount traffic are also
+// exercised.
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/pqcache_engine.h"
+#include "src/core/prefix_registry.h"
+
+namespace pqcache {
+namespace {
+
+constexpr size_t kBlock = 32;
+
+PQCacheEngineOptions ChurnEngineOptions() {
+  PQCacheEngineOptions options;
+  options.model = ModelConfig::Tiny();
+  options.initial_tokens = 4;
+  options.local_window = 16;
+  options.pq_partitions = 2;
+  options.pq_bits = 4;
+  options.kmeans_iterations = 4;
+  options.token_ratio = 0.5;
+  options.pq_span_tokens = kBlock;
+  options.cache.capacity_tokens = 32;
+  options.cache.block_tokens = 8;
+  return options;
+}
+
+std::vector<int32_t> ChurnPrompt(size_t n, size_t shared_prefix,
+                                 int32_t salt) {
+  std::vector<int32_t> prompt(n);
+  for (size_t i = 0; i < n; ++i) {
+    prompt[i] = i < shared_prefix
+                    ? static_cast<int32_t>((i * 29 + 3) % 250)
+                    : static_cast<int32_t>((i * 41 + 5 + salt * 17) % 250);
+  }
+  return prompt;
+}
+
+TEST(PrefixRegistryChurnTest, ConcurrentLookupPublishUnrefNeverLeaks) {
+  HardwareConfig hardware;
+  hardware.gpu_memory_bytes = 512ull << 20;
+  hardware.cpu_memory_bytes = 2ull << 30;
+  MemoryHierarchy hierarchy(hardware);
+
+  PrefixRegistry::Options reg_options;
+  reg_options.block_tokens = kBlock;
+  reg_options.max_segments = 2;  // Small cap: eviction churns constantly.
+  reg_options.hierarchy = &hierarchy;
+  auto registry = std::make_unique<PrefixRegistry>(reg_options);
+
+  // A few prefilled engines over prompts with overlapping prefixes; threads
+  // publish them repeatedly (duplicate publishes must discard cleanly) and
+  // look up prompts that partially match.
+  const PQCacheEngineOptions engine_options = ChurnEngineOptions();
+  std::vector<std::vector<int32_t>> prompts;
+  std::vector<std::unique_ptr<PQCacheEngine>> engines;
+  for (int i = 0; i < 4; ++i) {
+    // Prompts 0/1 share 3 blocks with each other, 2/3 are disjoint streams.
+    const size_t shared_prefix = i < 2 ? 96 : 0;
+    prompts.push_back(ChurnPrompt(160, shared_prefix, 100 + i));
+    auto engine = PQCacheEngine::Create(engine_options).value();
+    ASSERT_TRUE(engine->Prefill(prompts.back()).ok());
+    engines.push_back(std::move(engine));
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 150;
+  std::atomic<uint64_t> attach_count{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Per-thread pool of held attachments, dropped at staggered times so
+      // segment lifetimes overlap registry evictions.
+      std::vector<std::shared_ptr<const PrefixAttachment>> held;
+      for (int i = 0; i < kIterations; ++i) {
+        const size_t pick = static_cast<size_t>((i * 7 + t * 13 + i / 3) %
+                                                prompts.size());
+        if ((i + t) % 3 == 0) {
+          ASSERT_TRUE(
+              registry->Publish(prompts[pick], *engines[pick]).ok());
+        }
+        auto attachment = registry->Lookup(
+            prompts[pick], prompts[pick].size() - 16);
+        if (attachment != nullptr) {
+          ++attach_count;
+          held.push_back(std::move(attachment));
+        }
+        if (held.size() > 8 || (i % 11) == 0) held.clear();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Some sharing must actually have happened for the test to mean anything.
+  EXPECT_GT(attach_count.load(), 0u);
+  const PrefixRegistry::Stats stats = registry->stats();
+  EXPECT_GT(stats.publishes, 0u);
+  EXPECT_LE(stats.segments, reg_options.max_segments);
+
+  // Retained segments still hold charges; dropping the registry (and all
+  // attachments, already gone) must return both pools to exactly zero —
+  // a leak (missed Free) or double-free (Free underflow aborts) fails here.
+  EXPECT_GT(hierarchy.gpu().used_bytes() + hierarchy.cpu().used_bytes(), 0u);
+  registry.reset();
+  EXPECT_EQ(hierarchy.gpu().used_bytes(), 0u);
+  EXPECT_EQ(hierarchy.cpu().used_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace pqcache

@@ -1,0 +1,377 @@
+// Prefix sharing end to end: attached KV rows + PQ spans must produce
+// tokens bit-identical to unshared runs, footprints must stay upper bounds
+// with the shared bytes deducted, and segment charges must be released at
+// last unref.
+#include <memory>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/pqcache_engine.h"
+#include "src/core/prefix_registry.h"
+#include "src/serve/session_manager.h"
+
+namespace pqcache {
+namespace {
+
+constexpr size_t kBlock = 32;
+
+PQCacheEngineOptions SharedEngineOptions() {
+  PQCacheEngineOptions options;
+  options.model = ModelConfig::Tiny();
+  options.initial_tokens = 4;
+  options.local_window = 16;
+  options.pq_partitions = 2;
+  options.pq_bits = 4;
+  options.kmeans_iterations = 6;
+  options.token_ratio = 0.5;
+  options.pq_span_tokens = kBlock;
+  options.cache.capacity_tokens = 64;
+  options.cache.block_tokens = 8;
+  return options;
+}
+
+// A prompt that starts with a fixed "system prompt" stream and diverges into
+// a salted tail after `prefix_len` positions.
+std::vector<int32_t> PromptWithPrefix(size_t n, size_t prefix_len,
+                                      int32_t salt) {
+  std::vector<int32_t> prompt(n);
+  for (size_t i = 0; i < n; ++i) {
+    prompt[i] = i < prefix_len
+                    ? static_cast<int32_t>((i * 31 + 7) % 250)
+                    : static_cast<int32_t>((i * 37 + 11 + salt * 13) % 250);
+  }
+  return prompt;
+}
+
+std::vector<int32_t> SoloRun(const PQCacheEngineOptions& options,
+                             std::span<const int32_t> prompt, int n_decode) {
+  PQCacheEngineOptions solo = options;
+  solo.prefix = nullptr;
+  auto engine = PQCacheEngine::Create(solo).value();
+  std::vector<int32_t> out;
+  out.push_back(engine->Prefill(prompt).value());
+  auto rest = engine->Generate(n_decode);
+  out.insert(out.end(), rest.value().begin(), rest.value().end());
+  return out;
+}
+
+TEST(PQSpanSetTest, LegacySingleSpanLayoutWhenSpanTokensZero) {
+  PQCacheEngineOptions options = SharedEngineOptions();
+  options.pq_span_tokens = 0;
+  auto engine = PQCacheEngine::Create(options).value();
+  ASSERT_TRUE(engine->Prefill(PromptWithPrefix(96, 96, 0)).ok());
+  const PQSpanSet& set = engine->pq_index(0, 0);
+  EXPECT_TRUE(set.trained());
+  EXPECT_TRUE(set.closed().empty());
+  EXPECT_TRUE(set.has_open());
+  // Middle = 96 - 4 - 16.
+  EXPECT_EQ(set.size(), 76u);
+}
+
+TEST(PQSpanSetTest, SpanLayoutCoversMiddleRegion) {
+  PQCacheEngineOptions options = SharedEngineOptions();
+  auto engine = PQCacheEngine::Create(options).value();
+  ASSERT_TRUE(engine->Prefill(PromptWithPrefix(100, 100, 0)).ok());
+  const PQSpanSet& set = engine->pq_index(0, 0);
+  // Middle = [4, 84): spans [4, 36), [36, 68) closed + open tail [68, 84).
+  ASSERT_EQ(set.closed().size(), 2u);
+  EXPECT_EQ(set.closed()[0].begin, 4u);
+  EXPECT_EQ(set.closed()[1].begin, 36u);
+  EXPECT_TRUE(set.has_open());
+  EXPECT_EQ(set.size(), 80u);
+  EXPECT_EQ(set.base_token(), 4u);
+}
+
+TEST(PQSpanSetTest, DecodeEvictionsEnterOpenSpan) {
+  PQCacheEngineOptions options = SharedEngineOptions();
+  auto engine = PQCacheEngine::Create(options).value();
+  ASSERT_TRUE(engine->Prefill(PromptWithPrefix(100, 100, 0)).ok());
+  const size_t before = engine->pq_index(0, 0).size();
+  const size_t open_before = engine->pq_index(0, 0).open().size();
+  ASSERT_TRUE(engine->Generate(5).ok());
+  EXPECT_EQ(engine->pq_index(0, 0).size(), before + 5);
+  EXPECT_EQ(engine->pq_index(0, 0).open().size(), open_before + 5);
+}
+
+TEST(PQSpanSetTest, SpanModeGenerationIsDeterministic) {
+  const auto prompt = PromptWithPrefix(128, 64, 1);
+  const auto a = SoloRun(SharedEngineOptions(), prompt, 8);
+  const auto b = SoloRun(SharedEngineOptions(), prompt, 8);
+  EXPECT_EQ(a, b);
+}
+
+TEST(PrefixRegistryTest, PublishThenLookupAttachesLongestPrefix) {
+  PrefixRegistry::Options reg_options;
+  reg_options.block_tokens = kBlock;
+  PrefixRegistry registry(reg_options);
+
+  PQCacheEngineOptions options = SharedEngineOptions();
+  const auto publisher_prompt = PromptWithPrefix(160, 128, 0);
+  auto publisher = PQCacheEngine::Create(options).value();
+  ASSERT_TRUE(publisher->Prefill(publisher_prompt).ok());
+  ASSERT_TRUE(registry.Publish(publisher_prompt, *publisher).ok());
+  EXPECT_EQ(registry.stats().publishes, 1u);
+
+  // A prompt sharing the first 128 tokens: cap allows all 4 blocks.
+  const auto prompt = PromptWithPrefix(192, 128, 5);
+  auto attachment = registry.Lookup(prompt, prompt.size() - 16);
+  ASSERT_NE(attachment, nullptr);
+  EXPECT_EQ(attachment->use_tokens, 128u);
+  // Publisher middle = [4, 144); closed spans end at 36/68/100/132; those
+  // within 128 tokens: ends 36, 68, 100.
+  EXPECT_EQ(attachment->use_spans, 3u);
+  EXPECT_EQ(attachment->use_span_vectors, 96u);
+
+  // A shorter prompt matching only part of the published prefix attaches a
+  // partial view of the same segment.
+  const auto short_prompt = PromptWithPrefix(96, 64, 9);
+  auto partial = registry.Lookup(short_prompt, short_prompt.size() - 16);
+  ASSERT_NE(partial, nullptr);
+  EXPECT_EQ(partial->use_tokens, 64u);
+  EXPECT_EQ(partial->segment, attachment->segment);
+
+  // A prompt diverging inside the first block misses.
+  const auto other = PromptWithPrefix(160, 0, 3);
+  EXPECT_EQ(registry.Lookup(other, other.size() - 16), nullptr);
+}
+
+TEST(PrefixSharingTest, AttachedPrefillBitIdenticalToSolo) {
+  PrefixRegistry::Options reg_options;
+  reg_options.block_tokens = kBlock;
+  PrefixRegistry registry(reg_options);
+
+  PQCacheEngineOptions options = SharedEngineOptions();
+  const auto publisher_prompt = PromptWithPrefix(160, 128, 0);
+  auto publisher = PQCacheEngine::Create(options).value();
+  ASSERT_TRUE(publisher->Prefill(publisher_prompt).ok());
+  ASSERT_TRUE(registry.Publish(publisher_prompt, *publisher).ok());
+
+  const auto prompt = PromptWithPrefix(192, 128, 5);
+  const auto reference = SoloRun(options, prompt, 12);
+
+  PQCacheEngineOptions shared = options;
+  shared.prefix = registry.Lookup(
+      prompt, prompt.size() - options.local_window);
+  ASSERT_NE(shared.prefix, nullptr);
+  auto engine = PQCacheEngine::Create(shared).value();
+  std::vector<int32_t> out;
+  out.push_back(engine->Prefill(prompt).value());
+  auto rest = engine->Generate(12);
+  out.insert(out.end(), rest.value().begin(), rest.value().end());
+
+  EXPECT_EQ(out, reference);
+  EXPECT_EQ(engine->stats().prefix_shared_tokens, 128u);
+  EXPECT_EQ(engine->stats().prefix_reused_span_vectors, 96u);
+  // Adopted spans are flagged shared and excluded from the private footprint.
+  EXPECT_EQ(engine->pq_index(0, 0).SharedCodebooks(), 3u);
+}
+
+TEST(PrefixSharingTest, FootprintBoundsHoldWithAttachment) {
+  PrefixRegistry::Options reg_options;
+  reg_options.block_tokens = kBlock;
+  PrefixRegistry registry(reg_options);
+
+  PQCacheEngineOptions options = SharedEngineOptions();
+  const auto publisher_prompt = PromptWithPrefix(160, 128, 0);
+  auto publisher = PQCacheEngine::Create(options).value();
+  ASSERT_TRUE(publisher->Prefill(publisher_prompt).ok());
+  ASSERT_TRUE(registry.Publish(publisher_prompt, *publisher).ok());
+
+  const auto prompt = PromptWithPrefix(192, 128, 5);
+  PQCacheEngineOptions shared = options;
+  shared.prefix = registry.Lookup(
+      prompt, prompt.size() - options.local_window);
+  ASSERT_NE(shared.prefix, nullptr);
+
+  const size_t max_new = 16;
+  const size_t estimate_shared =
+      PQCacheEngine::EstimateGpuFootprintBytes(shared, prompt.size(), max_new);
+  PQCacheEngineOptions unshared = options;
+  const size_t estimate_unshared = PQCacheEngine::EstimateGpuFootprintBytes(
+      unshared, prompt.size(), max_new);
+  EXPECT_LT(estimate_shared, estimate_unshared);
+  EXPECT_GE(estimate_unshared - estimate_shared,
+            shared.prefix->SharedGpuBytes());
+
+  auto engine = PQCacheEngine::Create(shared).value();
+  ASSERT_TRUE(engine->Prefill(prompt).ok());
+  EXPECT_LE(engine->GpuFootprintBytes(), estimate_shared);
+  for (size_t i = 0; i < max_new - 1; ++i) {
+    ASSERT_TRUE(engine->DecodeNext().ok());
+    EXPECT_LE(engine->GpuFootprintBytes(), estimate_shared);
+  }
+}
+
+TEST(PrefixSharingTest, SegmentChargesReleaseAtLastUnref) {
+  HardwareConfig hardware;
+  hardware.gpu_memory_bytes = 64ull << 20;
+  hardware.cpu_memory_bytes = 256ull << 20;
+  MemoryHierarchy hierarchy(hardware);
+
+  PrefixRegistry::Options reg_options;
+  reg_options.block_tokens = kBlock;
+  reg_options.hierarchy = &hierarchy;
+  auto registry = std::make_unique<PrefixRegistry>(reg_options);
+
+  PQCacheEngineOptions options = SharedEngineOptions();
+  const auto prompt = PromptWithPrefix(160, 128, 0);
+  auto publisher = PQCacheEngine::Create(options).value();
+  ASSERT_TRUE(publisher->Prefill(prompt).ok());
+  ASSERT_TRUE(registry->Publish(prompt, *publisher).ok());
+  const size_t charged_gpu = hierarchy.gpu().used_bytes();
+  const size_t charged_cpu = hierarchy.cpu().used_bytes();
+  EXPECT_GT(charged_gpu, 0u);
+  EXPECT_GT(charged_cpu, 0u);
+
+  auto attachment = registry->Lookup(prompt, prompt.size() - 32);
+  ASSERT_NE(attachment, nullptr);
+
+  // Dropping the registry keeps the charges: the attachment still references
+  // the segment. The last unref releases both pools.
+  registry.reset();
+  EXPECT_EQ(hierarchy.gpu().used_bytes(), charged_gpu);
+  EXPECT_EQ(hierarchy.cpu().used_bytes(), charged_cpu);
+  attachment.reset();
+  EXPECT_EQ(hierarchy.gpu().used_bytes(), 0u);
+  EXPECT_EQ(hierarchy.cpu().used_bytes(), 0u);
+}
+
+TEST(PrefixSharingTest, LruEvictionDropsColdSegments) {
+  PrefixRegistry::Options reg_options;
+  reg_options.block_tokens = kBlock;
+  reg_options.max_segments = 1;
+  PrefixRegistry registry(reg_options);
+
+  PQCacheEngineOptions options = SharedEngineOptions();
+  const auto prompt_a = PromptWithPrefix(96, 96, 0);
+  const auto prompt_b = PromptWithPrefix(96, 0, 17);
+  auto engine_a = PQCacheEngine::Create(options).value();
+  ASSERT_TRUE(engine_a->Prefill(prompt_a).ok());
+  ASSERT_TRUE(registry.Publish(prompt_a, *engine_a).ok());
+  auto engine_b = PQCacheEngine::Create(options).value();
+  ASSERT_TRUE(engine_b->Prefill(prompt_b).ok());
+  ASSERT_TRUE(registry.Publish(prompt_b, *engine_b).ok());
+
+  EXPECT_EQ(registry.stats().evictions, 1u);
+  EXPECT_EQ(registry.stats().segments, 1u);
+  EXPECT_EQ(registry.Lookup(prompt_a, prompt_a.size() - 16), nullptr);
+  EXPECT_NE(registry.Lookup(prompt_b, prompt_b.size() - 16), nullptr);
+}
+
+// Evicting a short segment must not orphan the trie path of a retained
+// longer segment that shares its leading blocks: partial-prefix lookups
+// keep resolving through the survivor.
+TEST(PrefixSharingTest, EvictionKeepsLongerSegmentReachable) {
+  PrefixRegistry::Options reg_options;
+  reg_options.block_tokens = kBlock;
+  reg_options.max_segments = 1;
+  PrefixRegistry registry(reg_options);
+
+  PQCacheEngineOptions options = SharedEngineOptions();
+  const auto short_prompt = PromptWithPrefix(64, 64, 0);   // 2 blocks.
+  const auto long_prompt = PromptWithPrefix(160, 160, 0);  // Same stream.
+  auto engine_short = PQCacheEngine::Create(options).value();
+  ASSERT_TRUE(engine_short->Prefill(short_prompt).ok());
+  ASSERT_TRUE(registry.Publish(short_prompt, *engine_short).ok());
+  auto engine_long = PQCacheEngine::Create(options).value();
+  ASSERT_TRUE(engine_long->Prefill(long_prompt).ok());
+  ASSERT_TRUE(registry.Publish(long_prompt, *engine_long).ok());
+  ASSERT_EQ(registry.stats().evictions, 1u);
+
+  // A prompt matching only the first 2 blocks must still attach (a partial
+  // view of the retained longer segment).
+  const auto probe = PromptWithPrefix(96, 64, 7);
+  auto attachment = registry.Lookup(probe, probe.size() - 16);
+  ASSERT_NE(attachment, nullptr);
+  EXPECT_EQ(attachment->use_tokens, 64u);
+  EXPECT_EQ(attachment->segment->n_tokens, 160u);
+}
+
+// The satellite's COW-divergence scenario: two sessions share exactly 3
+// blocks and diverge at block 4; both must stream tokens bit-identical to
+// their solo runs, with the second session actually attaching the shared
+// prefix.
+TEST(PrefixSharingTest, CowDivergenceAcrossSessionsBitIdentical) {
+  ThreadPool pool;
+  ServeOptions serve;
+  serve.engine = SharedEngineOptions();
+  serve.max_sessions = 2;
+  serve.max_queue = 8;
+  serve.pool = &pool;
+  serve.enable_prefix_sharing = true;
+  serve.prefix.block_tokens = kBlock;
+  auto manager = SessionManager::Create(serve).value();
+
+  const size_t kNew = 10;
+  const auto prompt_a = PromptWithPrefix(160, 3 * kBlock, 1);
+  const auto prompt_b = PromptWithPrefix(160, 3 * kBlock, 2);
+  ASSERT_EQ(std::vector<int32_t>(prompt_a.begin(), prompt_a.begin() + 96),
+            std::vector<int32_t>(prompt_b.begin(), prompt_b.begin() + 96));
+  ASSERT_NE(prompt_a[96], prompt_b[96]);
+
+  const auto ref_a = SoloRun(serve.engine, prompt_a, kNew - 1);
+  const auto ref_b = SoloRun(serve.engine, prompt_b, kNew - 1);
+
+  // Run A to completion first so its prefix is published, then B shares it.
+  std::vector<int32_t> streamed_a, streamed_b;
+  ServeRequest request_a;
+  request_a.prompt = prompt_a;
+  request_a.max_new_tokens = kNew;
+  request_a.on_token = [&](int32_t token, size_t) {
+    streamed_a.push_back(token);
+  };
+  ASSERT_TRUE(manager->Submit(std::move(request_a)).ok());
+  ASSERT_TRUE(manager->RunUntilDrained().ok());
+
+  ServeRequest request_b;
+  request_b.prompt = prompt_b;
+  request_b.max_new_tokens = kNew;
+  request_b.on_token = [&](int32_t token, size_t) {
+    streamed_b.push_back(token);
+  };
+  ASSERT_TRUE(manager->Submit(std::move(request_b)).ok());
+  ASSERT_TRUE(manager->RunUntilDrained().ok());
+
+  EXPECT_EQ(streamed_a, ref_a);
+  EXPECT_EQ(streamed_b, ref_b);
+  const ServerStats& stats = manager->stats();
+  EXPECT_EQ(stats.prefix_hits, 1u);
+  EXPECT_EQ(stats.prefix_reused_tokens, 96u);
+  EXPECT_EQ(stats.TotalPrefixSharedTokens(), 96u);
+  // Retired sessions roll their final cache counters into the records.
+  ASSERT_EQ(stats.sessions.size(), 2u);
+  EXPECT_GT(stats.sessions[1].cache_token_lookups, 0u);
+}
+
+// Sharing must lower the admitted session's charge: the second (shared)
+// session's recorded GPU footprint is strictly below the first's.
+TEST(PrefixSharingTest, SharedSessionChargesLessGpu) {
+  ServeOptions serve;
+  serve.engine = SharedEngineOptions();
+  serve.max_sessions = 1;
+  serve.max_queue = 8;
+  serve.enable_prefix_sharing = true;
+  serve.prefix.block_tokens = kBlock;
+  auto manager = SessionManager::Create(serve).value();
+
+  const auto prompt_a = PromptWithPrefix(160, 128, 1);
+  const auto prompt_b = PromptWithPrefix(160, 128, 2);
+  for (const auto* prompt : {&prompt_a, &prompt_b}) {
+    ServeRequest request;
+    request.prompt = *prompt;
+    request.max_new_tokens = 4;
+    ASSERT_TRUE(manager->Submit(std::move(request)).ok());
+    ASSERT_TRUE(manager->RunUntilDrained().ok());
+  }
+  const ServerStats& stats = manager->stats();
+  ASSERT_EQ(stats.sessions.size(), 2u);
+  EXPECT_EQ(stats.sessions[0].prefix_shared_tokens, 0u);
+  EXPECT_GT(stats.sessions[1].prefix_shared_tokens, 0u);
+  EXPECT_LT(stats.sessions[1].gpu_footprint_bytes,
+            stats.sessions[0].gpu_footprint_bytes);
+}
+
+}  // namespace
+}  // namespace pqcache
