@@ -14,6 +14,7 @@
 
 #include "bench/bench_util.h"
 #include "src/common/logging.h"
+#include "src/common/timer.h"
 #include "src/eval/report.h"
 #include "src/serve/session_manager.h"
 #include "src/workload/generator.h"
@@ -28,6 +29,13 @@ constexpr size_t kMaxNewTokens = 12;
 constexpr size_t kSharedPrefixTokens = 192;
 constexpr size_t kPrefixBlockTokens = 32;
 constexpr size_t kPrefixScenarioSlots = 4;
+// Checkpoint scenario shape: one long-context session suspended mid-decode,
+// then resumed — resume TTFT (deserialize + one decode step) is compared
+// against re-prefilling the same 8k-token prompt from scratch.
+constexpr size_t kCheckpointPromptTokens = 8192;
+constexpr size_t kCheckpointMaxNewTokens = 24;
+constexpr size_t kCheckpointSuspendAfter = 8;
+constexpr double kCheckpointMinSpeedup = 3.0;
 
 PQCacheEngineOptions ServeEngineOptions() {
   PQCacheEngineOptions options;
@@ -205,10 +213,132 @@ PrefixRunResult RunPrefixScenario(
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Checkpoint scenario: suspend an 8k-token session mid-decode, resume it,
+// and compare the resume TTFT (one checkpoint deserialize + one decode step)
+// against re-running the transformer prefill. Gates on the resumed stream
+// being bit-identical to the uninterrupted run and on the acceptance bar of
+// a >= 3x resume-vs-reprefill advantage (the measured gap is orders of
+// magnitude; 3x just guards against regressions).
+
+struct CheckpointRunResult {
+  double reprefill_ttft_seconds = 0;  ///< TTFT of the uninterrupted run.
+  double resume_ttft_seconds = 0;     ///< TTFT of the resumed session.
+  /// Wall time of the whole suspended run: prefill + decode to the suspend
+  /// point + checkpoint serialization (dominated by the prefill; the
+  /// serialize itself costs about as much as the resume-side deserialize).
+  double suspended_run_wall_seconds = 0;
+  size_t checkpoint_bytes = 0;
+  bool fidelity = true;
+  bool fast_enough = true;
+
+  double Speedup() const {
+    return resume_ttft_seconds > 0
+               ? reprefill_ttft_seconds / resume_ttft_seconds
+               : 0.0;
+  }
+};
+
+CheckpointRunResult RunCheckpointScenario(ThreadPool* pool) {
+  const PQCacheEngineOptions engine_options = ServeEngineOptions();
+  std::vector<int32_t> prompt(kCheckpointPromptTokens);
+  for (size_t pos = 0; pos < prompt.size(); ++pos) {
+    const uint64_t mixed = (pos * 131 + 7) * 0x9E3779B97F4A7C15ull + pos;
+    prompt[pos] =
+        static_cast<int32_t>(mixed % engine_options.model.vocab_size);
+  }
+  ServeOptions serve;
+  serve.engine = engine_options;
+  serve.max_sessions = 1;
+  serve.max_queue = 4;
+  serve.pool = pool;
+  CheckpointRunResult result;
+
+  // Uninterrupted run: the reference token stream, and its TTFT is exactly
+  // what resuming-by-re-prefill would pay.
+  std::vector<int32_t> reference;
+  {
+    auto manager = SessionManager::Create(serve).value();
+    ServeRequest request;
+    request.tag = "checkpoint_reference";
+    request.prompt = prompt;
+    request.max_new_tokens = kCheckpointMaxNewTokens;
+    request.on_token = [&reference](int32_t token, size_t) {
+      reference.push_back(token);
+    };
+    PQC_CHECK(manager->Submit(std::move(request)).ok());
+    PQC_CHECK(manager->RunUntilDrained().ok());
+    result.reprefill_ttft_seconds =
+        manager->stats().sessions.front().ttft_seconds;
+  }
+
+  // Suspended run: same request, suspended after kCheckpointSuspendAfter
+  // streamed tokens.
+  std::vector<int32_t> streamed;
+  SessionCheckpoint checkpoint;
+  {
+    auto manager = SessionManager::Create(serve).value();
+    int64_t id = -1;
+    ServeRequest request;
+    request.tag = "checkpoint_suspended";
+    request.prompt = prompt;
+    request.max_new_tokens = kCheckpointMaxNewTokens;
+    request.on_token = [&](int32_t token, size_t) {
+      streamed.push_back(token);
+      if (streamed.size() == kCheckpointSuspendAfter) {
+        PQC_CHECK(manager->Suspend(id).ok());
+      }
+    };
+    auto submitted = manager->Submit(std::move(request));
+    PQC_CHECK(submitted.ok());
+    id = submitted.value();
+    WallTimer run_timer;
+    PQC_CHECK(manager->RunUntilDrained().ok());
+    result.suspended_run_wall_seconds = run_timer.ElapsedSeconds();
+    auto taken = manager->TakeSuspended(id);
+    PQC_CHECK(taken.ok());
+    checkpoint = std::move(taken).value();
+  }
+  result.checkpoint_bytes = checkpoint.engine_state.size();
+
+  // Resume on a fresh manager (a different "server"): admission charges the
+  // full footprints again, but the first step is a deserialize, not a
+  // transformer pass.
+  {
+    auto manager = SessionManager::Create(serve).value();
+    auto resumed = manager->Resume(std::move(checkpoint),
+                                   [&streamed](int32_t token, size_t) {
+                                     streamed.push_back(token);
+                                   });
+    PQC_CHECK(resumed.ok());
+    PQC_CHECK(manager->RunUntilDrained().ok());
+    result.resume_ttft_seconds =
+        manager->stats().sessions.front().ttft_seconds;
+  }
+
+  if (streamed != reference) {
+    std::fprintf(stderr,
+                 "CHECKPOINT FIDELITY FAILURE: suspended+resumed stream "
+                 "diverged from the uninterrupted run\n");
+    result.fidelity = false;
+  }
+  if (result.Speedup() < kCheckpointMinSpeedup) {
+    std::fprintf(stderr,
+                 "CHECKPOINT SPEEDUP FAILURE: resume TTFT %.1f ms vs "
+                 "re-prefill %.1f ms (%.1fx < %.1fx)\n",
+                 result.resume_ttft_seconds * 1e3,
+                 result.reprefill_ttft_seconds * 1e3, result.Speedup(),
+                 kCheckpointMinSpeedup);
+    result.fast_enough = false;
+  }
+  return result;
+}
+
 void WriteJson(const std::string& path, size_t gpu_budget,
                const std::vector<SweepResult>& sweeps, bool verified,
                const PrefixRunResult& unshared,
-               const PrefixRunResult& shared) {
+               const PrefixRunResult& shared,
+               const CheckpointRunResult& checkpoint) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -264,7 +394,7 @@ void WriteJson(const std::string& path, size_t gpu_budget,
       "    \"unshared_peak_gpu_bytes\": %zu, \"shared_peak_gpu_bytes\": %zu,\n"
       "    \"prefix_hits\": %llu, \"reused_tokens\": %llu, "
       "\"tokens_bit_identical\": %s\n"
-      "  }\n}\n",
+      "  },\n",
       kSessionsPerSweep, kSharedPrefixTokens, kPrefixBlockTokens,
       kPrefixScenarioSlots, unshared_prefill, shared_prefill,
       prefill_reduction, unshared.charged_gpu_bytes, shared.charged_gpu_bytes,
@@ -273,6 +403,22 @@ void WriteJson(const std::string& path, size_t gpu_budget,
       static_cast<unsigned long long>(shared.stats.prefix_hits),
       static_cast<unsigned long long>(shared.stats.prefix_reused_tokens),
       unshared.fidelity && shared.fidelity ? "true" : "false");
+  std::fprintf(
+      f,
+      "  \"checkpoint\": {\n"
+      "    \"prompt_tokens\": %zu, \"max_new_tokens\": %zu, "
+      "\"suspend_after_tokens\": %zu,\n"
+      "    \"reprefill_ttft_seconds\": %.6f, "
+      "\"resume_ttft_seconds\": %.6f, \"resume_speedup\": %.2f,\n"
+      "    \"checkpoint_bytes\": %zu, \"suspended_run_wall_seconds\": %.6f,\n"
+      "    \"tokens_bit_identical\": %s, \"meets_min_speedup\": %s\n"
+      "  }\n}\n",
+      kCheckpointPromptTokens, kCheckpointMaxNewTokens,
+      kCheckpointSuspendAfter, checkpoint.reprefill_ttft_seconds,
+      checkpoint.resume_ttft_seconds, checkpoint.Speedup(),
+      checkpoint.checkpoint_bytes, checkpoint.suspended_run_wall_seconds,
+      checkpoint.fidelity ? "true" : "false",
+      checkpoint.fast_enough ? "true" : "false");
   std::fclose(f);
   std::printf("\nWrote %s\n", path.c_str());
 }
@@ -409,6 +555,21 @@ int Run(const std::string& out_path) {
       static_cast<unsigned long long>(shared.stats.prefix_reused_tokens),
       unshared.fidelity && shared.fidelity ? "yes" : "NO");
 
+  // Checkpoint scenario: suspend/resume an 8k-token session.
+  bench::PrintHeader(
+      "Session checkpointing: suspend an 8k-token session mid-decode,\n"
+      "resume without re-prefill (gated on bit-identity and >= 3x TTFT)");
+  const CheckpointRunResult checkpoint = RunCheckpointScenario(&pool);
+  verified = verified && checkpoint.fidelity && checkpoint.fast_enough;
+  std::printf(
+      "re-prefill TTFT: %.1f ms -> resume TTFT: %.1f ms (%.0fx faster)\n"
+      "checkpoint size: %.2f MB (8k tokens, FP16 KV + PQ spans)\n"
+      "suspended+resumed tokens bit-identical to uninterrupted run: %s\n",
+      checkpoint.reprefill_ttft_seconds * 1e3,
+      checkpoint.resume_ttft_seconds * 1e3, checkpoint.Speedup(),
+      static_cast<double>(checkpoint.checkpoint_bytes) / (1 << 20),
+      checkpoint.fidelity ? "yes" : "NO");
+
   const ServerStats& first = sweeps.front().stats;
   const ServerStats& last = sweeps.back().stats;
   std::printf(
@@ -424,7 +585,7 @@ int Run(const std::string& out_path) {
       verified ? "yes" : "NO");
 
   WriteJson(out_path, engine_options.hardware.gpu_memory_bytes, sweeps,
-            verified, unshared, shared);
+            verified, unshared, shared, checkpoint);
   return verified ? 0 : 1;
 }
 

@@ -82,6 +82,29 @@ def check_serve(baseline, fresh, tolerance, failures):
         print(f"  prefix prefill_reduction:    {base_red:8.2f} -> "
               f"{fresh_red:8.2f}  {status}")
 
+    base_ckpt = baseline.get("checkpoint")
+    fresh_ckpt = fresh.get("checkpoint")
+    if fresh_ckpt:
+        # Hard gates, no tolerance, independent of the baseline: a resumed
+        # session must stream the same tokens as an uninterrupted one, and
+        # resuming must beat re-prefill by the acceptance floor (the bench
+        # embeds the >= 3x bar, far below the measured gap, so runner noise
+        # cannot trip it).
+        if not fresh_ckpt.get("tokens_bit_identical", False):
+            failures.append("serve: checkpoint resume fidelity gate failed")
+        if not fresh_ckpt.get("meets_min_speedup", False):
+            failures.append("serve: checkpoint resume_speedup fell below the "
+                            "acceptance floor")
+        base_speedup = (base_ckpt or {}).get("resume_speedup", 0.0)
+        fresh_speedup = fresh_ckpt.get("resume_speedup", 0.0)
+        print(f"  checkpoint resume_speedup:   {base_speedup:7.0f}x -> "
+              f"{fresh_speedup:7.0f}x  "
+              f"{'OK' if fresh_ckpt.get('meets_min_speedup') else 'FAIL'}")
+    elif base_ckpt:
+        # A fresh report that silently lost the section must not skip the
+        # gates unnoticed.
+        failures.append("serve: checkpoint section missing from fresh report")
+
 
 def check_micro(baseline, fresh, tolerance, failures):
     def times(report):

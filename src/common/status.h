@@ -20,6 +20,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  kDataLoss,
 };
 
 /// Returns a human-readable name for a StatusCode ("OK", "InvalidArgument"...).
@@ -55,6 +56,11 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// Serialized data is unrecoverably corrupt or truncated (bad length
+  /// fields, streams that end mid-record, checksum-style mismatches).
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "src/common/logging.h"
 #include "src/common/timer.h"
+#include "src/pq/serialize.h"
 #include "src/tensor/ops.h"
 
 namespace pqcache {
@@ -166,6 +168,11 @@ PQCacheEngine::PQCacheEngine(const PQCacheEngineOptions& options)
 PQCacheEngine::~PQCacheEngine() = default;
 
 Result<std::unique_ptr<PQCacheEngine>> PQCacheEngine::Create(
+    const PQCacheEngineOptions& options) {
+  return BuildSkeleton(options);
+}
+
+Result<std::unique_ptr<PQCacheEngine>> PQCacheEngine::BuildSkeleton(
     const PQCacheEngineOptions& options) {
   PQC_RETURN_IF_ERROR(options.model.Validate());
   if (options.model.head_dim % options.pq_partitions != 0) {
@@ -549,6 +556,225 @@ Result<std::vector<int32_t>> PQCacheEngine::Generate(int n) {
     out.push_back(token.value());
   }
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Session checkpointing: serialize.h v2 records wrapped in an engine header
+// (config hash + decode cursor) and a footer marker, so a suspended session
+// can be reconstructed without re-running the transformer.
+
+using serialize_internal::ReadChunked;
+using serialize_internal::ReadPod;
+using serialize_internal::WritePod;
+
+namespace {
+
+constexpr uint32_t kCheckpointMagic = 0x5051434B;   // "PQCK"
+constexpr uint32_t kCheckpointFooter = 0x50514E44;  // "PQND"
+constexpr uint32_t kCheckpointVersion = 2;
+/// Ceiling on the serialized sequence length: far above any real session,
+/// far below what a forged field would need to exhaust memory.
+constexpr uint64_t kMaxCheckpointTokens = 1ull << 32;
+
+/// FNV-1a over every configuration field that affects generated tokens.
+/// Save embeds it; restore recomputes it from the caller's options, so a
+/// checkpoint can only be resumed under a numerics-identical configuration.
+/// Runtime knobs (thread pool, block-cache shape, hierarchy wiring) are
+/// deliberately excluded: they change speed and stats, never tokens.
+uint64_t EngineConfigHash(const PQCacheEngineOptions& o) {
+  uint64_t h = 0xCBF29CE484222325ull;
+  auto mix_u64 = [&h](uint64_t v) {
+    for (size_t i = 0; i < sizeof(v); ++i) {
+      h ^= (v >> (8 * i)) & 0xFFu;
+      h *= 0x100000001B3ull;
+    }
+  };
+  mix_u64(static_cast<uint64_t>(o.model.vocab_size));
+  mix_u64(static_cast<uint64_t>(o.model.num_layers));
+  mix_u64(static_cast<uint64_t>(o.model.num_heads));
+  mix_u64(static_cast<uint64_t>(o.model.num_kv_heads));
+  mix_u64(static_cast<uint64_t>(o.model.head_dim));
+  mix_u64(static_cast<uint64_t>(o.model.ffn_dim));
+  uint32_t theta_bits = 0;
+  std::memcpy(&theta_bits, &o.model.rope_theta, sizeof(theta_bits));
+  mix_u64(theta_bits);
+  mix_u64(o.model.weight_seed);
+  mix_u64(o.initial_tokens);
+  mix_u64(o.local_window);
+  mix_u64(static_cast<uint64_t>(o.pq_partitions));
+  mix_u64(static_cast<uint64_t>(o.pq_bits));
+  mix_u64(o.pq_span_tokens);
+  mix_u64(static_cast<uint64_t>(o.kmeans_iterations));
+  uint64_t ratio_bits = 0;
+  std::memcpy(&ratio_bits, &o.token_ratio, sizeof(ratio_bits));
+  mix_u64(ratio_bits);
+  return h;
+}
+
+}  // namespace
+
+Status PQCacheEngine::SaveCheckpoint(std::ostream& os) const {
+  if (!prefilled_) {
+    return Status::FailedPrecondition(
+        "SaveCheckpoint: nothing to checkpoint before prefill");
+  }
+  WritePod(os, kCheckpointMagic);
+  WritePod(os, kCheckpointVersion);
+  WritePod(os, EngineConfigHash(options_));
+  WritePod(os, static_cast<uint32_t>(options_.model.num_layers));
+  WritePod(os, static_cast<uint32_t>(options_.model.num_kv_heads));
+  WritePod(os, static_cast<uint64_t>(options_.model.head_dim));
+  WritePod(os, static_cast<uint64_t>(kv_cache_->size()));
+  WritePod(os, last_token_);
+  const size_t d = static_cast<size_t>(options_.model.head_dim);
+  for (int layer = 0; layer < options_.model.num_layers; ++layer) {
+    for (int head = 0; head < options_.model.num_kv_heads; ++head) {
+      const KVStore& store = kv_cache_->store(layer, head);
+      WritePod(os, static_cast<uint64_t>(store.size()));
+      // Row-at-a-time writes transparently flatten an attached shared
+      // prefix: the checkpoint holds plain rows, never segment references.
+      for (size_t t = 0; t < store.size(); ++t) {
+        os.write(reinterpret_cast<const char*>(store.KeyRow(t).data()),
+                 static_cast<std::streamsize>(d * sizeof(Half)));
+      }
+      for (size_t t = 0; t < store.size(); ++t) {
+        os.write(reinterpret_cast<const char*>(store.ValueRow(t).data()),
+                 static_cast<std::streamsize>(d * sizeof(Half)));
+      }
+      const size_t idx =
+          static_cast<size_t>(layer) * options_.model.num_kv_heads +
+          static_cast<size_t>(head);
+      PQC_RETURN_IF_ERROR(SaveSpanSet(indexes_[idx], os));
+    }
+  }
+  WritePod(os, kCheckpointFooter);
+  if (!os) return Status::Internal("SaveCheckpoint: stream write failed");
+  return Status::OK();
+}
+
+Result<std::unique_ptr<PQCacheEngine>> PQCacheEngine::RestoreFromCheckpoint(
+    std::istream& is, const PQCacheEngineOptions& options) {
+  if (options.prefix != nullptr) {
+    return Status::InvalidArgument(
+        "RestoreFromCheckpoint: checkpoints flatten shared state; restore "
+        "with options.prefix unset");
+  }
+  auto built = BuildSkeleton(options);
+  if (!built.ok()) return built.status();
+  std::unique_ptr<PQCacheEngine> engine = std::move(built).value();
+
+  uint32_t magic = 0, version = 0;
+  if (!ReadPod(is, &magic)) {
+    return Status::DataLoss("RestoreFromCheckpoint: stream ends before magic");
+  }
+  if (magic != kCheckpointMagic) {
+    return Status::InvalidArgument("RestoreFromCheckpoint: bad magic");
+  }
+  if (!ReadPod(is, &version)) {
+    return Status::DataLoss("RestoreFromCheckpoint: truncated version");
+  }
+  if (version != kCheckpointVersion) {
+    return Status::InvalidArgument(
+        "RestoreFromCheckpoint: unsupported version " +
+        std::to_string(version));
+  }
+  uint64_t config_hash = 0;
+  uint32_t layers = 0, kv_heads = 0;
+  uint64_t head_dim = 0, seq_len = 0;
+  int32_t last_token = -1;
+  if (!ReadPod(is, &config_hash) || !ReadPod(is, &layers) ||
+      !ReadPod(is, &kv_heads) || !ReadPod(is, &head_dim) ||
+      !ReadPod(is, &seq_len) || !ReadPod(is, &last_token)) {
+    return Status::DataLoss("RestoreFromCheckpoint: truncated header");
+  }
+  if (config_hash != EngineConfigHash(options)) {
+    return Status::InvalidArgument(
+        "RestoreFromCheckpoint: checkpoint was written under a different "
+        "engine configuration (model/layout/PQ parameters must match)");
+  }
+  if (layers != static_cast<uint32_t>(options.model.num_layers) ||
+      kv_heads != static_cast<uint32_t>(options.model.num_kv_heads) ||
+      head_dim != static_cast<uint64_t>(options.model.head_dim)) {
+    return Status::DataLoss(
+        "RestoreFromCheckpoint: header shape contradicts the config hash");
+  }
+  if (seq_len == 0 || seq_len > kMaxCheckpointTokens) {
+    return Status::DataLoss("RestoreFromCheckpoint: absurd sequence length " +
+                            std::to_string(seq_len));
+  }
+  if (last_token < 0 || last_token >= options.model.vocab_size) {
+    return Status::DataLoss(
+        "RestoreFromCheckpoint: decode cursor outside the vocabulary");
+  }
+
+  const size_t d = static_cast<size_t>(options.model.head_dim);
+  const size_t n_stores = static_cast<size_t>(options.model.num_layers) *
+                          options.model.num_kv_heads;
+  for (size_t i = 0; i < n_stores; ++i) {
+    const int layer = static_cast<int>(i) / options.model.num_kv_heads;
+    const int head = static_cast<int>(i) % options.model.num_kv_heads;
+    uint64_t n_rows = 0;
+    if (!ReadPod(is, &n_rows)) {
+      return Status::DataLoss("RestoreFromCheckpoint: truncated store header");
+    }
+    if (n_rows != seq_len) {
+      return Status::DataLoss(
+          "RestoreFromCheckpoint: store row count disagrees with the "
+          "sequence length");
+    }
+    std::vector<Half> keys, values;
+    if (!ReadChunked(is, n_rows * d, &keys) ||
+        !ReadChunked(is, n_rows * d, &values)) {
+      return Status::DataLoss("RestoreFromCheckpoint: truncated KV rows");
+    }
+    KVStore& store = engine->kv_cache_->store(layer, head);
+    PQC_RETURN_IF_ERROR(store.RestorePrefilled(
+        std::move(keys), std::move(values), static_cast<size_t>(n_rows)));
+
+    auto span_set = LoadSpanSet(is);
+    if (!span_set.ok()) return span_set.status();
+    PQSpanSet& set = span_set.value();
+    if (set.base_token() != store.middle_begin() ||
+        set.size() > store.middle_count()) {
+      return Status::DataLoss(
+          "RestoreFromCheckpoint: PQ spans do not cover the store's middle "
+          "region");
+    }
+    // The hash pins the PQ shape; a span whose codebook disagrees anyway can
+    // only be interior corruption.
+    auto shape_ok = [&](const PQCodebook& book) {
+      const PQConfig& config = book.config();
+      return config.dim == d &&
+             config.num_partitions == options.pq_partitions &&
+             config.bits == options.pq_bits;
+    };
+    for (const PQClosedSpan& span : set.closed()) {
+      if (!shape_ok(span.index->codebook())) {
+        return Status::DataLoss(
+            "RestoreFromCheckpoint: span codebook shape mismatch");
+      }
+    }
+    if (set.has_open() && !shape_ok(set.open().codebook())) {
+      return Status::DataLoss(
+          "RestoreFromCheckpoint: open-span codebook shape mismatch");
+    }
+    engine->indexes_[i] = std::move(set);
+  }
+  uint32_t footer = 0;
+  if (!ReadPod(is, &footer) || footer != kCheckpointFooter) {
+    return Status::DataLoss("RestoreFromCheckpoint: missing footer");
+  }
+
+  // Byte accounting mirrors Prefill: the restored middle KV is host-resident
+  // (against a shared hierarchy the admission layer has already reserved it).
+  const size_t cpu_bytes = engine->kv_cache_->CpuBytes();
+  engine->stats_.bytes_offloaded = static_cast<double>(cpu_bytes);
+  if (engine->hierarchy_ != nullptr) {
+    PQC_RETURN_IF_ERROR(engine->mem_->cpu().Allocate(cpu_bytes));
+  }
+  engine->last_token_ = last_token;
+  engine->prefilled_ = true;
+  return engine;
 }
 
 }  // namespace pqcache

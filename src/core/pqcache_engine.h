@@ -16,7 +16,9 @@
 #ifndef PQCACHE_CORE_PQCACHE_ENGINE_H_
 #define PQCACHE_CORE_PQCACHE_ENGINE_H_
 
+#include <istream>
 #include <memory>
+#include <ostream>
 #include <vector>
 
 #include "src/cache/block_cache.h"
@@ -130,6 +132,28 @@ class PQCacheEngine {
   /// Convenience: prefill must have run; generates `n` tokens greedily.
   Result<std::vector<int32_t>> Generate(int n);
 
+  /// Serializes the engine's full decode state as a versioned binary
+  /// checkpoint (serialize.h v2): per-store FP16 K/V rows, per-(layer,
+  /// kv-head) PQ span sets (closed spans + open tail), and the decode cursor
+  /// (sequence length + last greedy token), prefixed with a hash of every
+  /// numerics-affecting configuration field. Prefill must have run. Shared
+  /// prefix rows/spans are flattened into the checkpoint, so restoring never
+  /// depends on a PrefixRegistry being alive.
+  Status SaveCheckpoint(std::ostream& os) const;
+
+  /// Reconstructs an engine from a checkpoint without re-running the
+  /// transformer: the prefill cost of a resume is one deserialize. `options`
+  /// must carry the same numerics-affecting configuration the checkpoint was
+  /// written under (model shape + weight seed, segment layout, PQ shape,
+  /// K-Means budget, token ratio) — enforced via the embedded config hash.
+  /// Runtime-only knobs (thread pool, block-cache capacity, hierarchy
+  /// wiring) may differ; `options.prefix` must be unset. The format is
+  /// SIMD-tier independent: a checkpoint saved under one dispatch tier
+  /// restores byte-identically under any other. Corrupt or truncated
+  /// streams fail with DataLoss before large allocations.
+  static Result<std::unique_ptr<PQCacheEngine>> RestoreFromCheckpoint(
+      std::istream& is, const PQCacheEngineOptions& options);
+
   /// The PQ span set of one (layer, kv-head) — exposed for tests/examples
   /// and for PrefixRegistry::Publish.
   const PQSpanSet& pq_index(int layer, int kv_head) const;
@@ -175,6 +199,10 @@ class PQCacheEngine {
   class SelectiveBackend;
 
   explicit PQCacheEngine(const PQCacheEngineOptions& options);
+  /// Validates `options` and wires model + caches + hierarchy + backend (the
+  /// shared front half of Create and RestoreFromCheckpoint; no prefill).
+  static Result<std::unique_ptr<PQCacheEngine>> BuildSkeleton(
+      const PQCacheEngineOptions& options);
   Status BuildPQIndexes(size_t seq_len);
 
   PQCacheEngineOptions options_;

@@ -52,6 +52,24 @@ Status KVStore::AppendPrefill(std::span<const float> keys,
   return Status::OK();
 }
 
+Status KVStore::RestorePrefilled(std::vector<Half> keys,
+                                 std::vector<Half> values, size_t n) {
+  if (prefilled_ || size_ != 0 || shared_count_ != 0) {
+    return Status::FailedPrecondition(
+        "KVStore: checkpoint restore requires an empty store");
+  }
+  if (n == 0 || keys.size() != n * options_.head_dim ||
+      values.size() != n * options_.head_dim) {
+    return Status::InvalidArgument("KVStore: bad restore tensor sizes");
+  }
+  keys_ = std::move(keys);
+  values_ = std::move(values);
+  size_ = n;
+  prefilled_ = true;
+  RecomputeBoundaries();
+  return Status::OK();
+}
+
 std::optional<int32_t> KVStore::AppendToken(std::span<const float> key,
                                             std::span<const float> value) {
   const size_t old_middle_end = middle_end_;

@@ -82,6 +82,15 @@ class KVStore {
   Status AppendPrefill(std::span<const float> keys,
                        std::span<const float> values, size_t n);
 
+  /// Restores a checkpointed store in one shot: adopts `n` row-major FP16
+  /// K/V rows as the private storage of tokens [0, n) and marks the store
+  /// prefilled. Must run on an empty store (no prior AttachSharedPrefix or
+  /// AppendPrefill). Segment boundaries are pure functions of the final
+  /// size, so a restored store is indistinguishable from one that grew to
+  /// `n` tokens through prefill + decode appends.
+  Status RestorePrefilled(std::vector<Half> keys, std::vector<Half> values,
+                          size_t n);
+
   /// Appends one decoded token's KV into the local window. When the window
   /// overflows, the oldest local token migrates to the middle segment and
   /// its id is returned so the caller can PQ-encode and offload it

@@ -1,25 +1,52 @@
 #include "src/pq/serialize.h"
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 namespace pqcache {
+
+using serialize_internal::ReadChunked;
+using serialize_internal::ReadPod;
+using serialize_internal::WritePod;
 
 namespace {
 
 constexpr uint32_t kCodebookMagic = 0x50514342;  // "PQCB"
 constexpr uint32_t kIndexMagic = 0x50514958;     // "PQIX"
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kSpanSetMagic = 0x50515353;   // "PQSS"
+constexpr uint32_t kVersion = 2;
 
-template <typename T>
-void WritePod(std::ostream& os, const T& value) {
-  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
+// Length-field ceilings: far above anything this library produces, far below
+// anything that could make a forged field allocate petabytes. Loads reject
+// counts beyond these with DataLoss before touching the allocator.
+constexpr uint64_t kMaxVectors = 1ull << 32;  ///< Encoded vectors per index.
+constexpr uint64_t kMaxSpans = 1ull << 20;    ///< Closed spans per span set.
 
-template <typename T>
-bool ReadPod(std::istream& is, T* value) {
-  is.read(reinterpret_cast<char*>(value), sizeof(T));
-  return static_cast<bool>(is);
+Status CheckMagicAndVersion(std::istream& is, uint32_t expected_magic,
+                            const char* what) {
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  if (!ReadPod(is, &magic)) {
+    return Status::DataLoss(std::string(what) + ": stream ends before magic");
+  }
+  if (magic != expected_magic) {
+    return Status::InvalidArgument(std::string(what) + ": bad magic");
+  }
+  if (!ReadPod(is, &version)) {
+    return Status::DataLoss(std::string(what) +
+                            ": stream ends before version");
+  }
+  // v1 and v2 payloads are identical for codebooks/indexes, so any version
+  // up to the current one loads (span-set records first appeared in v2, so a
+  // v1 span-set version value can only come from a v1-era writer's bug).
+  if (version == 0 || version > kVersion) {
+    return Status::InvalidArgument(std::string(what) +
+                                   ": unsupported version " +
+                                   std::to_string(version));
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -43,28 +70,33 @@ Status SaveCodebook(const PQCodebook& codebook, std::ostream& os) {
 }
 
 Result<PQCodebook> LoadCodebook(std::istream& is) {
-  uint32_t magic = 0, version = 0;
-  if (!ReadPod(is, &magic) || magic != kCodebookMagic) {
-    return Status::InvalidArgument("LoadCodebook: bad magic");
-  }
-  if (!ReadPod(is, &version) || version != kVersion) {
-    return Status::InvalidArgument("LoadCodebook: unsupported version");
-  }
+  PQC_RETURN_IF_ERROR(CheckMagicAndVersion(is, kCodebookMagic, "LoadCodebook"));
   int32_t partitions = 0, bits = 0;
   uint64_t dim = 0, n_centroids = 0;
   if (!ReadPod(is, &partitions) || !ReadPod(is, &bits) ||
       !ReadPod(is, &dim) || !ReadPod(is, &n_centroids)) {
-    return Status::InvalidArgument("LoadCodebook: truncated header");
+    return Status::DataLoss("LoadCodebook: truncated header");
   }
   PQConfig config;
   config.num_partitions = partitions;
   config.bits = bits;
   config.dim = static_cast<size_t>(dim);
   PQC_RETURN_IF_ERROR(config.Validate());
-  std::vector<float> centroids(static_cast<size_t>(n_centroids));
-  is.read(reinterpret_cast<char*>(centroids.data()),
-          static_cast<std::streamsize>(centroids.size() * sizeof(float)));
-  if (!is) return Status::InvalidArgument("LoadCodebook: truncated data");
+  // The header fully determines the centroid count; a length field that
+  // disagrees is corruption, rejected before any allocation.
+  const uint64_t expected =
+      static_cast<uint64_t>(config.num_partitions) *
+      static_cast<uint64_t>(config.num_centroids()) * config.sub_dim();
+  if (n_centroids != expected) {
+    return Status::DataLoss("LoadCodebook: centroid count " +
+                            std::to_string(n_centroids) +
+                            " does not match the header shape (expected " +
+                            std::to_string(expected) + ")");
+  }
+  std::vector<float> centroids;
+  if (!ReadChunked(is, n_centroids, &centroids)) {
+    return Status::DataLoss("LoadCodebook: truncated centroid data");
+  }
   return PQCodebook::FromParts(config, std::move(centroids));
 }
 
@@ -81,28 +113,107 @@ Status SaveIndex(const PQIndex& index, std::ostream& os) {
 }
 
 Result<PQIndex> LoadIndex(std::istream& is) {
-  uint32_t magic = 0, version = 0;
-  if (!ReadPod(is, &magic) || magic != kIndexMagic) {
-    return Status::InvalidArgument("LoadIndex: bad magic");
-  }
-  if (!ReadPod(is, &version) || version != kVersion) {
-    return Status::InvalidArgument("LoadIndex: unsupported version");
-  }
+  PQC_RETURN_IF_ERROR(CheckMagicAndVersion(is, kIndexMagic, "LoadIndex"));
   auto codebook = LoadCodebook(is);
   if (!codebook.ok()) return codebook.status();
   uint64_t n = 0;
   if (!ReadPod(is, &n)) {
-    return Status::InvalidArgument("LoadIndex: truncated count");
+    return Status::DataLoss("LoadIndex: truncated count");
+  }
+  if (n > kMaxVectors) {
+    return Status::DataLoss("LoadIndex: absurd vector count " +
+                            std::to_string(n));
   }
   PQIndex index(std::move(codebook).value());
-  const size_t m =
-      static_cast<size_t>(index.codebook().config().num_partitions);
-  std::vector<uint16_t> codes(static_cast<size_t>(n) * m);
-  is.read(reinterpret_cast<char*>(codes.data()),
-          static_cast<std::streamsize>(codes.size() * sizeof(uint16_t)));
-  if (!is) return Status::InvalidArgument("LoadIndex: truncated codes");
+  const uint64_t m =
+      static_cast<uint64_t>(index.codebook().config().num_partitions);
+  std::vector<uint16_t> codes;
+  if (!ReadChunked(is, n * m, &codes)) {
+    return Status::DataLoss("LoadIndex: truncated codes");
+  }
+  // Codes index a 2^b-entry centroid table; an out-of-range value would
+  // read past the ADC distance table at search time, so it is corruption
+  // here, not a search-time concern.
+  const uint32_t num_centroids = static_cast<uint32_t>(
+      index.codebook().config().num_centroids());  // Up to 2^16: compare wide.
+  for (uint16_t code : codes) {
+    if (code >= num_centroids) {
+      return Status::DataLoss("LoadIndex: code value " +
+                              std::to_string(code) +
+                              " outside the 2^b centroid range");
+    }
+  }
   index.AddCodes(codes, static_cast<size_t>(n));
   return index;
+}
+
+Status SaveSpanSet(const PQSpanSet& set, std::ostream& os) {
+  if (set.has_open() && !set.open().trained()) {
+    return Status::FailedPrecondition(
+        "SaveSpanSet: open span without a trained codebook");
+  }
+  WritePod(os, kSpanSetMagic);
+  WritePod(os, kVersion);
+  WritePod(os, static_cast<uint64_t>(set.base_token()));
+  WritePod(os, static_cast<uint32_t>(set.closed().size()));
+  for (const PQClosedSpan& span : set.closed()) {
+    WritePod(os, static_cast<uint64_t>(span.begin));
+    PQC_RETURN_IF_ERROR(SaveIndex(*span.index, os));
+  }
+  WritePod(os, static_cast<uint8_t>(set.has_open() ? 1 : 0));
+  if (set.has_open()) {
+    PQC_RETURN_IF_ERROR(SaveIndex(set.open(), os));
+  }
+  if (!os) return Status::Internal("SaveSpanSet: stream write failed");
+  return Status::OK();
+}
+
+Result<PQSpanSet> LoadSpanSet(std::istream& is) {
+  PQC_RETURN_IF_ERROR(CheckMagicAndVersion(is, kSpanSetMagic, "LoadSpanSet"));
+  uint64_t base_token = 0;
+  uint32_t n_closed = 0;
+  if (!ReadPod(is, &base_token) || !ReadPod(is, &n_closed)) {
+    return Status::DataLoss("LoadSpanSet: truncated header");
+  }
+  if (n_closed > kMaxSpans) {
+    return Status::DataLoss("LoadSpanSet: absurd span count " +
+                            std::to_string(n_closed));
+  }
+  PQSpanSet set;
+  set.Reset(static_cast<size_t>(base_token));
+  uint64_t cursor = base_token;
+  for (uint32_t i = 0; i < n_closed; ++i) {
+    uint64_t begin = 0;
+    if (!ReadPod(is, &begin)) {
+      return Status::DataLoss("LoadSpanSet: truncated span header");
+    }
+    // AddClosed enforces adjacency with a fatal check; validate here so a
+    // corrupt stream surfaces as a recoverable error instead.
+    if (begin != cursor) {
+      return Status::DataLoss("LoadSpanSet: non-adjacent span at token " +
+                              std::to_string(begin) + " (expected " +
+                              std::to_string(cursor) + ")");
+    }
+    auto index = LoadIndex(is);
+    if (!index.ok()) return index.status();
+    cursor += index.value().size();
+    set.AddClosed(static_cast<size_t>(begin),
+                  std::make_shared<const PQIndex>(std::move(index).value()),
+                  /*shared=*/false);
+  }
+  uint8_t has_open = 0;
+  if (!ReadPod(is, &has_open)) {
+    return Status::DataLoss("LoadSpanSet: truncated open-span flag");
+  }
+  if (has_open > 1) {
+    return Status::DataLoss("LoadSpanSet: corrupt open-span flag");
+  }
+  if (has_open == 1) {
+    auto open = LoadIndex(is);
+    if (!open.ok()) return open.status();
+    set.SetOpen(std::move(open).value());
+  }
+  return set;
 }
 
 }  // namespace pqcache

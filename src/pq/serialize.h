@@ -1,29 +1,94 @@
-// Binary (de)serialization of PQ codebooks and indexes, so prefill-built
-// structures can be persisted and shipped — the building block for the
-// paper's multi-turn reuse and disk-tier extensions (Sections 2.3 and 5).
+// Binary (de)serialization of PQ structures, so prefill-built state can be
+// persisted and shipped — the building block for the paper's multi-turn
+// reuse and disk-tier extensions (Sections 2.3 and 5) and for whole-session
+// checkpointing (PQCacheEngine::SaveCheckpoint).
+//
 // Format: little-endian, versioned, no external dependencies.
+//   v1: codebook ("PQCB") and index ("PQIX") records.
+//   v2: adds span-set records ("PQSS": ordered closed spans + optional open
+//       tail) and hardened loading — length fields are validated against the
+//       record's own configuration before any allocation, and truncated or
+//       absurd streams fail with Status::DataLoss instead of allocating.
+// The codebook/index payload is unchanged since v1, so v2 loaders read v1
+// records; span-set records exist only in v2.
 #ifndef PQCACHE_PQ_SERIALIZE_H_
 #define PQCACHE_PQ_SERIALIZE_H_
 
+#include <cstdint>
 #include <istream>
 #include <ostream>
+#include <vector>
 
 #include "src/common/status.h"
 #include "src/pq/pq_index.h"
+#include "src/pq/pq_span_set.h"
 
 namespace pqcache {
+
+namespace serialize_internal {
+
+/// POD stream helpers shared by the serialize.cc loaders and the engine
+/// checkpoint code (pqcache_engine.cc), so the corruption-hardening logic
+/// exists exactly once.
+template <typename T>
+inline void WritePod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+inline bool ReadPod(std::istream& is, T* value) {
+  is.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(is);
+}
+
+/// Reads `count` PODs into `out` in bounded chunks, so a corrupt length
+/// field never forces a single huge allocation: growth tracks the bytes
+/// actually present in the stream (plus one chunk of slack). Returns false
+/// when the stream ends early.
+template <typename T>
+inline bool ReadChunked(std::istream& is, uint64_t count, std::vector<T>* out) {
+  constexpr uint64_t kChunkElems = (1u << 20) / sizeof(T);  // 1 MiB chunks.
+  out->clear();
+  uint64_t remaining = count;
+  while (remaining > 0) {
+    const uint64_t chunk = remaining < kChunkElems ? remaining : kChunkElems;
+    const size_t old_size = out->size();
+    out->resize(old_size + static_cast<size_t>(chunk));
+    is.read(reinterpret_cast<char*>(out->data() + old_size),
+            static_cast<std::streamsize>(chunk * sizeof(T)));
+    if (!is) return false;
+    remaining -= chunk;
+  }
+  return true;
+}
+
+}  // namespace serialize_internal
 
 /// Writes a trained codebook. Fails on stream errors or untrained input.
 Status SaveCodebook(const PQCodebook& codebook, std::ostream& os);
 
-/// Reads a codebook written by SaveCodebook.
+/// Reads a codebook written by SaveCodebook. Corrupt or truncated input is
+/// rejected with DataLoss before any centroid storage is allocated (the
+/// centroid count must equal exactly m * 2^b * sub_dim from the header).
 Result<PQCodebook> LoadCodebook(std::istream& is);
 
 /// Writes an index (codebook + codes).
 Status SaveIndex(const PQIndex& index, std::ostream& os);
 
-/// Reads an index written by SaveIndex.
+/// Reads an index written by SaveIndex. Codes are read in bounded chunks so
+/// a forged length field cannot force a huge up-front allocation; a stream
+/// that ends early fails with DataLoss.
 Result<PQIndex> LoadIndex(std::istream& is);
+
+/// Writes a span set: base token, every closed span (begin + index), and the
+/// open tail span when present. Span ownership (shared vs. private) is not
+/// part of the format — a reloaded span set owns all of its spans.
+Status SaveSpanSet(const PQSpanSet& set, std::ostream& os);
+
+/// Reads a span set written by SaveSpanSet. Span adjacency (each closed
+/// span's begin equals the previous coverage end) is re-validated; violations
+/// fail with DataLoss rather than tripping internal invariants.
+Result<PQSpanSet> LoadSpanSet(std::istream& is);
 
 }  // namespace pqcache
 

@@ -59,6 +59,17 @@ class RequestQueue {
     return queue_.empty() ? nullptr : queue_.front().get();
   }
 
+  /// True when a session with this id is queued. The scheduler uses it to
+  /// drop suspend requests whose target exists nowhere anymore (retired
+  /// between the request and the round boundary, or never a real id).
+  bool Contains(int64_t id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& session : queue_) {
+      if (session->id() == id) return true;
+    }
+    return false;
+  }
+
   /// Pops the head (nullptr when empty).
   std::unique_ptr<Session> TryPop() {
     std::lock_guard<std::mutex> lock(mu_);

@@ -30,6 +30,13 @@ struct SessionRecord {
   /// Block-cache counters rolled up from the session's engine.
   uint64_t cache_token_lookups = 0;
   uint64_t cache_token_hits = 0;
+  /// This session started from a SessionCheckpoint: generated_tokens counts
+  /// only post-resume tokens and ttft_seconds is the resume TTFT (checkpoint
+  /// deserialize + first decode step, no transformer prefill).
+  bool resumed = false;
+  /// This session was suspended to a checkpoint instead of finishing; its
+  /// charges were released and it can be resumed later.
+  bool suspended = false;
   bool failed = false;
   std::string error;
 
@@ -47,6 +54,10 @@ struct ServerStats {
   uint64_t rejected_queue_full = 0;
   uint64_t completed = 0;
   uint64_t failed = 0;
+  /// Sessions serialized to a SessionCheckpoint mid-run (charges released).
+  uint64_t suspended = 0;
+  /// Sessions submitted via Resume (also counted in `submitted`).
+  uint64_t resumed = 0;
 
   size_t peak_active_sessions = 0;
   size_t peak_gpu_bytes = 0;

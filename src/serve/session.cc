@@ -1,5 +1,6 @@
 #include "src/serve/session.h"
 
+#include <sstream>
 #include <utility>
 
 namespace pqcache {
@@ -18,7 +19,30 @@ Session::Session(int64_t id, ServeRequest request,
   }
 }
 
+Session::Session(int64_t id, SessionCheckpoint checkpoint,
+                 std::function<void(int32_t token, size_t index)> on_token,
+                 const PQCacheEngineOptions& engine_options,
+                 size_t gpu_footprint_bytes, size_t cpu_footprint_bytes)
+    : id_(id),
+      resume_(std::make_unique<SessionCheckpoint>(std::move(checkpoint))),
+      engine_options_(engine_options),
+      gpu_footprint_bytes_(gpu_footprint_bytes),
+      cpu_footprint_bytes_(cpu_footprint_bytes) {
+  request_.tag = resume_->tag;
+  // Moved, not copied: BuildCheckpoint and the record path read
+  // request_.prompt; resume_ keeps only the generated-token history.
+  request_.prompt = std::move(resume_->prompt);
+  request_.max_new_tokens = resume_->max_new_tokens;
+  request_.on_token = std::move(on_token);
+  const size_t remaining = request_.max_new_tokens - resume_->generated.size();
+  generated_.reserve(remaining);
+  step_seconds_.reserve(remaining);
+}
+
 void Session::ResolvePrefix(std::shared_ptr<const PrefixAttachment> attachment) {
+  // A resumed session restores a flattened checkpoint; attaching shared
+  // prefix state on top would be both redundant and rejected by the engine.
+  if (resume_ != nullptr) return;
   engine_options_.prefix = std::move(attachment);
   gpu_footprint_bytes_ = PQCacheEngine::EstimateGpuFootprintBytes(
       engine_options_, request_.prompt.size(), request_.max_new_tokens);
@@ -26,26 +50,67 @@ void Session::ResolvePrefix(std::shared_ptr<const PrefixAttachment> attachment) 
       engine_options_, request_.prompt.size(), request_.max_new_tokens);
 }
 
+Status Session::BuildCheckpoint(SessionCheckpoint* out) const {
+  if (engine_ == nullptr || state_ != SessionState::kDecoding) {
+    return Status::FailedPrecondition(
+        "Session: only a decoding session with a live engine can be "
+        "checkpointed");
+  }
+  out->tag = request_.tag;
+  out->prompt = request_.prompt;
+  out->max_new_tokens = request_.max_new_tokens;
+  out->generated.clear();
+  if (resume_ != nullptr) out->generated = resume_->generated;
+  out->generated.insert(out->generated.end(), generated_.begin(),
+                        generated_.end());
+  std::ostringstream os;
+  PQC_RETURN_IF_ERROR(engine_->SaveCheckpoint(os));
+  out->engine_state = std::move(os).str();
+  return Status::OK();
+}
+
 void Session::Step() {
   if (done()) return;
   if (state_ == SessionState::kQueued) {
-    // First step: build the engine and run the prefill phase; the prefill's
-    // greedy next-token is the session's first generated token (TTFT).
     queue_wait_seconds_ = since_enqueue_.ElapsedSeconds();
-    auto engine = PQCacheEngine::Create(engine_options_);
-    if (!engine.ok()) {
-      error_ = engine.status();
-      state_ = SessionState::kFailed;
-      return;
+    if (resume_ != nullptr) {
+      // First step of a resumed session: deserialize the engine (the whole
+      // "prefill" of a resume) and decode the first remaining token.
+      std::istringstream is(std::move(resume_->engine_state));
+      auto engine = PQCacheEngine::RestoreFromCheckpoint(is, engine_options_);
+      resume_->engine_state.clear();
+      if (!engine.ok()) {
+        error_ = engine.status();
+        state_ = SessionState::kFailed;
+        return;
+      }
+      engine_ = std::move(engine).value();
+      auto token = engine_->DecodeNext();
+      if (!token.ok()) {
+        error_ = token.status();
+        state_ = SessionState::kFailed;
+        return;
+      }
+      generated_.push_back(token.value());
+    } else {
+      // First step: build the engine and run the prefill phase; the
+      // prefill's greedy next-token is the session's first generated token
+      // (TTFT).
+      auto engine = PQCacheEngine::Create(engine_options_);
+      if (!engine.ok()) {
+        error_ = engine.status();
+        state_ = SessionState::kFailed;
+        return;
+      }
+      engine_ = std::move(engine).value();
+      auto first = engine_->Prefill(request_.prompt);
+      if (!first.ok()) {
+        error_ = first.status();
+        state_ = SessionState::kFailed;
+        return;
+      }
+      generated_.push_back(first.value());
     }
-    engine_ = std::move(engine).value();
-    auto first = engine_->Prefill(request_.prompt);
-    if (!first.ok()) {
-      error_ = first.status();
-      state_ = SessionState::kFailed;
-      return;
-    }
-    generated_.push_back(first.value());
     ttft_seconds_ = since_enqueue_.ElapsedSeconds();
     state_ = SessionState::kDecoding;
   } else {
@@ -59,7 +124,7 @@ void Session::Step() {
     generated_.push_back(token.value());
     step_seconds_.push_back(step_timer.ElapsedSeconds());
   }
-  if (generated_.size() >= request_.max_new_tokens) {
+  if (prior_tokens() + generated_.size() >= request_.max_new_tokens) {
     state_ = SessionState::kFinished;
   }
 }
@@ -73,9 +138,10 @@ void Session::DispatchNewTokens() {
     // Advance the cursor before invoking: if the callback throws (the
     // exception propagates to the RunUntilDrained caller), a resumed drain
     // must not deliver the same (token, index) twice — delivery is
-    // at-most-once per token, never duplicated.
+    // at-most-once per token, never duplicated. Indexes are cumulative
+    // across suspend/resume cycles.
     const size_t index = dispatched_++;
-    request_.on_token(generated_[index], index);
+    request_.on_token(generated_[index], prior_tokens() + index);
   }
 }
 

@@ -33,6 +33,19 @@ struct ServeRequest {
   std::function<void(int32_t token, size_t index)> on_token;
 };
 
+/// A suspended session: everything needed to resume generation later, on
+/// this server or another with the same engine configuration — the original
+/// request shape, the tokens already streamed, and the engine's serialized
+/// checkpoint (PQCacheEngine::SaveCheckpoint bytes). Produced by the
+/// SessionManager's suspend processing, consumed by SessionManager::Resume.
+struct SessionCheckpoint {
+  std::string tag;
+  std::vector<int32_t> prompt;
+  size_t max_new_tokens = 0;          ///< Original total-token budget.
+  std::vector<int32_t> generated;     ///< Tokens produced before suspension.
+  std::string engine_state;           ///< Serialized engine checkpoint.
+};
+
 /// Session lifecycle states.
 enum class SessionState {
   kQueued,     ///< In the request queue; no engine exists yet.
@@ -52,6 +65,16 @@ class Session {
           const PQCacheEngineOptions& engine_options,
           size_t gpu_footprint_bytes, size_t cpu_footprint_bytes);
 
+  /// Resume-mode session: the first Step deserializes the checkpoint's
+  /// engine state instead of creating + prefilling an engine, then decode
+  /// continues until the original max_new_tokens budget is met. Streaming
+  /// indexes continue where the suspended run stopped (the first resumed
+  /// token is delivered with index checkpoint.generated.size()).
+  Session(int64_t id, SessionCheckpoint checkpoint,
+          std::function<void(int32_t token, size_t index)> on_token,
+          const PQCacheEngineOptions& engine_options,
+          size_t gpu_footprint_bytes, size_t cpu_footprint_bytes);
+
   int64_t id() const { return id_; }
   const ServeRequest& request() const { return request_; }
   SessionState state() const { return state_; }
@@ -67,11 +90,26 @@ class Session {
   /// The engine, once the first step has run (nullptr while queued).
   const PQCacheEngine* engine() const { return engine_.get(); }
 
+  /// True for a session constructed from a SessionCheckpoint.
+  bool resumed() const { return resume_ != nullptr; }
+
+  /// Tokens the pre-suspension run already streamed (0 when not resumed).
+  size_t prior_tokens() const {
+    return resume_ == nullptr ? 0 : resume_->generated.size();
+  }
+
+  /// Serializes this session into `out`: request shape, cumulative generated
+  /// tokens (across any earlier suspend/resume cycles), and the engine
+  /// checkpoint. Requires a live engine in the kDecoding state; the session
+  /// keeps running — the manager decides whether to retire it afterwards.
+  Status BuildCheckpoint(SessionCheckpoint* out) const;
+
   /// Installs a prefix-sharing attachment (or clears it with nullptr) and
   /// recomputes both admission footprints for the reduced private state.
   /// Scheduler thread only, before the first Step; the attachment's shared
   /// bytes are charged once by the segment owner, so the session must not be
-  /// charged for them again.
+  /// charged for them again. No-op for resumed sessions (checkpoints restore
+  /// flattened private state and never attach).
   void ResolvePrefix(std::shared_ptr<const PrefixAttachment> attachment);
 
   /// The attachment in effect (null when unshared).
@@ -117,6 +155,8 @@ class Session {
  private:
   int64_t id_;
   ServeRequest request_;
+  /// Set for resume-mode sessions; engine_state is released after restore.
+  std::unique_ptr<SessionCheckpoint> resume_;
   PQCacheEngineOptions engine_options_;
   size_t gpu_footprint_bytes_;
   size_t cpu_footprint_bytes_;

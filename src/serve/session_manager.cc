@@ -75,6 +75,75 @@ Result<int64_t> SessionManager::Submit(ServeRequest request) {
   return id;
 }
 
+Result<int64_t> SessionManager::Resume(
+    SessionCheckpoint&& checkpoint,
+    std::function<void(int32_t token, size_t index)> on_token) {
+  if (checkpoint.prompt.empty()) {
+    return Status::InvalidArgument("Resume: checkpoint has an empty prompt");
+  }
+  if (checkpoint.engine_state.empty()) {
+    return Status::InvalidArgument(
+        "Resume: checkpoint carries no engine state");
+  }
+  if (checkpoint.generated.size() >= checkpoint.max_new_tokens) {
+    return Status::InvalidArgument(
+        "Resume: the session's token budget is already spent");
+  }
+  // A resume restores flattened private state, so it is charged the full
+  // unshared footprints (same bound an uninterrupted session of this shape
+  // would be charged).
+  const size_t gpu_footprint = PQCacheEngine::EstimateGpuFootprintBytes(
+      options_.engine, checkpoint.prompt.size(), checkpoint.max_new_tokens);
+  const size_t cpu_footprint = PQCacheEngine::EstimateCpuFootprintBytes(
+      options_.engine, checkpoint.prompt.size(), checkpoint.max_new_tokens);
+  std::lock_guard<std::mutex> lock(submit_mu_);
+  ++stats_.submitted;
+  if (gpu_footprint > hierarchy_->gpu().capacity_bytes() ||
+      cpu_footprint > hierarchy_->cpu().capacity_bytes()) {
+    ++stats_.rejected_capacity;
+    return Status::OutOfMemory(
+        "Resume: session footprint can never fit the shared pools");
+  }
+  // Every rejection must leave the caller's checkpoint intact (it is the
+  // only copy of the suspended session), so check queue space before
+  // consuming it. Safe under submit_mu_: the scheduler only shrinks the
+  // queue, and all pushers hold this lock.
+  if (queue_.size() >= queue_.capacity()) {
+    ++stats_.rejected_queue_full;
+    return Status::FailedPrecondition(
+        "Resume: request queue full (" + std::to_string(queue_.capacity()) +
+        " sessions)");
+  }
+  const int64_t id = next_id_++;
+  auto session =
+      std::make_unique<Session>(id, std::move(checkpoint), std::move(on_token),
+                                options_.engine, gpu_footprint, cpu_footprint);
+  PQC_CHECK(queue_.TryPush(session));
+  ++stats_.resumed;
+  return id;
+}
+
+Status SessionManager::Suspend(int64_t session_id) {
+  std::lock_guard<std::mutex> lock(suspend_mu_);
+  if (std::find(suspend_requests_.begin(), suspend_requests_.end(),
+                session_id) == suspend_requests_.end()) {
+    suspend_requests_.push_back(session_id);
+  }
+  return Status::OK();
+}
+
+Result<SessionCheckpoint> SessionManager::TakeSuspended(int64_t session_id) {
+  std::lock_guard<std::mutex> lock(suspend_mu_);
+  auto it = suspended_.find(session_id);
+  if (it == suspended_.end()) {
+    return Status::NotFound("TakeSuspended: no suspended session " +
+                            std::to_string(session_id));
+  }
+  SessionCheckpoint checkpoint = std::move(it->second);
+  suspended_.erase(it);
+  return checkpoint;
+}
+
 void SessionManager::AdmitFromQueue() {
   while (active_.size() < options_.max_sessions) {
     // Only this thread pops, so a non-empty head observed here is stable
@@ -88,11 +157,14 @@ void SessionManager::AdmitFromQueue() {
       // position private (the exactness conditions; see prefix_registry.h).
       Session* head = queue_.PeekHead();
       if (head == nullptr) return;
-      const auto& prompt = head->request().prompt;
-      const size_t lw = options_.engine.local_window;
-      size_t cap = prompt.size() > lw ? prompt.size() - lw : 0;
-      cap = std::min(cap, prompt.size() - 1);
-      head->ResolvePrefix(registry_->Lookup(prompt, cap));
+      // Resumed sessions restore flattened checkpoints and never attach.
+      if (!head->resumed()) {
+        const auto& prompt = head->request().prompt;
+        const size_t lw = options_.engine.local_window;
+        size_t cap = prompt.size() > lw ? prompt.size() - lw : 0;
+        cap = std::min(cap, prompt.size() - 1);
+        head->ResolvePrefix(registry_->Lookup(prompt, cap));
+      }
     }
     size_t gpu_footprint = 0;
     size_t cpu_footprint = 0;
@@ -122,8 +194,103 @@ void SessionManager::RunRound() {
   }
 }
 
+SessionRecord SessionManager::RecordFor(const Session& session) const {
+  SessionRecord record;
+  record.id = session.id();
+  record.tag = session.request().tag;
+  record.prompt_tokens = session.request().prompt.size();
+  record.generated_tokens = session.generated().size();
+  record.resumed = session.resumed();
+  record.gpu_footprint_bytes = session.gpu_footprint_bytes();
+  record.queue_wait_seconds = session.queue_wait_seconds();
+  record.ttft_seconds = session.ttft_seconds();
+  record.step_seconds = session.step_seconds();
+  if (session.engine() != nullptr) {
+    record.cache_token_lookups = session.engine()->stats().cache.token_lookups;
+    record.cache_token_hits = session.engine()->stats().cache.token_hits;
+    record.prefill_seconds = session.engine()->stats().prefill_wall_seconds;
+    record.prefix_shared_tokens =
+        session.engine()->stats().prefix_shared_tokens;
+  }
+  return record;
+}
+
+void SessionManager::ProcessSuspensions() {
+  std::vector<int64_t> requested;
+  {
+    std::lock_guard<std::mutex> lock(suspend_mu_);
+    if (suspend_requests_.empty()) return;
+    requested = suspend_requests_;
+  }
+  auto drop_request = [this](int64_t id) {
+    std::lock_guard<std::mutex> lock(suspend_mu_);
+    suspend_requests_.erase(std::remove(suspend_requests_.begin(),
+                                        suspend_requests_.end(), id),
+                            suspend_requests_.end());
+  };
+  for (auto& session : active_) {
+    const int64_t id = session->id();
+    if (std::find(requested.begin(), requested.end(), id) == requested.end()) {
+      continue;
+    }
+    if (session->done()) {
+      // Finished (or failed) before the request was processed: retire
+      // normally, nothing left to suspend.
+      drop_request(id);
+      continue;
+    }
+    SessionCheckpoint checkpoint;
+    Status built = session->BuildCheckpoint(&checkpoint);
+    if (!built.ok()) {
+      // Typically a session still in its first (prefill) step; keep the
+      // request pending and try again next round.
+      continue;
+    }
+    // The suspend path is the retirement path — record, release the engine,
+    // free both admission charges — except the state lands in suspended_
+    // instead of vanishing.
+    session->RefreshEngineStats();
+    SessionRecord record = RecordFor(*session);
+    record.suspended = true;
+    ++stats_.suspended;
+    stats_.total_generated_tokens += session->generated().size();
+    stats_.sessions.push_back(std::move(record));
+    {
+      std::lock_guard<std::mutex> lock(suspend_mu_);
+      suspended_[id] = std::move(checkpoint);
+    }
+    drop_request(id);
+    session->ReleaseEngine();
+    hierarchy_->gpu().Free(session->gpu_footprint_bytes());
+    hierarchy_->cpu().Free(session->cpu_footprint_bytes());
+    session.reset();
+  }
+  active_.erase(std::remove(active_.begin(), active_.end(), nullptr),
+                active_.end());
+  active_count_.store(active_.size(), std::memory_order_relaxed);
+
+  // Drop requests whose target exists nowhere anymore — retired between the
+  // request and this round, or never a real session id. They can never be
+  // served (ids are unique, so no future session reuses them), and leaving
+  // them would grow suspend_requests_ without bound. Requests for sessions
+  // still active (checkpoint not yet possible) or still queued stay pending.
+  for (int64_t id : requested) {
+    bool live = queue_.Contains(id);
+    for (const auto& session : active_) {
+      if (session->id() == id) {
+        live = true;
+        break;
+      }
+    }
+    if (!live) drop_request(id);
+  }
+}
+
 void SessionManager::DispatchAndRetire() {
   for (auto& session : active_) session->DispatchNewTokens();
+  // Suspensions run after dispatch (an on_token callback this round may have
+  // requested one) and before retirement.
+  ProcessSuspensions();
   for (auto& session : active_) {
     // Publish freshly prefilled prompts so later admissions can share them.
     // Runs on the scheduler thread between rounds; the registry dedupes
@@ -146,22 +313,7 @@ void SessionManager::DispatchAndRetire() {
     // session that failed mid-step (or generated only its prefill token)
     // would otherwise report counters that are stale by up to one step.
     session->RefreshEngineStats();
-    SessionRecord record;
-    record.id = session->id();
-    record.tag = session->request().tag;
-    record.prompt_tokens = session->request().prompt.size();
-    record.generated_tokens = session->generated().size();
-    record.gpu_footprint_bytes = session->gpu_footprint_bytes();
-    record.queue_wait_seconds = session->queue_wait_seconds();
-    record.ttft_seconds = session->ttft_seconds();
-    record.step_seconds = session->step_seconds();
-    if (session->engine() != nullptr) {
-      record.cache_token_lookups = session->engine()->stats().cache.token_lookups;
-      record.cache_token_hits = session->engine()->stats().cache.token_hits;
-      record.prefill_seconds = session->engine()->stats().prefill_wall_seconds;
-      record.prefix_shared_tokens =
-          session->engine()->stats().prefix_shared_tokens;
-    }
+    SessionRecord record = RecordFor(*session);
     record.failed = session->state() == SessionState::kFailed;
     if (record.failed) {
       record.error = session->error().ToString();

@@ -32,8 +32,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/status.h"
@@ -88,6 +90,37 @@ class SessionManager {
   /// enqueues and returns the session id. Thread-safe.
   Result<int64_t> Submit(ServeRequest request);
 
+  /// Requests suspension of a session (session checkpointing). Thread-safe;
+  /// typically called from an on_token callback or another thread while
+  /// RunUntilDrained is live. Processed at the next round boundary once the
+  /// session is active with a live engine: the scheduler serializes the
+  /// session into a SessionCheckpoint (retrievable via TakeSuspended),
+  /// releases its engine, and frees its admission charges — exactly the
+  /// retirement path, except the session can come back. Suspending an id
+  /// that is unknown, already finished, or never admitted is a no-op.
+  Status Suspend(int64_t session_id);
+
+  /// Pops the checkpoint of a suspended session (NotFound until the
+  /// scheduler has processed the Suspend request). Thread-safe.
+  Result<SessionCheckpoint> TakeSuspended(int64_t session_id);
+
+  /// Re-submits a suspended session. A resume is admitted like any session —
+  /// same bounded queue, same a-priori footprint charges against both shared
+  /// pools, same FIFO deferral under memory pressure — but its first step is
+  /// one checkpoint deserialize instead of a transformer prefill, and it
+  /// only generates the tokens its original budget still owes. Generated
+  /// tokens are bit-identical to a never-suspended run (the engine
+  /// checkpoint restores the full decode state). `on_token` receives indexes
+  /// continuing from checkpoint.generated.size(). Thread-safe.
+  ///
+  /// The checkpoint is consumed only on success: on any rejection (invalid
+  /// checkpoint, footprint over capacity, queue full) the caller's object is
+  /// left intact, so a transient rejection can be retried later — the
+  /// checkpoint is the only copy of the suspended session.
+  Result<int64_t> Resume(
+      SessionCheckpoint&& checkpoint,
+      std::function<void(int32_t token, size_t index)> on_token = nullptr);
+
   /// Runs the scheduler until queue and active set are both empty. Admits,
   /// steps, streams, and retires sessions; returns the first scheduler-level
   /// error (session-level failures are recorded per session instead). A
@@ -116,6 +149,11 @@ class SessionManager {
   void RunRound();
   /// Streams new tokens and retires finished/failed sessions.
   void DispatchAndRetire();
+  /// Serializes + releases active sessions with pending Suspend requests
+  /// (scheduler thread, between dispatch and retirement).
+  void ProcessSuspensions();
+  /// Final metrics snapshot of a session (shared by retire + suspend paths).
+  SessionRecord RecordFor(const Session& session) const;
 
   ServeOptions options_;
   std::unique_ptr<MemoryHierarchy> hierarchy_;
@@ -127,6 +165,10 @@ class SessionManager {
   std::atomic<size_t> active_count_{0};  // Mirror for cross-thread readers.
   std::mutex submit_mu_;
   int64_t next_id_ = 0;
+  /// Pending Suspend requests + checkpoints awaiting TakeSuspended.
+  std::mutex suspend_mu_;
+  std::vector<int64_t> suspend_requests_;
+  std::unordered_map<int64_t, SessionCheckpoint> suspended_;
   ServerStats stats_;
 };
 

@@ -1,0 +1,273 @@
+// Engine-level session checkpointing: SaveCheckpoint/RestoreFromCheckpoint
+// round trips must reconstruct the decode state exactly — the restored
+// engine's remaining tokens are bit-identical to the uninterrupted engine's,
+// across SIMD dispatch tiers, with the config hash rejecting any
+// numerics-affecting mismatch and corrupt streams failing with DataLoss.
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/pqcache_engine.h"
+#include "src/tensor/simd.h"
+
+namespace pqcache {
+namespace {
+
+PQCacheEngineOptions BaseOptions() {
+  PQCacheEngineOptions options;
+  options.model = ModelConfig::Tiny();
+  options.initial_tokens = 2;
+  options.local_window = 8;
+  options.pq_partitions = 2;
+  options.pq_bits = 4;
+  options.kmeans_iterations = 6;
+  options.token_ratio = 0.5;
+  options.cache.capacity_tokens = 64;
+  options.cache.block_tokens = 8;
+  return options;
+}
+
+std::vector<int32_t> MakePrompt(size_t n, int32_t salt) {
+  std::vector<int32_t> prompt(n);
+  for (size_t i = 0; i < n; ++i) {
+    prompt[i] = static_cast<int32_t>((i * 37 + 11 + salt * 13) % 250);
+  }
+  return prompt;
+}
+
+/// Prefills + decodes `pre` tokens, saves a checkpoint, then keeps decoding
+/// `post` tokens on the original engine. Returns the checkpoint bytes and
+/// the continuation tokens.
+struct SavedRun {
+  std::string checkpoint;
+  std::vector<int32_t> continuation;
+};
+
+SavedRun SaveMidDecode(const PQCacheEngineOptions& options,
+                       const std::vector<int32_t>& prompt, int pre, int post) {
+  auto engine = PQCacheEngine::Create(options).value();
+  EXPECT_TRUE(engine->Prefill(prompt).ok());
+  EXPECT_TRUE(engine->Generate(pre).ok());
+  std::ostringstream os;
+  EXPECT_TRUE(engine->SaveCheckpoint(os).ok());
+  SavedRun run;
+  run.checkpoint = std::move(os).str();
+  run.continuation = engine->Generate(post).value();
+  return run;
+}
+
+std::vector<int32_t> RestoreAndDecode(const PQCacheEngineOptions& options,
+                                      const std::string& checkpoint,
+                                      int post) {
+  std::istringstream is(checkpoint);
+  auto engine = PQCacheEngine::RestoreFromCheckpoint(is, options);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  return engine.value()->Generate(post).value();
+}
+
+TEST(CheckpointTest, RoundTripResumesBitIdentically) {
+  const PQCacheEngineOptions options = BaseOptions();
+  const std::vector<int32_t> prompt = MakePrompt(96, 1);
+  const SavedRun run = SaveMidDecode(options, prompt, /*pre=*/4, /*post=*/12);
+  EXPECT_EQ(RestoreAndDecode(options, run.checkpoint, 12), run.continuation);
+}
+
+TEST(CheckpointTest, RoundTripWithFiniteSpansResumesBitIdentically) {
+  PQCacheEngineOptions options = BaseOptions();
+  options.pq_span_tokens = 16;  // Span-structured layout: several codebooks.
+  const std::vector<int32_t> prompt = MakePrompt(128, 2);
+  const SavedRun run = SaveMidDecode(options, prompt, /*pre=*/6, /*post=*/10);
+  EXPECT_EQ(RestoreAndDecode(options, run.checkpoint, 10), run.continuation);
+}
+
+TEST(CheckpointTest, RoundTripImmediatelyAfterPrefill) {
+  const PQCacheEngineOptions options = BaseOptions();
+  const std::vector<int32_t> prompt = MakePrompt(64, 3);
+  const SavedRun run = SaveMidDecode(options, prompt, /*pre=*/0, /*post=*/8);
+  EXPECT_EQ(RestoreAndDecode(options, run.checkpoint, 8), run.continuation);
+}
+
+TEST(CheckpointTest, RoundTripOnShortPromptWithoutMiddleRegion) {
+  // Prompt fits entirely in initial + local: PQ never trains, span sets stay
+  // empty, and the checkpoint must reproduce exactly that state.
+  const PQCacheEngineOptions options = BaseOptions();
+  const std::vector<int32_t> prompt = MakePrompt(6, 4);
+  const SavedRun run = SaveMidDecode(options, prompt, /*pre=*/2, /*post=*/6);
+  EXPECT_EQ(RestoreAndDecode(options, run.checkpoint, 6), run.continuation);
+}
+
+TEST(CheckpointTest, RestoredEngineSupportsMultiTurnFeedTokens) {
+  const PQCacheEngineOptions options = BaseOptions();
+  const std::vector<int32_t> prompt = MakePrompt(80, 5);
+  const std::vector<int32_t> turn = MakePrompt(12, 6);
+
+  auto original = PQCacheEngine::Create(options).value();
+  ASSERT_TRUE(original->Prefill(prompt).ok());
+  ASSERT_TRUE(original->Generate(3).ok());
+  std::ostringstream os;
+  ASSERT_TRUE(original->SaveCheckpoint(os).ok());
+  const std::string checkpoint = std::move(os).str();
+  ASSERT_TRUE(original->FeedTokens(turn).ok());
+  const std::vector<int32_t> expected = original->Generate(8).value();
+
+  std::istringstream is(checkpoint);
+  auto restored = PQCacheEngine::RestoreFromCheckpoint(is, options);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_TRUE(restored.value()->FeedTokens(turn).ok());
+  EXPECT_EQ(restored.value()->Generate(8).value(), expected);
+}
+
+TEST(CheckpointTest, CrossTierRestoreIsBitIdentical) {
+  // The checkpoint format is SIMD-tier independent: state saved under the
+  // scalar tier must resume under AVX2 with bit-identical remaining tokens,
+  // and vice versa (the cross-tier guarantee the checkpoint-roundtrip CI job
+  // enforces end to end across processes and build configurations).
+  if (!simd::Avx2Available()) {
+    GTEST_SKIP() << "no AVX2 tier on this host";
+  }
+  char* prev = std::getenv("PQCACHE_FORCE_SCALAR");
+  const std::string saved = prev == nullptr ? "" : prev;
+  const PQCacheEngineOptions options = BaseOptions();
+  const std::vector<int32_t> prompt = MakePrompt(96, 7);
+
+  setenv("PQCACHE_FORCE_SCALAR", "1", 1);
+  simd::ResetDispatchForTesting();
+  const SavedRun scalar_run =
+      SaveMidDecode(options, prompt, /*pre=*/4, /*post=*/12);
+
+  setenv("PQCACHE_FORCE_SCALAR", "0", 1);
+  simd::ResetDispatchForTesting();
+  ASSERT_EQ(simd::ActiveLevel(), simd::SimdLevel::kAvx2);
+  EXPECT_EQ(RestoreAndDecode(options, scalar_run.checkpoint, 12),
+            scalar_run.continuation)
+      << "scalar checkpoint resumed under AVX2 diverged";
+  const SavedRun avx2_run =
+      SaveMidDecode(options, prompt, /*pre=*/4, /*post=*/12);
+
+  setenv("PQCACHE_FORCE_SCALAR", "1", 1);
+  simd::ResetDispatchForTesting();
+  EXPECT_EQ(RestoreAndDecode(options, avx2_run.checkpoint, 12),
+            avx2_run.continuation)
+      << "AVX2 checkpoint resumed under scalar diverged";
+
+  if (prev == nullptr) {
+    unsetenv("PQCACHE_FORCE_SCALAR");
+  } else {
+    setenv("PQCACHE_FORCE_SCALAR", saved.c_str(), 1);
+  }
+  simd::ResetDispatchForTesting();
+}
+
+TEST(CheckpointTest, SaveBeforePrefillFails) {
+  auto engine = PQCacheEngine::Create(BaseOptions()).value();
+  std::ostringstream os;
+  EXPECT_EQ(engine->SaveCheckpoint(os).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(CheckpointTest, RestoreRejectsDifferentConfiguration) {
+  const PQCacheEngineOptions options = BaseOptions();
+  const SavedRun run = SaveMidDecode(options, MakePrompt(64, 8), 2, 2);
+
+  // Every numerics-affecting knob participates in the config hash.
+  PQCacheEngineOptions other = options;
+  other.model.weight_seed ^= 1;
+  std::istringstream seed_stream(run.checkpoint);
+  EXPECT_EQ(
+      PQCacheEngine::RestoreFromCheckpoint(seed_stream, other).status().code(),
+      StatusCode::kInvalidArgument);
+
+  other = options;
+  other.token_ratio = 0.4;
+  std::istringstream ratio_stream(run.checkpoint);
+  EXPECT_EQ(PQCacheEngine::RestoreFromCheckpoint(ratio_stream, other)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  other = options;
+  other.local_window = 16;
+  std::istringstream window_stream(run.checkpoint);
+  EXPECT_EQ(PQCacheEngine::RestoreFromCheckpoint(window_stream, other)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  // Runtime-only knobs are excluded from the hash: a different block-cache
+  // capacity restores fine and still decodes identically.
+  other = options;
+  other.cache.capacity_tokens = 16;
+  std::istringstream cache_stream(run.checkpoint);
+  auto restored = PQCacheEngine::RestoreFromCheckpoint(cache_stream, other);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value()->Generate(2).value(), run.continuation);
+}
+
+TEST(CheckpointTest, RestoreRejectsPrefixAttachment) {
+  const PQCacheEngineOptions options = BaseOptions();
+  const SavedRun run = SaveMidDecode(options, MakePrompt(64, 9), 2, 2);
+  PQCacheEngineOptions with_prefix = options;
+  auto segment = std::make_shared<PrefixSegment>();
+  auto attachment = std::make_shared<PrefixAttachment>();
+  attachment->segment = segment;
+  with_prefix.prefix = attachment;
+  std::istringstream is(run.checkpoint);
+  EXPECT_EQ(
+      PQCacheEngine::RestoreFromCheckpoint(is, with_prefix).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointTest, RestoreRejectsTruncatedStreams) {
+  const PQCacheEngineOptions options = BaseOptions();
+  const SavedRun run = SaveMidDecode(options, MakePrompt(96, 10), 3, 2);
+  const std::string& full = run.checkpoint;
+  // Every prefix of the checkpoint must fail cleanly (DataLoss), never
+  // crash, OOM, or produce an engine.
+  for (size_t cut : {size_t{0}, size_t{3}, size_t{9}, size_t{40},
+                     full.size() / 3, full.size() / 2, full.size() - 5}) {
+    std::istringstream is(full.substr(0, cut));
+    auto restored = PQCacheEngine::RestoreFromCheckpoint(is, options);
+    ASSERT_FALSE(restored.ok()) << "cut at " << cut;
+    EXPECT_EQ(restored.status().code(), StatusCode::kDataLoss)
+        << "cut at " << cut << ": " << restored.status().ToString();
+  }
+}
+
+TEST(CheckpointTest, RestoreRejectsCorruptSequenceLength) {
+  const PQCacheEngineOptions options = BaseOptions();
+  SavedRun run = SaveMidDecode(options, MakePrompt(64, 11), 2, 2);
+  // Header layout: magic(4) version(4) hash(8) layers(4) kv_heads(4)
+  // head_dim(8) seq_len(8) — forge an absurd sequence length in place.
+  const uint64_t absurd = 1ull << 60;
+  run.checkpoint.replace(32, sizeof(absurd),
+                         reinterpret_cast<const char*>(&absurd),
+                         sizeof(absurd));
+  std::istringstream is(run.checkpoint);
+  EXPECT_EQ(PQCacheEngine::RestoreFromCheckpoint(is, options).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(CheckpointTest, RestoredFootprintStaysWithinAdmissionEstimate) {
+  // The serving layer re-charges a resumed session via the same a-priori
+  // estimates; the restored engine must stay within them for the rest of
+  // its life.
+  const PQCacheEngineOptions options = BaseOptions();
+  const std::vector<int32_t> prompt = MakePrompt(96, 12);
+  const size_t max_new = 12;
+  const size_t estimate =
+      PQCacheEngine::EstimateGpuFootprintBytes(options, prompt.size(), max_new);
+  const SavedRun run = SaveMidDecode(options, prompt, /*pre=*/3, /*post=*/0);
+  std::istringstream is(run.checkpoint);
+  auto engine = PQCacheEngine::RestoreFromCheckpoint(is, options).value();
+  EXPECT_LE(engine->GpuFootprintBytes(), estimate);
+  for (size_t i = 4; i < max_new; ++i) {
+    ASSERT_TRUE(engine->DecodeNext().ok());
+    EXPECT_LE(engine->GpuFootprintBytes(), estimate);
+  }
+}
+
+}  // namespace
+}  // namespace pqcache

@@ -1,6 +1,9 @@
 #include "src/pq/serialize.h"
 
+#include <cstring>
+#include <memory>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -82,6 +85,219 @@ TEST(SerializeTest, TruncatedStreamRejected) {
     std::stringstream truncated(full.substr(0, cut));
     EXPECT_FALSE(LoadIndex(truncated).ok()) << "cut at " << cut;
   }
+}
+
+// ---------------------------------------------------------------------------
+// v2 hardening: corrupted and truncated streams must fail with DataLoss
+// before any large allocation, never crash or OOM.
+// ---------------------------------------------------------------------------
+
+// Byte offsets inside a codebook record (after its 8-byte magic + version):
+// partitions(4) bits(4) dim(8) n_centroids(8).
+constexpr size_t kCodebookCentroidCountOffset = 8 + 4 + 4 + 8;
+// An index record is magic + version followed by a full codebook record,
+// then the vector count.
+
+template <typename T>
+void PatchBytes(std::string* data, size_t offset, T value) {
+  ASSERT_LE(offset + sizeof(T), data->size());
+  std::memcpy(data->data() + offset, &value, sizeof(T));
+}
+
+std::string SavedCodebook(size_t n, size_t d, uint64_t seed) {
+  PQIndex index = MakeIndex(n, d, seed);
+  std::stringstream ss;
+  EXPECT_TRUE(SaveCodebook(index.codebook(), ss).ok());
+  return ss.str();
+}
+
+TEST(SerializeHardeningTest, CodebookTruncationAtEveryBoundaryIsDataLoss) {
+  const std::string full = SavedCodebook(128, 16, 11);
+  // Cuts inside the magic/version report DataLoss (stream ends before the
+  // record is identifiable); cuts after the header likewise. Only a wrong
+  // magic value is InvalidArgument.
+  for (size_t cut :
+       {size_t{0}, size_t{2}, size_t{6}, size_t{12}, size_t{20},
+        kCodebookCentroidCountOffset + 4, full.size() / 2, full.size() - 1}) {
+    std::stringstream truncated(full.substr(0, cut));
+    auto loaded = LoadCodebook(truncated);
+    ASSERT_FALSE(loaded.ok()) << "cut at " << cut;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss)
+        << "cut at " << cut << ": " << loaded.status().ToString();
+  }
+}
+
+TEST(SerializeHardeningTest, CodebookRejectsAbsurdCentroidCount) {
+  // A forged length field disagreeing with the header shape must be rejected
+  // before the loader allocates anything (a 2^60 count would OOM otherwise).
+  std::string data = SavedCodebook(128, 16, 12);
+  PatchBytes(&data, kCodebookCentroidCountOffset, uint64_t{1} << 60);
+  std::stringstream ss(data);
+  EXPECT_EQ(LoadCodebook(ss).status().code(), StatusCode::kDataLoss);
+
+  // Also when the count is merely off by one (interior corruption).
+  data = SavedCodebook(128, 16, 12);
+  uint64_t count = 0;
+  std::memcpy(&count, data.data() + kCodebookCentroidCountOffset,
+              sizeof(count));
+  PatchBytes(&data, kCodebookCentroidCountOffset, count + 1);
+  std::stringstream off_by_one(data);
+  EXPECT_EQ(LoadCodebook(off_by_one).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SerializeHardeningTest, IndexRejectsAbsurdVectorCount) {
+  PQIndex index = MakeIndex(64, 16, 13);
+  std::stringstream ss;
+  ASSERT_TRUE(SaveIndex(index, ss).ok());
+  std::string data = ss.str();
+  // The vector count sits after the index magic/version and the embedded
+  // codebook record.
+  const size_t count_offset = data.size() - 8 - 64 * 2 * sizeof(uint16_t);
+  uint64_t count = 0;
+  std::memcpy(&count, data.data() + count_offset, sizeof(count));
+  ASSERT_EQ(count, 64u);  // Layout sanity: we found the right field.
+
+  PatchBytes(&data, count_offset, uint64_t{1} << 48);
+  std::stringstream absurd(data);
+  EXPECT_EQ(LoadIndex(absurd).status().code(), StatusCode::kDataLoss);
+
+  // A count larger than the data present (but under the sanity ceiling)
+  // must fail on the missing bytes, not fabricate vectors.
+  PatchBytes(&data, count_offset, uint64_t{65});
+  std::stringstream oversold(data);
+  EXPECT_EQ(LoadIndex(oversold).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SerializeHardeningTest, IndexRejectsOutOfRangeCodeValues) {
+  // Codes index a 2^b-entry table at search time; a flipped byte that pushes
+  // a code past it must be caught at load, not crash the first ADC search.
+  PQIndex index = MakeIndex(64, 16, 16);  // bits=5: codes must be < 32.
+  std::stringstream ss;
+  ASSERT_TRUE(SaveIndex(index, ss).ok());
+  std::string data = ss.str();
+  PatchBytes(&data, data.size() - sizeof(uint16_t), uint16_t{0xFFFF});
+  std::stringstream corrupt(data);
+  EXPECT_EQ(LoadIndex(corrupt).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SerializeHardeningTest, WrongMagicIsInvalidArgumentNotDataLoss) {
+  // Feeding one record type to another loader is a caller bug, not
+  // corruption: the magic check fires first.
+  PQIndex index = MakeIndex(64, 16, 14);
+  std::stringstream codebook_stream;
+  ASSERT_TRUE(SaveCodebook(index.codebook(), codebook_stream).ok());
+  EXPECT_EQ(LoadIndex(codebook_stream).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeHardeningTest, UnsupportedVersionRejected) {
+  std::string data = SavedCodebook(64, 16, 15);
+  PatchBytes(&data, 4, uint32_t{99});
+  std::stringstream ss(data);
+  EXPECT_EQ(LoadCodebook(ss).status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// v2 span sets.
+// ---------------------------------------------------------------------------
+
+PQSpanSet MakeSpanSet(size_t base, size_t span_tokens, size_t n_closed,
+                      size_t tail, uint64_t seed) {
+  PQSpanSet set;
+  set.Reset(base);
+  for (size_t i = 0; i < n_closed; ++i) {
+    set.AddClosed(base + i * span_tokens,
+                  std::make_shared<const PQIndex>(
+                      MakeIndex(span_tokens, 16, seed + i)),
+                  /*shared=*/i % 2 == 0);
+  }
+  PQIndex open = MakeIndex(tail, 16, seed + 100);
+  set.SetOpen(std::move(open));
+  return set;
+}
+
+TEST(SerializeSpanSetTest, RoundTripPreservesSpansAndSearch) {
+  const PQSpanSet set = MakeSpanSet(/*base=*/4, /*span_tokens=*/64,
+                                    /*n_closed=*/3, /*tail=*/17, 21);
+  std::stringstream ss;
+  ASSERT_TRUE(SaveSpanSet(set, ss).ok());
+  auto loaded = LoadSpanSet(ss);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const PQSpanSet& b = loaded.value();
+  EXPECT_EQ(b.base_token(), set.base_token());
+  EXPECT_EQ(b.size(), set.size());
+  ASSERT_EQ(b.closed().size(), set.closed().size());
+  for (size_t i = 0; i < set.closed().size(); ++i) {
+    EXPECT_EQ(b.closed()[i].begin, set.closed()[i].begin);
+    EXPECT_EQ(b.closed()[i].count(), set.closed()[i].count());
+    // Ownership is not part of the format: a reloaded set owns every span.
+    EXPECT_FALSE(b.closed()[i].shared);
+  }
+  ASSERT_TRUE(b.has_open());
+  EXPECT_EQ(b.open().size(), set.open().size());
+
+  Rng rng(33);
+  std::vector<float> q(16);
+  for (float& v : q) v = rng.Gaussian();
+  std::vector<float> table_a, scores_a, table_b, scores_b;
+  std::vector<int32_t> top_a, top_b;
+  set.TopKInto(q, 25, table_a, scores_a, top_a);
+  b.TopKInto(q, 25, table_b, scores_b, top_b);
+  EXPECT_EQ(top_a, top_b);
+}
+
+TEST(SerializeSpanSetTest, RoundTripUntrainedAndTailOnlySets) {
+  // A never-trained set (short prompt, no middle region).
+  PQSpanSet empty;
+  empty.Reset(7);
+  std::stringstream ss;
+  ASSERT_TRUE(SaveSpanSet(empty, ss).ok());
+  auto loaded = LoadSpanSet(ss);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().base_token(), 7u);
+  EXPECT_EQ(loaded.value().size(), 0u);
+  EXPECT_FALSE(loaded.value().has_open());
+  EXPECT_FALSE(loaded.value().trained());
+
+  // Legacy single-span layout: open tail only.
+  PQSpanSet tail_only;
+  tail_only.Reset(2);
+  tail_only.SetOpen(MakeIndex(40, 16, 44));
+  std::stringstream ss2;
+  ASSERT_TRUE(SaveSpanSet(tail_only, ss2).ok());
+  auto loaded2 = LoadSpanSet(ss2);
+  ASSERT_TRUE(loaded2.ok()) << loaded2.status().ToString();
+  EXPECT_EQ(loaded2.value().size(), 40u);
+  EXPECT_TRUE(loaded2.value().has_open());
+}
+
+TEST(SerializeSpanSetTest, TruncationAndCorruptionAreDataLoss) {
+  const PQSpanSet set = MakeSpanSet(4, 32, 2, 9, 55);
+  std::stringstream ss;
+  ASSERT_TRUE(SaveSpanSet(set, ss).ok());
+  const std::string full = ss.str();
+  for (size_t cut : {size_t{0}, size_t{6}, size_t{14}, size_t{19},
+                     full.size() / 2, full.size() - 1}) {
+    std::stringstream truncated(full.substr(0, cut));
+    auto loaded = LoadSpanSet(truncated);
+    ASSERT_FALSE(loaded.ok()) << "cut at " << cut;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss)
+        << "cut at " << cut << ": " << loaded.status().ToString();
+  }
+
+  // Span-set layout: magic(4) version(4) base(8) n_closed(4), then the
+  // first span's begin(8). Forging a non-adjacent begin must be DataLoss
+  // (the in-memory builder would abort on it).
+  std::string corrupt = full;
+  PatchBytes(&corrupt, 20, uint64_t{9999});
+  std::stringstream bad_begin(corrupt);
+  EXPECT_EQ(LoadSpanSet(bad_begin).status().code(), StatusCode::kDataLoss);
+
+  // Absurd closed-span count.
+  corrupt = full;
+  PatchBytes(&corrupt, 16, uint32_t{1} << 30);
+  std::stringstream absurd(corrupt);
+  EXPECT_EQ(LoadSpanSet(absurd).status().code(), StatusCode::kDataLoss);
 }
 
 TEST(SerializeTest, FromPartsValidates) {

@@ -251,6 +251,228 @@ TEST(SessionManagerTest, SharedHierarchyReleasesCpuBytesOnRetire) {
   EXPECT_EQ(manager->hierarchy().gpu().used_bytes(), 0u);
 }
 
+TEST(SessionManagerTest, SuspendResumeAcrossManagersIsBitIdentical) {
+  // Suspend a session mid-decode, carry its checkpoint to a *different*
+  // manager (a fresh "server"), resume there: the concatenated token stream
+  // must equal the uninterrupted single-session run, and streaming indexes
+  // must continue without gaps or duplicates.
+  auto first = SessionManager::Create(DefaultServeOptions()).value();
+  const std::vector<int32_t> prompt = MakePrompt(64, 5);
+  const size_t kMaxNew = 10;
+
+  std::vector<int32_t> streamed;
+  std::vector<size_t> indexes;
+  int64_t id = -1;
+  ServeRequest request;
+  request.tag = "suspendable";
+  request.prompt = prompt;
+  request.max_new_tokens = kMaxNew;
+  request.on_token = [&](int32_t token, size_t index) {
+    streamed.push_back(token);
+    indexes.push_back(index);
+    if (streamed.size() == 3) ASSERT_TRUE(first->Suspend(id).ok());
+  };
+  auto submitted = first->Submit(std::move(request));
+  ASSERT_TRUE(submitted.ok());
+  id = submitted.value();
+  ASSERT_TRUE(first->RunUntilDrained().ok());
+
+  EXPECT_EQ(first->stats().suspended, 1u);
+  EXPECT_EQ(first->stats().completed, 0u);
+  // Suspension releases both admission charges.
+  EXPECT_EQ(first->hierarchy().gpu().used_bytes(), 0u);
+  EXPECT_EQ(first->hierarchy().cpu().used_bytes(), 0u);
+  ASSERT_EQ(first->stats().sessions.size(), 1u);
+  EXPECT_TRUE(first->stats().sessions[0].suspended);
+  EXPECT_FALSE(first->stats().sessions[0].failed);
+
+  auto checkpoint = first->TakeSuspended(id);
+  ASSERT_TRUE(checkpoint.ok()) << checkpoint.status().ToString();
+  EXPECT_EQ(checkpoint.value().generated.size(), 3u);
+  EXPECT_EQ(checkpoint.value().generated,
+            std::vector<int32_t>(streamed.begin(), streamed.begin() + 3));
+  // Taking it again is NotFound (ownership moved to the caller).
+  EXPECT_EQ(first->TakeSuspended(id).status().code(), StatusCode::kNotFound);
+
+  auto second = SessionManager::Create(DefaultServeOptions()).value();
+  auto resumed = second->Resume(
+      std::move(checkpoint).value(), [&](int32_t token, size_t index) {
+        streamed.push_back(token);
+        indexes.push_back(index);
+      });
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  ASSERT_TRUE(second->RunUntilDrained().ok());
+
+  EXPECT_EQ(second->stats().resumed, 1u);
+  EXPECT_EQ(second->stats().completed, 1u);
+  ASSERT_EQ(second->stats().sessions.size(), 1u);
+  EXPECT_TRUE(second->stats().sessions[0].resumed);
+  EXPECT_EQ(second->stats().sessions[0].generated_tokens, kMaxNew - 3);
+
+  EXPECT_EQ(streamed, SingleSessionReference(DefaultServeOptions().engine,
+                                             prompt, kMaxNew));
+  for (size_t i = 0; i < indexes.size(); ++i) EXPECT_EQ(indexes[i], i);
+}
+
+TEST(SessionManagerTest, ResumeDeferredByAdmissionThenSucceedsAfterRetire) {
+  // The satellite scenario: a resume is admitted like any session. With a
+  // GPU pool sized for one session and another session holding it, the
+  // resume waits in the FIFO queue and is admitted only after the incumbent
+  // retires — then completes bit-identically.
+  ServeOptions options = DefaultServeOptions();
+  const size_t footprint = PQCacheEngine::EstimateGpuFootprintBytes(
+      options.engine, 64, 8);
+  options.engine.hardware.gpu_memory_bytes = footprint + footprint / 2;
+  auto manager = SessionManager::Create(options).value();
+
+  const std::vector<int32_t> prompt_a = MakePrompt(64, 6);
+  std::vector<int32_t> streamed_a;
+  int64_t id_a = -1;
+  ServeRequest request_a;
+  request_a.prompt = prompt_a;
+  request_a.max_new_tokens = 8;
+  request_a.on_token = [&](int32_t token, size_t) {
+    streamed_a.push_back(token);
+    if (streamed_a.size() == 2) ASSERT_TRUE(manager->Suspend(id_a).ok());
+  };
+  auto submitted = manager->Submit(std::move(request_a));
+  ASSERT_TRUE(submitted.ok());
+  id_a = submitted.value();
+  ASSERT_TRUE(manager->RunUntilDrained().ok());
+  auto checkpoint = manager->TakeSuspended(id_a);
+  ASSERT_TRUE(checkpoint.ok());
+
+  // B fills the pool; A's resume queues behind it.
+  ServeRequest request_b;
+  request_b.prompt = MakePrompt(64, 7);
+  request_b.max_new_tokens = 8;
+  ASSERT_TRUE(manager->Submit(std::move(request_b)).ok());
+  auto resumed = manager->Resume(std::move(checkpoint).value(),
+                                 [&](int32_t token, size_t) {
+                                   streamed_a.push_back(token);
+                                 });
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  ASSERT_TRUE(manager->RunUntilDrained().ok());
+
+  const ServerStats& stats = manager->stats();
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.resumed, 1u);
+  // One decode slot's worth of memory: B and the resumed A never overlapped.
+  EXPECT_EQ(stats.peak_active_sessions, 1u);
+  EXPECT_LE(stats.peak_gpu_bytes, options.engine.hardware.gpu_memory_bytes);
+  EXPECT_EQ(manager->hierarchy().gpu().used_bytes(), 0u);
+  EXPECT_EQ(manager->hierarchy().cpu().used_bytes(), 0u);
+  EXPECT_EQ(streamed_a, SingleSessionReference(DefaultServeOptions().engine,
+                                               prompt_a, 8));
+}
+
+TEST(SessionManagerTest, SuspendFlattensSharedPrefixState) {
+  // A session attached to a shared prefix segment must checkpoint into
+  // self-contained state: the resume needs no registry, runs unshared, and
+  // still matches the solo reference.
+  ServeOptions options = DefaultServeOptions();
+  options.max_sessions = 1;  // Serialize admissions so the second shares.
+  options.engine.pq_span_tokens = 16;
+  options.enable_prefix_sharing = true;
+  options.prefix.block_tokens = 16;
+  auto manager = SessionManager::Create(options).value();
+
+  // Two prompts with a common 48-token head, differing afterwards.
+  std::vector<int32_t> shared_head = MakePrompt(48, 9);
+  auto make_prompt = [&](int32_t salt) {
+    std::vector<int32_t> prompt = shared_head;
+    const std::vector<int32_t> tail = MakePrompt(48, salt);
+    prompt.insert(prompt.end(), tail.begin(), tail.end());
+    return prompt;
+  };
+  const std::vector<int32_t> prompt_a = make_prompt(10);
+  const std::vector<int32_t> prompt_b = make_prompt(11);
+
+  ServeRequest request_a;
+  request_a.prompt = prompt_a;
+  request_a.max_new_tokens = 4;
+  ASSERT_TRUE(manager->Submit(std::move(request_a)).ok());
+
+  std::vector<int32_t> streamed_b;
+  int64_t id_b = -1;
+  ServeRequest request_b;
+  request_b.prompt = prompt_b;
+  request_b.max_new_tokens = 9;
+  request_b.on_token = [&](int32_t token, size_t) {
+    streamed_b.push_back(token);
+    if (streamed_b.size() == 2) ASSERT_TRUE(manager->Suspend(id_b).ok());
+  };
+  auto submitted_b = manager->Submit(std::move(request_b));
+  ASSERT_TRUE(submitted_b.ok());
+  id_b = submitted_b.value();
+  ASSERT_TRUE(manager->RunUntilDrained().ok());
+
+  // B did attach the shared prefix before being suspended.
+  ASSERT_EQ(manager->stats().sessions.size(), 2u);
+  const SessionRecord& record_b = manager->stats().sessions[1];
+  EXPECT_TRUE(record_b.suspended);
+  EXPECT_GT(record_b.prefix_shared_tokens, 0u);
+
+  auto checkpoint = manager->TakeSuspended(id_b);
+  ASSERT_TRUE(checkpoint.ok()) << checkpoint.status().ToString();
+  auto resumed = manager->Resume(std::move(checkpoint).value(),
+                                 [&](int32_t token, size_t) {
+                                   streamed_b.push_back(token);
+                                 });
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  ASSERT_TRUE(manager->RunUntilDrained().ok());
+
+  PQCacheEngineOptions solo = options.engine;
+  solo.shared_hierarchy = nullptr;
+  EXPECT_EQ(streamed_b, SingleSessionReference(solo, prompt_b, 9));
+}
+
+TEST(SessionManagerTest, ResumeValidatesCheckpoint) {
+  auto manager = SessionManager::Create(DefaultServeOptions()).value();
+  SessionCheckpoint empty;
+  EXPECT_EQ(manager->Resume(std::move(empty)).status().code(),
+            StatusCode::kInvalidArgument);
+
+  SessionCheckpoint spent;
+  spent.prompt = MakePrompt(32, 1);
+  spent.engine_state = "x";
+  spent.max_new_tokens = 2;
+  spent.generated = {1, 2};
+  EXPECT_EQ(manager->Resume(std::move(spent)).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // A corrupt engine payload surfaces as a failed session, not a crash.
+  SessionCheckpoint corrupt;
+  corrupt.prompt = MakePrompt(32, 2);
+  corrupt.engine_state = "definitely not a checkpoint";
+  corrupt.max_new_tokens = 4;
+  auto id = manager->Resume(std::move(corrupt));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(manager->RunUntilDrained().ok());
+  EXPECT_EQ(manager->stats().failed, 1u);
+  ASSERT_EQ(manager->stats().sessions.size(), 1u);
+  EXPECT_TRUE(manager->stats().sessions[0].failed);
+  EXPECT_EQ(manager->hierarchy().gpu().used_bytes(), 0u);
+}
+
+TEST(SessionManagerTest, SuspendUnknownOrFinishedSessionIsNoOp) {
+  auto manager = SessionManager::Create(DefaultServeOptions()).value();
+  EXPECT_TRUE(manager->Suspend(12345).ok());  // Unknown id: accepted, inert.
+  ServeRequest request;
+  request.prompt = MakePrompt(48, 3);
+  request.max_new_tokens = 3;
+  auto id = manager->Submit(std::move(request));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(manager->RunUntilDrained().ok());
+  // Requesting suspension after completion finds nothing to suspend.
+  EXPECT_TRUE(manager->Suspend(id.value()).ok());
+  EXPECT_EQ(manager->TakeSuspended(id.value()).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(manager->stats().completed, 1u);
+  EXPECT_EQ(manager->stats().suspended, 0u);
+}
+
 TEST(RequestQueueTest, BoundedFifoSemantics) {
   PQCacheEngineOptions engine_options = ServeEngineOptions();
   RequestQueue queue(2);

@@ -28,6 +28,8 @@ TEST(StatusTest, AllFactoryCodes) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Status::DataLoss("x").ToString(), "DataLoss: x");
 }
 
 TEST(StatusTest, Equality) {
