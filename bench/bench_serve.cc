@@ -7,6 +7,8 @@
 // the same request run through a lone engine (the binary fails otherwise).
 //
 //   build/bench_serve [output_json]   (default: BENCH_serve.json)
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -36,6 +38,24 @@ constexpr size_t kCheckpointPromptTokens = 8192;
 constexpr size_t kCheckpointMaxNewTokens = 24;
 constexpr size_t kCheckpointSuspendAfter = 8;
 constexpr double kCheckpointMinSpeedup = 3.0;
+// Antagonist scenario shape: one greedy tenant floods the decode slots with
+// long decodes while an interactive tenant submits short requests behind
+// them. Run once under legacy single-lane round-robin (everything in the
+// default tenant) and once under weighted fair scheduling with preemption.
+constexpr size_t kFairnessSlots = 4;
+constexpr size_t kGreedySessions = 12;
+constexpr size_t kGreedyPromptTokens = 288;
+constexpr size_t kGreedyMaxNewTokens = 24;
+constexpr size_t kInteractiveSessions = 4;
+constexpr size_t kInteractivePromptTokens = 128;
+constexpr size_t kInteractiveMaxNewTokens = 4;
+constexpr uint32_t kInteractiveWeight = 4;
+constexpr double kFairnessPreemptAfterSeconds = 0.010;
+// Acceptance gates: the interactive tenant's p99 queue wait must improve at
+// least this much over round-robin, with aggregate tokens/sec inside the
+// regression band.
+constexpr double kFairnessMinWaitImprovement = 2.0;
+constexpr double kFairnessTokensBand = 0.15;
 
 PQCacheEngineOptions ServeEngineOptions() {
   PQCacheEngineOptions options;
@@ -107,12 +127,15 @@ std::vector<BenchRequest> MakeRequests(int vocab_size) {
 }
 
 std::vector<int32_t> SingleSessionReference(const PQCacheEngineOptions& opts,
-                                            const std::vector<int32_t>& prompt) {
+                                            const std::vector<int32_t>& prompt,
+                                            size_t max_new_tokens = kMaxNewTokens) {
   auto engine = PQCacheEngine::Create(opts).value();
   std::vector<int32_t> out;
   out.push_back(engine->Prefill(prompt).value());
-  auto rest = engine->Generate(static_cast<int>(kMaxNewTokens - 1));
-  out.insert(out.end(), rest.value().begin(), rest.value().end());
+  if (max_new_tokens > 1) {
+    auto rest = engine->Generate(static_cast<int>(max_new_tokens - 1));
+    out.insert(out.end(), rest.value().begin(), rest.value().end());
+  }
   return out;
 }
 
@@ -207,6 +230,114 @@ PrefixRunResult RunPrefixScenario(
                    "PREFIX FIDELITY FAILURE (sharing=%d): session %zu "
                    "diverged from its single-session run\n",
                    sharing ? 1 : 0, s);
+      result.fidelity = false;
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Antagonist scenario: a greedy tenant with kGreedySessions long decodes vs.
+// an interactive tenant with short requests submitted behind them, on
+// kFairnessSlots decode slots. Round-robin mode reproduces the legacy
+// scheduler (single lane, no weights, no preemption); fair mode gives the
+// interactive tenant a larger weight, a higher priority, and a preemption
+// bound. Gated on the interactive tenant's p99 queue wait improving >=
+// kFairnessMinWaitImprovement, aggregate tokens/sec staying inside the
+// regression band, and every stream (including the preempted-then-resumed
+// ones) staying bit-identical to its solo run.
+
+struct FairnessRunResult {
+  ServerStats stats;
+  double interactive_p99_wait_seconds = 0;
+  double greedy_p99_wait_seconds = 0;
+  bool fidelity = true;
+};
+
+double TagP99WaitSeconds(const ServerStats& stats, const std::string& prefix) {
+  std::vector<double> waits;
+  for (const SessionRecord& record : stats.sessions) {
+    if (record.generated_tokens == 0) continue;
+    if (record.tag.rfind(prefix, 0) != 0) continue;
+    // Preempted slices and their resumes are separate records; the wait
+    // that matters for the tenant is the first seating, carried by the
+    // non-resumed record.
+    if (record.resumed) continue;
+    waits.push_back(record.queue_wait_seconds);
+  }
+  if (waits.empty()) return 0;
+  std::sort(waits.begin(), waits.end());
+  const size_t idx =
+      std::min(waits.size() - 1,
+               static_cast<size_t>(std::ceil(0.99 * waits.size())) - 1);
+  return waits[idx];
+}
+
+FairnessRunResult RunFairnessScenario(
+    const std::vector<std::vector<int32_t>>& greedy_prompts,
+    const std::vector<std::vector<int32_t>>& interactive_prompts,
+    const std::vector<std::vector<int32_t>>& greedy_references,
+    const std::vector<std::vector<int32_t>>& interactive_references,
+    bool fair, ThreadPool* pool) {
+  ServeOptions serve;
+  serve.engine = ServeEngineOptions();
+  serve.max_sessions = kFairnessSlots;
+  serve.max_queue = kGreedySessions + kInteractiveSessions;
+  serve.pool = pool;
+  if (fair) serve.preempt_after_seconds = kFairnessPreemptAfterSeconds;
+  auto manager = SessionManager::Create(serve).value();
+
+  std::vector<std::vector<int32_t>> greedy_streams(greedy_prompts.size());
+  std::vector<std::vector<int32_t>> interactive_streams(
+      interactive_prompts.size());
+  for (size_t s = 0; s < greedy_prompts.size(); ++s) {
+    ServeRequest request;
+    request.tag = "greedy_" + std::to_string(s);
+    if (fair) request.tenant = "greedy";
+    request.prompt = greedy_prompts[s];
+    request.max_new_tokens = kGreedyMaxNewTokens;
+    request.on_token = [&greedy_streams, s](int32_t token, size_t) {
+      greedy_streams[s].push_back(token);
+    };
+    PQC_CHECK(manager->Submit(std::move(request)).ok());
+  }
+  for (size_t s = 0; s < interactive_prompts.size(); ++s) {
+    ServeRequest request;
+    request.tag = "interactive_" + std::to_string(s);
+    if (fair) {
+      request.tenant = "interactive";
+      request.weight = kInteractiveWeight;
+      request.priority = 1;
+    }
+    request.prompt = interactive_prompts[s];
+    request.max_new_tokens = kInteractiveMaxNewTokens;
+    request.on_token = [&interactive_streams, s](int32_t token, size_t) {
+      interactive_streams[s].push_back(token);
+    };
+    PQC_CHECK(manager->Submit(std::move(request)).ok());
+  }
+  PQC_CHECK(manager->RunUntilDrained().ok());
+
+  FairnessRunResult result;
+  result.stats = manager->stats();
+  result.interactive_p99_wait_seconds =
+      TagP99WaitSeconds(result.stats, "interactive_");
+  result.greedy_p99_wait_seconds = TagP99WaitSeconds(result.stats, "greedy_");
+  for (size_t s = 0; s < greedy_prompts.size(); ++s) {
+    if (greedy_streams[s] != greedy_references[s]) {
+      std::fprintf(stderr,
+                   "FAIRNESS FIDELITY FAILURE (fair=%d): greedy session %zu "
+                   "diverged from its single-session run\n",
+                   fair ? 1 : 0, s);
+      result.fidelity = false;
+    }
+  }
+  for (size_t s = 0; s < interactive_prompts.size(); ++s) {
+    if (interactive_streams[s] != interactive_references[s]) {
+      std::fprintf(stderr,
+                   "FAIRNESS FIDELITY FAILURE (fair=%d): interactive session "
+                   "%zu diverged from its single-session run\n",
+                   fair ? 1 : 0, s);
       result.fidelity = false;
     }
   }
@@ -334,10 +465,26 @@ CheckpointRunResult RunCheckpointScenario(ThreadPool* pool) {
   return result;
 }
 
+/// Everything the JSON report records about the antagonist scenario.
+struct FairnessJson {
+  double rr_interactive_p99_wait_seconds = 0;
+  double fair_interactive_p99_wait_seconds = 0;
+  double rr_greedy_p99_wait_seconds = 0;
+  double fair_greedy_p99_wait_seconds = 0;
+  double wait_improvement = 0;
+  double rr_tokens_per_sec = 0;
+  double fair_tokens_per_sec = 0;
+  uint64_t preemptions = 0;
+  bool tokens_bit_identical = false;
+  bool meets_min_improvement = false;
+  bool tokens_within_band = false;
+};
+
 void WriteJson(const std::string& path, size_t gpu_budget,
                const std::vector<SweepResult>& sweeps, bool verified,
                const PrefixRunResult& unshared,
                const PrefixRunResult& shared,
+               const FairnessJson& fairness,
                const CheckpointRunResult& checkpoint) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -403,6 +550,35 @@ void WriteJson(const std::string& path, size_t gpu_budget,
       static_cast<unsigned long long>(shared.stats.prefix_hits),
       static_cast<unsigned long long>(shared.stats.prefix_reused_tokens),
       unshared.fidelity && shared.fidelity ? "true" : "false");
+  std::fprintf(
+      f,
+      "  \"fairness\": {\n"
+      "    \"slots\": %zu, \"greedy_sessions\": %zu, "
+      "\"greedy_max_new_tokens\": %zu,\n"
+      "    \"interactive_sessions\": %zu, "
+      "\"interactive_max_new_tokens\": %zu, \"interactive_weight\": %u, "
+      "\"preempt_after_seconds\": %.3f,\n"
+      "    \"rr_interactive_p99_wait_ms\": %.3f, "
+      "\"fair_interactive_p99_wait_ms\": %.3f, \"wait_improvement\": %.2f,\n"
+      "    \"rr_greedy_p99_wait_ms\": %.3f, "
+      "\"fair_greedy_p99_wait_ms\": %.3f,\n"
+      "    \"rr_tokens_per_sec\": %.1f, \"fair_tokens_per_sec\": %.1f, "
+      "\"preemptions\": %llu,\n"
+      "    \"tokens_bit_identical\": %s, \"meets_min_improvement\": %s, "
+      "\"tokens_within_band\": %s\n"
+      "  },\n",
+      kFairnessSlots, kGreedySessions, kGreedyMaxNewTokens,
+      kInteractiveSessions, kInteractiveMaxNewTokens, kInteractiveWeight,
+      kFairnessPreemptAfterSeconds,
+      fairness.rr_interactive_p99_wait_seconds * 1e3,
+      fairness.fair_interactive_p99_wait_seconds * 1e3,
+      fairness.wait_improvement, fairness.rr_greedy_p99_wait_seconds * 1e3,
+      fairness.fair_greedy_p99_wait_seconds * 1e3,
+      fairness.rr_tokens_per_sec, fairness.fair_tokens_per_sec,
+      static_cast<unsigned long long>(fairness.preemptions),
+      fairness.tokens_bit_identical ? "true" : "false",
+      fairness.meets_min_improvement ? "true" : "false",
+      fairness.tokens_within_band ? "true" : "false");
   std::fprintf(
       f,
       "  \"checkpoint\": {\n"
@@ -555,6 +731,99 @@ int Run(const std::string& out_path) {
       static_cast<unsigned long long>(shared.stats.prefix_reused_tokens),
       unshared.fidelity && shared.fidelity ? "yes" : "NO");
 
+  // Antagonist scenario: weighted fair scheduling + preemption vs. legacy
+  // round-robin under a greedy tenant flood.
+  bench::PrintHeader(
+      "Multi-tenant fairness: 12 greedy long decodes vs. 4 interactive\n"
+      "requests on 4 slots (round-robin vs. weighted fair + preemption)");
+  std::vector<std::vector<int32_t>> greedy_prompts(kGreedySessions);
+  for (size_t s = 0; s < kGreedySessions; ++s) {
+    greedy_prompts[s].resize(kGreedyPromptTokens);
+    for (size_t pos = 0; pos < kGreedyPromptTokens; ++pos) {
+      const uint64_t mixed =
+          ((s + 1) * 641 + pos * 13) * 0x9E3779B97F4A7C15ull + pos;
+      greedy_prompts[s][pos] = static_cast<int32_t>(
+          mixed % engine_options.model.vocab_size);
+    }
+  }
+  std::vector<std::vector<int32_t>> interactive_prompts(kInteractiveSessions);
+  for (size_t s = 0; s < kInteractiveSessions; ++s) {
+    interactive_prompts[s].resize(kInteractivePromptTokens);
+    for (size_t pos = 0; pos < kInteractivePromptTokens; ++pos) {
+      const uint64_t mixed =
+          ((s + 101) * 877 + pos * 17) * 0x9E3779B97F4A7C15ull + pos;
+      interactive_prompts[s][pos] = static_cast<int32_t>(
+          mixed % engine_options.model.vocab_size);
+    }
+  }
+  std::vector<std::vector<int32_t>> greedy_references;
+  greedy_references.reserve(kGreedySessions);
+  for (const auto& prompt : greedy_prompts) {
+    greedy_references.push_back(
+        SingleSessionReference(engine_options, prompt, kGreedyMaxNewTokens));
+  }
+  std::vector<std::vector<int32_t>> interactive_references;
+  interactive_references.reserve(kInteractiveSessions);
+  for (const auto& prompt : interactive_prompts) {
+    interactive_references.push_back(SingleSessionReference(
+        engine_options, prompt, kInteractiveMaxNewTokens));
+  }
+  const FairnessRunResult rr_run =
+      RunFairnessScenario(greedy_prompts, interactive_prompts,
+                          greedy_references, interactive_references,
+                          /*fair=*/false, &pool);
+  const FairnessRunResult fair_run =
+      RunFairnessScenario(greedy_prompts, interactive_prompts,
+                          greedy_references, interactive_references,
+                          /*fair=*/true, &pool);
+  const double wait_improvement =
+      fair_run.interactive_p99_wait_seconds > 0
+          ? rr_run.interactive_p99_wait_seconds /
+                fair_run.interactive_p99_wait_seconds
+          : 0.0;
+  const double fairness_tokens_ratio =
+      rr_run.stats.TokensPerSecond() > 0
+          ? fair_run.stats.TokensPerSecond() / rr_run.stats.TokensPerSecond()
+          : 0.0;
+  const bool fairness_fidelity = rr_run.fidelity && fair_run.fidelity;
+  const bool fairness_meets_improvement =
+      wait_improvement >= kFairnessMinWaitImprovement;
+  const bool fairness_tokens_within_band =
+      fairness_tokens_ratio >= 1.0 - kFairnessTokensBand;
+  verified = verified && fairness_fidelity && fairness_meets_improvement &&
+             fairness_tokens_within_band;
+  if (!fairness_meets_improvement) {
+    std::fprintf(stderr,
+                 "FAIRNESS IMPROVEMENT FAILURE: interactive p99 wait %.1f ms "
+                 "-> %.1f ms (%.2fx < %.1fx)\n",
+                 rr_run.interactive_p99_wait_seconds * 1e3,
+                 fair_run.interactive_p99_wait_seconds * 1e3, wait_improvement,
+                 kFairnessMinWaitImprovement);
+  }
+  if (!fairness_tokens_within_band) {
+    std::fprintf(stderr,
+                 "FAIRNESS THROUGHPUT FAILURE: %.0f -> %.0f tokens/sec "
+                 "(%.1f%% drop exceeds the %.0f%% band)\n",
+                 rr_run.stats.TokensPerSecond(),
+                 fair_run.stats.TokensPerSecond(),
+                 (1.0 - fairness_tokens_ratio) * 100.0,
+                 kFairnessTokensBand * 100.0);
+  }
+  std::printf(
+      "interactive p99 queue wait: %.1f ms -> %.1f ms (%.1fx better)\n"
+      "greedy p99 queue wait:      %.1f ms -> %.1f ms\n"
+      "aggregate tokens/sec:       %.0f -> %.0f (%.1f%%)\n"
+      "preemptions: %llu | tokens bit-identical (incl. preempted+resumed): "
+      "%s\n",
+      rr_run.interactive_p99_wait_seconds * 1e3,
+      fair_run.interactive_p99_wait_seconds * 1e3, wait_improvement,
+      rr_run.greedy_p99_wait_seconds * 1e3,
+      fair_run.greedy_p99_wait_seconds * 1e3,
+      rr_run.stats.TokensPerSecond(), fair_run.stats.TokensPerSecond(),
+      (fairness_tokens_ratio - 1.0) * 100.0,
+      static_cast<unsigned long long>(fair_run.stats.preempted),
+      fairness_fidelity ? "yes" : "NO");
+
   // Checkpoint scenario: suspend/resume an 8k-token session.
   bench::PrintHeader(
       "Session checkpointing: suspend an 8k-token session mid-decode,\n"
@@ -584,8 +853,22 @@ int Run(const std::string& out_path) {
       last.TpotPercentileSeconds(99) * 1e3, sweeps.back().max_sessions,
       verified ? "yes" : "NO");
 
+  FairnessJson fairness;
+  fairness.rr_interactive_p99_wait_seconds =
+      rr_run.interactive_p99_wait_seconds;
+  fairness.fair_interactive_p99_wait_seconds =
+      fair_run.interactive_p99_wait_seconds;
+  fairness.rr_greedy_p99_wait_seconds = rr_run.greedy_p99_wait_seconds;
+  fairness.fair_greedy_p99_wait_seconds = fair_run.greedy_p99_wait_seconds;
+  fairness.wait_improvement = wait_improvement;
+  fairness.rr_tokens_per_sec = rr_run.stats.TokensPerSecond();
+  fairness.fair_tokens_per_sec = fair_run.stats.TokensPerSecond();
+  fairness.preemptions = fair_run.stats.preempted;
+  fairness.tokens_bit_identical = fairness_fidelity;
+  fairness.meets_min_improvement = fairness_meets_improvement;
+  fairness.tokens_within_band = fairness_tokens_within_band;
   WriteJson(out_path, engine_options.hardware.gpu_memory_bytes, sweeps,
-            verified, unshared, shared, checkpoint);
+            verified, unshared, shared, fairness, checkpoint);
   return verified ? 0 : 1;
 }
 

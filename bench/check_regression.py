@@ -9,6 +9,10 @@ Tracked metrics
     - prefix_sharing.prefill_reduction (higher is better; absolute band)
     - prefix_sharing.tokens_bit_identical / tokens_bit_identical_to_single_
       session must be true in the FRESH report (hard gate, no tolerance)
+    - fairness.*: bit-identity, the >= 2x interactive p99 queue-wait
+      improvement and the tokens/sec band vs. round-robin are hard gates
+      evaluated inside the fresh report; wait_improvement is additionally
+      compared against the baseline with a doubled band
   BENCH_micro.json (optional, google-benchmark format):
     - real_time per benchmark (lower is better)
 
@@ -81,6 +85,44 @@ def check_serve(baseline, fresh, tolerance, failures):
                 f"(tolerance band {tolerance:.2f})")
         print(f"  prefix prefill_reduction:    {base_red:8.2f} -> "
               f"{fresh_red:8.2f}  {status}")
+
+    base_fair = baseline.get("fairness")
+    fresh_fair = fresh.get("fairness")
+    if fresh_fair:
+        # Hard gates, no tolerance: streams (including preempted+resumed
+        # sessions) must stay bit-identical, the interactive tenant's p99
+        # queue wait must beat round-robin by the acceptance floor (>= 2x,
+        # embedded in the bench), and aggregate tokens/sec must stay inside
+        # the bench's own band vs. the round-robin run of the same report
+        # (same machine, same process — immune to runner speed).
+        if not fresh_fair.get("tokens_bit_identical", False):
+            failures.append("serve: fairness fidelity gate failed")
+        if not fresh_fair.get("meets_min_improvement", False):
+            failures.append("serve: fairness interactive p99 queue-wait "
+                            "improvement fell below the acceptance floor")
+        if not fresh_fair.get("tokens_within_band", False):
+            failures.append("serve: fairness aggregate tokens/sec fell "
+                            "outside the band vs. round-robin")
+        base_improvement = (base_fair or {}).get("wait_improvement", 0.0)
+        fresh_improvement = fresh_fair.get("wait_improvement", 0.0)
+        status = "OK"
+        # Cross-run latency ratios are noisier than throughput; use a
+        # doubled band on top of the hard >= 2x floor above.
+        if base_improvement > 0 and \
+                fresh_improvement < base_improvement * (1.0 - 2 * tolerance):
+            status = "REGRESSION"
+            failures.append(
+                f"serve: fairness wait_improvement fell from "
+                f"{base_improvement:.1f}x to {fresh_improvement:.1f}x "
+                f"(band {2 * tolerance * 100.0:.0f}%)")
+        print(f"  fairness wait_improvement:   {base_improvement:7.1f}x -> "
+              f"{fresh_improvement:7.1f}x  {status}")
+        print(f"  fairness interactive p99 wait: "
+              f"{(base_fair or {}).get('fair_interactive_p99_wait_ms', 0.0):8.1f} -> "
+              f"{fresh_fair.get('fair_interactive_p99_wait_ms', 0.0):8.1f} ms "
+              f"({fresh_fair.get('preemptions', 0)} preemptions)")
+    elif base_fair:
+        failures.append("serve: fairness section missing from fresh report")
 
     base_ckpt = baseline.get("checkpoint")
     fresh_ckpt = fresh.get("checkpoint")

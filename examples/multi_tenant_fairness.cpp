@@ -1,0 +1,104 @@
+// Multi-tenant fairness scenario: a greedy tenant floods the two decode
+// slots with long generations while an interactive tenant submits short,
+// high-priority requests behind them. Weighted deficit-round-robin gives
+// each tenant decode steps proportional to its weight, per-tenant admission
+// lanes keep the greedy backlog from blocking the interactive queue head,
+// and checkpoint-based preemption suspends the longest-running greedy decode
+// (loss-free — its resume is auto-requeued and the stream continues
+// bit-identically) once the interactive tenant has waited past the bound.
+//
+//   build/example_multi_tenant_fairness
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/serve/session_manager.h"
+
+int main() {
+  using namespace pqcache;
+
+  ServeOptions serve;
+  serve.engine.model = ModelConfig::Tiny();
+  serve.engine.initial_tokens = 4;
+  serve.engine.local_window = 16;
+  serve.engine.pq_partitions = 2;
+  serve.engine.pq_bits = 5;
+  serve.engine.token_ratio = 0.25;
+  serve.engine.cache.capacity_tokens = 128;
+  serve.engine.cache.block_tokens = 16;
+  serve.max_sessions = 2;             // Two decode slots.
+  serve.max_queue = 16;
+  serve.preempt_after_seconds = 0.005;  // Preempt after 5 ms of waiting.
+  ThreadPool pool(4);
+  serve.pool = &pool;
+
+  auto manager = SessionManager::Create(serve).value();
+  std::printf(
+      "decode slots: %zu | preemption bound: %.0f ms\n\n"
+      "tenant 'greedy'      weight 1  priority 0  4 x 24-token decodes\n"
+      "tenant 'interactive' weight 4  priority 1  2 x 4-token requests\n\n",
+      serve.max_sessions, serve.preempt_after_seconds * 1e3);
+
+  auto make_prompt = [&](size_t len, uint64_t seed) {
+    std::vector<int32_t> prompt(len);
+    for (size_t i = 0; i < len; ++i) {
+      prompt[i] = static_cast<int32_t>(
+          ((i * 37 + seed * 91 + 5) * 0x9E3779B97F4A7C15ull >> 17) %
+          static_cast<uint64_t>(serve.engine.model.vocab_size));
+    }
+    return prompt;
+  };
+
+  // The greedy flood arrives first and takes both slots.
+  for (size_t g = 0; g < 4; ++g) {
+    ServeRequest request;
+    request.tag = "greedy-" + std::to_string(g);
+    request.tenant = "greedy";
+    request.prompt = make_prompt(224, g);
+    request.max_new_tokens = 24;
+    if (!manager->Submit(std::move(request)).ok()) return 1;
+  }
+  // The interactive requests queue behind it — in their own lane.
+  for (size_t u = 0; u < 2; ++u) {
+    ServeRequest request;
+    request.tag = "interactive-" + std::to_string(u);
+    request.tenant = "interactive";
+    request.weight = 4;
+    request.priority = 1;
+    request.prompt = make_prompt(128, 100 + u);
+    request.max_new_tokens = 4;
+    if (!manager->Submit(std::move(request)).ok()) return 1;
+  }
+  if (!manager->RunUntilDrained().ok()) return 1;
+
+  const ServerStats& stats = manager->stats();
+  std::printf("%-16s %-8s %-8s %-10s %-10s %s\n", "session", "tokens",
+              "wait_ms", "ttft_ms", "tpot_ms", "flags");
+  for (const SessionRecord& s : stats.sessions) {
+    std::string flags;
+    if (s.preempted) flags += "preempted ";
+    if (s.resumed) flags += "resumed ";
+    std::printf("%-16s %-8zu %-8.1f %-10.1f %-10.3f %s\n", s.tag.c_str(),
+                s.generated_tokens, s.queue_wait_seconds * 1e3,
+                s.ttft_seconds * 1e3, s.MeanTpotSeconds() * 1e3,
+                flags.c_str());
+  }
+  std::printf("\nper-tenant rollup:\n%-14s %-9s %-9s %-11s %-12s %s\n",
+              "tenant", "sessions", "tokens", "preempts", "p99_wait_ms",
+              "p99_tpot_ms");
+  for (const TenantStats& t : stats.PerTenant()) {
+    std::printf("%-14s %-9llu %-9llu %-11llu %-12.1f %.3f\n",
+                t.tenant.c_str(),
+                static_cast<unsigned long long>(t.sessions),
+                static_cast<unsigned long long>(t.generated_tokens),
+                static_cast<unsigned long long>(t.preemptions),
+                t.p99_queue_wait_seconds * 1e3, t.p99_tpot_seconds * 1e3);
+  }
+  std::printf(
+      "\n%llu preemption(s): the interactive tenant was seated by suspending\n"
+      "a greedy decode to a checkpoint; the suspended session resumed from\n"
+      "its auto-requeued checkpoint and finished with the same tokens it\n"
+      "would have produced uninterrupted.\n",
+      static_cast<unsigned long long>(stats.preempted));
+  return 0;
+}

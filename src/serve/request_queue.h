@@ -1,21 +1,26 @@
-// Bounded FIFO of sessions awaiting admission. Submissions may arrive from
-// any thread while the scheduler drains from its own, so the queue is
-// internally synchronized. Admission order is strict FIFO: the scheduler only
-// ever pops the head, so a large session cannot be starved by smaller ones
-// arriving behind it (head-of-line fairness over throughput).
+// Bounded admission queue of sessions, organized as per-tenant FIFO lanes.
+// Submissions may arrive from any thread while the scheduler drains from its
+// own, so the queue is internally synchronized. Admission order is strict
+// FIFO *within* a tenant (a tenant's large head cannot be overtaken by its
+// own later, smaller sessions), while the scheduler rotates *across* lanes so
+// one tenant's oversized or unadmittable head never starves every other
+// tenant's admission. The capacity bound is global across lanes.
 #ifndef PQCACHE_SERVE_REQUEST_QUEUE_H_
 #define PQCACHE_SERVE_REQUEST_QUEUE_H_
 
 #include <cstddef>
 #include <deque>
+#include <list>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <vector>
 
 #include "src/serve/session.h"
 
 namespace pqcache {
 
-/// Mutex-guarded bounded queue of queued sessions.
+/// Mutex-guarded bounded queue of queued sessions, one FIFO lane per tenant.
 class RequestQueue {
  public:
   explicit RequestQueue(size_t capacity) : capacity_(capacity) {}
@@ -24,65 +29,108 @@ class RequestQueue {
 
   size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return queue_.size();
+    return size_;
   }
 
   bool empty() const { return size() == 0; }
 
-  /// Enqueues; returns false (leaving `session` untouched) when full.
+  /// Enqueues into the session's tenant lane; returns false (leaving
+  /// `session` untouched) when the global capacity is reached.
   bool TryPush(std::unique_ptr<Session>& session) {
     std::lock_guard<std::mutex> lock(mu_);
-    if (queue_.size() >= capacity_) return false;
-    queue_.push_back(std::move(session));
+    if (size_ >= capacity_) return false;
+    LaneFor(session->tenant()).push_back(std::move(session));
+    ++size_;
     return true;
   }
 
-  /// Footprints of the head session; false when empty. The scheduler uses
-  /// these to decide whether the head fits the remaining pools before
-  /// popping (the head is stable between this call and TryPop because only
-  /// the scheduler thread pops).
-  bool HeadFootprints(size_t* gpu_bytes, size_t* cpu_bytes) const {
+  /// Enqueues ignoring the capacity bound. Only for the scheduler's
+  /// preemption requeue: a preempted session was already admitted once, so
+  /// the bound (which gates *new* work) must not be able to drop it.
+  void PushUnbounded(std::unique_ptr<Session> session) {
     std::lock_guard<std::mutex> lock(mu_);
-    if (queue_.empty()) return false;
-    *gpu_bytes = queue_.front()->gpu_footprint_bytes();
-    *cpu_bytes = queue_.front()->cpu_footprint_bytes();
-    return true;
+    LaneFor(session->tenant()).push_back(std::move(session));
+    ++size_;
   }
 
-  /// The head session, or nullptr when empty. Scheduler thread only: the
-  /// pointer stays valid because only that thread pops, and it stops being
-  /// valid at its own TryPop. Used to resolve prefix-sharing attachments
-  /// (which need the head's prompt, not just its footprints) before
-  /// charging admission.
-  Session* PeekHead() const {
+  /// Tenants with non-empty lanes, in first-submission order. The scheduler
+  /// rotates its own admission cursor over this list; the list itself is a
+  /// stable snapshot (lane heads only move when the scheduler pops).
+  std::vector<std::string> Tenants() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return queue_.empty() ? nullptr : queue_.front().get();
+    std::vector<std::string> tenants;
+    tenants.reserve(lanes_.size());
+    for (const Lane& lane : lanes_) {
+      if (!lane.fifo.empty()) tenants.push_back(lane.tenant);
+    }
+    return tenants;
   }
 
-  /// True when a session with this id is queued. The scheduler uses it to
-  /// drop suspend requests whose target exists nowhere anymore (retired
-  /// between the request and the round boundary, or never a real id).
+  /// The head session of a tenant's lane, or nullptr when the lane is empty
+  /// or unknown. Scheduler thread only: the pointer stays valid because only
+  /// that thread pops, and it stops being valid at its own TryPop. Used to
+  /// resolve prefix-sharing attachments and to evaluate preemption bounds
+  /// (which need the head's prompt and wait time, not just its footprints).
+  Session* PeekHead(const std::string& tenant) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Lane& lane : lanes_) {
+      if (lane.tenant != tenant) continue;
+      return lane.fifo.empty() ? nullptr : lane.fifo.front().get();
+    }
+    return nullptr;
+  }
+
+  /// True when a session with this id is queued in any lane. The scheduler
+  /// uses it to drop suspend requests whose target exists nowhere anymore
+  /// (retired between the request and the round boundary, or never a real
+  /// id).
   bool Contains(int64_t id) const {
     std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& session : queue_) {
-      if (session->id() == id) return true;
+    for (const Lane& lane : lanes_) {
+      for (const auto& session : lane.fifo) {
+        if (session->id() == id) return true;
+      }
     }
     return false;
   }
 
-  /// Pops the head (nullptr when empty).
-  std::unique_ptr<Session> TryPop() {
+  /// Pops the head of a tenant's lane (nullptr when empty). Empty lanes are
+  /// dropped so long-lived servers don't accumulate one per tenant ever
+  /// seen.
+  std::unique_ptr<Session> TryPop(const std::string& tenant) {
     std::lock_guard<std::mutex> lock(mu_);
-    if (queue_.empty()) return nullptr;
-    std::unique_ptr<Session> session = std::move(queue_.front());
-    queue_.pop_front();
-    return session;
+    for (auto it = lanes_.begin(); it != lanes_.end(); ++it) {
+      if (it->tenant != tenant) continue;
+      if (it->fifo.empty()) return nullptr;
+      std::unique_ptr<Session> session = std::move(it->fifo.front());
+      it->fifo.pop_front();
+      --size_;
+      if (it->fifo.empty()) lanes_.erase(it);
+      return session;
+    }
+    return nullptr;
   }
 
  private:
+  struct Lane {
+    std::string tenant;
+    std::deque<std::unique_ptr<Session>> fifo;
+  };
+
+  std::deque<std::unique_ptr<Session>>& LaneFor(const std::string& tenant) {
+    for (Lane& lane : lanes_) {
+      if (lane.tenant == tenant) return lane.fifo;
+    }
+    lanes_.push_back(Lane{tenant, {}});
+    return lanes_.back().fifo;
+  }
+
   size_t capacity_;
   mutable std::mutex mu_;
-  std::deque<std::unique_ptr<Session>> queue_;
+  size_t size_ = 0;  ///< Total sessions across lanes.
+  /// Lanes in tenant first-seen order (a list: lane erasure must not move
+  /// other lanes' queued sessions; linear scans are fine at lane counts).
+  std::list<Lane> lanes_;
 };
 
 }  // namespace pqcache

@@ -5,6 +5,28 @@
 
 namespace pqcache {
 
+namespace {
+
+/// Nearest-rank percentile (0 < p <= 100) over unsorted samples; 0 when
+/// empty. Sorts in place.
+double PercentileOf(std::vector<double>& samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = p / 100.0 * static_cast<double>(samples.size());
+  size_t idx = static_cast<size_t>(std::ceil(rank));
+  idx = std::min(std::max<size_t>(idx, 1), samples.size()) - 1;
+  return samples[idx];
+}
+
+/// A record of a session that produced at least one token. Failed/suspended
+/// sessions that never reached a first token carry ttft = 0 and belong in
+/// failure counters, not latency aggregates.
+bool ProducedTokens(const SessionRecord& record) {
+  return record.generated_tokens > 0;
+}
+
+}  // namespace
+
 double SessionRecord::MeanTpotSeconds() const {
   if (step_seconds.empty()) return 0;
   double sum = 0;
@@ -23,17 +45,25 @@ double ServerStats::TokensPerSecond() const {
 }
 
 double ServerStats::MeanTtftSeconds() const {
-  if (sessions.empty()) return 0;
   double sum = 0;
-  for (const SessionRecord& s : sessions) sum += s.ttft_seconds;
-  return sum / static_cast<double>(sessions.size());
+  size_t n = 0;
+  for (const SessionRecord& s : sessions) {
+    if (!ProducedTokens(s)) continue;
+    sum += s.ttft_seconds;
+    ++n;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0;
 }
 
 double ServerStats::MeanQueueWaitSeconds() const {
-  if (sessions.empty()) return 0;
   double sum = 0;
-  for (const SessionRecord& s : sessions) sum += s.queue_wait_seconds;
-  return sum / static_cast<double>(sessions.size());
+  size_t n = 0;
+  for (const SessionRecord& s : sessions) {
+    if (!ProducedTokens(s)) continue;
+    sum += s.queue_wait_seconds;
+    ++n;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0;
 }
 
 double ServerStats::TpotPercentileSeconds(double p) const {
@@ -42,12 +72,62 @@ double ServerStats::TpotPercentileSeconds(double p) const {
     samples.insert(samples.end(), s.step_seconds.begin(),
                    s.step_seconds.end());
   }
-  if (samples.empty()) return 0;
-  std::sort(samples.begin(), samples.end());
-  const double rank = p / 100.0 * static_cast<double>(samples.size());
-  size_t idx = static_cast<size_t>(std::ceil(rank));
-  idx = std::min(std::max<size_t>(idx, 1), samples.size()) - 1;
-  return samples[idx];
+  return PercentileOf(samples, p);
+}
+
+double ServerStats::QueueWaitPercentileSeconds(double p) const {
+  std::vector<double> samples;
+  for (const SessionRecord& s : sessions) {
+    if (ProducedTokens(s)) samples.push_back(s.queue_wait_seconds);
+  }
+  return PercentileOf(samples, p);
+}
+
+std::vector<TenantStats> ServerStats::PerTenant() const {
+  std::vector<TenantStats> tenants;
+  std::vector<std::vector<double>> waits;
+  std::vector<std::vector<double>> tpots;
+  auto rollup_for = [&](const std::string& tenant) -> size_t {
+    for (size_t i = 0; i < tenants.size(); ++i) {
+      if (tenants[i].tenant == tenant) return i;
+    }
+    tenants.emplace_back();
+    tenants.back().tenant = tenant;
+    waits.emplace_back();
+    tpots.emplace_back();
+    return tenants.size() - 1;
+  };
+  for (const SessionRecord& record : sessions) {
+    TenantStats& t = tenants[rollup_for(record.tenant)];
+    const size_t i = &t - tenants.data();
+    ++t.sessions;
+    if (record.failed) {
+      ++t.failed;
+    } else if (record.preempted) {
+      ++t.preemptions;
+    } else if (!record.suspended) {
+      ++t.completed;
+    }
+    t.generated_tokens += record.generated_tokens;
+    if (ProducedTokens(record)) waits[i].push_back(record.queue_wait_seconds);
+    tpots[i].insert(tpots[i].end(), record.step_seconds.begin(),
+                    record.step_seconds.end());
+  }
+  for (size_t i = 0; i < tenants.size(); ++i) {
+    TenantStats& t = tenants[i];
+    t.tokens_per_second =
+        wall_seconds > 0
+            ? static_cast<double>(t.generated_tokens) / wall_seconds
+            : 0;
+    double wait_sum = 0;
+    for (double w : waits[i]) wait_sum += w;
+    t.mean_queue_wait_seconds =
+        waits[i].empty() ? 0
+                         : wait_sum / static_cast<double>(waits[i].size());
+    t.p99_queue_wait_seconds = PercentileOf(waits[i], 99);
+    t.p99_tpot_seconds = PercentileOf(tpots[i], 99);
+  }
+  return tenants;
 }
 
 double ServerStats::TotalPrefillSeconds() const {

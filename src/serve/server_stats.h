@@ -15,6 +15,8 @@ namespace pqcache {
 struct SessionRecord {
   int64_t id = 0;
   std::string tag;
+  /// Tenant lane this session was scheduled under ("" = default tenant).
+  std::string tenant;
   size_t prompt_tokens = 0;
   size_t generated_tokens = 0;
   /// Prompt positions whose KV/PQ state was attached from a shared prefix
@@ -37,10 +39,29 @@ struct SessionRecord {
   /// This session was suspended to a checkpoint instead of finishing; its
   /// charges were released and it can be resumed later.
   bool suspended = false;
+  /// The suspension was a scheduler preemption (a higher-priority tenant
+  /// was waiting); the session's resume was auto-requeued and produces a
+  /// separate record flagged `resumed` when it retires.
+  bool preempted = false;
   bool failed = false;
   std::string error;
 
   double MeanTpotSeconds() const;
+};
+
+/// Per-tenant rollup of one scheduler run's records (fair-share
+/// accounting: the fields sum/pool back to the global ServerStats).
+struct TenantStats {
+  std::string tenant;
+  uint64_t sessions = 0;   ///< Records under this tenant (incl. suspended).
+  uint64_t completed = 0;  ///< Records that finished (not failed/suspended).
+  uint64_t failed = 0;
+  uint64_t preemptions = 0;  ///< Records suspended by the fair scheduler.
+  uint64_t generated_tokens = 0;
+  double tokens_per_second = 0;  ///< generated_tokens over the run's wall.
+  double mean_queue_wait_seconds = 0;  ///< Over token-producing records.
+  double p99_queue_wait_seconds = 0;
+  double p99_tpot_seconds = 0;
 };
 
 /// Aggregated serving metrics over one scheduler run.
@@ -54,10 +75,16 @@ struct ServerStats {
   uint64_t rejected_queue_full = 0;
   uint64_t completed = 0;
   uint64_t failed = 0;
-  /// Sessions serialized to a SessionCheckpoint mid-run (charges released).
+  /// Sessions serialized to a SessionCheckpoint mid-run (charges released)
+  /// on an explicit Suspend request. Scheduler preemptions are counted in
+  /// `preempted` instead.
   uint64_t suspended = 0;
-  /// Sessions submitted via Resume (also counted in `submitted`).
+  /// Sessions re-entering admission from a checkpoint — an explicit Resume
+  /// or a preemption's auto-requeue (also counted in `submitted`).
   uint64_t resumed = 0;
+  /// Decodes suspended by the fair scheduler to unblock a higher-priority
+  /// tenant; each preemption auto-requeues the session's resume.
+  uint64_t preempted = 0;
 
   size_t peak_active_sessions = 0;
   size_t peak_gpu_bytes = 0;
@@ -76,10 +103,21 @@ struct ServerStats {
 
   double SessionsPerSecond() const;
   double TokensPerSecond() const;
+  /// Means over records that produced at least one token. Records of
+  /// sessions that never reached a first token (failed resumes, failed
+  /// prefills) carry ttft = 0 and would skew the means toward zero exactly
+  /// when failures spike, so they are excluded.
   double MeanTtftSeconds() const;
   double MeanQueueWaitSeconds() const;
   /// Percentile (0 < p <= 100) over all sessions' pooled TPOT samples.
   double TpotPercentileSeconds(double p) const;
+  /// Percentile over token-producing sessions' queue waits (same exclusion
+  /// rule as the means).
+  double QueueWaitPercentileSeconds(double p) const;
+  /// Per-tenant rollups, in first-record order. Sessions, tokens,
+  /// completions, failures and preemptions sum to the global counters over
+  /// the recorded sessions (unit-tested).
+  std::vector<TenantStats> PerTenant() const;
   /// Hit rate over all sessions' block-cache lookups. Includes retired
   /// sessions: their engines' final counters are rolled into the record at
   /// retire time.

@@ -1,5 +1,6 @@
 #include "src/serve/session.h"
 
+#include <algorithm>
 #include <sstream>
 #include <utility>
 
@@ -29,6 +30,9 @@ Session::Session(int64_t id, SessionCheckpoint checkpoint,
       gpu_footprint_bytes_(gpu_footprint_bytes),
       cpu_footprint_bytes_(cpu_footprint_bytes) {
   request_.tag = resume_->tag;
+  request_.tenant = resume_->tenant;
+  request_.weight = std::max<uint32_t>(1, resume_->weight);
+  request_.priority = resume_->priority;
   // Moved, not copied: BuildCheckpoint and the record path read
   // request_.prompt; resume_ keeps only the generated-token history.
   request_.prompt = std::move(resume_->prompt);
@@ -57,6 +61,9 @@ Status Session::BuildCheckpoint(SessionCheckpoint* out) const {
         "checkpointed");
   }
   out->tag = request_.tag;
+  out->tenant = request_.tenant;
+  out->weight = request_.weight;
+  out->priority = request_.priority;
   out->prompt = request_.prompt;
   out->max_new_tokens = request_.max_new_tokens;
   out->generated.clear();

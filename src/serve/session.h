@@ -21,6 +21,21 @@ namespace pqcache {
 struct ServeRequest {
   /// Label carried into the stats report (e.g. the workload task name).
   std::string tag;
+  /// Tenant identity for weighted fair scheduling. Requests with the same
+  /// tenant share one FIFO admission lane and one decode share; the empty
+  /// string is the shared default tenant, so weight-less requests behave
+  /// exactly like the pre-fairness scheduler.
+  std::string tenant;
+  /// Relative decode share of this tenant (deficit-round-robin): per round a
+  /// tenant is granted steps proportional to weight / sum-of-active-weights.
+  /// Clamped to >= 1 at Submit; the scheduler uses the max weight over a
+  /// tenant's live sessions.
+  uint32_t weight = 1;
+  /// Preemption priority. When a queued session of a strictly higher
+  /// priority has waited past ServeOptions::preempt_after_seconds, the
+  /// scheduler suspends the longest-running lower-priority decode at the
+  /// round boundary (checkpoint + auto-requeued resume, loss-free).
+  int32_t priority = 0;
   std::vector<int32_t> prompt;
   /// Total tokens to generate (the prefill's first token counts as one).
   size_t max_new_tokens = 16;
@@ -40,6 +55,11 @@ struct ServeRequest {
 /// SessionManager's suspend processing, consumed by SessionManager::Resume.
 struct SessionCheckpoint {
   std::string tag;
+  /// Tenant identity + scheduling parameters, preserved across the
+  /// suspend/resume cycle (a preempted session must keep its share).
+  std::string tenant;
+  uint32_t weight = 1;
+  int32_t priority = 0;
   std::vector<int32_t> prompt;
   size_t max_new_tokens = 0;          ///< Original total-token budget.
   std::vector<int32_t> generated;     ///< Tokens produced before suspension.
@@ -77,6 +97,9 @@ class Session {
 
   int64_t id() const { return id_; }
   const ServeRequest& request() const { return request_; }
+  const std::string& tenant() const { return request_.tenant; }
+  uint32_t weight() const { return request_.weight; }
+  int32_t priority() const { return request_.priority; }
   SessionState state() const { return state_; }
   size_t gpu_footprint_bytes() const { return gpu_footprint_bytes_; }
   size_t cpu_footprint_bytes() const { return cpu_footprint_bytes_; }
@@ -142,6 +165,17 @@ class Session {
   /// Releases the engine (retired sessions keep their stats but return all
   /// engine memory, including shared-pool CPU bytes, immediately).
   void ReleaseEngine() { engine_.reset(); }
+
+  /// Moves the streaming callback out (preemption hands it to the
+  /// auto-requeued resume session so the stream continues seamlessly). The
+  /// caller must have dispatched every generated token first.
+  std::function<void(int32_t token, size_t index)> TakeOnToken() {
+    return std::move(request_.on_token);
+  }
+
+  /// Seconds since this session was enqueued (live; the scheduler's
+  /// preemption bound compares queued heads against it).
+  double waited_seconds() const { return since_enqueue_.ElapsedSeconds(); }
 
   // Timing, in seconds, all measured by the session itself:
   /// Enqueue -> first Step (admission + queue wait).

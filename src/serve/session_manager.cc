@@ -62,16 +62,25 @@ Result<int64_t> SessionManager::Submit(ServeRequest request) {
         " bytes exceeds the CPU pool (" +
         std::to_string(hierarchy_->cpu().capacity_bytes()) + " bytes)");
   }
-  const int64_t id = next_id_++;
-  auto session =
-      std::make_unique<Session>(id, std::move(request), options_.engine,
-                                gpu_footprint, cpu_footprint);
-  if (!queue_.TryPush(session)) {
+  // Check queue space before consuming an id or constructing the Session
+  // (mirrors Resume's check-before-consume ordering): a rejected submission
+  // must not burn a session id nor pay the construction. Safe under
+  // submit_mu_: the scheduler's only queue growth (preemption requeue) also
+  // holds this lock, and every other scheduler access only shrinks lanes.
+  if (queue_.size() >= queue_.capacity()) {
     ++stats_.rejected_queue_full;
     return Status::FailedPrecondition(
         "Submit: request queue full (" + std::to_string(queue_.capacity()) +
         " sessions)");
   }
+  // A zero weight would starve the tenant outright under DRR; clamp so every
+  // tenant banks a positive share per round.
+  request.weight = std::max<uint32_t>(1, request.weight);
+  const int64_t id = next_id_++;
+  auto session =
+      std::make_unique<Session>(id, std::move(request), options_.engine,
+                                gpu_footprint, cpu_footprint);
+  PQC_CHECK(queue_.TryPush(session));
   return id;
 }
 
@@ -106,8 +115,9 @@ Result<int64_t> SessionManager::Resume(
   }
   // Every rejection must leave the caller's checkpoint intact (it is the
   // only copy of the suspended session), so check queue space before
-  // consuming it. Safe under submit_mu_: the scheduler only shrinks the
-  // queue, and all pushers hold this lock.
+  // consuming it. Safe under submit_mu_: every pusher — Submit, Resume and
+  // the scheduler's preemption requeue — holds this lock, and all other
+  // scheduler access only shrinks lanes.
   if (queue_.size() >= queue_.capacity()) {
     ++stats_.rejected_queue_full;
     return Status::FailedPrecondition(
@@ -144,53 +154,265 @@ Result<SessionCheckpoint> SessionManager::TakeSuspended(int64_t session_id) {
   return checkpoint;
 }
 
+bool SessionManager::TryAdmitHead(const std::string& tenant) {
+  // Only this thread pops, so a non-empty head observed here is stable
+  // through the TryPop below; a Submit racing in behind the head waits for
+  // the next round.
+  Session* head = queue_.PeekHead(tenant);
+  if (head == nullptr) return false;
+  if (registry_ != nullptr && !head->resumed()) {
+    // Resolve prefix sharing for the head right before charging: the
+    // registry grows as earlier sessions prefill, so a fresh lookup per
+    // admission attempt catches segments published since the last round.
+    // The matched prefix must leave the local window and the final prompt
+    // position private (the exactness conditions; see prefix_registry.h).
+    // (Resumed sessions restore flattened checkpoints and never attach.)
+    const auto& prompt = head->request().prompt;
+    const size_t lw = options_.engine.local_window;
+    size_t cap = prompt.size() > lw ? prompt.size() - lw : 0;
+    cap = std::min(cap, prompt.size() - 1);
+    head->ResolvePrefix(registry_->Lookup(prompt, cap));
+  }
+  // FIFO within the lane: when the head does not fit the remaining pools it
+  // waits for a retirement rather than being overtaken by its own tenant's
+  // smaller sessions (other tenants' lanes may still admit). Both charges
+  // must land or neither (no partial reservations).
+  const size_t gpu_footprint = head->gpu_footprint_bytes();
+  const size_t cpu_footprint = head->cpu_footprint_bytes();
+  bool charged = hierarchy_->gpu().Allocate(gpu_footprint).ok();
+  if (charged && !hierarchy_->cpu().Allocate(cpu_footprint).ok()) {
+    hierarchy_->gpu().Free(gpu_footprint);
+    charged = false;
+  }
+  if (!charged) {
+    // Release the attachment while the head keeps waiting: a held segment
+    // reference would keep the segment's bytes charged even after the
+    // registry LRU-evicts it, letting the head pin the very bytes it needs
+    // (admission live-lock). The next attempt re-resolves fresh.
+    if (head->prefix_attachment() != nullptr) head->ResolvePrefix(nullptr);
+    return false;
+  }
+  std::unique_ptr<Session> session = queue_.TryPop(tenant);
+  PQC_CHECK(session != nullptr);  // Single-consumer: the head cannot vanish.
+  ++stats_.admitted;
+  last_admitted_tenant_ = tenant;
+  active_.push_back(std::move(session));
+  active_count_.store(active_.size(), std::memory_order_relaxed);
+  return true;
+}
+
 void SessionManager::AdmitFromQueue() {
-  while (active_.size() < options_.max_sessions) {
-    // Only this thread pops, so a non-empty head observed here is stable
-    // through the TryPop below; a Submit racing in behind the head waits
-    // for the next round.
-    if (registry_ != nullptr) {
-      // Resolve prefix sharing for the head right before charging: the
-      // registry grows as earlier sessions prefill, so a fresh lookup per
-      // admission attempt catches segments published since the last round.
-      // The matched prefix must leave the local window and the final prompt
-      // position private (the exactness conditions; see prefix_registry.h).
-      Session* head = queue_.PeekHead();
-      if (head == nullptr) return;
-      // Resumed sessions restore flattened checkpoints and never attach.
-      if (!head->resumed()) {
-        const auto& prompt = head->request().prompt;
-        const size_t lw = options_.engine.local_window;
-        size_t cap = prompt.size() > lw ? prompt.size() - lw : 0;
-        cap = std::min(cap, prompt.size() - 1);
-        head->ResolvePrefix(registry_->Lookup(prompt, cap));
+  // Rotate across tenant lanes, starting just past the most recently
+  // admitted tenant, until no lane's head can be seated. FIFO order is
+  // preserved within a lane; a blocked head only blocks its own tenant.
+  bool progress = true;
+  while (active_.size() < options_.max_sessions && progress) {
+    progress = false;
+    const std::vector<std::string> tenants = queue_.Tenants();
+    if (tenants.empty()) return;
+    size_t start = 0;
+    for (size_t i = 0; i < tenants.size(); ++i) {
+      if (tenants[i] == last_admitted_tenant_) {
+        start = i + 1;
+        break;
       }
     }
-    size_t gpu_footprint = 0;
-    size_t cpu_footprint = 0;
-    if (!queue_.HeadFootprints(&gpu_footprint, &cpu_footprint)) return;
-    // Strict FIFO: when the head does not fit the remaining pools it waits
-    // for a retirement rather than being overtaken by a smaller session.
-    // Both charges must land or neither (no partial reservations).
-    if (!hierarchy_->gpu().Allocate(gpu_footprint).ok()) return;
-    if (!hierarchy_->cpu().Allocate(cpu_footprint).ok()) {
-      hierarchy_->gpu().Free(gpu_footprint);
-      return;
+    for (size_t i = 0; i < tenants.size(); ++i) {
+      if (active_.size() >= options_.max_sessions) break;
+      const std::string& tenant = tenants[(start + i) % tenants.size()];
+      if (TryAdmitHead(tenant)) progress = true;
     }
-    std::unique_ptr<Session> session = queue_.TryPop();
-    PQC_CHECK(session != nullptr);  // Single-consumer: the head cannot vanish.
-    ++stats_.admitted;
-    active_.push_back(std::move(session));
-    active_count_.store(active_.size(), std::memory_order_relaxed);
   }
 }
 
-void SessionManager::RunRound() {
-  auto step = [this](size_t i) { active_[i]->Step(); };
-  if (options_.pool != nullptr && active_.size() > 1) {
-    ParallelFor(*options_.pool, 0, active_.size(), step);
+Result<SessionCheckpoint> SessionManager::SuspendSession(Session* session,
+                                                         bool preempted) {
+  SessionCheckpoint checkpoint;
+  PQC_RETURN_IF_ERROR(session->BuildCheckpoint(&checkpoint));
+  // The suspend path is the retirement path — record, release the engine,
+  // free both admission charges — except the state survives.
+  session->RefreshEngineStats();
+  SessionRecord record = RecordFor(*session);
+  record.suspended = true;
+  record.preempted = preempted;
+  if (preempted) {
+    ++stats_.preempted;
   } else {
-    for (size_t i = 0; i < active_.size(); ++i) step(i);
+    ++stats_.suspended;
+  }
+  stats_.total_generated_tokens += session->generated().size();
+  stats_.sessions.push_back(std::move(record));
+  session->ReleaseEngine();
+  hierarchy_->gpu().Free(session->gpu_footprint_bytes());
+  hierarchy_->cpu().Free(session->cpu_footprint_bytes());
+  return checkpoint;
+}
+
+void SessionManager::MaybePreempt() {
+  if (options_.preempt_after_seconds <= 0 || active_.empty()) return;
+  // The most overdue queued head with the highest priority. Only lane heads
+  // qualify: preempting for a non-head would reorder a tenant's own FIFO.
+  Session* waiter = nullptr;
+  std::string waiter_tenant;
+  for (const std::string& tenant : queue_.Tenants()) {
+    Session* head = queue_.PeekHead(tenant);
+    if (head == nullptr ||
+        head->waited_seconds() <= options_.preempt_after_seconds) {
+      continue;
+    }
+    if (waiter == nullptr || head->priority() > waiter->priority() ||
+        (head->priority() == waiter->priority() &&
+         head->waited_seconds() > waiter->waited_seconds())) {
+      waiter = head;
+      waiter_tenant = tenant;
+    }
+  }
+  if (waiter == nullptr) return;
+  // Victim: the longest-running decode of the lowest strictly-lower
+  // priority. Sessions still in their first (prefill) step cannot be
+  // checkpointed and are skipped.
+  Session* victim = nullptr;
+  for (const auto& session : active_) {
+    if (session->priority() >= waiter->priority()) continue;
+    if (session->state() != SessionState::kDecoding) continue;
+    if (victim == nullptr || session->priority() < victim->priority() ||
+        (session->priority() == victim->priority() &&
+         session->generated().size() > victim->generated().size())) {
+      victim = session.get();
+    }
+  }
+  if (victim == nullptr) return;
+  auto checkpoint = SuspendSession(victim, /*preempted=*/true);
+  if (!checkpoint.ok()) return;  // Retry at the next round boundary.
+  // Auto-requeue the victim's resume: same tenant/weight/priority (carried
+  // in the checkpoint), same streaming callback, cumulative token indexes.
+  // The push bypasses the capacity bound — the session was already admitted
+  // once, and dropping it here would lose its only copy.
+  const size_t gpu_footprint = PQCacheEngine::EstimateGpuFootprintBytes(
+      options_.engine, checkpoint.value().prompt.size(),
+      checkpoint.value().max_new_tokens);
+  const size_t cpu_footprint = PQCacheEngine::EstimateCpuFootprintBytes(
+      options_.engine, checkpoint.value().prompt.size(),
+      checkpoint.value().max_new_tokens);
+  {
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    // Counted like an internal Resume so the counter algebra stays intact:
+    // every admitted session was submitted, and every resumed-flagged
+    // record has a matching resumed count.
+    ++stats_.submitted;
+    ++stats_.resumed;
+    const int64_t id = next_id_++;
+    queue_.PushUnbounded(std::make_unique<Session>(
+        id, std::move(checkpoint).value(), victim->TakeOnToken(),
+        options_.engine, gpu_footprint, cpu_footprint));
+  }
+  for (auto& session : active_) {
+    if (session.get() == victim) session.reset();
+  }
+  active_.erase(std::remove(active_.begin(), active_.end(), nullptr),
+                active_.end());
+  active_count_.store(active_.size(), std::memory_order_relaxed);
+  // Hand the freed slot and bytes to the waiter before anything else can
+  // claim them (best-effort: a waiter needing more than one victim's worth
+  // of memory is retried — and may preempt again — next round).
+  TryAdmitHead(waiter_tenant);
+}
+
+void SessionManager::RunRound() {
+  // Weighted deficit-round-robin step selection. Budget = one step per
+  // active session (the legacy round size); each tenant banks
+  // weight/sum-of-weights of it and spends whole steps round-robin over its
+  // own sessions. Deficit a tenant cannot spend on its own sessions is
+  // dropped (classic DRR: an under-loaded lane does not bank credit), so a
+  // tenant's backlog never converts idle rounds into a later burst.
+  std::vector<size_t> selected;
+  struct Group {
+    const std::string* tenant;
+    std::vector<size_t> indices;
+    uint32_t weight = 1;
+  };
+  std::vector<Group> groups;
+  for (size_t i = 0; i < active_.size(); ++i) {
+    Group* group = nullptr;
+    for (Group& g : groups) {
+      if (*g.tenant == active_[i]->tenant()) {
+        group = &g;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      groups.push_back(Group{&active_[i]->tenant(), {}, 1});
+      group = &groups.back();
+    }
+    group->indices.push_back(i);
+    group->weight = std::max(group->weight, active_[i]->weight());
+  }
+  if (groups.size() <= 1) {
+    // Single tenant: every session steps every round, exactly the legacy
+    // scheduler (and no deficit state to carry).
+    tenant_sched_.clear();
+    selected.resize(active_.size());
+    for (size_t i = 0; i < active_.size(); ++i) selected[i] = i;
+  } else {
+    // Drop scheduler state for tenants with no active sessions (classic DRR
+    // resets an emptied lane's deficit) so a long-lived server does not
+    // accumulate one entry per tenant ever scheduled.
+    for (auto it = tenant_sched_.begin(); it != tenant_sched_.end();) {
+      bool live = false;
+      for (const Group& g : groups) {
+        if (*g.tenant == it->first) {
+          live = true;
+          break;
+        }
+      }
+      if (live) {
+        ++it;
+      } else {
+        it = tenant_sched_.erase(it);
+      }
+    }
+    double sum_weights = 0;
+    for (const Group& g : groups) sum_weights += g.weight;
+    const double budget = static_cast<double>(active_.size());
+    for (Group& g : groups) {
+      TenantSched& sched = tenant_sched_[*g.tenant];
+      sched.deficit += budget * static_cast<double>(g.weight) / sum_weights;
+      size_t grant = static_cast<size_t>(sched.deficit);
+      if (grant >= g.indices.size()) {
+        grant = g.indices.size();
+        sched.deficit = 0;
+      } else {
+        sched.deficit -= static_cast<double>(grant);
+      }
+      for (size_t j = 0; j < grant; ++j) {
+        selected.push_back(g.indices[(sched.cursor + j) % g.indices.size()]);
+      }
+      sched.cursor = (sched.cursor + grant) % g.indices.size();
+    }
+    // All-floors-zero guard: a round must make progress. Grant one step to
+    // the tenant with the largest banked deficit.
+    if (selected.empty()) {
+      Group* starved = nullptr;
+      double best = -1;
+      for (Group& g : groups) {
+        const double deficit = tenant_sched_[*g.tenant].deficit;
+        if (deficit > best) {
+          best = deficit;
+          starved = &g;
+        }
+      }
+      TenantSched& sched = tenant_sched_[*starved->tenant];
+      selected.push_back(
+          starved->indices[sched.cursor % starved->indices.size()]);
+      sched.cursor = (sched.cursor + 1) % starved->indices.size();
+      sched.deficit = std::max(0.0, sched.deficit - 1.0);
+    }
+  }
+  auto step = [this, &selected](size_t i) { active_[selected[i]]->Step(); };
+  if (options_.pool != nullptr && selected.size() > 1) {
+    ParallelFor(*options_.pool, 0, selected.size(), step);
+  } else {
+    for (size_t i = 0; i < selected.size(); ++i) step(i);
   }
 }
 
@@ -198,6 +420,7 @@ SessionRecord SessionManager::RecordFor(const Session& session) const {
   SessionRecord record;
   record.id = session.id();
   record.tag = session.request().tag;
+  record.tenant = session.tenant();
   record.prompt_tokens = session.request().prompt.size();
   record.generated_tokens = session.generated().size();
   record.resumed = session.resumed();
@@ -239,30 +462,19 @@ void SessionManager::ProcessSuspensions() {
       drop_request(id);
       continue;
     }
-    SessionCheckpoint checkpoint;
-    Status built = session->BuildCheckpoint(&checkpoint);
-    if (!built.ok()) {
+    auto checkpoint = SuspendSession(session.get(), /*preempted=*/false);
+    if (!checkpoint.ok()) {
       // Typically a session still in its first (prefill) step; keep the
       // request pending and try again next round.
       continue;
     }
-    // The suspend path is the retirement path — record, release the engine,
-    // free both admission charges — except the state lands in suspended_
-    // instead of vanishing.
-    session->RefreshEngineStats();
-    SessionRecord record = RecordFor(*session);
-    record.suspended = true;
-    ++stats_.suspended;
-    stats_.total_generated_tokens += session->generated().size();
-    stats_.sessions.push_back(std::move(record));
+    // Unlike a preemption (which auto-requeues), an explicit suspend parks
+    // the state in suspended_ for TakeSuspended.
     {
       std::lock_guard<std::mutex> lock(suspend_mu_);
-      suspended_[id] = std::move(checkpoint);
+      suspended_[id] = std::move(checkpoint).value();
     }
     drop_request(id);
-    session->ReleaseEngine();
-    hierarchy_->gpu().Free(session->gpu_footprint_bytes());
-    hierarchy_->cpu().Free(session->cpu_footprint_bytes());
     session.reset();
   }
   active_.erase(std::remove(active_.begin(), active_.end(), nullptr),
@@ -294,9 +506,12 @@ void SessionManager::DispatchAndRetire() {
   for (auto& session : active_) {
     // Publish freshly prefilled prompts so later admissions can share them.
     // Runs on the scheduler thread between rounds; the registry dedupes
-    // prefixes that are already covered.
-    if (registry_ != nullptr && !session->prefix_published() &&
-        session->engine() != nullptr &&
+    // prefixes that are already covered. Resumed sessions never publish
+    // (mirroring the attach-side guard in TryAdmitHead): their restored
+    // state was flattened at save, so a republished segment would not carry
+    // the deterministic prefill-time span structure later attachers expect.
+    if (registry_ != nullptr && !session->resumed() &&
+        !session->prefix_published() && session->engine() != nullptr &&
         session->state() != SessionState::kFailed) {
       session->set_prefix_published();
       Status published =
@@ -360,6 +575,10 @@ Status SessionManager::RunUntilDrained() {
   } flusher{this, &timer};
   for (;;) {
     AdmitFromQueue();
+    // Preemption runs at the round boundary, after admission had its
+    // chance: if a higher-priority head is still waiting past its bound, a
+    // lower-priority decode is checkpointed out and the head seated.
+    MaybePreempt();
     stats_.peak_active_sessions =
         std::max(stats_.peak_active_sessions, active_.size());
     if (active_.empty()) {

@@ -8,21 +8,31 @@
 // (EstimateCpuFootprintBytes: offloaded middle KV at the final sequence
 // length) — proven upper bounds on actual usage. Submit rejects outright
 // when either footprint can never fit its pool; otherwise the session waits
-// in a bounded FIFO queue and is admitted only when a decode slot is free
-// AND both pools' remaining bytes cover its footprints (charged atomically:
-// both or neither). Charges return to the pools when the session retires.
-// Engines never allocate from the shared pools themselves, so an admitted
-// session's prefill cannot OOM.
+// in a bounded queue (per-tenant FIFO lanes) and is admitted only when a
+// decode slot is free AND both pools' remaining bytes cover its footprints
+// (charged atomically: both or neither). Charges return to the pools when
+// the session retires. Engines never allocate from the shared pools
+// themselves, so an admitted session's prefill cannot OOM.
 //
-// Scheduling. Each scheduler round runs one step for every active session —
-// a step is either "create engine + prefill" (first step after admission) or
-// "decode one token". Steps of different sessions touch disjoint engines, so
-// a round executes them in parallel on the thread pool; within a session,
-// steps are strictly sequential. One step per session per round gives fair
-// round-robin decode; admission happens between rounds, so prefills of
-// freshly admitted sessions interleave with decodes of running ones
-// (continuous batching). Streaming callbacks fire on the scheduler thread
-// after each round, in session-admission order — fully deterministic.
+// Scheduling. Each scheduler round runs one step for each session selected
+// by the weighted fair scheduler — a step is either "create engine +
+// prefill" (first step after admission) or "decode one token". Steps of
+// different sessions touch disjoint engines, so a round executes them in
+// parallel on the thread pool; within a session, steps are strictly
+// sequential. Selection is weighted deficit-round-robin across tenants
+// (ServeRequest::tenant/weight): per round every tenant banks steps
+// proportional to its weight and spends them round-robin over its active
+// sessions, so one tenant with many long decodes cannot monopolize the
+// decode slots; with a single tenant (the default) every active session
+// steps every round, exactly the legacy behavior. Admission rotates across
+// tenant lanes (FIFO within a lane) between rounds, so prefills of freshly
+// admitted sessions interleave with decodes of running ones (continuous
+// batching), and a higher-priority tenant waiting past
+// ServeOptions::preempt_after_seconds preempts the longest-running
+// lower-priority decode via the loss-free checkpoint/suspend path (the
+// preempted session's resume is auto-requeued; its tokens stay
+// bit-identical). Streaming callbacks fire on the scheduler thread after
+// each round, in session-admission order — fully deterministic.
 //
 // Determinism. Sessions own disjoint PQCacheEngines and a step runs on one
 // thread at a time, so generated tokens are bit-identical to running the
@@ -35,6 +45,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -60,6 +71,15 @@ struct ServeOptions {
   size_t max_queue = 64;
   /// Worker pool for session steps and K-Means (nullptr = serial).
   ThreadPool* pool = nullptr;
+  /// Checkpoint-based decode preemption (multi-tenant fairness): when a
+  /// queued session of a strictly higher priority has waited longer than
+  /// this bound (seconds), the scheduler suspends the longest-running
+  /// lowest-priority active decode at the round boundary — checkpoint, free
+  /// both charges, auto-requeue its resume — and hands the freed slot and
+  /// bytes to the waiter. Loss-free and bit-identical by construction (the
+  /// resume restores the full decode state). At most one preemption per
+  /// round bounds the disruption. 0 disables preemption.
+  double preempt_after_seconds = 0;
   /// Cross-session prompt-prefix sharing: when enabled, every prefilled
   /// session publishes its prompt prefix to a process-wide PrefixRegistry
   /// and every admission first looks its prompt up there, attaching matched
@@ -142,11 +162,32 @@ class SessionManager {
  private:
   explicit SessionManager(const ServeOptions& options);
 
-  /// Moves queue-head sessions into the active set while a slot is free and
-  /// the head's footprint fits the remaining GPU pool.
+  /// Moves lane-head sessions into the active set while a slot is free and
+  /// a head's footprints fit the remaining pools, rotating across tenant
+  /// lanes (FIFO within a lane) so one tenant's blocked head cannot stall
+  /// every other tenant's admission.
   void AdmitFromQueue();
-  /// Runs one step for every active session (parallel across sessions).
+  /// One admission attempt for a tenant's lane head: resolve prefix
+  /// sharing, charge both pools (both or neither), pop into the active set.
+  /// On a failed charge the head's prefix attachment is released so it
+  /// cannot pin registry segment bytes between rounds (re-resolved fresh on
+  /// the next attempt).
+  bool TryAdmitHead(const std::string& tenant);
+  /// Suspends the longest-running lowest-priority decode when a strictly
+  /// higher-priority queued head has waited past preempt_after_seconds and
+  /// the preceding AdmitFromQueue could not seat it (checkpoint +
+  /// auto-requeued resume), then retries that head's admission.
+  void MaybePreempt();
+  /// Runs one step for the round's selected sessions (parallel across
+  /// sessions). Selection is weighted deficit-round-robin across tenants:
+  /// per round each tenant is granted steps proportional to its weight (max
+  /// over its active sessions), rotating within the tenant. A single tenant
+  /// (the default) degenerates to the legacy one-step-per-session round.
   void RunRound();
+  /// Checkpoints `session` (which must be decoding), records it as
+  /// suspended, frees its engine and charges. `preempted` selects the
+  /// bookkeeping flavor; returns the checkpoint or the failure.
+  Result<SessionCheckpoint> SuspendSession(Session* session, bool preempted);
   /// Streams new tokens and retires finished/failed sessions.
   void DispatchAndRetire();
   /// Serializes + releases active sessions with pending Suspend requests
@@ -163,6 +204,18 @@ class SessionManager {
   RequestQueue queue_;
   std::vector<std::unique_ptr<Session>> active_;  // Scheduler thread only.
   std::atomic<size_t> active_count_{0};  // Mirror for cross-thread readers.
+  /// Weighted-DRR scheduler state, scheduler thread only: per-tenant
+  /// banked step deficit and the rotation cursor within the tenant's
+  /// active sessions. Kept across rounds so fractional shares accumulate.
+  struct TenantSched {
+    double deficit = 0;
+    size_t cursor = 0;
+  };
+  std::unordered_map<std::string, TenantSched> tenant_sched_;
+  /// Admission rotation: the next AdmitFromQueue scan starts just past the
+  /// tenant admitted most recently, so lanes take turns when pools are
+  /// tight. Scheduler thread only.
+  std::string last_admitted_tenant_;
   std::mutex submit_mu_;
   int64_t next_id_ = 0;
   /// Pending Suspend requests + checkpoints awaiting TakeSuspended.

@@ -473,35 +473,580 @@ TEST(SessionManagerTest, SuspendUnknownOrFinishedSessionIsNoOp) {
   EXPECT_EQ(manager->stats().suspended, 0u);
 }
 
-TEST(RequestQueueTest, BoundedFifoSemantics) {
+TEST(RequestQueueTest, PerTenantLanesPreserveFifoWithinATenant) {
   PQCacheEngineOptions engine_options = ServeEngineOptions();
-  RequestQueue queue(2);
-  size_t gpu = 0;
-  size_t cpu = 0;
+  RequestQueue queue(4);
   EXPECT_TRUE(queue.empty());
-  EXPECT_FALSE(queue.HeadFootprints(&gpu, &cpu));
-  auto make = [&](int64_t id, size_t gpu_fp, size_t cpu_fp) {
+  EXPECT_EQ(queue.PeekHead(""), nullptr);
+  EXPECT_TRUE(queue.Tenants().empty());
+  auto make = [&](int64_t id, const std::string& tenant) {
     ServeRequest request;
+    request.tenant = tenant;
     request.prompt = MakePrompt(32, static_cast<int32_t>(id));
     return std::make_unique<Session>(id, std::move(request), engine_options,
-                                     gpu_fp, cpu_fp);
+                                     100, 10);
   };
-  auto a = make(0, 100, 10);
-  auto b = make(1, 200, 20);
-  auto c = make(2, 300, 30);
-  EXPECT_TRUE(queue.TryPush(a));
-  EXPECT_TRUE(queue.TryPush(b));
-  EXPECT_FALSE(queue.TryPush(c));
-  EXPECT_NE(c, nullptr);  // Rejected push leaves ownership with the caller.
-  EXPECT_EQ(queue.size(), 2u);
-  ASSERT_TRUE(queue.HeadFootprints(&gpu, &cpu));
-  EXPECT_EQ(gpu, 100u);
-  EXPECT_EQ(cpu, 10u);
-  EXPECT_EQ(queue.TryPop()->id(), 0);
-  ASSERT_TRUE(queue.HeadFootprints(&gpu, &cpu));
-  EXPECT_EQ(gpu, 200u);
-  EXPECT_EQ(queue.TryPop()->id(), 1);
-  EXPECT_EQ(queue.TryPop(), nullptr);
+  auto a0 = make(0, "a");
+  auto b0 = make(1, "b");
+  auto a1 = make(2, "a");
+  auto b1 = make(3, "b");
+  auto overflow = make(4, "c");
+  EXPECT_TRUE(queue.TryPush(a0));
+  EXPECT_TRUE(queue.TryPush(b0));
+  EXPECT_TRUE(queue.TryPush(a1));
+  EXPECT_TRUE(queue.TryPush(b1));
+  // The capacity bound is global across lanes.
+  EXPECT_FALSE(queue.TryPush(overflow));
+  EXPECT_NE(overflow, nullptr);  // Rejected push leaves ownership.
+  EXPECT_EQ(queue.size(), 4u);
+  // Lanes appear in tenant first-submission order.
+  EXPECT_EQ(queue.Tenants(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(queue.Contains(3));
+  EXPECT_FALSE(queue.Contains(4));
+  // FIFO within each lane; the other lane's head is unaffected.
+  EXPECT_EQ(queue.PeekHead("a")->id(), 0);
+  EXPECT_EQ(queue.PeekHead("b")->id(), 1);
+  EXPECT_EQ(queue.TryPop("a")->id(), 0);
+  EXPECT_EQ(queue.PeekHead("a")->id(), 2);
+  EXPECT_EQ(queue.TryPop("a")->id(), 2);
+  // Drained lanes disappear from the tenant list; unknown lanes pop null.
+  EXPECT_EQ(queue.Tenants(), (std::vector<std::string>{"b"}));
+  EXPECT_EQ(queue.TryPop("a"), nullptr);
+  // The freed space re-opens the global bound, preserving per-lane order.
+  EXPECT_TRUE(queue.TryPush(overflow));
+  EXPECT_EQ(queue.Tenants(), (std::vector<std::string>{"b", "c"}));
+  EXPECT_EQ(queue.TryPop("b")->id(), 1);
+  EXPECT_EQ(queue.TryPop("b")->id(), 3);
+  EXPECT_EQ(queue.TryPop("c")->id(), 4);
+  EXPECT_TRUE(queue.empty());
+  // PushUnbounded (the preemption requeue) ignores the capacity bound.
+  RequestQueue tiny(1);
+  auto t0 = make(5, "t");
+  auto t1 = make(6, "t");
+  EXPECT_TRUE(tiny.TryPush(t0));
+  tiny.PushUnbounded(make(7, "t"));
+  EXPECT_EQ(tiny.size(), 2u);
+  EXPECT_FALSE(tiny.TryPush(t1));
+  EXPECT_EQ(tiny.TryPop("t")->id(), 5);
+  EXPECT_EQ(tiny.TryPop("t")->id(), 7);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tenant fairness: weighted decode shares, per-tenant admission lanes,
+// and checkpoint-based preemption.
+
+TEST(SessionManagerTest, WeightedShareSkewsDecodeProgress) {
+  // Two tenants, two sessions each, identical budgets, slots for all four.
+  // The weight-3 tenant must finish both sessions before the weight-1
+  // tenant finishes either: it is granted ~3/4 of the decode steps per
+  // round (retire order is recorded in stats().sessions).
+  ServeOptions options = DefaultServeOptions();
+  options.max_sessions = 4;
+  auto manager = SessionManager::Create(options).value();
+  for (int s = 0; s < 4; ++s) {
+    ServeRequest request;
+    request.tenant = s < 2 ? "heavy" : "light";
+    request.weight = s < 2 ? 3 : 1;
+    request.prompt = MakePrompt(48, s);
+    request.max_new_tokens = 9;
+    ASSERT_TRUE(manager->Submit(std::move(request)).ok());
+  }
+  ASSERT_TRUE(manager->RunUntilDrained().ok());
+  const ServerStats& stats = manager->stats();
+  ASSERT_EQ(stats.sessions.size(), 4u);
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(stats.sessions[0].tenant, "heavy");
+  EXPECT_EQ(stats.sessions[1].tenant, "heavy");
+  EXPECT_EQ(stats.sessions[2].tenant, "light");
+  EXPECT_EQ(stats.sessions[3].tenant, "light");
+}
+
+TEST(SessionManagerTest, FairSchedulingKeepsTokensBitIdentical) {
+  // The fidelity claim survives weighted scheduling: skewed step
+  // interleavings must not change any session's tokens.
+  ThreadPool pool(4);
+  ServeOptions options = DefaultServeOptions(&pool);
+  options.max_sessions = 4;
+  options.preempt_after_seconds = 1e-6;
+  auto manager = SessionManager::Create(options).value();
+  const size_t kSessions = 4;
+  std::vector<std::vector<int32_t>> streamed(kSessions);
+  for (size_t s = 0; s < kSessions; ++s) {
+    ServeRequest request;
+    request.tenant = "tenant-" + std::to_string(s % 2);
+    request.weight = s % 2 == 0 ? 1 : 5;
+    request.priority = static_cast<int32_t>(s % 2);
+    request.prompt = MakePrompt(64 + 8 * s, static_cast<int32_t>(s));
+    request.max_new_tokens = 5 + s;
+    request.on_token = [&streamed, s](int32_t token, size_t index) {
+      EXPECT_EQ(index, streamed[s].size());
+      streamed[s].push_back(token);
+    };
+    ASSERT_TRUE(manager->Submit(std::move(request)).ok());
+  }
+  ASSERT_TRUE(manager->RunUntilDrained().ok());
+  for (size_t s = 0; s < kSessions; ++s) {
+    EXPECT_EQ(streamed[s],
+              SingleSessionReference(
+                  DefaultServeOptions().engine,
+                  MakePrompt(64 + 8 * s, static_cast<int32_t>(s)), 5 + s))
+        << "session " << s;
+  }
+}
+
+TEST(SessionManagerTest, PreemptionUnblocksHigherPriorityTenant) {
+  // One decode slot, held by a long low-priority decode. A high-priority
+  // session that waits past the bound must preempt it: the incumbent is
+  // checkpointed out (loss-free), the high-priority session runs, and the
+  // preempted session's auto-requeued resume completes with a token stream
+  // bit-identical to an uninterrupted run.
+  ServeOptions options = DefaultServeOptions();
+  options.max_sessions = 1;
+  options.preempt_after_seconds = 1e-6;
+  auto manager = SessionManager::Create(options).value();
+
+  const std::vector<int32_t> greedy_prompt = MakePrompt(64, 21);
+  const std::vector<int32_t> urgent_prompt = MakePrompt(56, 22);
+  std::vector<int32_t> greedy_streamed;
+  std::vector<size_t> greedy_indexes;
+  std::vector<int32_t> urgent_streamed;
+  ServeRequest greedy;
+  greedy.tenant = "greedy";
+  greedy.priority = 0;
+  greedy.prompt = greedy_prompt;
+  greedy.max_new_tokens = 12;
+  greedy.on_token = [&](int32_t token, size_t index) {
+    greedy_streamed.push_back(token);
+    greedy_indexes.push_back(index);
+  };
+  ASSERT_TRUE(manager->Submit(std::move(greedy)).ok());
+  ServeRequest urgent;
+  urgent.tenant = "urgent";
+  urgent.priority = 1;
+  urgent.prompt = urgent_prompt;
+  urgent.max_new_tokens = 3;
+  urgent.on_token = [&](int32_t token, size_t) {
+    urgent_streamed.push_back(token);
+  };
+  ASSERT_TRUE(manager->Submit(std::move(urgent)).ok());
+  ASSERT_TRUE(manager->RunUntilDrained().ok());
+
+  const ServerStats& stats = manager->stats();
+  EXPECT_EQ(stats.preempted, 1u);
+  EXPECT_EQ(stats.suspended, 0u);  // Preemptions are not explicit suspends.
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.failed, 0u);
+  // The auto-requeue counts as an internal resume-submission, keeping the
+  // counter algebra intact: submitted covers admitted, and the resumed
+  // counter matches the resumed-flagged record.
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.admitted, 3u);
+  EXPECT_EQ(stats.resumed, 1u);
+  // Three records: the preempted slice of greedy, urgent, greedy's resume.
+  ASSERT_EQ(stats.sessions.size(), 3u);
+  EXPECT_TRUE(stats.sessions[0].preempted);
+  EXPECT_TRUE(stats.sessions[0].suspended);
+  EXPECT_EQ(stats.sessions[0].tenant, "greedy");
+  const SessionRecord& resumed = stats.sessions[2];
+  EXPECT_TRUE(resumed.resumed);
+  EXPECT_EQ(resumed.tenant, "greedy");
+  // Loss-free: the preempted slice plus the resume cover the full budget.
+  EXPECT_EQ(stats.sessions[0].generated_tokens + resumed.generated_tokens,
+            12u);
+  // Charges all returned; tokens and streaming indexes are seamless.
+  EXPECT_EQ(manager->hierarchy().gpu().used_bytes(), 0u);
+  EXPECT_EQ(manager->hierarchy().cpu().used_bytes(), 0u);
+  EXPECT_EQ(greedy_streamed, SingleSessionReference(
+                                 DefaultServeOptions().engine, greedy_prompt,
+                                 12));
+  for (size_t i = 0; i < greedy_indexes.size(); ++i) {
+    EXPECT_EQ(greedy_indexes[i], i);
+  }
+  EXPECT_EQ(urgent_streamed, SingleSessionReference(
+                                 DefaultServeOptions().engine, urgent_prompt,
+                                 3));
+  // The urgent session was seated by the preemption, not behind the full
+  // greedy run: its queue wait is bounded by the greedy prefix it overlapped.
+  const SessionRecord& urgent_record = stats.sessions[1];
+  EXPECT_EQ(urgent_record.tenant, "urgent");
+  EXPECT_FALSE(urgent_record.resumed);
+}
+
+TEST(SessionManagerTest, AntagonistTenantCannotStarveInteractiveTenant) {
+  // The antagonist scenario at test scale: a greedy tenant floods every
+  // decode slot with long decodes; a weighted, higher-priority interactive
+  // tenant submits short requests afterwards. With per-tenant lanes +
+  // preemption the interactive sessions must all complete long before the
+  // greedy backlog drains, and every stream stays bit-identical.
+  ServeOptions options = DefaultServeOptions();
+  options.max_sessions = 2;
+  options.max_queue = 32;
+  options.preempt_after_seconds = 1e-6;
+  auto manager = SessionManager::Create(options).value();
+
+  const size_t kGreedy = 5;
+  const size_t kInteractive = 2;
+  std::vector<std::vector<int32_t>> greedy_streams(kGreedy);
+  std::vector<std::vector<int32_t>> interactive_streams(kInteractive);
+  for (size_t s = 0; s < kGreedy; ++s) {
+    ServeRequest request;
+    request.tenant = "greedy";
+    request.weight = 1;
+    request.prompt = MakePrompt(48, static_cast<int32_t>(30 + s));
+    request.max_new_tokens = 10;
+    request.on_token = [&greedy_streams, s](int32_t token, size_t) {
+      greedy_streams[s].push_back(token);
+    };
+    ASSERT_TRUE(manager->Submit(std::move(request)).ok());
+  }
+  for (size_t s = 0; s < kInteractive; ++s) {
+    ServeRequest request;
+    request.tenant = "interactive";
+    request.weight = 4;
+    request.priority = 1;
+    request.prompt = MakePrompt(40, static_cast<int32_t>(40 + s));
+    request.max_new_tokens = 3;
+    request.on_token = [&interactive_streams, s](int32_t token, size_t) {
+      interactive_streams[s].push_back(token);
+    };
+    ASSERT_TRUE(manager->Submit(std::move(request)).ok());
+  }
+  ASSERT_TRUE(manager->RunUntilDrained().ok());
+
+  const ServerStats& stats = manager->stats();
+  EXPECT_EQ(stats.completed, kGreedy + kInteractive);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GE(stats.preempted, 1u);
+  // No starvation: every interactive record retires before the last greedy
+  // completion (records are in retirement order).
+  size_t last_interactive = 0;
+  size_t last_greedy_completion = 0;
+  for (size_t i = 0; i < stats.sessions.size(); ++i) {
+    const SessionRecord& record = stats.sessions[i];
+    if (record.tenant == "interactive") last_interactive = i;
+    if (record.tenant == "greedy" && !record.suspended) {
+      last_greedy_completion = i;
+    }
+  }
+  EXPECT_LT(last_interactive, last_greedy_completion);
+  for (size_t s = 0; s < kGreedy; ++s) {
+    EXPECT_EQ(greedy_streams[s],
+              SingleSessionReference(DefaultServeOptions().engine,
+                                     MakePrompt(48, static_cast<int32_t>(30 + s)),
+                                     10))
+        << "greedy " << s;
+  }
+  for (size_t s = 0; s < kInteractive; ++s) {
+    EXPECT_EQ(interactive_streams[s],
+              SingleSessionReference(DefaultServeOptions().engine,
+                                     MakePrompt(40, static_cast<int32_t>(40 + s)),
+                                     3))
+        << "interactive " << s;
+  }
+}
+
+TEST(SessionManagerTest, PerTenantStatsSumToGlobalRollup) {
+  ServeOptions options = DefaultServeOptions();
+  options.max_sessions = 2;
+  options.preempt_after_seconds = 1e-6;
+  auto manager = SessionManager::Create(options).value();
+  const char* tenants[] = {"a", "a", "b", "c"};
+  const int32_t priorities[] = {0, 0, 1, 0};
+  for (int s = 0; s < 4; ++s) {
+    ServeRequest request;
+    request.tenant = tenants[s];
+    request.priority = priorities[s];
+    request.prompt = MakePrompt(48, 60 + s);
+    request.max_new_tokens = 4 + s;
+    ASSERT_TRUE(manager->Submit(std::move(request)).ok());
+  }
+  ASSERT_TRUE(manager->RunUntilDrained().ok());
+  const ServerStats& stats = manager->stats();
+  const std::vector<TenantStats> rollups = stats.PerTenant();
+  uint64_t sessions = 0, completed = 0, failed = 0, preemptions = 0,
+           tokens = 0;
+  double tokens_per_sec = 0;
+  for (const TenantStats& t : rollups) {
+    sessions += t.sessions;
+    completed += t.completed;
+    failed += t.failed;
+    preemptions += t.preemptions;
+    tokens += t.generated_tokens;
+    tokens_per_sec += t.tokens_per_second;
+    // Nearest-rank p99 over a tenant's waits dominates their mean, and
+    // every tenant here produced tokens, so real (positive) waits exist.
+    EXPECT_GE(t.p99_queue_wait_seconds, t.mean_queue_wait_seconds);
+    EXPECT_GT(t.p99_queue_wait_seconds, 0.0);
+  }
+  EXPECT_EQ(sessions, stats.sessions.size());
+  EXPECT_EQ(completed, stats.completed);
+  EXPECT_EQ(failed, stats.failed);
+  EXPECT_EQ(preemptions, stats.preempted);
+  EXPECT_EQ(tokens, stats.total_generated_tokens);
+  EXPECT_NEAR(tokens_per_sec, stats.TokensPerSecond(),
+              1e-9 * (1 + tokens_per_sec));
+}
+
+// ---------------------------------------------------------------------------
+// Satellite regression tests: admission-path prefix pinning, resumed
+// republish, Submit id burn, and zero-sample stat skew.
+
+TEST(SessionManagerTest, FailedAdmissionReleasesPrefixAttachment) {
+  // Regression (prefix pinning): a queued head whose admission charge fails
+  // must drop its resolved prefix attachment between rounds. Pre-fix it
+  // kept the shared_ptr, so when the registry LRU-evicted the segment its
+  // bytes stayed charged — observable as the hierarchy NOT shrinking after
+  // the eviction while the head waits.
+  ServeOptions options = DefaultServeOptions();
+  options.max_sessions = 1;
+  options.engine.pq_span_tokens = 16;
+  options.enable_prefix_sharing = true;
+  options.prefix.block_tokens = 16;
+  options.prefix.max_segments = 1;  // C's publish evicts A's segment.
+
+  const std::vector<int32_t> prompt_a = MakePrompt(96, 70);
+  std::vector<int32_t> prompt_b(prompt_a.begin(), prompt_a.begin() + 16);
+  {
+    const std::vector<int32_t> tail = MakePrompt(112, 71);
+    prompt_b.insert(prompt_b.end(), tail.begin(), tail.end());
+  }
+  const std::vector<int32_t> prompt_c = MakePrompt(32, 72);
+
+  // Scout pass 1 (huge pools): measure the segment charge G of A's
+  // published prefix and C's segment charge.
+  size_t segment_bytes = 0;
+  size_t segment_c_bytes = 0;
+  {
+    auto scout = SessionManager::Create(options).value();
+    ServeRequest a;
+    a.prompt = prompt_a;
+    a.max_new_tokens = 2;
+    ASSERT_TRUE(scout->Submit(std::move(a)).ok());
+    ASSERT_TRUE(scout->RunUntilDrained().ok());
+    segment_bytes = scout->prefix_registry()->stats().resident_gpu_bytes;
+    ASSERT_GT(segment_bytes, 0u);
+    ASSERT_EQ(scout->hierarchy().gpu().used_bytes(), segment_bytes);
+  }
+  {
+    auto scout = SessionManager::Create(options).value();
+    ServeRequest c;
+    c.prompt = prompt_c;
+    c.max_new_tokens = 2;
+    ASSERT_TRUE(scout->Submit(std::move(c)).ok());
+    ASSERT_TRUE(scout->RunUntilDrained().ok());
+    segment_c_bytes = scout->prefix_registry()->stats().resident_gpu_bytes;
+    ASSERT_GT(segment_c_bytes, 0u);
+    ASSERT_LT(segment_c_bytes, segment_bytes);
+  }
+  // Scout pass 2: B's deducted footprint when attached to A's segment.
+  size_t b_attached_footprint = 0;
+  {
+    auto scout = SessionManager::Create(options).value();
+    ServeRequest a;
+    a.prompt = prompt_a;
+    a.max_new_tokens = 2;
+    ASSERT_TRUE(scout->Submit(std::move(a)).ok());
+    ASSERT_TRUE(scout->RunUntilDrained().ok());
+    ServeRequest b;
+    b.prompt = prompt_b;
+    b.max_new_tokens = 12;
+    ASSERT_TRUE(scout->Submit(std::move(b)).ok());
+    ASSERT_TRUE(scout->RunUntilDrained().ok());
+    ASSERT_EQ(scout->stats().sessions.size(), 2u);
+    const SessionRecord& record_b = scout->stats().sessions[1];
+    ASSERT_GT(record_b.prefix_shared_tokens, 0u);  // B did attach.
+    b_attached_footprint = record_b.gpu_footprint_bytes;
+  }
+  const size_t b_full_footprint = PQCacheEngine::EstimateGpuFootprintBytes(
+      options.engine, prompt_b.size(), 12);
+  const size_t a_footprint = PQCacheEngine::EstimateGpuFootprintBytes(
+      options.engine, prompt_a.size(), 2);
+  const size_t c_footprint = PQCacheEngine::EstimateGpuFootprintBytes(
+      options.engine, prompt_c.size(), 6);
+
+  // Pool sized to the bug: B cannot be charged while A's segment is
+  // resident (even attached), C can, and B fits once the segment is gone.
+  const size_t pool = segment_bytes + b_attached_footprint - 1;
+  // A must fit alongside its own published segment (the publish charge
+  // lands while A still holds its admission charge).
+  ASSERT_LE(a_footprint + segment_bytes, pool);
+  ASSERT_LE(b_full_footprint, pool - segment_c_bytes);
+  ASSERT_LE(c_footprint, pool - segment_bytes);
+  options.engine.hardware.gpu_memory_bytes = pool;
+
+  auto manager = SessionManager::Create(options).value();
+  ServeRequest a;
+  a.tenant = "a";
+  a.prompt = prompt_a;
+  a.max_new_tokens = 2;
+  ASSERT_TRUE(manager->Submit(std::move(a)).ok());
+  ASSERT_TRUE(manager->RunUntilDrained().ok());
+  ASSERT_EQ(manager->hierarchy().gpu().used_bytes(), segment_bytes);
+
+  // B's lane is scanned first (admission rotation continues past "a"): it
+  // resolves A's segment, fails the charge, and must release the
+  // attachment. C is admitted, and its publish evicts A's segment; with no
+  // one pinning it, the segment's bytes return to the pool while C is still
+  // decoding (observed from C's streaming callback).
+  std::vector<size_t> used_at_token;
+  auto* hierarchy = &manager->hierarchy();
+  ServeRequest b;
+  b.tenant = "b";
+  b.prompt = prompt_b;
+  b.max_new_tokens = 12;
+  std::vector<int32_t> streamed_b;
+  b.on_token = [&](int32_t token, size_t) { streamed_b.push_back(token); };
+  ASSERT_TRUE(manager->Submit(std::move(b)).ok());
+  ServeRequest c;
+  c.tenant = "c";
+  c.prompt = prompt_c;
+  c.max_new_tokens = 6;
+  c.on_token = [&](int32_t, size_t) {
+    used_at_token.push_back(hierarchy->gpu().used_bytes());
+  };
+  ASSERT_TRUE(manager->Submit(std::move(c)).ok());
+  ASSERT_TRUE(manager->RunUntilDrained().ok());
+
+  // All sessions completed despite the pressure (the pre-fix pin blocked
+  // the pool; with the fix the eviction frees it and B is admitted).
+  EXPECT_EQ(manager->stats().completed, 3u);
+  ASSERT_GE(used_at_token.size(), 3u);
+  // Token 0 fires before C's publish (A's segment still resident); token 2
+  // fires after the publish evicted it. Pre-fix, B's held attachment kept
+  // the evicted segment charged, so usage *grew* by C's segment instead of
+  // shrinking — this assertion is the regression gate.
+  EXPECT_LT(used_at_token[2], used_at_token[0]);
+  EXPECT_EQ(used_at_token[2], c_footprint + segment_c_bytes);
+  // B ran unshared after the eviction: bit-identical to a solo run.
+  PQCacheEngineOptions solo = options.engine;
+  solo.shared_hierarchy = nullptr;
+  EXPECT_EQ(streamed_b, SingleSessionReference(solo, prompt_b, 12));
+  EXPECT_EQ(manager->hierarchy().gpu().used_bytes(), segment_c_bytes);
+}
+
+TEST(SessionManagerTest, ResumedSessionsDoNotRepublishPrefixes) {
+  // Regression (resumed republish): a resumed session restores a flattened
+  // checkpoint, so it must never publish to the PrefixRegistry (mirroring
+  // the attach-side guard). Pre-fix the resumed session republished its
+  // prompt on the resume-side manager; the publish counter is the gate, and
+  // a later attacher proves bit-identity either way.
+  ServeOptions options = DefaultServeOptions();
+  options.max_sessions = 1;
+  options.engine.pq_span_tokens = 16;
+  options.enable_prefix_sharing = true;
+  options.prefix.block_tokens = 16;
+
+  // Suspend a session mid-decode on manager 1 (it attached nothing; the
+  // registry there is private to that manager).
+  auto first = SessionManager::Create(options).value();
+  const std::vector<int32_t> prompt = MakePrompt(96, 80);
+  int64_t id = -1;
+  std::vector<int32_t> streamed;
+  ServeRequest request;
+  request.prompt = prompt;
+  request.max_new_tokens = 10;
+  request.on_token = [&](int32_t token, size_t) {
+    streamed.push_back(token);
+    if (streamed.size() == 4) ASSERT_TRUE(first->Suspend(id).ok());
+  };
+  auto submitted = first->Submit(std::move(request));
+  ASSERT_TRUE(submitted.ok());
+  id = submitted.value();
+  ASSERT_TRUE(first->RunUntilDrained().ok());
+  auto checkpoint = first->TakeSuspended(id);
+  ASSERT_TRUE(checkpoint.ok());
+
+  // Resume on a fresh manager whose registry is empty: the resumed session
+  // must not publish its flattened state there.
+  auto second = SessionManager::Create(options).value();
+  auto resumed = second->Resume(std::move(checkpoint).value(),
+                                [&](int32_t token, size_t) {
+                                  streamed.push_back(token);
+                                });
+  ASSERT_TRUE(resumed.ok());
+  ASSERT_TRUE(second->RunUntilDrained().ok());
+  EXPECT_EQ(streamed, SingleSessionReference(options.engine, prompt, 10));
+  EXPECT_EQ(second->prefix_registry()->stats().publishes, 0u);
+  EXPECT_EQ(second->prefix_registry()->stats().segments, 0u);
+
+  // A later session sharing the prompt's prefix stays bit-identical (with
+  // the fix it prefills solo and becomes the first publisher; pre-fix it
+  // would attach whatever the resumed session published).
+  std::vector<int32_t> attacher_prompt(prompt.begin(), prompt.begin() + 48);
+  const std::vector<int32_t> tail = MakePrompt(48, 81);
+  attacher_prompt.insert(attacher_prompt.end(), tail.begin(), tail.end());
+  std::vector<int32_t> attacher_streamed;
+  ServeRequest attacher;
+  attacher.prompt = attacher_prompt;
+  attacher.max_new_tokens = 6;
+  attacher.on_token = [&](int32_t token, size_t) {
+    attacher_streamed.push_back(token);
+  };
+  ASSERT_TRUE(second->Submit(std::move(attacher)).ok());
+  ASSERT_TRUE(second->RunUntilDrained().ok());
+  PQCacheEngineOptions solo = options.engine;
+  solo.shared_hierarchy = nullptr;
+  EXPECT_EQ(attacher_streamed,
+            SingleSessionReference(solo, attacher_prompt, 6));
+}
+
+TEST(SessionManagerTest, RejectedSubmitDoesNotBurnSessionIds) {
+  // Regression (Submit id burn): a queue-full rejection must not consume a
+  // session id (nor pay Session construction). Ids stay contiguous across
+  // the rejection.
+  ServeOptions options = DefaultServeOptions();
+  options.max_queue = 2;
+  auto manager = SessionManager::Create(options).value();
+  ServeRequest r0;
+  r0.prompt = MakePrompt(48, 0);
+  r0.max_new_tokens = 2;
+  auto id0 = manager->Submit(std::move(r0));
+  ASSERT_TRUE(id0.ok());
+  EXPECT_EQ(id0.value(), 0);
+  ServeRequest r1;
+  r1.prompt = MakePrompt(48, 1);
+  r1.max_new_tokens = 2;
+  ASSERT_TRUE(manager->Submit(std::move(r1)).ok());
+  ServeRequest overflow;
+  overflow.prompt = MakePrompt(48, 2);
+  overflow.max_new_tokens = 2;
+  EXPECT_EQ(manager->Submit(std::move(overflow)).status().code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(manager->RunUntilDrained().ok());
+  ServeRequest r2;
+  r2.prompt = MakePrompt(48, 3);
+  r2.max_new_tokens = 2;
+  auto id2 = manager->Submit(std::move(r2));
+  ASSERT_TRUE(id2.ok());
+  EXPECT_EQ(id2.value(), 2);  // Pre-fix: 3 (the rejection burned id 2).
+  ASSERT_TRUE(manager->RunUntilDrained().ok());
+}
+
+TEST(ServerStatsTest, MeansExcludeRecordsWithoutTokens) {
+  // Regression (stat skew): failed/suspended sessions that never produced a
+  // first token (ttft = 0) must not drag the TTFT / queue-wait means down.
+  ServerStats stats;
+  SessionRecord ok1;
+  ok1.generated_tokens = 4;
+  ok1.ttft_seconds = 0.2;
+  ok1.queue_wait_seconds = 0.1;
+  SessionRecord ok2;
+  ok2.generated_tokens = 2;
+  ok2.ttft_seconds = 0.4;
+  ok2.queue_wait_seconds = 0.3;
+  SessionRecord failed;
+  failed.failed = true;
+  failed.generated_tokens = 0;
+  failed.ttft_seconds = 0;
+  failed.queue_wait_seconds = 0;
+  stats.sessions = {ok1, failed, ok2};
+  EXPECT_DOUBLE_EQ(stats.MeanTtftSeconds(), 0.3);
+  EXPECT_DOUBLE_EQ(stats.MeanQueueWaitSeconds(), 0.2);
+  EXPECT_DOUBLE_EQ(stats.QueueWaitPercentileSeconds(99), 0.3);
+  // All-failed runs report 0, not NaN.
+  stats.sessions = {failed};
+  EXPECT_DOUBLE_EQ(stats.MeanTtftSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.MeanQueueWaitSeconds(), 0.0);
 }
 
 TEST(SessionManagerTest, CpuAdmissionRejectsAndDefers) {
