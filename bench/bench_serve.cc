@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -56,6 +57,17 @@ constexpr double kFairnessPreemptAfterSeconds = 0.010;
 // regression band.
 constexpr double kFairnessMinWaitImprovement = 2.0;
 constexpr double kFairnessTokensBand = 0.15;
+// Overload scenario shape: a burst of 2x the calibrated sustainable batch
+// is submitted against a GPU pool sized for kRobustnessSlots sessions. Run
+// once with per-request queue deadlines (set to the calibration run's wall,
+// i.e. the time the server demonstrably needs for the sustainable batch)
+// and once without: deadlines shed the unservable tail instead of letting
+// it stretch every wait.
+constexpr size_t kRobustnessSlots = 4;
+constexpr size_t kRobustnessSustainable = 8;
+constexpr size_t kRobustnessOverload = 2 * kRobustnessSustainable;
+constexpr size_t kRobustnessPromptTokens = 96;
+constexpr size_t kRobustnessMaxNew = 12;
 
 PQCacheEngineOptions ServeEngineOptions() {
   PQCacheEngineOptions options;
@@ -465,6 +477,146 @@ CheckpointRunResult RunCheckpointScenario(ThreadPool* pool) {
   return result;
 }
 
+struct RobustnessRunResult {
+  double sustainable_wall_seconds = 0;  ///< Calibration batch drain wall.
+  double deadline_seconds = 0;          ///< Per-request queue deadline used.
+  // Overload burst with deadlines armed / disarmed.
+  uint64_t deadline_on_completed = 0;
+  uint64_t deadline_on_shed = 0;
+  double deadline_on_wall_seconds = 0;
+  uint64_t deadline_off_completed = 0;
+  uint64_t deadline_off_shed = 0;
+  double deadline_off_wall_seconds = 0;
+  bool sheds_under_overload = true;  ///< Deadlines shed at least one request.
+  bool accounting_exact = true;      ///< Terminal buckets sum to submits;
+                                     ///< both pools drain to zero.
+  bool fidelity = true;  ///< Every completed stream is bit-identical.
+
+  /// Sessions completing per second of drain wall: the useful work rate.
+  /// Shedding the unservable tail must not cost completed-session rate.
+  double GoodputOn() const {
+    return deadline_on_wall_seconds > 0
+               ? static_cast<double>(deadline_on_completed) /
+                     deadline_on_wall_seconds
+               : 0;
+  }
+  double GoodputOff() const {
+    return deadline_off_wall_seconds > 0
+               ? static_cast<double>(deadline_off_completed) /
+                     deadline_off_wall_seconds
+               : 0;
+  }
+  double ShedRate() const {
+    return static_cast<double>(deadline_on_shed) / kRobustnessOverload;
+  }
+};
+
+RobustnessRunResult RunRobustnessScenario(ThreadPool* pool) {
+  PQCacheEngineOptions engine_options = ServeEngineOptions();
+  // Pool sized for the decode slots plus change: admission, not slots, is
+  // the bottleneck once the burst lands.
+  const size_t footprint = PQCacheEngine::EstimateGpuFootprintBytes(
+      engine_options, kRobustnessPromptTokens, kRobustnessMaxNew);
+  engine_options.hardware.gpu_memory_bytes =
+      kRobustnessSlots * footprint + footprint / 2;
+  ServeOptions serve;
+  serve.engine = engine_options;
+  serve.max_sessions = kRobustnessSlots;
+  serve.max_queue = kRobustnessOverload + 4;
+  serve.pool = pool;
+  RobustnessRunResult result;
+
+  std::vector<std::vector<int32_t>> prompts(kRobustnessOverload);
+  std::vector<std::vector<int32_t>> references(kRobustnessOverload);
+  for (size_t i = 0; i < kRobustnessOverload; ++i) {
+    prompts[i].resize(kRobustnessPromptTokens);
+    for (size_t pos = 0; pos < prompts[i].size(); ++pos) {
+      const uint64_t mixed =
+          (pos * 197 + i * 13 + 3) * 0x9E3779B97F4A7C15ull + pos;
+      prompts[i][pos] =
+          static_cast<int32_t>(mixed % engine_options.model.vocab_size);
+    }
+    references[i] =
+        SingleSessionReference(engine_options, prompts[i], kRobustnessMaxNew);
+  }
+
+  // One burst drain; `deadline` <= 0 disables shedding.
+  auto run_burst = [&](size_t sessions, double deadline, uint64_t* completed,
+                       uint64_t* shed) {
+    auto manager = SessionManager::Create(serve).value();
+    std::vector<std::vector<int32_t>> streamed(sessions);
+    for (size_t i = 0; i < sessions; ++i) {
+      ServeRequest request;
+      request.tag = "r" + std::to_string(i);
+      request.prompt = prompts[i];
+      request.max_new_tokens = kRobustnessMaxNew;
+      if (deadline > 0) request.queue_deadline_seconds = deadline;
+      std::vector<int32_t>* sink = &streamed[i];
+      request.on_token = [sink](int32_t token, size_t) {
+        sink->push_back(token);
+      };
+      PQC_CHECK(manager->Submit(std::move(request)).ok());
+    }
+    WallTimer timer;
+    PQC_CHECK(manager->RunUntilDrained().ok());
+    const double wall = timer.ElapsedSeconds();
+    const ServerStats& stats = manager->stats();
+    *completed = stats.completed;
+    *shed = stats.shed_deadline;
+    if (stats.completed + stats.failed + stats.shed_deadline !=
+            stats.submitted ||
+        manager->hierarchy().gpu().used_bytes() != 0 ||
+        manager->hierarchy().cpu().used_bytes() != 0) {
+      std::fprintf(stderr,
+                   "ROBUSTNESS ACCOUNTING FAILURE: %llu completed + %llu "
+                   "failed + %llu shed != %llu submitted (or pools not "
+                   "drained)\n",
+                   static_cast<unsigned long long>(stats.completed),
+                   static_cast<unsigned long long>(stats.failed),
+                   static_cast<unsigned long long>(stats.shed_deadline),
+                   static_cast<unsigned long long>(stats.submitted));
+      result.accounting_exact = false;
+    }
+    for (const SessionRecord& record : stats.sessions) {
+      const size_t slot = static_cast<size_t>(
+          std::strtoul(record.tag.c_str() + 1, nullptr, 10));
+      if (record.shed) {
+        if (!streamed[slot].empty()) result.fidelity = false;
+      } else if (!record.failed && streamed[slot] != references[slot]) {
+        std::fprintf(stderr,
+                     "ROBUSTNESS FIDELITY FAILURE: completed session %s "
+                     "diverged from its lone-engine reference\n",
+                     record.tag.c_str());
+        result.fidelity = false;
+      }
+    }
+    return wall;
+  };
+
+  // Calibration: the sustainable batch, no deadlines. Its wall is the
+  // demonstrated time-to-serve for half the burst — the deadline budget.
+  uint64_t calib_completed = 0;
+  uint64_t calib_shed = 0;
+  result.sustainable_wall_seconds = run_burst(
+      kRobustnessSustainable, /*deadline=*/0, &calib_completed, &calib_shed);
+  result.deadline_seconds = result.sustainable_wall_seconds;
+
+  result.deadline_on_wall_seconds =
+      run_burst(kRobustnessOverload, result.deadline_seconds,
+                &result.deadline_on_completed, &result.deadline_on_shed);
+  result.deadline_off_wall_seconds =
+      run_burst(kRobustnessOverload, /*deadline=*/0,
+                &result.deadline_off_completed, &result.deadline_off_shed);
+
+  if (result.deadline_on_shed == 0) {
+    std::fprintf(stderr,
+                 "ROBUSTNESS SHED FAILURE: a 2x-overload burst shed nothing "
+                 "with deadlines armed\n");
+    result.sheds_under_overload = false;
+  }
+  return result;
+}
+
 /// Everything the JSON report records about the antagonist scenario.
 struct FairnessJson {
   double rr_interactive_p99_wait_seconds = 0;
@@ -485,7 +637,8 @@ void WriteJson(const std::string& path, size_t gpu_budget,
                const PrefixRunResult& unshared,
                const PrefixRunResult& shared,
                const FairnessJson& fairness,
-               const CheckpointRunResult& checkpoint) {
+               const CheckpointRunResult& checkpoint,
+               const RobustnessRunResult& robustness) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -588,13 +741,39 @@ void WriteJson(const std::string& path, size_t gpu_budget,
       "\"resume_ttft_seconds\": %.6f, \"resume_speedup\": %.2f,\n"
       "    \"checkpoint_bytes\": %zu, \"suspended_run_wall_seconds\": %.6f,\n"
       "    \"tokens_bit_identical\": %s, \"meets_min_speedup\": %s\n"
-      "  }\n}\n",
+      "  },\n",
       kCheckpointPromptTokens, kCheckpointMaxNewTokens,
       kCheckpointSuspendAfter, checkpoint.reprefill_ttft_seconds,
       checkpoint.resume_ttft_seconds, checkpoint.Speedup(),
       checkpoint.checkpoint_bytes, checkpoint.suspended_run_wall_seconds,
       checkpoint.fidelity ? "true" : "false",
       checkpoint.fast_enough ? "true" : "false");
+  std::fprintf(
+      f,
+      "  \"robustness\": {\n"
+      "    \"slots\": %zu, \"sustainable_sessions\": %zu, "
+      "\"overload_sessions\": %zu,\n"
+      "    \"prompt_tokens\": %zu, \"max_new_tokens\": %zu, "
+      "\"deadline_seconds\": %.6f,\n"
+      "    \"deadline_on_completed\": %llu, \"deadline_on_shed\": %llu, "
+      "\"deadline_on_goodput_sessions_per_sec\": %.3f,\n"
+      "    \"deadline_off_completed\": %llu, \"deadline_off_shed\": %llu, "
+      "\"deadline_off_goodput_sessions_per_sec\": %.3f,\n"
+      "    \"shed_rate\": %.4f,\n"
+      "    \"sheds_under_overload\": %s, \"accounting_exact\": %s, "
+      "\"tokens_bit_identical\": %s\n"
+      "  }\n}\n",
+      kRobustnessSlots, kRobustnessSustainable, kRobustnessOverload,
+      kRobustnessPromptTokens, kRobustnessMaxNew, robustness.deadline_seconds,
+      static_cast<unsigned long long>(robustness.deadline_on_completed),
+      static_cast<unsigned long long>(robustness.deadline_on_shed),
+      robustness.GoodputOn(),
+      static_cast<unsigned long long>(robustness.deadline_off_completed),
+      static_cast<unsigned long long>(robustness.deadline_off_shed),
+      robustness.GoodputOff(), robustness.ShedRate(),
+      robustness.sheds_under_overload ? "true" : "false",
+      robustness.accounting_exact ? "true" : "false",
+      robustness.fidelity ? "true" : "false");
   std::fclose(f);
   std::printf("\nWrote %s\n", path.c_str());
 }
@@ -839,6 +1018,30 @@ int Run(const std::string& out_path) {
       static_cast<double>(checkpoint.checkpoint_bytes) / (1 << 20),
       checkpoint.fidelity ? "yes" : "NO");
 
+  // Overload scenario: a 2x burst with and without queue deadlines.
+  bench::PrintHeader(
+      "Overload shedding: a 2x-sustainable burst on a pool sized for 4\n"
+      "sessions, queue deadlines on vs. off (gated on shed + bit-identity)");
+  const RobustnessRunResult robustness = RunRobustnessScenario(&pool);
+  verified = verified && robustness.sheds_under_overload &&
+             robustness.accounting_exact && robustness.fidelity;
+  std::printf(
+      "calibration: %zu sessions drained in %.1f ms -> deadline budget\n"
+      "deadlines on:  %llu/%zu completed, %llu shed (%.0f%% of burst), "
+      "goodput %.2f sess/s\n"
+      "deadlines off: %llu/%zu completed, %llu shed, goodput %.2f sess/s\n"
+      "completed streams bit-identical to lone-engine runs: %s\n",
+      kRobustnessSustainable, robustness.sustainable_wall_seconds * 1e3,
+      static_cast<unsigned long long>(robustness.deadline_on_completed),
+      kRobustnessOverload,
+      static_cast<unsigned long long>(robustness.deadline_on_shed),
+      robustness.ShedRate() * 100.0, robustness.GoodputOn(),
+      static_cast<unsigned long long>(robustness.deadline_off_completed),
+      kRobustnessOverload,
+      static_cast<unsigned long long>(robustness.deadline_off_shed),
+      robustness.GoodputOff(),
+      robustness.fidelity ? "yes" : "NO");
+
   const ServerStats& first = sweeps.front().stats;
   const ServerStats& last = sweeps.back().stats;
   std::printf(
@@ -868,7 +1071,7 @@ int Run(const std::string& out_path) {
   fairness.meets_min_improvement = fairness_meets_improvement;
   fairness.tokens_within_band = fairness_tokens_within_band;
   WriteJson(out_path, engine_options.hardware.gpu_memory_bytes, sweeps,
-            verified, unshared, shared, fairness, checkpoint);
+            verified, unshared, shared, fairness, checkpoint, robustness);
   return verified ? 0 : 1;
 }
 

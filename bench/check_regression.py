@@ -13,6 +13,10 @@ Tracked metrics
       improvement and the tokens/sec band vs. round-robin are hard gates
       evaluated inside the fresh report; wait_improvement is additionally
       compared against the baseline with a doubled band
+    - robustness.*: shedding under overload, exact terminal accounting, and
+      bit-identity are hard gates evaluated inside the fresh report; the
+      deadlines-on goodput is additionally compared against the baseline
+      like a throughput metric
   BENCH_micro.json (optional, google-benchmark format):
     - real_time per benchmark (lower is better)
 
@@ -146,6 +150,45 @@ def check_serve(baseline, fresh, tolerance, failures):
         # A fresh report that silently lost the section must not skip the
         # gates unnoticed.
         failures.append("serve: checkpoint section missing from fresh report")
+
+    base_robust = baseline.get("robustness")
+    fresh_robust = fresh.get("robustness")
+    if fresh_robust:
+        # Hard gates, no tolerance, evaluated inside the fresh report: an
+        # overloaded server with deadlines armed must actually shed, every
+        # terminal disposition must be accounted (completed + failed + shed
+        # == submitted with both pools drained), and every completed stream
+        # must stay bit-identical to its lone-engine run.
+        if not fresh_robust.get("sheds_under_overload", False):
+            failures.append("serve: robustness shed gate failed (2x overload "
+                            "with deadlines shed nothing)")
+        if not fresh_robust.get("accounting_exact", False):
+            failures.append("serve: robustness accounting gate failed "
+                            "(terminal buckets or pool drain inexact)")
+        if not fresh_robust.get("tokens_bit_identical", False):
+            failures.append("serve: robustness fidelity gate failed")
+        base_goodput = (base_robust or {}).get(
+            "deadline_on_goodput_sessions_per_sec", 0.0)
+        fresh_goodput = fresh_robust.get(
+            "deadline_on_goodput_sessions_per_sec", 0.0)
+        status = "OK"
+        if base_goodput > 0:
+            ratio = fresh_goodput / base_goodput
+            if ratio < 1.0 - tolerance:
+                status = "REGRESSION"
+                failures.append(
+                    f"serve: robustness deadline-on goodput fell "
+                    f"{(1.0 - ratio) * 100.0:.1f}% ({base_goodput:.1f} -> "
+                    f"{fresh_goodput:.1f} sess/s, tolerance "
+                    f"{tolerance * 100.0:.0f}%)")
+        print(f"  robustness goodput (on):     {base_goodput:8.1f} -> "
+              f"{fresh_goodput:8.1f}  {status}")
+        print(f"  robustness shed under load:  "
+              f"{fresh_robust.get('deadline_on_shed', 0)}"
+              f"/{fresh_robust.get('overload_sessions', 0)} requests "
+              f"({fresh_robust.get('shed_rate', 0.0) * 100.0:.0f}%)")
+    elif base_robust:
+        failures.append("serve: robustness section missing from fresh report")
 
 
 def check_micro(baseline, fresh, tolerance, failures):

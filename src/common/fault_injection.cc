@@ -1,0 +1,100 @@
+#include "src/common/fault_injection.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace pqcache {
+
+std::atomic<int> FaultInjection::armed_points_{0};
+
+FaultInjection& FaultInjection::Global() {
+  static FaultInjection* instance = new FaultInjection();
+  return *instance;
+}
+
+void FaultInjection::Arm(const std::string& point, FaultRule rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = points_.try_emplace(point);
+  it->second.rule = std::move(rule);
+  it->second.rng = Rng(it->second.rule.seed, /*stream=*/0xFA017);
+  it->second.hits = 0;
+  it->second.failures = 0;
+  if (inserted) armed_points_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjection::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (points_.erase(point) > 0) {
+    armed_points_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjection::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_points_.fetch_sub(static_cast<int>(points_.size()),
+                          std::memory_order_relaxed);
+  points_.clear();
+}
+
+Status FaultInjection::Check(const char* point) {
+  double sleep_seconds = 0;
+  bool fire = false;
+  StatusCode code = StatusCode::kUnavailable;
+  std::string message;
+  bool throws = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = points_.find(point);
+    if (it == points_.end()) return Status::OK();
+    PointState& state = it->second;
+    const FaultRule& rule = state.rule;
+    const uint64_t hit = state.hits++;
+    sleep_seconds = rule.latency_seconds;
+    const bool eligible =
+        hit >= rule.fail_after_hits &&
+        (rule.fail_count == 0 || state.failures < rule.fail_count);
+    if (eligible) {
+      fire = rule.probability > 0 ? state.rng.Bernoulli(rule.probability)
+                                  : true;
+    }
+    if (fire) {
+      ++state.failures;
+      code = rule.code;
+      message = rule.message + " [" + std::string(point) + "]";
+      throws = rule.throws;
+    }
+  }
+  // Sleep outside the lock so injected latency slows the caller, not every
+  // concurrently-hit point.
+  if (sleep_seconds > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(sleep_seconds));
+  }
+  if (!fire) return Status::OK();
+  if (throws) throw std::runtime_error(message);
+  return Status(code, std::move(message));
+}
+
+uint64_t FaultInjection::Hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FaultInjection::Failures(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.failures;
+}
+
+std::vector<std::string> FaultInjection::FiredPoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> fired;
+  for (const auto& [name, state] : points_) {
+    if (state.failures > 0) fired.push_back(name);
+  }
+  return fired;
+}
+
+}  // namespace pqcache

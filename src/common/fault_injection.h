@@ -1,0 +1,125 @@
+// Deterministic fault injection: named injection points wired into the real
+// error paths (memory-pool charge, checkpoint serialize/deserialize, engine
+// prefill/decode, the streaming-callback boundary) so failure handling can be
+// tested without real hardware faults. Always compiled in: a disarmed point
+// costs one relaxed atomic load and a predictable branch, nothing else.
+//
+// Schedules are seeded and deterministic: "fail the Nth hit", "fail each hit
+// with probability p drawn from a seeded stream", and "inject latency" —
+// re-running with the same seed replays the same fail/pass decision sequence
+// (under concurrent hits, which *caller* draws a given decision races, but
+// the decision sequence itself does not).
+//
+//   FaultInjection::Global().Arm("engine.decode_step",
+//                                {.fail_after_hits = 3});
+//   ...
+//   Result<int32_t> PQCacheEngine::DecodeNext() {
+//     PQC_FAULT_INJECT("engine.decode_step");   // 4th call fails Unavailable
+//     ...
+#ifndef PQCACHE_COMMON_FAULT_INJECTION_H_
+#define PQCACHE_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace pqcache {
+
+/// Deterministic failure schedule for one named injection point.
+struct FaultRule {
+  /// Hits to let through before the schedule becomes eligible to fire
+  /// (0 = eligible from the first hit). "Fail exactly the Nth hit" is
+  /// `{.fail_after_hits = N - 1, .fail_count = 1}`.
+  uint64_t fail_after_hits = 0;
+  /// Total failures this rule may fire; 0 = unlimited. After the budget is
+  /// spent the point passes every later hit (the rule stays armed so hit
+  /// counters keep advancing).
+  uint64_t fail_count = 1;
+  /// When > 0, each eligible hit fails independently with this probability,
+  /// drawn from a stream seeded by `seed`; when 0, every eligible hit fails
+  /// (until fail_count is spent).
+  double probability = 0;
+  uint64_t seed = 0;
+  /// Wall-clock delay injected on EVERY hit of the point while armed, fired
+  /// or not (simulates a slow dependency; drives deadline/pressure paths).
+  double latency_seconds = 0;
+  /// Status code a firing hit returns.
+  StatusCode code = StatusCode::kUnavailable;
+  std::string message = "injected fault";
+  /// Fire by throwing std::runtime_error(message) instead of returning a
+  /// Status — exercises exception-isolation boundaries (e.g. a misbehaving
+  /// streaming callback).
+  bool throws = false;
+};
+
+/// Process-global registry of armed injection points. Thread-safe: points
+/// are hit concurrently from scheduler worker threads.
+class FaultInjection {
+ public:
+  static FaultInjection& Global();
+
+  /// True when any point is armed. Inline relaxed load: this is the entire
+  /// cost of an injection point in a production (disarmed) process.
+  static bool Enabled() {
+    return armed_points_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Installs (or replaces) the schedule for a point, resetting its
+  /// hit/failure counters and reseeding its decision stream.
+  void Arm(const std::string& point, FaultRule rule);
+
+  /// Removes a point's schedule (no-op when not armed).
+  void Disarm(const std::string& point);
+
+  /// Removes every schedule (test teardown).
+  void DisarmAll();
+
+  /// Hot-path hook: returns OK (or the injected Status / throws) according
+  /// to the point's schedule. Unarmed points return OK without recording.
+  /// Prefer the PQC_FAULT_INJECT macro, which skips the call entirely when
+  /// nothing is armed anywhere.
+  Status Check(const char* point);
+
+  /// Times the point was evaluated while armed / times it fired. Zero for
+  /// unarmed or never-armed points. Counters survive until re-Arm/Disarm.
+  uint64_t Hits(const std::string& point) const;
+  uint64_t Failures(const std::string& point) const;
+
+  /// Armed points that fired at least once, in name order.
+  std::vector<std::string> FiredPoints() const;
+
+ private:
+  struct PointState {
+    FaultRule rule;
+    Rng rng;
+    uint64_t hits = 0;
+    uint64_t failures = 0;
+  };
+
+  static std::atomic<int> armed_points_;
+  mutable std::mutex mu_;
+  std::map<std::string, PointState> points_;
+};
+
+}  // namespace pqcache
+
+/// Evaluates the named injection point and propagates an injected Status out
+/// of the enclosing function (works for Status and Result<T> returns). A
+/// schedule armed with `throws` raises std::runtime_error instead. Free when
+/// nothing is armed process-wide.
+#define PQC_FAULT_INJECT(point)                                       \
+  do {                                                                \
+    if (::pqcache::FaultInjection::Enabled()) {                       \
+      ::pqcache::Status _pqc_fault =                                  \
+          ::pqcache::FaultInjection::Global().Check(point);           \
+      if (!_pqc_fault.ok()) return _pqc_fault;                        \
+    }                                                                 \
+  } while (0)
+
+#endif  // PQCACHE_COMMON_FAULT_INJECTION_H_

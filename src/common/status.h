@@ -21,6 +21,8 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kDataLoss,
+  kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// Returns a human-readable name for a StatusCode ("OK", "InvalidArgument"...).
@@ -61,6 +63,17 @@ class Status {
   /// fields, streams that end mid-record, checksum-style mismatches).
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  /// A deadline expired before the operation could run (e.g. a queued
+  /// request shed by the serving layer's deadline enforcement).
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// A transient failure: the operation may succeed if retried (injected
+  /// faults, momentary resource pressure). The serving layer retries these
+  /// with bounded exponential backoff before failing a session.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "src/common/fault_injection.h"
 #include "src/common/logging.h"
 #include "src/common/timer.h"
 #include "src/pq/serialize.h"
@@ -433,6 +434,9 @@ Result<int32_t> PQCacheEngine::Prefill(std::span<const int32_t> tokens) {
   if (prefilled_) {
     return Status::FailedPrecondition("PQCacheEngine: already prefilled");
   }
+  // Fires before the transformer touches the cache, so an injected prefill
+  // failure leaves the engine un-prefilled and safe to retry or discard.
+  PQC_FAULT_INJECT("engine.prefill");
   WallTimer timer;
 
   // Prefix-sharing fast path: attach the segment's rows for the matched
@@ -492,6 +496,10 @@ Result<int32_t> PQCacheEngine::DecodeNext() {
   if (!prefilled_) {
     return Status::FailedPrecondition("PQCacheEngine: prefill first");
   }
+  // Fires before DecodeStep extends the cache: the decode cursor and KV
+  // state are untouched by an injected failure, so the step is retryable
+  // and a post-retry token is bit-identical to an undisturbed run.
+  PQC_FAULT_INJECT("engine.decode_step");
   WallTimer timer;
   const size_t position = kv_cache_->size();
 
@@ -618,6 +626,7 @@ Status PQCacheEngine::SaveCheckpoint(std::ostream& os) const {
     return Status::FailedPrecondition(
         "SaveCheckpoint: nothing to checkpoint before prefill");
   }
+  PQC_FAULT_INJECT("checkpoint.save");
   WritePod(os, kCheckpointMagic);
   WritePod(os, kCheckpointVersion);
   WritePod(os, EngineConfigHash(options_));
@@ -659,6 +668,9 @@ Result<std::unique_ptr<PQCacheEngine>> PQCacheEngine::RestoreFromCheckpoint(
         "RestoreFromCheckpoint: checkpoints flatten shared state; restore "
         "with options.prefix unset");
   }
+  // Fires before the stream is consumed, so a failed restore leaves the
+  // caller's checkpoint bytes intact for a later retry.
+  PQC_FAULT_INJECT("checkpoint.restore");
   auto built = BuildSkeleton(options);
   if (!built.ok()) return built.status();
   std::unique_ptr<PQCacheEngine> engine = std::move(built).value();

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 
+#include "src/common/fault_injection.h"
 #include "src/common/logging.h"
 
 namespace pqcache {
 
 Status MemoryPool::Allocate(size_t bytes) {
+  // Fires before any accounting mutates, so an injected charge failure is
+  // always safe to retry.
+  PQC_FAULT_INJECT("memory_pool.allocate");
   std::lock_guard<std::mutex> lock(mu_);
   if (used_ + bytes > capacity_) {
     return Status::OutOfMemory(name_ + ": requested " + std::to_string(bytes) +

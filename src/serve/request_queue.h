@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <iterator>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -109,6 +110,28 @@ class RequestQueue {
       return session;
     }
     return nullptr;
+  }
+
+  /// Removes every queued session matching `pred` (any lane, any position —
+  /// deadline shedding must reach behind lane heads) and returns them in
+  /// lane order. Emptied lanes are dropped. Scheduler thread only.
+  template <typename Pred>
+  std::vector<std::unique_ptr<Session>> ExtractIf(Pred pred) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::unique_ptr<Session>> extracted;
+    for (auto lane = lanes_.begin(); lane != lanes_.end();) {
+      for (auto it = lane->fifo.begin(); it != lane->fifo.end();) {
+        if (pred(**it)) {
+          extracted.push_back(std::move(*it));
+          it = lane->fifo.erase(it);
+          --size_;
+        } else {
+          ++it;
+        }
+      }
+      lane = lane->fifo.empty() ? lanes_.erase(lane) : std::next(lane);
+    }
+    return extracted;
   }
 
  private:

@@ -101,12 +101,21 @@ std::vector<TenantStats> ServerStats::PerTenant() const {
     TenantStats& t = tenants[rollup_for(record.tenant)];
     const size_t i = &t - tenants.data();
     ++t.sessions;
-    if (record.failed) {
+    // Disposition chain mirrors the retire path: a record lands in exactly
+    // one bucket, so the buckets sum to the global counters.
+    if (record.shed) {
+      ++t.shed;
+    } else if (record.failed) {
       ++t.failed;
     } else if (record.preempted) {
       ++t.preemptions;
+    } else if (record.pressure_suspended) {
+      ++t.pressure_suspensions;
     } else if (!record.suspended) {
       ++t.completed;
+    }
+    if (record.failed || record.shed) {
+      ++t.failure_reasons[record.error_code];
     }
     t.generated_tokens += record.generated_tokens;
     if (ProducedTokens(record)) waits[i].push_back(record.queue_wait_seconds);
@@ -128,6 +137,14 @@ std::vector<TenantStats> ServerStats::PerTenant() const {
     t.p99_tpot_seconds = PercentileOf(tpots[i], 99);
   }
   return tenants;
+}
+
+std::map<StatusCode, uint64_t> ServerStats::FailureReasons() const {
+  std::map<StatusCode, uint64_t> reasons;
+  for (const SessionRecord& s : sessions) {
+    if (s.failed || s.shed) ++reasons[s.error_code];
+  }
+  return reasons;
 }
 
 double ServerStats::TotalPrefillSeconds() const {

@@ -6,8 +6,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
+
+#include "src/common/status.h"
 
 namespace pqcache {
 
@@ -43,8 +46,21 @@ struct SessionRecord {
   /// was waiting); the session's resume was auto-requeued and produces a
   /// separate record flagged `resumed` when it retires.
   bool preempted = false;
+  /// The suspension was the overload degradation path (the admission head
+  /// was starved past ServeOptions::pressure_suspend_after_seconds); like a
+  /// preemption, the session's resume was auto-requeued.
+  bool pressure_suspended = false;
   bool failed = false;
+  /// The request's queue deadline expired before admission; the session was
+  /// shed un-run (no tokens, no charges) with DeadlineExceeded.
+  bool shed = false;
   std::string error;
+  /// Machine-readable failure reason (kOk for successful sessions). Set for
+  /// failed and shed records; feeds the failure-reason breakdowns.
+  StatusCode error_code = StatusCode::kOk;
+  /// Transient step failures absorbed by retry before this session retired
+  /// (nonzero records survived faults).
+  uint32_t step_retries = 0;
 
   double MeanTpotSeconds() const;
 };
@@ -57,6 +73,11 @@ struct TenantStats {
   uint64_t completed = 0;  ///< Records that finished (not failed/suspended).
   uint64_t failed = 0;
   uint64_t preemptions = 0;  ///< Records suspended by the fair scheduler.
+  uint64_t shed = 0;         ///< Queue-deadline sheds (never admitted).
+  uint64_t pressure_suspensions = 0;  ///< Overload-degradation suspensions.
+  /// Failed + shed records bucketed by their StatusCode (failure-reason
+  /// breakdown; sums to failed + shed).
+  std::map<StatusCode, uint64_t> failure_reasons;
   uint64_t generated_tokens = 0;
   double tokens_per_second = 0;  ///< generated_tokens over the run's wall.
   double mean_queue_wait_seconds = 0;  ///< Over token-producing records.
@@ -85,6 +106,14 @@ struct ServerStats {
   /// Decodes suspended by the fair scheduler to unblock a higher-priority
   /// tenant; each preemption auto-requeues the session's resume.
   uint64_t preempted = 0;
+  /// Queued requests shed at a round boundary because their
+  /// queue_deadline_seconds expired before admission (DeadlineExceeded; no
+  /// tokens were produced and no memory was ever charged).
+  uint64_t shed_deadline = 0;
+  /// Decodes suspended by the overload degradation path: the admission head
+  /// was starved past pressure_suspend_after_seconds, so the lowest-priority
+  /// active session was checkpointed and auto-requeued to free memory.
+  uint64_t pressure_suspended = 0;
 
   size_t peak_active_sessions = 0;
   size_t peak_gpu_bytes = 0;
@@ -115,9 +144,13 @@ struct ServerStats {
   /// rule as the means).
   double QueueWaitPercentileSeconds(double p) const;
   /// Per-tenant rollups, in first-record order. Sessions, tokens,
-  /// completions, failures and preemptions sum to the global counters over
-  /// the recorded sessions (unit-tested).
+  /// completions, failures, preemptions, sheds and pressure suspensions sum
+  /// to the global counters over the recorded sessions (unit-tested).
   std::vector<TenantStats> PerTenant() const;
+  /// Failed + shed records bucketed by StatusCode across all tenants (the
+  /// union of the per-tenant failure_reasons maps; counts sum to
+  /// failed-records + shed-records).
+  std::map<StatusCode, uint64_t> FailureReasons() const;
   /// Hit rate over all sessions' block-cache lookups. Includes retired
   /// sessions: their engines' final counters are rolled into the record at
   /// retire time.

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <sstream>
+#include <stdexcept>
 #include <utility>
+
+#include "src/common/fault_injection.h"
 
 namespace pqcache {
 
@@ -76,24 +79,75 @@ Status Session::BuildCheckpoint(SessionCheckpoint* out) const {
   return Status::OK();
 }
 
+namespace {
+
+/// Step failures worth retrying: the operation left no partial state and the
+/// condition is expected to clear (a fault window, a momentary pool spike).
+bool IsTransient(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kOutOfMemory;
+}
+
+}  // namespace
+
+bool Session::FailStep(const Status& status) {
+  if (IsTransient(status) && retries_used_ < max_retries_) {
+    ++retries_used_;
+    // Exponential backoff: base, 2*base, 4*base, ... per absorbed failure.
+    retry_wait_seconds_ =
+        retry_backoff_seconds_ * static_cast<double>(1u << (retries_used_ - 1));
+    retry_timer_.Restart();
+    // A failed first step may leave a created-but-unprefilled engine (or a
+    // half-restored one); drop it so the retry rebuilds from scratch. Steps
+    // after the first fail before mutating engine state, so the engine stays
+    // valid for an in-place decode retry.
+    if (state_ == SessionState::kQueued) engine_.reset();
+    return true;
+  }
+  error_ = status;
+  state_ = SessionState::kFailed;
+  return false;
+}
+
 void Session::Step() {
   if (done()) return;
+  if (retry_pending()) return;  // Backoff not elapsed; try again next round.
+  retry_wait_seconds_ = 0;
+  try {
+    StepImpl();
+  } catch (const std::exception& e) {
+    // An exception escaping the engine (e.g. an injected throw) fails only
+    // this session; RunRound's workers must never see it.
+    error_ = Status::Internal(std::string("step threw: ") + e.what());
+    state_ = SessionState::kFailed;
+  } catch (...) {
+    error_ = Status::Internal("step threw a non-std exception");
+    state_ = SessionState::kFailed;
+  }
+}
+
+void Session::StepImpl() {
   if (state_ == SessionState::kQueued) {
     queue_wait_seconds_ = since_enqueue_.ElapsedSeconds();
     if (resume_ != nullptr) {
       // First step of a resumed session: deserialize the engine (the whole
-      // "prefill" of a resume) and decode the first remaining token.
-      std::istringstream is(std::move(resume_->engine_state));
+      // "prefill" of a resume) and decode the first remaining token. The
+      // checkpoint bytes are copied, not moved: a transient restore failure
+      // must leave them intact for the retry.
+      std::istringstream is(resume_->engine_state);
       auto engine = PQCacheEngine::RestoreFromCheckpoint(is, engine_options_);
-      resume_->engine_state.clear();
       if (!engine.ok()) {
-        error_ = engine.status();
-        state_ = SessionState::kFailed;
+        FailStep(engine.status());
         return;
       }
       engine_ = std::move(engine).value();
+      resume_->engine_state.clear();
+      resume_->engine_state.shrink_to_fit();
       auto token = engine_->DecodeNext();
       if (!token.ok()) {
+        // The restored engine is discarded on a transient failure, but the
+        // serialized bytes are gone; fail outright rather than retry a
+        // resume that can no longer be rebuilt.
         error_ = token.status();
         state_ = SessionState::kFailed;
         return;
@@ -105,15 +159,13 @@ void Session::Step() {
       // (TTFT).
       auto engine = PQCacheEngine::Create(engine_options_);
       if (!engine.ok()) {
-        error_ = engine.status();
-        state_ = SessionState::kFailed;
+        FailStep(engine.status());
         return;
       }
       engine_ = std::move(engine).value();
       auto first = engine_->Prefill(request_.prompt);
       if (!first.ok()) {
-        error_ = first.status();
-        state_ = SessionState::kFailed;
+        FailStep(first.status());
         return;
       }
       generated_.push_back(first.value());
@@ -124,8 +176,7 @@ void Session::Step() {
     WallTimer step_timer;
     auto token = engine_->DecodeNext();
     if (!token.ok()) {
-      error_ = token.status();
-      state_ = SessionState::kFailed;
+      FailStep(token.status());
       return;
     }
     generated_.push_back(token.value());
@@ -142,13 +193,34 @@ void Session::DispatchNewTokens() {
     return;
   }
   while (dispatched_ < generated_.size()) {
-    // Advance the cursor before invoking: if the callback throws (the
-    // exception propagates to the RunUntilDrained caller), a resumed drain
-    // must not deliver the same (token, index) twice — delivery is
-    // at-most-once per token, never duplicated. Indexes are cumulative
-    // across suspend/resume cycles.
+    // Advance the cursor before invoking: even on a throw, delivery stays
+    // at-most-once per (token, index) — never duplicated. Indexes are
+    // cumulative across suspend/resume cycles.
     const size_t index = dispatched_++;
-    request_.on_token(generated_[index], prior_tokens() + index);
+    try {
+      // Injection point at the streaming-callback boundary. Any armed
+      // schedule manifests as an exception here — exactly how a misbehaving
+      // user callback presents — so it exercises the same isolation path.
+      if (FaultInjection::Enabled()) {
+        Status injected = FaultInjection::Global().Check("serve.on_token");
+        if (!injected.ok()) throw std::runtime_error(injected.ToString());
+      }
+      request_.on_token(generated_[index], prior_tokens() + index);
+    } catch (const std::exception& e) {
+      // The stream boundary is the isolation line: a misbehaving callback
+      // fails its own session and stops its own stream, nothing else.
+      error_ = Status::Internal(std::string("on_token threw: ") + e.what());
+      state_ = SessionState::kFailed;
+      request_.on_token = nullptr;
+      dispatched_ = generated_.size();
+      return;
+    } catch (...) {
+      error_ = Status::Internal("on_token threw a non-std exception");
+      state_ = SessionState::kFailed;
+      request_.on_token = nullptr;
+      dispatched_ = generated_.size();
+      return;
+    }
   }
 }
 

@@ -39,12 +39,21 @@ struct ServeRequest {
   std::vector<int32_t> prompt;
   /// Total tokens to generate (the prefill's first token counts as one).
   size_t max_new_tokens = 16;
+  /// Queue-wait deadline in seconds (0 = none). A request still waiting in
+  /// the admission queue past this bound is shed at the next round boundary
+  /// with DeadlineExceeded instead of occupying a lane forever. Applies only
+  /// while queued: once admitted the session always runs to completion, and
+  /// scheduler-initiated suspensions (preemption, pressure) auto-requeue
+  /// without a deadline — a checkpointed session is never shed.
+  double queue_deadline_seconds = 0;
   /// Streaming callback, invoked at most once per generated token, in
   /// order. Called from the scheduler thread after the step that produced
   /// the token, so implementations need no internal synchronization per
-  /// session. Should not throw: an exception propagates out of the
-  /// scheduler to its caller, and the token it was delivering is skipped
-  /// (at-most-once, never duplicated) if the drain is resumed.
+  /// session. A throwing callback fails only its own session (the exception
+  /// is caught at the stream boundary and recorded as the session's error);
+  /// other sessions and the drain itself are unaffected. The token being
+  /// delivered when the throw happens is consumed (at-most-once, never
+  /// duplicated) and no further tokens are delivered for that session.
   std::function<void(int32_t token, size_t index)> on_token;
 };
 
@@ -151,15 +160,40 @@ class Session {
     if (engine_ != nullptr) engine_->RefreshCacheStats();
   }
 
+  /// Enables bounded retry of transient step failures (Unavailable /
+  /// OutOfMemory): up to `max_retries` failed steps are re-attempted after
+  /// an exponential backoff (`backoff_seconds * 2^attempt`) instead of
+  /// failing the session. Called by the manager before the first Step.
+  void ConfigureRetry(uint32_t max_retries, double backoff_seconds) {
+    max_retries_ = max_retries;
+    retry_backoff_seconds_ = backoff_seconds;
+  }
+
+  /// Transient step failures absorbed by retry so far.
+  uint32_t retries_used() const { return retries_used_; }
+
+  /// True while a retry backoff is pending (the next Step is a no-op until
+  /// the backoff elapses).
+  bool retry_pending() const {
+    return retry_wait_seconds_ > 0 &&
+           retry_timer_.ElapsedSeconds() < retry_wait_seconds_;
+  }
+
   /// Runs one unit of work: the first call creates the engine and prefills
   /// (producing generated token 0); subsequent calls decode one token.
   /// Transitions to kFinished / kFailed as appropriate. Safe to call from a
   /// worker thread — each session steps on at most one thread at a time.
+  /// Never throws: an exception escaping the engine is caught and recorded
+  /// as this session's Internal error (kFailed), isolating the blast radius
+  /// to one session. Transient errors retry per ConfigureRetry; each failed
+  /// attempt leaves no partial state, so a step that eventually succeeds
+  /// produces a token bit-identical to an undisturbed run.
   void Step();
 
   /// Fires request.on_token for tokens produced since the last dispatch.
   /// Called by the scheduler on its own thread, in session order, so
-  /// streaming output is deterministic.
+  /// streaming output is deterministic. A throwing callback marks this
+  /// session kFailed and stops its stream; it never propagates.
   void DispatchNewTokens();
 
   /// Releases the engine (retired sessions keep their stats but return all
@@ -187,6 +221,13 @@ class Session {
   const std::vector<double>& step_seconds() const { return step_seconds_; }
 
  private:
+  /// Routes a failed step: schedules a backoff retry and returns true when
+  /// `status` is transient (Unavailable / OutOfMemory) and budget remains;
+  /// otherwise records it and transitions to kFailed.
+  bool FailStep(const Status& status);
+  /// One unit of work, minus the exception/retry envelope Step() adds.
+  void StepImpl();
+
   int64_t id_;
   ServeRequest request_;
   /// Set for resume-mode sessions; engine_state is released after restore.
@@ -200,6 +241,13 @@ class Session {
   Status error_ = Status::OK();
   std::vector<int32_t> generated_;
   size_t dispatched_ = 0;
+
+  // Transient-failure retry state (see ConfigureRetry).
+  uint32_t max_retries_ = 0;
+  double retry_backoff_seconds_ = 0;
+  uint32_t retries_used_ = 0;
+  double retry_wait_seconds_ = 0;  // 0 = no backoff pending.
+  WallTimer retry_timer_;
 
   WallTimer since_enqueue_;  // Started at construction (== submission).
   double queue_wait_seconds_ = 0;

@@ -80,6 +80,8 @@ Result<int64_t> SessionManager::Submit(ServeRequest request) {
   auto session =
       std::make_unique<Session>(id, std::move(request), options_.engine,
                                 gpu_footprint, cpu_footprint);
+  session->ConfigureRetry(options_.max_transient_retries,
+                          options_.retry_backoff_seconds);
   PQC_CHECK(queue_.TryPush(session));
   return id;
 }
@@ -128,6 +130,8 @@ Result<int64_t> SessionManager::Resume(
   auto session =
       std::make_unique<Session>(id, std::move(checkpoint), std::move(on_token),
                                 options_.engine, gpu_footprint, cpu_footprint);
+  session->ConfigureRetry(options_.max_transient_retries,
+                          options_.retry_backoff_seconds);
   PQC_CHECK(queue_.TryPush(session));
   ++stats_.resumed;
   return id;
@@ -226,7 +230,7 @@ void SessionManager::AdmitFromQueue() {
 }
 
 Result<SessionCheckpoint> SessionManager::SuspendSession(Session* session,
-                                                         bool preempted) {
+                                                         SuspendKind kind) {
   SessionCheckpoint checkpoint;
   PQC_RETURN_IF_ERROR(session->BuildCheckpoint(&checkpoint));
   // The suspend path is the retirement path — record, release the engine,
@@ -234,11 +238,18 @@ Result<SessionCheckpoint> SessionManager::SuspendSession(Session* session,
   session->RefreshEngineStats();
   SessionRecord record = RecordFor(*session);
   record.suspended = true;
-  record.preempted = preempted;
-  if (preempted) {
-    ++stats_.preempted;
-  } else {
-    ++stats_.suspended;
+  switch (kind) {
+    case SuspendKind::kExplicit:
+      ++stats_.suspended;
+      break;
+    case SuspendKind::kPreempt:
+      record.preempted = true;
+      ++stats_.preempted;
+      break;
+    case SuspendKind::kPressure:
+      record.pressure_suspended = true;
+      ++stats_.pressure_suspended;
+      break;
   }
   stats_.total_generated_tokens += session->generated().size();
   stats_.sessions.push_back(std::move(record));
@@ -246,6 +257,65 @@ Result<SessionCheckpoint> SessionManager::SuspendSession(Session* session,
   hierarchy_->gpu().Free(session->gpu_footprint_bytes());
   hierarchy_->cpu().Free(session->cpu_footprint_bytes());
   return checkpoint;
+}
+
+void SessionManager::RequeueVictim(Session* victim,
+                                   SessionCheckpoint checkpoint) {
+  // Auto-requeue the victim's resume: same tenant/weight/priority (carried
+  // in the checkpoint), same streaming callback, cumulative token indexes.
+  // The push bypasses the capacity bound — the session was already admitted
+  // once, and dropping it here would lose its only copy.
+  const size_t gpu_footprint = PQCacheEngine::EstimateGpuFootprintBytes(
+      options_.engine, checkpoint.prompt.size(), checkpoint.max_new_tokens);
+  const size_t cpu_footprint = PQCacheEngine::EstimateCpuFootprintBytes(
+      options_.engine, checkpoint.prompt.size(), checkpoint.max_new_tokens);
+  {
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    // Counted like an internal Resume so the counter algebra stays intact:
+    // every admitted session was submitted, and every resumed-flagged
+    // record has a matching resumed count.
+    ++stats_.submitted;
+    ++stats_.resumed;
+    const int64_t id = next_id_++;
+    auto resume = std::make_unique<Session>(
+        id, std::move(checkpoint), victim->TakeOnToken(), options_.engine,
+        gpu_footprint, cpu_footprint);
+    resume->ConfigureRetry(options_.max_transient_retries,
+                           options_.retry_backoff_seconds);
+    queue_.PushUnbounded(std::move(resume));
+  }
+  for (auto& session : active_) {
+    if (session.get() == victim) session.reset();
+  }
+  active_.erase(std::remove(active_.begin(), active_.end(), nullptr),
+                active_.end());
+  active_count_.store(active_.size(), std::memory_order_relaxed);
+}
+
+void SessionManager::ShedExpired() {
+  // Only never-admitted submissions are ever shed: an auto-requeued resume
+  // has resumed() == true and carries no deadline, and a checkpoint is the
+  // only copy of its session — shedding one would lose work, not shed load.
+  auto expired = queue_.ExtractIf([](const Session& s) {
+    const double deadline = s.request().queue_deadline_seconds;
+    return !s.resumed() && deadline > 0 && s.waited_seconds() > deadline;
+  });
+  for (const auto& session : expired) {
+    SessionRecord record = RecordFor(*session);
+    record.shed = true;
+    record.error_code = StatusCode::kDeadlineExceeded;
+    record.error =
+        Status::DeadlineExceeded(
+            "queue deadline (" +
+            std::to_string(session->request().queue_deadline_seconds) +
+            "s) expired after " + std::to_string(session->waited_seconds()) +
+            "s waiting for admission")
+            .ToString();
+    ++stats_.shed_deadline;
+    stats_.sessions.push_back(std::move(record));
+    // Never admitted: no engine exists and no pool bytes were ever charged,
+    // so dropping the session frees everything it holds.
+  }
 }
 
 void SessionManager::MaybePreempt() {
@@ -282,39 +352,55 @@ void SessionManager::MaybePreempt() {
     }
   }
   if (victim == nullptr) return;
-  auto checkpoint = SuspendSession(victim, /*preempted=*/true);
+  auto checkpoint = SuspendSession(victim, SuspendKind::kPreempt);
   if (!checkpoint.ok()) return;  // Retry at the next round boundary.
-  // Auto-requeue the victim's resume: same tenant/weight/priority (carried
-  // in the checkpoint), same streaming callback, cumulative token indexes.
-  // The push bypasses the capacity bound — the session was already admitted
-  // once, and dropping it here would lose its only copy.
-  const size_t gpu_footprint = PQCacheEngine::EstimateGpuFootprintBytes(
-      options_.engine, checkpoint.value().prompt.size(),
-      checkpoint.value().max_new_tokens);
-  const size_t cpu_footprint = PQCacheEngine::EstimateCpuFootprintBytes(
-      options_.engine, checkpoint.value().prompt.size(),
-      checkpoint.value().max_new_tokens);
-  {
-    std::lock_guard<std::mutex> lock(submit_mu_);
-    // Counted like an internal Resume so the counter algebra stays intact:
-    // every admitted session was submitted, and every resumed-flagged
-    // record has a matching resumed count.
-    ++stats_.submitted;
-    ++stats_.resumed;
-    const int64_t id = next_id_++;
-    queue_.PushUnbounded(std::make_unique<Session>(
-        id, std::move(checkpoint).value(), victim->TakeOnToken(),
-        options_.engine, gpu_footprint, cpu_footprint));
-  }
-  for (auto& session : active_) {
-    if (session.get() == victim) session.reset();
-  }
-  active_.erase(std::remove(active_.begin(), active_.end(), nullptr),
-                active_.end());
-  active_count_.store(active_.size(), std::memory_order_relaxed);
+  RequeueVictim(victim, std::move(checkpoint).value());
   // Hand the freed slot and bytes to the waiter before anything else can
   // claim them (best-effort: a waiter needing more than one victim's worth
   // of memory is retried — and may preempt again — next round).
+  TryAdmitHead(waiter_tenant);
+}
+
+void SessionManager::MaybePressureSuspend() {
+  if (options_.pressure_suspend_after_seconds <= 0 || active_.empty()) return;
+  // The most overdue queued head, any priority: this is the degradation
+  // path for memory pressure, not a fairness mechanism — a head the
+  // preceding AdmitFromQueue could not seat has been starved of *bytes* (or
+  // a slot), and which tenant it belongs to does not change that.
+  Session* waiter = nullptr;
+  std::string waiter_tenant;
+  for (const std::string& tenant : queue_.Tenants()) {
+    Session* head = queue_.PeekHead(tenant);
+    if (head == nullptr ||
+        head->waited_seconds() <= options_.pressure_suspend_after_seconds) {
+      continue;
+    }
+    if (waiter == nullptr ||
+        head->waited_seconds() > waiter->waited_seconds()) {
+      waiter = head;
+      waiter_tenant = tenant;
+    }
+  }
+  if (waiter == nullptr) return;
+  // Victim: the lowest-priority active decode, longest-running among ties —
+  // the cheapest session to park, and its progress is loss-free behind the
+  // checkpoint. Sessions still in their first (prefill) step cannot be
+  // checkpointed and are skipped.
+  Session* victim = nullptr;
+  for (const auto& session : active_) {
+    if (session->state() != SessionState::kDecoding) continue;
+    if (victim == nullptr || session->priority() < victim->priority() ||
+        (session->priority() == victim->priority() &&
+         session->generated().size() > victim->generated().size())) {
+      victim = session.get();
+    }
+  }
+  if (victim == nullptr) return;
+  auto checkpoint = SuspendSession(victim, SuspendKind::kPressure);
+  if (!checkpoint.ok()) return;  // Retry at the next round boundary.
+  RequeueVictim(victim, std::move(checkpoint).value());
+  // Best-effort, one degradation per round: a waiter needing more than one
+  // victim's worth of bytes stays queued and triggers again next round.
   TryAdmitHead(waiter_tenant);
 }
 
@@ -428,6 +514,7 @@ SessionRecord SessionManager::RecordFor(const Session& session) const {
   record.queue_wait_seconds = session.queue_wait_seconds();
   record.ttft_seconds = session.ttft_seconds();
   record.step_seconds = session.step_seconds();
+  record.step_retries = session.retries_used();
   if (session.engine() != nullptr) {
     record.cache_token_lookups = session.engine()->stats().cache.token_lookups;
     record.cache_token_hits = session.engine()->stats().cache.token_hits;
@@ -462,7 +549,7 @@ void SessionManager::ProcessSuspensions() {
       drop_request(id);
       continue;
     }
-    auto checkpoint = SuspendSession(session.get(), /*preempted=*/false);
+    auto checkpoint = SuspendSession(session.get(), SuspendKind::kExplicit);
     if (!checkpoint.ok()) {
       // Typically a session still in its first (prefill) step; keep the
       // request pending and try again next round.
@@ -532,6 +619,7 @@ void SessionManager::DispatchAndRetire() {
     record.failed = session->state() == SessionState::kFailed;
     if (record.failed) {
       record.error = session->error().ToString();
+      record.error_code = session->error().code();
       ++stats_.failed;
     } else {
       ++stats_.completed;
@@ -574,11 +662,17 @@ Status SessionManager::RunUntilDrained() {
     }
   } flusher{this, &timer};
   for (;;) {
+    // Shed expired queued requests first: an expired head must not consume
+    // the admission pass (or a pressure suspension) it can no longer use.
+    ShedExpired();
     AdmitFromQueue();
     // Preemption runs at the round boundary, after admission had its
     // chance: if a higher-priority head is still waiting past its bound, a
     // lower-priority decode is checkpointed out and the head seated.
     MaybePreempt();
+    // Overload degradation after preemption: preemption serves priority
+    // inversions, this serves raw memory starvation (any priority).
+    MaybePressureSuspend();
     stats_.peak_active_sessions =
         std::max(stats_.peak_active_sessions, active_.size());
     if (active_.empty()) {

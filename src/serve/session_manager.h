@@ -37,6 +37,18 @@
 // Determinism. Sessions own disjoint PQCacheEngines and a step runs on one
 // thread at a time, so generated tokens are bit-identical to running the
 // same request through a single engine in isolation (unit-tested).
+//
+// Fault tolerance. Failures are isolated per session: a step that returns
+// non-OK (or throws — exceptions are caught at the step and streaming-
+// callback boundaries) retires only that session with a `failed` record
+// carrying the Status; every other session, and the drain itself, continue
+// untouched and bit-identical. Transient failures (Unavailable /
+// OutOfMemory) get a bounded exponential-backoff retry before the session
+// is failed. Overload is handled by shedding queued requests whose
+// ServeRequest::queue_deadline_seconds expired (DeadlineExceeded, at round
+// boundaries) and, under memory pressure, by checkpoint-suspending the
+// lowest-priority active session so the starved admission head can seat
+// (ServeOptions::pressure_suspend_after_seconds).
 #ifndef PQCACHE_SERVE_SESSION_MANAGER_H_
 #define PQCACHE_SERVE_SESSION_MANAGER_H_
 
@@ -80,6 +92,24 @@ struct ServeOptions {
   /// resume restores the full decode state). At most one preemption per
   /// round bounds the disruption. 0 disables preemption.
   double preempt_after_seconds = 0;
+  /// Graceful degradation under memory pressure: when the admission head
+  /// has been deferred longer than this bound (seconds) — pools too full to
+  /// charge its footprints — the scheduler suspends the lowest-priority
+  /// active session through the checkpoint path and auto-requeues its
+  /// resume, trading one session's latency for the head's admission instead
+  /// of letting the queue starve. Unlike preemption this ignores priority
+  /// order (the waiter may be any priority; memory, not importance, is the
+  /// bottleneck), and at most one session is degraded per round. 0 disables.
+  double pressure_suspend_after_seconds = 0;
+  /// Bounded retry of transient step failures (Unavailable / OutOfMemory):
+  /// a failing step is re-attempted up to this many times per session before
+  /// the session is failed. Steps fail before mutating engine state, so a
+  /// retried step produces a token bit-identical to an undisturbed run.
+  uint32_t max_transient_retries = 2;
+  /// Base of the exponential retry backoff (seconds): attempt n waits
+  /// base * 2^(n-1). Kept tiny by default — the simulated engine's faults
+  /// clear immediately; real deployments would raise it.
+  double retry_backoff_seconds = 0.0005;
   /// Cross-session prompt-prefix sharing: when enabled, every prefilled
   /// session publishes its prompt prefix to a process-wide PrefixRegistry
   /// and every admission first looks its prompt up there, attaching matched
@@ -173,21 +203,41 @@ class SessionManager {
   /// cannot pin registry segment bytes between rounds (re-resolved fresh on
   /// the next attempt).
   bool TryAdmitHead(const std::string& tenant);
+  /// Sheds queued (never-admitted) sessions whose queue_deadline_seconds
+  /// expired, recording each as a DeadlineExceeded shed. Runs at the round
+  /// boundary before admission so an expired head cannot block its lane.
+  void ShedExpired();
   /// Suspends the longest-running lowest-priority decode when a strictly
   /// higher-priority queued head has waited past preempt_after_seconds and
   /// the preceding AdmitFromQueue could not seat it (checkpoint +
   /// auto-requeued resume), then retries that head's admission.
   void MaybePreempt();
+  /// Overload degradation: when any queued head has waited past
+  /// pressure_suspend_after_seconds (regardless of priority), suspends the
+  /// lowest-priority active decode, auto-requeues its resume, and retries
+  /// the starved head's admission. At most one degradation per round.
+  void MaybePressureSuspend();
   /// Runs one step for the round's selected sessions (parallel across
   /// sessions). Selection is weighted deficit-round-robin across tenants:
   /// per round each tenant is granted steps proportional to its weight (max
   /// over its active sessions), rotating within the tenant. A single tenant
   /// (the default) degenerates to the legacy one-step-per-session round.
   void RunRound();
+  /// Why a session is being suspended — selects the record flags and the
+  /// global counter the suspension lands in.
+  enum class SuspendKind {
+    kExplicit,  ///< Suspend() request; checkpoint parked for TakeSuspended.
+    kPreempt,   ///< Fairness preemption; resume auto-requeued.
+    kPressure,  ///< Overload degradation; resume auto-requeued.
+  };
   /// Checkpoints `session` (which must be decoding), records it as
-  /// suspended, frees its engine and charges. `preempted` selects the
-  /// bookkeeping flavor; returns the checkpoint or the failure.
-  Result<SessionCheckpoint> SuspendSession(Session* session, bool preempted);
+  /// suspended, frees its engine and charges. Returns the checkpoint or the
+  /// failure.
+  Result<SessionCheckpoint> SuspendSession(Session* session, SuspendKind kind);
+  /// Auto-requeues a preempted/pressure-suspended victim's resume (bypassing
+  /// the capacity bound — dropping it would lose the only copy) and removes
+  /// the victim from the active set.
+  void RequeueVictim(Session* victim, SessionCheckpoint checkpoint);
   /// Streams new tokens and retires finished/failed sessions.
   void DispatchAndRetire();
   /// Serializes + releases active sessions with pending Suspend requests

@@ -1,0 +1,161 @@
+#include "src/common/fault_injection.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/timer.h"
+#include "src/memory/memory_pool.h"
+
+namespace pqcache {
+namespace {
+
+/// Every test leaves the process-global registry clean: armed points would
+/// leak into later tests in the same binary.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjection::Global().DisarmAll(); }
+};
+
+TEST_F(FaultInjectionTest, DisarmedIsInvisible) {
+  EXPECT_FALSE(FaultInjection::Enabled());
+  // An unarmed point passes and records nothing.
+  EXPECT_TRUE(FaultInjection::Global().Check("nowhere").ok());
+  EXPECT_EQ(FaultInjection::Global().Hits("nowhere"), 0u);
+  EXPECT_TRUE(FaultInjection::Global().FiredPoints().empty());
+}
+
+TEST_F(FaultInjectionTest, ArmToggleTracksDistinctPoints) {
+  FaultInjection::Global().Arm("a", {});
+  EXPECT_TRUE(FaultInjection::Enabled());
+  // Re-arming the same point must not double-count it.
+  FaultInjection::Global().Arm("a", {});
+  FaultInjection::Global().Arm("b", {});
+  FaultInjection::Global().Disarm("a");
+  EXPECT_TRUE(FaultInjection::Enabled());
+  FaultInjection::Global().Disarm("b");
+  EXPECT_FALSE(FaultInjection::Enabled());
+  FaultInjection::Global().Disarm("b");  // Double-disarm is a no-op.
+  EXPECT_FALSE(FaultInjection::Enabled());
+}
+
+TEST_F(FaultInjectionTest, FailsExactlyTheNthHit) {
+  FaultRule rule;
+  rule.fail_after_hits = 2;  // Fail the 3rd hit...
+  rule.fail_count = 1;       // ...and only the 3rd.
+  FaultInjection::Global().Arm("p", rule);
+  EXPECT_TRUE(FaultInjection::Global().Check("p").ok());
+  EXPECT_TRUE(FaultInjection::Global().Check("p").ok());
+  Status third = FaultInjection::Global().Check("p");
+  EXPECT_EQ(third.code(), StatusCode::kUnavailable);
+  // The injected message names the point so failures are attributable.
+  EXPECT_NE(third.ToString().find("[p]"), std::string::npos);
+  EXPECT_TRUE(FaultInjection::Global().Check("p").ok());
+  EXPECT_EQ(FaultInjection::Global().Hits("p"), 4u);
+  EXPECT_EQ(FaultInjection::Global().Failures("p"), 1u);
+  EXPECT_EQ(FaultInjection::Global().FiredPoints(),
+            std::vector<std::string>{"p"});
+}
+
+TEST_F(FaultInjectionTest, FailCountBoundsTotalFailures) {
+  FaultRule rule;
+  rule.fail_count = 2;
+  FaultInjection::Global().Arm("p", rule);
+  EXPECT_FALSE(FaultInjection::Global().Check("p").ok());
+  EXPECT_FALSE(FaultInjection::Global().Check("p").ok());
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(FaultInjection::Global().Check("p").ok());
+  }
+  EXPECT_EQ(FaultInjection::Global().Failures("p"), 2u);
+}
+
+TEST_F(FaultInjectionTest, ProbabilityScheduleReplaysPerSeed) {
+  auto decisions = [](uint64_t seed) {
+    FaultRule rule;
+    rule.probability = 0.5;
+    rule.seed = seed;
+    rule.fail_count = 0;  // Unlimited: observe the raw decision stream.
+    FaultInjection::Global().Arm("p", rule);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(!FaultInjection::Global().Check("p").ok());
+    }
+    return fired;
+  };
+  const std::vector<bool> first = decisions(7);
+  const std::vector<bool> replay = decisions(7);
+  const std::vector<bool> other = decisions(8);
+  EXPECT_EQ(first, replay);  // Same seed => identical fail/pass sequence.
+  EXPECT_NE(first, other);   // P(collision over 64 draws) = 2^-64.
+  // p = 0.5 over 64 draws: both outcomes must appear.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), false), 0);
+}
+
+TEST_F(FaultInjectionTest, CustomCodeAndMessage) {
+  FaultRule rule;
+  rule.code = StatusCode::kDataLoss;
+  rule.message = "checkpoint bytes rotted";
+  FaultInjection::Global().Arm("p", rule);
+  Status status = FaultInjection::Global().Check("p");
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_NE(status.ToString().find("checkpoint bytes rotted"),
+            std::string::npos);
+}
+
+TEST_F(FaultInjectionTest, LatencyOnlyRuleDelaysWithoutFailing) {
+  FaultRule rule;
+  // Never eligible to fire: pure latency injection.
+  rule.fail_after_hits = std::numeric_limits<uint64_t>::max();
+  rule.latency_seconds = 0.02;
+  FaultInjection::Global().Arm("p", rule);
+  WallTimer timer;
+  EXPECT_TRUE(FaultInjection::Global().Check("p").ok());
+  EXPECT_GE(timer.ElapsedSeconds(), 0.02);
+  EXPECT_EQ(FaultInjection::Global().Failures("p"), 0u);
+}
+
+TEST_F(FaultInjectionTest, ThrowsModeRaisesInsteadOfReturning) {
+  FaultRule rule;
+  rule.throws = true;
+  rule.message = "boom";
+  FaultInjection::Global().Arm("p", rule);
+  EXPECT_THROW(
+      { (void)FaultInjection::Global().Check("p"); }, std::runtime_error);
+  EXPECT_EQ(FaultInjection::Global().Failures("p"), 1u);
+}
+
+TEST_F(FaultInjectionTest, MemoryPoolChargeIsWired) {
+  // End-to-end through a real error path: the pool's charge fails with the
+  // injected status before any accounting mutates, so a later retry of the
+  // exact same charge succeeds and the books stay exact.
+  MemoryPool pool("gpu", 1024);
+  FaultRule rule;
+  rule.fail_count = 1;
+  FaultInjection::Global().Arm("memory_pool.allocate", rule);
+  EXPECT_EQ(pool.Allocate(256).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(pool.used_bytes(), 0u);
+  EXPECT_TRUE(pool.Allocate(256).ok());
+  EXPECT_EQ(pool.used_bytes(), 256u);
+  pool.Free(256);
+  EXPECT_EQ(pool.used_bytes(), 0u);
+}
+
+TEST_F(FaultInjectionTest, ReArmResetsCountersAndStream) {
+  FaultRule rule;
+  rule.fail_after_hits = 1;
+  FaultInjection::Global().Arm("p", rule);
+  EXPECT_TRUE(FaultInjection::Global().Check("p").ok());
+  EXPECT_FALSE(FaultInjection::Global().Check("p").ok());
+  FaultInjection::Global().Arm("p", rule);
+  EXPECT_EQ(FaultInjection::Global().Hits("p"), 0u);
+  // The schedule replays from scratch: first hit passes again.
+  EXPECT_TRUE(FaultInjection::Global().Check("p").ok());
+}
+
+}  // namespace
+}  // namespace pqcache
