@@ -6,16 +6,20 @@
 // fidelity claim end to end: every session's tokens must be bit-identical to
 // the same request run through a lone engine (the binary fails otherwise).
 //
-//   build/bench_serve [output_json]   (default: BENCH_serve.json)
+//   build/bench_serve [output_json] [--trace trace.json] [--metrics m.json]
+//     (defaults: BENCH_serve.json, BENCH_trace.json, BENCH_metrics.json)
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/common/fault_injection.h"
 #include "src/common/logging.h"
 #include "src/common/timer.h"
 #include "src/eval/report.h"
@@ -68,6 +72,28 @@ constexpr size_t kRobustnessSustainable = 8;
 constexpr size_t kRobustnessOverload = 2 * kRobustnessSustainable;
 constexpr size_t kRobustnessPromptTokens = 96;
 constexpr size_t kRobustnessMaxNew = 12;
+// Observability scenario shape: the same chaotic workload (a batch tenant
+// flooding the slots, a higher-priority interactive tenant preempting it,
+// and one injected transient decode fault) run untraced and then traced.
+// The traced run must emit a trace carrying every serving-path span kind,
+// and tracing must not cost more than kObsMaxOverheadRatio in tokens/sec.
+constexpr size_t kObsSlots = 4;
+constexpr size_t kObsBatchSessions = 12;
+constexpr size_t kObsBatchPromptTokens = 160;
+constexpr size_t kObsBatchMaxNewTokens = 12;
+constexpr size_t kObsInteractiveSessions = 4;
+constexpr size_t kObsInteractivePromptTokens = 96;
+constexpr size_t kObsInteractiveMaxNewTokens = 4;
+constexpr uint32_t kObsInteractiveWeight = 4;
+constexpr double kObsPreemptAfterSeconds = 0.002;
+// Fire exactly one Unavailable on the 21st engine.decode_step hit: the
+// session retries it (bit-identically), leaving a retry.backoff span.
+constexpr uint64_t kObsFaultAfterHits = 20;
+constexpr double kObsMetricsSnapshotSeconds = 0.05;
+// Generous bound: span emission is tens of nanoseconds against multi-ms
+// decode steps, but the runs are short enough that scheduler jitter (how
+// many preemptions land) moves the needle a few percent either way.
+constexpr double kObsMaxOverheadRatio = 2.0;
 
 PQCacheEngineOptions ServeEngineOptions() {
   PQCacheEngineOptions options;
@@ -617,6 +643,193 @@ RobustnessRunResult RunRobustnessScenario(ThreadPool* pool) {
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Observability scenario: one workload that touches every serving path —
+// queue waits (16 sessions on 4 slots), prefills, decode steps, preemption
+// (checkpoint save + suspend + restore on resume) and a retried transient
+// decode fault — run once untraced and once with the span tracer armed plus
+// periodic metrics snapshots. Gates: the exported Chrome trace contains
+// every span kind the serving stack emits, the two runs stream identical
+// tokens, and tracing costs at most kObsMaxOverheadRatio in tokens/sec.
+
+/// Span/instant names the traced run must emit, one per serving-path kind.
+const char* const kObsRequiredSpans[] = {
+    "queue.wait",     "session.prefill",    "session.decode",
+    "session.restore", "engine.prefill",    "engine.decode_step",
+    "checkpoint.save", "checkpoint.restore", "retry.backoff",
+    "suspend",         "admit",              "serve.round",
+    "fault.injected",
+};
+
+struct ObservabilityRunResult {
+  double untraced_tokens_per_sec = 0;
+  double traced_tokens_per_sec = 0;
+  uint64_t preemptions = 0;    ///< Preemptions in the traced run.
+  uint64_t faults_fired = 0;   ///< Injected decode faults in the traced run.
+  uint64_t trace_events = 0;   ///< Events in the exported trace file.
+  std::vector<std::string> missing_spans;
+  bool trace_complete = true;       ///< Every required span name present.
+  bool metrics_written = true;      ///< Metrics snapshot file exists.
+  bool tokens_bit_identical = true; ///< Traced streams == untraced streams.
+  bool overhead_within_bound = true;
+
+  double OverheadRatio() const {
+    return traced_tokens_per_sec > 0
+               ? untraced_tokens_per_sec / traced_tokens_per_sec
+               : 0.0;
+  }
+};
+
+ObservabilityRunResult RunObservabilityScenario(
+    ThreadPool* pool, const std::string& trace_path,
+    const std::string& metrics_path) {
+  const PQCacheEngineOptions engine_options = ServeEngineOptions();
+  std::vector<std::vector<int32_t>> batch_prompts(kObsBatchSessions);
+  for (size_t s = 0; s < kObsBatchSessions; ++s) {
+    batch_prompts[s].resize(kObsBatchPromptTokens);
+    for (size_t pos = 0; pos < kObsBatchPromptTokens; ++pos) {
+      const uint64_t mixed =
+          ((s + 1) * 409 + pos * 23) * 0x9E3779B97F4A7C15ull + pos;
+      batch_prompts[s][pos] =
+          static_cast<int32_t>(mixed % engine_options.model.vocab_size);
+    }
+  }
+  std::vector<std::vector<int32_t>> interactive_prompts(
+      kObsInteractiveSessions);
+  for (size_t s = 0; s < kObsInteractiveSessions; ++s) {
+    interactive_prompts[s].resize(kObsInteractivePromptTokens);
+    for (size_t pos = 0; pos < kObsInteractivePromptTokens; ++pos) {
+      const uint64_t mixed =
+          ((s + 53) * 769 + pos * 29) * 0x9E3779B97F4A7C15ull + pos;
+      interactive_prompts[s][pos] =
+          static_cast<int32_t>(mixed % engine_options.model.vocab_size);
+    }
+  }
+
+  ObservabilityRunResult result;
+  // One drain of the chaotic mix; the fault schedule is re-armed fresh per
+  // run, so both runs see the same single mid-run decode fault. A retried
+  // step (and a preempted-then-resumed session) streams bit-identical
+  // tokens, so the two runs' streams must match exactly.
+  auto run_once = [&](bool traced, ServerStats* stats,
+                      std::vector<std::vector<int32_t>>* streams) {
+    FaultRule rule;
+    rule.fail_after_hits = kObsFaultAfterHits;
+    rule.fail_count = 1;
+    FaultInjection::Global().Arm("engine.decode_step", rule);
+    ServeOptions serve;
+    serve.engine = engine_options;
+    serve.max_sessions = kObsSlots;
+    serve.max_queue = kObsBatchSessions + kObsInteractiveSessions;
+    serve.pool = pool;
+    serve.preempt_after_seconds = kObsPreemptAfterSeconds;
+    if (traced) {
+      serve.trace_path = trace_path;
+      serve.metrics_path = metrics_path;
+      serve.metrics_snapshot_interval_seconds = kObsMetricsSnapshotSeconds;
+    }
+    auto manager = SessionManager::Create(serve).value();
+    streams->assign(kObsBatchSessions + kObsInteractiveSessions, {});
+    for (size_t s = 0; s < kObsBatchSessions; ++s) {
+      ServeRequest request;
+      request.tag = "obs_batch_" + std::to_string(s);
+      request.tenant = "batch";
+      request.prompt = batch_prompts[s];
+      request.max_new_tokens = kObsBatchMaxNewTokens;
+      std::vector<int32_t>* sink = &(*streams)[s];
+      request.on_token = [sink](int32_t token, size_t) {
+        sink->push_back(token);
+      };
+      PQC_CHECK(manager->Submit(std::move(request)).ok());
+    }
+    for (size_t s = 0; s < kObsInteractiveSessions; ++s) {
+      ServeRequest request;
+      request.tag = "obs_interactive_" + std::to_string(s);
+      request.tenant = "interactive";
+      request.weight = kObsInteractiveWeight;
+      request.priority = 1;
+      request.prompt = interactive_prompts[s];
+      request.max_new_tokens = kObsInteractiveMaxNewTokens;
+      std::vector<int32_t>* sink = &(*streams)[kObsBatchSessions + s];
+      request.on_token = [sink](int32_t token, size_t) {
+        sink->push_back(token);
+      };
+      PQC_CHECK(manager->Submit(std::move(request)).ok());
+    }
+    PQC_CHECK(manager->RunUntilDrained().ok());
+    *stats = manager->stats();
+    const uint64_t fired =
+        FaultInjection::Global().Failures("engine.decode_step");
+    FaultInjection::Global().DisarmAll();
+    return fired;
+  };
+
+  ServerStats untraced_stats;
+  ServerStats traced_stats;
+  std::vector<std::vector<int32_t>> untraced_streams;
+  std::vector<std::vector<int32_t>> traced_streams;
+  run_once(/*traced=*/false, &untraced_stats, &untraced_streams);
+  result.faults_fired =
+      run_once(/*traced=*/true, &traced_stats, &traced_streams);
+  result.untraced_tokens_per_sec = untraced_stats.TokensPerSecond();
+  result.traced_tokens_per_sec = traced_stats.TokensPerSecond();
+  result.preemptions = traced_stats.preempted;
+
+  if (traced_streams != untraced_streams) {
+    std::fprintf(stderr,
+                 "OBSERVABILITY FIDELITY FAILURE: traced run streamed "
+                 "different tokens than the untraced run\n");
+    result.tokens_bit_identical = false;
+  }
+  if (result.OverheadRatio() > kObsMaxOverheadRatio) {
+    std::fprintf(stderr,
+                 "OBSERVABILITY OVERHEAD FAILURE: tracing cost %.2fx in "
+                 "tokens/sec (bound %.2fx)\n",
+                 result.OverheadRatio(), kObsMaxOverheadRatio);
+    result.overhead_within_bound = false;
+  }
+
+  // Validate the exported artifact itself, not in-memory state: the trace
+  // the drain wrote to disk must carry every serving-path span kind.
+  // (bench/check_trace.py re-validates schema + nesting in CI.)
+  std::ifstream trace_in(trace_path);
+  std::stringstream trace_buf;
+  trace_buf << trace_in.rdbuf();
+  const std::string trace_json = trace_buf.str();
+  if (!trace_in || trace_json.empty()) {
+    std::fprintf(stderr, "OBSERVABILITY TRACE FAILURE: cannot read %s\n",
+                 trace_path.c_str());
+    result.trace_complete = false;
+  } else {
+    for (const char* span : kObsRequiredSpans) {
+      const std::string needle = "\"name\":\"" + std::string(span) + "\"";
+      if (trace_json.find(needle) == std::string::npos) {
+        result.missing_spans.push_back(span);
+      }
+    }
+    if (!result.missing_spans.empty()) {
+      result.trace_complete = false;
+      for (const std::string& span : result.missing_spans) {
+        std::fprintf(stderr,
+                     "OBSERVABILITY TRACE FAILURE: span \"%s\" absent from "
+                     "%s\n",
+                     span.c_str(), trace_path.c_str());
+      }
+    }
+    for (size_t pos = trace_json.find("\"ph\":"); pos != std::string::npos;
+         pos = trace_json.find("\"ph\":", pos + 5)) {
+      ++result.trace_events;
+    }
+  }
+  std::ifstream metrics_in(metrics_path);
+  if (!metrics_in.good()) {
+    std::fprintf(stderr, "OBSERVABILITY METRICS FAILURE: cannot read %s\n",
+                 metrics_path.c_str());
+    result.metrics_written = false;
+  }
+  return result;
+}
+
 /// Everything the JSON report records about the antagonist scenario.
 struct FairnessJson {
   double rr_interactive_p99_wait_seconds = 0;
@@ -638,7 +851,8 @@ void WriteJson(const std::string& path, size_t gpu_budget,
                const PrefixRunResult& shared,
                const FairnessJson& fairness,
                const CheckpointRunResult& checkpoint,
-               const RobustnessRunResult& robustness) {
+               const RobustnessRunResult& robustness,
+               const ObservabilityRunResult& obs) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -762,7 +976,7 @@ void WriteJson(const std::string& path, size_t gpu_budget,
       "    \"shed_rate\": %.4f,\n"
       "    \"sheds_under_overload\": %s, \"accounting_exact\": %s, "
       "\"tokens_bit_identical\": %s\n"
-      "  }\n}\n",
+      "  },\n",
       kRobustnessSlots, kRobustnessSustainable, kRobustnessOverload,
       kRobustnessPromptTokens, kRobustnessMaxNew, robustness.deadline_seconds,
       static_cast<unsigned long long>(robustness.deadline_on_completed),
@@ -774,11 +988,34 @@ void WriteJson(const std::string& path, size_t gpu_budget,
       robustness.sheds_under_overload ? "true" : "false",
       robustness.accounting_exact ? "true" : "false",
       robustness.fidelity ? "true" : "false");
+  std::fprintf(
+      f,
+      "  \"observability\": {\n"
+      "    \"slots\": %zu, \"batch_sessions\": %zu, "
+      "\"interactive_sessions\": %zu, \"max_overhead_ratio\": %.2f,\n"
+      "    \"tokens_per_sec_untraced\": %.1f, "
+      "\"tokens_per_sec_traced\": %.1f, \"overhead_ratio\": %.4f,\n"
+      "    \"trace_events\": %llu, \"preemptions\": %llu, "
+      "\"faults_fired\": %llu,\n"
+      "    \"trace_complete\": %s, \"metrics_written\": %s, "
+      "\"tokens_bit_identical\": %s, \"overhead_within_bound\": %s\n"
+      "  }\n}\n",
+      kObsSlots, kObsBatchSessions, kObsInteractiveSessions,
+      kObsMaxOverheadRatio, obs.untraced_tokens_per_sec,
+      obs.traced_tokens_per_sec, obs.OverheadRatio(),
+      static_cast<unsigned long long>(obs.trace_events),
+      static_cast<unsigned long long>(obs.preemptions),
+      static_cast<unsigned long long>(obs.faults_fired),
+      obs.trace_complete ? "true" : "false",
+      obs.metrics_written ? "true" : "false",
+      obs.tokens_bit_identical ? "true" : "false",
+      obs.overhead_within_bound ? "true" : "false");
   std::fclose(f);
   std::printf("\nWrote %s\n", path.c_str());
 }
 
-int Run(const std::string& out_path) {
+int Run(const std::string& out_path, const std::string& trace_path,
+        const std::string& metrics_path) {
   bench::PrintHeader(
       "Concurrent serving: sessions/sec, tokens/sec, TPOT vs. concurrency\n"
       "(16-session LongBench-like mix, 24 GB simulated GPU budget)");
@@ -1042,6 +1279,30 @@ int Run(const std::string& out_path) {
       robustness.GoodputOff(),
       robustness.fidelity ? "yes" : "NO");
 
+  // Observability scenario: the same chaotic mix untraced vs. traced.
+  bench::PrintHeader(
+      "Observability: preemption + injected-fault mix, untraced vs. traced\n"
+      "(gated on trace completeness, bit-identity, and tracing overhead)");
+  const ObservabilityRunResult obs =
+      RunObservabilityScenario(&pool, trace_path, metrics_path);
+  verified = verified && obs.trace_complete && obs.metrics_written &&
+             obs.tokens_bit_identical && obs.overhead_within_bound;
+  std::printf(
+      "tokens/sec: %.0f untraced -> %.0f traced (%.2fx overhead, bound "
+      "%.2fx)\n"
+      "trace: %llu events -> %s (%zu/%zu required span kinds present)\n"
+      "metrics snapshot -> %s | preemptions: %llu | injected faults "
+      "retried: %llu\n"
+      "traced tokens bit-identical to untraced run: %s\n",
+      obs.untraced_tokens_per_sec, obs.traced_tokens_per_sec,
+      obs.OverheadRatio(), kObsMaxOverheadRatio,
+      static_cast<unsigned long long>(obs.trace_events), trace_path.c_str(),
+      std::size(kObsRequiredSpans) - obs.missing_spans.size(),
+      std::size(kObsRequiredSpans), metrics_path.c_str(),
+      static_cast<unsigned long long>(obs.preemptions),
+      static_cast<unsigned long long>(obs.faults_fired),
+      obs.tokens_bit_identical ? "yes" : "NO");
+
   const ServerStats& first = sweeps.front().stats;
   const ServerStats& last = sweeps.back().stats;
   std::printf(
@@ -1071,7 +1332,8 @@ int Run(const std::string& out_path) {
   fairness.meets_min_improvement = fairness_meets_improvement;
   fairness.tokens_within_band = fairness_tokens_within_band;
   WriteJson(out_path, engine_options.hardware.gpu_memory_bytes, sweeps,
-            verified, unshared, shared, fairness, checkpoint, robustness);
+            verified, unshared, shared, fairness, checkpoint, robustness,
+            obs);
   return verified ? 0 : 1;
 }
 
@@ -1079,6 +1341,18 @@ int Run(const std::string& out_path) {
 }  // namespace pqcache
 
 int main(int argc, char** argv) {
-  const std::string out = argc > 1 ? argv[1] : "BENCH_serve.json";
-  return pqcache::Run(out);
+  std::string out = "BENCH_serve.json";
+  std::string trace = "BENCH_trace.json";
+  std::string metrics = "BENCH_metrics.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      trace = argv[++i];
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics = argv[++i];
+    } else {
+      out = arg;
+    }
+  }
+  return pqcache::Run(out, trace, metrics);
 }

@@ -17,6 +17,11 @@ Tracked metrics
       bit-identity are hard gates evaluated inside the fresh report; the
       deadlines-on goodput is additionally compared against the baseline
       like a throughput metric
+    - observability.*: trace completeness (every serving-path span kind in
+      the exported Chrome trace), metrics-snapshot presence, bit-identity of
+      the traced run, and the in-bench tracing-overhead bound are hard gates
+      evaluated inside the fresh report; the untraced tokens/sec is
+      additionally compared against the baseline like a throughput metric
   BENCH_micro.json (optional, google-benchmark format):
     - real_time per benchmark (lower is better)
 
@@ -189,6 +194,48 @@ def check_serve(baseline, fresh, tolerance, failures):
               f"({fresh_robust.get('shed_rate', 0.0) * 100.0:.0f}%)")
     elif base_robust:
         failures.append("serve: robustness section missing from fresh report")
+
+    base_obs = baseline.get("observability")
+    fresh_obs = fresh.get("observability")
+    if fresh_obs:
+        # Hard gates, no tolerance, evaluated inside the fresh report: the
+        # traced run must emit every serving-path span kind, write a metrics
+        # snapshot, stream the same tokens as the untraced run, and tracing
+        # must stay under the bench's own overhead bound (both runs share
+        # one process, so the ratio is immune to runner speed).
+        if not fresh_obs.get("trace_complete", False):
+            failures.append("serve: observability trace-completeness gate "
+                            "failed (required span kind(s) absent)")
+        if not fresh_obs.get("metrics_written", False):
+            failures.append("serve: observability metrics snapshot was not "
+                            "written")
+        if not fresh_obs.get("tokens_bit_identical", False):
+            failures.append("serve: observability fidelity gate failed "
+                            "(traced run diverged from untraced run)")
+        if not fresh_obs.get("overhead_within_bound", False):
+            failures.append("serve: observability tracing-overhead gate "
+                            "failed")
+        base_tps = (base_obs or {}).get("tokens_per_sec_untraced", 0.0)
+        fresh_tps = fresh_obs.get("tokens_per_sec_untraced", 0.0)
+        status = "OK"
+        if base_tps > 0:
+            ratio = fresh_tps / base_tps
+            if ratio < 1.0 - tolerance:
+                status = "REGRESSION"
+                failures.append(
+                    f"serve: observability untraced tokens/sec fell "
+                    f"{(1.0 - ratio) * 100.0:.1f}% ({base_tps:.0f} -> "
+                    f"{fresh_tps:.0f}, tolerance {tolerance * 100.0:.0f}%)")
+        print(f"  observability tokens/s:      {base_tps:8.0f} -> "
+              f"{fresh_tps:8.0f}  {status}")
+        print(f"  observability overhead:      "
+              f"{fresh_obs.get('overhead_ratio', 0.0):8.2f}x "
+              f"({fresh_obs.get('trace_events', 0)} trace events, "
+              f"{fresh_obs.get('preemptions', 0)} preemptions, "
+              f"{fresh_obs.get('faults_fired', 0)} faults retried)")
+    elif base_obs:
+        failures.append("serve: observability section missing from fresh "
+                        "report")
 
 
 def check_micro(baseline, fresh, tolerance, failures):

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Chrome trace-event validator: checks that a trace file emitted by the
+span tracer (src/obs/trace.h) is well-formed and Perfetto-loadable.
+
+Checks
+  - top level is {"traceEvents": [...]} (or a bare event array)
+  - every event carries name/ph/ts/pid/tid; ph is one of X B E i I C M
+  - 'X' complete events carry a non-negative dur
+  - timestamps are non-decreasing in file order (the exporter globally
+    sorts by start time so parents precede children)
+  - 'X' events nest properly per (pid, tid) track: a span may contain or
+    follow a sibling, never partially overlap it
+  - 'B'/'E' duration events balance per (pid, tid) track
+  - with --require, every named span/instant appears at least once
+
+Usage:
+  bench/check_trace.py TRACE.json [--require NAME [NAME ...]]
+
+Exit code 0 = valid, 1 = malformed trace or missing required span,
+2 = bad input (unreadable file / not JSON).
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+ALLOWED_PHASES = {"X", "B", "E", "i", "I", "C", "M"}
+
+
+def load_events(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if isinstance(doc, list):
+        return doc
+    if isinstance(doc, dict) and isinstance(doc.get("traceEvents"), list):
+        return doc["traceEvents"]
+    print(f"error: {path} is neither an event array nor an object with a "
+          "traceEvents array", file=sys.stderr)
+    sys.exit(2)
+
+
+def check(events, failures):
+    names = set()
+    last_ts = None
+    # Per-track state: open 'B' stack depth and an end-time stack for 'X'
+    # nesting (events arrive sorted by start; a new span must start after
+    # every already-closed ancestor ended, i.e. partial overlap is an error).
+    begin_depth = collections.Counter()
+    nest_stacks = collections.defaultdict(list)
+    counts = collections.Counter()
+
+    for i, ev in enumerate(events):
+        where = f"event #{i}"
+        if not isinstance(ev, dict):
+            failures.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ALLOWED_PHASES:
+            failures.append(f"{where}: bad or missing ph {ph!r}")
+            continue
+        counts[ph] += 1
+        for field in ("name", "ts", "pid", "tid"):
+            if field not in ev:
+                failures.append(f"{where} ({ph}): missing {field!r}")
+        name = ev.get("name")
+        if isinstance(name, str):
+            names.add(name)
+            where = f"event #{i} ({name!r})"
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            continue
+        if last_ts is not None and ts < last_ts:
+            failures.append(f"{where}: ts {ts} precedes prior event's "
+                            f"{last_ts} (file order must be sorted)")
+        last_ts = ts
+        track = (ev.get("pid"), ev.get("tid"))
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                failures.append(f"{where}: X event needs a dur >= 0, "
+                                f"got {dur!r}")
+                continue
+            stack = nest_stacks[track]
+            while stack and stack[-1] <= ts:
+                stack.pop()
+            if stack and ts + dur > stack[-1]:
+                failures.append(
+                    f"{where}: span [{ts}, {ts + dur}] partially overlaps "
+                    f"an enclosing span ending at {stack[-1]} on track "
+                    f"{track} (must nest)")
+            stack.append(ts + dur)
+        elif ph == "B":
+            begin_depth[track] += 1
+        elif ph == "E":
+            if begin_depth[track] == 0:
+                failures.append(f"{where}: E without matching B on track "
+                                f"{track}")
+            else:
+                begin_depth[track] -= 1
+
+    for track, depth in sorted(begin_depth.items()):
+        if depth != 0:
+            failures.append(f"track {track}: {depth} unclosed B event(s)")
+    return names, counts
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument("--require", nargs="+", default=[],
+                        metavar="NAME",
+                        help="span/instant names that must appear")
+    args = parser.parse_args()
+
+    events = load_events(args.trace)
+    failures = []
+    names, counts = check(events, failures)
+    for required in args.require:
+        if required not in names:
+            failures.append(f"required span {required!r} absent from trace")
+
+    tracks = len({(e.get("pid"), e.get("tid")) for e in events
+                  if isinstance(e, dict)})
+    phase_summary = " ".join(f"{ph}={n}" for ph, n in sorted(counts.items()))
+    print(f"{args.trace}: {len(events)} events, {len(names)} distinct names, "
+          f"{tracks} tracks ({phase_summary})")
+
+    if failures:
+        print(f"\nFAIL ({len(failures)} problem(s)):", file=sys.stderr)
+        for failure in failures[:50]:
+            print(f"  - {failure}", file=sys.stderr)
+        if len(failures) > 50:
+            print(f"  ... and {len(failures) - 50} more", file=sys.stderr)
+        return 1
+    print("trace is well-formed" +
+          (f"; all {len(args.require)} required spans present"
+           if args.require else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,9 @@
 #include <thread>
 #include <utility>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace pqcache {
 
 std::atomic<int> FaultInjection::armed_points_{0};
@@ -72,6 +75,12 @@ Status FaultInjection::Check(const char* point) {
     std::this_thread::sleep_for(std::chrono::duration<double>(sleep_seconds));
   }
   if (!fire) return Status::OK();
+  // A firing shows up on the serving timeline as an instant event (the
+  // injection point name is a string literal at every call site, so it is
+  // safe to reference without interning) and in the metrics snapshot.
+  obs::MetricsRegistry::Add(obs::Counter::kFaultsInjected);
+  obs::Tracer::Instant("fault", "fault.injected", nullptr, 0, nullptr, 0,
+                       "point", point);
   if (throws) throw std::runtime_error(message);
   return Status(code, std::move(message));
 }

@@ -3,11 +3,45 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <mutex>
 
 namespace pqcache {
 
 namespace {
 std::atomic<LogLevel> g_min_level{LogLevel::kInfo};
+std::once_flag g_env_once;
+std::atomic<void (*)(LogLevel, const char*)> g_test_sink{nullptr};
+
+/// Serializes sink writes so a line is emitted whole; function-local so the
+/// mutex is constructed before any static-initialization-order logging.
+std::mutex& SinkMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+void InitLevelFromEnv() {
+  const char* env = std::getenv("PQCACHE_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return;
+  LogLevel level = LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0 || std::strcmp(env, "0") == 0) {
+    level = LogLevel::kDebug;
+  } else if (std::strcmp(env, "info") == 0 || std::strcmp(env, "1") == 0) {
+    level = LogLevel::kInfo;
+  } else if (std::strcmp(env, "warning") == 0 ||
+             std::strcmp(env, "warn") == 0 || std::strcmp(env, "2") == 0) {
+    level = LogLevel::kWarning;
+  } else if (std::strcmp(env, "error") == 0 || std::strcmp(env, "3") == 0) {
+    level = LogLevel::kError;
+  } else {
+    std::fprintf(stderr,
+                 "[WARN logging] unrecognized PQCACHE_LOG_LEVEL '%s' "
+                 "(want debug|info|warning|error or 0-3); keeping info\n",
+                 env);
+    return;
+  }
+  g_min_level.store(level, std::memory_order_relaxed);
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -22,10 +56,34 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+/// Emits one finished line through the active sink as a single write.
+void EmitLine(LogLevel level, const std::string& line) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  auto* sink = g_test_sink.load(std::memory_order_acquire);
+  if (sink != nullptr) {
+    sink(level, line.c_str());
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_min_level.store(level); }
-LogLevel GetLogLevel() { return g_min_level.load(); }
+void SetLogLevel(LogLevel level) {
+  // Resolve the environment first so a later lazy init cannot clobber an
+  // explicit override.
+  std::call_once(g_env_once, InitLevelFromEnv);
+  g_min_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  std::call_once(g_env_once, InitLevelFromEnv);
+  return g_min_level.load(std::memory_order_relaxed);
+}
+
+void SetLogSinkForTesting(void (*sink)(LogLevel, const char*)) {
+  g_test_sink.store(sink, std::memory_order_release);
+}
 
 namespace internal {
 
@@ -35,8 +93,8 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (level_ >= g_min_level.load()) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  if (level_ >= GetLogLevel()) {
+    EmitLine(level_, stream_.str());
   }
 }
 
@@ -47,7 +105,12 @@ FatalLogMessage::FatalLogMessage(const char* file, int line,
 }
 
 FatalLogMessage::~FatalLogMessage() {
-  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  // Bypass the test sink: the process is going down and the message must
+  // reach stderr even if a test redirected logging.
+  {
+    std::lock_guard<std::mutex> lock(SinkMutex());
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  }
   std::abort();
 }
 

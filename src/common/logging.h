@@ -1,6 +1,12 @@
 // Minimal leveled logging plus CHECK macros for internal invariants.
 // Library code uses Status for recoverable errors; PQC_CHECK is reserved for
 // programmer errors that indicate a bug (it aborts).
+//
+// Thread safety: every emitted line goes through one process-wide sink under
+// a mutex as a single write, so lines from concurrent serve threads never
+// interleave mid-line. The minimum level is initialized once from the
+// PQCACHE_LOG_LEVEL environment variable ("debug", "info", "warning",
+// "error", or 0-3) and can be overridden programmatically with SetLogLevel.
 #ifndef PQCACHE_COMMON_LOGGING_H_
 #define PQCACHE_COMMON_LOGGING_H_
 
@@ -11,13 +17,20 @@ namespace pqcache {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Sets the global minimum level that will be emitted (default: kInfo).
+/// Sets the global minimum level that will be emitted (default: kInfo, or
+/// PQCACHE_LOG_LEVEL when set). Overrides the environment.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Redirects emitted lines (without the trailing newline) to `sink` instead
+/// of stderr; nullptr restores stderr. The sink is invoked under the global
+/// sink mutex — one whole line per call, never torn. Test hook.
+void SetLogSinkForTesting(void (*sink)(LogLevel level, const char* line));
+
 namespace internal {
 
-/// Accumulates one log line and emits it to stderr on destruction.
+/// Accumulates one log line and emits it through the global sink on
+/// destruction.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);

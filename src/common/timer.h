@@ -1,10 +1,14 @@
 // Wall-clock timing helpers for profiling real CPU-side work (K-Means, PQ
 // search, cache lookups). Simulated device time lives in src/memory instead.
+// Backed by the observability spine's clock (src/obs/clock.h), so WallTimer
+// readings share one epoch with tracer spans and metrics histograms: a
+// timer's start_ns() can seed a retroactive trace span directly.
 #ifndef PQCACHE_COMMON_TIMER_H_
 #define PQCACHE_COMMON_TIMER_H_
 
-#include <chrono>
 #include <cstdint>
+
+#include "src/obs/clock.h"
 
 namespace pqcache {
 
@@ -13,18 +17,21 @@ class WallTimer {
  public:
   WallTimer() { Restart(); }
 
-  void Restart() { start_ = Clock::now(); }
+  void Restart() { start_ns_ = obs::MonotonicNowNs(); }
 
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return static_cast<double>(obs::MonotonicNowNs() - start_ns_) * 1e-9;
   }
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
   double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
 
+  /// Start instant on the shared trace clock (nanoseconds since the process
+  /// trace epoch) — usable as a trace span's begin timestamp.
+  uint64_t start_ns() const { return start_ns_; }
+
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  uint64_t start_ns_ = 0;
 };
 
 }  // namespace pqcache

@@ -7,6 +7,8 @@
 #include "src/common/fault_injection.h"
 #include "src/common/logging.h"
 #include "src/common/timer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/pq/serialize.h"
 #include "src/tensor/ops.h"
 
@@ -327,6 +329,7 @@ uint64_t SpanSeed(size_t job, size_t span_index) {
 
 Status PQCacheEngine::BuildPQIndexes(size_t seq_len) {
   WallTimer timer;
+  obs::TraceSpan build_span("engine", "pq.build");
   PQConfig config;
   config.num_partitions = options_.pq_partitions;
   config.bits = options_.pq_bits;
@@ -368,6 +371,13 @@ Status PQCacheEngine::BuildPQIndexes(size_t seq_len) {
     auto train_span = [&](size_t begin, size_t end,
                           PQIndex* out) -> Status {
       const size_t n = end - begin;
+      // One span per (layer, head, range) K-Means job; these run on pool
+      // workers via the ParallelFor below, so the timeline shows the
+      // training fan-out per thread.
+      WallTimer span_timer;
+      obs::TraceSpan train_trace("engine", "pq.train_span");
+      train_trace.Arg("tokens", static_cast<int64_t>(n));
+      train_trace.Arg("job", static_cast<int64_t>(job));
       std::vector<float> keys(n * d);
       for (size_t i = 0; i < n; ++i) {
         store.GetKey(begin + i, {keys.data() + i * d, d});
@@ -381,6 +391,9 @@ Status PQCacheEngine::BuildPQIndexes(size_t seq_len) {
       PQIndex index(std::move(book).value());
       index.AddVectors(keys, n);
       *out = std::move(index);
+      obs::MetricsRegistry::Add(obs::Counter::kKMeansSpanTrains);
+      obs::MetricsRegistry::Observe(obs::Histo::kKMeansTrainSeconds,
+                                    span_timer.ElapsedSeconds());
       return Status::OK();
     };
 
@@ -438,6 +451,8 @@ Result<int32_t> PQCacheEngine::Prefill(std::span<const int32_t> tokens) {
   // failure leaves the engine un-prefilled and safe to retry or discard.
   PQC_FAULT_INJECT("engine.prefill");
   WallTimer timer;
+  obs::TraceSpan prefill_span("engine", "engine.prefill");
+  prefill_span.Arg("tokens", static_cast<int64_t>(tokens.size()));
 
   // Prefix-sharing fast path: attach the segment's rows for the matched
   // prefix and run the transformer only over the suffix.
@@ -487,6 +502,11 @@ Result<int32_t> PQCacheEngine::Prefill(std::span<const int32_t> tokens) {
   PQC_RETURN_IF_ERROR(BuildPQIndexes(tokens.size()));
 
   stats_.prefill_wall_seconds = timer.ElapsedSeconds();
+  obs::MetricsRegistry::Add(obs::Counter::kPrefills);
+  // The prefill's greedy next-token is the caller's first generated token.
+  obs::MetricsRegistry::Add(obs::Counter::kTokensGenerated);
+  obs::MetricsRegistry::Observe(obs::Histo::kPrefillSeconds,
+                                stats_.prefill_wall_seconds);
   last_token_ = TransformerModel::GreedyToken(logits.value());
   prefilled_ = true;
   return last_token_;
@@ -501,7 +521,12 @@ Result<int32_t> PQCacheEngine::DecodeNext() {
   // and a post-retry token is bit-identical to an undisturbed run.
   PQC_FAULT_INJECT("engine.decode_step");
   WallTimer timer;
+  // Zero-alloc by design when armed: TraceSpan holds only scalars and the
+  // ring slot write copies them, so the steady-state decode allocation
+  // guarantee holds with tracing on (covered by EngineTest.ZeroAlloc*).
+  obs::TraceSpan decode_span("engine", "engine.decode_step");
   const size_t position = kv_cache_->size();
+  decode_span.Arg("position", static_cast<int64_t>(position));
 
   // PQ codes prefetch accounting (Step 3): codes of all middle tokens.
   for (int l = 0; l < options_.model.num_layers; ++l) {
@@ -519,7 +544,11 @@ Result<int32_t> PQCacheEngine::DecodeNext() {
   if (!logits.ok()) return logits.status();
 
   ++stats_.decode_steps;
-  stats_.decode_wall_seconds += timer.ElapsedSeconds();
+  const double step_seconds = timer.ElapsedSeconds();
+  stats_.decode_wall_seconds += step_seconds;
+  obs::MetricsRegistry::Add(obs::Counter::kDecodeSteps);
+  obs::MetricsRegistry::Add(obs::Counter::kTokensGenerated);
+  obs::MetricsRegistry::Observe(obs::Histo::kDecodeStepSeconds, step_seconds);
   RefreshCacheStats();
   last_token_ = TransformerModel::GreedyToken(logits.value());
   return last_token_;
@@ -627,6 +656,9 @@ Status PQCacheEngine::SaveCheckpoint(std::ostream& os) const {
         "SaveCheckpoint: nothing to checkpoint before prefill");
   }
   PQC_FAULT_INJECT("checkpoint.save");
+  WallTimer save_timer;
+  obs::TraceSpan save_span("engine", "checkpoint.save");
+  save_span.Arg("tokens", static_cast<int64_t>(kv_cache_->size()));
   WritePod(os, kCheckpointMagic);
   WritePod(os, kCheckpointVersion);
   WritePod(os, EngineConfigHash(options_));
@@ -658,6 +690,9 @@ Status PQCacheEngine::SaveCheckpoint(std::ostream& os) const {
   }
   WritePod(os, kCheckpointFooter);
   if (!os) return Status::Internal("SaveCheckpoint: stream write failed");
+  obs::MetricsRegistry::Add(obs::Counter::kCheckpointSaves);
+  obs::MetricsRegistry::Observe(obs::Histo::kCheckpointSaveSeconds,
+                                save_timer.ElapsedSeconds());
   return Status::OK();
 }
 
@@ -671,6 +706,8 @@ Result<std::unique_ptr<PQCacheEngine>> PQCacheEngine::RestoreFromCheckpoint(
   // Fires before the stream is consumed, so a failed restore leaves the
   // caller's checkpoint bytes intact for a later retry.
   PQC_FAULT_INJECT("checkpoint.restore");
+  WallTimer restore_timer;
+  obs::TraceSpan restore_span("engine", "checkpoint.restore");
   auto built = BuildSkeleton(options);
   if (!built.ok()) return built.status();
   std::unique_ptr<PQCacheEngine> engine = std::move(built).value();
@@ -786,6 +823,9 @@ Result<std::unique_ptr<PQCacheEngine>> PQCacheEngine::RestoreFromCheckpoint(
   }
   engine->last_token_ = last_token;
   engine->prefilled_ = true;
+  obs::MetricsRegistry::Add(obs::Counter::kCheckpointRestores);
+  obs::MetricsRegistry::Observe(obs::Histo::kCheckpointRestoreSeconds,
+                                restore_timer.ElapsedSeconds());
   return engine;
 }
 

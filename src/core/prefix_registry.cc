@@ -6,6 +6,8 @@
 
 #include "src/common/logging.h"
 #include "src/core/pqcache_engine.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace pqcache {
 
@@ -22,6 +24,13 @@ size_t BytesPerToken(const PrefixSegmentConfig& config) {
 
 double CodeBytesPerVector(const PrefixSegmentConfig& config) {
   return config.pq_partitions * config.pq_bits / 8.0;
+}
+
+/// Marks a lookup miss on the serving timeline. Kept out-of-line so the
+/// three miss returns in Lookup stay one statement each.
+std::shared_ptr<const PrefixAttachment> LookupMiss() {
+  obs::Tracer::Instant("prefix", "prefix.miss");
+  return nullptr;
 }
 
 }  // namespace
@@ -75,7 +84,8 @@ std::shared_ptr<const PrefixAttachment> PrefixRegistry::Lookup(
   const size_t max_depth = std::min(prompt.size(), cap_tokens) / block;
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.lookups;
-  if (max_depth == 0) return nullptr;
+  obs::MetricsRegistry::Add(obs::Counter::kPrefixLookups);
+  if (max_depth == 0) return LookupMiss();
 
   Node* node = &root_;
   uint64_t chain = 0;
@@ -92,13 +102,13 @@ std::shared_ptr<const PrefixAttachment> PrefixRegistry::Lookup(
       found = node->segment;
     }
   }
-  if (found == nullptr) return nullptr;
+  if (found == nullptr) return LookupMiss();
   const size_t use_tokens = matched_depth * block;
   // Hash-collision guard: the match is only real if the actual token ids
   // agree. A collision is treated as a miss.
   if (std::memcmp(prompt.data(), found->tokens.data(),
                   use_tokens * sizeof(int32_t)) != 0) {
-    return nullptr;
+    return LookupMiss();
   }
 
   auto attachment = std::make_shared<PrefixAttachment>();
@@ -116,6 +126,9 @@ std::shared_ptr<const PrefixAttachment> PrefixRegistry::Lookup(
   if (lru_it != lru_.end()) lru_.splice(lru_.begin(), lru_, lru_it);
   ++stats_.hits;
   stats_.reused_tokens += use_tokens;
+  obs::MetricsRegistry::Add(obs::Counter::kPrefixHits);
+  obs::Tracer::Instant("prefix", "prefix.hit", "use_tokens",
+                       static_cast<int64_t>(use_tokens));
   return attachment;
 }
 
@@ -263,6 +276,9 @@ Status PrefixRegistry::Publish(std::span<const int32_t> prompt,
   }
   lru_.push_front(segment);
   ++stats_.publishes;
+  obs::MetricsRegistry::Add(obs::Counter::kPrefixPublishes);
+  obs::Tracer::Instant("prefix", "prefix.publish", "tokens",
+                       static_cast<int64_t>(n_tokens));
   stats_.segments = lru_.size();
   stats_.resident_gpu_bytes += segment->gpu_bytes;
   stats_.resident_cpu_bytes += segment->cpu_bytes;

@@ -4,8 +4,31 @@
 
 #include "src/common/fault_injection.h"
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
 
 namespace pqcache {
+
+namespace {
+/// Publishes a pool's watermarks to the metrics registry. Keyed on the
+/// conventional tier names ("gpu"/"cpu"); pools with other names are not
+/// exported. Last-writer-wins when several same-named pools exist — in
+/// serving the shared hierarchy is the only frequent writer.
+void PublishGauges(const std::string& name, size_t used, size_t peak) {
+  using obs::Gauge;
+  using obs::MetricsRegistry;
+  if (name == "gpu") {
+    MetricsRegistry::SetGauge(Gauge::kGpuUsedBytes,
+                              static_cast<int64_t>(used));
+    MetricsRegistry::SetGauge(Gauge::kGpuPeakBytes,
+                              static_cast<int64_t>(peak));
+  } else if (name == "cpu") {
+    MetricsRegistry::SetGauge(Gauge::kCpuUsedBytes,
+                              static_cast<int64_t>(used));
+    MetricsRegistry::SetGauge(Gauge::kCpuPeakBytes,
+                              static_cast<int64_t>(peak));
+  }
+}
+}  // namespace
 
 Status MemoryPool::Allocate(size_t bytes) {
   // Fires before any accounting mutates, so an injected charge failure is
@@ -20,6 +43,7 @@ Status MemoryPool::Allocate(size_t bytes) {
   }
   used_ += bytes;
   peak_ = std::max(peak_, used_);
+  PublishGauges(name_, used_, peak_);
   return Status::OK();
 }
 
@@ -27,6 +51,7 @@ void MemoryPool::Free(size_t bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   PQC_CHECK_LE(bytes, used_);
   used_ -= bytes;
+  PublishGauges(name_, used_, peak_);
 }
 
 }  // namespace pqcache

@@ -1,0 +1,28 @@
+// The single monotonic clock behind every timing source in the repo: the
+// span tracer, the metrics histograms, and WallTimer (src/common/timer.h) all
+// read MonotonicNowNs(), so a span's timestamps, a histogram sample, and a
+// bench-reported latency measured around the same work are directly
+// comparable — one instrumentation spine, one epoch.
+#ifndef PQCACHE_OBS_CLOCK_H_
+#define PQCACHE_OBS_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace pqcache::obs {
+
+/// Nanoseconds since the process trace epoch (the first call in the
+/// process). Monotonic and thread-safe; the shared epoch keeps timestamps
+/// small enough to print as fractional microseconds without precision loss.
+inline uint64_t MonotonicNowNs() {
+  static const std::chrono::steady_clock::time_point kEpoch =
+      std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - kEpoch)
+          .count());
+}
+
+}  // namespace pqcache::obs
+
+#endif  // PQCACHE_OBS_CLOCK_H_

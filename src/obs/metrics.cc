@@ -1,0 +1,225 @@
+#include "src/obs/metrics.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace pqcache::obs {
+
+namespace {
+
+/// First bucket's upper boundary: 100 ns.
+constexpr double kBucketBaseSeconds = 1e-7;
+
+const char* const kCounterNames[] = {
+    "serve_rounds",
+    "sessions_admitted",
+    "sessions_completed",
+    "sessions_failed",
+    "sessions_shed",
+    "sessions_preempted",
+    "sessions_pressure_suspended",
+    "sessions_suspended",
+    "tokens_generated",
+    "prefills",
+    "decode_steps",
+    "step_retries",
+    "faults_injected",
+    "checkpoint_saves",
+    "checkpoint_restores",
+    "prefix_lookups",
+    "prefix_hits",
+    "prefix_publishes",
+    "admission_charges",
+    "admission_charge_failures",
+    "kmeans_span_trains",
+    "lut_builds",
+    "gather_reduces",
+};
+static_assert(sizeof(kCounterNames) / sizeof(kCounterNames[0]) ==
+              static_cast<size_t>(Counter::kCount));
+
+const char* const kGaugeNames[] = {
+    "gpu_used_bytes",   "gpu_peak_bytes",  "cpu_used_bytes",
+    "cpu_peak_bytes",   "active_sessions", "queued_sessions",
+};
+static_assert(sizeof(kGaugeNames) / sizeof(kGaugeNames[0]) ==
+              static_cast<size_t>(Gauge::kCount));
+
+const char* const kHistoNames[] = {
+    "queue_wait_seconds",         "ttft_seconds",
+    "prefill_seconds",            "decode_step_seconds",
+    "checkpoint_save_seconds",    "checkpoint_restore_seconds",
+    "kmeans_train_seconds",       "retry_backoff_seconds",
+    "lut_build_seconds",          "gather_reduce_seconds",
+};
+static_assert(sizeof(kHistoNames) / sizeof(kHistoNames[0]) ==
+              static_cast<size_t>(Histo::kCount));
+
+/// Bucket index of a sample: the smallest i with seconds <= 100ns * 2^i,
+/// clamped into [0, kHistogramBuckets - 1]. Branch-light (one division, one
+/// ceil, one bit_width) so it is cheap enough for per-token recording.
+int BucketIndex(double seconds) {
+  if (!(seconds > kBucketBaseSeconds)) return 0;
+  const double ratio = seconds / kBucketBaseSeconds;
+  if (ratio >= static_cast<double>(1ull << (kHistogramBuckets - 1))) {
+    return kHistogramBuckets - 1;
+  }
+  const uint64_t up = static_cast<uint64_t>(std::ceil(ratio));
+  return std::min<int>(std::bit_width(up - 1), kHistogramBuckets - 1);
+}
+
+}  // namespace
+
+std::atomic<bool> MetricsRegistry::kernel_profiling_{false};
+
+const char* CounterName(Counter c) { return kCounterNames[static_cast<int>(c)]; }
+const char* GaugeName(Gauge g) { return kGaugeNames[static_cast<int>(g)]; }
+const char* HistoName(Histo h) { return kHistoNames[static_cast<int>(h)]; }
+
+double HistogramSnapshot::BucketUpperBound(int i) {
+  if (i >= kHistogramBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return kBucketBaseSeconds * static_cast<double>(1ull << i);
+}
+
+double HistogramSnapshot::PercentileLowerBoundSeconds(double p) const {
+  if (count == 0) return 0;
+  const uint64_t rank = static_cast<uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count)));
+  uint64_t seen = 0;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank && seen > 0) {
+      return i == 0 ? 0.0 : BucketUpperBound(i - 1);
+    }
+  }
+  return 0;
+}
+
+double HistogramSnapshot::PercentileUpperBoundSeconds(double p) const {
+  if (count == 0) return 0;
+  const uint64_t rank = static_cast<uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count)));
+  uint64_t seen = 0;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank && seen > 0) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kHistogramBuckets - 1);
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out;
+  out.reserve(4096);
+  char buf[96];
+  out += "{\n  \"counters\": {";
+  for (int i = 0; i < static_cast<int>(Counter::kCount); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s\n    \"%s\": %llu",
+                  i == 0 ? "" : ",", kCounterNames[i],
+                  static_cast<unsigned long long>(counters[i]));
+    out += buf;
+  }
+  out += "\n  },\n  \"gauges\": {";
+  for (int i = 0; i < static_cast<int>(Gauge::kCount); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s\n    \"%s\": %lld",
+                  i == 0 ? "" : ",", kGaugeNames[i],
+                  static_cast<long long>(gauges[i]));
+    out += buf;
+  }
+  out += "\n  },\n  \"histograms\": {";
+  for (int i = 0; i < static_cast<int>(Histo::kCount); ++i) {
+    const HistogramSnapshot& h = histograms[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n    \"%s\": {\"count\": %llu, \"sum_seconds\": %.9f, "
+                  "\"buckets\": [",
+                  i == 0 ? "" : ",", kHistoNames[i],
+                  static_cast<unsigned long long>(h.count), h.sum_seconds);
+    out += buf;
+    bool first = true;
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;  // Sparse: most buckets stay empty.
+      if (b == kHistogramBuckets - 1) {
+        std::snprintf(buf, sizeof(buf), "%s{\"le\": \"+Inf\", \"count\": %llu}",
+                      first ? "" : ", ",
+                      static_cast<unsigned long long>(h.buckets[b]));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%s{\"le\": %.9g, \"count\": %llu}",
+                      first ? "" : ", ", HistogramSnapshot::BucketUpperBound(b),
+                      static_cast<unsigned long long>(h.buckets[b]));
+      }
+      first = false;
+      out += buf;
+    }
+    out += "]}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+void MetricsRegistry::Observe(Histo h, double seconds) {
+  HistogramCells& cells = Global().histograms_[static_cast<int>(h)];
+  cells.buckets[BucketIndex(seconds)].fetch_add(1, std::memory_order_relaxed);
+  cells.count.fetch_add(1, std::memory_order_relaxed);
+  cells.sum_ns.fetch_add(
+      seconds > 0 ? static_cast<uint64_t>(seconds * 1e9) : 0,
+      std::memory_order_relaxed);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  for (int i = 0; i < static_cast<int>(Counter::kCount); ++i) {
+    snap.counters[i] = counters_[i].load(std::memory_order_relaxed);
+  }
+  for (int i = 0; i < static_cast<int>(Gauge::kCount); ++i) {
+    snap.gauges[i] = gauges_[i].load(std::memory_order_relaxed);
+  }
+  for (int i = 0; i < static_cast<int>(Histo::kCount); ++i) {
+    const HistogramCells& cells = histograms_[i];
+    HistogramSnapshot& h = snap.histograms[i];
+    h.count = cells.count.load(std::memory_order_relaxed);
+    h.sum_seconds =
+        static_cast<double>(cells.sum_ns.load(std::memory_order_relaxed)) *
+        1e-9;
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      h.buckets[b] = cells.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return snap;
+}
+
+Status MetricsRegistry::WriteSnapshotJson(const std::string& path) const {
+  const std::string json = Snapshot().ToJson();
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("MetricsRegistry: cannot open " + tmp);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  if (written != json.size() || std::fclose(f) != 0) {
+    return Status::Internal("MetricsRegistry: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal("MetricsRegistry: cannot rename " + tmp);
+  }
+  return Status::OK();
+}
+
+void MetricsRegistry::ResetForTesting() {
+  for (auto& c : counters_) c.store(0, std::memory_order_relaxed);
+  for (auto& g : gauges_) g.store(0, std::memory_order_relaxed);
+  for (auto& h : histograms_) {
+    for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+    h.count.store(0, std::memory_order_relaxed);
+    h.sum_ns.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace pqcache::obs

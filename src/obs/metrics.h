@@ -1,0 +1,180 @@
+// Lock-light process-wide metrics: pre-registered counters, gauges, and
+// fixed-bucket latency histograms, updated with relaxed atomics (no mutex,
+// no allocation — safe on the zero-alloc decode path) and exported as a JSON
+// snapshot. Pre-registration (the enums below) is what keeps updates O(1)
+// array indexing instead of a name lookup; adding a metric is adding an enum
+// entry plus its name string in metrics.cc.
+//
+// Histograms use power-of-two bucket boundaries from 100 ns up (bucket i
+// covers (100ns * 2^(i-1), 100ns * 2^i]; the last bucket is +Inf), wide
+// enough that queue waits, decode steps, and checkpoint round-trips all
+// land mid-range. Percentiles read from a snapshot are therefore bounded to
+// one bucket (a factor of two), which is what the consistency tests assert
+// against ServerStats' exact percentiles.
+#ifndef PQCACHE_OBS_METRICS_H_
+#define PQCACHE_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace pqcache::obs {
+
+/// Monotonic event counts.
+enum class Counter : int {
+  kServeRounds = 0,
+  kSessionsAdmitted,
+  kSessionsCompleted,
+  kSessionsFailed,
+  kSessionsShed,
+  kSessionsPreempted,
+  kSessionsPressureSuspended,
+  kSessionsSuspended,
+  kTokensGenerated,
+  kPrefills,
+  kDecodeSteps,
+  kStepRetries,
+  kFaultsInjected,
+  kCheckpointSaves,
+  kCheckpointRestores,
+  kPrefixLookups,
+  kPrefixHits,
+  kPrefixPublishes,
+  kAdmissionCharges,
+  kAdmissionChargeFailures,
+  kKMeansSpanTrains,
+  kLutBuilds,
+  kGatherReduces,
+  kCount
+};
+
+/// Last-written point-in-time values. The pool gauges are written by every
+/// MemoryPool named "gpu"/"cpu" (in serving, the shared hierarchy), so they
+/// reflect the most recent charge or release.
+enum class Gauge : int {
+  kGpuUsedBytes = 0,
+  kGpuPeakBytes,
+  kCpuUsedBytes,
+  kCpuPeakBytes,
+  kActiveSessions,
+  kQueuedSessions,
+  kCount
+};
+
+/// Fixed-bucket latency distributions, recorded in seconds.
+enum class Histo : int {
+  kQueueWaitSeconds = 0,
+  kTtftSeconds,
+  kPrefillSeconds,
+  kDecodeStepSeconds,
+  kCheckpointSaveSeconds,
+  kCheckpointRestoreSeconds,
+  kKMeansTrainSeconds,
+  kRetryBackoffSeconds,
+  kLutBuildSeconds,
+  kGatherReduceSeconds,
+  kCount
+};
+
+/// Bucket count: boundaries 100ns * 2^i for i in [0, 27), last bucket +Inf
+/// (upper boundary of bucket 26 is ~6.7 s).
+inline constexpr int kHistogramBuckets = 28;
+
+const char* CounterName(Counter c);
+const char* GaugeName(Gauge g);
+const char* HistoName(Histo h);
+
+/// Read-only copy of one histogram's cells.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum_seconds = 0;
+  std::array<uint64_t, kHistogramBuckets> buckets{};
+
+  /// Inclusive upper boundary of bucket i in seconds (+Inf for the last).
+  static double BucketUpperBound(int i);
+
+  /// Bounds on the p-th percentile (p in [0, 100]): the boundaries of the
+  /// bucket holding the p-th sample. An exact percentile computed from the
+  /// same samples always lies within [lower, upper].
+  double PercentileLowerBoundSeconds(double p) const;
+  double PercentileUpperBoundSeconds(double p) const;
+};
+
+/// Full registry snapshot, safe to read and serialize off the hot path.
+struct MetricsSnapshot {
+  std::array<uint64_t, static_cast<int>(Counter::kCount)> counters{};
+  std::array<int64_t, static_cast<int>(Gauge::kCount)> gauges{};
+  std::array<HistogramSnapshot, static_cast<int>(Histo::kCount)> histograms{};
+
+  uint64_t counter(Counter c) const {
+    return counters[static_cast<int>(c)];
+  }
+  int64_t gauge(Gauge g) const { return gauges[static_cast<int>(g)]; }
+  const HistogramSnapshot& histogram(Histo h) const {
+    return histograms[static_cast<int>(h)];
+  }
+
+  std::string ToJson() const;
+};
+
+/// The process-wide registry. All mutators are static, relaxed-atomic, and
+/// allocation-free; snapshotting tears at most between cells (each cell is
+/// individually atomic), which is the documented consistency level.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  static void Add(Counter c, uint64_t delta = 1) {
+    Global().counters_[static_cast<int>(c)].fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  static void SetGauge(Gauge g, int64_t value) {
+    Global().gauges_[static_cast<int>(g)].store(value,
+                                                std::memory_order_relaxed);
+  }
+
+  /// Records one latency sample (seconds) into `h`'s buckets.
+  static void Observe(Histo h, double seconds);
+
+  /// Kernel-level timing (LUT build / gather-reduce) costs two extra clock
+  /// reads per attention scoring call, so it is armed separately from the
+  /// always-on serve metrics. Disarmed cost: one relaxed load.
+  static bool KernelProfilingEnabled() {
+    return kernel_profiling_.load(std::memory_order_relaxed);
+  }
+  static void EnableKernelProfiling(bool on) {
+    kernel_profiling_.store(on, std::memory_order_relaxed);
+  }
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Snapshot().ToJson() written to `path` (atomic enough for a periodic
+  /// overwrite: written to a temp file, then renamed).
+  Status WriteSnapshotJson(const std::string& path) const;
+
+  /// Zeroes every cell (test isolation; callers must quiesce writers).
+  void ResetForTesting();
+
+ private:
+  MetricsRegistry() = default;
+
+  struct HistogramCells {
+    std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets{};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum_ns{0};
+  };
+
+  static std::atomic<bool> kernel_profiling_;
+  std::array<std::atomic<uint64_t>, static_cast<int>(Counter::kCount)>
+      counters_{};
+  std::array<std::atomic<int64_t>, static_cast<int>(Gauge::kCount)> gauges_{};
+  std::array<HistogramCells, static_cast<int>(Histo::kCount)> histograms_{};
+};
+
+}  // namespace pqcache::obs
+
+#endif  // PQCACHE_OBS_METRICS_H_

@@ -1,0 +1,264 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace pqcache::obs {
+
+std::atomic<bool> Tracer::armed_{false};
+
+namespace {
+
+/// Thread-local handle into the tracer: valid while the generation matches.
+struct TlsRef {
+  uint64_t generation = 0;
+  Tracer* owner = nullptr;
+  void* buffer = nullptr;
+};
+thread_local TlsRef tls_ref;
+
+/// Escapes a string for a JSON string literal (names are code-controlled,
+/// but interned tenant tags are user data).
+void AppendJsonEscaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+}
+
+}  // namespace
+
+Tracer::Tracer() = default;
+
+Tracer& Tracer::Global() {
+  static Tracer* instance = new Tracer();
+  return *instance;
+}
+
+void Tracer::Start() { armed_.store(true, std::memory_order_relaxed); }
+
+void Tracer::Stop() { armed_.store(false, std::memory_order_relaxed); }
+
+const char* Tracer::InternString(std::string_view s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::string& existing : interned_) {
+    if (existing == s) return existing.c_str();
+  }
+  interned_.emplace_back(s);
+  return interned_.back().c_str();
+}
+
+Tracer::ThreadBuffer* Tracer::RegisterThisThread() {
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.push_back(
+      std::make_unique<ThreadBuffer>(ring_capacity_, next_tid_++));
+  ThreadBuffer* buffer = buffers_.back().get();
+  tls_ref.generation = generation_.load(std::memory_order_relaxed);
+  tls_ref.owner = this;
+  tls_ref.buffer = buffer;
+  return buffer;
+}
+
+void Tracer::Emit(const TraceEvent& event) {
+  ThreadBuffer* buffer = static_cast<ThreadBuffer*>(tls_ref.buffer);
+  if (buffer == nullptr || tls_ref.owner != this ||
+      tls_ref.generation != generation_.load(std::memory_order_relaxed)) {
+    buffer = RegisterThisThread();
+  }
+  // Single writer per ring (the owning thread); the release on head
+  // publishes the slot to the exporter's acquire load.
+  const uint64_t head = buffer->head.load(std::memory_order_relaxed);
+  buffer->ring[head % buffer->ring.size()] = event;
+  buffer->head.store(head + 1, std::memory_order_release);
+}
+
+void Tracer::CompleteOnTrack(const char* cat, const char* name, uint64_t ts_ns,
+                             uint64_t dur_ns, uint32_t track,
+                             const char* arg0_name, int64_t arg0,
+                             const char* str_arg_name, const char* str_arg) {
+  if (!Enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.cat = cat;
+  event.ts_ns = ts_ns;
+  event.dur_ns = dur_ns;
+  event.arg_name[0] = arg0_name;
+  event.arg_val[0] = arg0;
+  event.str_arg_name = str_arg_name;
+  event.str_arg = str_arg;
+  event.track = track;
+  Global().Emit(event);
+}
+
+void Tracer::Instant(const char* cat, const char* name, const char* arg0_name,
+                     int64_t arg0, const char* arg1_name, int64_t arg1,
+                     const char* str_arg_name, const char* str_arg) {
+  if (!Enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.cat = cat;
+  event.ts_ns = MonotonicNowNs();
+  event.phase = 'i';
+  event.arg_name[0] = arg0_name;
+  event.arg_val[0] = arg0;
+  event.arg_name[1] = arg1_name;
+  event.arg_val[1] = arg1;
+  event.str_arg_name = str_arg_name;
+  event.str_arg = str_arg;
+  Global().Emit(event);
+}
+
+uint64_t Tracer::RetainedEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& buffer : buffers_) {
+    total += std::min<uint64_t>(buffer->head.load(std::memory_order_acquire),
+                                buffer->ring.size());
+  }
+  return total;
+}
+
+uint64_t Tracer::DroppedEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t dropped = 0;
+  for (const auto& buffer : buffers_) {
+    const uint64_t head = buffer->head.load(std::memory_order_acquire);
+    if (head > buffer->ring.size()) dropped += head - buffer->ring.size();
+  }
+  return dropped;
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  // Snapshot (event, tid) pairs under the lock, then sort by timestamp so
+  // the exported file is globally monotonic (bench/check_trace.py enforces
+  // this) and Perfetto's slice nesting reconstructs per-thread RAII order.
+  struct Row {
+    TraceEvent event;
+    uint32_t tid;
+  };
+  std::vector<Row> rows;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buffer : buffers_) {
+      const uint64_t head = buffer->head.load(std::memory_order_acquire);
+      const uint64_t size = buffer->ring.size();
+      const uint64_t n = std::min<uint64_t>(head, size);
+      for (uint64_t i = head - n; i < head; ++i) {
+        const TraceEvent& event = buffer->ring[i % size];
+        rows.push_back(
+            Row{event, event.track != 0 ? event.track : buffer->tid});
+      }
+    }
+  }
+  std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.event.ts_ns != b.event.ts_ns) return a.event.ts_ns < b.event.ts_ns;
+    // Equal start: the longer span is the parent and must precede its
+    // children for well-nested file order.
+    return a.event.dur_ns > b.event.dur_ns;
+  });
+
+  std::string out;
+  out.reserve(rows.size() * 160 + 64);
+  out += "{\"traceEvents\":[";
+  char buf[96];
+  bool first = true;
+  for (const Row& row : rows) {
+    const TraceEvent& ev = row.event;
+    if (ev.name == nullptr) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":\"";
+    AppendJsonEscaped(out, ev.name);
+    out += "\",\"cat\":\"";
+    AppendJsonEscaped(out, ev.cat != nullptr ? ev.cat : "default");
+    out += "\",\"ph\":\"";
+    out += ev.phase;
+    out += "\",";
+    // Microsecond timestamps with nanosecond precision.
+    std::snprintf(buf, sizeof(buf), "\"ts\":%" PRIu64 ".%03u",
+                  ev.ts_ns / 1000, static_cast<unsigned>(ev.ts_ns % 1000));
+    out += buf;
+    if (ev.phase == 'X') {
+      std::snprintf(buf, sizeof(buf), ",\"dur\":%" PRIu64 ".%03u",
+                    ev.dur_ns / 1000,
+                    static_cast<unsigned>(ev.dur_ns % 1000));
+      out += buf;
+    }
+    if (ev.phase == 'i') out += ",\"s\":\"t\"";
+    std::snprintf(buf, sizeof(buf), ",\"pid\":1,\"tid\":%u", row.tid);
+    out += buf;
+    const bool has_args = ev.arg_name[0] != nullptr ||
+                          ev.arg_name[1] != nullptr ||
+                          ev.str_arg_name != nullptr;
+    if (has_args) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      for (int i = 0; i < 2; ++i) {
+        if (ev.arg_name[i] == nullptr) continue;
+        if (!first_arg) out += ",";
+        first_arg = false;
+        out += "\"";
+        AppendJsonEscaped(out, ev.arg_name[i]);
+        std::snprintf(buf, sizeof(buf), "\":%lld",
+                      static_cast<long long>(ev.arg_val[i]));
+        out += buf;
+      }
+      if (ev.str_arg_name != nullptr && ev.str_arg != nullptr) {
+        if (!first_arg) out += ",";
+        out += "\"";
+        AppendJsonEscaped(out, ev.str_arg_name);
+        out += "\":\"";
+        AppendJsonEscaped(out, ev.str_arg);
+        out += "\"";
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+Status Tracer::ExportChromeTrace(const std::string& path) const {
+  const std::string json = ToChromeTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("Tracer: cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = written == json.size() && std::fclose(f) == 0;
+  if (!ok) return Status::Internal("Tracer: short write to " + path);
+  return Status::OK();
+}
+
+void Tracer::ResetForTesting(size_t ring_capacity_events) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_capacity_events > 0) ring_capacity_ = ring_capacity_events;
+  buffers_.clear();
+  next_tid_ = 1;
+  generation_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace pqcache::obs

@@ -1,0 +1,222 @@
+// Span tracer: RAII scoped spans recorded into preallocated per-thread ring
+// buffers and exported as Chrome trace-event JSON that loads directly in
+// Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+//
+// Cost model (same pattern as fault_injection.h): a disarmed span costs one
+// relaxed atomic load and a predictable branch — nothing else. An armed span
+// costs two clock reads plus one store into this thread's ring. Emission
+// never allocates once a thread's ring exists (the ring is a fixed-capacity
+// array created on the thread's first armed event), so steady-state decode
+// stays zero-alloc with tracing enabled — enforced by the counting-allocator
+// test in tests/engine_test.cc. When a ring fills, the oldest events are
+// overwritten (newest-wins, like a flight recorder); the drop count is
+// reported at export.
+//
+// Event names and categories must be string literals (or pointers interned
+// via Tracer::InternString): events store the pointers, not copies. Spans on
+// one thread nest strictly (RAII stack discipline), which the exporter and
+// bench/check_trace.py rely on. Retroactive spans measured across threads
+// (queue wait: enqueue happens on the submitter, admission on a worker) go
+// on per-session virtual tracks via CompleteOnTrack so they cannot break
+// per-thread nesting.
+//
+//   Tracer::Global().Start();
+//   { PQC_TRACE_SPAN("engine", "engine.decode_step"); ... }
+//   obs::Tracer::Instant("serve", "retry.backoff", "session", id);
+//   Tracer::Global().Stop();   // after quiescing worker threads
+//   Tracer::Global().ExportChromeTrace("trace.json");
+#ifndef PQCACHE_OBS_TRACE_H_
+#define PQCACHE_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/obs/clock.h"
+
+namespace pqcache::obs {
+
+/// One recorded event. Fixed-size and pointer-only so a ring slot assignment
+/// is a plain store; name/cat/arg-name/str-arg pointers must outlive the
+/// tracer (string literals or InternString results).
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  uint64_t ts_ns = 0;
+  uint64_t dur_ns = 0;  ///< 0 for instants.
+  const char* arg_name[2] = {nullptr, nullptr};
+  int64_t arg_val[2] = {0, 0};
+  const char* str_arg_name = nullptr;
+  const char* str_arg = nullptr;
+  /// Virtual track id; 0 = the emitting thread's own track. Used for
+  /// retroactive cross-thread spans (per-session queue-wait tracks).
+  uint32_t track = 0;
+  char phase = 'X';  ///< 'X' (complete span) or 'i' (instant).
+};
+
+/// Process-global tracer. Arm/disarm is process-wide; per-thread rings are
+/// created lazily on a thread's first armed event and retained for the
+/// process lifetime (so a cached thread-local pointer can never dangle).
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  /// True when tracing is armed. Inline relaxed load: the entire cost of an
+  /// instrumentation point in a disarmed process.
+  static bool Enabled() { return armed_.load(std::memory_order_relaxed); }
+
+  /// Arms event recording (idempotent). Events accumulate across
+  /// Start/Stop cycles until Reset.
+  void Start();
+
+  /// Disarms recording. Call after quiescing writer threads (e.g.
+  /// ThreadPool::Wait) when a consistent export is needed: a thread mid-emit
+  /// at Stop may still complete its write.
+  void Stop();
+
+  /// Interns a dynamic string (e.g. a tenant name) and returns a pointer
+  /// stable for the process lifetime, usable as an event's str_arg. Takes a
+  /// mutex and may allocate — call off the hot path (session setup, not
+  /// decode). Repeated calls with the same content return the same pointer.
+  const char* InternString(std::string_view s);
+
+  /// Records a complete span with explicit timestamps on a virtual track
+  /// (see TraceEvent::track). No-op when disarmed.
+  static void CompleteOnTrack(const char* cat, const char* name,
+                              uint64_t ts_ns, uint64_t dur_ns, uint32_t track,
+                              const char* arg0_name = nullptr,
+                              int64_t arg0 = 0,
+                              const char* str_arg_name = nullptr,
+                              const char* str_arg = nullptr);
+
+  /// Records an instant event on the calling thread's track. No-op when
+  /// disarmed.
+  static void Instant(const char* cat, const char* name,
+                      const char* arg0_name = nullptr, int64_t arg0 = 0,
+                      const char* arg1_name = nullptr, int64_t arg1 = 0,
+                      const char* str_arg_name = nullptr,
+                      const char* str_arg = nullptr);
+
+  /// Writes the accumulated events into this thread's ring (creating the
+  /// ring on first use). Callers normally go through TraceSpan / Instant.
+  void Emit(const TraceEvent& event);
+
+  /// Events currently retained across all rings / overwritten by wraparound.
+  uint64_t RetainedEvents() const;
+  uint64_t DroppedEvents() const;
+
+  /// Serializes every retained event, sorted by timestamp, as Chrome
+  /// trace-event JSON ({"traceEvents": [...]}).
+  std::string ToChromeTraceJson() const;
+
+  /// ToChromeTraceJson written to `path`.
+  Status ExportChromeTrace(const std::string& path) const;
+
+  /// Drops all recorded events and re-creates rings with
+  /// `ring_capacity_events` slots per thread (0 keeps the current capacity).
+  /// Requires no concurrent emitters (tests and setup only): live threads
+  /// re-register on their next event.
+  void ResetForTesting(size_t ring_capacity_events = 0);
+
+  /// Default slots per thread ring (~1.6 MB per thread at 96 B/event).
+  static constexpr size_t kDefaultRingCapacity = 16384;
+
+ private:
+  struct ThreadBuffer {
+    ThreadBuffer(size_t capacity, uint32_t tid)
+        : ring(capacity), tid(tid) {}
+    std::vector<TraceEvent> ring;
+    /// Total events ever written by the owning thread; slot = head % size.
+    /// Written by the owner (release), read by the exporter (acquire).
+    std::atomic<uint64_t> head{0};
+    uint32_t tid;
+  };
+
+  Tracer();
+  ThreadBuffer* RegisterThisThread();
+
+  static std::atomic<bool> armed_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::deque<std::string> interned_;
+  size_t ring_capacity_ = kDefaultRingCapacity;
+  uint32_t next_tid_ = 1;
+  /// Bumped by ResetForTesting so threads drop their cached buffer pointer.
+  std::atomic<uint64_t> generation_{1};
+};
+
+/// RAII scoped span. Disarmed: one relaxed load in the constructor, one
+/// branch in the destructor, no clock reads, no event. Armed: records a
+/// complete ('X') event covering the object's lifetime.
+class TraceSpan {
+ public:
+  TraceSpan(const char* cat, const char* name)
+      : cat_(cat), name_(name), live_(Tracer::Enabled()) {
+    if (live_) start_ns_ = MonotonicNowNs();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches a numeric argument (at most two; extras are dropped).
+  void Arg(const char* arg_name, int64_t value) {
+    if (!live_ || n_args_ >= 2) return;
+    arg_name_[n_args_] = arg_name;
+    arg_val_[n_args_] = value;
+    ++n_args_;
+  }
+
+  /// Attaches one string argument (a literal or an InternString pointer).
+  void StrArg(const char* arg_name, const char* value) {
+    if (!live_ || value == nullptr) return;
+    str_arg_name_ = arg_name;
+    str_arg_ = value;
+  }
+
+  ~TraceSpan() {
+    if (!live_) return;
+    TraceEvent event;
+    event.name = name_;
+    event.cat = cat_;
+    event.ts_ns = start_ns_;
+    event.dur_ns = MonotonicNowNs() - start_ns_;
+    for (int i = 0; i < n_args_; ++i) {
+      event.arg_name[i] = arg_name_[i];
+      event.arg_val[i] = arg_val_[i];
+    }
+    event.str_arg_name = str_arg_name_;
+    event.str_arg = str_arg_;
+    Tracer::Global().Emit(event);
+  }
+
+ private:
+  const char* cat_;
+  const char* name_;
+  const char* arg_name_[2];
+  int64_t arg_val_[2];
+  const char* str_arg_name_ = nullptr;
+  const char* str_arg_ = nullptr;
+  uint64_t start_ns_ = 0;
+  int n_args_ = 0;
+  const bool live_;
+};
+
+}  // namespace pqcache::obs
+
+#define PQC_OBS_CONCAT_INNER(a, b) a##b
+#define PQC_OBS_CONCAT(a, b) PQC_OBS_CONCAT_INNER(a, b)
+
+/// Scoped span covering the rest of the enclosing block. Free when tracing
+/// is disarmed process-wide. For spans with arguments, declare a named
+/// ::pqcache::obs::TraceSpan and call Arg/StrArg on it.
+#define PQC_TRACE_SPAN(cat, name) \
+  ::pqcache::obs::TraceSpan PQC_OBS_CONCAT(_pqc_trace_span_, __LINE__)(cat, \
+                                                                       name)
+
+#endif  // PQCACHE_OBS_TRACE_H_

@@ -1,6 +1,8 @@
 #include "src/pq/pq_index.h"
 
 #include "src/common/logging.h"
+#include "src/obs/clock.h"
+#include "src/obs/metrics.h"
 #include "src/tensor/ops.h"
 #include "src/tensor/simd.h"
 
@@ -47,7 +49,13 @@ void PQIndex::ApproxInnerProductsWithTable(std::span<const float> query,
                                            std::span<float> scores) const {
   const size_t n = size();
   PQC_CHECK_EQ(scores.size(), n);
+  // Aggregate kernel-level timing (Fig. 12's decode decomposition): armed
+  // separately from tracing because it costs clock reads per scoring call.
+  // Disarmed cost: one relaxed load.
+  const bool profile = obs::MetricsRegistry::KernelProfilingEnabled();
+  const uint64_t t0 = profile ? obs::MonotonicNowNs() : 0;
   codebook_.BuildInnerProductTable(query, table);
+  const uint64_t t1 = profile ? obs::MonotonicNowNs() : 0;
   const size_t m = static_cast<size_t>(codebook_.config().num_partitions);
   const size_t kc = static_cast<size_t>(codebook_.config().num_centroids());
   // Fused gather-and-reduce over codes: the (h_kv, s, m) x (h_kv, m, 1) step
@@ -55,6 +63,15 @@ void PQIndex::ApproxInnerProductsWithTable(std::span<const float> query,
   // eight tokens per pass, or the branch-free scalar reference).
   simd::Kernels().gather_reduce_scores(table.data(), kc, codes_.data(), n, m,
                                        scores.data());
+  if (profile) {
+    const uint64_t t2 = obs::MonotonicNowNs();
+    obs::MetricsRegistry::Add(obs::Counter::kLutBuilds);
+    obs::MetricsRegistry::Add(obs::Counter::kGatherReduces);
+    obs::MetricsRegistry::Observe(obs::Histo::kLutBuildSeconds,
+                                  static_cast<double>(t1 - t0) * 1e-9);
+    obs::MetricsRegistry::Observe(obs::Histo::kGatherReduceSeconds,
+                                  static_cast<double>(t2 - t1) * 1e-9);
+  }
 }
 
 std::vector<int32_t> PQIndex::TopK(std::span<const float> query,

@@ -5,6 +5,7 @@
 #include "src/common/rng.h"
 #include "src/common/timer.h"
 #include "src/kmeans/kmeans.h"
+#include "src/obs/trace.h"
 
 namespace pqcache {
 
@@ -21,6 +22,9 @@ double MeasureClusteringSeconds(size_t s, size_t sub_dim, int num_centroids,
   opts.seed = seed;
   opts.pool = pool;
   WallTimer timer;
+  obs::TraceSpan span("sched", "profile.kmeans_calibrate");
+  span.Arg("s", static_cast<int64_t>(s));
+  span.Arg("iterations", iterations);
   auto result = RunKMeans(data, s, sub_dim, opts);
   (void)result;
   return timer.ElapsedSeconds();

@@ -6,8 +6,22 @@
 #include <utility>
 
 #include "src/common/fault_injection.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace pqcache {
+
+namespace {
+
+/// Virtual-track id for a session's retroactive spans (queue wait measures
+/// enqueue-on-submitter to first-step-on-worker, so it cannot sit inside any
+/// one thread's RAII span stack). One track per session keeps the spans from
+/// overlapping each other in the exported timeline.
+uint32_t SessionTrack(int64_t id) {
+  return 1000000u + static_cast<uint32_t>(id % 1000000);
+}
+
+}  // namespace
 
 Session::Session(int64_t id, ServeRequest request,
                  const PQCacheEngineOptions& engine_options,
@@ -97,6 +111,11 @@ bool Session::FailStep(const Status& status) {
     retry_wait_seconds_ =
         retry_backoff_seconds_ * static_cast<double>(1u << (retries_used_ - 1));
     retry_timer_.Restart();
+    obs::MetricsRegistry::Add(obs::Counter::kStepRetries);
+    obs::MetricsRegistry::Observe(obs::Histo::kRetryBackoffSeconds,
+                                  retry_wait_seconds_);
+    obs::Tracer::Instant("serve", "retry.backoff", "session", id_, "attempt",
+                         static_cast<int64_t>(retries_used_));
     // A failed first step may leave a created-but-unprefilled engine (or a
     // half-restored one); drop it so the retry rebuilds from scratch. Steps
     // after the first fail before mutating engine state, so the engine stays
@@ -129,6 +148,26 @@ void Session::Step() {
 void Session::StepImpl() {
   if (state_ == SessionState::kQueued) {
     queue_wait_seconds_ = since_enqueue_.ElapsedSeconds();
+    obs::MetricsRegistry::Observe(obs::Histo::kQueueWaitSeconds,
+                                  queue_wait_seconds_);
+    const char* tenant = nullptr;
+    if (obs::Tracer::Enabled()) {
+      // First step = off the decode hot path: interning the tenant name here
+      // (it may allocate) keeps later spans pointer-only.
+      if (!request_.tenant.empty()) {
+        tenant = obs::Tracer::Global().InternString(request_.tenant);
+      }
+      // Retroactive: the wait started at enqueue on the submitter thread and
+      // ended just now on this worker, so it goes on the session's own track.
+      obs::Tracer::CompleteOnTrack(
+          "serve", "queue.wait", since_enqueue_.start_ns(),
+          static_cast<uint64_t>(queue_wait_seconds_ * 1e9),
+          SessionTrack(id_), "session", id_, "tenant", tenant);
+    }
+    obs::TraceSpan first_span(
+        "serve", resume_ != nullptr ? "session.restore" : "session.prefill");
+    first_span.Arg("session", id_);
+    first_span.StrArg("tenant", tenant);
     if (resume_ != nullptr) {
       // First step of a resumed session: deserialize the engine (the whole
       // "prefill" of a resume) and decode the first remaining token. The
@@ -171,9 +210,12 @@ void Session::StepImpl() {
       generated_.push_back(first.value());
     }
     ttft_seconds_ = since_enqueue_.ElapsedSeconds();
+    obs::MetricsRegistry::Observe(obs::Histo::kTtftSeconds, ttft_seconds_);
     state_ = SessionState::kDecoding;
   } else {
     WallTimer step_timer;
+    obs::TraceSpan decode_span("serve", "session.decode");
+    decode_span.Arg("session", id_);
     auto token = engine_->DecodeNext();
     if (!token.ok()) {
       FailStep(token.status());

@@ -5,6 +5,8 @@
 
 #include "src/common/logging.h"
 #include "src/common/timer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace pqcache {
 
@@ -189,6 +191,7 @@ bool SessionManager::TryAdmitHead(const std::string& tenant) {
     charged = false;
   }
   if (!charged) {
+    obs::MetricsRegistry::Add(obs::Counter::kAdmissionChargeFailures);
     // Release the attachment while the head keeps waiting: a held segment
     // reference would keep the segment's bytes charged even after the
     // registry LRU-evicts it, letting the head pin the very bytes it needs
@@ -199,6 +202,14 @@ bool SessionManager::TryAdmitHead(const std::string& tenant) {
   std::unique_ptr<Session> session = queue_.TryPop(tenant);
   PQC_CHECK(session != nullptr);  // Single-consumer: the head cannot vanish.
   ++stats_.admitted;
+  obs::MetricsRegistry::Add(obs::Counter::kSessionsAdmitted);
+  obs::MetricsRegistry::Add(obs::Counter::kAdmissionCharges);
+  if (obs::Tracer::Enabled()) {
+    obs::Tracer::Instant(
+        "serve", "admit", "session", session->id(), nullptr, 0, "tenant",
+        tenant.empty() ? nullptr
+                       : obs::Tracer::Global().InternString(tenant));
+  }
   last_admitted_tenant_ = tenant;
   active_.push_back(std::move(session));
   active_count_.store(active_.size(), std::memory_order_relaxed);
@@ -238,19 +249,28 @@ Result<SessionCheckpoint> SessionManager::SuspendSession(Session* session,
   session->RefreshEngineStats();
   SessionRecord record = RecordFor(*session);
   record.suspended = true;
+  const char* kind_name = nullptr;
   switch (kind) {
     case SuspendKind::kExplicit:
       ++stats_.suspended;
+      obs::MetricsRegistry::Add(obs::Counter::kSessionsSuspended);
+      kind_name = "explicit";
       break;
     case SuspendKind::kPreempt:
       record.preempted = true;
       ++stats_.preempted;
+      obs::MetricsRegistry::Add(obs::Counter::kSessionsPreempted);
+      kind_name = "preempt";
       break;
     case SuspendKind::kPressure:
       record.pressure_suspended = true;
       ++stats_.pressure_suspended;
+      obs::MetricsRegistry::Add(obs::Counter::kSessionsPressureSuspended);
+      kind_name = "pressure";
       break;
   }
+  obs::Tracer::Instant("serve", "suspend", "session", session->id(), nullptr,
+                       0, "kind", kind_name);
   stats_.total_generated_tokens += session->generated().size();
   stats_.sessions.push_back(std::move(record));
   session->ReleaseEngine();
@@ -312,6 +332,8 @@ void SessionManager::ShedExpired() {
             "s waiting for admission")
             .ToString();
     ++stats_.shed_deadline;
+    obs::MetricsRegistry::Add(obs::Counter::kSessionsShed);
+    obs::Tracer::Instant("serve", "shed", "session", session->id());
     stats_.sessions.push_back(std::move(record));
     // Never admitted: no engine exists and no pool bytes were ever charged,
     // so dropping the session frees everything it holds.
@@ -621,8 +643,10 @@ void SessionManager::DispatchAndRetire() {
       record.error = session->error().ToString();
       record.error_code = session->error().code();
       ++stats_.failed;
+      obs::MetricsRegistry::Add(obs::Counter::kSessionsFailed);
     } else {
       ++stats_.completed;
+      obs::MetricsRegistry::Add(obs::Counter::kSessionsCompleted);
     }
     stats_.total_generated_tokens += session->generated().size();
     stats_.sessions.push_back(std::move(record));
@@ -638,14 +662,40 @@ void SessionManager::DispatchAndRetire() {
 
 Status SessionManager::RunUntilDrained() {
   WallTimer timer;
+  // Observability for the drain: arm the tracer when a trace path is
+  // configured (leaving arming alone if the caller armed it first, so an
+  // outer harness can trace across several drains), and export trace +
+  // final metrics snapshot on every exit path via the flusher below.
+  const bool arm_tracer =
+      !options_.trace_path.empty() && !obs::Tracer::Enabled();
+  if (arm_tracer) obs::Tracer::Global().Start();
   // Elapsed time and the pool peak must land in stats_ even when a throwing
   // on_token callback aborts the drain mid-run: the work already done counts
   // toward throughput when the caller resumes per the header contract.
   struct StatsFlusher {
     SessionManager* manager;
     WallTimer* timer;
+    bool disarm_tracer;
     ~StatsFlusher() {
       manager->stats_.wall_seconds += timer->ElapsedSeconds();
+      // By here every worker has quiesced (RunRound's ParallelFor joins
+      // before returning), so the export sees a consistent event set.
+      if (disarm_tracer) obs::Tracer::Global().Stop();
+      if (!manager->options_.trace_path.empty()) {
+        Status exported = obs::Tracer::Global().ExportChromeTrace(
+            manager->options_.trace_path);
+        if (!exported.ok()) {
+          PQC_LOG(Warning) << "trace export failed: " << exported.ToString();
+        }
+      }
+      if (!manager->options_.metrics_path.empty()) {
+        Status written = obs::MetricsRegistry::Global().WriteSnapshotJson(
+            manager->options_.metrics_path);
+        if (!written.ok()) {
+          PQC_LOG(Warning) << "metrics snapshot failed: "
+                           << written.ToString();
+        }
+      }
       // The pool tracks its exact peak at every Allocate; don't sample a
       // copy.
       manager->stats_.peak_gpu_bytes =
@@ -660,7 +710,9 @@ Status SessionManager::RunUntilDrained() {
         manager->stats_.prefix_resident_cpu_bytes = prefix.resident_cpu_bytes;
       }
     }
-  } flusher{this, &timer};
+  } flusher{this, &timer, arm_tracer};
+  uint64_t round = 0;
+  double last_snapshot_seconds = 0;
   for (;;) {
     // Shed expired queued requests first: an expired head must not consume
     // the admission pass (or a pressure suspension) it can no longer use.
@@ -683,8 +735,33 @@ Status SessionManager::RunUntilDrained() {
       // admission pass is guaranteed to make progress — retry, don't error.
       continue;
     }
-    RunRound();
+    obs::MetricsRegistry::Add(obs::Counter::kServeRounds);
+    obs::MetricsRegistry::SetGauge(obs::Gauge::kActiveSessions,
+                                   static_cast<int64_t>(active_.size()));
+    obs::MetricsRegistry::SetGauge(obs::Gauge::kQueuedSessions,
+                                   static_cast<int64_t>(queue_.size()));
+    {
+      obs::TraceSpan round_span("serve", "serve.round");
+      round_span.Arg("round", static_cast<int64_t>(round));
+      round_span.Arg("active", static_cast<int64_t>(active_.size()));
+      RunRound();
+    }
+    ++round;
     DispatchAndRetire();
+    if (!options_.metrics_path.empty() &&
+        options_.metrics_snapshot_interval_seconds > 0) {
+      const double now = timer.ElapsedSeconds();
+      if (now - last_snapshot_seconds >=
+          options_.metrics_snapshot_interval_seconds) {
+        last_snapshot_seconds = now;
+        Status written =
+            obs::MetricsRegistry::Global().WriteSnapshotJson(options_.metrics_path);
+        if (!written.ok()) {
+          PQC_LOG(Warning) << "metrics snapshot failed: "
+                           << written.ToString();
+        }
+      }
+    }
   }
   return Status::OK();
 }

@@ -119,6 +119,18 @@ struct ServeOptions {
   /// charged exactly once.
   bool enable_prefix_sharing = false;
   PrefixRegistry::Options prefix;
+  /// When non-empty, RunUntilDrained arms the span tracer for the drain and
+  /// writes the accumulated events to this path as Chrome trace-event JSON
+  /// (loadable in Perfetto / chrome://tracing) when the drain ends. If the
+  /// tracer was already armed by the caller, the drain leaves arming alone
+  /// and still exports. See src/obs/trace.h.
+  std::string trace_path;
+  /// When non-empty, the drain writes a MetricsRegistry JSON snapshot here —
+  /// once at the end, plus every metrics_snapshot_interval_seconds during
+  /// the drain when the interval is > 0 (each write atomically replaces the
+  /// file, so a scraper always reads a complete snapshot).
+  std::string metrics_path;
+  double metrics_snapshot_interval_seconds = 0;
 };
 
 /// Owns the shared memory hierarchy, the request queue, the active session

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/tensor/ops.h"
 
 // Counting allocator: global operator new replacements that bump a counter
@@ -176,6 +178,55 @@ TEST(EngineTest, SteadyStateAttendPerformsZeroAllocations) {
 
   EXPECT_EQ(g_allocation_count.load(), 0u)
       << "SelectiveBackend::Attend allocated on the steady-state decode path";
+}
+
+TEST(EngineTest, SteadyStateDecodeZeroAllocWithTracingArmed) {
+  // Same acceptance as above, but with the span tracer armed and kernel
+  // profiling on: observability must not cost allocations on the decode hot
+  // path. The warm-up generates with tracing armed so this thread's ring is
+  // first-touch-created outside the counting window; after that every span
+  // is a fixed-size slot write.
+  auto& tracer = obs::Tracer::Global();
+  tracer.ResetForTesting();
+  tracer.Start();
+  obs::MetricsRegistry::EnableKernelProfiling(true);
+
+  auto engine = PQCacheEngine::Create(SmallEngineOptions());
+  ASSERT_TRUE(engine.ok());
+  auto& e = *engine.value();
+  ASSERT_TRUE(e.Prefill(MakePrompt(96)).ok());
+  ASSERT_TRUE(e.Generate(8).ok());
+
+  SetAttendHooksForTesting(
+      +[] { g_count_allocations.store(true, std::memory_order_relaxed); },
+      +[] { g_count_allocations.store(false, std::memory_order_relaxed); });
+  g_allocation_count.store(0);
+  ASSERT_TRUE(e.Generate(4).ok());
+  SetAttendHooksForTesting(nullptr, nullptr);
+  EXPECT_EQ(g_allocation_count.load(), 0u)
+      << "Attend allocated with tracing + kernel profiling armed";
+
+  // The ring-emission path itself is allocation-free once the ring exists:
+  // count a manually emitted span and instant end to end.
+  g_count_allocations.store(true, std::memory_order_relaxed);
+  {
+    obs::TraceSpan span("test", "test.zero_alloc");
+    span.Arg("step", 1);
+  }
+  obs::Tracer::Instant("test", "test.zero_alloc_instant", "step", 2);
+  g_count_allocations.store(false, std::memory_order_relaxed);
+  EXPECT_EQ(g_allocation_count.load(), 0u)
+      << "TraceSpan/Instant emission allocated after ring creation";
+
+  tracer.Stop();
+  obs::MetricsRegistry::EnableKernelProfiling(false);
+  EXPECT_GT(tracer.RetainedEvents(), 0u);
+  const std::string json = tracer.ToChromeTraceJson();
+  EXPECT_NE(json.find("engine.decode_step"), std::string::npos);
+  const auto snap = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_GT(snap.histogram(obs::Histo::kLutBuildSeconds).count, 0u);
+  EXPECT_GT(snap.histogram(obs::Histo::kGatherReduceSeconds).count, 0u);
+  tracer.ResetForTesting();
 }
 
 TEST(EngineTest, SelectiveMatchesFullAtRatioOne) {

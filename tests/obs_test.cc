@@ -1,0 +1,381 @@
+// Tests for the observability spine (src/obs/): tracer ring semantics,
+// concurrent emission, arm/disarm behavior, Chrome-trace export, metrics
+// registry snapshot consistency — including agreement between the histogram
+// view and ServerStats' exact percentiles over one serve run — and the
+// thread-safe logging sink.
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/logging.h"
+#include "src/common/threadpool.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/serve/session_manager.h"
+
+namespace pqcache {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histo;
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+using obs::Tracer;
+using obs::TraceSpan;
+
+/// RAII guard: every tracer test leaves the global tracer disarmed and empty
+/// for whichever test the process runs next.
+struct TracerCleanup {
+  ~TracerCleanup() {
+    Tracer::Global().Stop();
+    Tracer::Global().ResetForTesting(Tracer::kDefaultRingCapacity);
+  }
+};
+
+TEST(TracerTest, DisarmedEmitsNothing) {
+  TracerCleanup cleanup;
+  Tracer::Global().ResetForTesting();
+  ASSERT_FALSE(Tracer::Enabled());
+  { PQC_TRACE_SPAN("test", "test.disarmed"); }
+  Tracer::Instant("test", "test.disarmed_instant");
+  EXPECT_EQ(Tracer::Global().RetainedEvents(), 0u);
+}
+
+TEST(TracerTest, RingWraparoundKeepsNewestEvents) {
+  TracerCleanup cleanup;
+  Tracer::Global().ResetForTesting(/*ring_capacity_events=*/64);
+  Tracer::Global().Start();
+  for (int i = 0; i < 200; ++i) {
+    Tracer::Instant("test", "test.event", "i", i);
+  }
+  Tracer::Global().Stop();
+  EXPECT_EQ(Tracer::Global().RetainedEvents(), 64u);
+  EXPECT_EQ(Tracer::Global().DroppedEvents(), 136u);
+  // Newest-wins: the export holds the last 64 instants (i in [136, 200)).
+  const std::string json = Tracer::Global().ToChromeTraceJson();
+  EXPECT_NE(json.find("\"i\":199"), std::string::npos);
+  EXPECT_NE(json.find("\"i\":136"), std::string::npos);
+  EXPECT_EQ(json.find("\"i\":135,"), std::string::npos);
+}
+
+TEST(TracerTest, ArmDisarmMidRunScopesRecording) {
+  TracerCleanup cleanup;
+  Tracer::Global().ResetForTesting();
+  { PQC_TRACE_SPAN("test", "test.before"); }
+  Tracer::Global().Start();
+  { PQC_TRACE_SPAN("test", "test.during"); }
+  Tracer::Global().Stop();
+  { PQC_TRACE_SPAN("test", "test.after"); }
+  EXPECT_EQ(Tracer::Global().RetainedEvents(), 1u);
+  const std::string json = Tracer::Global().ToChromeTraceJson();
+  EXPECT_NE(json.find("test.during"), std::string::npos);
+  EXPECT_EQ(json.find("test.before"), std::string::npos);
+  EXPECT_EQ(json.find("test.after"), std::string::npos);
+}
+
+TEST(TracerTest, ConcurrentEmitFromThreadPool) {
+  // TSan-exercised: many workers emit into their per-thread rings while the
+  // main thread reads the aggregate counters, then exports after a join.
+  TracerCleanup cleanup;
+  Tracer::Global().ResetForTesting();
+  Tracer::Global().Start();
+  constexpr size_t kEvents = 2000;
+  {
+    ThreadPool pool(4);
+    ParallelFor(pool, 0, kEvents, [](size_t i) {
+      TraceSpan span("test", "test.parallel");
+      span.Arg("i", static_cast<int64_t>(i));
+    });
+    // Concurrent read while workers may still be draining their last tasks.
+    (void)Tracer::Global().RetainedEvents();
+    pool.Wait();
+  }
+  Tracer::Global().Stop();
+  EXPECT_EQ(Tracer::Global().RetainedEvents(), kEvents);
+  EXPECT_EQ(Tracer::Global().DroppedEvents(), 0u);
+  const std::string json = Tracer::Global().ToChromeTraceJson();
+  EXPECT_NE(json.find("test.parallel"), std::string::npos);
+}
+
+TEST(TracerTest, InternStringReturnsStablePointer) {
+  TracerCleanup cleanup;
+  Tracer::Global().ResetForTesting();
+  const char* a = Tracer::Global().InternString("tenant-a");
+  const char* b = Tracer::Global().InternString(std::string("tenant-") + "a");
+  EXPECT_EQ(a, b);
+  EXPECT_STREQ(a, "tenant-a");
+  EXPECT_NE(a, Tracer::Global().InternString("tenant-b"));
+}
+
+TEST(TracerTest, CompleteOnTrackExportsVirtualTrackTid) {
+  TracerCleanup cleanup;
+  Tracer::Global().ResetForTesting();
+  Tracer::Global().Start();
+  Tracer::CompleteOnTrack("test", "test.track", /*ts_ns=*/1000,
+                          /*dur_ns=*/5000, /*track=*/1000042, "session", 42);
+  Tracer::Global().Stop();
+  const std::string json = Tracer::Global().ToChromeTraceJson();
+  EXPECT_NE(json.find("\"tid\":1000042"), std::string::npos);
+  EXPECT_NE(json.find("\"session\":42"), std::string::npos);
+}
+
+TEST(TracerTest, ExportIsTimestampSorted) {
+  TracerCleanup cleanup;
+  Tracer::Global().ResetForTesting();
+  Tracer::Global().Start();
+  // Emit out of order via explicit-timestamp track events.
+  Tracer::CompleteOnTrack("test", "test.late", 9000, 100, 7);
+  Tracer::CompleteOnTrack("test", "test.early", 1000, 100, 7);
+  Tracer::Global().Stop();
+  const std::string json = Tracer::Global().ToChromeTraceJson();
+  const size_t early = json.find("test.early");
+  const size_t late = json.find("test.late");
+  ASSERT_NE(early, std::string::npos);
+  ASSERT_NE(late, std::string::npos);
+  EXPECT_LT(early, late);
+}
+
+TEST(MetricsTest, CountersGaugesAndNames) {
+  MetricsRegistry::Global().ResetForTesting();
+  MetricsRegistry::Add(Counter::kServeRounds);
+  MetricsRegistry::Add(Counter::kServeRounds, 4);
+  MetricsRegistry::SetGauge(Gauge::kActiveSessions, 3);
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.counter(Counter::kServeRounds), 5u);
+  EXPECT_EQ(snap.gauge(Gauge::kActiveSessions), 3);
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"serve_rounds\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"active_sessions\": 3"), std::string::npos);
+  MetricsRegistry::Global().ResetForTesting();
+}
+
+TEST(MetricsTest, HistogramBucketsBracketSamples) {
+  MetricsRegistry::Global().ResetForTesting();
+  const double samples[] = {5e-8, 3e-4, 0.9};
+  for (double s : samples) {
+    MetricsRegistry::Observe(Histo::kDecodeStepSeconds, s);
+  }
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  const obs::HistogramSnapshot& h = snap.histogram(Histo::kDecodeStepSeconds);
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_NEAR(h.sum_seconds, 5e-8 + 3e-4 + 0.9, 1e-6);
+  // Every sample lies within its percentile's bucket bounds.
+  EXPECT_LE(h.PercentileLowerBoundSeconds(1), 5e-8);
+  EXPECT_GE(h.PercentileUpperBoundSeconds(1), 5e-8);
+  EXPECT_LE(h.PercentileLowerBoundSeconds(50), 3e-4);
+  EXPECT_GE(h.PercentileUpperBoundSeconds(50), 3e-4);
+  EXPECT_LE(h.PercentileLowerBoundSeconds(100), 0.9);
+  EXPECT_GE(h.PercentileUpperBoundSeconds(100), 0.9);
+  MetricsRegistry::Global().ResetForTesting();
+}
+
+TEST(MetricsTest, ConcurrentObserveCountsEverySample) {
+  MetricsRegistry::Global().ResetForTesting();
+  constexpr size_t kSamples = 4000;
+  {
+    ThreadPool pool(4);
+    ParallelFor(pool, 0, kSamples, [](size_t i) {
+      MetricsRegistry::Observe(Histo::kQueueWaitSeconds,
+                               static_cast<double>(i % 7) * 1e-5);
+      MetricsRegistry::Add(Counter::kDecodeSteps);
+    });
+    pool.Wait();
+  }
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  const obs::HistogramSnapshot& h = snap.histogram(Histo::kQueueWaitSeconds);
+  EXPECT_EQ(h.count, kSamples);
+  EXPECT_EQ(snap.counter(Counter::kDecodeSteps), kSamples);
+  // Bucket cells sum to the histogram count (no sample lost between cells).
+  uint64_t bucket_sum = 0;
+  for (uint64_t b : h.buckets) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, kSamples);
+  MetricsRegistry::Global().ResetForTesting();
+}
+
+// --- Serve-level consistency: one drain, three views (ServerStats, the
+// metrics registry, the exported trace) must agree. ---
+
+PQCacheEngineOptions ServeEngineOptions() {
+  PQCacheEngineOptions options;
+  options.model = ModelConfig::Tiny();
+  options.initial_tokens = 2;
+  options.local_window = 8;
+  options.pq_partitions = 2;
+  options.pq_bits = 4;
+  options.kmeans_iterations = 6;
+  options.token_ratio = 0.5;
+  options.cache.capacity_tokens = 64;
+  options.cache.block_tokens = 8;
+  return options;
+}
+
+std::vector<int32_t> MakePrompt(size_t n, int32_t salt) {
+  std::vector<int32_t> prompt(n);
+  for (size_t i = 0; i < n; ++i) {
+    prompt[i] = static_cast<int32_t>((i * 37 + 11 + salt * 13) % 250);
+  }
+  return prompt;
+}
+
+TEST(MetricsTest, ServeSnapshotAgreesWithServerStats) {
+  MetricsRegistry::Global().ResetForTesting();
+  ServeOptions options;
+  options.engine = ServeEngineOptions();
+  options.max_sessions = 4;
+  options.max_queue = 16;
+  auto manager = SessionManager::Create(options).value();
+  constexpr size_t kSessions = 6;
+  constexpr size_t kTokens = 5;
+  for (size_t i = 0; i < kSessions; ++i) {
+    ServeRequest request;
+    request.prompt = MakePrompt(48, static_cast<int32_t>(i));
+    request.max_new_tokens = kTokens;
+    ASSERT_TRUE(manager->Submit(std::move(request)).ok());
+  }
+  ASSERT_TRUE(manager->RunUntilDrained().ok());
+  const ServerStats& stats = manager->stats();
+  ASSERT_EQ(stats.completed, kSessions);
+
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  // Counter algebra against ServerStats' exact bookkeeping.
+  EXPECT_EQ(snap.counter(Counter::kSessionsCompleted), kSessions);
+  EXPECT_EQ(snap.counter(Counter::kSessionsAdmitted), kSessions);
+  EXPECT_EQ(snap.counter(Counter::kSessionsFailed), 0u);
+  EXPECT_EQ(snap.counter(Counter::kPrefills), kSessions);
+  EXPECT_EQ(snap.counter(Counter::kDecodeSteps), kSessions * (kTokens - 1));
+  EXPECT_EQ(snap.counter(Counter::kTokensGenerated),
+            stats.total_generated_tokens);
+  // Histogram counts sum to the matching counter totals.
+  EXPECT_EQ(snap.histogram(Histo::kPrefillSeconds).count,
+            snap.counter(Counter::kPrefills));
+  EXPECT_EQ(snap.histogram(Histo::kDecodeStepSeconds).count,
+            snap.counter(Counter::kDecodeSteps));
+  EXPECT_EQ(snap.histogram(Histo::kQueueWaitSeconds).count, kSessions);
+
+  // Percentile agreement. Queue waits are the *same* samples on both sides
+  // (Session::queue_wait_seconds feeds the record and the histogram), so the
+  // exact percentile must fall within the histogram bucket's bounds.
+  const obs::HistogramSnapshot& qw = snap.histogram(Histo::kQueueWaitSeconds);
+  for (double p : {50.0, 99.0}) {
+    const double exact = stats.QueueWaitPercentileSeconds(p);
+    EXPECT_GE(exact, qw.PercentileLowerBoundSeconds(p)) << "p" << p;
+    EXPECT_LE(exact, qw.PercentileUpperBoundSeconds(p)) << "p" << p;
+  }
+  // TPOT is measured at the session layer (engine step + session overhead)
+  // while the histogram is engine-level, so bound it one-sidedly below and
+  // cap it loosely above (2x the max engine bucket).
+  const obs::HistogramSnapshot& ds = snap.histogram(Histo::kDecodeStepSeconds);
+  const double p50_tpot = stats.TpotPercentileSeconds(50);
+  EXPECT_GE(p50_tpot, ds.PercentileLowerBoundSeconds(50));
+  EXPECT_LE(p50_tpot, 2.0 * ds.PercentileUpperBoundSeconds(100));
+  MetricsRegistry::Global().ResetForTesting();
+}
+
+TEST(MetricsTest, ServeDrainWritesTraceAndMetricsFiles) {
+  TracerCleanup cleanup;
+  Tracer::Global().ResetForTesting();
+  MetricsRegistry::Global().ResetForTesting();
+  const std::string trace_path = testing::TempDir() + "/obs_serve_trace.json";
+  const std::string metrics_path =
+      testing::TempDir() + "/obs_serve_metrics.json";
+  ServeOptions options;
+  options.engine = ServeEngineOptions();
+  options.max_sessions = 2;
+  options.max_queue = 16;
+  options.trace_path = trace_path;
+  options.metrics_path = metrics_path;
+  auto manager = SessionManager::Create(options).value();
+  for (int i = 0; i < 3; ++i) {
+    ServeRequest request;
+    request.prompt = MakePrompt(48, i);
+    request.max_new_tokens = 4;
+    ASSERT_TRUE(manager->Submit(std::move(request)).ok());
+  }
+  ASSERT_TRUE(manager->RunUntilDrained().ok());
+  // The drain disarms the tracer it armed.
+  EXPECT_FALSE(Tracer::Enabled());
+
+  std::ifstream trace_in(trace_path);
+  ASSERT_TRUE(trace_in.good());
+  std::stringstream trace_ss;
+  trace_ss << trace_in.rdbuf();
+  const std::string trace = trace_ss.str();
+  for (const char* name :
+       {"traceEvents", "queue.wait", "session.prefill", "session.decode",
+        "engine.prefill", "engine.decode_step", "serve.round", "admit"}) {
+    EXPECT_NE(trace.find(name), std::string::npos) << name;
+  }
+
+  std::ifstream metrics_in(metrics_path);
+  ASSERT_TRUE(metrics_in.good());
+  std::stringstream metrics_ss;
+  metrics_ss << metrics_in.rdbuf();
+  const std::string metrics = metrics_ss.str();
+  EXPECT_NE(metrics.find("\"sessions_completed\": 3"), std::string::npos);
+  EXPECT_NE(metrics.find("\"decode_step_seconds\""), std::string::npos);
+  MetricsRegistry::Global().ResetForTesting();
+}
+
+// --- Logging sink ---
+
+std::mutex g_log_mu;
+std::vector<std::string> g_log_lines;
+
+void CollectLine(LogLevel /*level*/, const char* line) {
+  std::lock_guard<std::mutex> lock(g_log_mu);
+  g_log_lines.emplace_back(line);
+}
+
+TEST(LoggingTest, ConcurrentLoggingEmitsWholeLines) {
+  {
+    std::lock_guard<std::mutex> lock(g_log_mu);
+    g_log_lines.clear();
+  }
+  SetLogSinkForTesting(&CollectLine);
+  constexpr size_t kMessages = 200;
+  {
+    ThreadPool pool(4);
+    ParallelFor(pool, 0, kMessages, [](size_t i) {
+      PQC_LOG(Info) << "message " << i << " complete";
+    });
+    pool.Wait();
+  }
+  SetLogSinkForTesting(nullptr);
+  std::lock_guard<std::mutex> lock(g_log_mu);
+  ASSERT_EQ(g_log_lines.size(), kMessages);
+  // Every line arrived whole: prefix present, suffix intact, no interleaving
+  // with another thread's characters.
+  for (const std::string& line : g_log_lines) {
+    EXPECT_NE(line.find("[INFO "), std::string::npos) << line;
+    EXPECT_NE(line.find("message "), std::string::npos) << line;
+    EXPECT_EQ(line.find('\n'), std::string::npos) << line;
+    EXPECT_EQ(line.substr(line.size() - 9), " complete") << line;
+  }
+}
+
+TEST(LoggingTest, LevelFilterSuppressesBelowThreshold) {
+  {
+    std::lock_guard<std::mutex> lock(g_log_mu);
+    g_log_lines.clear();
+  }
+  const LogLevel prior = GetLogLevel();
+  SetLogSinkForTesting(&CollectLine);
+  SetLogLevel(LogLevel::kError);
+  PQC_LOG(Info) << "filtered";
+  PQC_LOG(Error) << "kept";
+  SetLogLevel(prior);
+  SetLogSinkForTesting(nullptr);
+  std::lock_guard<std::mutex> lock(g_log_mu);
+  ASSERT_EQ(g_log_lines.size(), 1u);
+  EXPECT_NE(g_log_lines[0].find("kept"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pqcache
