@@ -23,6 +23,7 @@ enum class StatusCode {
   kDataLoss,
   kDeadlineExceeded,
   kUnavailable,
+  kCancelled,
 };
 
 /// Returns a human-readable name for a StatusCode ("OK", "InvalidArgument"...).
@@ -74,6 +75,12 @@ class Status {
   /// with bounded exponential backoff before failing a session.
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// The operation's consumer went away before it finished (e.g. a network
+  /// client disconnected mid-stream). Unlike Unavailable this is not
+  /// transient: the serving layer retires cancelled sessions without retry.
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,64 @@
+// Fixed-capacity byte ring: the per-connection output buffer between the
+// scheduler thread (which appends encoded response frames) and the network
+// thread (which drains contiguous runs into the socket). The ring itself is
+// not synchronized — the server guards each connection with its own mutex —
+// but it never reallocates after construction, so the bound the backpressure
+// policy relies on ("a reader more than ring-capacity bytes behind gets its
+// session checkpoint-suspended") is structural, not best-effort.
+#ifndef PQCACHE_NET_BYTE_RING_H_
+#define PQCACHE_NET_BYTE_RING_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace pqcache::net {
+
+/// Bounded FIFO of bytes with contiguous-front access for scatter-free
+/// socket writes.
+class ByteRing {
+ public:
+  explicit ByteRing(size_t capacity) : storage_(capacity) {}
+
+  size_t capacity() const { return storage_.size(); }
+  size_t size() const { return size_; }
+  size_t free_bytes() const { return storage_.size() - size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Appends all n bytes or nothing (frames must never be split across a
+  /// refusal — a half-written frame would corrupt the stream).
+  bool Append(const char* data, size_t n) {
+    if (n > free_bytes()) return false;
+    const size_t tail = (head_ + size_) % storage_.size();
+    const size_t first = std::min(n, storage_.size() - tail);
+    std::memcpy(storage_.data() + tail, data, first);
+    std::memcpy(storage_.data(), data + first, n - first);
+    size_ += n;
+    return true;
+  }
+
+  /// The longest contiguous run at the front (empty ring -> {nullptr, 0}).
+  std::pair<const char*, size_t> Front() const {
+    if (size_ == 0) return {nullptr, 0};
+    return {storage_.data() + head_,
+            std::min(size_, storage_.size() - head_)};
+  }
+
+  /// Drops n consumed front bytes (n <= the last Front().second).
+  void Consume(size_t n) {
+    head_ = (head_ + n) % storage_.size();
+    size_ -= n;
+  }
+
+ private:
+  std::vector<char> storage_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace pqcache::net
+
+#endif  // PQCACHE_NET_BYTE_RING_H_

@@ -1,0 +1,256 @@
+#include "src/net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace pqcache::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Client>> Client::ConnectTcp(uint16_t port,
+                                                   int recv_buffer_bytes) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket(tcp)");
+  if (recv_buffer_bytes > 0) {
+    // Before connect so the clamped value sizes the advertised window.
+    setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &recv_buffer_bytes,
+               sizeof(recv_buffer_bytes));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return Errno("connect(tcp)");
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  std::unique_ptr<Client> client(new Client(fd));
+  Status handshake = client->Handshake();
+  if (!handshake.ok()) return handshake;
+  return client;
+}
+
+Result<std::unique_ptr<Client>> Client::ConnectUds(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("uds path too long for sockaddr_un");
+  }
+  const int fd = socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket(uds)");
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return Errno("connect(uds)");
+  }
+  std::unique_ptr<Client> client(new Client(fd));
+  Status handshake = client->Handshake();
+  if (!handshake.ok()) return handshake;
+  return client;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) close(fd_);
+}
+
+Status Client::Handshake() {
+  std::string hello;
+  AppendHello(&hello, HelloFrame{});
+  Status sent = SendAll(hello);
+  if (!sent.ok()) return sent;
+  FrameHeader header;
+  std::string payload;
+  Status read = ReadFrame(&header, &payload);
+  if (!read.ok()) return read;
+  if (header.type == FrameType::kError) {
+    auto error = DecodeError(
+        reinterpret_cast<const uint8_t*>(payload.data()), payload.size());
+    if (!error.ok()) return error.status();
+    return Status(StatusCodeFromWire(error.value().code),
+                  error.value().message);
+  }
+  if (header.type != FrameType::kHelloAck) {
+    return Status::FailedPrecondition(
+        "handshake: expected HelloAck, got frame type " +
+        std::to_string(static_cast<int>(header.type)));
+  }
+  auto ack = DecodeHelloAck(
+      reinterpret_cast<const uint8_t*>(payload.data()), payload.size());
+  if (!ack.ok()) return ack.status();
+  if (ack.value() != kProtocolVersion) {
+    return Status::FailedPrecondition(
+        "handshake: server negotiated unsupported version " +
+        std::to_string(ack.value()));
+  }
+  return Status::OK();
+}
+
+Status Client::SendAll(const std::string& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Client::ReadFrame(FrameHeader* header, std::string* payload) {
+  char buf[kFrameHeaderBytes];
+  size_t off = 0;
+  while (off < kFrameHeaderBytes) {
+    const ssize_t n = read(fd_, buf + off, kFrameHeaderBytes - off);
+    if (n == 0) {
+      return Status::Unavailable("server closed the connection");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("read(header)");
+    }
+    off += static_cast<size_t>(n);
+  }
+  auto parsed =
+      ParseFrameHeader(reinterpret_cast<const uint8_t*>(buf), off);
+  if (!parsed.ok()) return parsed.status();
+  *header = parsed.value();
+  payload->resize(header->length);
+  off = 0;
+  while (off < header->length) {
+    const ssize_t n =
+        read(fd_, payload->data() + off, header->length - off);
+    if (n == 0) {
+      return Status::DataLoss("server closed mid-frame");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("read(payload)");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<uint32_t> Client::Submit(const SubmitFrame& request) {
+  const uint32_t stream_id = next_stream_++;
+  std::string frame;
+  AppendSubmit(&frame, stream_id, request);
+  Status sent = SendAll(frame);
+  if (!sent.ok()) return sent;
+  streams_[stream_id] = StreamResult{};
+  ++open_streams_;
+  return stream_id;
+}
+
+Status Client::HandleFrame(const FrameHeader& header,
+                           const std::string& payload) {
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(payload.data());
+  const size_t size = payload.size();
+  if (header.type == FrameType::kGoodbye) {
+    goodbye_received_ = true;
+    return Status::OK();
+  }
+  if (header.stream == 0 && header.type == FrameType::kError) {
+    // Connection-scope error (protocol violation): the server closes next.
+    auto error = DecodeError(data, size);
+    if (!error.ok()) return error.status();
+    return Status(StatusCodeFromWire(error.value().code),
+                  error.value().message);
+  }
+  auto it = streams_.find(header.stream);
+  if (it == streams_.end()) {
+    return Status::DataLoss("server frame for a stream this client never "
+                            "opened: " +
+                            std::to_string(header.stream));
+  }
+  StreamResult& stream = it->second;
+  switch (header.type) {
+    case FrameType::kSubmitAck: {
+      auto ack = DecodeSubmitAck(data, size);
+      if (!ack.ok()) return ack.status();
+      stream.session_id = ack.value().session_id;
+      return Status::OK();
+    }
+    case FrameType::kToken: {
+      auto token = DecodeToken(data, size);
+      if (!token.ok()) return token.status();
+      if (token.value().index != stream.tokens.size()) {
+        stream.status = Status::DataLoss(
+            "token index " + std::to_string(token.value().index) +
+            " does not continue the stream (have " +
+            std::to_string(stream.tokens.size()) + ")");
+        return stream.status;
+      }
+      stream.tokens.push_back(token.value().token);
+      return Status::OK();
+    }
+    case FrameType::kDone: {
+      auto done = DecodeDone(data, size);
+      if (!done.ok()) return done.status();
+      if (done.value().generated_tokens != stream.tokens.size()) {
+        stream.status = Status::DataLoss(
+            "Done count " + std::to_string(done.value().generated_tokens) +
+            " != delivered " + std::to_string(stream.tokens.size()));
+      } else {
+        stream.done = true;
+        stream.status = Status::OK();
+      }
+      --open_streams_;
+      return Status::OK();
+    }
+    case FrameType::kError: {
+      auto error = DecodeError(data, size);
+      if (!error.ok()) return error.status();
+      stream.status = Status(StatusCodeFromWire(error.value().code),
+                             error.value().message);
+      --open_streams_;
+      return Status::OK();
+    }
+    default:
+      return Status::DataLoss("unexpected server frame type " +
+                              std::to_string(static_cast<int>(header.type)));
+  }
+}
+
+Status Client::Drain() {
+  while (open_streams_ > 0) {
+    FrameHeader header;
+    std::string payload;
+    Status read = ReadFrame(&header, &payload);
+    if (!read.ok()) return read;
+    Status handled = HandleFrame(header, payload);
+    if (!handled.ok()) return handled;
+  }
+  return Status::OK();
+}
+
+const StreamResult* Client::result(uint32_t stream_id) const {
+  auto it = streams_.find(stream_id);
+  return it == streams_.end() ? nullptr : &it->second;
+}
+
+Status Client::SendGoodbye() {
+  std::string frame;
+  AppendGoodbye(&frame);
+  return SendAll(frame);
+}
+
+}  // namespace pqcache::net

@@ -1,0 +1,92 @@
+// Blocking client for the src/net wire protocol (docs/PROTOCOL.md): connect
+// (TCP loopback or Unix-domain socket), handshake, submit generation
+// requests on client-chosen stream ids, then Drain() the responses. One
+// connection multiplexes any number of streams; the server interleaves
+// their Token frames, and the client demultiplexes by stream id. Token
+// indexes are verified contiguous per stream, so a protocol or server bug
+// that drops or duplicates a token surfaces as DataLoss here rather than as
+// silently wrong output.
+#ifndef PQCACHE_NET_CLIENT_H_
+#define PQCACHE_NET_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/net/protocol.h"
+
+namespace pqcache::net {
+
+/// Everything the server said about one stream.
+struct StreamResult {
+  /// Server-side session id from the SubmitAck (-1 until acked). After a
+  /// server-side suspend/resume cycle the live session id differs; this
+  /// stays the original (it is informational only).
+  int64_t session_id = -1;
+  /// Tokens in stream order, verified gap-free by index.
+  std::vector<int32_t> tokens;
+  /// Stream ended with a Done frame (status is OK) whose count matched.
+  bool done = false;
+  /// OK after Done; the decoded Error status after an Error frame;
+  /// DataLoss on an index/count mismatch.
+  Status status = Status::OK();
+};
+
+/// One protocol connection. Not thread-safe (use one per thread).
+class Client {
+ public:
+  /// Connects to 127.0.0.1:port and performs the Hello handshake. A
+  /// positive recv_buffer_bytes sets SO_RCVBUF before connecting (the
+  /// kernel clamps to its floor); tests use it to provoke server-side
+  /// backpressure deterministically.
+  static Result<std::unique_ptr<Client>> ConnectTcp(
+      uint16_t port, int recv_buffer_bytes = 0);
+  /// Connects to a Unix-domain socket path and performs the handshake.
+  static Result<std::unique_ptr<Client>> ConnectUds(const std::string& path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one Submit frame and returns its client-chosen stream id
+  /// (assigned 1, 2, ... in submit order).
+  Result<uint32_t> Submit(const SubmitFrame& request);
+
+  /// Reads frames until every submitted stream is terminal (Done or Error)
+  /// or the server closes the connection. Per-stream outcomes land in
+  /// result(); the returned Status covers connection-level failures only
+  /// (EOF with streams still open, malformed frames).
+  Status Drain();
+
+  /// Result of one stream (nullptr for an unknown id). Stable after
+  /// Drain() returns.
+  const StreamResult* result(uint32_t stream_id) const;
+
+  /// Sends a Goodbye frame (polite close; the server ignores it today).
+  Status SendGoodbye();
+
+  /// The raw socket (tests use it to provoke slow-reader backpressure).
+  int fd() const { return fd_; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+  Status Handshake();
+  Status SendAll(const std::string& bytes);
+  /// Blocking read of one full frame (header + payload).
+  Status ReadFrame(FrameHeader* header, std::string* payload);
+  /// Applies one server frame to the stream table.
+  Status HandleFrame(const FrameHeader& header, const std::string& payload);
+
+  int fd_;
+  uint32_t next_stream_ = 1;
+  size_t open_streams_ = 0;
+  bool goodbye_received_ = false;
+  std::map<uint32_t, StreamResult> streams_;
+};
+
+}  // namespace pqcache::net
+
+#endif  // PQCACHE_NET_CLIENT_H_

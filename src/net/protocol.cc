@@ -1,0 +1,310 @@
+#include "src/net/protocol.h"
+
+#include <cstring>
+
+namespace pqcache::net {
+
+namespace {
+
+// Little-endian POD append/read. The library targets little-endian hosts
+// (the serialize.cc checkpoint format makes the same assumption); memcpy
+// keeps every access alignment-safe.
+template <typename T>
+void AppendPod(std::string* out, T value) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out->append(bytes, sizeof(T));
+}
+
+template <typename T>
+T ReadPod(const uint8_t* data) {
+  T value;
+  std::memcpy(&value, data, sizeof(T));
+  return value;
+}
+
+/// Bounded cursor over a frame payload: every Read checks the remaining
+/// bytes first, so a corrupt length field can never walk past the buffer.
+class PayloadReader {
+ public:
+  PayloadReader(const uint8_t* data, size_t size) : data_(data), left_(size) {}
+
+  template <typename T>
+  bool Read(T* out) {
+    if (left_ < sizeof(T)) return false;
+    *out = ReadPod<T>(data_);
+    data_ += sizeof(T);
+    left_ -= sizeof(T);
+    return true;
+  }
+
+  /// Reads a u32-length-prefixed string; the length must fit the bytes that
+  /// are actually present (validated before the allocation).
+  bool ReadString(std::string* out) {
+    uint32_t n = 0;
+    if (!Read(&n) || n > left_) return false;
+    out->assign(reinterpret_cast<const char*>(data_), n);
+    data_ += n;
+    left_ -= n;
+    return true;
+  }
+
+  /// Reads a u32-count-prefixed i32 array with the same bound discipline.
+  bool ReadTokens(std::vector<int32_t>* out) {
+    uint32_t n = 0;
+    if (!Read(&n)) return false;
+    if (static_cast<uint64_t>(n) * sizeof(int32_t) > left_) return false;
+    out->resize(n);
+    std::memcpy(out->data(), data_, n * sizeof(int32_t));
+    data_ += n * sizeof(int32_t);
+    left_ -= n * sizeof(int32_t);
+    return true;
+  }
+
+  bool exhausted() const { return left_ == 0; }
+
+ private:
+  const uint8_t* data_;
+  size_t left_;
+};
+
+void AppendHeader(std::string* out, FrameType type, uint32_t stream,
+                  uint32_t length) {
+  AppendPod<uint16_t>(out, kMagic);
+  AppendPod<uint8_t>(out, kProtocolVersion);
+  AppendPod<uint8_t>(out, static_cast<uint8_t>(type));
+  AppendPod<uint32_t>(out, stream);
+  AppendPod<uint32_t>(out, length);
+  AppendPod<uint32_t>(out, 0);  // reserved
+}
+
+Status Malformed(const char* what) {
+  return Status::DataLoss(std::string("net frame: malformed ") + what);
+}
+
+}  // namespace
+
+uint32_t WireErrorCode(StatusCode code) {
+  // Frozen by docs/PROTOCOL.md — append-only, never renumber.
+  switch (code) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+      return 1;
+    case StatusCode::kNotFound:
+      return 2;
+    case StatusCode::kOutOfMemory:
+      return 3;
+    case StatusCode::kOutOfRange:
+      return 4;
+    case StatusCode::kFailedPrecondition:
+      return 5;
+    case StatusCode::kUnimplemented:
+      return 6;
+    case StatusCode::kInternal:
+      return 7;
+    case StatusCode::kDataLoss:
+      return 8;
+    case StatusCode::kDeadlineExceeded:
+      return 9;
+    case StatusCode::kUnavailable:
+      return 10;
+    case StatusCode::kCancelled:
+      return 11;
+  }
+  return 7;  // kInternal
+}
+
+StatusCode StatusCodeFromWire(uint32_t wire) {
+  switch (wire) {
+    case 0:
+      return StatusCode::kOk;
+    case 1:
+      return StatusCode::kInvalidArgument;
+    case 2:
+      return StatusCode::kNotFound;
+    case 3:
+      return StatusCode::kOutOfMemory;
+    case 4:
+      return StatusCode::kOutOfRange;
+    case 5:
+      return StatusCode::kFailedPrecondition;
+    case 6:
+      return StatusCode::kUnimplemented;
+    case 7:
+      return StatusCode::kInternal;
+    case 8:
+      return StatusCode::kDataLoss;
+    case 9:
+      return StatusCode::kDeadlineExceeded;
+    case 10:
+      return StatusCode::kUnavailable;
+    case 11:
+      return StatusCode::kCancelled;
+    default:
+      return StatusCode::kInternal;
+  }
+}
+
+void AppendHello(std::string* out, const HelloFrame& hello) {
+  AppendHeader(out, FrameType::kHello, 0, 2);
+  AppendPod<uint8_t>(out, hello.min_version);
+  AppendPod<uint8_t>(out, hello.max_version);
+}
+
+void AppendHelloAck(std::string* out, uint8_t version) {
+  AppendHeader(out, FrameType::kHelloAck, 0, 1);
+  AppendPod<uint8_t>(out, version);
+}
+
+void AppendSubmit(std::string* out, uint32_t stream, const SubmitFrame& req) {
+  const size_t length = 4 + req.tag.size() + 4 + req.tenant.size() + 4 + 4 +
+                        8 + 8 + 4 + req.prompt.size() * sizeof(int32_t);
+  AppendHeader(out, FrameType::kSubmit, stream,
+               static_cast<uint32_t>(length));
+  AppendPod<uint32_t>(out, static_cast<uint32_t>(req.tag.size()));
+  out->append(req.tag);
+  AppendPod<uint32_t>(out, static_cast<uint32_t>(req.tenant.size()));
+  out->append(req.tenant);
+  AppendPod<uint32_t>(out, req.weight);
+  AppendPod<int32_t>(out, req.priority);
+  AppendPod<uint64_t>(out, req.max_new_tokens);
+  AppendPod<double>(out, req.queue_deadline_seconds);
+  AppendPod<uint32_t>(out, static_cast<uint32_t>(req.prompt.size()));
+  out->append(reinterpret_cast<const char*>(req.prompt.data()),
+              req.prompt.size() * sizeof(int32_t));
+}
+
+void AppendSubmitAck(std::string* out, uint32_t stream, int64_t session_id) {
+  AppendHeader(out, FrameType::kSubmitAck, stream, 8);
+  AppendPod<int64_t>(out, session_id);
+}
+
+void AppendToken(std::string* out, uint32_t stream, uint64_t index,
+                 int32_t token) {
+  AppendHeader(out, FrameType::kToken, stream, 12);
+  AppendPod<uint64_t>(out, index);
+  AppendPod<int32_t>(out, token);
+}
+
+void AppendDone(std::string* out, uint32_t stream, uint64_t generated_tokens) {
+  AppendHeader(out, FrameType::kDone, stream, 8);
+  AppendPod<uint64_t>(out, generated_tokens);
+}
+
+void AppendError(std::string* out, uint32_t stream, const Status& status) {
+  const std::string& msg = status.message();
+  AppendHeader(out, FrameType::kError, stream,
+               static_cast<uint32_t>(4 + 4 + msg.size()));
+  AppendPod<uint32_t>(out, WireErrorCode(status.code()));
+  AppendPod<uint32_t>(out, static_cast<uint32_t>(msg.size()));
+  out->append(msg);
+}
+
+void AppendGoodbye(std::string* out) {
+  AppendHeader(out, FrameType::kGoodbye, 0, 0);
+}
+
+Result<FrameHeader> ParseFrameHeader(const uint8_t* data, size_t size) {
+  if (size < kFrameHeaderBytes) {
+    return Malformed("header: fewer than 16 bytes");
+  }
+  FrameHeader header;
+  header.magic = ReadPod<uint16_t>(data);
+  if (header.magic != kMagic) return Malformed("magic");
+  header.version = ReadPod<uint8_t>(data + 2);
+  if (header.version != kProtocolVersion) {
+    return Status::FailedPrecondition(
+        "net frame: unsupported protocol version " +
+        std::to_string(header.version) + " (this build speaks " +
+        std::to_string(kProtocolVersion) + ")");
+  }
+  const uint8_t type = ReadPod<uint8_t>(data + 3);
+  if (type < static_cast<uint8_t>(FrameType::kHello) ||
+      type > static_cast<uint8_t>(FrameType::kGoodbye)) {
+    return Malformed("frame type");
+  }
+  header.type = static_cast<FrameType>(type);
+  header.stream = ReadPod<uint32_t>(data + 4);
+  header.length = ReadPod<uint32_t>(data + 8);
+  if (header.length > kMaxFramePayloadBytes) {
+    return Malformed("payload length (exceeds kMaxFramePayloadBytes)");
+  }
+  if (ReadPod<uint32_t>(data + 12) != 0) return Malformed("reserved word");
+  return header;
+}
+
+Result<HelloFrame> DecodeHello(const uint8_t* data, size_t size) {
+  PayloadReader reader(data, size);
+  HelloFrame hello;
+  if (!reader.Read(&hello.min_version) || !reader.Read(&hello.max_version) ||
+      !reader.exhausted()) {
+    return Malformed("Hello payload");
+  }
+  if (hello.min_version > hello.max_version) {
+    return Malformed("Hello version range");
+  }
+  return hello;
+}
+
+Result<uint8_t> DecodeHelloAck(const uint8_t* data, size_t size) {
+  PayloadReader reader(data, size);
+  uint8_t version = 0;
+  if (!reader.Read(&version) || !reader.exhausted()) {
+    return Malformed("HelloAck payload");
+  }
+  return version;
+}
+
+Result<SubmitFrame> DecodeSubmit(const uint8_t* data, size_t size) {
+  PayloadReader reader(data, size);
+  SubmitFrame req;
+  if (!reader.ReadString(&req.tag) || !reader.ReadString(&req.tenant) ||
+      !reader.Read(&req.weight) || !reader.Read(&req.priority) ||
+      !reader.Read(&req.max_new_tokens) ||
+      !reader.Read(&req.queue_deadline_seconds) ||
+      !reader.ReadTokens(&req.prompt) || !reader.exhausted()) {
+    return Malformed("Submit payload");
+  }
+  return req;
+}
+
+Result<SubmitAckFrame> DecodeSubmitAck(const uint8_t* data, size_t size) {
+  PayloadReader reader(data, size);
+  SubmitAckFrame ack;
+  if (!reader.Read(&ack.session_id) || !reader.exhausted()) {
+    return Malformed("SubmitAck payload");
+  }
+  return ack;
+}
+
+Result<TokenFrame> DecodeToken(const uint8_t* data, size_t size) {
+  PayloadReader reader(data, size);
+  TokenFrame token;
+  if (!reader.Read(&token.index) || !reader.Read(&token.token) ||
+      !reader.exhausted()) {
+    return Malformed("Token payload");
+  }
+  return token;
+}
+
+Result<DoneFrame> DecodeDone(const uint8_t* data, size_t size) {
+  PayloadReader reader(data, size);
+  DoneFrame done;
+  if (!reader.Read(&done.generated_tokens) || !reader.exhausted()) {
+    return Malformed("Done payload");
+  }
+  return done;
+}
+
+Result<ErrorFrame> DecodeError(const uint8_t* data, size_t size) {
+  PayloadReader reader(data, size);
+  ErrorFrame error;
+  if (!reader.Read(&error.code) || !reader.ReadString(&error.message) ||
+      !reader.exhausted()) {
+    return Malformed("Error payload");
+  }
+  return error;
+}
+
+}  // namespace pqcache::net

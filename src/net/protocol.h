@@ -1,0 +1,164 @@
+// Wire protocol of the network serving frontend: little-endian,
+// length-prefixed binary frames over a byte stream (TCP or Unix-domain
+// socket). docs/PROTOCOL.md is the normative spec; the constants there are
+// *these* constants — keep the two in sync.
+//
+// Every frame is a fixed 16-byte header followed by `length` payload bytes:
+//
+//   offset  size  field
+//   0       2     magic     0x5150 ("PQ" on the wire, little-endian)
+//   2       1     version   protocol version (kProtocolVersion)
+//   3       1     type      FrameType
+//   4       4     stream    client-chosen stream id (0 = connection scope)
+//   8       4     length    payload bytes (<= kMaxFramePayloadBytes)
+//   12      4     reserved  must be 0
+//
+// The client opens with Hello (the version range it speaks); the server
+// answers HelloAck with the negotiated version or an Error frame and closes.
+// Requests are Submit frames (one generation request per client-chosen
+// stream id); the server streams back one Token frame per generated token
+// and terminates every stream with exactly one Done or Error frame. Error
+// frames carry a stable numeric code mapped 1:1 from StatusCode (see
+// WireErrorCode / StatusCodeFromWire), so a client can distinguish
+// shed-deadline from queue-full from engine failure without parsing text.
+//
+// Decoders here are hardened in the serialize.cc style: header fields are
+// validated before any allocation, string/array lengths are checked against
+// the payload's own length field, and truncated or corrupt frames fail with
+// Status::DataLoss instead of reading out of bounds.
+#ifndef PQCACHE_NET_PROTOCOL_H_
+#define PQCACHE_NET_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace pqcache::net {
+
+/// First two header bytes, "PQ" on the wire when written little-endian.
+inline constexpr uint16_t kMagic = 0x5150;
+
+/// The one protocol version this build speaks (negotiated via Hello).
+inline constexpr uint8_t kProtocolVersion = 1;
+
+/// Fixed header size in bytes.
+inline constexpr size_t kFrameHeaderBytes = 16;
+
+/// Upper bound on a frame's payload. Bounds the per-connection read buffer
+/// and makes a corrupt length field fail fast instead of forcing a huge
+/// allocation (same philosophy as serialize.cc's chunked reads).
+inline constexpr size_t kMaxFramePayloadBytes = 1u << 20;
+
+/// Frame kinds. Values are wire format — never renumber, only append.
+enum class FrameType : uint8_t {
+  kHello = 1,      ///< client -> server: version range (min, max).
+  kHelloAck = 2,   ///< server -> client: negotiated version.
+  kSubmit = 3,     ///< client -> server: one generation request.
+  kSubmitAck = 4,  ///< server -> client: request admitted to the queue.
+  kToken = 5,      ///< server -> client: one streamed token.
+  kDone = 6,       ///< server -> client: stream finished cleanly.
+  kError = 7,      ///< server -> client: stream (or connection) failed.
+  kGoodbye = 8,    ///< server -> client: graceful drain, no more frames.
+};
+
+/// Decoded frame header.
+struct FrameHeader {
+  uint16_t magic = kMagic;
+  uint8_t version = kProtocolVersion;
+  FrameType type = FrameType::kHello;
+  uint32_t stream = 0;
+  uint32_t length = 0;
+};
+
+/// Hello payload: the closed version range the client can speak.
+struct HelloFrame {
+  uint8_t min_version = kProtocolVersion;
+  uint8_t max_version = kProtocolVersion;
+};
+
+/// SubmitAck payload: the server-side session id (informational; the client
+/// addresses everything by its own stream id).
+struct SubmitAckFrame {
+  int64_t session_id = 0;
+};
+
+/// Submit payload: one generation request. Field semantics mirror
+/// ServeRequest (src/serve/session.h); the server copies them through.
+struct SubmitFrame {
+  std::string tag;
+  std::string tenant;
+  uint32_t weight = 1;
+  int32_t priority = 0;
+  uint64_t max_new_tokens = 16;
+  double queue_deadline_seconds = 0;
+  std::vector<int32_t> prompt;
+};
+
+/// Token payload: one generated token. `index` counts from 0 and is
+/// contiguous per stream, including across server-side checkpoint
+/// suspend/resume cycles (backpressure is invisible to the token sequence).
+struct TokenFrame {
+  uint64_t index = 0;
+  int32_t token = 0;
+};
+
+/// Done payload: total tokens delivered on the stream.
+struct DoneFrame {
+  uint64_t generated_tokens = 0;
+};
+
+/// Error payload: stable wire code plus a human-readable message.
+struct ErrorFrame {
+  uint32_t code = 0;
+  std::string message;
+};
+
+/// StatusCode <-> stable wire error code. The wire values are frozen by
+/// docs/PROTOCOL.md (the enum's in-memory values are free to change; these
+/// are not). Unknown wire codes decode to kInternal.
+uint32_t WireErrorCode(StatusCode code);
+StatusCode StatusCodeFromWire(uint32_t wire);
+
+// --- Encoders ---------------------------------------------------------------
+// Each appends one complete frame (header + payload) to `out`.
+
+void AppendHello(std::string* out, const HelloFrame& hello);
+void AppendHelloAck(std::string* out, uint8_t version);
+void AppendSubmit(std::string* out, uint32_t stream, const SubmitFrame& req);
+void AppendSubmitAck(std::string* out, uint32_t stream, int64_t session_id);
+void AppendToken(std::string* out, uint32_t stream, uint64_t index,
+                 int32_t token);
+void AppendDone(std::string* out, uint32_t stream, uint64_t generated_tokens);
+void AppendError(std::string* out, uint32_t stream, const Status& status);
+void AppendGoodbye(std::string* out);
+
+/// Wire size of one Token frame (header + payload) — the unit the server's
+/// output-ring capacity is naturally expressed in.
+inline constexpr size_t kTokenFrameBytes = kFrameHeaderBytes + 12;
+
+// --- Decoders ---------------------------------------------------------------
+
+/// Parses and validates a frame header from exactly kFrameHeaderBytes bytes
+/// (the caller buffers until that many are available). Rejects bad magic,
+/// nonzero reserved words, unknown frame types, and payload lengths beyond
+/// kMaxFramePayloadBytes with DataLoss; a version other than
+/// kProtocolVersion fails with FailedPrecondition (version negotiation).
+Result<FrameHeader> ParseFrameHeader(const uint8_t* data, size_t size);
+
+/// Payload decoders. `data`/`size` span exactly the frame's payload; short,
+/// oversized, or internally inconsistent payloads fail with DataLoss before
+/// any allocation sized from untrusted fields.
+Result<HelloFrame> DecodeHello(const uint8_t* data, size_t size);
+Result<uint8_t> DecodeHelloAck(const uint8_t* data, size_t size);
+Result<SubmitFrame> DecodeSubmit(const uint8_t* data, size_t size);
+Result<SubmitAckFrame> DecodeSubmitAck(const uint8_t* data, size_t size);
+Result<TokenFrame> DecodeToken(const uint8_t* data, size_t size);
+Result<DoneFrame> DecodeDone(const uint8_t* data, size_t size);
+Result<ErrorFrame> DecodeError(const uint8_t* data, size_t size);
+
+}  // namespace pqcache::net
+
+#endif  // PQCACHE_NET_PROTOCOL_H_

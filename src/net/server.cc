@@ -1,0 +1,741 @@
+#include "src/net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "src/common/timer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace pqcache::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " +
+                          std::strerror(errno));
+}
+
+void SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+Server::Server(const ServerOptions& options) : options_(options) {}
+
+Result<std::unique_ptr<Server>> Server::Start(const ServeOptions& serve,
+                                              const ServerOptions& options) {
+  if (options.resume_drain_fraction <= 0 ||
+      options.resume_drain_fraction > 1) {
+    return Status::InvalidArgument(
+        "ServerOptions::resume_drain_fraction must be in (0, 1]");
+  }
+  if (options.ring_bytes < kTokenFrameBytes) {
+    return Status::InvalidArgument(
+        "ServerOptions::ring_bytes must hold at least one token frame");
+  }
+  std::unique_ptr<Server> server(new Server(options));
+  ServeOptions wired = serve;
+  Server* raw = server.get();
+  wired.on_record = [raw](const SessionRecord& record) {
+    raw->OnRecord(record);
+  };
+  wired.on_requeue = [raw](int64_t old_id, int64_t new_id) {
+    raw->OnRequeue(old_id, new_id);
+  };
+  auto manager = SessionManager::Create(wired);
+  if (!manager.ok()) return manager.status();
+  server->manager_ = std::move(manager).value();
+  Status bound = server->Bind();
+  if (!bound.ok()) return bound;
+  if (pipe2(server->wake_pipe_, O_NONBLOCK | O_CLOEXEC) != 0) {
+    return Errno("pipe2");
+  }
+  server->net_thread_ = std::thread([raw] { raw->NetLoop(); });
+  server->sched_thread_ = std::thread([raw] { raw->SchedulerLoop(); });
+  return server;
+}
+
+Server::~Server() {
+  Shutdown();
+  if (wake_pipe_[0] >= 0) close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) close(wake_pipe_[1]);
+}
+
+Status Server::Bind() {
+  if (options_.listen_tcp) {
+    tcp_listen_fd_ =
+        socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (tcp_listen_fd_ < 0) return Errno("socket(tcp)");
+    const int one = 1;
+    setsockopt(tcp_listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(options_.tcp_port);
+    if (bind(tcp_listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+      return Errno("bind(tcp)");
+    }
+    socklen_t len = sizeof(addr);
+    getsockname(tcp_listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    tcp_port_ = ntohs(addr.sin_port);
+    if (listen(tcp_listen_fd_, 128) != 0) return Errno("listen(tcp)");
+  }
+  if (!options_.uds_path.empty()) {
+    sockaddr_un addr{};
+    if (options_.uds_path.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument("uds_path too long for sockaddr_un");
+    }
+    uds_listen_fd_ =
+        socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (uds_listen_fd_ < 0) return Errno("socket(uds)");
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, options_.uds_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    unlink(options_.uds_path.c_str());
+    if (bind(uds_listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+      return Errno("bind(uds)");
+    }
+    if (listen(uds_listen_fd_, 128) != 0) return Errno("listen(uds)");
+  }
+  return Status::OK();
+}
+
+void Server::WakeNet() {
+  const char byte = 1;
+  // Best-effort: a full pipe already guarantees a pending wakeup.
+  (void)!write(wake_pipe_[1], &byte, 1);
+}
+
+void Server::NotifyScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    sched_work_ = true;
+  }
+  sched_cv_.notify_one();
+}
+
+NetStats Server::net_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return net_stats_;
+}
+
+size_t Server::LiveStreams(const Connection& conn) const {
+  size_t live = 0;
+  for (const auto& [id, stream] : conn.streams) {
+    if (!stream.terminal) ++live;
+  }
+  return live;
+}
+
+// --- Scheduler thread --------------------------------------------------------
+
+void Server::SchedulerLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(sched_mu_);
+      sched_cv_.wait(lock, [this] { return sched_stop_ || sched_work_; });
+      sched_work_ = false;
+    }
+    while (manager_->queued_sessions() > 0 ||
+           manager_->active_sessions() > 0) {
+      manager_->RunUntilDrained();
+    }
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    if (sched_stop_ && !sched_work_ && manager_->queued_sessions() == 0) {
+      return;
+    }
+  }
+}
+
+// --- Manager hooks (scheduler thread, no manager locks held) -----------------
+
+void Server::OnToken(uint64_t conn_id, uint32_t stream_id, int32_t token,
+                     size_t index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto conn_it = conns_.find(conn_id);
+  if (conn_it == conns_.end()) return;  // Connection gone; token dropped.
+  Connection* conn = conn_it->second.get();
+  auto stream_it = conn->streams.find(stream_id);
+  if (stream_it == conn->streams.end()) return;
+  Stream& stream = stream_it->second;
+  if (conn->dead || stream.terminal) return;
+  ++stream.delivered;
+  std::string frame;
+  AppendToken(&frame, stream_id, static_cast<uint64_t>(index), token);
+  QueueFrame(conn, std::move(frame));
+  // Ring overflow (the frame landed in the spill): the reader is past the
+  // bound. Checkpoint-suspend the session so it stops producing instead of
+  // buffering without limit; the net thread resumes it once drained.
+  if (!conn->spill.empty() && !stream.suspend_requested && !stream.parked) {
+    manager_->Suspend(stream.session_id);
+    stream.suspend_requested = true;
+    ++net_stats_.backpressure_suspends;
+    obs::MetricsRegistry::Add(obs::Counter::kNetBackpressureSuspends);
+    obs::Tracer::Instant("net", "backpressure.suspend", "session",
+                         stream.session_id);
+  }
+  WakeNet();
+}
+
+void Server::OnRecord(const SessionRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto index_it = session_index_.find(record.id);
+  if (index_it == session_index_.end()) return;  // Not a network session.
+  const auto [conn_id, stream_id] = index_it->second;
+  auto conn_it = conns_.find(conn_id);
+  if (conn_it == conns_.end()) {
+    session_index_.erase(index_it);
+    return;
+  }
+  Connection* conn = conn_it->second.get();
+  auto stream_it = conn->streams.find(stream_id);
+  if (stream_it == conn->streams.end()) {
+    session_index_.erase(index_it);
+    return;
+  }
+  Stream& stream = stream_it->second;
+
+  if (record.suspended) {
+    if (record.preempted || record.pressure_suspended) {
+      // Scheduler-side suspend: the resume is auto-requeued under a new id;
+      // OnRequeue moves the index entry. The stream itself is unaffected.
+      return;
+    }
+    // Our backpressure suspend landed: the checkpoint parks for
+    // TakeSuspended (possibly a round later — the net thread retries).
+    session_index_.erase(index_it);
+    stream.parked = true;
+    stream.suspend_requested = false;
+    WakeNet();
+    return;
+  }
+
+  // Terminal: exactly one Done or Error frame ends the stream.
+  session_index_.erase(index_it);
+  stream.terminal = true;
+  if (!record.failed && !record.shed) {
+    std::string frame;
+    AppendDone(&frame, stream_id, stream.delivered);
+    QueueFrame(conn, std::move(frame));
+  } else {
+    const StatusCode code = record.error_code == StatusCode::kOk
+                                ? StatusCode::kInternal
+                                : record.error_code;
+    std::string frame;
+    AppendError(&frame, stream_id, Status(code, record.error));
+    QueueFrame(conn, std::move(frame));
+  }
+  if (conn->dead) {
+    conn->streams.erase(stream_it);
+  } else {
+    WakeNet();
+  }
+}
+
+void Server::OnRequeue(int64_t old_id, int64_t new_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto index_it = session_index_.find(old_id);
+  if (index_it == session_index_.end()) return;
+  const auto entry = index_it->second;
+  session_index_.erase(index_it);
+  session_index_[new_id] = entry;
+  auto conn_it = conns_.find(entry.first);
+  if (conn_it == conns_.end()) return;
+  auto stream_it = conn_it->second->streams.find(entry.second);
+  if (stream_it != conn_it->second->streams.end()) {
+    stream_it->second.session_id = new_id;
+  }
+}
+
+// --- Net thread --------------------------------------------------------------
+
+void Server::NetLoop() {
+  std::vector<pollfd> fds;
+  std::vector<uint64_t> owner;  // 0 = wake pipe / listener, else conn id.
+  for (;;) {
+    fds.clear();
+    owner.clear();
+    bool any_parked = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (net_stop_) return;
+      fds.push_back({wake_pipe_[0], POLLIN, 0});
+      owner.push_back(0);
+      if (!shutting_down_) {
+        if (tcp_listen_fd_ >= 0) {
+          fds.push_back({tcp_listen_fd_, POLLIN, 0});
+          owner.push_back(0);
+        }
+        if (uds_listen_fd_ >= 0) {
+          fds.push_back({uds_listen_fd_, POLLIN, 0});
+          owner.push_back(0);
+        }
+      }
+      for (auto& [id, conn] : conns_) {
+        if (conn->fd < 0) continue;
+        short events = POLLIN;
+        if (!conn->ring.empty() || !conn->spill.empty()) events |= POLLOUT;
+        fds.push_back({conn->fd, events, 0});
+        owner.push_back(id);
+        for (const auto& [sid, stream] : conn->streams) {
+          if (stream.parked) any_parked = true;
+        }
+      }
+    }
+    // Parked streams poll on a short timeout: their checkpoint may not be
+    // takeable yet (the suspend lands at the next round boundary).
+    poll(fds.data(), fds.size(), any_parked ? 2 : 100);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (net_stop_) return;
+    for (size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      const int fd = fds[i].fd;
+      if (fd == wake_pipe_[0]) {
+        char buf[256];
+        while (read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+        }
+        continue;
+      }
+      if (fd == tcp_listen_fd_ || fd == uds_listen_fd_) {
+        for (;;) {
+          const int client = accept(fd, nullptr, nullptr);
+          if (client < 0) break;
+          SetNonBlocking(client);
+          const int one = 1;
+          setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+          if (options_.send_buffer_bytes > 0) {
+            setsockopt(client, SOL_SOCKET, SO_SNDBUF,
+                       &options_.send_buffer_bytes,
+                       sizeof(options_.send_buffer_bytes));
+          }
+          const uint64_t id = next_conn_id_++;
+          conns_.emplace(id, std::make_unique<Connection>(
+                                 id, client, options_.ring_bytes));
+          ++net_stats_.connections_accepted;
+          obs::MetricsRegistry::Add(obs::Counter::kNetConnectionsAccepted);
+          obs::MetricsRegistry::SetGauge(
+              obs::Gauge::kNetOpenConnections,
+              static_cast<int64_t>(conns_.size()));
+          obs::Tracer::Instant("net", "accept", "conn",
+                               static_cast<int64_t>(id));
+        }
+        continue;
+      }
+      auto conn_it = conns_.find(owner[i]);
+      if (conn_it == conns_.end() || conn_it->second->fd != fd) continue;
+      Connection* conn = conn_it->second.get();
+      if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+        HandleReadable(conn);
+      }
+      if (conn->fd >= 0 && (fds[i].revents & POLLOUT)) {
+        FlushConnection(conn);
+      }
+    }
+    for (auto& [id, conn] : conns_) {
+      if (conn->fd >= 0 && (!conn->ring.empty() || !conn->spill.empty())) {
+        FlushConnection(conn.get());
+      }
+      TryResumeParked(conn.get());
+    }
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if (it->second->dead && it->second->streams.empty()) {
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void Server::HandleReadable(Connection* conn) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = read(conn->fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn->inbuf.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // 0 = orderly close; < 0 = hard error. Either way the reader is gone.
+    CloseConnection(conn);
+    return;
+  }
+  HandleFrames(conn);
+}
+
+void Server::HandleFrames(Connection* conn) {
+  while (conn->fd >= 0 && conn->inbuf.size() >= kFrameHeaderBytes) {
+    const uint8_t* data =
+        reinterpret_cast<const uint8_t*>(conn->inbuf.data());
+    auto header = ParseFrameHeader(data, conn->inbuf.size());
+    if (!header.ok()) {
+      ProtocolError(conn, header.status());
+      return;
+    }
+    const size_t total = kFrameHeaderBytes + header.value().length;
+    if (conn->inbuf.size() < total) return;  // Payload still in flight.
+    const uint8_t* payload = data + kFrameHeaderBytes;
+    const size_t length = header.value().length;
+    const uint32_t stream = header.value().stream;
+    ++net_stats_.frames_decoded;
+    obs::MetricsRegistry::Add(obs::Counter::kNetFramesDecoded);
+    obs::TraceSpan decode_span("net", "frame.decode");
+
+    switch (header.value().type) {
+      case FrameType::kHello: {
+        auto hello = DecodeHello(payload, length);
+        if (!hello.ok()) {
+          ProtocolError(conn, hello.status());
+          return;
+        }
+        if (conn->hello_done) {
+          ProtocolError(conn,
+                        Status::FailedPrecondition("duplicate Hello"));
+          return;
+        }
+        if (hello.value().min_version > kProtocolVersion ||
+            hello.value().max_version < kProtocolVersion) {
+          ProtocolError(conn, Status::FailedPrecondition(
+                                  "no protocol version in common"));
+          return;
+        }
+        conn->hello_done = true;
+        std::string ack;
+        AppendHelloAck(&ack, kProtocolVersion);
+        QueueFrame(conn, std::move(ack));
+        break;
+      }
+      case FrameType::kSubmit: {
+        if (!conn->hello_done) {
+          ProtocolError(conn,
+                        Status::FailedPrecondition("Submit before Hello"));
+          return;
+        }
+        auto submit = DecodeSubmit(payload, length);
+        if (!submit.ok()) {
+          ProtocolError(conn, submit.status());
+          return;
+        }
+        HandleSubmit(conn, stream, std::move(submit).value());
+        break;
+      }
+      case FrameType::kGoodbye:
+        // Client is done submitting; it closes when its streams end.
+        break;
+      default:
+        ProtocolError(conn, Status::FailedPrecondition(
+                                "client sent a server-only frame type"));
+        return;
+    }
+    conn->inbuf.erase(0, total);
+  }
+}
+
+void Server::HandleSubmit(Connection* conn, uint32_t stream_id,
+                          SubmitFrame frame) {
+  auto reject = [&](Status status) {
+    std::string error;
+    AppendError(&error, stream_id, status);
+    QueueFrame(conn, std::move(error));
+    WakeNet();
+  };
+  if (stream_id == 0) {
+    ProtocolError(conn, Status::FailedPrecondition(
+                            "stream id 0 is reserved for connection scope"));
+    return;
+  }
+  if (conn->streams.count(stream_id) != 0) {
+    ProtocolError(conn, Status::FailedPrecondition(
+                            "stream id reused on this connection"));
+    return;
+  }
+  if (shutting_down_) {
+    reject(Status::Unavailable("server is draining (Goodbye sent)"));
+    return;
+  }
+  ServeRequest request;
+  request.tag = std::move(frame.tag);
+  request.tenant = std::move(frame.tenant);
+  request.weight = frame.weight;
+  request.priority = frame.priority;
+  request.max_new_tokens = static_cast<size_t>(frame.max_new_tokens);
+  request.queue_deadline_seconds = frame.queue_deadline_seconds;
+  request.prompt = std::move(frame.prompt);
+  const uint64_t conn_id = conn->id;
+  request.on_token = [this, conn_id, stream_id](int32_t token, size_t index) {
+    OnToken(conn_id, stream_id, token, index);
+  };
+  auto session = manager_->Submit(std::move(request));
+  if (!session.ok()) {
+    // Rejected at admission (capacity / queue full): the stream terminates
+    // with the Error frame but its id stays burned (no reuse).
+    Stream& stream = conn->streams[stream_id];
+    stream.terminal = true;
+    reject(session.status());
+    return;
+  }
+  Stream& stream = conn->streams[stream_id];
+  stream.session_id = session.value();
+  session_index_[session.value()] = {conn->id, stream_id};
+  std::string ack;
+  AppendSubmitAck(&ack, stream_id, session.value());
+  QueueFrame(conn, std::move(ack));
+  WakeNet();
+  NotifyScheduler();
+}
+
+void Server::ProtocolError(Connection* conn, const Status& status) {
+  ++net_stats_.protocol_errors;
+  obs::MetricsRegistry::Add(obs::Counter::kNetProtocolErrors);
+  // Best-effort connection-scope Error frame, then cut the connection —
+  // after a framing violation the byte stream cannot be trusted.
+  std::string frame;
+  AppendError(&frame, 0, status);
+  QueueFrame(conn, frame);
+  FlushConnection(conn);
+  CloseConnection(conn);
+}
+
+void Server::QueueFrame(Connection* conn, std::string frame) {
+  if (conn->dead) return;
+  ++net_stats_.frames_sent;
+  obs::MetricsRegistry::Add(obs::Counter::kNetFramesSent);
+  if (conn->spill.empty() &&
+      conn->ring.Append(frame.data(), frame.size())) {
+    buffered_bytes_ += frame.size();
+  } else {
+    conn->spill += frame;
+    buffered_bytes_ += frame.size();
+  }
+  obs::MetricsRegistry::SetGauge(obs::Gauge::kNetBufferedBytes,
+                                 static_cast<int64_t>(buffered_bytes_));
+}
+
+void Server::FlushConnection(Connection* conn) {
+  while (conn->fd >= 0) {
+    // Promote spilled bytes into the ring as space frees up (order is
+    // spill-after-ring, preserved because spill only drains from the front).
+    if (!conn->spill.empty() && conn->ring.free_bytes() > 0) {
+      const size_t n = std::min(conn->spill.size(), conn->ring.free_bytes());
+      conn->ring.Append(conn->spill.data(), n);
+      conn->spill.erase(0, n);
+    }
+    const auto [data, n] = conn->ring.Front();
+    if (n == 0) break;
+    const ssize_t written = send(conn->fd, data, n, MSG_NOSIGNAL);
+    if (written > 0) {
+      conn->ring.Consume(static_cast<size_t>(written));
+      buffered_bytes_ -= static_cast<size_t>(written);
+      continue;
+    }
+    if (written < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    CloseConnection(conn);
+    return;
+  }
+  obs::MetricsRegistry::SetGauge(obs::Gauge::kNetBufferedBytes,
+                                 static_cast<int64_t>(buffered_bytes_));
+}
+
+void Server::CloseConnection(Connection* conn) {
+  if (conn->fd >= 0) {
+    close(conn->fd);
+    conn->fd = -1;
+  }
+  if (conn->dead) return;
+  conn->dead = true;
+  buffered_bytes_ -= conn->ring.size() + conn->spill.size();
+  while (!conn->ring.empty()) conn->ring.Consume(conn->ring.Front().second);
+  conn->spill.clear();
+  // Retire the connection's live sessions through per-session isolation:
+  // each is cancelled individually; other connections are untouched.
+  bool cancelled_any = false;
+  for (auto it = conn->streams.begin(); it != conn->streams.end();) {
+    Stream& stream = it->second;
+    if (stream.terminal) {
+      it = conn->streams.erase(it);
+      continue;
+    }
+    if (!stream.parked && stream.session_id >= 0 &&
+        session_index_.count(stream.session_id) != 0) {
+      manager_->Cancel(stream.session_id,
+                       Status::Cancelled("client disconnected mid-stream"));
+      ++net_stats_.disconnect_cancels;
+      obs::MetricsRegistry::Add(obs::Counter::kNetDisconnectCancels);
+      cancelled_any = true;
+    }
+    // Parked streams keep their entry: TryResumeParked discards the
+    // checkpoint once the scheduler parks it. Cancelled streams keep theirs
+    // until the cancellation record arrives (OnRecord erases them).
+    ++it;
+  }
+  obs::MetricsRegistry::SetGauge(obs::Gauge::kNetOpenConnections,
+                                 static_cast<int64_t>(conns_.size()));
+  obs::Tracer::Instant("net", "disconnect", "conn",
+                       static_cast<int64_t>(conn->id));
+  if (cancelled_any) NotifyScheduler();
+}
+
+void Server::TryResumeParked(Connection* conn) {
+  for (auto it = conn->streams.begin(); it != conn->streams.end();) {
+    Stream& stream = it->second;
+    if (!stream.parked) {
+      ++it;
+      continue;
+    }
+    if (stream.checkpoint == nullptr) {
+      auto taken = manager_->TakeSuspended(stream.session_id);
+      if (!taken.ok()) {
+        // Not parked yet (the suspend lands at the next round boundary);
+        // retried on the next poll tick.
+        ++it;
+        continue;
+      }
+      stream.checkpoint = std::make_unique<SessionCheckpoint>(
+          std::move(taken).value());
+    }
+    if (conn->dead) {
+      // The consumer is gone; drop the checkpoint (it holds no charges)
+      // and forget the stream.
+      it = conn->streams.erase(it);
+      continue;
+    }
+    if (!conn->spill.empty() ||
+        conn->ring.size() >
+            static_cast<size_t>(options_.resume_drain_fraction *
+                                static_cast<double>(options_.ring_bytes))) {
+      // Reader still behind: hold the checkpoint until the hysteresis
+      // threshold clears.
+      ++it;
+      continue;
+    }
+    const uint64_t conn_id = conn->id;
+    const uint32_t stream_id = it->first;
+    auto resumed = manager_->Resume(
+        std::move(*stream.checkpoint),
+        [this, conn_id, stream_id](int32_t token, size_t index) {
+          OnToken(conn_id, stream_id, token, index);
+        });
+    if (!resumed.ok()) {
+      // Transient rejection (e.g. admission queue momentarily full).
+      // Resume consumes the checkpoint only on success, so the stream's
+      // copy is intact — retry on the next tick.
+      ++it;
+      continue;
+    }
+    stream.checkpoint.reset();
+    stream.parked = false;
+    stream.session_id = resumed.value();
+    session_index_[resumed.value()] = {conn_id, stream_id};
+    ++net_stats_.backpressure_resumes;
+    obs::Tracer::Instant("net", "backpressure.resume", "session",
+                         resumed.value());
+    NotifyScheduler();
+    ++it;
+  }
+}
+
+// --- Shutdown ----------------------------------------------------------------
+
+Status Server::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_ && net_stop_) return Status::OK();  // Already done.
+    shutting_down_ = true;
+    if (tcp_listen_fd_ >= 0) {
+      close(tcp_listen_fd_);
+      tcp_listen_fd_ = -1;
+    }
+    if (uds_listen_fd_ >= 0) {
+      close(uds_listen_fd_);
+      uds_listen_fd_ = -1;
+      unlink(options_.uds_path.c_str());
+    }
+    for (auto& [id, conn] : conns_) {
+      if (conn->dead) continue;
+      std::string goodbye;
+      AppendGoodbye(&goodbye);
+      QueueFrame(conn.get(), std::move(goodbye));
+    }
+  }
+  WakeNet();
+
+  // Drain: wait for the scheduler to go idle and every ring to flush (the
+  // net thread keeps running, resuming parked streams as readers catch up).
+  WallTimer timer;
+  while (timer.ElapsedSeconds() < options_.drain_timeout_seconds) {
+    bool idle = manager_->queued_sessions() == 0 &&
+                manager_->active_sessions() == 0;
+    if (idle) {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& [id, conn] : conns_) {
+        if (conn->dead) continue;
+        if (!conn->ring.empty() || !conn->spill.empty() ||
+            LiveStreams(*conn) != 0) {
+          idle = false;
+          break;
+        }
+      }
+    }
+    if (idle) break;
+    WakeNet();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // Stop the scheduler first: no more records/tokens will be produced.
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    sched_stop_ = true;
+  }
+  sched_cv_.notify_one();
+  if (sched_thread_.joinable()) sched_thread_.join();
+
+  // Discard checkpoints of streams that never drained (force-closed next).
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, conn] : conns_) {
+      for (auto& [sid, stream] : conn->streams) {
+        if (stream.parked) {
+          manager_->TakeSuspended(stream.session_id);  // Drop if still held.
+          stream.checkpoint.reset();
+          stream.parked = false;
+          stream.terminal = true;
+        }
+      }
+    }
+    net_stop_ = true;
+  }
+  WakeNet();
+  if (net_thread_.joinable()) net_thread_.join();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, conn] : conns_) {
+    if (conn->fd >= 0) {
+      close(conn->fd);
+      conn->fd = -1;
+    }
+  }
+  conns_.clear();
+  session_index_.clear();
+  obs::MetricsRegistry::SetGauge(obs::Gauge::kNetOpenConnections, 0);
+  return Status::OK();
+}
+
+}  // namespace pqcache::net

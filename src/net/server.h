@@ -1,0 +1,210 @@
+// Network serving frontend: a poll-based event loop that multiplexes many
+// TCP / Unix-domain-socket connections over ONE SessionManager, speaking the
+// length-prefixed binary protocol of src/net/protocol.h (normative spec:
+// docs/PROTOCOL.md).
+//
+// Threading. Two threads per server. The *net thread* owns every socket:
+// it accepts connections, decodes frames (a Submit frame becomes a
+// SessionManager::Submit), and drains per-connection output rings into the
+// sockets. The *scheduler thread* runs SessionManager::RunUntilDrained
+// whenever work is queued; the manager's streaming callbacks and the
+// ServeOptions::on_record / on_requeue hooks fire there and append encoded
+// response frames to the rings. A single server mutex guards the connection
+// table; the lock order is server mutex BEFORE any manager lock (the
+// manager invokes its hooks with no locks held, so both threads can call
+// back into it while holding the server mutex).
+//
+// Backpressure. Each connection owns a bounded ByteRing of encoded response
+// frames. A reader that falls behind (ring full when a token frame arrives)
+// does not stall the scheduler and cannot buffer unboundedly: the server
+// checkpoint-suspends the stream's session via SessionManager::Suspend —
+// the same loss-free path preemption uses — and parks the stream. Tokens
+// produced in the window before the suspend lands spill to a small
+// order-preserving overflow buffer (bounded by tokens-per-round). When the
+// net thread has drained the connection below
+// ServerOptions::resume_drain_fraction, it takes the parked checkpoint and
+// Resumes it; token indexes continue seamlessly, so backpressure is
+// invisible in the client's token stream (bit-identical, unit-tested).
+//
+// Disconnects. A closed socket retires its live sessions through the PR 6
+// per-session isolation path: each is Cancelled with Status::Cancelled,
+// recorded reason-coded in ServerStats (failed + cancelled counters), and
+// no other connection's stream is disturbed. Parked checkpoints of a dead
+// connection are taken and dropped.
+#ifndef PQCACHE_NET_SERVER_H_
+#define PQCACHE_NET_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "src/common/status.h"
+#include "src/net/byte_ring.h"
+#include "src/net/protocol.h"
+#include "src/serve/session_manager.h"
+
+namespace pqcache::net {
+
+/// Transport configuration (the serving side is ServeOptions).
+struct ServerOptions {
+  /// Listen on loopback TCP. Default on; port 0 binds an ephemeral port
+  /// (read the result from Server::tcp_port()).
+  bool listen_tcp = true;
+  uint16_t tcp_port = 0;
+
+  /// When non-empty, also listen on this Unix-domain socket path (an
+  /// existing socket file is replaced).
+  std::string uds_path;
+
+  /// Per-connection output-ring capacity in bytes. The ring bounds how far
+  /// a reader may fall behind before its streams are checkpoint-suspended;
+  /// the default holds ~256 token frames.
+  size_t ring_bytes = 256 * kTokenFrameBytes;
+
+  /// A parked (backpressure-suspended) stream is resumed once the
+  /// connection's buffered bytes drop below this fraction of ring_bytes.
+  /// Must be in (0, 1]; lower = more hysteresis.
+  double resume_drain_fraction = 0.5;
+
+  /// When > 0, sets SO_SNDBUF on accepted sockets (the kernel clamps to its
+  /// minimum). Tests use this to provoke backpressure deterministically.
+  int send_buffer_bytes = 0;
+
+  /// Shutdown() waits this long (seconds) for streams to finish and rings
+  /// to flush before force-closing the stragglers.
+  double drain_timeout_seconds = 30;
+};
+
+/// Transport-level counters (serving-level metrics live in ServerStats).
+/// Mirrored into the obs::MetricsRegistry under net_* names.
+struct NetStats {
+  uint64_t connections_accepted = 0;
+  uint64_t frames_decoded = 0;   ///< Valid frames parsed off the wire.
+  uint64_t frames_sent = 0;      ///< Frames queued to rings (incl. spilled).
+  uint64_t protocol_errors = 0;  ///< Malformed input; the connection is cut.
+  uint64_t backpressure_suspends = 0;  ///< Ring-full checkpoint suspends.
+  uint64_t backpressure_resumes = 0;   ///< Parked streams resumed.
+  uint64_t disconnect_cancels = 0;  ///< Sessions cancelled by a dead socket.
+};
+
+/// One server: listeners + connections + an internally owned SessionManager
+/// and its scheduler thread. Create with Start, stop with Shutdown (the
+/// destructor shuts down too, without the graceful drain wait).
+class Server {
+ public:
+  /// Creates the SessionManager (installing the frontend hooks — the caller
+  /// must leave ServeOptions::on_record/on_requeue empty), binds the
+  /// listeners, and starts the net + scheduler threads.
+  static Result<std::unique_ptr<Server>> Start(const ServeOptions& serve,
+                                               const ServerOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound TCP port (the ephemeral port when tcp_port was 0); 0 when
+  /// TCP is disabled.
+  uint16_t tcp_port() const { return tcp_port_; }
+  const std::string& uds_path() const { return options_.uds_path; }
+
+  /// Graceful drain: stop accepting, reject new Submits with Unavailable
+  /// (Goodbye frame on every connection), wait for in-flight streams to
+  /// finish and rings to flush (up to drain_timeout_seconds), then stop
+  /// both threads and close everything. Idempotent.
+  Status Shutdown();
+
+  NetStats net_stats() const;
+
+  /// Serving metrics of the underlying manager. Stable after Shutdown.
+  const ServerStats& serve_stats() const { return manager_->stats(); }
+  SessionManager& manager() { return *manager_; }
+
+ private:
+  /// Per-stream state. A "stream" is the client-chosen id one Submit frame
+  /// opened; it maps to one manager session at a time (a new session id
+  /// after every suspend/resume cycle).
+  struct Stream {
+    int64_t session_id = -1;
+    uint64_t delivered = 0;  ///< Token frames queued for this stream.
+    bool parked = false;     ///< Backpressure-suspended; resume pending.
+    bool suspend_requested = false;  ///< Suspend sent, record not yet seen.
+    bool terminal = false;           ///< Done or Error already queued.
+    /// Parked state once taken from the manager, held until Resume accepts
+    /// it (Resume consumes only on success, so a rejected attempt retries).
+    std::unique_ptr<SessionCheckpoint> checkpoint;
+  };
+
+  struct Connection {
+    Connection(uint64_t id, int fd, size_t ring_bytes)
+        : id(id), fd(fd), ring(ring_bytes) {}
+    uint64_t id;
+    int fd;
+    bool hello_done = false;
+    /// Socket closed; the entry lingers until in-flight suspends resolve.
+    bool dead = false;
+    std::string inbuf;
+    ByteRing ring;
+    /// Order-preserving overflow past the ring (frames queued while the
+    /// ring was full); drained into the ring before any new frame.
+    std::string spill;
+    std::unordered_map<uint32_t, Stream> streams;
+  };
+
+  Server(const ServerOptions& options);
+
+  Status Bind();
+  void NetLoop();
+  void SchedulerLoop();
+  void WakeNet();
+  void NotifyScheduler();
+
+  // All of the below require mu_ held (net or scheduler thread).
+  void HandleReadable(Connection* conn);
+  void HandleFrames(Connection* conn);
+  void HandleSubmit(Connection* conn, uint32_t stream_id, SubmitFrame frame);
+  void ProtocolError(Connection* conn, const Status& status);
+  void QueueFrame(Connection* conn, std::string frame);
+  void FlushConnection(Connection* conn);
+  void CloseConnection(Connection* conn);
+  void TryResumeParked(Connection* conn);
+  size_t LiveStreams(const Connection& conn) const;
+
+  // Manager hooks (scheduler thread, no manager locks held).
+  void OnToken(uint64_t conn_id, uint32_t stream_id, int32_t token,
+               size_t index);
+  void OnRecord(const SessionRecord& record);
+  void OnRequeue(int64_t old_id, int64_t new_id);
+
+  ServerOptions options_;
+  std::unique_ptr<SessionManager> manager_;
+  uint16_t tcp_port_ = 0;
+  int tcp_listen_fd_ = -1;
+  int uds_listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
+  /// Live manager session id -> (connection id, stream id).
+  std::unordered_map<int64_t, std::pair<uint64_t, uint32_t>> session_index_;
+  uint64_t next_conn_id_ = 1;
+  NetStats net_stats_;
+  size_t buffered_bytes_ = 0;  ///< Sum of ring + spill across connections.
+  bool shutting_down_ = false;
+  bool net_stop_ = false;
+
+  std::mutex sched_mu_;
+  std::condition_variable sched_cv_;
+  bool sched_work_ = false;
+  bool sched_stop_ = false;
+
+  std::thread net_thread_;
+  std::thread sched_thread_;
+};
+
+}  // namespace pqcache::net
+
+#endif  // PQCACHE_NET_SERVER_H_

@@ -1,0 +1,114 @@
+// pqcache_serverd: standalone network serving daemon. Binds the binary
+// protocol (docs/PROTOCOL.md) over the simulated PQCache serving stack and
+// runs until SIGTERM/SIGINT, then drains gracefully: stop accepting, finish
+// or checkpoint in-flight streams, export trace/metrics, exit 0.
+//
+//   build/pqcache_serverd [--tcp=PORT] [--uds=PATH] [--trace=FILE]
+//                         [--metrics=FILE] [--max-sessions=N]
+//
+// --tcp=0 (the default) binds an ephemeral loopback port; the bound port is
+// printed as "listening tcp=PORT" on stdout so scripts can scrape it. The
+// engine is the simulated Tiny configuration (same as the test suite) —
+// this daemon demonstrates and exercises the transport, not a real model.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "src/net/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+bool FlagValue(const char* arg, const char* name, std::string* out) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *out = arg + n + 1;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pqcache;
+
+  net::ServerOptions options;
+  ServeOptions serve;
+  serve.engine.model = ModelConfig::Tiny();
+  serve.engine.initial_tokens = 2;
+  serve.engine.local_window = 8;
+  serve.engine.pq_partitions = 2;
+  serve.engine.pq_bits = 4;
+  serve.engine.kmeans_iterations = 6;
+  serve.engine.token_ratio = 0.5;
+  serve.engine.cache.capacity_tokens = 64;
+  serve.engine.cache.block_tokens = 8;
+  serve.max_sessions = 4;
+
+  std::string value;
+  for (int i = 1; i < argc; ++i) {
+    if (FlagValue(argv[i], "--tcp", &value)) {
+      options.tcp_port = static_cast<uint16_t>(std::atoi(value.c_str()));
+    } else if (FlagValue(argv[i], "--uds", &value)) {
+      options.uds_path = value;
+    } else if (FlagValue(argv[i], "--trace", &value)) {
+      serve.trace_path = value;
+    } else if (FlagValue(argv[i], "--metrics", &value)) {
+      serve.metrics_path = value;
+    } else if (FlagValue(argv[i], "--max-sessions", &value)) {
+      serve.max_sessions = static_cast<size_t>(std::atoi(value.c_str()));
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s\nusage: pqcache_serverd [--tcp=PORT] "
+                   "[--uds=PATH] [--trace=FILE] [--metrics=FILE] "
+                   "[--max-sessions=N]\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+
+  ThreadPool pool(4);
+  serve.pool = &pool;
+
+  auto server = net::Server::Start(serve, options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "start failed: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("listening tcp=%u", server.value()->tcp_port());
+  if (!options.uds_path.empty()) {
+    std::printf(" uds=%s", options.uds_path.c_str());
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+
+  struct sigaction action {};
+  action.sa_handler = HandleSignal;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::printf("draining...\n");
+  std::fflush(stdout);
+  Status shutdown = server.value()->Shutdown();
+  const net::NetStats net = server.value()->net_stats();
+  const ServerStats& stats = server.value()->serve_stats();
+  std::printf(
+      "drained: %llu conns, %llu frames in, %llu frames out, "
+      "%llu sessions completed, %llu cancelled, %llu tokens\n",
+      static_cast<unsigned long long>(net.connections_accepted),
+      static_cast<unsigned long long>(net.frames_decoded),
+      static_cast<unsigned long long>(net.frames_sent),
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.cancelled),
+      static_cast<unsigned long long>(stats.total_generated_tokens));
+  return shutdown.ok() ? 0 : 1;
+}

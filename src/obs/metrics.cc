@@ -21,6 +21,7 @@ const char* const kCounterNames[] = {
     "sessions_preempted",
     "sessions_pressure_suspended",
     "sessions_suspended",
+    "sessions_cancelled",
     "tokens_generated",
     "prefills",
     "decode_steps",
@@ -36,6 +37,12 @@ const char* const kCounterNames[] = {
     "kmeans_span_trains",
     "lut_builds",
     "gather_reduces",
+    "net_connections_accepted",
+    "net_frames_decoded",
+    "net_frames_sent",
+    "net_protocol_errors",
+    "net_backpressure_suspends",
+    "net_disconnect_cancels",
 };
 static_assert(sizeof(kCounterNames) / sizeof(kCounterNames[0]) ==
               static_cast<size_t>(Counter::kCount));
@@ -43,6 +50,7 @@ static_assert(sizeof(kCounterNames) / sizeof(kCounterNames[0]) ==
 const char* const kGaugeNames[] = {
     "gpu_used_bytes",   "gpu_peak_bytes",  "cpu_used_bytes",
     "cpu_peak_bytes",   "active_sessions", "queued_sessions",
+    "net_open_connections", "net_buffered_bytes",
 };
 static_assert(sizeof(kGaugeNames) / sizeof(kGaugeNames[0]) ==
               static_cast<size_t>(Gauge::kCount));

@@ -33,6 +33,7 @@ enum class Counter : int {
   kSessionsPreempted,
   kSessionsPressureSuspended,
   kSessionsSuspended,
+  kSessionsCancelled,
   kTokensGenerated,
   kPrefills,
   kDecodeSteps,
@@ -48,6 +49,12 @@ enum class Counter : int {
   kKMeansSpanTrains,
   kLutBuilds,
   kGatherReduces,
+  kNetConnectionsAccepted,
+  kNetFramesDecoded,
+  kNetFramesSent,
+  kNetProtocolErrors,
+  kNetBackpressureSuspends,
+  kNetDisconnectCancels,
   kCount
 };
 
@@ -61,6 +68,8 @@ enum class Gauge : int {
   kCpuPeakBytes,
   kActiveSessions,
   kQueuedSessions,
+  kNetOpenConnections,
+  kNetBufferedBytes,
   kCount
 };
 

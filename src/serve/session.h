@@ -36,6 +36,8 @@ struct ServeRequest {
   /// scheduler suspends the longest-running lower-priority decode at the
   /// round boundary (checkpoint + auto-requeued resume, loss-free).
   int32_t priority = 0;
+  /// Prompt token ids; must be non-empty and long enough for the engine's
+  /// segment layout (initial + local windows).
   std::vector<int32_t> prompt;
   /// Total tokens to generate (the prefill's first token counts as one).
   size_t max_new_tokens = 16;

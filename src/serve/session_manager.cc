@@ -160,6 +160,89 @@ Result<SessionCheckpoint> SessionManager::TakeSuspended(int64_t session_id) {
   return checkpoint;
 }
 
+Status SessionManager::Cancel(int64_t session_id, Status reason) {
+  if (reason.ok()) {
+    return Status::InvalidArgument("Cancel: reason must be a non-OK Status");
+  }
+  std::lock_guard<std::mutex> lock(suspend_mu_);
+  for (const auto& pending : cancel_requests_) {
+    if (pending.first == session_id) return Status::OK();
+  }
+  cancel_requests_.emplace_back(session_id, std::move(reason));
+  return Status::OK();
+}
+
+void SessionManager::AppendRecord(SessionRecord record) {
+  stats_.sessions.push_back(std::move(record));
+  if (options_.on_record) options_.on_record(stats_.sessions.back());
+}
+
+void SessionManager::ProcessCancellations() {
+  std::vector<std::pair<int64_t, Status>> requested;
+  {
+    std::lock_guard<std::mutex> lock(suspend_mu_);
+    if (cancel_requests_.empty()) return;
+    requested.swap(cancel_requests_);
+  }
+  std::vector<std::pair<int64_t, Status>> keep;
+  for (auto& [id, reason] : requested) {
+    // Queued target: extract it un-run (no engine, no charges to release).
+    auto queued = queue_.ExtractIf(
+        [id = id](const Session& s) { return s.id() == id; });
+    if (!queued.empty()) {
+      SessionRecord record = RecordFor(*queued.front());
+      record.failed = true;
+      record.error = reason.ToString();
+      record.error_code = reason.code();
+      ++stats_.failed;
+      ++stats_.cancelled;
+      obs::MetricsRegistry::Add(obs::Counter::kSessionsFailed);
+      obs::MetricsRegistry::Add(obs::Counter::kSessionsCancelled);
+      obs::Tracer::Instant("serve", "cancel", "session", id);
+      AppendRecord(std::move(record));
+      continue;
+    }
+    // Active target: the round boundary guarantees no step is in flight, so
+    // retirement here is the same release path DispatchAndRetire takes.
+    bool found = false;
+    for (auto& session : active_) {
+      if (session == nullptr || session->id() != id) continue;
+      found = true;
+      if (session->done()) break;  // Retires normally this round.
+      session->DispatchNewTokens();  // Deliver what was already produced.
+      session->RefreshEngineStats();
+      SessionRecord record = RecordFor(*session);
+      record.failed = true;
+      record.error = reason.ToString();
+      record.error_code = reason.code();
+      ++stats_.failed;
+      ++stats_.cancelled;
+      obs::MetricsRegistry::Add(obs::Counter::kSessionsFailed);
+      obs::MetricsRegistry::Add(obs::Counter::kSessionsCancelled);
+      obs::Tracer::Instant("serve", "cancel", "session", id);
+      stats_.total_generated_tokens += session->generated().size();
+      session->ReleaseEngine();
+      hierarchy_->gpu().Free(session->gpu_footprint_bytes());
+      hierarchy_->cpu().Free(session->cpu_footprint_bytes());
+      session.reset();
+      AppendRecord(std::move(record));
+      break;
+    }
+    if (found) continue;
+    // Unknown everywhere: either already terminal (drop — ids are never
+    // reused) or racing a Submit that has not landed in a lane yet (keep
+    // for the next round). queue_.Contains covers the latter.
+    if (queue_.Contains(id)) keep.emplace_back(id, std::move(reason));
+  }
+  active_.erase(std::remove(active_.begin(), active_.end(), nullptr),
+                active_.end());
+  active_count_.store(active_.size(), std::memory_order_relaxed);
+  if (!keep.empty()) {
+    std::lock_guard<std::mutex> lock(suspend_mu_);
+    for (auto& pending : keep) cancel_requests_.push_back(std::move(pending));
+  }
+}
+
 bool SessionManager::TryAdmitHead(const std::string& tenant) {
   // Only this thread pops, so a non-empty head observed here is stable
   // through the TryPop below; a Submit racing in behind the head waits for
@@ -272,10 +355,10 @@ Result<SessionCheckpoint> SessionManager::SuspendSession(Session* session,
   obs::Tracer::Instant("serve", "suspend", "session", session->id(), nullptr,
                        0, "kind", kind_name);
   stats_.total_generated_tokens += session->generated().size();
-  stats_.sessions.push_back(std::move(record));
   session->ReleaseEngine();
   hierarchy_->gpu().Free(session->gpu_footprint_bytes());
   hierarchy_->cpu().Free(session->cpu_footprint_bytes());
+  AppendRecord(std::move(record));
   return checkpoint;
 }
 
@@ -289,6 +372,8 @@ void SessionManager::RequeueVictim(Session* victim,
       options_.engine, checkpoint.prompt.size(), checkpoint.max_new_tokens);
   const size_t cpu_footprint = PQCacheEngine::EstimateCpuFootprintBytes(
       options_.engine, checkpoint.prompt.size(), checkpoint.max_new_tokens);
+  const int64_t old_id = victim->id();
+  int64_t new_id = 0;
   {
     std::lock_guard<std::mutex> lock(submit_mu_);
     // Counted like an internal Resume so the counter algebra stays intact:
@@ -296,14 +381,16 @@ void SessionManager::RequeueVictim(Session* victim,
     // record has a matching resumed count.
     ++stats_.submitted;
     ++stats_.resumed;
-    const int64_t id = next_id_++;
+    new_id = next_id_++;
     auto resume = std::make_unique<Session>(
-        id, std::move(checkpoint), victim->TakeOnToken(), options_.engine,
+        new_id, std::move(checkpoint), victim->TakeOnToken(), options_.engine,
         gpu_footprint, cpu_footprint);
     resume->ConfigureRetry(options_.max_transient_retries,
                            options_.retry_backoff_seconds);
     queue_.PushUnbounded(std::move(resume));
   }
+  // Outside submit_mu_: the hook may call back into the manager.
+  if (options_.on_requeue) options_.on_requeue(old_id, new_id);
   for (auto& session : active_) {
     if (session.get() == victim) session.reset();
   }
@@ -334,7 +421,7 @@ void SessionManager::ShedExpired() {
     ++stats_.shed_deadline;
     obs::MetricsRegistry::Add(obs::Counter::kSessionsShed);
     obs::Tracer::Instant("serve", "shed", "session", session->id());
-    stats_.sessions.push_back(std::move(record));
+    AppendRecord(std::move(record));
     // Never admitted: no engine exists and no pool bytes were ever charged,
     // so dropping the session frees everything it holds.
   }
@@ -649,11 +736,11 @@ void SessionManager::DispatchAndRetire() {
       obs::MetricsRegistry::Add(obs::Counter::kSessionsCompleted);
     }
     stats_.total_generated_tokens += session->generated().size();
-    stats_.sessions.push_back(std::move(record));
     session->ReleaseEngine();
     hierarchy_->gpu().Free(session->gpu_footprint_bytes());
     hierarchy_->cpu().Free(session->cpu_footprint_bytes());
     session.reset();
+    AppendRecord(std::move(record));
   }
   active_.erase(std::remove(active_.begin(), active_.end(), nullptr),
                 active_.end());
@@ -717,6 +804,10 @@ Status SessionManager::RunUntilDrained() {
     // Shed expired queued requests first: an expired head must not consume
     // the admission pass (or a pressure suspension) it can no longer use.
     ShedExpired();
+    // Cancellations next, for the same reason: a cancelled queued request
+    // must not be admitted, and a cancelled active session frees its seat
+    // before this round's admission pass.
+    ProcessCancellations();
     AdmitFromQueue();
     // Preemption runs at the round boundary, after admission had its
     // chance: if a higher-priority head is still waiting past its bound, a

@@ -71,18 +71,27 @@
 
 namespace pqcache {
 
-/// Serving configuration.
+/// Serving configuration. Grouped by concern: capacity & scheduling,
+/// preemption & overload degradation, transient-failure retry, prefix
+/// sharing, observability, and frontend hooks. Every knob documents its
+/// units, default, and how it interacts with preemption/deadlines.
 struct ServeOptions {
+  // --- Capacity & scheduling ---
+
   /// Per-session engine template. `hardware` describes the *shared* server;
   /// `pool`, `shared_hierarchy` and (per session) `prefix` are overwritten
   /// by the manager.
   PQCacheEngineOptions engine;
-  /// Maximum sessions decoding concurrently (decode slots).
+  /// Maximum sessions decoding concurrently (decode slots). Default 8.
   size_t max_sessions = 8;
-  /// Bounded request-queue capacity; Submit rejects beyond this.
+  /// Bounded request-queue capacity (sessions, across all tenant lanes);
+  /// Submit rejects beyond this with FailedPrecondition. Default 64.
   size_t max_queue = 64;
   /// Worker pool for session steps and K-Means (nullptr = serial).
   ThreadPool* pool = nullptr;
+
+  // --- Preemption & overload degradation (seconds; 0 disables) ---
+
   /// Checkpoint-based decode preemption (multi-tenant fairness): when a
   /// queued session of a strictly higher priority has waited longer than
   /// this bound (seconds), the scheduler suspends the longest-running
@@ -100,7 +109,12 @@ struct ServeOptions {
   /// of letting the queue starve. Unlike preemption this ignores priority
   /// order (the waiter may be any priority; memory, not importance, is the
   /// bottleneck), and at most one session is degraded per round. 0 disables.
+  /// Per-request queue deadlines are the third overload lever and live on
+  /// the request itself (ServeRequest::queue_deadline_seconds).
   double pressure_suspend_after_seconds = 0;
+
+  // --- Transient-failure retry ---
+
   /// Bounded retry of transient step failures (Unavailable / OutOfMemory):
   /// a failing step is re-attempted up to this many times per session before
   /// the session is failed. Steps fail before mutating engine state, so a
@@ -110,6 +124,9 @@ struct ServeOptions {
   /// base * 2^(n-1). Kept tiny by default — the simulated engine's faults
   /// clear immediately; real deployments would raise it.
   double retry_backoff_seconds = 0.0005;
+
+  // --- Prefix sharing ---
+
   /// Cross-session prompt-prefix sharing: when enabled, every prefilled
   /// session publishes its prompt prefix to a process-wide PrefixRegistry
   /// and every admission first looks its prompt up there, attaching matched
@@ -119,6 +136,9 @@ struct ServeOptions {
   /// charged exactly once.
   bool enable_prefix_sharing = false;
   PrefixRegistry::Options prefix;
+
+  // --- Observability (empty paths disable; see src/obs) ---
+
   /// When non-empty, RunUntilDrained arms the span tracer for the drain and
   /// writes the accumulated events to this path as Chrome trace-event JSON
   /// (loadable in Perfetto / chrome://tracing) when the drain ends. If the
@@ -130,7 +150,26 @@ struct ServeOptions {
   /// the drain when the interval is > 0 (each write atomically replaces the
   /// file, so a scraper always reads a complete snapshot).
   std::string metrics_path;
+  /// Snapshot cadence (seconds) for metrics_path during a drain; 0 writes
+  /// only the final snapshot.
   double metrics_snapshot_interval_seconds = 0;
+
+  // --- Frontend hooks (scheduler thread; for transports like src/net) ---
+
+  /// Invoked each time a SessionRecord is appended to stats() — retirement
+  /// (completed/failed/cancelled), deadline shed, or suspension (explicit,
+  /// preempt, pressure). Runs on the scheduler thread with no manager locks
+  /// held, so the observer may call Submit/Resume/Suspend/Cancel/
+  /// TakeSuspended, but must not block: the round loop waits on it. A record
+  /// with `suspended` set is non-terminal (the session can come back);
+  /// everything else is final for that session id.
+  std::function<void(const SessionRecord&)> on_record;
+  /// Invoked when a preempted or pressure-suspended victim's resume is
+  /// auto-requeued under a fresh session id, so frontends routing by id can
+  /// follow the session across the suspend/resume cycle. Runs on the
+  /// scheduler thread, after the victim's `suspended` record was observed,
+  /// with no manager locks held.
+  std::function<void(int64_t old_id, int64_t new_id)> on_requeue;
 };
 
 /// Owns the shared memory hierarchy, the request queue, the active session
@@ -165,6 +204,18 @@ class SessionManager {
   /// Pops the checkpoint of a suspended session (NotFound until the
   /// scheduler has processed the Suspend request). Thread-safe.
   Result<SessionCheckpoint> TakeSuspended(int64_t session_id);
+
+  /// Requests cancellation of a queued or active session — the per-session
+  /// retirement path for "the consumer went away" (a disconnected network
+  /// client). Thread-safe; processed at the next round boundary: a queued
+  /// session is removed un-run, an active one is retired with its engine
+  /// released and both charges freed, and either lands in stats() as a
+  /// failed record carrying `reason` (reason-coded via
+  /// SessionRecord::error_code, counted in ServerStats::cancelled). No other
+  /// session, and never the scheduler itself, is affected. Cancelling an id
+  /// that is unknown, finished, or suspended is a no-op (a parked
+  /// checkpoint's owner discards it via TakeSuspended instead).
+  Status Cancel(int64_t session_id, Status reason);
 
   /// Re-submits a suspended session. A resume is admitted like any session —
   /// same bounded queue, same a-priori footprint charges against both shared
@@ -219,6 +270,14 @@ class SessionManager {
   /// expired, recording each as a DeadlineExceeded shed. Runs at the round
   /// boundary before admission so an expired head cannot block its lane.
   void ShedExpired();
+  /// Retires sessions with pending Cancel requests (round boundary, before
+  /// admission): queued targets are extracted un-run, active ones released;
+  /// both record the cancellation reason. Unserviceable requests (unknown /
+  /// already-terminal ids) are dropped.
+  void ProcessCancellations();
+  /// Appends a record to stats_.sessions and fires options_.on_record. Must
+  /// be called with no manager locks held (the observer may call back in).
+  void AppendRecord(SessionRecord record);
   /// Suspends the longest-running lowest-priority decode when a strictly
   /// higher-priority queued head has waited past preempt_after_seconds and
   /// the preceding AdmitFromQueue could not seat it (checkpoint +
@@ -284,6 +343,8 @@ class SessionManager {
   std::mutex suspend_mu_;
   std::vector<int64_t> suspend_requests_;
   std::unordered_map<int64_t, SessionCheckpoint> suspended_;
+  /// Pending Cancel requests (id -> reason), guarded by suspend_mu_.
+  std::vector<std::pair<int64_t, Status>> cancel_requests_;
   ServerStats stats_;
 };
 

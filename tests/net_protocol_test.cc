@@ -1,0 +1,256 @@
+#include "src/net/protocol.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pqcache::net {
+namespace {
+
+const uint8_t* Bytes(const std::string& s) {
+  return reinterpret_cast<const uint8_t*>(s.data());
+}
+
+/// Splits one encoded frame into (header, payload view).
+struct SplitFrame {
+  FrameHeader header;
+  const uint8_t* payload;
+  size_t length;
+};
+
+SplitFrame Split(const std::string& wire) {
+  auto header = ParseFrameHeader(Bytes(wire), wire.size());
+  EXPECT_TRUE(header.ok()) << header.status().ToString();
+  return {header.value(), Bytes(wire) + kFrameHeaderBytes,
+          header.value().length};
+}
+
+TEST(NetProtocolTest, HeaderLayoutIsStable) {
+  std::string wire;
+  AppendToken(&wire, /*stream=*/7, /*index=*/3, /*token=*/42);
+  ASSERT_EQ(wire.size(), kTokenFrameBytes);
+  // Magic "PQ" little-endian, version, type, stream, length, reserved.
+  EXPECT_EQ(static_cast<uint8_t>(wire[0]), 0x50);  // 'P'
+  EXPECT_EQ(static_cast<uint8_t>(wire[1]), 0x51);  // 'Q'
+  EXPECT_EQ(static_cast<uint8_t>(wire[2]), kProtocolVersion);
+  EXPECT_EQ(static_cast<uint8_t>(wire[3]),
+            static_cast<uint8_t>(FrameType::kToken));
+  EXPECT_EQ(static_cast<uint8_t>(wire[4]), 7);
+  EXPECT_EQ(static_cast<uint8_t>(wire[8]), 12);  // payload length
+  for (int i = 12; i < 16; ++i) {
+    EXPECT_EQ(wire[i], 0) << "reserved byte " << i;
+  }
+}
+
+TEST(NetProtocolTest, HelloRoundtrip) {
+  std::string wire;
+  AppendHello(&wire, HelloFrame{1, 3});
+  auto [header, payload, length] = Split(wire);
+  EXPECT_EQ(header.type, FrameType::kHello);
+  EXPECT_EQ(header.stream, 0u);
+  auto hello = DecodeHello(payload, length);
+  ASSERT_TRUE(hello.ok());
+  EXPECT_EQ(hello.value().min_version, 1);
+  EXPECT_EQ(hello.value().max_version, 3);
+}
+
+TEST(NetProtocolTest, HelloAckRoundtrip) {
+  std::string wire;
+  AppendHelloAck(&wire, kProtocolVersion);
+  auto [header, payload, length] = Split(wire);
+  EXPECT_EQ(header.type, FrameType::kHelloAck);
+  auto ack = DecodeHelloAck(payload, length);
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(ack.value(), kProtocolVersion);
+}
+
+TEST(NetProtocolTest, SubmitRoundtripPreservesEveryField) {
+  SubmitFrame request;
+  request.tag = "tenant-a/req-0";
+  request.tenant = "tenant-a";
+  request.weight = 3;
+  request.priority = -2;
+  request.max_new_tokens = 77;
+  request.queue_deadline_seconds = 1.5;
+  request.prompt = {1, 2, 3, 250, -7};
+  std::string wire;
+  AppendSubmit(&wire, /*stream=*/9, request);
+  auto [header, payload, length] = Split(wire);
+  EXPECT_EQ(header.type, FrameType::kSubmit);
+  EXPECT_EQ(header.stream, 9u);
+  auto decoded = DecodeSubmit(payload, length);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().tag, request.tag);
+  EXPECT_EQ(decoded.value().tenant, request.tenant);
+  EXPECT_EQ(decoded.value().weight, request.weight);
+  EXPECT_EQ(decoded.value().priority, request.priority);
+  EXPECT_EQ(decoded.value().max_new_tokens, request.max_new_tokens);
+  EXPECT_EQ(decoded.value().queue_deadline_seconds,
+            request.queue_deadline_seconds);
+  EXPECT_EQ(decoded.value().prompt, request.prompt);
+}
+
+TEST(NetProtocolTest, TokenDoneSubmitAckErrorRoundtrip) {
+  std::string wire;
+  AppendSubmitAck(&wire, 4, 1234567890123LL);
+  auto ack = Split(wire);
+  auto ack_frame = DecodeSubmitAck(ack.payload, ack.length);
+  ASSERT_TRUE(ack_frame.ok());
+  EXPECT_EQ(ack_frame.value().session_id, 1234567890123LL);
+
+  wire.clear();
+  AppendToken(&wire, 4, 17, -99);
+  auto token = Split(wire);
+  auto token_frame = DecodeToken(token.payload, token.length);
+  ASSERT_TRUE(token_frame.ok());
+  EXPECT_EQ(token_frame.value().index, 17u);
+  EXPECT_EQ(token_frame.value().token, -99);
+
+  wire.clear();
+  AppendDone(&wire, 4, 64);
+  auto done = Split(wire);
+  auto done_frame = DecodeDone(done.payload, done.length);
+  ASSERT_TRUE(done_frame.ok());
+  EXPECT_EQ(done_frame.value().generated_tokens, 64u);
+
+  wire.clear();
+  AppendError(&wire, 4, Status::DeadlineExceeded("queue deadline expired"));
+  auto error = Split(wire);
+  auto error_frame = DecodeError(error.payload, error.length);
+  ASSERT_TRUE(error_frame.ok());
+  EXPECT_EQ(StatusCodeFromWire(error_frame.value().code),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(error_frame.value().message, "queue deadline expired");
+}
+
+TEST(NetProtocolTest, WireErrorCodesAreStableAndBijective) {
+  // Wire values are frozen by docs/PROTOCOL.md — renumbering them breaks
+  // deployed clients, so this table IS the compatibility contract.
+  const std::pair<StatusCode, uint32_t> kFrozen[] = {
+      {StatusCode::kOk, 0},
+      {StatusCode::kInvalidArgument, 1},
+      {StatusCode::kNotFound, 2},
+      {StatusCode::kOutOfMemory, 3},
+      {StatusCode::kOutOfRange, 4},
+      {StatusCode::kFailedPrecondition, 5},
+      {StatusCode::kUnimplemented, 6},
+      {StatusCode::kInternal, 7},
+      {StatusCode::kDataLoss, 8},
+      {StatusCode::kDeadlineExceeded, 9},
+      {StatusCode::kUnavailable, 10},
+      {StatusCode::kCancelled, 11},
+  };
+  for (const auto& [code, wire] : kFrozen) {
+    EXPECT_EQ(WireErrorCode(code), wire);
+    EXPECT_EQ(StatusCodeFromWire(wire), code);
+  }
+  EXPECT_EQ(StatusCodeFromWire(9999), StatusCode::kInternal);
+}
+
+// --- Corruption / truncation matrix -----------------------------------------
+
+TEST(NetProtocolTest, HeaderRejectsBadMagicVersionTypeReserved) {
+  std::string wire;
+  AppendToken(&wire, 1, 0, 5);
+
+  std::string bad = wire;
+  bad[0] = 'X';
+  EXPECT_EQ(ParseFrameHeader(Bytes(bad), bad.size()).status().code(),
+            StatusCode::kDataLoss);
+
+  bad = wire;
+  bad[2] = static_cast<char>(kProtocolVersion + 1);
+  // Version mismatch is negotiation, not corruption.
+  EXPECT_EQ(ParseFrameHeader(Bytes(bad), bad.size()).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  bad = wire;
+  bad[3] = 0;  // Below kHello.
+  EXPECT_EQ(ParseFrameHeader(Bytes(bad), bad.size()).status().code(),
+            StatusCode::kDataLoss);
+  bad[3] = 99;  // Above kGoodbye.
+  EXPECT_EQ(ParseFrameHeader(Bytes(bad), bad.size()).status().code(),
+            StatusCode::kDataLoss);
+
+  bad = wire;
+  bad[13] = 1;  // Reserved word must be zero.
+  EXPECT_EQ(ParseFrameHeader(Bytes(bad), bad.size()).status().code(),
+            StatusCode::kDataLoss);
+
+  EXPECT_EQ(
+      ParseFrameHeader(Bytes(wire), kFrameHeaderBytes - 1).status().code(),
+      StatusCode::kDataLoss);
+}
+
+TEST(NetProtocolTest, HeaderRejectsOversizedPayloadLength) {
+  std::string wire;
+  AppendToken(&wire, 1, 0, 5);
+  const uint32_t huge = kMaxFramePayloadBytes + 1;
+  wire.replace(8, 4, reinterpret_cast<const char*>(&huge), 4);
+  EXPECT_EQ(ParseFrameHeader(Bytes(wire), wire.size()).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(NetProtocolTest, PayloadDecodersRejectEveryTruncation) {
+  SubmitFrame request;
+  request.tag = "tag";
+  request.tenant = "tenant";
+  request.prompt = {1, 2, 3, 4};
+  std::string wire;
+  AppendSubmit(&wire, 1, request);
+  const uint8_t* payload = Bytes(wire) + kFrameHeaderBytes;
+  const size_t length = wire.size() - kFrameHeaderBytes;
+  ASSERT_TRUE(DecodeSubmit(payload, length).ok());
+  // Every proper prefix must fail cleanly — no partial decode, no OOB read.
+  for (size_t n = 0; n < length; ++n) {
+    EXPECT_EQ(DecodeSubmit(payload, n).status().code(),
+              StatusCode::kDataLoss)
+        << "prefix of " << n << " bytes";
+  }
+  // Trailing garbage is corruption too (strict exhaustion).
+  std::string padded = wire + std::string(3, '\0');
+  EXPECT_EQ(DecodeSubmit(Bytes(padded) + kFrameHeaderBytes, length + 3)
+                .status()
+                .code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(NetProtocolTest, SubmitRejectsLyingLengthPrefixes) {
+  SubmitFrame request;
+  request.tag = "abc";
+  request.prompt = {1};
+  std::string wire;
+  AppendSubmit(&wire, 1, request);
+  // Inflate the tag length field far past the payload: the decoder must
+  // reject before allocating (validate-before-allocate).
+  const uint32_t huge = 0x7fffffff;
+  wire.replace(kFrameHeaderBytes, 4, reinterpret_cast<const char*>(&huge), 4);
+  EXPECT_EQ(DecodeSubmit(Bytes(wire) + kFrameHeaderBytes,
+                         wire.size() - kFrameHeaderBytes)
+                .status()
+                .code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(NetProtocolTest, FixedPayloadsRejectWrongSizes) {
+  uint8_t zeros[32] = {};
+  EXPECT_FALSE(DecodeHello(zeros, 1).ok());
+  EXPECT_FALSE(DecodeHello(zeros, 3).ok());
+  EXPECT_FALSE(DecodeHelloAck(zeros, 0).ok());
+  EXPECT_FALSE(DecodeHelloAck(zeros, 2).ok());
+  EXPECT_FALSE(DecodeSubmitAck(zeros, 7).ok());
+  EXPECT_FALSE(DecodeSubmitAck(zeros, 9).ok());
+  EXPECT_FALSE(DecodeToken(zeros, 11).ok());
+  EXPECT_FALSE(DecodeToken(zeros, 13).ok());
+  EXPECT_FALSE(DecodeDone(zeros, 7).ok());
+  EXPECT_FALSE(DecodeDone(zeros, 9).ok());
+}
+
+TEST(NetProtocolTest, HelloRejectsInvertedVersionRange) {
+  uint8_t payload[2] = {3, 1};  // min > max
+  EXPECT_EQ(DecodeHello(payload, 2).status().code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace pqcache::net
