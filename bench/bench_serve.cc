@@ -36,6 +36,23 @@ constexpr size_t kMaxNewTokens = 12;
 constexpr size_t kSharedPrefixTokens = 192;
 constexpr size_t kPrefixBlockTokens = 32;
 constexpr size_t kPrefixScenarioSlots = 4;
+// Radix scenario shape: 16 sessions whose prompts nest 4 template layers
+// (layer l has 2^l variants, so sibling sessions share progressively longer
+// prefixes), followed by an 8-way burst of one identical prompt. Run under
+// three arms with an equal tight node budget: sharing off, the legacy flat
+// registry (whole-chain copies, dedup off), and the radix registry with
+// in-flight prefill dedup. Gates: radix reuses strictly more prefix bytes
+// than flat, the identical-prompt burst prefills its prefix exactly once
+// under dedup, and every stream stays bit-identical to its solo run.
+constexpr size_t kRadixSessions = 16;
+constexpr size_t kRadixLayers = 4;
+constexpr size_t kRadixLayerTokens = 64;  // 2 blocks per template layer.
+constexpr size_t kRadixTailTokens = 32;
+constexpr size_t kRadixMaxNew = 8;
+constexpr size_t kRadixSlots = 4;
+constexpr size_t kRadixMaxNodes = 48;  // Equal cap for the flat / radix arms.
+constexpr size_t kRadixBurstSessions = 8;
+constexpr size_t kRadixBurstPromptTokens = 224;
 // Checkpoint scenario shape: one long-context session suspended mid-decode,
 // then resumed — resume TTFT (deserialize + one decode step) is compared
 // against re-prefilling the same 8k-token prompt from scratch.
@@ -238,7 +255,7 @@ PrefixRunResult RunPrefixScenario(
   // but only the hot (LRU-touched) system-prompt carrier needs to stay
   // resident; cold per-session tails are evicted so the registry's resident
   // bytes stay far below the per-session savings it enables.
-  serve.prefix.max_segments = 2;
+  serve.prefix.max_nodes = 2 * (kSharedPrefixTokens / kPrefixBlockTokens);
   auto manager = SessionManager::Create(serve).value();
 
   std::vector<std::vector<int32_t>> streamed(requests.size());
@@ -268,6 +285,141 @@ PrefixRunResult RunPrefixScenario(
                    "PREFIX FIDELITY FAILURE (sharing=%d): session %zu "
                    "diverged from its single-session run\n",
                    sharing ? 1 : 0, s);
+      result.fidelity = false;
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Radix scenario: nested template layers + an identical-prompt burst, under
+// sharing-off / flat-registry / radix-registry arms (see the constants above
+// for the shape and gates).
+
+enum class RadixArm { kOff, kFlat, kRadix };
+
+// Session s nests kRadixLayers template layers; layer l has 2^l variants and
+// session s uses variant s >> (kRadixLayers - l), so sibling pairs share all
+// four layers, quads share three, and so on. A per-session tail diverges the
+// prompts after the templates.
+std::vector<int32_t> MakeRadixTemplatePrompt(size_t s, int vocab_size) {
+  std::vector<int32_t> prompt;
+  prompt.reserve(kRadixLayers * kRadixLayerTokens + kRadixTailTokens);
+  for (size_t l = 0; l < kRadixLayers; ++l) {
+    const size_t variant = s >> (kRadixLayers - l);
+    for (size_t pos = 0; pos < kRadixLayerTokens; ++pos) {
+      const uint64_t mixed = ((l + 1) * 7919 + variant * 1021 + pos * 13) *
+                                 0x9E3779B97F4A7C15ull +
+                             pos;
+      prompt.push_back(
+          static_cast<int32_t>(mixed % static_cast<uint64_t>(vocab_size)));
+    }
+  }
+  for (size_t pos = 0; pos < kRadixTailTokens; ++pos) {
+    const uint64_t mixed =
+        ((s + 1) * 557 + pos * 41) * 0x9E3779B97F4A7C15ull + pos * 3;
+    prompt.push_back(
+        static_cast<int32_t>(mixed % static_cast<uint64_t>(vocab_size)));
+  }
+  return prompt;
+}
+
+std::vector<int32_t> MakeRadixBurstPrompt(int vocab_size) {
+  std::vector<int32_t> prompt(kRadixBurstPromptTokens);
+  for (size_t pos = 0; pos < prompt.size(); ++pos) {
+    const uint64_t mixed = (pos * 197 + 883) * 0x9E3779B97F4A7C15ull + pos;
+    prompt[pos] =
+        static_cast<int32_t>(mixed % static_cast<uint64_t>(vocab_size));
+  }
+  return prompt;
+}
+
+struct RadixRunResult {
+  ServerStats stats;
+  double prefill_seconds = 0;
+  uint64_t reused_bytes = 0;      ///< Registry bytes attached across hits.
+  size_t burst_solo_prefills = 0; ///< Burst sessions that prefilled their
+                                  ///< whole prompt themselves.
+  bool fidelity = true;
+};
+
+RadixRunResult RunRadixScenario(
+    const std::vector<std::vector<int32_t>>& template_prompts,
+    const std::vector<std::vector<int32_t>>& template_references,
+    const std::vector<int32_t>& burst_prompt,
+    const std::vector<int32_t>& burst_reference, RadixArm arm,
+    ThreadPool* pool) {
+  ServeOptions serve;
+  serve.engine = PrefixEngineOptions();
+  serve.max_sessions = kRadixSlots;
+  serve.max_queue = kRadixSessions + kRadixBurstSessions;
+  serve.pool = pool;
+  serve.enable_prefix_sharing = arm != RadixArm::kOff;
+  serve.prefix.block_tokens = kPrefixBlockTokens;
+  serve.prefix.max_nodes = kRadixMaxNodes;
+  serve.prefix.structure = arm == RadixArm::kFlat
+                               ? PrefixRegistry::Structure::kFlat
+                               : PrefixRegistry::Structure::kRadix;
+  serve.dedup_in_flight = arm == RadixArm::kRadix;
+  auto manager = SessionManager::Create(serve).value();
+
+  RadixRunResult result;
+  // Phase 1: the nested-template mix. Four users per tenant so the admission
+  // lanes (and the nested per-user DRR) rotate across template groups.
+  std::vector<std::vector<int32_t>> streamed(template_prompts.size());
+  for (size_t s = 0; s < template_prompts.size(); ++s) {
+    ServeRequest request;
+    request.tag = "radix_tpl_" + std::to_string(s);
+    request.identity.tenant = "templates";
+    request.identity.user = "u" + std::to_string(s / 4);
+    request.prompt = template_prompts[s];
+    request.max_new_tokens = kRadixMaxNew;
+    request.on_token = [&streamed, s](int32_t token, size_t) {
+      streamed[s].push_back(token);
+    };
+    PQC_CHECK(manager->Submit(std::move(request)).ok());
+  }
+  PQC_CHECK(manager->RunUntilDrained().ok());
+
+  // Phase 2: the 8-way identical-prompt burst, one lane (same identity).
+  std::vector<std::vector<int32_t>> burst_streamed(kRadixBurstSessions);
+  for (size_t s = 0; s < kRadixBurstSessions; ++s) {
+    ServeRequest request;
+    request.tag = "radix_burst_" + std::to_string(s);
+    request.identity.tenant = "burst";
+    request.prompt = burst_prompt;
+    request.max_new_tokens = kRadixMaxNew;
+    request.on_token = [&burst_streamed, s](int32_t token, size_t) {
+      burst_streamed[s].push_back(token);
+    };
+    PQC_CHECK(manager->Submit(std::move(request)).ok());
+  }
+  PQC_CHECK(manager->RunUntilDrained().ok());
+
+  result.stats = manager->stats();
+  result.prefill_seconds = result.stats.TotalPrefillSeconds();
+  result.reused_bytes = result.stats.prefix_reused_bytes;
+  for (const SessionRecord& record : result.stats.sessions) {
+    if (record.tag.rfind("radix_burst_", 0) == 0 &&
+        record.prefix_shared_tokens == 0) {
+      ++result.burst_solo_prefills;
+    }
+  }
+  for (size_t s = 0; s < template_prompts.size(); ++s) {
+    if (streamed[s] != template_references[s]) {
+      std::fprintf(stderr,
+                   "RADIX FIDELITY FAILURE (arm=%d): template session %zu "
+                   "diverged from its single-session run\n",
+                   static_cast<int>(arm), s);
+      result.fidelity = false;
+    }
+  }
+  for (size_t s = 0; s < kRadixBurstSessions; ++s) {
+    if (burst_streamed[s] != burst_reference) {
+      std::fprintf(stderr,
+                   "RADIX FIDELITY FAILURE (arm=%d): burst session %zu "
+                   "diverged from its single-session run\n",
+                   static_cast<int>(arm), s);
       result.fidelity = false;
     }
   }
@@ -331,7 +483,7 @@ FairnessRunResult RunFairnessScenario(
   for (size_t s = 0; s < greedy_prompts.size(); ++s) {
     ServeRequest request;
     request.tag = "greedy_" + std::to_string(s);
-    if (fair) request.tenant = "greedy";
+    if (fair) request.identity.tenant = "greedy";
     request.prompt = greedy_prompts[s];
     request.max_new_tokens = kGreedyMaxNewTokens;
     request.on_token = [&greedy_streams, s](int32_t token, size_t) {
@@ -343,9 +495,9 @@ FairnessRunResult RunFairnessScenario(
     ServeRequest request;
     request.tag = "interactive_" + std::to_string(s);
     if (fair) {
-      request.tenant = "interactive";
-      request.weight = kInteractiveWeight;
-      request.priority = 1;
+      request.identity.tenant = "interactive";
+      request.identity.weight = kInteractiveWeight;
+      request.identity.priority = 1;
     }
     request.prompt = interactive_prompts[s];
     request.max_new_tokens = kInteractiveMaxNewTokens;
@@ -733,7 +885,7 @@ ObservabilityRunResult RunObservabilityScenario(
     for (size_t s = 0; s < kObsBatchSessions; ++s) {
       ServeRequest request;
       request.tag = "obs_batch_" + std::to_string(s);
-      request.tenant = "batch";
+      request.identity.tenant = "batch";
       request.prompt = batch_prompts[s];
       request.max_new_tokens = kObsBatchMaxNewTokens;
       std::vector<int32_t>* sink = &(*streams)[s];
@@ -745,9 +897,9 @@ ObservabilityRunResult RunObservabilityScenario(
     for (size_t s = 0; s < kObsInteractiveSessions; ++s) {
       ServeRequest request;
       request.tag = "obs_interactive_" + std::to_string(s);
-      request.tenant = "interactive";
-      request.weight = kObsInteractiveWeight;
-      request.priority = 1;
+      request.identity.tenant = "interactive";
+      request.identity.weight = kObsInteractiveWeight;
+      request.identity.priority = 1;
       request.prompt = interactive_prompts[s];
       request.max_new_tokens = kObsInteractiveMaxNewTokens;
       std::vector<int32_t>* sink = &(*streams)[kObsBatchSessions + s];
@@ -830,6 +982,22 @@ ObservabilityRunResult RunObservabilityScenario(
   return result;
 }
 
+/// Everything the JSON report records about the radix scenario.
+struct RadixJson {
+  double off_prefill_seconds = 0;
+  double flat_prefill_seconds = 0;
+  double radix_prefill_seconds = 0;
+  uint64_t flat_reused_bytes = 0;
+  uint64_t radix_reused_bytes = 0;
+  uint64_t radix_extended_publishes = 0;
+  uint64_t radix_dedup_deferrals = 0;
+  size_t flat_burst_solo_prefills = 0;
+  size_t radix_burst_solo_prefills = 0;
+  bool radix_beats_flat_reuse = false;
+  bool burst_prefills_once = false;
+  bool tokens_bit_identical = false;
+};
+
 /// Everything the JSON report records about the antagonist scenario.
 struct FairnessJson {
   double rr_interactive_p99_wait_seconds = 0;
@@ -849,6 +1017,7 @@ void WriteJson(const std::string& path, size_t gpu_budget,
                const std::vector<SweepResult>& sweeps, bool verified,
                const PrefixRunResult& unshared,
                const PrefixRunResult& shared,
+               const RadixJson& radix,
                const FairnessJson& fairness,
                const CheckpointRunResult& checkpoint,
                const RobustnessRunResult& robustness,
@@ -917,6 +1086,31 @@ void WriteJson(const std::string& path, size_t gpu_budget,
       static_cast<unsigned long long>(shared.stats.prefix_hits),
       static_cast<unsigned long long>(shared.stats.prefix_reused_tokens),
       unshared.fidelity && shared.fidelity ? "true" : "false");
+  std::fprintf(
+      f,
+      "  \"radix_prefix\": {\n"
+      "    \"sessions\": %zu, \"template_layers\": %zu, "
+      "\"burst_sessions\": %zu, \"max_nodes\": %zu,\n"
+      "    \"off_prefill_seconds\": %.6f, \"flat_prefill_seconds\": %.6f, "
+      "\"radix_prefill_seconds\": %.6f,\n"
+      "    \"flat_reused_bytes\": %llu, \"radix_reused_bytes\": %llu, "
+      "\"radix_extended_publishes\": %llu, \"radix_dedup_deferrals\": %llu,\n"
+      "    \"flat_burst_solo_prefills\": %zu, "
+      "\"radix_burst_solo_prefills\": %zu,\n"
+      "    \"radix_beats_flat_reuse\": %s, \"burst_prefills_once\": %s, "
+      "\"tokens_bit_identical\": %s\n"
+      "  },\n",
+      kRadixSessions, kRadixLayers, kRadixBurstSessions, kRadixMaxNodes,
+      radix.off_prefill_seconds, radix.flat_prefill_seconds,
+      radix.radix_prefill_seconds,
+      static_cast<unsigned long long>(radix.flat_reused_bytes),
+      static_cast<unsigned long long>(radix.radix_reused_bytes),
+      static_cast<unsigned long long>(radix.radix_extended_publishes),
+      static_cast<unsigned long long>(radix.radix_dedup_deferrals),
+      radix.flat_burst_solo_prefills, radix.radix_burst_solo_prefills,
+      radix.radix_beats_flat_reuse ? "true" : "false",
+      radix.burst_prefills_once ? "true" : "false",
+      radix.tokens_bit_identical ? "true" : "false");
   std::fprintf(
       f,
       "  \"fairness\": {\n"
@@ -1147,6 +1341,84 @@ int Run(const std::string& out_path, const std::string& trace_path,
       static_cast<unsigned long long>(shared.stats.prefix_reused_tokens),
       unshared.fidelity && shared.fidelity ? "yes" : "NO");
 
+  // Radix scenario: nested templates + identical-prompt burst under the
+  // off / flat / radix arms.
+  bench::PrintHeader(
+      "Radix prefix sharing: 16 sessions x 4 nested template layers plus an\n"
+      "8-way identical-prompt burst (sharing off vs. flat registry vs. radix\n"
+      "+ in-flight dedup, equal node budgets; gated on bit-identity)");
+  std::vector<std::vector<int32_t>> radix_prompts;
+  radix_prompts.reserve(kRadixSessions);
+  for (size_t s = 0; s < kRadixSessions; ++s) {
+    radix_prompts.push_back(
+        MakeRadixTemplatePrompt(s, engine_options.model.vocab_size));
+  }
+  const std::vector<int32_t> burst_prompt =
+      MakeRadixBurstPrompt(engine_options.model.vocab_size);
+  std::vector<std::vector<int32_t>> radix_references;
+  radix_references.reserve(kRadixSessions);
+  for (const auto& prompt : radix_prompts) {
+    radix_references.push_back(SingleSessionReference(
+        PrefixEngineOptions(), prompt, kRadixMaxNew));
+  }
+  const std::vector<int32_t> burst_reference = SingleSessionReference(
+      PrefixEngineOptions(), burst_prompt, kRadixMaxNew);
+  const RadixRunResult radix_off =
+      RunRadixScenario(radix_prompts, radix_references, burst_prompt,
+                       burst_reference, RadixArm::kOff, &pool);
+  const RadixRunResult radix_flat =
+      RunRadixScenario(radix_prompts, radix_references, burst_prompt,
+                       burst_reference, RadixArm::kFlat, &pool);
+  const RadixRunResult radix_radix =
+      RunRadixScenario(radix_prompts, radix_references, burst_prompt,
+                       burst_reference, RadixArm::kRadix, &pool);
+  RadixJson radix;
+  radix.off_prefill_seconds = radix_off.prefill_seconds;
+  radix.flat_prefill_seconds = radix_flat.prefill_seconds;
+  radix.radix_prefill_seconds = radix_radix.prefill_seconds;
+  radix.flat_reused_bytes = radix_flat.reused_bytes;
+  radix.radix_reused_bytes = radix_radix.reused_bytes;
+  radix.radix_extended_publishes =
+      radix_radix.stats.prefix_extended_publishes;
+  radix.radix_dedup_deferrals = radix_radix.stats.prefix_dedup_deferrals;
+  radix.flat_burst_solo_prefills = radix_flat.burst_solo_prefills;
+  radix.radix_burst_solo_prefills = radix_radix.burst_solo_prefills;
+  radix.radix_beats_flat_reuse =
+      radix_radix.reused_bytes > radix_flat.reused_bytes;
+  radix.burst_prefills_once = radix_radix.burst_solo_prefills == 1;
+  radix.tokens_bit_identical =
+      radix_off.fidelity && radix_flat.fidelity && radix_radix.fidelity;
+  verified = verified && radix.tokens_bit_identical &&
+             radix.radix_beats_flat_reuse && radix.burst_prefills_once;
+  if (!radix.radix_beats_flat_reuse) {
+    std::fprintf(stderr,
+                 "RADIX REUSE FAILURE: radix reused %llu bytes <= flat's "
+                 "%llu under equal budgets\n",
+                 static_cast<unsigned long long>(radix.radix_reused_bytes),
+                 static_cast<unsigned long long>(radix.flat_reused_bytes));
+  }
+  if (!radix.burst_prefills_once) {
+    std::fprintf(stderr,
+                 "DEDUP FAILURE: identical-prompt burst prefilled its prefix "
+                 "%zu times (expected exactly 1)\n",
+                 radix.radix_burst_solo_prefills);
+  }
+  std::printf(
+      "prefill time (summed): off %.1f ms | flat %.1f ms | radix %.1f ms\n"
+      "reused prefix bytes:   flat %.2f MB -> radix %.2f MB "
+      "(%llu extension publishes)\n"
+      "8-way burst solo prefills: flat %zu -> radix %zu "
+      "(%llu dedup deferrals)\n"
+      "tokens bit-identical across all arms: %s\n",
+      radix.off_prefill_seconds * 1e3, radix.flat_prefill_seconds * 1e3,
+      radix.radix_prefill_seconds * 1e3,
+      static_cast<double>(radix.flat_reused_bytes) / (1 << 20),
+      static_cast<double>(radix.radix_reused_bytes) / (1 << 20),
+      static_cast<unsigned long long>(radix.radix_extended_publishes),
+      radix.flat_burst_solo_prefills, radix.radix_burst_solo_prefills,
+      static_cast<unsigned long long>(radix.radix_dedup_deferrals),
+      radix.tokens_bit_identical ? "yes" : "NO");
+
   // Antagonist scenario: weighted fair scheduling + preemption vs. legacy
   // round-robin under a greedy tenant flood.
   bench::PrintHeader(
@@ -1332,8 +1604,8 @@ int Run(const std::string& out_path, const std::string& trace_path,
   fairness.meets_min_improvement = fairness_meets_improvement;
   fairness.tokens_within_band = fairness_tokens_within_band;
   WriteJson(out_path, engine_options.hardware.gpu_memory_bytes, sweeps,
-            verified, unshared, shared, fairness, checkpoint, robustness,
-            obs);
+            verified, unshared, shared, radix, fairness, checkpoint,
+            robustness, obs);
   return verified ? 0 : 1;
 }
 

@@ -9,6 +9,9 @@ Tracked metrics
     - prefix_sharing.prefill_reduction (higher is better; absolute band)
     - prefix_sharing.tokens_bit_identical / tokens_bit_identical_to_single_
       session must be true in the FRESH report (hard gate, no tolerance)
+    - radix_prefix.*: bit-identity across the off/flat/radix arms, the
+      radix-beats-flat reused-bytes comparison, and the burst-prefills-once
+      dedup gate are hard gates evaluated inside the fresh report
     - fairness.*: bit-identity, the >= 2x interactive p99 queue-wait
       improvement and the tokens/sec band vs. round-robin are hard gates
       evaluated inside the fresh report; wait_improvement is additionally
@@ -94,6 +97,34 @@ def check_serve(baseline, fresh, tolerance, failures):
                 f"(tolerance band {tolerance:.2f})")
         print(f"  prefix prefill_reduction:    {base_red:8.2f} -> "
               f"{fresh_red:8.2f}  {status}")
+
+    base_radix = baseline.get("radix_prefix")
+    fresh_radix = fresh.get("radix_prefix")
+    if fresh_radix:
+        # Hard gates, no tolerance, evaluated inside the fresh report: the
+        # radix arm must reuse strictly more prefix bytes than the flat arm
+        # under equal node budgets, the 8-way identical-prompt burst must
+        # prefill its prefix exactly once with in-flight dedup on, and every
+        # arm's streams must stay bit-identical to solo sessions.
+        if not fresh_radix.get("tokens_bit_identical", False):
+            failures.append("serve: radix-prefix fidelity gate failed")
+        if not fresh_radix.get("radix_beats_flat_reuse", False):
+            failures.append("serve: radix arm did not reuse more prefix "
+                            "bytes than the flat arm under equal budgets")
+        if not fresh_radix.get("burst_prefills_once", False):
+            failures.append(
+                "serve: identical-prompt burst prefilled more than once "
+                f"({fresh_radix.get('radix_burst_solo_prefills')} solo "
+                "prefills; dedup gate expects exactly 1)")
+        print(f"  radix reused bytes:          "
+              f"{fresh_radix.get('flat_reused_bytes', 0):8d} (flat) -> "
+              f"{fresh_radix.get('radix_reused_bytes', 0):8d} (radix)")
+        print(f"  radix burst solo prefills:   "
+              f"{fresh_radix.get('flat_burst_solo_prefills', 0):8d} (flat) -> "
+              f"{fresh_radix.get('radix_burst_solo_prefills', 0):8d} (radix)")
+    elif base_radix:
+        failures.append("serve: radix_prefix section missing from fresh "
+                        "report")
 
     base_fair = baseline.get("fairness")
     fresh_fair = fresh.get("fairness")

@@ -53,7 +53,7 @@ int main() {
   for (size_t g = 0; g < 4; ++g) {
     ServeRequest request;
     request.tag = "greedy-" + std::to_string(g);
-    request.tenant = "greedy";
+    request.identity.tenant = "greedy";
     request.prompt = make_prompt(224, g);
     request.max_new_tokens = 24;
     if (!manager->Submit(std::move(request)).ok()) return 1;
@@ -62,9 +62,10 @@ int main() {
   for (size_t u = 0; u < 2; ++u) {
     ServeRequest request;
     request.tag = "interactive-" + std::to_string(u);
-    request.tenant = "interactive";
-    request.weight = 4;
-    request.priority = 1;
+    request.identity.tenant = "interactive";
+    request.identity.user = "user-" + std::to_string(u);
+    request.identity.weight = 4;
+    request.identity.priority = 1;
     request.prompt = make_prompt(128, 100 + u);
     request.max_new_tokens = 4;
     if (!manager->Submit(std::move(request)).ok()) return 1;
@@ -93,6 +94,16 @@ int main() {
                 static_cast<unsigned long long>(t.generated_tokens),
                 static_cast<unsigned long long>(t.preemptions),
                 t.p99_queue_wait_seconds * 1e3, t.p99_tpot_seconds * 1e3);
+  }
+  std::printf("\nper-user rollup (nested fair share within each tenant):\n"
+              "%-14s %-10s %-9s %-9s %s\n",
+              "tenant", "user", "sessions", "tokens", "mean_wait_ms");
+  for (const UserStats& u : stats.PerUser()) {
+    std::printf("%-14s %-10s %-9llu %-9llu %.1f\n", u.tenant.c_str(),
+                u.user.empty() ? "(default)" : u.user.c_str(),
+                static_cast<unsigned long long>(u.sessions),
+                static_cast<unsigned long long>(u.generated_tokens),
+                u.mean_queue_wait_seconds * 1e3);
   }
   std::printf(
       "\n%llu preemption(s): the interactive tenant was seated by suspending\n"

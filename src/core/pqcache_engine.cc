@@ -187,7 +187,7 @@ Result<std::unique_ptr<PQCacheEngine>> PQCacheEngine::BuildSkeleton(
         "PQCacheEngine: token_ratio must be in (0, 1]");
   }
   if (options.prefix != nullptr) {
-    const PrefixSegmentConfig& config = options.prefix->segment->config;
+    const PrefixSegmentConfig& config = options.prefix->config();
     PrefixSegmentConfig expected;
     expected.num_layers = options.model.num_layers;
     expected.num_kv_heads = options.model.num_kv_heads;
@@ -359,11 +359,13 @@ Status PQCacheEngine::BuildPQIndexes(size_t seq_len) {
     // clustering and the encode pass are skipped for these ranges.
     size_t cursor = mb;
     if (prefix != nullptr) {
-      const auto& shared_spans = prefix->segment->spans[job];
-      for (size_t i = 0; i < prefix->use_spans; ++i) {
-        const PQClosedSpan& span = shared_spans[i];
-        set.AddClosed(span.begin, span.index, /*shared=*/true);
-        cursor = span.end();
+      // The chain's spans concatenate in order (each node stores the spans
+      // completing in its block), so adoption walks node by node.
+      for (const PrefixNodeHandle& node : prefix->chain) {
+        for (const PQClosedSpan& span : node->spans[job]) {
+          set.AddClosed(span.begin, span.index, /*shared=*/true);
+          cursor = span.end();
+        }
       }
     }
 
@@ -466,13 +468,12 @@ Result<int32_t> PQCacheEngine::Prefill(std::span<const int32_t> tokens) {
           "PQCacheEngine: shared prefix too long for this prompt (must "
           "leave the local window and final position private)");
     }
-    if (!std::equal(tokens.begin(), tokens.begin() + shared_tokens,
-                    att.segment->tokens.begin())) {
+    if (!att.MatchesPrompt(tokens)) {
       return Status::InvalidArgument(
           "PQCacheEngine: prompt does not start with the shared prefix");
     }
     PQC_RETURN_IF_ERROR(
-        kv_cache_->AttachSharedPrefix(att.segment->rows, shared_tokens));
+        kv_cache_->AttachSharedPrefix(att.RowChunks(), shared_tokens));
     stats_.prefix_shared_tokens = shared_tokens;
     stats_.prefix_reused_span_vectors = att.use_span_vectors;
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <iterator>
 
 #include "src/common/logging.h"
 #include "src/core/pqcache_engine.h"
@@ -27,37 +28,80 @@ double CodeBytesPerVector(const PrefixSegmentConfig& config) {
 }
 
 /// Marks a lookup miss on the serving timeline. Kept out-of-line so the
-/// three miss returns in Lookup stay one statement each.
+/// miss returns in Lookup stay one statement each.
 std::shared_ptr<const PrefixAttachment> LookupMiss() {
   obs::Tracer::Instant("prefix", "prefix.miss");
   return nullptr;
 }
 
+/// Collects `deepest`'s upward chain root-first (the inverse of the parent
+/// links).
+std::vector<PrefixNodeHandle> ChainOf(const PrefixNodeHandle& deepest) {
+  std::vector<PrefixNodeHandle> chain;
+  for (PrefixNodeHandle node = deepest; node != nullptr;
+       node = node->parent) {
+    chain.push_back(node);
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
 }  // namespace
 
-PrefixSegment::~PrefixSegment() {
+PrefixNode::~PrefixNode() {
   if (hierarchy != nullptr) {
     hierarchy->gpu().Free(gpu_bytes);
     hierarchy->cpu().Free(cpu_bytes);
   }
 }
 
+bool PrefixAttachment::MatchesPrompt(std::span<const int32_t> prompt) const {
+  if (prompt.size() < use_tokens) return false;
+  size_t offset = 0;
+  for (const PrefixNodeHandle& node : chain) {
+    if (!std::equal(node->tokens.begin(), node->tokens.end(),
+                    prompt.begin() + offset)) {
+      return false;
+    }
+    offset += node->tokens.size();
+  }
+  return true;
+}
+
+std::vector<std::vector<std::shared_ptr<const SharedKVRows>>>
+PrefixAttachment::RowChunks() const {
+  const size_t stores = chain.front()->rows.size();
+  std::vector<std::vector<std::shared_ptr<const SharedKVRows>>> chunks(
+      stores);
+  for (size_t s = 0; s < stores; ++s) {
+    chunks[s].reserve(chain.size());
+    for (const PrefixNodeHandle& node : chain) chunks[s].push_back(node->rows[s]);
+  }
+  return chunks;
+}
+
 size_t PrefixAttachment::SharedGpuBytes() const {
-  const PrefixSegmentConfig& config = segment->config;
-  const size_t stores = StoreCount(config);
-  const size_t pinned = std::min(use_tokens, config.initial_tokens);
-  const size_t code_bytes = static_cast<size_t>(
-      std::ceil(static_cast<double>(use_span_vectors) *
-                CodeBytesPerVector(config)));
-  return stores * (pinned * BytesPerToken(config) + code_bytes +
-                   use_spans *
-                       PqCodebookGpuBytes(config.pq_bits, config.head_dim));
+  size_t total = 0;
+  for (const PrefixNodeHandle& node : chain) total += node->gpu_bytes;
+  return total;
 }
 
 size_t PrefixAttachment::SharedCpuBytes() const {
-  const PrefixSegmentConfig& config = segment->config;
-  const size_t middle = use_tokens - std::min(use_tokens, config.initial_tokens);
-  return StoreCount(config) * middle * BytesPerToken(config);
+  size_t total = 0;
+  for (const PrefixNodeHandle& node : chain) total += node->cpu_bytes;
+  return total;
+}
+
+size_t PrefixRegistry::Unit::gpu_bytes() const {
+  size_t total = 0;
+  for (const auto& node : nodes) total += node->gpu_bytes;
+  return total;
+}
+
+size_t PrefixRegistry::Unit::cpu_bytes() const {
+  size_t total = 0;
+  for (const auto& node : nodes) total += node->cpu_bytes;
+  return total;
 }
 
 PrefixRegistry::PrefixRegistry(const Options& options) : options_(options) {
@@ -78,6 +122,55 @@ uint64_t PrefixRegistry::ChainBlockHash(uint64_t chain,
   return h;
 }
 
+uint64_t PrefixRegistry::ChainKey(std::span<const int32_t> prompt,
+                                  size_t cap_tokens, size_t block_tokens) {
+  if (block_tokens == 0) return 0;
+  const size_t depth = std::min(prompt.size(), cap_tokens) / block_tokens;
+  uint64_t chain = 0;
+  for (size_t i = 0; i < depth; ++i) {
+    chain = ChainBlockHash(chain,
+                           prompt.subspan(i * block_tokens, block_tokens));
+  }
+  return depth == 0 ? 0 : chain;
+}
+
+std::vector<PrefixNodeHandle> PrefixRegistry::MatchChainLocked(
+    std::span<const int32_t> prompt, size_t max_depth,
+    std::vector<uint64_t>* hashes_out) {
+  const size_t block = options_.block_tokens;
+  std::vector<PrefixNodeHandle> chain;
+  uint64_t hash = 0;
+  for (size_t depth = 1; depth <= max_depth; ++depth) {
+    std::span<const int32_t> block_span =
+        prompt.subspan((depth - 1) * block, block);
+    hash = ChainBlockHash(hash, block_span);
+    auto it = slots_.find(hash);
+    if (it == slots_.end()) break;
+    const PrefixNodeHandle& node = it->second.node;
+    // Hash-collision guard: the match is only real if the actual token ids
+    // agree. A collision is treated as the end of the match.
+    if (!std::equal(node->tokens.begin(), node->tokens.end(),
+                    block_span.begin())) {
+      break;
+    }
+    chain.push_back(node);
+    if (hashes_out != nullptr) hashes_out->push_back(hash);
+  }
+  return chain;
+}
+
+void PrefixRegistry::TouchLocked(const PrefixNodeHandle& node) {
+  auto it = slots_.find(node->chain_hash);
+  if (it == slots_.end() || it->second.node != node) return;
+  Unit* unit = it->second.unit;
+  for (auto lru_it = lru_.begin(); lru_it != lru_.end(); ++lru_it) {
+    if (lru_it->get() == unit) {
+      lru_.splice(lru_.begin(), lru_, lru_it);
+      return;
+    }
+  }
+}
+
 std::shared_ptr<const PrefixAttachment> PrefixRegistry::Lookup(
     std::span<const int32_t> prompt, size_t cap_tokens) {
   const size_t block = options_.block_tokens;
@@ -87,57 +180,40 @@ std::shared_ptr<const PrefixAttachment> PrefixRegistry::Lookup(
   obs::MetricsRegistry::Add(obs::Counter::kPrefixLookups);
   if (max_depth == 0) return LookupMiss();
 
-  Node* node = &root_;
-  uint64_t chain = 0;
-  size_t matched_depth = 0;
-  std::shared_ptr<PrefixSegment> found;
-  for (size_t depth = 1; depth <= max_depth; ++depth) {
-    chain = ChainBlockHash(chain,
-                           prompt.subspan((depth - 1) * block, block));
-    auto it = node->children.find(chain);
-    if (it == node->children.end()) break;
-    node = it->second.get();
-    if (node->segment != nullptr) {
-      matched_depth = depth;
-      found = node->segment;
-    }
-  }
-  if (found == nullptr) return LookupMiss();
-  const size_t use_tokens = matched_depth * block;
-  // Hash-collision guard: the match is only real if the actual token ids
-  // agree. A collision is treated as a miss.
-  if (std::memcmp(prompt.data(), found->tokens.data(),
-                  use_tokens * sizeof(int32_t)) != 0) {
-    return LookupMiss();
-  }
+  std::vector<PrefixNodeHandle> chain =
+      MatchChainLocked(prompt, max_depth, nullptr);
+  if (chain.empty()) return LookupMiss();
 
   auto attachment = std::make_shared<PrefixAttachment>();
-  attachment->segment = found;
-  attachment->use_tokens = use_tokens;
-  if (!found->spans.empty()) {
-    for (const PQClosedSpan& span : found->spans[0]) {
-      if (span.end() > use_tokens) break;
-      ++attachment->use_spans;
-      attachment->use_span_vectors += span.count();
+  attachment->use_tokens = chain.size() * block;
+  for (const PrefixNodeHandle& node : chain) {
+    if (!node->spans.empty()) {
+      for (const PQClosedSpan& span : node->spans[0]) {
+        ++attachment->use_spans;
+        attachment->use_span_vectors += span.count();
+      }
     }
+    TouchLocked(node);
   }
-  // Touch LRU (linear scan: retention caps keep this list small).
-  auto lru_it = std::find(lru_.begin(), lru_.end(), found);
-  if (lru_it != lru_.end()) lru_.splice(lru_.begin(), lru_, lru_it);
+  attachment->chain = std::move(chain);
   ++stats_.hits;
-  stats_.reused_tokens += use_tokens;
+  stats_.reused_tokens += attachment->use_tokens;
+  stats_.reused_bytes +=
+      attachment->SharedGpuBytes() + attachment->SharedCpuBytes();
   obs::MetricsRegistry::Add(obs::Counter::kPrefixHits);
   obs::Tracer::Instant("prefix", "prefix.hit", "use_tokens",
-                       static_cast<int64_t>(use_tokens));
+                       static_cast<int64_t>(attachment->use_tokens));
   return attachment;
 }
 
-Status PrefixRegistry::Publish(std::span<const int32_t> prompt,
+Status PrefixRegistry::Publish(const PrefixNodeHandle& parent,
+                               std::span<const int32_t> prompt,
                                const PQCacheEngine& engine) {
   const size_t block = options_.block_tokens;
   const size_t depth = prompt.size() / block;
   const size_t n_tokens = depth * block;
   if (depth == 0) return Status::OK();  // Nothing block-aligned to share.
+  const bool radix = options_.structure == Structure::kRadix;
 
   const PQCacheEngineOptions& opts = engine.options();
   PrefixSegmentConfig config;
@@ -157,196 +233,285 @@ Status PrefixRegistry::Publish(std::span<const int32_t> prompt,
         "PrefixRegistry::Publish: engine holds fewer rows than the prefix");
   }
 
-  // Fast duplicate check before paying for the row copy.
   std::vector<uint64_t> chain_hashes(depth);
   {
-    uint64_t chain = 0;
+    uint64_t hash = 0;
     for (size_t i = 0; i < depth; ++i) {
-      chain = ChainBlockHash(chain, prompt.subspan(i * block, block));
-      chain_hashes[i] = chain;
+      hash = ChainBlockHash(hash, prompt.subspan(i * block, block));
+      chain_hashes[i] = hash;
     }
+  }
+
+  // Phase 1 (locked): find how much of the prefix is already published. A
+  // parent chain the publisher attached resurrects evicted slots first (the
+  // handles are alive and token-verified by the publisher's own prefill), so
+  // an extension never re-copies a block whose node still exists.
+  size_t start_depth = 0;
+  std::vector<PrefixNodeHandle> base_chain;
+  {
     std::lock_guard<std::mutex> lock(mu_);
-    Node* node = &root_;
-    bool covered = true;
-    for (size_t i = 0; i < depth; ++i) {
-      auto it = node->children.find(chain_hashes[i]);
-      if (it == node->children.end()) {
-        covered = false;
-        break;
+    if (radix && parent != nullptr && parent->block_tokens == block &&
+        parent->depth <= depth) {
+      const std::vector<PrefixNodeHandle> parent_chain = ChainOf(parent);
+      for (const PrefixNodeHandle& node : parent_chain) {
+        const uint64_t hash = chain_hashes[node->depth - 1];
+        auto [it, inserted] = slots_.try_emplace(hash);
+        if (!inserted) continue;  // Retained (or a collision; walk verifies).
+        auto unit = std::make_shared<Unit>();
+        unit->nodes.push_back(node);
+        it->second.node = node;
+        it->second.unit = unit.get();
+        if (node->depth > 1) {
+          auto pit = slots_.find(node->parent->chain_hash);
+          if (pit != slots_.end()) ++pit->second.children;
+        }
+        lru_.push_front(std::move(unit));
+        ++stats_.nodes;
+        stats_.resident_gpu_bytes += node->gpu_bytes;
+        stats_.resident_cpu_bytes += node->cpu_bytes;
       }
-      node = it->second.get();
     }
-    if (covered && node->segment != nullptr &&
-        node->segment->n_tokens >= n_tokens) {
+    base_chain = MatchChainLocked(prompt, depth, nullptr);
+    start_depth = radix ? base_chain.size() : 0;
+    if (base_chain.size() == depth) {
       ++stats_.duplicate_publishes;
       return Status::OK();
     }
   }
 
-  // Build the segment outside the lock: copy the FP16 rows once, adopt the
-  // closed spans by reference.
-  auto segment = std::make_shared<PrefixSegment>();
-  segment->config = config;
-  segment->tokens.assign(prompt.begin(), prompt.begin() + n_tokens);
-  segment->n_tokens = n_tokens;
-  segment->rows.reserve(stores);
-  segment->spans.resize(stores);
+  // Phase 2 (unlocked): build only the uncovered tail blocks — copy their
+  // FP16 rows once, adopt their closed spans by reference, and charge each
+  // node's bytes (both pools or neither; an unfundable extension is simply
+  // not shared).
+  std::vector<std::shared_ptr<PrefixNode>> new_nodes;
+  new_nodes.reserve(depth - start_depth);
   const size_t d = static_cast<size_t>(config.head_dim);
-  size_t span_code_bytes = 0;
-  size_t span_codebooks = 0;
-  for (int layer = 0; layer < config.num_layers; ++layer) {
-    for (int head = 0; head < config.num_kv_heads; ++head) {
-      const size_t job = static_cast<size_t>(layer) * config.num_kv_heads +
-                         static_cast<size_t>(head);
-      const KVStore& store = engine.cache().store(layer, head);
-      auto rows = std::make_shared<SharedKVRows>();
-      rows->n = n_tokens;
-      rows->head_dim = d;
-      rows->keys.resize(n_tokens * d);
-      rows->values.resize(n_tokens * d);
-      for (size_t t = 0; t < n_tokens; ++t) {
-        std::span<const Half> key = store.KeyRow(t);
-        std::span<const Half> value = store.ValueRow(t);
-        std::copy(key.begin(), key.end(), rows->keys.begin() + t * d);
-        std::copy(value.begin(), value.end(), rows->values.begin() + t * d);
-      }
-      segment->rows.push_back(std::move(rows));
-      for (const PQClosedSpan& span : engine.pq_index(layer, head).closed()) {
-        if (span.end() > n_tokens) break;
-        segment->spans[job].push_back(
-            PQClosedSpan{span.begin, span.index, /*shared=*/true});
-        if (job == 0) {
-          span_code_bytes += static_cast<size_t>(
-              std::ceil(static_cast<double>(span.count()) *
-                        CodeBytesPerVector(config)));
-          ++span_codebooks;
+  size_t new_bytes = 0;
+  for (size_t k = start_depth; k < depth; ++k) {
+    const size_t begin = k * block;
+    const size_t end = begin + block;
+    auto node = std::make_shared<PrefixNode>();
+    node->config = config;
+    node->block_tokens = block;
+    node->depth = k + 1;
+    node->chain_hash = chain_hashes[k];
+    node->parent = k == 0 ? nullptr
+                  : k == start_depth
+                      ? base_chain.back()
+                      : PrefixNodeHandle(new_nodes.back());
+    node->tokens.assign(prompt.begin() + begin, prompt.begin() + end);
+    node->rows.reserve(stores);
+    node->spans.resize(stores);
+    size_t span_code_bytes = 0;
+    size_t span_codebooks = 0;
+    for (int layer = 0; layer < config.num_layers; ++layer) {
+      for (int head = 0; head < config.num_kv_heads; ++head) {
+        const size_t job = static_cast<size_t>(layer) * config.num_kv_heads +
+                           static_cast<size_t>(head);
+        const KVStore& store = engine.cache().store(layer, head);
+        auto rows = std::make_shared<SharedKVRows>();
+        rows->n = block;
+        rows->head_dim = d;
+        rows->keys.resize(block * d);
+        rows->values.resize(block * d);
+        for (size_t t = begin; t < end; ++t) {
+          std::span<const Half> key = store.KeyRow(t);
+          std::span<const Half> value = store.ValueRow(t);
+          std::copy(key.begin(), key.end(),
+                    rows->keys.begin() + (t - begin) * d);
+          std::copy(value.begin(), value.end(),
+                    rows->values.begin() + (t - begin) * d);
+        }
+        node->rows.push_back(std::move(rows));
+        // A closed span lives in the node where it *completes*; it may begin
+        // in an ancestor's range, which is fine because a chain is always
+        // attached as a whole prefix.
+        for (const PQClosedSpan& span :
+             engine.pq_index(layer, head).closed()) {
+          if (span.end() <= begin) continue;
+          if (span.end() > end) break;
+          node->spans[job].push_back(
+              PQClosedSpan{span.begin, span.index, /*shared=*/true});
+          if (job == 0) {
+            span_code_bytes += static_cast<size_t>(
+                std::ceil(static_cast<double>(span.count()) *
+                          CodeBytesPerVector(config)));
+            ++span_codebooks;
+          }
         }
       }
     }
+    const size_t pinned =
+        std::min(end, config.initial_tokens) -
+        std::min(begin, config.initial_tokens);
+    node->gpu_bytes =
+        stores * (pinned * BytesPerToken(config) + span_code_bytes +
+                  span_codebooks *
+                      PqCodebookGpuBytes(config.pq_bits, config.head_dim));
+    node->cpu_bytes = stores * (block - pinned) * BytesPerToken(config);
+    new_bytes += node->gpu_bytes + node->cpu_bytes;
+    new_nodes.push_back(std::move(node));
   }
 
-  // Charge the segment's bytes once (both pools or neither). An unfundable
-  // segment is simply not shared.
-  const size_t pinned = std::min(n_tokens, config.initial_tokens);
-  segment->gpu_bytes =
-      stores * (pinned * BytesPerToken(config) + span_code_bytes +
-                span_codebooks *
-                    PqCodebookGpuBytes(config.pq_bits, config.head_dim));
-  segment->cpu_bytes = stores * (n_tokens - pinned) * BytesPerToken(config);
-  if (segment->gpu_bytes + segment->cpu_bytes > options_.max_bytes) {
+  if (new_bytes > options_.max_bytes) {
     // Would blow the retention budget on its own; eviction never drops the
-    // most recent segment, so refusing up front is the only way to honor
+    // most recent chain, so refusing up front is the only way to honor
     // max_bytes for oversized prefixes.
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.rejected_bytes;
     return Status::OK();
   }
   if (options_.hierarchy != nullptr) {
-    if (!options_.hierarchy->gpu().Allocate(segment->gpu_bytes).ok()) {
+    size_t funded = 0;
+    Status charge = Status::OK();
+    for (; funded < new_nodes.size(); ++funded) {
+      PrefixNode& node = *new_nodes[funded];
+      charge = options_.hierarchy->gpu().Allocate(node.gpu_bytes);
+      if (!charge.ok()) break;
+      charge = options_.hierarchy->cpu().Allocate(node.cpu_bytes);
+      if (!charge.ok()) {
+        options_.hierarchy->gpu().Free(node.gpu_bytes);
+        break;
+      }
+      node.hierarchy = options_.hierarchy;  // Charges release at last unref.
+    }
+    if (!charge.ok()) {
+      new_nodes.clear();  // Destructors release the funded prefix.
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.rejected_bytes;
       return Status::OK();
     }
-    if (!options_.hierarchy->cpu().Allocate(segment->cpu_bytes).ok()) {
-      options_.hierarchy->gpu().Free(segment->gpu_bytes);
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.rejected_bytes;
-      return Status::OK();
-    }
-    segment->hierarchy = options_.hierarchy;  // Charges release at last unref.
   }
 
+  // Phase 3 (locked): link the new nodes into the slot map. A racing publish
+  // may have covered some depths meanwhile; those duplicate nodes are
+  // dropped (their charges release immediately). Under kFlat the whole chain
+  // is one retention unit holding every copied node — even ones shadowed in
+  // the map by an earlier chain — so evicting the earlier chain can heal the
+  // slots from this unit's own copies (the legacy full-segment behavior).
   std::lock_guard<std::mutex> lock(mu_);
-  // Re-walk under the lock: a racing Publish may have covered us meanwhile.
-  Node* node = &root_;
-  for (size_t i = 0; i < depth; ++i) {
-    auto [it, inserted] =
-        node->children.try_emplace(chain_hashes[i], nullptr);
-    if (inserted) it->second = std::make_unique<Node>();
-    node = it->second.get();
-    if (i + 1 == depth) {
-      if (node->segment != nullptr) {
-        ++stats_.duplicate_publishes;
-        return Status::OK();  // Segment dies here, releasing its charges.
+  ++publish_gen_;
+  size_t registered = 0;
+  if (radix) {
+    for (auto& node : new_nodes) {
+      auto [it, inserted] = slots_.try_emplace(node->chain_hash);
+      if (!inserted) continue;  // Racing publish won this depth.
+      it->second.node = node;
+      auto unit = std::make_shared<Unit>();
+      unit->nodes.push_back(node);
+      unit->publish_gen = publish_gen_;
+      it->second.unit = unit.get();
+      lru_.push_front(std::move(unit));
+      if (node->depth > 1) {
+        auto pit = slots_.find(node->parent->chain_hash);
+        if (pit != slots_.end()) ++pit->second.children;
       }
-      node->segment = segment;
-    } else if (node->segment == nullptr) {
-      node->segment = segment;
+      ++stats_.nodes;
+      stats_.resident_gpu_bytes += node->gpu_bytes;
+      stats_.resident_cpu_bytes += node->cpu_bytes;
+      ++registered;
+    }
+  } else {
+    auto flat_unit = std::make_shared<Unit>();
+    for (auto& node : new_nodes) {
+      flat_unit->nodes.push_back(node);
+      auto [it, inserted] = slots_.try_emplace(node->chain_hash);
+      if (!inserted) continue;  // Shadowed by an earlier chain's slot.
+      it->second.node = node;
+      it->second.unit = flat_unit.get();
+      ++registered;
+    }
+    if (registered > 0) {
+      flat_unit->publish_gen = publish_gen_;
+      stats_.nodes += flat_unit->nodes.size();
+      stats_.resident_gpu_bytes += flat_unit->gpu_bytes();
+      stats_.resident_cpu_bytes += flat_unit->cpu_bytes();
+      lru_.push_front(std::move(flat_unit));
     }
   }
-  lru_.push_front(segment);
+  if (registered == 0) {
+    ++stats_.duplicate_publishes;
+    return Status::OK();  // New nodes die here, releasing their charges.
+  }
+  if (radix) {
+    // Protect the whole chain this publish stands on: refresh the matched
+    // base so eviction can never sever the most recent chain mid-way.
+    for (const PrefixNodeHandle& node : base_chain) TouchLocked(node);
+  }
   ++stats_.publishes;
+  if (radix && start_depth > 0) {
+    ++stats_.extended_publishes;
+    obs::MetricsRegistry::Add(obs::Counter::kPrefixExtendedPublishes);
+  }
   obs::MetricsRegistry::Add(obs::Counter::kPrefixPublishes);
   obs::Tracer::Instant("prefix", "prefix.publish", "tokens",
                        static_cast<int64_t>(n_tokens));
-  stats_.segments = lru_.size();
-  stats_.resident_gpu_bytes += segment->gpu_bytes;
-  stats_.resident_cpu_bytes += segment->cpu_bytes;
   EvictOverBudgetLocked();
   return Status::OK();
 }
 
 void PrefixRegistry::EvictOverBudgetLocked() {
-  bool evicted = false;
-  while (lru_.size() > 1 &&
-         (lru_.size() > options_.max_segments ||
-          stats_.resident_gpu_bytes + stats_.resident_cpu_bytes >
-              options_.max_bytes)) {
-    std::shared_ptr<PrefixSegment> victim = lru_.back();
-    lru_.pop_back();
-    RemoveFromTrieLocked(*victim);
-    stats_.resident_gpu_bytes -= victim->gpu_bytes;
-    stats_.resident_cpu_bytes -= victim->cpu_bytes;
-    ++stats_.evictions;
-    evicted = true;
-    // The charges release when live attachments (if any) drop their refs.
-  }
-  stats_.segments = lru_.size();
-  if (!evicted) return;
-  // Heal interior markers: an evicted short segment may have been the
-  // registered carrier on trie nodes that retained longer segments still
-  // pass through. Re-registering every retained segment along its own chain
-  // restores the Node::segment invariant (nodes shared with a retained
-  // chain were not pruned — they still have children toward it).
-  for (const std::shared_ptr<PrefixSegment>& segment : lru_) {
-    const size_t block = options_.block_tokens;
-    const size_t depth = segment->n_tokens / block;
-    Node* node = &root_;
-    uint64_t chain = 0;
-    for (size_t i = 0; i < depth; ++i) {
-      chain = ChainBlockHash(
-          chain, std::span<const int32_t>(segment->tokens).subspan(i * block,
-                                                                   block));
-      auto it = node->children.find(chain);
-      if (it == node->children.end()) break;
-      node = it->second.get();
-      if (node->segment == nullptr) node->segment = segment;
+  auto over_budget = [&] {
+    return stats_.nodes > options_.max_nodes ||
+           stats_.resident_gpu_bytes + stats_.resident_cpu_bytes >
+               options_.max_bytes;
+  };
+  const bool radix = options_.structure == Structure::kRadix;
+  bool progress = true;
+  while (over_budget() && progress && !lru_.empty()) {
+    progress = false;
+    // Coldest first; skip the most recent publish (always retained) and, in
+    // radix mode, any node another retained node still chains through
+    // (leaf-first eviction keeps every retained chain attachable).
+    for (auto it = std::prev(lru_.end());; --it) {
+      const Unit& unit = **it;
+      const bool is_protected = unit.publish_gen == publish_gen_;
+      bool has_children = false;
+      if (radix && !unit.nodes.empty()) {
+        auto sit = slots_.find(unit.nodes.front()->chain_hash);
+        has_children = sit != slots_.end() && sit->second.children > 0;
+      }
+      if (!is_protected && !has_children) {
+        stats_.evictions += unit.nodes.size();
+        RemoveUnitLocked(it);
+        progress = true;
+        break;
+      }
+      if (it == lru_.begin()) break;
     }
   }
 }
 
-void PrefixRegistry::RemoveFromTrieLocked(const PrefixSegment& segment) {
-  const size_t block = options_.block_tokens;
-  const size_t depth = segment.n_tokens / block;
-  std::vector<Node*> path;
-  path.reserve(depth + 1);
-  path.push_back(&root_);
-  uint64_t chain = 0;
-  std::vector<uint64_t> hashes(depth);
-  for (size_t i = 0; i < depth; ++i) {
-    chain = ChainBlockHash(
-        chain, std::span<const int32_t>(segment.tokens).subspan(i * block,
-                                                                block));
-    hashes[i] = chain;
-    auto it = path.back()->children.find(chain);
-    if (it == path.back()->children.end()) return;  // Already detached.
-    path.push_back(it->second.get());
+void PrefixRegistry::RemoveUnitLocked(
+    std::list<std::shared_ptr<Unit>>::iterator it) {
+  const bool radix = options_.structure == Structure::kRadix;
+  const std::shared_ptr<Unit> unit = *it;
+  lru_.erase(it);
+  stats_.nodes -= unit->nodes.size();
+  stats_.resident_gpu_bytes -= unit->gpu_bytes();
+  stats_.resident_cpu_bytes -= unit->cpu_bytes();
+  for (const auto& node : unit->nodes) {
+    auto sit = slots_.find(node->chain_hash);
+    if (sit == slots_.end() || sit->second.node != node) continue;
+    slots_.erase(sit);
+    if (radix && node->depth > 1) {
+      auto pit = slots_.find(node->parent->chain_hash);
+      if (pit != slots_.end() && pit->second.children > 0) {
+        --pit->second.children;
+      }
+    }
   }
-  for (size_t i = depth; i >= 1; --i) {
-    Node* node = path[i];
-    if (node->segment.get() == &segment) node->segment = nullptr;
-    if (node->segment == nullptr && node->children.empty()) {
-      path[i - 1]->children.erase(hashes[i - 1]);
+  if (radix) return;
+  // Legacy flat healing: an evicted chain may have carried the slots that
+  // retained chains still walk through. Re-registering every retained
+  // chain's own copies into emptied slots restores reachability (the unit
+  // bytes are already counted, so no accounting changes here).
+  for (const std::shared_ptr<Unit>& retained : lru_) {
+    for (const auto& node : retained->nodes) {
+      auto [sit, inserted] = slots_.try_emplace(node->chain_hash);
+      if (!inserted) continue;
+      sit->second.node = node;
+      sit->second.unit = retained.get();
     }
   }
 }

@@ -1,30 +1,40 @@
 // Cross-session prompt-prefix sharing (the ROADMAP's "top capacity
-// multiplier"): a process-wide registry that hashes token-ID prefixes at
-// block granularity into a trie, so a new session whose prompt starts with
-// tokens another session already prefilled attaches that session's published
+// multiplier"): a process-wide radix tree that hashes token-ID prefixes at
+// block granularity into chained block nodes, so a new session whose prompt
+// starts with tokens another session already prefilled attaches the published
 // KV rows and closed PQ spans instead of re-running the transformer and
 // K-Means over them.
 //
-// What a segment holds, per (layer, kv-head):
-//   - the FP16 K/V rows of the prefix (SharedKVRows, attached zero-copy into
-//     the new session's KVStore), and
-//   - the closed PQ spans (codebook + codes) fully contained in the prefix.
-// Both are immutable and refcounted (shared_ptr); divergence past the shared
-// prefix writes into the attaching session's private storage, so
-// copy-on-write never copies.
+// Radix structure: every published block is one immutable PrefixNode holding
+// that block's per-(layer, kv-head) FP16 K/V rows and the closed PQ spans
+// that *complete* inside the block. A node links to its parent (the previous
+// block), so a chain of nodes is a prefix; publishing a longer prompt that
+// extends an existing chain copies only the new blocks (extension publish),
+// and a prompt that shares only the first k blocks of a longer published
+// prefix attaches exactly those k nodes (partial-prefix attach).
+//
+// Handles and lifetime (the Ref/Unref contract): PrefixNodeHandle is a
+// shared_ptr<const PrefixNode> — copying a handle is Ref, dropping it is
+// Unref. A node holds a handle to its parent, so holding any node keeps its
+// whole upward chain alive; a PrefixAttachment (what Lookup returns) holds
+// the full matched chain. A node's hierarchy charges release when its last
+// handle drops — registry retention and live attachments are symmetric
+// referees, exactly like the old per-segment refcounts but at block
+// granularity.
 //
 // Exactness: K/V of token t depends only on tokens [0, t], prefill attention
 // and cache rows use the same FP16 values (see TransformerModel::Prefill),
 // and each closed PQ span is trained deterministically on its own range with
-// a (store, span-index)-derived seed. A session attaching a shared prefix
-// therefore produces tokens bit-identical to prefilling solo (unit-tested).
+// a (store, span-index)-derived seed. A session attaching a shared chain
+// therefore produces tokens bit-identical to prefilling solo (unit-tested,
+// including partial-chain attaches).
 //
-// Byte accounting: a published segment's bytes are charged ONCE against the
-// owning MemoryHierarchy (GPU: initial-window rows + PQ codes + codebooks;
-// CPU: middle rows) when it is published, and released when the last
-// reference — registry retention or an attached session — drops. Attaching
-// sessions deduct the reused bytes from their own admission footprints, so
-// shared bytes are never double-charged.
+// Byte accounting: each node's bytes are charged ONCE against the owning
+// MemoryHierarchy (GPU: initial-window rows + PQ codes + codebooks that fall
+// in the block; CPU: middle rows) when it is published, and released when
+// the node's last handle drops. Attaching sessions deduct the reused bytes
+// from their own admission footprints, so shared bytes are never
+// double-charged.
 #ifndef PQCACHE_CORE_PREFIX_REGISTRY_H_
 #define PQCACHE_CORE_PREFIX_REGISTRY_H_
 
@@ -48,13 +58,13 @@ class PQCacheEngine;
 
 /// FP16 bytes of one (layer, kv-head) PQ codebook resident on GPU: 2^b
 /// centroid rows spanning the full head_dim across the m partitions. Shared
-/// between the engine's footprint math and the registry's segment charges so
+/// between the engine's footprint math and the registry's node charges so
 /// the two can never drift apart.
 inline size_t PqCodebookGpuBytes(int bits, int head_dim) {
   return (size_t{1} << bits) * static_cast<size_t>(head_dim) * sizeof(Half);
 }
 
-/// The engine/layout parameters a segment was built under. Sharing is only
+/// The engine/layout parameters a node was built under. Sharing is only
 /// exact between engines with identical values (the serving layer guarantees
 /// this by using one engine template per SessionManager; the engine
 /// re-validates at attach time).
@@ -72,17 +82,25 @@ struct PrefixSegmentConfig {
   bool operator==(const PrefixSegmentConfig&) const = default;
 };
 
-/// One published, immutable prefix: token ids, per-store KV rows, and the
-/// closed PQ spans contained in the prefix. Destroying the last reference
-/// releases the segment's hierarchy charges.
-struct PrefixSegment {
+/// One published, immutable prefix block: the token ids of its block range,
+/// per-store KV rows for exactly that range, and the closed PQ spans whose
+/// end falls inside it. Covers prompt tokens [(depth-1)*block, depth*block).
+/// Holding a node (via PrefixNodeHandle) holds its whole upward chain;
+/// destroying the last handle releases the node's hierarchy charges.
+struct PrefixNode {
   PrefixSegmentConfig config;
-  std::vector<int32_t> tokens;  ///< The prefix token ids ([0, n_tokens)).
-  size_t n_tokens = 0;          ///< Block-aligned.
-  /// Per (layer * num_kv_heads + kv_head): n_tokens FP16 K/V rows.
+  size_t block_tokens = 0;
+  size_t depth = 0;  ///< 1-based; the chain through this node spans
+                     ///< depth * block_tokens prompt tokens.
+  uint64_t chain_hash = 0;  ///< Chained block hash of the full path here.
+  std::shared_ptr<const PrefixNode> parent;  ///< Null for depth-1 nodes.
+  std::vector<int32_t> tokens;  ///< This block's token ids (block_tokens).
+  /// Per (layer * num_kv_heads + kv_head): block_tokens FP16 K/V rows.
   std::vector<std::shared_ptr<const SharedKVRows>> rows;
-  /// Per store: closed spans with end() <= n_tokens, identical boundaries
-  /// across stores, all flagged shared.
+  /// Per store: closed spans with (depth-1)*block < end() <= depth*block,
+  /// identical boundaries across stores, all flagged shared. A span may
+  /// begin in an ancestor's range; it is stored where it completes, so a
+  /// chain's spans concatenate in order.
   std::vector<std::vector<PQClosedSpan>> spans;
 
   /// Hierarchy charges taken at publish (zero / null when uncharged).
@@ -90,60 +108,93 @@ struct PrefixSegment {
   size_t cpu_bytes = 0;
   MemoryHierarchy* hierarchy = nullptr;
 
-  ~PrefixSegment();
+  ~PrefixNode();
 
-  PrefixSegment() = default;
-  PrefixSegment(const PrefixSegment&) = delete;
-  PrefixSegment& operator=(const PrefixSegment&) = delete;
+  PrefixNode() = default;
+  PrefixNode(const PrefixNode&) = delete;
+  PrefixNode& operator=(const PrefixNode&) = delete;
 };
 
-/// A session's view of a segment: the first `use_tokens` rows and the closed
-/// spans inside them. use_tokens may be smaller than the segment (a shorter
-/// prompt matching only part of a published prefix).
+/// Ref-counted chain handle: copy = Ref, drop = Unref (of the node and,
+/// transitively, its whole upward chain).
+using PrefixNodeHandle = std::shared_ptr<const PrefixNode>;
+
+/// A session's view of a matched chain: the nodes root-first, plus the span
+/// rollup the engine needs for adoption and footprint deduction. The
+/// attachment's handles keep every node (and its charges) alive until the
+/// session releases it.
 struct PrefixAttachment {
-  std::shared_ptr<const PrefixSegment> segment;
-  size_t use_tokens = 0;        ///< Block-aligned, <= segment->n_tokens.
-  size_t use_spans = 0;         ///< Per store: leading spans with end <= use_tokens.
+  std::vector<PrefixNodeHandle> chain;  ///< Root-first; never empty.
+  size_t use_tokens = 0;        ///< chain.size() * block_tokens.
+  size_t use_spans = 0;         ///< Per store: spans across the chain.
   size_t use_span_vectors = 0;  ///< Vectors covered by those spans (per store).
 
+  const PrefixSegmentConfig& config() const { return chain.front()->config; }
+  const PrefixNodeHandle& deepest() const { return chain.back(); }
+
+  /// True when `prompt` starts with the chain's tokens (the engine's attach
+  /// precondition).
+  bool MatchesPrompt(std::span<const int32_t> prompt) const;
+
+  /// Per-store shared row chunks, store-major ([store][block]), for
+  /// LayeredKVCache::AttachSharedPrefix's chunked attach.
+  std::vector<std::vector<std::shared_ptr<const SharedKVRows>>> RowChunks()
+      const;
+
   /// Exact bytes of the reused parts, for admission-charge deduction.
-  /// GPU: initial-window rows + span codes + span codebooks; CPU: middle rows.
+  /// GPU: initial-window rows + span codes + span codebooks; CPU: middle
+  /// rows. Equal to the sum of the chain's per-node charges.
   size_t SharedGpuBytes() const;
   size_t SharedCpuBytes() const;
 };
 
-/// Thread-safe trie of published prefixes with LRU retention.
+/// Thread-safe radix tree of published prefix blocks with per-node LRU
+/// retention.
 class PrefixRegistry {
  public:
+  /// Retention structure: how publishes share storage and how the LRU
+  /// retires it. kRadix is the real system; kFlat reproduces the legacy
+  /// flat-segment registry (every publish copies its whole prefix and is
+  /// retained or evicted as one unit) and exists so the serving benchmark
+  /// can measure the radix win under identical budgets.
+  enum class Structure { kRadix, kFlat };
+
   struct Options {
     /// Hashing/sharing granularity in tokens. Sharing requires at least one
     /// whole block to match. Use the engine's pq_span_tokens for maximal PQ
     /// reuse (span and block boundaries then coincide up to initial_tokens).
     size_t block_tokens = 64;
-    /// Retention caps: beyond either, least-recently-used segments are
+    /// Retention caps: beyond either, least-recently-used *nodes* are
     /// dropped from the registry (live attachments keep them alive — and
-    /// charged — until the last session unrefs). The most recently
-    /// published segment is always retained; a single segment that would
-    /// exceed max_bytes by itself is refused at publish instead (counted in
-    /// stats().rejected_bytes).
-    size_t max_segments = 32;
-    size_t max_bytes = 256ull << 20;  ///< GPU+CPU bytes of retained segments.
-    /// When set, each segment's bytes are charged here once at publish and
-    /// released at last unref. Must outlive every segment (in serving, the
+    /// charged — until the last handle drops). Radix eviction is leaf-first:
+    /// a node is only dropped once no retained node chains through it, so a
+    /// retained chain is never severed mid-way. The most recently published
+    /// chain is always retained; a single publish whose new nodes would
+    /// exceed max_bytes by themselves is refused at publish instead (counted
+    /// in stats().rejected_bytes).
+    size_t max_nodes = 64;
+    size_t max_bytes = 256ull << 20;  ///< GPU+CPU bytes of retained nodes.
+    /// When set, each node's bytes are charged here once at publish and
+    /// released at last unref. Must outlive every node (in serving, the
     /// SessionManager owns both and destroys the registry first).
     MemoryHierarchy* hierarchy = nullptr;
+    Structure structure = Structure::kRadix;
   };
 
   struct Stats {
     uint64_t lookups = 0;
     uint64_t hits = 0;
     uint64_t publishes = 0;
-    uint64_t duplicate_publishes = 0;  ///< Prefix already covered.
-    uint64_t rejected_bytes = 0;       ///< Hierarchy could not fund a segment.
-    uint64_t evictions = 0;
+    /// Publishes that extended an existing chain instead of starting from
+    /// the root (the radix structural win; always 0 under kFlat).
+    uint64_t extended_publishes = 0;
+    uint64_t duplicate_publishes = 0;  ///< Prefix already fully covered.
+    uint64_t rejected_bytes = 0;       ///< Hierarchy could not fund a node.
+    uint64_t evictions = 0;            ///< Nodes dropped by retention.
     uint64_t reused_tokens = 0;  ///< Sum of use_tokens over hits.
-    size_t segments = 0;
-    size_t resident_gpu_bytes = 0;  ///< Charged bytes of retained segments.
+    uint64_t reused_bytes = 0;   ///< Sum of shared GPU+CPU bytes over hits.
+    size_t nodes = 0;            ///< Retained nodes.
+    size_t resident_gpu_bytes = 0;  ///< Charged bytes of retained nodes.
     size_t resident_cpu_bytes = 0;
   };
 
@@ -155,18 +206,40 @@ class PrefixRegistry {
 
   const Options& options() const { return options_; }
 
-  /// Longest published prefix matching `prompt`, capped at `cap_tokens`
-  /// (callers pass min(prompt_len - 1, prompt_len - local_window) so the
-  /// attach stays exact; the result is additionally block-aligned). Returns
-  /// nullptr when no whole block matches. Thread-safe.
+  /// Longest chain of published block nodes matching `prompt`, capped at
+  /// `cap_tokens` (callers pass min(prompt_len - 1, prompt_len -
+  /// local_window) so the attach stays exact; the result is additionally
+  /// block-aligned). Returns nullptr when no whole block matches. A chain
+  /// that matches only the first k blocks of a longer published prefix is
+  /// returned at length k (partial-prefix attach). Thread-safe.
   std::shared_ptr<const PrefixAttachment> Lookup(
       std::span<const int32_t> prompt, size_t cap_tokens);
 
-  /// Publishes the prefilled engine's prompt prefix (rows copied once, spans
-  /// adopted by reference). Best-effort: an already-covered prefix or an
-  /// unfundable charge is skipped (visible in stats), not an error. The
-  /// engine must have prefilled exactly `prompt`. Thread-safe.
-  Status Publish(std::span<const int32_t> prompt, const PQCacheEngine& engine);
+  /// Publishes the prefilled engine's prompt prefix as a chain extension:
+  /// blocks already covered by published nodes are reused (their rows are
+  /// not re-copied), and only the new tail blocks are built. `parent`, when
+  /// non-null, is the deepest node of the chain the publisher attached (its
+  /// blocks are trusted to match `prompt` — the publisher prefilled through
+  /// them); a null parent publishes from the root. Best-effort: an
+  /// already-covered prefix or an unfundable node is skipped (visible in
+  /// stats), not an error. The engine must have prefilled exactly `prompt`.
+  /// Thread-safe.
+  Status Publish(const PrefixNodeHandle& parent,
+                 std::span<const int32_t> prompt, const PQCacheEngine& engine);
+
+  /// Publish from the root (no attached parent chain).
+  Status Publish(std::span<const int32_t> prompt,
+                 const PQCacheEngine& engine) {
+    return Publish(nullptr, prompt, engine);
+  }
+
+  /// Identity key of the block-aligned shareable prefix of `prompt` (capped
+  /// at `cap_tokens`): equal prompts-prefixes yield equal keys. 0 when no
+  /// whole block fits the cap. Pure function of the tokens — the serving
+  /// layer uses it to deduplicate concurrent in-flight prefills of the same
+  /// prefix before any node exists.
+  static uint64_t ChainKey(std::span<const int32_t> prompt, size_t cap_tokens,
+                           size_t block_tokens);
 
   Stats stats() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -174,26 +247,49 @@ class PrefixRegistry {
   }
 
  private:
-  struct Node {
-    std::unordered_map<uint64_t, std::unique_ptr<Node>> children;
-    /// A segment whose block chain passes through this node (usable up to
-    /// this node's depth via a partial attachment). Null when none is
-    /// retained.
-    std::shared_ptr<PrefixSegment> segment;
+  /// One LRU retention unit: a single node under kRadix, a whole publish
+  /// chain under kFlat.
+  struct Unit {
+    std::vector<std::shared_ptr<const PrefixNode>> nodes;  ///< Depth order.
+    uint64_t publish_gen = 0;  ///< Generation of the publish that made it.
+    size_t gpu_bytes() const;
+    size_t cpu_bytes() const;
+  };
+
+  /// Map slot: the node reachable at one chain hash, its retention unit,
+  /// and how many retained child slots chain through it (radix eviction
+  /// gate).
+  struct Slot {
+    std::shared_ptr<const PrefixNode> node;
+    Unit* unit = nullptr;
+    size_t children = 0;
   };
 
   /// Chained hash of one block given the previous block's chain value.
   static uint64_t ChainBlockHash(uint64_t chain,
                                  std::span<const int32_t> block);
 
+  /// Walks `prompt` through the slot map, verifying token identity per node
+  /// (hash collisions read as a miss). Returns the matched nodes root-first.
+  std::vector<PrefixNodeHandle> MatchChainLocked(
+      std::span<const int32_t> prompt, size_t max_depth,
+      std::vector<uint64_t>* hashes_out);
+
+  void TouchLocked(const PrefixNodeHandle& node);
   void EvictOverBudgetLocked();
-  void RemoveFromTrieLocked(const PrefixSegment& segment);
+  /// Drops one unit from the map + LRU (charges release when the last
+  /// outside handle drops). kFlat only: retained units re-register their
+  /// nodes into emptied slots afterwards (legacy interior-marker healing).
+  void RemoveUnitLocked(std::list<std::shared_ptr<Unit>>::iterator it);
 
   Options options_;
   mutable std::mutex mu_;
-  Node root_;
-  /// Retained segments, most recently used first.
-  std::list<std::shared_ptr<PrefixSegment>> lru_;
+  /// chain_hash -> retained node. The chain hash is seeded with the parent
+  /// chain's hash, so one flat map encodes the whole tree.
+  std::unordered_map<uint64_t, Slot> slots_;
+  /// Retention units, most recently used first.
+  std::list<std::shared_ptr<Unit>> lru_;
+  uint64_t publish_gen_ = 0;
   Stats stats_;
 };
 

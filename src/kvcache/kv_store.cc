@@ -15,17 +15,46 @@ TokenSegment KVStore::SegmentOf(size_t token) const {
 
 Status KVStore::AttachSharedPrefix(std::shared_ptr<const SharedKVRows> rows,
                                    size_t use_tokens) {
+  if (rows == nullptr) {
+    return Status::InvalidArgument("KVStore: bad shared prefix view");
+  }
+  std::vector<std::shared_ptr<const SharedKVRows>> chunks;
+  chunks.push_back(std::move(rows));
+  return AttachSharedPrefix(std::move(chunks), use_tokens);
+}
+
+Status KVStore::AttachSharedPrefix(
+    std::vector<std::shared_ptr<const SharedKVRows>> chunks,
+    size_t use_tokens) {
   if (prefilled_ || size_ != 0) {
     return Status::FailedPrecondition(
         "KVStore: shared prefix must attach to an empty store");
   }
-  if (rows == nullptr || use_tokens == 0 || use_tokens > rows->n) {
+  if (chunks.empty() || use_tokens == 0) {
     return Status::InvalidArgument("KVStore: bad shared prefix view");
   }
-  if (rows->head_dim != options_.head_dim) {
-    return Status::InvalidArgument("KVStore: shared prefix head_dim mismatch");
+  size_t total = 0;
+  const size_t chunk_tokens = chunks.front() == nullptr ? 0 : chunks.front()->n;
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    const auto& chunk = chunks[c];
+    if (chunk == nullptr || chunk->n == 0) {
+      return Status::InvalidArgument("KVStore: bad shared prefix view");
+    }
+    if (chunk->head_dim != options_.head_dim) {
+      return Status::InvalidArgument(
+          "KVStore: shared prefix head_dim mismatch");
+    }
+    if (c + 1 < chunks.size() && chunk->n != chunk_tokens) {
+      return Status::InvalidArgument(
+          "KVStore: shared prefix chunks must be uniform (except the last)");
+    }
+    total += chunk->n;
   }
-  shared_ = std::move(rows);
+  if (use_tokens > total) {
+    return Status::InvalidArgument("KVStore: bad shared prefix view");
+  }
+  shared_chunks_ = std::move(chunks);
+  shared_chunk_tokens_ = chunk_tokens;
   shared_count_ = use_tokens;
   size_ = use_tokens;
   RecomputeBoundaries();
@@ -97,7 +126,9 @@ void KVStore::GetValue(size_t token, std::span<float> out) const {
 
 std::span<const Half> KVStore::KeyRow(size_t token) const {
   if (token < shared_count_) {
-    return {shared_->keys.data() + token * options_.head_dim,
+    const size_t chunk = token / shared_chunk_tokens_;
+    const size_t row = token - chunk * shared_chunk_tokens_;
+    return {shared_chunks_[chunk]->keys.data() + row * options_.head_dim,
             options_.head_dim};
   }
   return {keys_.data() + (token - shared_count_) * options_.head_dim,
@@ -106,7 +137,9 @@ std::span<const Half> KVStore::KeyRow(size_t token) const {
 
 std::span<const Half> KVStore::ValueRow(size_t token) const {
   if (token < shared_count_) {
-    return {shared_->values.data() + token * options_.head_dim,
+    const size_t chunk = token / shared_chunk_tokens_;
+    const size_t row = token - chunk * shared_chunk_tokens_;
+    return {shared_chunks_[chunk]->values.data() + row * options_.head_dim,
             options_.head_dim};
   }
   return {values_.data() + (token - shared_count_) * options_.head_dim,

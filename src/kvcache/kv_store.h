@@ -68,6 +68,16 @@ class KVStore {
   Status AttachSharedPrefix(std::shared_ptr<const SharedKVRows> rows,
                             size_t use_tokens);
 
+  /// Chained-chunk variant (radix prefix sharing): the shared prefix is a
+  /// sequence of immutable row chunks — one per prefix block node — covering
+  /// tokens [0, use_tokens) in order. Every chunk except the last must hold
+  /// the same row count (uniform block size), so row lookup stays O(1)
+  /// division on the read path. Same preconditions and refcount semantics as
+  /// the single-chunk form (which is the chunks.size() == 1 case).
+  Status AttachSharedPrefix(
+      std::vector<std::shared_ptr<const SharedKVRows>> chunks,
+      size_t use_tokens);
+
   /// Rows referenced from an attached shared segment (a prefix of [0, size)).
   size_t shared_count() const { return shared_count_; }
 
@@ -124,8 +134,11 @@ class KVStore {
   void RecomputeBoundaries();
 
   KVStoreOptions options_;
-  /// Immutable shared rows for tokens [0, shared_count_), if attached.
-  std::shared_ptr<const SharedKVRows> shared_;
+  /// Immutable shared row chunks for tokens [0, shared_count_), if attached.
+  /// Chunk c holds tokens [c * shared_chunk_tokens_, ...); all chunks but
+  /// the last hold exactly shared_chunk_tokens_ rows.
+  std::vector<std::shared_ptr<const SharedKVRows>> shared_chunks_;
+  size_t shared_chunk_tokens_ = 0;
   size_t shared_count_ = 0;
   /// Private rows for tokens [shared_count_, size), row-major.
   std::vector<Half> keys_;

@@ -59,6 +59,23 @@ class LayeredKVCache {
     return Status::OK();
   }
 
+  /// Chained-chunk variant (radix prefix sharing): `chunks` is store-major
+  /// ([layer * num_kv_heads + kv_head][block]); each store attaches its own
+  /// ordered chunk chain covering tokens [0, use_tokens).
+  Status AttachSharedPrefix(
+      std::vector<std::vector<std::shared_ptr<const SharedKVRows>>> chunks,
+      size_t use_tokens) {
+    if (chunks.size() != stores_.size()) {
+      return Status::InvalidArgument(
+          "LayeredKVCache: shared prefix store-count mismatch");
+    }
+    for (size_t i = 0; i < stores_.size(); ++i) {
+      PQC_RETURN_IF_ERROR(
+          stores_[i]->AttachSharedPrefix(std::move(chunks[i]), use_tokens));
+    }
+    return Status::OK();
+  }
+
   /// Tokens referenced from a shared segment (identical across stores).
   size_t shared_count() const {
     return stores_.empty() ? 0 : stores_[0]->shared_count();

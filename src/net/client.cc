@@ -70,7 +70,7 @@ Client::~Client() {
 
 Status Client::Handshake() {
   std::string hello;
-  AppendHello(&hello, HelloFrame{});
+  AppendHello(&hello, HelloFrame{kMinProtocolVersion, kProtocolVersion});
   Status sent = SendAll(hello);
   if (!sent.ok()) return sent;
   FrameHeader header;
@@ -92,11 +92,12 @@ Status Client::Handshake() {
   auto ack = DecodeHelloAck(
       reinterpret_cast<const uint8_t*>(payload.data()), payload.size());
   if (!ack.ok()) return ack.status();
-  if (ack.value() != kProtocolVersion) {
+  if (ack.value() < kMinProtocolVersion || ack.value() > kProtocolVersion) {
     return Status::FailedPrecondition(
         "handshake: server negotiated unsupported version " +
         std::to_string(ack.value()));
   }
+  version_ = ack.value();
   return Status::OK();
 }
 
@@ -152,7 +153,7 @@ Status Client::ReadFrame(FrameHeader* header, std::string* payload) {
 Result<uint32_t> Client::Submit(const SubmitFrame& request) {
   const uint32_t stream_id = next_stream_++;
   std::string frame;
-  AppendSubmit(&frame, stream_id, request);
+  AppendSubmit(&frame, stream_id, request, version_);
   Status sent = SendAll(frame);
   if (!sent.ok()) return sent;
   streams_[stream_id] = StreamResult{};
@@ -249,7 +250,7 @@ const StreamResult* Client::result(uint32_t stream_id) const {
 
 Status Client::SendGoodbye() {
   std::string frame;
-  AppendGoodbye(&frame);
+  AppendGoodbye(&frame, version_);
   return SendAll(frame);
 }
 

@@ -71,6 +71,11 @@ class Client {
   /// The raw socket (tests use it to provoke slow-reader backpressure).
   int fd() const { return fd_; }
 
+  /// Protocol version negotiated in the handshake. Every frame this client
+  /// sends after the handshake is stamped (and its Submit payload encoded)
+  /// with this version.
+  uint8_t version() const { return version_; }
+
  private:
   explicit Client(int fd) : fd_(fd) {}
   Status Handshake();
@@ -81,6 +86,7 @@ class Client {
   Status HandleFrame(const FrameHeader& header, const std::string& payload);
 
   int fd_;
+  uint8_t version_ = kProtocolVersion;
   uint32_t next_stream_ = 1;
   size_t open_streams_ = 0;
   bool goodbye_received_ = false;

@@ -69,9 +69,9 @@ class PayloadReader {
 };
 
 void AppendHeader(std::string* out, FrameType type, uint32_t stream,
-                  uint32_t length) {
+                  uint32_t length, uint8_t version) {
   AppendPod<uint16_t>(out, kMagic);
-  AppendPod<uint8_t>(out, kProtocolVersion);
+  AppendPod<uint8_t>(out, version);
   AppendPod<uint8_t>(out, static_cast<uint8_t>(type));
   AppendPod<uint32_t>(out, stream);
   AppendPod<uint32_t>(out, length);
@@ -147,26 +147,38 @@ StatusCode StatusCodeFromWire(uint32_t wire) {
 }
 
 void AppendHello(std::string* out, const HelloFrame& hello) {
-  AppendHeader(out, FrameType::kHello, 0, 2);
+  // Stamped with min_version: a peer that only speaks the bottom of the
+  // client's range must be able to parse the very frame that opens the
+  // negotiation.
+  AppendHeader(out, FrameType::kHello, 0, 2, hello.min_version);
   AppendPod<uint8_t>(out, hello.min_version);
   AppendPod<uint8_t>(out, hello.max_version);
 }
 
 void AppendHelloAck(std::string* out, uint8_t version) {
-  AppendHeader(out, FrameType::kHelloAck, 0, 1);
+  // Stamped with the negotiated version it announces.
+  AppendHeader(out, FrameType::kHelloAck, 0, 1, version);
   AppendPod<uint8_t>(out, version);
 }
 
-void AppendSubmit(std::string* out, uint32_t stream, const SubmitFrame& req) {
-  const size_t length = 4 + req.tag.size() + 4 + req.tenant.size() + 4 + 4 +
-                        8 + 8 + 4 + req.prompt.size() * sizeof(int32_t);
-  AppendHeader(out, FrameType::kSubmit, stream,
-               static_cast<uint32_t>(length));
+void AppendSubmit(std::string* out, uint32_t stream, const SubmitFrame& req,
+                  uint8_t version) {
+  const bool v2 = version >= 2;
+  const size_t length = 4 + req.tag.size() + 4 + req.tenant.size() +
+                        (v2 ? 4 + req.user.size() : 0) + 4 + (v2 ? 4 : 0) +
+                        4 + 8 + 8 + 4 + req.prompt.size() * sizeof(int32_t);
+  AppendHeader(out, FrameType::kSubmit, stream, static_cast<uint32_t>(length),
+               version);
   AppendPod<uint32_t>(out, static_cast<uint32_t>(req.tag.size()));
   out->append(req.tag);
   AppendPod<uint32_t>(out, static_cast<uint32_t>(req.tenant.size()));
   out->append(req.tenant);
+  if (v2) {
+    AppendPod<uint32_t>(out, static_cast<uint32_t>(req.user.size()));
+    out->append(req.user);
+  }
   AppendPod<uint32_t>(out, req.weight);
+  if (v2) AppendPod<uint32_t>(out, req.user_weight);
   AppendPod<int32_t>(out, req.priority);
   AppendPod<uint64_t>(out, req.max_new_tokens);
   AppendPod<double>(out, req.queue_deadline_seconds);
@@ -175,34 +187,37 @@ void AppendSubmit(std::string* out, uint32_t stream, const SubmitFrame& req) {
               req.prompt.size() * sizeof(int32_t));
 }
 
-void AppendSubmitAck(std::string* out, uint32_t stream, int64_t session_id) {
-  AppendHeader(out, FrameType::kSubmitAck, stream, 8);
+void AppendSubmitAck(std::string* out, uint32_t stream, int64_t session_id,
+                     uint8_t version) {
+  AppendHeader(out, FrameType::kSubmitAck, stream, 8, version);
   AppendPod<int64_t>(out, session_id);
 }
 
 void AppendToken(std::string* out, uint32_t stream, uint64_t index,
-                 int32_t token) {
-  AppendHeader(out, FrameType::kToken, stream, 12);
+                 int32_t token, uint8_t version) {
+  AppendHeader(out, FrameType::kToken, stream, 12, version);
   AppendPod<uint64_t>(out, index);
   AppendPod<int32_t>(out, token);
 }
 
-void AppendDone(std::string* out, uint32_t stream, uint64_t generated_tokens) {
-  AppendHeader(out, FrameType::kDone, stream, 8);
+void AppendDone(std::string* out, uint32_t stream, uint64_t generated_tokens,
+                uint8_t version) {
+  AppendHeader(out, FrameType::kDone, stream, 8, version);
   AppendPod<uint64_t>(out, generated_tokens);
 }
 
-void AppendError(std::string* out, uint32_t stream, const Status& status) {
+void AppendError(std::string* out, uint32_t stream, const Status& status,
+                 uint8_t version) {
   const std::string& msg = status.message();
   AppendHeader(out, FrameType::kError, stream,
-               static_cast<uint32_t>(4 + 4 + msg.size()));
+               static_cast<uint32_t>(4 + 4 + msg.size()), version);
   AppendPod<uint32_t>(out, WireErrorCode(status.code()));
   AppendPod<uint32_t>(out, static_cast<uint32_t>(msg.size()));
   out->append(msg);
 }
 
-void AppendGoodbye(std::string* out) {
-  AppendHeader(out, FrameType::kGoodbye, 0, 0);
+void AppendGoodbye(std::string* out, uint8_t version) {
+  AppendHeader(out, FrameType::kGoodbye, 0, 0, version);
 }
 
 Result<FrameHeader> ParseFrameHeader(const uint8_t* data, size_t size) {
@@ -213,10 +228,12 @@ Result<FrameHeader> ParseFrameHeader(const uint8_t* data, size_t size) {
   header.magic = ReadPod<uint16_t>(data);
   if (header.magic != kMagic) return Malformed("magic");
   header.version = ReadPod<uint8_t>(data + 2);
-  if (header.version != kProtocolVersion) {
+  if (header.version < kMinProtocolVersion ||
+      header.version > kProtocolVersion) {
     return Status::FailedPrecondition(
         "net frame: unsupported protocol version " +
         std::to_string(header.version) + " (this build speaks " +
+        std::to_string(kMinProtocolVersion) + ".." +
         std::to_string(kProtocolVersion) + ")");
   }
   const uint8_t type = ReadPod<uint8_t>(data + 3);
@@ -256,11 +273,14 @@ Result<uint8_t> DecodeHelloAck(const uint8_t* data, size_t size) {
   return version;
 }
 
-Result<SubmitFrame> DecodeSubmit(const uint8_t* data, size_t size) {
+Result<SubmitFrame> DecodeSubmit(const uint8_t* data, size_t size,
+                                 uint8_t version) {
+  const bool v2 = version >= 2;
   PayloadReader reader(data, size);
   SubmitFrame req;
   if (!reader.ReadString(&req.tag) || !reader.ReadString(&req.tenant) ||
-      !reader.Read(&req.weight) || !reader.Read(&req.priority) ||
+      (v2 && !reader.ReadString(&req.user)) || !reader.Read(&req.weight) ||
+      (v2 && !reader.Read(&req.user_weight)) || !reader.Read(&req.priority) ||
       !reader.Read(&req.max_new_tokens) ||
       !reader.Read(&req.queue_deadline_seconds) ||
       !reader.ReadTokens(&req.prompt) || !reader.exhausted()) {

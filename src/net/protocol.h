@@ -14,7 +14,13 @@
 //   12      4     reserved  must be 0
 //
 // The client opens with Hello (the version range it speaks); the server
-// answers HelloAck with the negotiated version or an Error frame and closes.
+// answers HelloAck with the negotiated version — the highest version both
+// sides speak — or an Error frame and closes. Every frame after the
+// handshake is stamped with the negotiated version (the Hello itself is
+// stamped with the client's min_version so pre-negotiation parsers accept
+// it); version 2 extends the Submit payload with the user identity fields
+// and is otherwise wire-identical to version 1, so v1 clients interoperate
+// unchanged (their requests carry the default user).
 // Requests are Submit frames (one generation request per client-chosen
 // stream id); the server streams back one Token frame per generated token
 // and terminates every stream with exactly one Done or Error frame. Error
@@ -41,8 +47,14 @@ namespace pqcache::net {
 /// First two header bytes, "PQ" on the wire when written little-endian.
 inline constexpr uint16_t kMagic = 0x5150;
 
-/// The one protocol version this build speaks (negotiated via Hello).
-inline constexpr uint8_t kProtocolVersion = 1;
+/// Newest protocol version this build speaks (negotiated via Hello).
+/// Version history: 1 = initial protocol; 2 = Submit carries the user
+/// identity (user name + user_weight) for hierarchical fairness.
+inline constexpr uint8_t kProtocolVersion = 2;
+
+/// Oldest protocol version this build still speaks. Frames from (and to) a
+/// v1 peer are byte-identical to a v1 build's.
+inline constexpr uint8_t kMinProtocolVersion = 1;
 
 /// Fixed header size in bytes.
 inline constexpr size_t kFrameHeaderBytes = 16;
@@ -86,11 +98,16 @@ struct SubmitAckFrame {
 };
 
 /// Submit payload: one generation request. Field semantics mirror
-/// ServeRequest (src/serve/session.h); the server copies them through.
+/// ServeRequest / RequestIdentity (src/serve/session.h); the server copies
+/// them through. `user` and `user_weight` are version-2 fields: a v1 Submit
+/// neither carries nor receives them (they decode to their defaults, the
+/// tenant's default user with a uniform share).
 struct SubmitFrame {
   std::string tag;
   std::string tenant;
+  std::string user;            ///< v2+ only on the wire.
   uint32_t weight = 1;
+  uint32_t user_weight = 1;    ///< v2+ only on the wire.
   int32_t priority = 0;
   uint64_t max_new_tokens = 16;
   double queue_deadline_seconds = 0;
@@ -123,17 +140,24 @@ uint32_t WireErrorCode(StatusCode code);
 StatusCode StatusCodeFromWire(uint32_t wire);
 
 // --- Encoders ---------------------------------------------------------------
-// Each appends one complete frame (header + payload) to `out`.
+// Each appends one complete frame (header + payload) to `out`, stamped with
+// `version` (the connection's negotiated version; default = newest). Only
+// the Submit payload differs across versions — everything else just carries
+// the version byte so the peer's parser accepts it.
 
 void AppendHello(std::string* out, const HelloFrame& hello);
 void AppendHelloAck(std::string* out, uint8_t version);
-void AppendSubmit(std::string* out, uint32_t stream, const SubmitFrame& req);
-void AppendSubmitAck(std::string* out, uint32_t stream, int64_t session_id);
+void AppendSubmit(std::string* out, uint32_t stream, const SubmitFrame& req,
+                  uint8_t version = kProtocolVersion);
+void AppendSubmitAck(std::string* out, uint32_t stream, int64_t session_id,
+                     uint8_t version = kProtocolVersion);
 void AppendToken(std::string* out, uint32_t stream, uint64_t index,
-                 int32_t token);
-void AppendDone(std::string* out, uint32_t stream, uint64_t generated_tokens);
-void AppendError(std::string* out, uint32_t stream, const Status& status);
-void AppendGoodbye(std::string* out);
+                 int32_t token, uint8_t version = kProtocolVersion);
+void AppendDone(std::string* out, uint32_t stream, uint64_t generated_tokens,
+                uint8_t version = kProtocolVersion);
+void AppendError(std::string* out, uint32_t stream, const Status& status,
+                 uint8_t version = kProtocolVersion);
+void AppendGoodbye(std::string* out, uint8_t version = kProtocolVersion);
 
 /// Wire size of one Token frame (header + payload) — the unit the server's
 /// output-ring capacity is naturally expressed in.
@@ -144,16 +168,19 @@ inline constexpr size_t kTokenFrameBytes = kFrameHeaderBytes + 12;
 /// Parses and validates a frame header from exactly kFrameHeaderBytes bytes
 /// (the caller buffers until that many are available). Rejects bad magic,
 /// nonzero reserved words, unknown frame types, and payload lengths beyond
-/// kMaxFramePayloadBytes with DataLoss; a version other than
-/// kProtocolVersion fails with FailedPrecondition (version negotiation).
+/// kMaxFramePayloadBytes with DataLoss; a version outside
+/// [kMinProtocolVersion, kProtocolVersion] fails with FailedPrecondition
+/// (version negotiation).
 Result<FrameHeader> ParseFrameHeader(const uint8_t* data, size_t size);
 
 /// Payload decoders. `data`/`size` span exactly the frame's payload; short,
 /// oversized, or internally inconsistent payloads fail with DataLoss before
-/// any allocation sized from untrusted fields.
+/// any allocation sized from untrusted fields. DecodeSubmit decodes the
+/// layout of `version` (pass the frame header's version byte).
 Result<HelloFrame> DecodeHello(const uint8_t* data, size_t size);
 Result<uint8_t> DecodeHelloAck(const uint8_t* data, size_t size);
-Result<SubmitFrame> DecodeSubmit(const uint8_t* data, size_t size);
+Result<SubmitFrame> DecodeSubmit(const uint8_t* data, size_t size,
+                                 uint8_t version = kProtocolVersion);
 Result<SubmitAckFrame> DecodeSubmitAck(const uint8_t* data, size_t size);
 Result<TokenFrame> DecodeToken(const uint8_t* data, size_t size);
 Result<DoneFrame> DecodeDone(const uint8_t* data, size_t size);

@@ -9,6 +9,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -178,7 +179,8 @@ void Server::OnToken(uint64_t conn_id, uint32_t stream_id, int32_t token,
   if (conn->dead || stream.terminal) return;
   ++stream.delivered;
   std::string frame;
-  AppendToken(&frame, stream_id, static_cast<uint64_t>(index), token);
+  AppendToken(&frame, stream_id, static_cast<uint64_t>(index), token,
+              conn->version);
   QueueFrame(conn, std::move(frame));
   // Ring overflow (the frame landed in the spill): the reader is past the
   // bound. Checkpoint-suspend the session so it stops producing instead of
@@ -232,14 +234,15 @@ void Server::OnRecord(const SessionRecord& record) {
   stream.terminal = true;
   if (!record.failed && !record.shed) {
     std::string frame;
-    AppendDone(&frame, stream_id, stream.delivered);
+    AppendDone(&frame, stream_id, stream.delivered, conn->version);
     QueueFrame(conn, std::move(frame));
   } else {
     const StatusCode code = record.error_code == StatusCode::kOk
                                 ? StatusCode::kInternal
                                 : record.error_code;
     std::string frame;
-    AppendError(&frame, stream_id, Status(code, record.error));
+    AppendError(&frame, stream_id, Status(code, record.error),
+                conn->version);
     QueueFrame(conn, std::move(frame));
   }
   if (conn->dead) {
@@ -412,14 +415,15 @@ void Server::HandleFrames(Connection* conn) {
           return;
         }
         if (hello.value().min_version > kProtocolVersion ||
-            hello.value().max_version < kProtocolVersion) {
+            hello.value().max_version < kMinProtocolVersion) {
           ProtocolError(conn, Status::FailedPrecondition(
                                   "no protocol version in common"));
           return;
         }
         conn->hello_done = true;
+        conn->version = std::min(hello.value().max_version, kProtocolVersion);
         std::string ack;
-        AppendHelloAck(&ack, kProtocolVersion);
+        AppendHelloAck(&ack, conn->version);
         QueueFrame(conn, std::move(ack));
         break;
       }
@@ -429,7 +433,7 @@ void Server::HandleFrames(Connection* conn) {
                         Status::FailedPrecondition("Submit before Hello"));
           return;
         }
-        auto submit = DecodeSubmit(payload, length);
+        auto submit = DecodeSubmit(payload, length, header.value().version);
         if (!submit.ok()) {
           ProtocolError(conn, submit.status());
           return;
@@ -453,7 +457,7 @@ void Server::HandleSubmit(Connection* conn, uint32_t stream_id,
                           SubmitFrame frame) {
   auto reject = [&](Status status) {
     std::string error;
-    AppendError(&error, stream_id, status);
+    AppendError(&error, stream_id, status, conn->version);
     QueueFrame(conn, std::move(error));
     WakeNet();
   };
@@ -473,9 +477,11 @@ void Server::HandleSubmit(Connection* conn, uint32_t stream_id,
   }
   ServeRequest request;
   request.tag = std::move(frame.tag);
-  request.tenant = std::move(frame.tenant);
-  request.weight = frame.weight;
-  request.priority = frame.priority;
+  request.identity.tenant = std::move(frame.tenant);
+  request.identity.user = std::move(frame.user);
+  request.identity.weight = frame.weight;
+  request.identity.user_weight = frame.user_weight;
+  request.identity.priority = frame.priority;
   request.max_new_tokens = static_cast<size_t>(frame.max_new_tokens);
   request.queue_deadline_seconds = frame.queue_deadline_seconds;
   request.prompt = std::move(frame.prompt);
@@ -496,7 +502,7 @@ void Server::HandleSubmit(Connection* conn, uint32_t stream_id,
   stream.session_id = session.value();
   session_index_[session.value()] = {conn->id, stream_id};
   std::string ack;
-  AppendSubmitAck(&ack, stream_id, session.value());
+  AppendSubmitAck(&ack, stream_id, session.value(), conn->version);
   QueueFrame(conn, std::move(ack));
   WakeNet();
   NotifyScheduler();
@@ -508,7 +514,7 @@ void Server::ProtocolError(Connection* conn, const Status& status) {
   // Best-effort connection-scope Error frame, then cut the connection —
   // after a framing violation the byte stream cannot be trusted.
   std::string frame;
-  AppendError(&frame, 0, status);
+  AppendError(&frame, 0, status, conn->version);
   QueueFrame(conn, frame);
   FlushConnection(conn);
   CloseConnection(conn);
@@ -671,7 +677,7 @@ Status Server::Shutdown() {
     for (auto& [id, conn] : conns_) {
       if (conn->dead) continue;
       std::string goodbye;
-      AppendGoodbye(&goodbye);
+      AppendGoodbye(&goodbye, conn->version);
       QueueFrame(conn.get(), std::move(goodbye));
     }
   }

@@ -144,6 +144,9 @@ class Server {
     uint64_t id;
     int fd;
     bool hello_done = false;
+    /// Negotiated protocol version (highest both sides speak); every frame
+    /// sent on this connection after the handshake is stamped with it.
+    uint8_t version = kProtocolVersion;
     /// Socket closed; the entry lingers until in-flight suspends resolve.
     bool dead = false;
     std::string inbuf;

@@ -32,6 +32,8 @@ const char* const kCounterNames[] = {
     "prefix_lookups",
     "prefix_hits",
     "prefix_publishes",
+    "prefix_extended_publishes",
+    "prefix_dedup_deferrals",
     "admission_charges",
     "admission_charge_failures",
     "kmeans_span_trains",

@@ -44,6 +44,8 @@ enum class Counter : int {
   kPrefixLookups,
   kPrefixHits,
   kPrefixPublishes,
+  kPrefixExtendedPublishes,
+  kPrefixDedupDeferrals,
   kAdmissionCharges,
   kAdmissionChargeFailures,
   kKMeansSpanTrains,

@@ -1,10 +1,11 @@
-// Bounded admission queue of sessions, organized as per-tenant FIFO lanes.
-// Submissions may arrive from any thread while the scheduler drains from its
-// own, so the queue is internally synchronized. Admission order is strict
-// FIFO *within* a tenant (a tenant's large head cannot be overtaken by its
-// own later, smaller sessions), while the scheduler rotates *across* lanes so
-// one tenant's oversized or unadmittable head never starves every other
-// tenant's admission. The capacity bound is global across lanes.
+// Bounded admission queue of sessions, organized as per-(tenant, user) FIFO
+// lanes. Submissions may arrive from any thread while the scheduler drains
+// from its own, so the queue is internally synchronized. Admission order is
+// strict FIFO *within* a (tenant, user) lane (a user's large head cannot be
+// overtaken by that same user's later, smaller sessions), while the scheduler
+// rotates *across* lanes so one lane's oversized or unadmittable head never
+// starves every other lane's admission — including the same tenant's other
+// users. The capacity bound is global across lanes.
 #ifndef PQCACHE_SERVE_REQUEST_QUEUE_H_
 #define PQCACHE_SERVE_REQUEST_QUEUE_H_
 
@@ -21,9 +22,18 @@
 
 namespace pqcache {
 
-/// Mutex-guarded bounded queue of queued sessions, one FIFO lane per tenant.
+/// Mutex-guarded bounded queue of queued sessions, one FIFO lane per
+/// (tenant, user) pair of the requests' RequestIdentity.
 class RequestQueue {
  public:
+  /// Identity key of one admission lane.
+  struct LaneKey {
+    std::string tenant;
+    std::string user;
+
+    bool operator==(const LaneKey&) const = default;
+  };
+
   explicit RequestQueue(size_t capacity) : capacity_(capacity) {}
 
   size_t capacity() const { return capacity_; }
@@ -35,12 +45,13 @@ class RequestQueue {
 
   bool empty() const { return size() == 0; }
 
-  /// Enqueues into the session's tenant lane; returns false (leaving
+  /// Enqueues into the session's (tenant, user) lane; returns false (leaving
   /// `session` untouched) when the global capacity is reached.
   bool TryPush(std::unique_ptr<Session>& session) {
     std::lock_guard<std::mutex> lock(mu_);
     if (size_ >= capacity_) return false;
-    LaneFor(session->tenant()).push_back(std::move(session));
+    LaneFor(session->tenant(), session->user())
+        .push_back(std::move(session));
     ++size_;
     return true;
   }
@@ -50,32 +61,33 @@ class RequestQueue {
   /// the bound (which gates *new* work) must not be able to drop it.
   void PushUnbounded(std::unique_ptr<Session> session) {
     std::lock_guard<std::mutex> lock(mu_);
-    LaneFor(session->tenant()).push_back(std::move(session));
+    LaneFor(session->tenant(), session->user())
+        .push_back(std::move(session));
     ++size_;
   }
 
-  /// Tenants with non-empty lanes, in first-submission order. The scheduler
+  /// Keys of non-empty lanes, in first-submission order. The scheduler
   /// rotates its own admission cursor over this list; the list itself is a
   /// stable snapshot (lane heads only move when the scheduler pops).
-  std::vector<std::string> Tenants() const {
+  std::vector<LaneKey> Lanes() const {
     std::lock_guard<std::mutex> lock(mu_);
-    std::vector<std::string> tenants;
-    tenants.reserve(lanes_.size());
+    std::vector<LaneKey> keys;
+    keys.reserve(lanes_.size());
     for (const Lane& lane : lanes_) {
-      if (!lane.fifo.empty()) tenants.push_back(lane.tenant);
+      if (!lane.fifo.empty()) keys.push_back(lane.key);
     }
-    return tenants;
+    return keys;
   }
 
-  /// The head session of a tenant's lane, or nullptr when the lane is empty
-  /// or unknown. Scheduler thread only: the pointer stays valid because only
+  /// The head session of a lane, or nullptr when the lane is empty or
+  /// unknown. Scheduler thread only: the pointer stays valid because only
   /// that thread pops, and it stops being valid at its own TryPop. Used to
   /// resolve prefix-sharing attachments and to evaluate preemption bounds
   /// (which need the head's prompt and wait time, not just its footprints).
-  Session* PeekHead(const std::string& tenant) const {
+  Session* PeekHead(const LaneKey& key) const {
     std::lock_guard<std::mutex> lock(mu_);
     for (const Lane& lane : lanes_) {
-      if (lane.tenant != tenant) continue;
+      if (lane.key != key) continue;
       return lane.fifo.empty() ? nullptr : lane.fifo.front().get();
     }
     return nullptr;
@@ -95,13 +107,12 @@ class RequestQueue {
     return false;
   }
 
-  /// Pops the head of a tenant's lane (nullptr when empty). Empty lanes are
-  /// dropped so long-lived servers don't accumulate one per tenant ever
-  /// seen.
-  std::unique_ptr<Session> TryPop(const std::string& tenant) {
+  /// Pops the head of a lane (nullptr when empty). Empty lanes are dropped
+  /// so long-lived servers don't accumulate one per identity ever seen.
+  std::unique_ptr<Session> TryPop(const LaneKey& key) {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto it = lanes_.begin(); it != lanes_.end(); ++it) {
-      if (it->tenant != tenant) continue;
+      if (it->key != key) continue;
       if (it->fifo.empty()) return nullptr;
       std::unique_ptr<Session> session = std::move(it->fifo.front());
       it->fifo.pop_front();
@@ -136,22 +147,25 @@ class RequestQueue {
 
  private:
   struct Lane {
-    std::string tenant;
+    LaneKey key;
     std::deque<std::unique_ptr<Session>> fifo;
   };
 
-  std::deque<std::unique_ptr<Session>>& LaneFor(const std::string& tenant) {
+  std::deque<std::unique_ptr<Session>>& LaneFor(const std::string& tenant,
+                                                const std::string& user) {
     for (Lane& lane : lanes_) {
-      if (lane.tenant == tenant) return lane.fifo;
+      if (lane.key.tenant == tenant && lane.key.user == user) {
+        return lane.fifo;
+      }
     }
-    lanes_.push_back(Lane{tenant, {}});
+    lanes_.push_back(Lane{LaneKey{tenant, user}, {}});
     return lanes_.back().fifo;
   }
 
   size_t capacity_;
   mutable std::mutex mu_;
   size_t size_ = 0;  ///< Total sessions across lanes.
-  /// Lanes in tenant first-seen order (a list: lane erasure must not move
+  /// Lanes in identity first-seen order (a list: lane erasure must not move
   /// other lanes' queued sessions; linear scans are fine at lane counts).
   std::list<Lane> lanes_;
 };

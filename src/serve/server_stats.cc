@@ -139,6 +139,49 @@ std::vector<TenantStats> ServerStats::PerTenant() const {
   return tenants;
 }
 
+std::vector<UserStats> ServerStats::PerUser() const {
+  std::vector<UserStats> users;
+  std::vector<std::vector<double>> waits;
+  auto rollup_for = [&](const std::string& tenant,
+                        const std::string& user) -> size_t {
+    for (size_t i = 0; i < users.size(); ++i) {
+      if (users[i].tenant == tenant && users[i].user == user) return i;
+    }
+    users.emplace_back();
+    users.back().tenant = tenant;
+    users.back().user = user;
+    waits.emplace_back();
+    return users.size() - 1;
+  };
+  for (const SessionRecord& record : sessions) {
+    const size_t i = rollup_for(record.tenant, record.user);
+    UserStats& u = users[i];
+    ++u.sessions;
+    // Same disposition chain as PerTenant, restricted to the fields UserStats
+    // carries, so each tenant's user rows partition its tenant row.
+    if (record.failed && !record.shed) ++u.failed;
+    if (!record.shed && !record.failed && !record.preempted &&
+        !record.pressure_suspended && !record.suspended) {
+      ++u.completed;
+    }
+    u.generated_tokens += record.generated_tokens;
+    if (ProducedTokens(record)) waits[i].push_back(record.queue_wait_seconds);
+  }
+  for (size_t i = 0; i < users.size(); ++i) {
+    UserStats& u = users[i];
+    u.tokens_per_second =
+        wall_seconds > 0
+            ? static_cast<double>(u.generated_tokens) / wall_seconds
+            : 0;
+    double wait_sum = 0;
+    for (double w : waits[i]) wait_sum += w;
+    u.mean_queue_wait_seconds =
+        waits[i].empty() ? 0
+                         : wait_sum / static_cast<double>(waits[i].size());
+  }
+  return users;
+}
+
 std::map<StatusCode, uint64_t> ServerStats::FailureReasons() const {
   std::map<StatusCode, uint64_t> reasons;
   for (const SessionRecord& s : sessions) {

@@ -23,6 +23,18 @@ uint32_t SessionTrack(int64_t id) {
 
 }  // namespace
 
+Status RequestIdentity::Validate() const {
+  if (tenant.size() > kMaxNameLength) {
+    return Status::InvalidArgument("RequestIdentity: tenant name exceeds " +
+                                   std::to_string(kMaxNameLength) + " bytes");
+  }
+  if (user.size() > kMaxNameLength) {
+    return Status::InvalidArgument("RequestIdentity: user name exceeds " +
+                                   std::to_string(kMaxNameLength) + " bytes");
+  }
+  return Status::OK();
+}
+
 Session::Session(int64_t id, ServeRequest request,
                  const PQCacheEngineOptions& engine_options,
                  size_t gpu_footprint_bytes, size_t cpu_footprint_bytes)
@@ -47,9 +59,8 @@ Session::Session(int64_t id, SessionCheckpoint checkpoint,
       gpu_footprint_bytes_(gpu_footprint_bytes),
       cpu_footprint_bytes_(cpu_footprint_bytes) {
   request_.tag = resume_->tag;
-  request_.tenant = resume_->tenant;
-  request_.weight = std::max<uint32_t>(1, resume_->weight);
-  request_.priority = resume_->priority;
+  request_.identity = resume_->identity;
+  request_.identity.Normalize();
   // Moved, not copied: BuildCheckpoint and the record path read
   // request_.prompt; resume_ keeps only the generated-token history.
   request_.prompt = std::move(resume_->prompt);
@@ -78,9 +89,7 @@ Status Session::BuildCheckpoint(SessionCheckpoint* out) const {
         "checkpointed");
   }
   out->tag = request_.tag;
-  out->tenant = request_.tenant;
-  out->weight = request_.weight;
-  out->priority = request_.priority;
+  out->identity = request_.identity;
   out->prompt = request_.prompt;
   out->max_new_tokens = request_.max_new_tokens;
   out->generated.clear();
@@ -154,8 +163,8 @@ void Session::StepImpl() {
     if (obs::Tracer::Enabled()) {
       // First step = off the decode hot path: interning the tenant name here
       // (it may allocate) keeps later spans pointer-only.
-      if (!request_.tenant.empty()) {
-        tenant = obs::Tracer::Global().InternString(request_.tenant);
+      if (!request_.identity.tenant.empty()) {
+        tenant = obs::Tracer::Global().InternString(request_.identity.tenant);
       }
       // Retroactive: the wait started at enqueue on the submitter thread and
       // ended just now on this worker, so it goes on the session's own track.

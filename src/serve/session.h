@@ -17,25 +17,59 @@
 
 namespace pqcache {
 
-/// A user-facing generation request.
-struct ServeRequest {
-  /// Label carried into the stats report (e.g. the workload task name).
-  std::string tag;
-  /// Tenant identity for weighted fair scheduling. Requests with the same
-  /// tenant share one FIFO admission lane and one decode share; the empty
-  /// string is the shared default tenant, so weight-less requests behave
-  /// exactly like the pre-fairness scheduler.
+/// Who a request belongs to and how it is scheduled: the typed identity
+/// every serving entry point (Submit, the wire protocol, checkpoints)
+/// carries instead of loose tenant/weight/priority fields. A
+/// default-constructed identity reproduces the pre-fairness scheduler
+/// exactly (one shared lane, uniform shares, no preemption priority), so
+/// identity-less callers keep their old behavior.
+struct RequestIdentity {
+  /// Tenant for hierarchical fair scheduling. Requests with the same tenant
+  /// share one decode share at the top scheduling level; the empty string is
+  /// the shared default tenant.
   std::string tenant;
-  /// Relative decode share of this tenant (deficit-round-robin): per round a
-  /// tenant is granted steps proportional to weight / sum-of-active-weights.
-  /// Clamped to >= 1 at Submit; the scheduler uses the max weight over a
-  /// tenant's live sessions.
+  /// User within the tenant (second scheduling level). Requests with the
+  /// same (tenant, user) share one FIFO admission lane and one within-tenant
+  /// decode share; the empty string is the tenant's default user.
+  std::string user;
+  /// Relative decode share of this request's *tenant* (outer deficit-round-
+  /// robin): per round a tenant is granted steps proportional to
+  /// weight / sum-of-active-tenant-weights. Normalized to >= 1 at Submit;
+  /// the scheduler uses the max weight over a tenant's live sessions.
   uint32_t weight = 1;
+  /// Relative share of this request's *user within its tenant* (inner
+  /// deficit-round-robin over the tenant's granted steps). Normalized to
+  /// >= 1 at Submit; the scheduler uses the max over the user's sessions.
+  uint32_t user_weight = 1;
   /// Preemption priority. When a queued session of a strictly higher
   /// priority has waited past ServeOptions::preempt_after_seconds, the
   /// scheduler suspends the longest-running lower-priority decode at the
   /// round boundary (checkpoint + auto-requeued resume, loss-free).
   int32_t priority = 0;
+
+  /// The single validation point for identities entering the serving layer
+  /// (Submit and the network frontend both route through it): bounds the
+  /// name lengths so a hostile frontend cannot balloon lane keys or stats.
+  Status Validate() const;
+  /// Clamps both weights to >= 1 (a zero weight would starve its lane
+  /// outright under DRR). Applied by Submit after Validate.
+  void Normalize() {
+    weight = weight == 0 ? 1 : weight;
+    user_weight = user_weight == 0 ? 1 : user_weight;
+  }
+
+  /// Longest accepted tenant/user name (Validate rejects beyond this).
+  static constexpr size_t kMaxNameLength = 256;
+};
+
+/// A user-facing generation request.
+struct ServeRequest {
+  /// Label carried into the stats report (e.g. the workload task name).
+  std::string tag;
+  /// Who this request belongs to and how it is scheduled (tenant lane, user
+  /// sub-lane, DRR weights, preemption priority). Defaults reproduce the
+  /// identity-less scheduler.
+  RequestIdentity identity;
   /// Prompt token ids; must be non-empty and long enough for the engine's
   /// segment layout (initial + local windows).
   std::vector<int32_t> prompt;
@@ -66,11 +100,9 @@ struct ServeRequest {
 /// SessionManager's suspend processing, consumed by SessionManager::Resume.
 struct SessionCheckpoint {
   std::string tag;
-  /// Tenant identity + scheduling parameters, preserved across the
-  /// suspend/resume cycle (a preempted session must keep its share).
-  std::string tenant;
-  uint32_t weight = 1;
-  int32_t priority = 0;
+  /// Full request identity, preserved across the suspend/resume cycle (a
+  /// preempted session must keep its lane and shares).
+  RequestIdentity identity;
   std::vector<int32_t> prompt;
   size_t max_new_tokens = 0;          ///< Original total-token budget.
   std::vector<int32_t> generated;     ///< Tokens produced before suspension.
@@ -108,9 +140,12 @@ class Session {
 
   int64_t id() const { return id_; }
   const ServeRequest& request() const { return request_; }
-  const std::string& tenant() const { return request_.tenant; }
-  uint32_t weight() const { return request_.weight; }
-  int32_t priority() const { return request_.priority; }
+  const RequestIdentity& identity() const { return request_.identity; }
+  const std::string& tenant() const { return request_.identity.tenant; }
+  const std::string& user() const { return request_.identity.user; }
+  uint32_t weight() const { return request_.identity.weight; }
+  uint32_t user_weight() const { return request_.identity.user_weight; }
+  int32_t priority() const { return request_.identity.priority; }
   SessionState state() const { return state_; }
   size_t gpu_footprint_bytes() const { return gpu_footprint_bytes_; }
   size_t cpu_footprint_bytes() const { return cpu_footprint_bytes_; }

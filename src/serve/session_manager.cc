@@ -1,8 +1,10 @@
 #include "src/serve/session_manager.h"
 
 #include <algorithm>
+#include <iterator>
 #include <utility>
 
+#include "src/common/fault_injection.h"
 #include "src/common/logging.h"
 #include "src/common/timer.h"
 #include "src/obs/metrics.h"
@@ -44,6 +46,7 @@ Result<int64_t> SessionManager::Submit(ServeRequest request) {
   if (request.max_new_tokens == 0) {
     return Status::InvalidArgument("Submit: max_new_tokens must be > 0");
   }
+  PQC_RETURN_IF_ERROR(request.identity.Validate());
   const size_t gpu_footprint = PQCacheEngine::EstimateGpuFootprintBytes(
       options_.engine, request.prompt.size(), request.max_new_tokens);
   const size_t cpu_footprint = PQCacheEngine::EstimateCpuFootprintBytes(
@@ -75,9 +78,9 @@ Result<int64_t> SessionManager::Submit(ServeRequest request) {
         "Submit: request queue full (" + std::to_string(queue_.capacity()) +
         " sessions)");
   }
-  // A zero weight would starve the tenant outright under DRR; clamp so every
-  // tenant banks a positive share per round.
-  request.weight = std::max<uint32_t>(1, request.weight);
+  // A zero weight would starve its lane outright under DRR; normalize so
+  // every tenant and user banks a positive share per round.
+  request.identity.Normalize();
   const int64_t id = next_id_++;
   auto session =
       std::make_unique<Session>(id, std::move(request), options_.engine,
@@ -102,6 +105,7 @@ Result<int64_t> SessionManager::Resume(
     return Status::InvalidArgument(
         "Resume: the session's token budget is already spent");
   }
+  PQC_RETURN_IF_ERROR(checkpoint.identity.Validate());
   // A resume restores flattened private state, so it is charged the full
   // unshared footprints (same bound an uninterrupted session of this shape
   // would be charged).
@@ -243,16 +247,17 @@ void SessionManager::ProcessCancellations() {
   }
 }
 
-bool SessionManager::TryAdmitHead(const std::string& tenant) {
+bool SessionManager::TryAdmitHead(const RequestQueue::LaneKey& lane) {
   // Only this thread pops, so a non-empty head observed here is stable
   // through the TryPop below; a Submit racing in behind the head waits for
   // the next round.
-  Session* head = queue_.PeekHead(tenant);
+  Session* head = queue_.PeekHead(lane);
   if (head == nullptr) return false;
+  uint64_t prefill_key = 0;
   if (registry_ != nullptr && !head->resumed()) {
     // Resolve prefix sharing for the head right before charging: the
     // registry grows as earlier sessions prefill, so a fresh lookup per
-    // admission attempt catches segments published since the last round.
+    // admission attempt catches chains published since the last round.
     // The matched prefix must leave the local window and the final prompt
     // position private (the exactness conditions; see prefix_registry.h).
     // (Resumed sessions restore flattened checkpoints and never attach.)
@@ -261,6 +266,33 @@ bool SessionManager::TryAdmitHead(const std::string& tenant) {
     size_t cap = prompt.size() > lw ? prompt.size() - lw : 0;
     cap = std::min(cap, prompt.size() - 1);
     head->ResolvePrefix(registry_->Lookup(prompt, cap));
+    // In-flight dedup: if the head would prefill shareable blocks that an
+    // active session is already prefilling, defer it (it keeps its lane
+    // position) rather than burn a redundant prefill. Once the prefiller
+    // publishes, the next attempt's Lookup attaches the chain; if the
+    // prefiller dies unpublished, PrunePendingPrefills lifts the deferral.
+    if (options_.dedup_in_flight) {
+      const size_t block = registry_->options().block_tokens;
+      const uint64_t key = PrefixRegistry::ChainKey(prompt, cap, block);
+      const size_t shareable = (cap / block) * block;
+      const auto& attached = head->prefix_attachment();
+      const size_t covered = attached == nullptr ? 0 : attached->use_tokens;
+      if (key != 0 && covered < shareable) {
+        auto it = pending_prefills_.find(key);
+        if (it != pending_prefills_.end()) {
+          ++stats_.prefix_dedup_deferrals;
+          obs::MetricsRegistry::Add(obs::Counter::kPrefixDedupDeferrals);
+          obs::Tracer::Instant("serve", "dedup.defer", "session", head->id());
+          // Release the partial attachment while waiting (same reasoning as
+          // the failed-charge path below: a held chain pins registry bytes).
+          if (attached != nullptr) head->ResolvePrefix(nullptr);
+          return false;
+        }
+        // No one is prefilling these blocks: this head becomes the
+        // registered prefiller if it seats below.
+        prefill_key = key;
+      }
+    }
   }
   // FIFO within the lane: when the head does not fit the remaining pools it
   // waits for a retirement rather than being overtaken by its own tenant's
@@ -282,7 +314,7 @@ bool SessionManager::TryAdmitHead(const std::string& tenant) {
     if (head->prefix_attachment() != nullptr) head->ResolvePrefix(nullptr);
     return false;
   }
-  std::unique_ptr<Session> session = queue_.TryPop(tenant);
+  std::unique_ptr<Session> session = queue_.TryPop(lane);
   PQC_CHECK(session != nullptr);  // Single-consumer: the head cannot vanish.
   ++stats_.admitted;
   obs::MetricsRegistry::Add(obs::Counter::kSessionsAdmitted);
@@ -290,35 +322,53 @@ bool SessionManager::TryAdmitHead(const std::string& tenant) {
   if (obs::Tracer::Enabled()) {
     obs::Tracer::Instant(
         "serve", "admit", "session", session->id(), nullptr, 0, "tenant",
-        tenant.empty() ? nullptr
-                       : obs::Tracer::Global().InternString(tenant));
+        lane.tenant.empty()
+            ? nullptr
+            : obs::Tracer::Global().InternString(lane.tenant));
   }
-  last_admitted_tenant_ = tenant;
+  if (prefill_key != 0) pending_prefills_[prefill_key] = session->id();
+  last_admitted_lane_ = lane;
   active_.push_back(std::move(session));
   active_count_.store(active_.size(), std::memory_order_relaxed);
   return true;
 }
 
+void SessionManager::PrunePendingPrefills() {
+  if (pending_prefills_.empty()) return;
+  for (auto it = pending_prefills_.begin(); it != pending_prefills_.end();) {
+    bool live = false;
+    for (const auto& session : active_) {
+      if (session != nullptr && session->id() == it->second &&
+          !session->prefix_published() &&
+          session->state() != SessionState::kFailed) {
+        live = true;
+        break;
+      }
+    }
+    it = live ? std::next(it) : pending_prefills_.erase(it);
+  }
+}
+
 void SessionManager::AdmitFromQueue() {
-  // Rotate across tenant lanes, starting just past the most recently
-  // admitted tenant, until no lane's head can be seated. FIFO order is
-  // preserved within a lane; a blocked head only blocks its own tenant.
+  // Rotate across (tenant, user) lanes, starting just past the most recently
+  // admitted lane, until no lane's head can be seated. FIFO order is
+  // preserved within a lane; a blocked head only blocks its own lane.
+  PrunePendingPrefills();
   bool progress = true;
   while (active_.size() < options_.max_sessions && progress) {
     progress = false;
-    const std::vector<std::string> tenants = queue_.Tenants();
-    if (tenants.empty()) return;
+    const std::vector<RequestQueue::LaneKey> lanes = queue_.Lanes();
+    if (lanes.empty()) return;
     size_t start = 0;
-    for (size_t i = 0; i < tenants.size(); ++i) {
-      if (tenants[i] == last_admitted_tenant_) {
+    for (size_t i = 0; i < lanes.size(); ++i) {
+      if (lanes[i] == last_admitted_lane_) {
         start = i + 1;
         break;
       }
     }
-    for (size_t i = 0; i < tenants.size(); ++i) {
+    for (size_t i = 0; i < lanes.size(); ++i) {
       if (active_.size() >= options_.max_sessions) break;
-      const std::string& tenant = tenants[(start + i) % tenants.size()];
-      if (TryAdmitHead(tenant)) progress = true;
+      if (TryAdmitHead(lanes[(start + i) % lanes.size()])) progress = true;
     }
   }
 }
@@ -364,8 +414,8 @@ Result<SessionCheckpoint> SessionManager::SuspendSession(Session* session,
 
 void SessionManager::RequeueVictim(Session* victim,
                                    SessionCheckpoint checkpoint) {
-  // Auto-requeue the victim's resume: same tenant/weight/priority (carried
-  // in the checkpoint), same streaming callback, cumulative token indexes.
+  // Auto-requeue the victim's resume: same identity (carried in the
+  // checkpoint), same streaming callback, cumulative token indexes.
   // The push bypasses the capacity bound — the session was already admitted
   // once, and dropping it here would lose its only copy.
   const size_t gpu_footprint = PQCacheEngine::EstimateGpuFootprintBytes(
@@ -430,11 +480,11 @@ void SessionManager::ShedExpired() {
 void SessionManager::MaybePreempt() {
   if (options_.preempt_after_seconds <= 0 || active_.empty()) return;
   // The most overdue queued head with the highest priority. Only lane heads
-  // qualify: preempting for a non-head would reorder a tenant's own FIFO.
+  // qualify: preempting for a non-head would reorder a lane's own FIFO.
   Session* waiter = nullptr;
-  std::string waiter_tenant;
-  for (const std::string& tenant : queue_.Tenants()) {
-    Session* head = queue_.PeekHead(tenant);
+  RequestQueue::LaneKey waiter_lane;
+  for (const RequestQueue::LaneKey& lane : queue_.Lanes()) {
+    Session* head = queue_.PeekHead(lane);
     if (head == nullptr ||
         head->waited_seconds() <= options_.preempt_after_seconds) {
       continue;
@@ -443,7 +493,7 @@ void SessionManager::MaybePreempt() {
         (head->priority() == waiter->priority() &&
          head->waited_seconds() > waiter->waited_seconds())) {
       waiter = head;
-      waiter_tenant = tenant;
+      waiter_lane = lane;
     }
   }
   if (waiter == nullptr) return;
@@ -467,7 +517,7 @@ void SessionManager::MaybePreempt() {
   // Hand the freed slot and bytes to the waiter before anything else can
   // claim them (best-effort: a waiter needing more than one victim's worth
   // of memory is retried — and may preempt again — next round).
-  TryAdmitHead(waiter_tenant);
+  TryAdmitHead(waiter_lane);
 }
 
 void SessionManager::MaybePressureSuspend() {
@@ -477,9 +527,9 @@ void SessionManager::MaybePressureSuspend() {
   // preceding AdmitFromQueue could not seat has been starved of *bytes* (or
   // a slot), and which tenant it belongs to does not change that.
   Session* waiter = nullptr;
-  std::string waiter_tenant;
-  for (const std::string& tenant : queue_.Tenants()) {
-    Session* head = queue_.PeekHead(tenant);
+  RequestQueue::LaneKey waiter_lane;
+  for (const RequestQueue::LaneKey& lane : queue_.Lanes()) {
+    Session* head = queue_.PeekHead(lane);
     if (head == nullptr ||
         head->waited_seconds() <= options_.pressure_suspend_after_seconds) {
       continue;
@@ -487,7 +537,7 @@ void SessionManager::MaybePressureSuspend() {
     if (waiter == nullptr ||
         head->waited_seconds() > waiter->waited_seconds()) {
       waiter = head;
-      waiter_tenant = tenant;
+      waiter_lane = lane;
     }
   }
   if (waiter == nullptr) return;
@@ -510,20 +560,29 @@ void SessionManager::MaybePressureSuspend() {
   RequeueVictim(victim, std::move(checkpoint).value());
   // Best-effort, one degradation per round: a waiter needing more than one
   // victim's worth of bytes stays queued and triggers again next round.
-  TryAdmitHead(waiter_tenant);
+  TryAdmitHead(waiter_lane);
 }
 
 void SessionManager::RunRound() {
-  // Weighted deficit-round-robin step selection. Budget = one step per
-  // active session (the legacy round size); each tenant banks
-  // weight/sum-of-weights of it and spends whole steps round-robin over its
-  // own sessions. Deficit a tenant cannot spend on its own sessions is
-  // dropped (classic DRR: an under-loaded lane does not bank credit), so a
-  // tenant's backlog never converts idle rounds into a later burst.
+  // Hierarchical weighted deficit-round-robin step selection. Budget = one
+  // step per active session (the legacy round size). Outer level: each
+  // tenant banks weight/sum-of-tenant-weights of the budget and spends whole
+  // steps. Inner level: a tenant's grant is split across its users
+  // proportional to user_weight/sum-of-user-weights, each user spending its
+  // floor round-robin over its own sessions. Deficit a group cannot spend on
+  // its own sessions is dropped (classic DRR: an under-loaded lane does not
+  // bank credit), so a backlog never converts idle rounds into a later
+  // burst; fractional shares bank across rounds in the deficit counters.
   std::vector<size_t> selected;
+  struct UserGroup {
+    const std::string* user;
+    std::vector<size_t> indices;
+    uint32_t weight = 1;
+  };
   struct Group {
     const std::string* tenant;
-    std::vector<size_t> indices;
+    std::vector<UserGroup> users;
+    size_t sessions = 0;
     uint32_t weight = 1;
   };
   std::vector<Group> groups;
@@ -536,22 +595,45 @@ void SessionManager::RunRound() {
       }
     }
     if (group == nullptr) {
-      groups.push_back(Group{&active_[i]->tenant(), {}, 1});
+      groups.push_back(Group{&active_[i]->tenant(), {}, 0, 1});
       group = &groups.back();
     }
-    group->indices.push_back(i);
+    UserGroup* ugroup = nullptr;
+    for (UserGroup& u : group->users) {
+      if (*u.user == active_[i]->user()) {
+        ugroup = &u;
+        break;
+      }
+    }
+    if (ugroup == nullptr) {
+      group->users.push_back(UserGroup{&active_[i]->user(), {}, 1});
+      ugroup = &group->users.back();
+    }
+    ugroup->indices.push_back(i);
+    ugroup->weight = std::max(ugroup->weight, active_[i]->user_weight());
+    ++group->sessions;
     group->weight = std::max(group->weight, active_[i]->weight());
   }
-  if (groups.size() <= 1) {
-    // Single tenant: every session steps every round, exactly the legacy
-    // scheduler (and no deficit state to carry).
+  // Inner-DRR key of one (tenant, user) pair; the \x1f separator keeps
+  // ("a", "bc") distinct from ("ab", "c").
+  auto user_key = [](const Group& g, const UserGroup& u) {
+    std::string key = *g.tenant;
+    key.push_back('\x1f');
+    key += *u.user;
+    return key;
+  };
+  if (groups.size() <= 1 &&
+      (groups.empty() || groups.front().users.size() <= 1)) {
+    // Single tenant, single user: every session steps every round, exactly
+    // the legacy scheduler (and no deficit state to carry).
     tenant_sched_.clear();
+    user_sched_.clear();
     selected.resize(active_.size());
     for (size_t i = 0; i < active_.size(); ++i) selected[i] = i;
   } else {
-    // Drop scheduler state for tenants with no active sessions (classic DRR
+    // Drop scheduler state for groups with no active sessions (classic DRR
     // resets an emptied lane's deficit) so a long-lived server does not
-    // accumulate one entry per tenant ever scheduled.
+    // accumulate one entry per identity ever scheduled.
     for (auto it = tenant_sched_.begin(); it != tenant_sched_.end();) {
       bool live = false;
       for (const Group& g : groups) {
@@ -560,32 +642,89 @@ void SessionManager::RunRound() {
           break;
         }
       }
-      if (live) {
-        ++it;
-      } else {
-        it = tenant_sched_.erase(it);
-      }
+      it = live ? std::next(it) : tenant_sched_.erase(it);
     }
+    for (auto it = user_sched_.begin(); it != user_sched_.end();) {
+      bool live = false;
+      for (const Group& g : groups) {
+        for (const UserGroup& u : g.users) {
+          if (user_key(g, u) == it->first) {
+            live = true;
+            break;
+          }
+        }
+        if (live) break;
+      }
+      it = live ? std::next(it) : user_sched_.erase(it);
+    }
+    // Spends `grant` whole steps inside one user group, round-robin from its
+    // banked cursor.
+    auto spend = [&selected](UserGroup& u, DrrSched& sched, size_t grant) {
+      for (size_t j = 0; j < grant; ++j) {
+        selected.push_back(u.indices[(sched.cursor + j) % u.indices.size()]);
+      }
+      sched.cursor = (sched.cursor + grant) % u.indices.size();
+    };
     double sum_weights = 0;
     for (const Group& g : groups) sum_weights += g.weight;
     const double budget = static_cast<double>(active_.size());
     for (Group& g : groups) {
-      TenantSched& sched = tenant_sched_[*g.tenant];
+      DrrSched& sched = tenant_sched_[*g.tenant];
       sched.deficit += budget * static_cast<double>(g.weight) / sum_weights;
       size_t grant = static_cast<size_t>(sched.deficit);
-      if (grant >= g.indices.size()) {
-        grant = g.indices.size();
+      if (grant >= g.sessions) {
+        grant = g.sessions;
         sched.deficit = 0;
       } else {
         sched.deficit -= static_cast<double>(grant);
       }
-      for (size_t j = 0; j < grant; ++j) {
-        selected.push_back(g.indices[(sched.cursor + j) % g.indices.size()]);
+      if (grant == 0) continue;
+      if (g.users.size() == 1) {
+        // Single user: the tenant's grant is the user's grant.
+        spend(g.users.front(), user_sched_[user_key(g, g.users.front())],
+              grant);
+        continue;
       }
-      sched.cursor = (sched.cursor + grant) % g.indices.size();
+      // Inner DRR: split the tenant's grant across its users by user_weight,
+      // banking fractional shares per user across rounds.
+      double sum_user_weights = 0;
+      for (const UserGroup& u : g.users) sum_user_weights += u.weight;
+      size_t spent = 0;
+      for (UserGroup& u : g.users) {
+        DrrSched& usched = user_sched_[user_key(g, u)];
+        usched.deficit += static_cast<double>(grant) *
+                          static_cast<double>(u.weight) / sum_user_weights;
+        size_t ugrant = static_cast<size_t>(usched.deficit);
+        ugrant = std::min(ugrant, grant - spent);
+        if (ugrant >= u.indices.size()) {
+          ugrant = std::min(u.indices.size(), grant - spent);
+          usched.deficit = 0;
+        } else {
+          usched.deficit -= static_cast<double>(ugrant);
+        }
+        spend(u, usched, ugrant);
+        spent += ugrant;
+      }
+      // Within-tenant progress guard: a granted tenant must step. Give the
+      // user with the largest banked deficit one step.
+      if (spent == 0) {
+        UserGroup* starved = nullptr;
+        double best = -1;
+        for (UserGroup& u : g.users) {
+          const double deficit = user_sched_[user_key(g, u)].deficit;
+          if (deficit > best) {
+            best = deficit;
+            starved = &u;
+          }
+        }
+        DrrSched& usched = user_sched_[user_key(g, *starved)];
+        spend(*starved, usched, 1);
+        usched.deficit = std::max(0.0, usched.deficit - 1.0);
+      }
     }
     // All-floors-zero guard: a round must make progress. Grant one step to
-    // the tenant with the largest banked deficit.
+    // the tenant with the largest banked deficit (routed to its
+    // largest-deficit user).
     if (selected.empty()) {
       Group* starved = nullptr;
       double best = -1;
@@ -596,10 +735,19 @@ void SessionManager::RunRound() {
           starved = &g;
         }
       }
-      TenantSched& sched = tenant_sched_[*starved->tenant];
-      selected.push_back(
-          starved->indices[sched.cursor % starved->indices.size()]);
-      sched.cursor = (sched.cursor + 1) % starved->indices.size();
+      UserGroup* starved_user = nullptr;
+      double ubest = -1;
+      for (UserGroup& u : starved->users) {
+        const double deficit = user_sched_[user_key(*starved, u)].deficit;
+        if (deficit > ubest) {
+          ubest = deficit;
+          starved_user = &u;
+        }
+      }
+      DrrSched& usched = user_sched_[user_key(*starved, *starved_user)];
+      spend(*starved_user, usched, 1);
+      usched.deficit = std::max(0.0, usched.deficit - 1.0);
+      DrrSched& sched = tenant_sched_[*starved->tenant];
       sched.deficit = std::max(0.0, sched.deficit - 1.0);
     }
   }
@@ -616,6 +764,7 @@ SessionRecord SessionManager::RecordFor(const Session& session) const {
   record.id = session.id();
   record.tag = session.request().tag;
   record.tenant = session.tenant();
+  record.user = session.user();
   record.prompt_tokens = session.request().prompt.size();
   record.generated_tokens = session.generated().size();
   record.resumed = session.resumed();
@@ -710,8 +859,22 @@ void SessionManager::DispatchAndRetire() {
         !session->prefix_published() && session->engine() != nullptr &&
         session->state() != SessionState::kFailed) {
       session->set_prefix_published();
-      Status published =
-          registry_->Publish(session->request().prompt, *session->engine());
+      // Chaos point at the dedup publish boundary: an injected failure here
+      // models a prefiller that dies after prefilling but before its chain
+      // lands, so deferred waiters must fall back to self-prefilling (the
+      // pending registration is pruned because prefix_published is now set).
+      Status published = Status::OK();
+      if (FaultInjection::Enabled()) {
+        published = FaultInjection::Global().Check("serve.prefix_publish");
+      }
+      if (published.ok()) {
+        // Extension publish: hand the registry the deepest node this session
+        // attached, so only blocks past the attached chain are copied.
+        const auto& attached = session->prefix_attachment();
+        published = registry_->Publish(
+            attached == nullptr ? nullptr : attached->deepest(),
+            session->request().prompt, *session->engine());
+      }
       if (!published.ok()) {
         PQC_LOG(Warning) << "prefix publish failed for session "
                          << session->id() << ": " << published.ToString();
@@ -792,7 +955,9 @@ Status SessionManager::RunUntilDrained() {
         manager->stats_.prefix_lookups = prefix.lookups;
         manager->stats_.prefix_hits = prefix.hits;
         manager->stats_.prefix_reused_tokens = prefix.reused_tokens;
-        manager->stats_.prefix_segments = prefix.segments;
+        manager->stats_.prefix_reused_bytes = prefix.reused_bytes;
+        manager->stats_.prefix_extended_publishes = prefix.extended_publishes;
+        manager->stats_.prefix_nodes = prefix.nodes;
         manager->stats_.prefix_resident_gpu_bytes = prefix.resident_gpu_bytes;
         manager->stats_.prefix_resident_cpu_bytes = prefix.resident_cpu_bytes;
       }

@@ -8,7 +8,7 @@
 // (EstimateCpuFootprintBytes: offloaded middle KV at the final sequence
 // length) — proven upper bounds on actual usage. Submit rejects outright
 // when either footprint can never fit its pool; otherwise the session waits
-// in a bounded queue (per-tenant FIFO lanes) and is admitted only when a
+// in a bounded queue (per-(tenant, user) FIFO lanes) and is admitted only when a
 // decode slot is free AND both pools' remaining bytes cover its footprints
 // (charged atomically: both or neither). Charges return to the pools when
 // the session retires. Engines never allocate from the shared pools
@@ -19,13 +19,15 @@
 // prefill" (first step after admission) or "decode one token". Steps of
 // different sessions touch disjoint engines, so a round executes them in
 // parallel on the thread pool; within a session, steps are strictly
-// sequential. Selection is weighted deficit-round-robin across tenants
-// (ServeRequest::tenant/weight): per round every tenant banks steps
-// proportional to its weight and spends them round-robin over its active
-// sessions, so one tenant with many long decodes cannot monopolize the
-// decode slots; with a single tenant (the default) every active session
-// steps every round, exactly the legacy behavior. Admission rotates across
-// tenant lanes (FIFO within a lane) between rounds, so prefills of freshly
+// sequential. Selection is hierarchical weighted deficit-round-robin
+// (RequestIdentity): per round every tenant banks steps proportional to its
+// weight, and each tenant's grant is split across its users proportional to
+// their user_weights, spent round-robin over each user's active sessions —
+// so one tenant with many long decodes cannot monopolize the decode slots,
+// and one user cannot monopolize its tenant's share; with a single tenant
+// and user (the default) every active session steps every round, exactly the
+// legacy behavior. Admission rotates across
+// (tenant, user) lanes (FIFO within a lane) between rounds, so prefills of freshly
 // admitted sessions interleave with decodes of running ones (continuous
 // batching), and a higher-priority tenant waiting past
 // ServeOptions::preempt_after_seconds preempts the longest-running
@@ -136,6 +138,18 @@ struct ServeOptions {
   /// charged exactly once.
   bool enable_prefix_sharing = false;
   PrefixRegistry::Options prefix;
+  /// In-flight prefill deduplication (requires enable_prefix_sharing): when
+  /// an admission head's shareable prefix is already being prefilled by an
+  /// active session, the head is deferred (it keeps its queue position)
+  /// instead of redundantly prefilling the same blocks; once the prefiller
+  /// publishes, the waiter attaches the published chain. If the prefiller
+  /// fails, is cancelled, or is suspended before publishing, the deferral
+  /// lifts at the next round boundary and the waiter prefills for itself —
+  /// deferral never deadlocks because a registered prefiller is always an
+  /// active session, and the registration is dropped the moment it stops
+  /// being one. Deferral events are counted in
+  /// ServerStats::prefix_dedup_deferrals.
+  bool dedup_in_flight = true;
 
   // --- Observability (empty paths disable; see src/obs) ---
 
@@ -256,16 +270,22 @@ class SessionManager {
   explicit SessionManager(const ServeOptions& options);
 
   /// Moves lane-head sessions into the active set while a slot is free and
-  /// a head's footprints fit the remaining pools, rotating across tenant
-  /// lanes (FIFO within a lane) so one tenant's blocked head cannot stall
-  /// every other tenant's admission.
+  /// a head's footprints fit the remaining pools, rotating across
+  /// (tenant, user) lanes (FIFO within a lane) so one lane's blocked head
+  /// cannot stall any other lane's admission.
   void AdmitFromQueue();
-  /// One admission attempt for a tenant's lane head: resolve prefix
-  /// sharing, charge both pools (both or neither), pop into the active set.
+  /// One admission attempt for a lane head: resolve prefix sharing, defer if
+  /// an active session is already prefilling the same prefix (in-flight
+  /// dedup), charge both pools (both or neither), pop into the active set.
   /// On a failed charge the head's prefix attachment is released so it
-  /// cannot pin registry segment bytes between rounds (re-resolved fresh on
+  /// cannot pin registry node bytes between rounds (re-resolved fresh on
   /// the next attempt).
-  bool TryAdmitHead(const std::string& tenant);
+  bool TryAdmitHead(const RequestQueue::LaneKey& lane);
+  /// Drops pending-prefill registrations whose publisher is no longer an
+  /// active, not-yet-published session (it retired, failed, was cancelled or
+  /// suspended, or already published). Runs before each admission pass so a
+  /// deferral can never outlive its reason.
+  void PrunePendingPrefills();
   /// Sheds queued (never-admitted) sessions whose queue_deadline_seconds
   /// expired, recording each as a DeadlineExceeded shed. Runs at the round
   /// boundary before admission so an expired head cannot block its lane.
@@ -289,10 +309,12 @@ class SessionManager {
   /// the starved head's admission. At most one degradation per round.
   void MaybePressureSuspend();
   /// Runs one step for the round's selected sessions (parallel across
-  /// sessions). Selection is weighted deficit-round-robin across tenants:
-  /// per round each tenant is granted steps proportional to its weight (max
-  /// over its active sessions), rotating within the tenant. A single tenant
-  /// (the default) degenerates to the legacy one-step-per-session round.
+  /// sessions). Selection is *hierarchical* weighted deficit-round-robin:
+  /// the outer level grants each tenant steps proportional to its weight
+  /// (max over its active sessions), and the inner level splits a tenant's
+  /// grant across its users proportional to their user_weights, rotating
+  /// within each user's sessions. A single tenant with a single user (the
+  /// default) degenerates to the legacy one-step-per-session round.
   void RunRound();
   /// Why a session is being suspended — selects the record flags and the
   /// global counter the suspension lands in.
@@ -325,18 +347,26 @@ class SessionManager {
   RequestQueue queue_;
   std::vector<std::unique_ptr<Session>> active_;  // Scheduler thread only.
   std::atomic<size_t> active_count_{0};  // Mirror for cross-thread readers.
-  /// Weighted-DRR scheduler state, scheduler thread only: per-tenant
-  /// banked step deficit and the rotation cursor within the tenant's
-  /// active sessions. Kept across rounds so fractional shares accumulate.
-  struct TenantSched {
+  /// Hierarchical-DRR scheduler state, scheduler thread only: banked step
+  /// deficit and the rotation cursor within the group's active sessions.
+  /// Kept across rounds so fractional shares accumulate. The outer map is
+  /// keyed by tenant (cursor unused), the inner by "tenant\x1fuser".
+  struct DrrSched {
     double deficit = 0;
     size_t cursor = 0;
   };
-  std::unordered_map<std::string, TenantSched> tenant_sched_;
+  std::unordered_map<std::string, DrrSched> tenant_sched_;
+  std::unordered_map<std::string, DrrSched> user_sched_;
   /// Admission rotation: the next AdmitFromQueue scan starts just past the
-  /// tenant admitted most recently, so lanes take turns when pools are
+  /// lane admitted most recently, so lanes take turns when pools are
   /// tight. Scheduler thread only.
-  std::string last_admitted_tenant_;
+  RequestQueue::LaneKey last_admitted_lane_;
+  /// In-flight prefill dedup (scheduler thread only): block-aligned prefix
+  /// key (PrefixRegistry::ChainKey) -> id of the active session prefilling
+  /// it. An admission head whose key is registered to another session is
+  /// deferred; entries are pruned the moment the publisher publishes or
+  /// stops being active.
+  std::unordered_map<uint64_t, int64_t> pending_prefills_;
   std::mutex submit_mu_;
   int64_t next_id_ = 0;
   /// Pending Suspend requests + checkpoints awaiting TakeSuspended.

@@ -210,9 +210,9 @@ TEST(CheckpointTest, RestoreRejectsPrefixAttachment) {
   const PQCacheEngineOptions options = BaseOptions();
   const SavedRun run = SaveMidDecode(options, MakePrompt(64, 9), 2, 2);
   PQCacheEngineOptions with_prefix = options;
-  auto segment = std::make_shared<PrefixSegment>();
+  auto node = std::make_shared<PrefixNode>();
   auto attachment = std::make_shared<PrefixAttachment>();
-  attachment->segment = segment;
+  attachment->chain.push_back(std::move(node));
   with_prefix.prefix = attachment;
   std::istringstream is(run.checkpoint);
   EXPECT_EQ(

@@ -49,6 +49,9 @@ TEST(NetProtocolTest, HelloRoundtrip) {
   auto [header, payload, length] = Split(wire);
   EXPECT_EQ(header.type, FrameType::kHello);
   EXPECT_EQ(header.stream, 0u);
+  // The Hello itself is stamped with the client's *min* version so a peer
+  // that only speaks an older protocol still parses the opening frame.
+  EXPECT_EQ(header.version, 1);
   auto hello = DecodeHello(payload, length);
   ASSERT_TRUE(hello.ok());
   EXPECT_EQ(hello.value().min_version, 1);
@@ -56,20 +59,26 @@ TEST(NetProtocolTest, HelloRoundtrip) {
 }
 
 TEST(NetProtocolTest, HelloAckRoundtrip) {
-  std::string wire;
-  AppendHelloAck(&wire, kProtocolVersion);
-  auto [header, payload, length] = Split(wire);
-  EXPECT_EQ(header.type, FrameType::kHelloAck);
-  auto ack = DecodeHelloAck(payload, length);
-  ASSERT_TRUE(ack.ok());
-  EXPECT_EQ(ack.value(), kProtocolVersion);
+  // The ack is stamped with the version it carries — the negotiated one.
+  for (uint8_t v = kMinProtocolVersion; v <= kProtocolVersion; ++v) {
+    std::string wire;
+    AppendHelloAck(&wire, v);
+    auto [header, payload, length] = Split(wire);
+    EXPECT_EQ(header.type, FrameType::kHelloAck);
+    EXPECT_EQ(header.version, v);
+    auto ack = DecodeHelloAck(payload, length);
+    ASSERT_TRUE(ack.ok());
+    EXPECT_EQ(ack.value(), v);
+  }
 }
 
 TEST(NetProtocolTest, SubmitRoundtripPreservesEveryField) {
   SubmitFrame request;
   request.tag = "tenant-a/req-0";
   request.tenant = "tenant-a";
+  request.user = "alice";
   request.weight = 3;
+  request.user_weight = 5;
   request.priority = -2;
   request.max_new_tokens = 77;
   request.queue_deadline_seconds = 1.5;
@@ -79,16 +88,96 @@ TEST(NetProtocolTest, SubmitRoundtripPreservesEveryField) {
   auto [header, payload, length] = Split(wire);
   EXPECT_EQ(header.type, FrameType::kSubmit);
   EXPECT_EQ(header.stream, 9u);
-  auto decoded = DecodeSubmit(payload, length);
+  EXPECT_EQ(header.version, kProtocolVersion);
+  auto decoded = DecodeSubmit(payload, length, header.version);
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
   EXPECT_EQ(decoded.value().tag, request.tag);
   EXPECT_EQ(decoded.value().tenant, request.tenant);
+  EXPECT_EQ(decoded.value().user, request.user);
   EXPECT_EQ(decoded.value().weight, request.weight);
+  EXPECT_EQ(decoded.value().user_weight, request.user_weight);
   EXPECT_EQ(decoded.value().priority, request.priority);
   EXPECT_EQ(decoded.value().max_new_tokens, request.max_new_tokens);
   EXPECT_EQ(decoded.value().queue_deadline_seconds,
             request.queue_deadline_seconds);
   EXPECT_EQ(decoded.value().prompt, request.prompt);
+}
+
+// The Submit payload layouts are frozen by docs/PROTOCOL.md — these byte
+// tables ARE the compatibility contract for deployed clients. A v1 frame
+// from this build must be byte-identical to one a v1 build would emit.
+
+TEST(NetProtocolTest, SubmitV1LayoutIsFrozen) {
+  SubmitFrame request;
+  request.tag = "t";
+  request.tenant = "ab";
+  request.user = "ignored-at-v1";   // Not on the wire at version 1.
+  request.weight = 3;
+  request.user_weight = 9;          // Not on the wire at version 1.
+  request.priority = -1;
+  request.max_new_tokens = 7;
+  request.queue_deadline_seconds = 0.5;
+  request.prompt = {0x01020304};
+  std::string wire;
+  AppendSubmit(&wire, /*stream=*/1, request, /*version=*/1);
+  // tag_len(4) tag(1) tenant_len(4) tenant(2) weight(4) priority(4)
+  // max_new_tokens(8) deadline(8) prompt_len(4) prompt(4) = 43 bytes.
+  ASSERT_EQ(wire.size(), kFrameHeaderBytes + 43);
+  EXPECT_EQ(static_cast<uint8_t>(wire[2]), 1);  // header version byte
+  const uint8_t* p = Bytes(wire) + kFrameHeaderBytes;
+  EXPECT_EQ(p[0], 1);                    // tag length
+  EXPECT_EQ(p[4], 't');
+  EXPECT_EQ(p[5], 2);                    // tenant length
+  EXPECT_EQ(p[9], 'a');
+  EXPECT_EQ(p[10], 'b');
+  EXPECT_EQ(p[11], 3);                   // weight — immediately after tenant
+  EXPECT_EQ(p[15], 0xff);                // priority -1, little-endian
+  EXPECT_EQ(p[19], 7);                   // max_new_tokens
+  EXPECT_EQ(p[35], 1);                   // prompt length
+  EXPECT_EQ(p[39], 0x04);                // prompt[0] little-endian
+  EXPECT_EQ(p[42], 0x01);
+  // Decoding at v1 yields the default user identity.
+  auto decoded = DecodeSubmit(p, 43, /*version=*/1);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().tenant, "ab");
+  EXPECT_EQ(decoded.value().user, "");
+  EXPECT_EQ(decoded.value().weight, 3u);
+  EXPECT_EQ(decoded.value().user_weight, 1u);
+}
+
+TEST(NetProtocolTest, SubmitV2LayoutIsFrozen) {
+  SubmitFrame request;
+  request.tag = "t";
+  request.tenant = "ab";
+  request.user = "u";
+  request.weight = 3;
+  request.user_weight = 9;
+  request.priority = -1;
+  request.max_new_tokens = 7;
+  request.queue_deadline_seconds = 0.5;
+  request.prompt = {0x01020304};
+  std::string wire;
+  AppendSubmit(&wire, /*stream=*/1, request, /*version=*/2);
+  // v1 layout + user_len(4) user(1) after tenant + user_weight(4) after
+  // weight = 43 + 9 = 52 bytes.
+  ASSERT_EQ(wire.size(), kFrameHeaderBytes + 52);
+  EXPECT_EQ(static_cast<uint8_t>(wire[2]), 2);  // header version byte
+  const uint8_t* p = Bytes(wire) + kFrameHeaderBytes;
+  EXPECT_EQ(p[0], 1);                    // tag length
+  EXPECT_EQ(p[5], 2);                    // tenant length
+  EXPECT_EQ(p[9], 'a');
+  EXPECT_EQ(p[11], 1);                   // user length — after tenant
+  EXPECT_EQ(p[15], 'u');
+  EXPECT_EQ(p[16], 3);                   // weight
+  EXPECT_EQ(p[20], 9);                   // user_weight — after weight
+  EXPECT_EQ(p[24], 0xff);                // priority -1
+  EXPECT_EQ(p[28], 7);                   // max_new_tokens
+  EXPECT_EQ(p[44], 1);                   // prompt length
+  EXPECT_EQ(p[48], 0x04);                // prompt[0] little-endian
+  auto decoded = DecodeSubmit(p, 52, /*version=*/2);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().user, "u");
+  EXPECT_EQ(decoded.value().user_weight, 9u);
 }
 
 TEST(NetProtocolTest, TokenDoneSubmitAckErrorRoundtrip) {
@@ -159,9 +248,20 @@ TEST(NetProtocolTest, HeaderRejectsBadMagicVersionTypeReserved) {
   EXPECT_EQ(ParseFrameHeader(Bytes(bad), bad.size()).status().code(),
             StatusCode::kDataLoss);
 
+  // Every version in the supported range parses; anything outside the range
+  // is a negotiation failure (FailedPrecondition), not corruption.
+  for (uint8_t v = kMinProtocolVersion; v <= kProtocolVersion; ++v) {
+    bad = wire;
+    bad[2] = static_cast<char>(v);
+    auto parsed = ParseFrameHeader(Bytes(bad), bad.size());
+    ASSERT_TRUE(parsed.ok()) << "version " << int(v);
+    EXPECT_EQ(parsed.value().version, v);
+  }
   bad = wire;
+  bad[2] = 0;
+  EXPECT_EQ(ParseFrameHeader(Bytes(bad), bad.size()).status().code(),
+            StatusCode::kFailedPrecondition);
   bad[2] = static_cast<char>(kProtocolVersion + 1);
-  // Version mismatch is negotiation, not corruption.
   EXPECT_EQ(ParseFrameHeader(Bytes(bad), bad.size()).status().code(),
             StatusCode::kFailedPrecondition);
 
@@ -193,27 +293,35 @@ TEST(NetProtocolTest, HeaderRejectsOversizedPayloadLength) {
 }
 
 TEST(NetProtocolTest, PayloadDecodersRejectEveryTruncation) {
-  SubmitFrame request;
-  request.tag = "tag";
-  request.tenant = "tenant";
-  request.prompt = {1, 2, 3, 4};
-  std::string wire;
-  AppendSubmit(&wire, 1, request);
-  const uint8_t* payload = Bytes(wire) + kFrameHeaderBytes;
-  const size_t length = wire.size() - kFrameHeaderBytes;
-  ASSERT_TRUE(DecodeSubmit(payload, length).ok());
-  // Every proper prefix must fail cleanly — no partial decode, no OOB read.
-  for (size_t n = 0; n < length; ++n) {
-    EXPECT_EQ(DecodeSubmit(payload, n).status().code(),
+  // Both Submit layouts: every proper prefix must fail cleanly — no partial
+  // decode, no OOB read — and trailing garbage is corruption too (strict
+  // exhaustion). In particular a v1 payload fed to the v2 decoder (or vice
+  // versa) never decodes: the layouts differ in length at every field.
+  for (uint8_t version = kMinProtocolVersion; version <= kProtocolVersion;
+       ++version) {
+    SubmitFrame request;
+    request.tag = "tag";
+    request.tenant = "tenant";
+    request.user = "user";
+    request.prompt = {1, 2, 3, 4};
+    std::string wire;
+    AppendSubmit(&wire, 1, request, version);
+    const uint8_t* payload = Bytes(wire) + kFrameHeaderBytes;
+    const size_t length = wire.size() - kFrameHeaderBytes;
+    ASSERT_TRUE(DecodeSubmit(payload, length, version).ok());
+    for (size_t n = 0; n < length; ++n) {
+      EXPECT_EQ(DecodeSubmit(payload, n, version).status().code(),
+                StatusCode::kDataLoss)
+          << "version " << int(version) << " prefix of " << n << " bytes";
+    }
+    std::string padded = wire + std::string(3, '\0');
+    EXPECT_EQ(DecodeSubmit(Bytes(padded) + kFrameHeaderBytes, length + 3,
+                           version)
+                  .status()
+                  .code(),
               StatusCode::kDataLoss)
-        << "prefix of " << n << " bytes";
+        << "version " << int(version);
   }
-  // Trailing garbage is corruption too (strict exhaustion).
-  std::string padded = wire + std::string(3, '\0');
-  EXPECT_EQ(DecodeSubmit(Bytes(padded) + kFrameHeaderBytes, length + 3)
-                .status()
-                .code(),
-            StatusCode::kDataLoss);
 }
 
 TEST(NetProtocolTest, SubmitRejectsLyingLengthPrefixes) {

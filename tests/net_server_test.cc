@@ -314,6 +314,76 @@ TEST(NetServerTest, SubmitBeforeHelloIsAProtocolError) {
   EXPECT_EQ(server->serve_stats().submitted, 0u);
 }
 
+TEST(NetServerTest, V1ClientNegotiatesAndStreamsBitIdentical) {
+  // A raw version-1 client (Hello {1,1}, v1 Submit layout) against this
+  // v2 server: the ack must negotiate down to 1, every server frame must be
+  // stamped version 1, and the stream must stay bit-identical — the
+  // backward-compatibility contract of the protocol bump.
+  ThreadPool pool(4);
+  auto server =
+      Server::Start(DefaultServeOptions(&pool), ServerOptions{}).value();
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server->tcp_port());
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  std::string wire;
+  AppendHello(&wire, HelloFrame{1, 1});
+  AppendSubmit(&wire, /*stream=*/7, MakeSubmit(48, 9, 6), /*version=*/1);
+  ASSERT_EQ(send(fd, wire.data(), wire.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(wire.size()));
+
+  std::string received;
+  char buf[512];
+  ssize_t n;
+  bool done = false;
+  std::vector<int32_t> tokens;
+  while (!done && (n = read(fd, buf, sizeof(buf))) > 0) {
+    received.append(buf, n);
+    while (received.size() >= kFrameHeaderBytes) {
+      auto header = ParseFrameHeader(
+          reinterpret_cast<const uint8_t*>(received.data()), received.size());
+      ASSERT_TRUE(header.ok()) << header.status().ToString();
+      if (received.size() < kFrameHeaderBytes + header.value().length) break;
+      const uint8_t* payload =
+          reinterpret_cast<const uint8_t*>(received.data()) +
+          kFrameHeaderBytes;
+      const size_t length = header.value().length;
+      switch (header.value().type) {
+        case FrameType::kHelloAck:
+          EXPECT_EQ(DecodeHelloAck(payload, length).value(), 1);
+          EXPECT_EQ(header.value().version, 1);
+          break;
+        case FrameType::kToken:
+          tokens.push_back(DecodeToken(payload, length).value().token);
+          EXPECT_EQ(header.value().version, 1);
+          break;
+        case FrameType::kDone:
+          EXPECT_EQ(header.value().version, 1);
+          done = true;
+          break;
+        case FrameType::kSubmitAck:
+          EXPECT_EQ(header.value().version, 1);
+          break;
+        default:
+          FAIL() << "unexpected frame type "
+                 << static_cast<int>(header.value().type);
+      }
+      received.erase(0, kFrameHeaderBytes + length);
+    }
+  }
+  close(fd);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(tokens,
+            SingleSessionReference(ServeEngineOptions(), MakePrompt(48, 9),
+                                   6));
+  EXPECT_TRUE(server->Shutdown().ok());
+  EXPECT_EQ(server->net_stats().protocol_errors, 0u);
+}
+
 TEST(NetServerTest, ServerRejectsBadOptions) {
   ThreadPool pool(2);
   ServerOptions bad;

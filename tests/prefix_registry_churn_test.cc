@@ -55,7 +55,10 @@ TEST(PrefixRegistryChurnTest, ConcurrentLookupPublishUnrefNeverLeaks) {
 
   PrefixRegistry::Options reg_options;
   reg_options.block_tokens = kBlock;
-  reg_options.max_segments = 2;  // Small cap: eviction churns constantly.
+  // One full chain (160 tokens / 32-token blocks): eviction churns
+  // constantly, yet the cap stays enforceable — the most recent publish is
+  // always retained whole, so the cap must admit at least one chain.
+  reg_options.max_nodes = 5;
   reg_options.hierarchy = &hierarchy;
   auto registry = std::make_unique<PrefixRegistry>(reg_options);
 
@@ -107,7 +110,7 @@ TEST(PrefixRegistryChurnTest, ConcurrentLookupPublishUnrefNeverLeaks) {
   EXPECT_GT(attach_count.load(), 0u);
   const PrefixRegistry::Stats stats = registry->stats();
   EXPECT_GT(stats.publishes, 0u);
-  EXPECT_LE(stats.segments, reg_options.max_segments);
+  EXPECT_LE(stats.nodes, reg_options.max_nodes);
 
   // Retained segments still hold charges; dropping the registry (and all
   // attachments, already gone) must return both pools to exactly zero —

@@ -124,13 +124,16 @@ TEST(PrefixRegistryTest, PublishThenLookupAttachesLongestPrefix) {
   EXPECT_EQ(attachment->use_spans, 3u);
   EXPECT_EQ(attachment->use_span_vectors, 96u);
 
-  // A shorter prompt matching only part of the published prefix attaches a
-  // partial view of the same segment.
+  // A shorter prompt matching only part of the published prefix attaches
+  // the leading nodes of the same chain (partial-prefix attach).
   const auto short_prompt = PromptWithPrefix(96, 64, 9);
   auto partial = registry.Lookup(short_prompt, short_prompt.size() - 16);
   ASSERT_NE(partial, nullptr);
   EXPECT_EQ(partial->use_tokens, 64u);
-  EXPECT_EQ(partial->segment, attachment->segment);
+  ASSERT_EQ(partial->chain.size(), 2u);
+  ASSERT_EQ(attachment->chain.size(), 4u);
+  EXPECT_EQ(partial->chain[0], attachment->chain[0]);
+  EXPECT_EQ(partial->chain[1], attachment->chain[1]);
 
   // A prompt diverging inside the first block misses.
   const auto other = PromptWithPrefix(160, 0, 3);
@@ -204,7 +207,7 @@ TEST(PrefixSharingTest, FootprintBoundsHoldWithAttachment) {
   }
 }
 
-TEST(PrefixSharingTest, SegmentChargesReleaseAtLastUnref) {
+TEST(PrefixSharingTest, NodeChargesReleaseAtLastUnref) {
   HardwareConfig hardware;
   hardware.gpu_memory_bytes = 64ull << 20;
   hardware.cpu_memory_bytes = 256ull << 20;
@@ -225,28 +228,34 @@ TEST(PrefixSharingTest, SegmentChargesReleaseAtLastUnref) {
   EXPECT_GT(charged_gpu, 0u);
   EXPECT_GT(charged_cpu, 0u);
 
+  // The cap stops the attachment at 4 of the 5 published nodes.
   auto attachment = registry->Lookup(prompt, prompt.size() - 32);
   ASSERT_NE(attachment, nullptr);
+  ASSERT_EQ(attachment->chain.size(), 4u);
+  const size_t held_gpu = attachment->SharedGpuBytes();
+  const size_t held_cpu = attachment->SharedCpuBytes();
+  EXPECT_LT(held_gpu, charged_gpu);
 
-  // Dropping the registry keeps the charges: the attachment still references
-  // the segment. The last unref releases both pools.
+  // Dropping the registry releases exactly the unheld deepest node's
+  // charges; the attachment keeps its chain alive and charged. The last
+  // unref releases both pools in full (charges are per node, once).
   registry.reset();
-  EXPECT_EQ(hierarchy.gpu().used_bytes(), charged_gpu);
-  EXPECT_EQ(hierarchy.cpu().used_bytes(), charged_cpu);
+  EXPECT_EQ(hierarchy.gpu().used_bytes(), held_gpu);
+  EXPECT_EQ(hierarchy.cpu().used_bytes(), held_cpu);
   attachment.reset();
   EXPECT_EQ(hierarchy.gpu().used_bytes(), 0u);
   EXPECT_EQ(hierarchy.cpu().used_bytes(), 0u);
 }
 
-TEST(PrefixSharingTest, LruEvictionDropsColdSegments) {
+TEST(PrefixSharingTest, LruEvictionDropsColdNodes) {
   PrefixRegistry::Options reg_options;
   reg_options.block_tokens = kBlock;
-  reg_options.max_segments = 1;
+  reg_options.max_nodes = 3;
   PrefixRegistry registry(reg_options);
 
   PQCacheEngineOptions options = SharedEngineOptions();
-  const auto prompt_a = PromptWithPrefix(96, 96, 0);
-  const auto prompt_b = PromptWithPrefix(96, 0, 17);
+  const auto prompt_a = PromptWithPrefix(96, 96, 0);  // 3 blocks.
+  const auto prompt_b = PromptWithPrefix(96, 0, 17);  // Disjoint 3 blocks.
   auto engine_a = PQCacheEngine::Create(options).value();
   ASSERT_TRUE(engine_a->Prefill(prompt_a).ok());
   ASSERT_TRUE(registry.Publish(prompt_a, *engine_a).ok());
@@ -254,39 +263,50 @@ TEST(PrefixSharingTest, LruEvictionDropsColdSegments) {
   ASSERT_TRUE(engine_b->Prefill(prompt_b).ok());
   ASSERT_TRUE(registry.Publish(prompt_b, *engine_b).ok());
 
-  EXPECT_EQ(registry.stats().evictions, 1u);
-  EXPECT_EQ(registry.stats().segments, 1u);
+  // b's three nodes displace a's three; the freshly published chain is
+  // always the survivor.
+  EXPECT_EQ(registry.stats().evictions, 3u);
+  EXPECT_EQ(registry.stats().nodes, 3u);
   EXPECT_EQ(registry.Lookup(prompt_a, prompt_a.size() - 16), nullptr);
   EXPECT_NE(registry.Lookup(prompt_b, prompt_b.size() - 16), nullptr);
 }
 
-// Evicting a short segment must not orphan the trie path of a retained
-// longer segment that shares its leading blocks: partial-prefix lookups
-// keep resolving through the survivor.
-TEST(PrefixSharingTest, EvictionKeepsLongerSegmentReachable) {
+// Radix eviction is leaf-first: under node pressure the LRU drops the tail
+// of a cold chain, never a mid-chain node that retained deeper nodes chain
+// through — so partial-prefix lookups through the surviving head keep
+// resolving, and the chain is never severed in the middle.
+TEST(PrefixSharingTest, RadixEvictionTrimsChainTailFirst) {
   PrefixRegistry::Options reg_options;
   reg_options.block_tokens = kBlock;
-  reg_options.max_segments = 1;
+  reg_options.max_nodes = 5;
   PrefixRegistry registry(reg_options);
 
   PQCacheEngineOptions options = SharedEngineOptions();
-  const auto short_prompt = PromptWithPrefix(64, 64, 0);   // 2 blocks.
-  const auto long_prompt = PromptWithPrefix(160, 160, 0);  // Same stream.
-  auto engine_short = PQCacheEngine::Create(options).value();
-  ASSERT_TRUE(engine_short->Prefill(short_prompt).ok());
-  ASSERT_TRUE(registry.Publish(short_prompt, *engine_short).ok());
+  const auto long_prompt = PromptWithPrefix(160, 160, 0);  // 5 blocks.
   auto engine_long = PQCacheEngine::Create(options).value();
   ASSERT_TRUE(engine_long->Prefill(long_prompt).ok());
   ASSERT_TRUE(registry.Publish(long_prompt, *engine_long).ok());
-  ASSERT_EQ(registry.stats().evictions, 1u);
+  ASSERT_EQ(registry.stats().nodes, 5u);
 
-  // A prompt matching only the first 2 blocks must still attach (a partial
-  // view of the retained longer segment).
+  // A disjoint 2-block publish forces two evictions from the cold chain.
+  const auto other_prompt = PromptWithPrefix(64, 0, 23);
+  auto engine_other = PQCacheEngine::Create(options).value();
+  ASSERT_TRUE(engine_other->Prefill(other_prompt).ok());
+  ASSERT_TRUE(registry.Publish(other_prompt, *engine_other).ok());
+  EXPECT_EQ(registry.stats().evictions, 2u);
+  EXPECT_EQ(registry.stats().nodes, 5u);
+
+  // The chain lost exactly its two deepest nodes: a full-length probe now
+  // matches 3 blocks, and a 2-block probe still attaches through the head.
+  auto deep = registry.Lookup(long_prompt, long_prompt.size() - 16);
+  ASSERT_NE(deep, nullptr);
+  EXPECT_EQ(deep->use_tokens, 96u);
+  EXPECT_EQ(deep->chain.size(), 3u);
   const auto probe = PromptWithPrefix(96, 64, 7);
-  auto attachment = registry.Lookup(probe, probe.size() - 16);
-  ASSERT_NE(attachment, nullptr);
-  EXPECT_EQ(attachment->use_tokens, 64u);
-  EXPECT_EQ(attachment->segment->n_tokens, 160u);
+  auto partial = registry.Lookup(probe, probe.size() - 16);
+  ASSERT_NE(partial, nullptr);
+  EXPECT_EQ(partial->use_tokens, 64u);
+  EXPECT_EQ(partial->chain[0], deep->chain[0]);
 }
 
 // The satellite's COW-divergence scenario: two sessions share exactly 3

@@ -333,7 +333,7 @@ TEST_F(ServeChaosTest, PressureSuspendsLowestPriorityAndAdmitsStarvedHead) {
   slow.tag = "slow";
   slow.prompt = prompt_slow;
   slow.max_new_tokens = 24;
-  slow.priority = -1;  // The cheapest session to park.
+  slow.identity.priority = -1;  // The cheapest session to park.
   slow.on_token = [&](int32_t token, size_t) {
     streamed_slow.push_back(token);
   };
@@ -527,6 +527,65 @@ TEST_F(ServeChaosTest, CorruptedCheckpointBytesFailWithoutLeakingCharges) {
   EXPECT_EQ(streamed, reference);
 }
 
+TEST_F(ServeChaosTest, DedupPublisherFailureWakesDeferredWaiters) {
+  // In-flight dedup with a dying publisher: three sessions share one prompt;
+  // the first seats as the registered prefiller, the others defer. An
+  // injected fault at the publish boundary ("serve.prefix_publish") models a
+  // prefiller that dies after prefilling but before its chain lands — the
+  // pending registration must be pruned so a deferred waiter falls back to
+  // self-prefilling (becoming the publisher) instead of deferring forever.
+  FaultRule rule;
+  rule.fail_count = 1;  // Only the first publish attempt dies.
+  FaultInjection::Global().Arm("serve.prefix_publish", rule);
+
+  ServeOptions options = DefaultServeOptions();
+  options.max_sessions = 4;
+  options.engine.pq_span_tokens = 16;
+  options.enable_prefix_sharing = true;
+  options.prefix.block_tokens = 16;
+  ASSERT_TRUE(options.dedup_in_flight);
+  auto manager = SessionManager::Create(options).value();
+
+  constexpr size_t kHerd = 3;
+  const std::vector<int32_t> prompt = MakePrompt(64, 91);
+  constexpr size_t kShareable = 48;  // (64 - local_window 8) / 16 blocks.
+  std::vector<std::vector<int32_t>> streamed(kHerd);
+  for (size_t s = 0; s < kHerd; ++s) {
+    ServeRequest request;
+    request.prompt = prompt;
+    request.max_new_tokens = 6;
+    request.on_token = [&streamed, s](int32_t token, size_t) {
+      streamed[s].push_back(token);
+    };
+    ASSERT_TRUE(manager->Submit(std::move(request)).ok());
+  }
+  ASSERT_TRUE(manager->RunUntilDrained().ok());
+
+  const ServerStats& stats = manager->stats();
+  EXPECT_EQ(stats.completed, kHerd);  // The publish failure is non-fatal.
+  EXPECT_EQ(stats.failed, 0u);
+  ASSERT_EQ(stats.sessions.size(), kHerd);
+  // Two solo prefills: the faulted publisher and the fallback publisher.
+  // The third session attaches the fallback's chain.
+  size_t solo_prefills = 0;
+  for (const SessionRecord& record : stats.sessions) {
+    if (record.prefix_shared_tokens == 0) {
+      ++solo_prefills;
+    } else {
+      EXPECT_EQ(record.prefix_shared_tokens, kShareable);
+    }
+  }
+  EXPECT_EQ(solo_prefills, 2u);
+  EXPECT_GE(stats.prefix_dedup_deferrals, 1u);
+  EXPECT_EQ(manager->prefix_registry()->stats().publishes, 1u);
+  EXPECT_GE(FaultInjection::Global().Hits("serve.prefix_publish"), 1u);
+  const std::vector<int32_t> reference =
+      SingleSessionReference(options.engine, prompt, 6);
+  for (size_t s = 0; s < kHerd; ++s) {
+    EXPECT_EQ(streamed[s], reference) << "session " << s;
+  }
+}
+
 TEST_F(ServeChaosTest, ChaosMultiTenantDrainUpholdsInvariants) {
   // The randomized stress shard: 16 sessions across 3 weighted tenants
   // under seeded fault schedules on >= 3 distinct injection points, with
@@ -601,8 +660,8 @@ TEST_F(ServeChaosTest, ChaosMultiTenantDrainUpholdsInvariants) {
     for (size_t i = 0; i < kSessions; ++i) {
       ServeRequest request;
       request.tag = "s" + std::to_string(i);
-      request.tenant = "t" + std::to_string(i % 3);
-      request.weight = 1 + static_cast<uint32_t>(i % 2);
+      request.identity.tenant = "t" + std::to_string(i % 3);
+      request.identity.weight = 1 + static_cast<uint32_t>(i % 2);
       request.prompt = slots[i].prompt;
       request.max_new_tokens = slots[i].max_new;
       if (i >= 12) request.queue_deadline_seconds = 0.03;

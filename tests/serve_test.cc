@@ -1,5 +1,6 @@
 #include "src/serve/session_manager.h"
 
+#include <algorithm>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -473,53 +474,63 @@ TEST(SessionManagerTest, SuspendUnknownOrFinishedSessionIsNoOp) {
   EXPECT_EQ(manager->stats().suspended, 0u);
 }
 
-TEST(RequestQueueTest, PerTenantLanesPreserveFifoWithinATenant) {
+TEST(RequestQueueTest, PerIdentityLanesPreserveFifoWithinALane) {
+  using LaneKey = RequestQueue::LaneKey;
   PQCacheEngineOptions engine_options = ServeEngineOptions();
-  RequestQueue queue(4);
+  RequestQueue queue(5);
   EXPECT_TRUE(queue.empty());
-  EXPECT_EQ(queue.PeekHead(""), nullptr);
-  EXPECT_TRUE(queue.Tenants().empty());
-  auto make = [&](int64_t id, const std::string& tenant) {
+  EXPECT_EQ(queue.PeekHead(LaneKey{}), nullptr);
+  EXPECT_TRUE(queue.Lanes().empty());
+  auto make = [&](int64_t id, const std::string& tenant,
+                  const std::string& user = "") {
     ServeRequest request;
-    request.tenant = tenant;
+    request.identity.tenant = tenant;
+    request.identity.user = user;
     request.prompt = MakePrompt(32, static_cast<int32_t>(id));
     return std::make_unique<Session>(id, std::move(request), engine_options,
                                      100, 10);
   };
+  const LaneKey a{"a", ""}, b{"b", ""}, a_u1{"a", "u1"}, c{"c", ""};
   auto a0 = make(0, "a");
   auto b0 = make(1, "b");
   auto a1 = make(2, "a");
   auto b1 = make(3, "b");
+  // Same tenant, different user: its own lane.
+  auto au0 = make(8, "a", "u1");
   auto overflow = make(4, "c");
   EXPECT_TRUE(queue.TryPush(a0));
   EXPECT_TRUE(queue.TryPush(b0));
   EXPECT_TRUE(queue.TryPush(a1));
   EXPECT_TRUE(queue.TryPush(b1));
+  EXPECT_TRUE(queue.TryPush(au0));
   // The capacity bound is global across lanes.
   EXPECT_FALSE(queue.TryPush(overflow));
   EXPECT_NE(overflow, nullptr);  // Rejected push leaves ownership.
-  EXPECT_EQ(queue.size(), 4u);
-  // Lanes appear in tenant first-submission order.
-  EXPECT_EQ(queue.Tenants(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(queue.size(), 5u);
+  // Lanes appear in identity first-submission order.
+  EXPECT_EQ(queue.Lanes(), (std::vector<LaneKey>{a, b, a_u1}));
   EXPECT_TRUE(queue.Contains(3));
   EXPECT_FALSE(queue.Contains(4));
-  // FIFO within each lane; the other lane's head is unaffected.
-  EXPECT_EQ(queue.PeekHead("a")->id(), 0);
-  EXPECT_EQ(queue.PeekHead("b")->id(), 1);
-  EXPECT_EQ(queue.TryPop("a")->id(), 0);
-  EXPECT_EQ(queue.PeekHead("a")->id(), 2);
-  EXPECT_EQ(queue.TryPop("a")->id(), 2);
-  // Drained lanes disappear from the tenant list; unknown lanes pop null.
-  EXPECT_EQ(queue.Tenants(), (std::vector<std::string>{"b"}));
-  EXPECT_EQ(queue.TryPop("a"), nullptr);
+  // FIFO within each lane; the other lanes' heads are unaffected.
+  EXPECT_EQ(queue.PeekHead(a)->id(), 0);
+  EXPECT_EQ(queue.PeekHead(b)->id(), 1);
+  EXPECT_EQ(queue.PeekHead(a_u1)->id(), 8);
+  EXPECT_EQ(queue.TryPop(a)->id(), 0);
+  EXPECT_EQ(queue.PeekHead(a)->id(), 2);
+  EXPECT_EQ(queue.TryPop(a)->id(), 2);
+  // Drained lanes disappear from the lane list; unknown lanes pop null.
+  EXPECT_EQ(queue.Lanes(), (std::vector<LaneKey>{b, a_u1}));
+  EXPECT_EQ(queue.TryPop(a), nullptr);
   // The freed space re-opens the global bound, preserving per-lane order.
   EXPECT_TRUE(queue.TryPush(overflow));
-  EXPECT_EQ(queue.Tenants(), (std::vector<std::string>{"b", "c"}));
-  EXPECT_EQ(queue.TryPop("b")->id(), 1);
-  EXPECT_EQ(queue.TryPop("b")->id(), 3);
-  EXPECT_EQ(queue.TryPop("c")->id(), 4);
+  EXPECT_EQ(queue.Lanes(), (std::vector<LaneKey>{b, a_u1, c}));
+  EXPECT_EQ(queue.TryPop(b)->id(), 1);
+  EXPECT_EQ(queue.TryPop(b)->id(), 3);
+  EXPECT_EQ(queue.TryPop(a_u1)->id(), 8);
+  EXPECT_EQ(queue.TryPop(c)->id(), 4);
   EXPECT_TRUE(queue.empty());
   // PushUnbounded (the preemption requeue) ignores the capacity bound.
+  const LaneKey t{"t", ""};
   RequestQueue tiny(1);
   auto t0 = make(5, "t");
   auto t1 = make(6, "t");
@@ -527,8 +538,8 @@ TEST(RequestQueueTest, PerTenantLanesPreserveFifoWithinATenant) {
   tiny.PushUnbounded(make(7, "t"));
   EXPECT_EQ(tiny.size(), 2u);
   EXPECT_FALSE(tiny.TryPush(t1));
-  EXPECT_EQ(tiny.TryPop("t")->id(), 5);
-  EXPECT_EQ(tiny.TryPop("t")->id(), 7);
+  EXPECT_EQ(tiny.TryPop(t)->id(), 5);
+  EXPECT_EQ(tiny.TryPop(t)->id(), 7);
 }
 
 // ---------------------------------------------------------------------------
@@ -545,8 +556,8 @@ TEST(SessionManagerTest, WeightedShareSkewsDecodeProgress) {
   auto manager = SessionManager::Create(options).value();
   for (int s = 0; s < 4; ++s) {
     ServeRequest request;
-    request.tenant = s < 2 ? "heavy" : "light";
-    request.weight = s < 2 ? 3 : 1;
+    request.identity.tenant = s < 2 ? "heavy" : "light";
+    request.identity.weight = s < 2 ? 3 : 1;
     request.prompt = MakePrompt(48, s);
     request.max_new_tokens = 9;
     ASSERT_TRUE(manager->Submit(std::move(request)).ok());
@@ -573,9 +584,9 @@ TEST(SessionManagerTest, FairSchedulingKeepsTokensBitIdentical) {
   std::vector<std::vector<int32_t>> streamed(kSessions);
   for (size_t s = 0; s < kSessions; ++s) {
     ServeRequest request;
-    request.tenant = "tenant-" + std::to_string(s % 2);
-    request.weight = s % 2 == 0 ? 1 : 5;
-    request.priority = static_cast<int32_t>(s % 2);
+    request.identity.tenant = "tenant-" + std::to_string(s % 2);
+    request.identity.weight = s % 2 == 0 ? 1 : 5;
+    request.identity.priority = static_cast<int32_t>(s % 2);
     request.prompt = MakePrompt(64 + 8 * s, static_cast<int32_t>(s));
     request.max_new_tokens = 5 + s;
     request.on_token = [&streamed, s](int32_t token, size_t index) {
@@ -611,8 +622,8 @@ TEST(SessionManagerTest, PreemptionUnblocksHigherPriorityTenant) {
   std::vector<size_t> greedy_indexes;
   std::vector<int32_t> urgent_streamed;
   ServeRequest greedy;
-  greedy.tenant = "greedy";
-  greedy.priority = 0;
+  greedy.identity.tenant = "greedy";
+  greedy.identity.priority = 0;
   greedy.prompt = greedy_prompt;
   greedy.max_new_tokens = 12;
   greedy.on_token = [&](int32_t token, size_t index) {
@@ -621,8 +632,8 @@ TEST(SessionManagerTest, PreemptionUnblocksHigherPriorityTenant) {
   };
   ASSERT_TRUE(manager->Submit(std::move(greedy)).ok());
   ServeRequest urgent;
-  urgent.tenant = "urgent";
-  urgent.priority = 1;
+  urgent.identity.tenant = "urgent";
+  urgent.identity.priority = 1;
   urgent.prompt = urgent_prompt;
   urgent.max_new_tokens = 3;
   urgent.on_token = [&](int32_t token, size_t) {
@@ -690,8 +701,8 @@ TEST(SessionManagerTest, AntagonistTenantCannotStarveInteractiveTenant) {
   std::vector<std::vector<int32_t>> interactive_streams(kInteractive);
   for (size_t s = 0; s < kGreedy; ++s) {
     ServeRequest request;
-    request.tenant = "greedy";
-    request.weight = 1;
+    request.identity.tenant = "greedy";
+    request.identity.weight = 1;
     request.prompt = MakePrompt(48, static_cast<int32_t>(30 + s));
     request.max_new_tokens = 10;
     request.on_token = [&greedy_streams, s](int32_t token, size_t) {
@@ -701,9 +712,9 @@ TEST(SessionManagerTest, AntagonistTenantCannotStarveInteractiveTenant) {
   }
   for (size_t s = 0; s < kInteractive; ++s) {
     ServeRequest request;
-    request.tenant = "interactive";
-    request.weight = 4;
-    request.priority = 1;
+    request.identity.tenant = "interactive";
+    request.identity.weight = 4;
+    request.identity.priority = 1;
     request.prompt = MakePrompt(40, static_cast<int32_t>(40 + s));
     request.max_new_tokens = 3;
     request.on_token = [&interactive_streams, s](int32_t token, size_t) {
@@ -754,8 +765,8 @@ TEST(SessionManagerTest, PerTenantStatsSumToGlobalRollup) {
   const int32_t priorities[] = {0, 0, 1, 0};
   for (int s = 0; s < 4; ++s) {
     ServeRequest request;
-    request.tenant = tenants[s];
-    request.priority = priorities[s];
+    request.identity.tenant = tenants[s];
+    request.identity.priority = priorities[s];
     request.prompt = MakePrompt(48, 60 + s);
     request.max_new_tokens = 4 + s;
     ASSERT_TRUE(manager->Submit(std::move(request)).ok());
@@ -802,7 +813,7 @@ TEST(SessionManagerTest, FailedAdmissionReleasesPrefixAttachment) {
   options.engine.pq_span_tokens = 16;
   options.enable_prefix_sharing = true;
   options.prefix.block_tokens = 16;
-  options.prefix.max_segments = 1;  // C's publish evicts A's segment.
+  options.prefix.max_nodes = 1;  // C's publish evicts A's node.
 
   const std::vector<int32_t> prompt_a = MakePrompt(96, 70);
   std::vector<int32_t> prompt_b(prompt_a.begin(), prompt_a.begin() + 16);
@@ -876,7 +887,7 @@ TEST(SessionManagerTest, FailedAdmissionReleasesPrefixAttachment) {
 
   auto manager = SessionManager::Create(options).value();
   ServeRequest a;
-  a.tenant = "a";
+  a.identity.tenant = "a";
   a.prompt = prompt_a;
   a.max_new_tokens = 2;
   ASSERT_TRUE(manager->Submit(std::move(a)).ok());
@@ -891,14 +902,14 @@ TEST(SessionManagerTest, FailedAdmissionReleasesPrefixAttachment) {
   std::vector<size_t> used_at_token;
   auto* hierarchy = &manager->hierarchy();
   ServeRequest b;
-  b.tenant = "b";
+  b.identity.tenant = "b";
   b.prompt = prompt_b;
   b.max_new_tokens = 12;
   std::vector<int32_t> streamed_b;
   b.on_token = [&](int32_t token, size_t) { streamed_b.push_back(token); };
   ASSERT_TRUE(manager->Submit(std::move(b)).ok());
   ServeRequest c;
-  c.tenant = "c";
+  c.identity.tenant = "c";
   c.prompt = prompt_c;
   c.max_new_tokens = 6;
   c.on_token = [&](int32_t, size_t) {
@@ -967,7 +978,7 @@ TEST(SessionManagerTest, ResumedSessionsDoNotRepublishPrefixes) {
   ASSERT_TRUE(second->RunUntilDrained().ok());
   EXPECT_EQ(streamed, SingleSessionReference(options.engine, prompt, 10));
   EXPECT_EQ(second->prefix_registry()->stats().publishes, 0u);
-  EXPECT_EQ(second->prefix_registry()->stats().segments, 0u);
+  EXPECT_EQ(second->prefix_registry()->stats().nodes, 0u);
 
   // A later session sharing the prompt's prefix stays bit-identical (with
   // the fix it prefills solo and becomes the first publisher; pre-fix it
@@ -988,6 +999,139 @@ TEST(SessionManagerTest, ResumedSessionsDoNotRepublishPrefixes) {
   solo.shared_hierarchy = nullptr;
   EXPECT_EQ(attacher_streamed,
             SingleSessionReference(solo, attacher_prompt, 6));
+}
+
+TEST(SessionManagerTest, ThunderingHerdDedupPrefillsSharedPrefixOnce) {
+  // Six sessions with the SAME prompt submitted at once (a template burst).
+  // In-flight dedup must let exactly one session prefill the shareable
+  // blocks: the first head seats and registers as the prefiller, the lane's
+  // later heads defer instead of burning redundant prefills, and once the
+  // chain is published every waiter attaches it. Exactly one record carries
+  // prefix_shared_tokens == 0; all streams stay bit-identical.
+  ServeOptions options = DefaultServeOptions();
+  options.max_sessions = 4;
+  options.engine.pq_span_tokens = 16;
+  options.enable_prefix_sharing = true;
+  options.prefix.block_tokens = 16;
+  ASSERT_TRUE(options.dedup_in_flight);  // The default.
+  auto manager = SessionManager::Create(options).value();
+
+  constexpr size_t kHerd = 6;
+  const std::vector<int32_t> prompt = MakePrompt(64, 90);
+  // cap = 64 - local_window(8) = 56 -> 3 shareable 16-token blocks.
+  constexpr size_t kShareable = 48;
+  std::vector<std::vector<int32_t>> streamed(kHerd);
+  for (size_t s = 0; s < kHerd; ++s) {
+    ServeRequest request;
+    request.tag = "herd-" + std::to_string(s);
+    request.prompt = prompt;
+    request.max_new_tokens = 6;
+    request.on_token = [&streamed, s](int32_t token, size_t) {
+      streamed[s].push_back(token);
+    };
+    ASSERT_TRUE(manager->Submit(std::move(request)).ok());
+  }
+  ASSERT_TRUE(manager->RunUntilDrained().ok());
+
+  const ServerStats& stats = manager->stats();
+  EXPECT_EQ(stats.completed, kHerd);
+  ASSERT_EQ(stats.sessions.size(), kHerd);
+  size_t solo_prefills = 0;
+  for (const SessionRecord& record : stats.sessions) {
+    if (record.prefix_shared_tokens == 0) {
+      ++solo_prefills;
+    } else {
+      EXPECT_EQ(record.prefix_shared_tokens, kShareable) << record.tag;
+    }
+  }
+  EXPECT_EQ(solo_prefills, 1u);
+  EXPECT_GE(stats.prefix_dedup_deferrals, 1u);
+  EXPECT_EQ(manager->prefix_registry()->stats().publishes, 1u);
+  const std::vector<int32_t> reference =
+      SingleSessionReference(options.engine, prompt, 6);
+  for (size_t s = 0; s < kHerd; ++s) {
+    EXPECT_EQ(streamed[s], reference) << "session " << s;
+  }
+}
+
+TEST(SessionManagerTest, UserWeightSkewsDecodeProgressWithinTenant) {
+  // One tenant, two users, identical budgets, slots for all four sessions.
+  // The inner per-user DRR must grant the user_weight-3 user ~3/4 of the
+  // tenant's decode steps per round, so both of its sessions retire before
+  // either of the weight-1 user's (retire order is stats().sessions).
+  ServeOptions options = DefaultServeOptions();
+  options.max_sessions = 4;
+  auto manager = SessionManager::Create(options).value();
+  for (int s = 0; s < 4; ++s) {
+    ServeRequest request;
+    request.identity.tenant = "shared";
+    request.identity.user = s < 2 ? "heavy" : "light";
+    request.identity.user_weight = s < 2 ? 3 : 1;
+    request.prompt = MakePrompt(48, s);
+    request.max_new_tokens = 9;
+    ASSERT_TRUE(manager->Submit(std::move(request)).ok());
+  }
+  ASSERT_TRUE(manager->RunUntilDrained().ok());
+  const ServerStats& stats = manager->stats();
+  ASSERT_EQ(stats.sessions.size(), 4u);
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(stats.sessions[0].user, "heavy");
+  EXPECT_EQ(stats.sessions[1].user, "heavy");
+  EXPECT_EQ(stats.sessions[2].user, "light");
+  EXPECT_EQ(stats.sessions[3].user, "light");
+}
+
+TEST(SessionManagerTest, PerUserStatsPartitionTenantRollup) {
+  // The per-(tenant, user) rollup is the second level of the fairness
+  // accounting: each tenant's UserStats rows must partition its TenantStats
+  // row exactly — sessions, completions, failures and generated tokens sum
+  // back to the tenant totals, and the default user ("") gets its own row.
+  ServeOptions options = DefaultServeOptions();
+  options.max_sessions = 4;
+  auto manager = SessionManager::Create(options).value();
+  const struct {
+    const char* tenant;
+    const char* user;
+  } kMix[] = {{"a", "u1"}, {"a", "u1"}, {"a", "u2"}, {"a", ""},
+              {"b", "u1"}, {"b", ""}};
+  int salt = 0;
+  for (const auto& [tenant, user] : kMix) {
+    ServeRequest request;
+    request.identity.tenant = tenant;
+    request.identity.user = user;
+    request.prompt = MakePrompt(48, salt++);
+    request.max_new_tokens = 3 + salt;
+    ASSERT_TRUE(manager->Submit(std::move(request)).ok());
+  }
+  ASSERT_TRUE(manager->RunUntilDrained().ok());
+
+  const ServerStats& stats = manager->stats();
+  EXPECT_EQ(stats.completed, 6u);
+  const std::vector<TenantStats> tenants = stats.PerTenant();
+  const std::vector<UserStats> users = stats.PerUser();
+  // Row inventory: (a, u1), (a, u2), (a, ""), (b, u1), (b, "").
+  EXPECT_EQ(users.size(), 5u);
+  for (const TenantStats& tenant : tenants) {
+    uint64_t sessions = 0, completed = 0, failed = 0, tokens = 0;
+    for (const UserStats& user : users) {
+      if (user.tenant != tenant.tenant) continue;
+      sessions += user.sessions;
+      completed += user.completed;
+      failed += user.failed;
+      tokens += user.generated_tokens;
+    }
+    EXPECT_EQ(sessions, tenant.sessions) << tenant.tenant;
+    EXPECT_EQ(completed, tenant.completed) << tenant.tenant;
+    EXPECT_EQ(failed, tenant.failed) << tenant.tenant;
+    EXPECT_EQ(tokens, tenant.generated_tokens) << tenant.tenant;
+  }
+  // The (a, u1) row pools its two sessions.
+  const auto a_u1 = std::find_if(
+      users.begin(), users.end(), [](const UserStats& u) {
+        return u.tenant == "a" && u.user == "u1";
+      });
+  ASSERT_NE(a_u1, users.end());
+  EXPECT_EQ(a_u1->sessions, 2u);
 }
 
 TEST(SessionManagerTest, RejectedSubmitDoesNotBurnSessionIds) {
