@@ -18,7 +18,7 @@ FaultInjection& FaultInjection::Global() {
 }
 
 void FaultInjection::Arm(const std::string& point, FaultRule rule) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto [it, inserted] = points_.try_emplace(point);
   it->second.rule = std::move(rule);
   it->second.rng = Rng(it->second.rule.seed, /*stream=*/0xFA017);
@@ -28,14 +28,14 @@ void FaultInjection::Arm(const std::string& point, FaultRule rule) {
 }
 
 void FaultInjection::Disarm(const std::string& point) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (points_.erase(point) > 0) {
     armed_points_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
 void FaultInjection::DisarmAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   armed_points_.fetch_sub(static_cast<int>(points_.size()),
                           std::memory_order_relaxed);
   points_.clear();
@@ -48,7 +48,7 @@ Status FaultInjection::Check(const char* point) {
   std::string message;
   bool throws = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = points_.find(point);
     if (it == points_.end()) return Status::OK();
     PointState& state = it->second;
@@ -86,19 +86,19 @@ Status FaultInjection::Check(const char* point) {
 }
 
 uint64_t FaultInjection::Hits(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.hits;
 }
 
 uint64_t FaultInjection::Failures(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.failures;
 }
 
 std::vector<std::string> FaultInjection::FiredPoints() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> fired;
   for (const auto& [name, state] : points_) {
     if (state.failures > 0) fired.push_back(name);

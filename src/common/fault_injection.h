@@ -22,12 +22,13 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 
 namespace pqcache {
 
@@ -103,8 +104,8 @@ class FaultInjection {
   };
 
   static std::atomic<int> armed_points_;
-  mutable std::mutex mu_;
-  std::map<std::string, PointState> points_;
+  mutable Mutex mu_{LockRank::kFaultInjection};
+  std::map<std::string, PointState> points_ PQ_GUARDED_BY(mu_);
 };
 
 }  // namespace pqcache

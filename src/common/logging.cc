@@ -6,6 +6,8 @@
 #include <cstring>
 #include <mutex>
 
+#include "src/common/mutex.h"
+
 namespace pqcache {
 
 namespace {
@@ -15,8 +17,10 @@ std::atomic<void (*)(LogLevel, const char*)> g_test_sink{nullptr};
 
 /// Serializes sink writes so a line is emitted whole; function-local so the
 /// mutex is constructed before any static-initialization-order logging.
-std::mutex& SinkMutex() {
-  static std::mutex* mu = new std::mutex();
+/// kLogging is the maximum lock rank: the fatal-check path acquires this
+/// while holding any other subsystem's lock.
+Mutex& SinkMutex() {
+  static Mutex* mu = new Mutex(LockRank::kLogging);
   return *mu;
 }
 
@@ -59,7 +63,7 @@ const char* LevelName(LogLevel level) {
 
 /// Emits one finished line through the active sink as a single write.
 void EmitLine(LogLevel level, const std::string& line) {
-  std::lock_guard<std::mutex> lock(SinkMutex());
+  MutexLock lock(SinkMutex());
   auto* sink = g_test_sink.load(std::memory_order_acquire);
   if (sink != nullptr) {
     sink(level, line.c_str());
@@ -108,7 +112,7 @@ FatalLogMessage::~FatalLogMessage() {
   // Bypass the test sink: the process is going down and the message must
   // reach stderr even if a test redirected logging.
   {
-    std::lock_guard<std::mutex> lock(SinkMutex());
+    MutexLock lock(SinkMutex());
     std::fprintf(stderr, "%s\n", stream_.str().c_str());
   }
   std::abort();

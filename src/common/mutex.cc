@@ -1,0 +1,138 @@
+#include "src/common/mutex.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pqcache {
+
+const char* LockRankName(LockRank rank) {
+  switch (rank) {
+    case LockRank::kNetServer:
+      return "kNetServer";
+    case LockRank::kNetScheduler:
+      return "kNetScheduler";
+    case LockRank::kServeSubmit:
+      return "kServeSubmit";
+    case LockRank::kServeSuspend:
+      return "kServeSuspend";
+    case LockRank::kRequestQueue:
+      return "kRequestQueue";
+    case LockRank::kPrefixRegistry:
+      return "kPrefixRegistry";
+    case LockRank::kMemoryPool:
+      return "kMemoryPool";
+    case LockRank::kThreadPool:
+      return "kThreadPool";
+    case LockRank::kParallelFor:
+      return "kParallelFor";
+    case LockRank::kFaultInjection:
+      return "kFaultInjection";
+    case LockRank::kEvalHarness:
+      return "kEvalHarness";
+    case LockRank::kTracer:
+      return "kTracer";
+    case LockRank::kLogging:
+      return "kLogging";
+  }
+  return "?";
+}
+
+#if PQCACHE_LOCK_RANK_CHECKS
+
+namespace lock_rank_internal {
+namespace {
+
+// One relaxed load per acquisition while the validator is built in; the
+// release configuration compiles the whole mechanism out instead (see
+// mutex.h), so this is the fault_injection.h arming pattern applied to a
+// debug feature.
+std::atomic<bool> g_armed{true};
+
+/// Per-thread stack of held locks. Fixed-size (no heap) so validation never
+/// allocates: the steady-state decode path is zero-alloc by contract
+/// (counting-allocator test in tests/engine_test.cc) and takes locks.
+/// Depth 16 is ~3x the deepest real chain (server -> manager -> queue ->
+/// registry -> pool -> logging).
+struct HeldLock {
+  const void* mu;
+  LockRank rank;
+};
+constexpr int kMaxHeldLocks = 16;
+thread_local HeldLock g_held[kMaxHeldLocks];
+thread_local int g_depth = 0;
+
+/// Diagnoses on stderr and aborts. fprintf + abort only — no locks, no
+/// allocation — so it is safe from any context (including while holding the
+/// logging sink mutex) and matches gtest death-test expectations.
+[[noreturn]] void Die(const char* what, LockRank acquiring, LockRank held) {
+  std::fprintf(stderr,
+               "[FATAL lock-rank] %s: acquiring %s (rank %d) while holding "
+               "%s (rank %d)\n",
+               what, LockRankName(acquiring), static_cast<int>(acquiring),
+               LockRankName(held), static_cast<int>(held));
+  std::abort();
+}
+
+}  // namespace
+
+void NoteAcquire(const void* mu, LockRank rank) {
+  if (!g_armed.load(std::memory_order_relaxed)) return;
+  for (int i = 0; i < g_depth; ++i) {
+    if (g_held[i].mu == mu) {
+      Die("re-entrant acquire", rank, g_held[i].rank);
+    }
+  }
+  if (g_depth > 0) {
+    const HeldLock& top = g_held[g_depth - 1];
+    // Strictly increasing: equal rank is a violation too (no two same-rank
+    // locks ever nest by design, and allowing equality would let re-entrancy
+    // through for distinct same-rank mutexes).
+    if (rank <= top.rank) Die("order violation", rank, top.rank);
+  }
+  if (g_depth >= kMaxHeldLocks) {
+    std::fprintf(stderr,
+                 "[FATAL lock-rank] held-lock stack overflow (%d locks) "
+                 "acquiring %s\n",
+                 g_depth, LockRankName(rank));
+    std::abort();
+  }
+  g_held[g_depth++] = HeldLock{mu, rank};
+}
+
+void NoteRelease(const void* mu) {
+  // Search from the top: releases are almost always LIFO. A miss means the
+  // lock was acquired while validation was disarmed — ignore it.
+  for (int i = g_depth - 1; i >= 0; --i) {
+    if (g_held[i].mu != mu) continue;
+    for (int j = i; j < g_depth - 1; ++j) g_held[j] = g_held[j + 1];
+    --g_depth;
+    return;
+  }
+}
+
+}  // namespace lock_rank_internal
+
+void SetLockRankValidationForTesting(bool armed) {
+  lock_rank_internal::g_armed.store(armed, std::memory_order_relaxed);
+}
+
+#else  // !PQCACHE_LOCK_RANK_CHECKS
+
+void SetLockRankValidationForTesting(bool /*armed*/) {}
+
+// The release-mode wrapper must be a zero-cost veneer: same size and
+// alignment as the raw standard types, lock/unlock inlining to the
+// underlying calls with nothing added.
+static_assert(sizeof(Mutex) == sizeof(std::mutex),
+              "release Mutex must be layout-identical to std::mutex");
+static_assert(alignof(Mutex) == alignof(std::mutex),
+              "release Mutex must be layout-identical to std::mutex");
+static_assert(sizeof(SharedMutex) == sizeof(std::shared_mutex),
+              "release SharedMutex must match std::shared_mutex");
+static_assert(alignof(SharedMutex) == alignof(std::shared_mutex),
+              "release SharedMutex must match std::shared_mutex");
+
+#endif  // PQCACHE_LOCK_RANK_CHECKS
+
+}  // namespace pqcache

@@ -1,0 +1,264 @@
+// Annotated locking layer: Clang-capability wrappers over std::mutex /
+// std::shared_mutex plus a debug-build lock-rank deadlock validator.
+//
+// Every mutex in the codebase is a pqcache::Mutex (or SharedMutex) carrying a
+// LockRank from the global ordering below. Two complementary checkers hang
+// off that:
+//
+//  1. Compile time: the PQ_CAPABILITY annotations make `clang++
+//     -Wthread-safety -Werror` prove that every PQ_GUARDED_BY field is only
+//     touched under its mutex (see src/common/thread_annotations.h). GCC
+//     compiles the annotations away.
+//
+//  2. Debug runtime: a thread may only acquire locks in strictly increasing
+//     rank order. Acquiring against the order — or re-entrantly — aborts
+//     immediately with both ranks named, turning a potential deadlock (which
+//     TSan only reports when the interleaving actually cycles) into a
+//     deterministic failure on ANY nesting that could ever deadlock. The
+//     validator is compiled only when PQCACHE_LOCK_RANK_CHECKS is on
+//     (default: debug builds; force with -DPQCACHE_LOCK_RANK=ON at CMake
+//     level); a release Mutex is layout- and code-identical to std::mutex
+//     (static_asserted in mutex.cc). Within a checks build the validator is
+//     armed through one relaxed atomic — the fault_injection.h cost model.
+//
+// The global rank order (lower acquired first; see docs/ARCHITECTURE.md
+// "Concurrency model & lock ordering" for the full nesting rationale):
+//
+//   kNetServer < kNetScheduler < kServeSubmit < kServeSuspend
+//     < kRequestQueue < kPrefixRegistry < kMemoryPool
+//     < kThreadPool < kParallelFor < kFaultInjection < kEvalHarness
+//     < kTracer < kLogging
+//
+// kLogging is the maximum on purpose: PQC_CHECK can fire while holding any
+// other lock (e.g. inside MemoryPool::Free), and the fatal path locks the
+// log sink. Locks of equal rank never nest (enforced: equal rank counts as a
+// violation, which also catches re-entrant acquisition of one mutex).
+//
+// Mutex/SharedMutex expose the lowercase BasicLockable interface so
+// std::condition_variable_any can wait on them directly (ThreadPool does);
+// guarded-field code should prefer the scoped MutexLock / ReaderLock, which
+// are what the capability analysis understands.
+#ifndef PQCACHE_COMMON_MUTEX_H_
+#define PQCACHE_COMMON_MUTEX_H_
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "src/common/thread_annotations.h"
+
+// Lock-rank validation: on in debug builds, off (and fully compiled out) in
+// release unless forced via -DPQCACHE_LOCK_RANK=ON (which defines
+// PQCACHE_FORCE_LOCK_RANK).
+#if !defined(PQCACHE_LOCK_RANK_CHECKS)
+#if !defined(NDEBUG) || defined(PQCACHE_FORCE_LOCK_RANK)
+#define PQCACHE_LOCK_RANK_CHECKS 1
+#else
+#define PQCACHE_LOCK_RANK_CHECKS 0
+#endif
+#endif
+
+namespace pqcache {
+
+/// Global acquisition order. Values are spaced so a future lock slots in
+/// without renumbering; only the relative order is meaningful. A thread may
+/// acquire a lock only with a rank strictly greater than every lock it
+/// already holds.
+enum class LockRank : int {
+  kNetServer = 100,      ///< net::Server::mu_ (connection table).
+  kNetScheduler = 110,   ///< net::Server::sched_mu_ (wakeup flag).
+  kServeSubmit = 200,    ///< SessionManager::submit_mu_.
+  kServeSuspend = 210,   ///< SessionManager::suspend_mu_.
+  kRequestQueue = 300,   ///< RequestQueue::mu_.
+  kPrefixRegistry = 400, ///< PrefixRegistry::mu_.
+  kMemoryPool = 500,     ///< MemoryPool::mu_ (gpu/cpu tiers never nest).
+  kThreadPool = 600,     ///< ThreadPool::mu_.
+  kParallelFor = 610,    ///< ParallelFor per-call state mutex.
+  kFaultInjection = 700, ///< FaultInjection::mu_.
+  kEvalHarness = 710,    ///< Eval-harness result aggregation.
+  kTracer = 800,         ///< obs::Tracer::mu_ (ring registration).
+  kLogging = 900,        ///< Log sink serialization; max: PQC_CHECK's fatal
+                         ///< path may fire under any other lock.
+};
+
+/// Diagnostic name of a rank ("kMemoryPool"), "?" for unknown values.
+const char* LockRankName(LockRank rank);
+
+namespace lock_rank_internal {
+#if PQCACHE_LOCK_RANK_CHECKS
+/// Validates `rank` against the calling thread's held-lock stack and pushes
+/// the acquisition. Aborts (fprintf + std::abort, no locks — usable from
+/// gtest death tests) on order violation, re-entry, or stack overflow.
+/// Called BEFORE blocking on the underlying mutex so a would-be deadlock
+/// aborts with a diagnosis instead of hanging.
+void NoteAcquire(const void* mu, LockRank rank);
+/// Pops `mu` from the held stack; tolerant of non-LIFO release order and of
+/// locks acquired while validation was disarmed.
+void NoteRelease(const void* mu);
+#endif
+}  // namespace lock_rank_internal
+
+/// Arms/disarms lock-rank validation at runtime (one relaxed atomic; default
+/// armed). Compiled to a no-op when the validator is not built in. Test-only:
+/// lets mutex_test exercise the disarmed path deterministically.
+void SetLockRankValidationForTesting(bool armed);
+
+/// std::mutex with a capability annotation and a LockRank. Lowercase
+/// lock/unlock so std::condition_variable_any (and std::lock_guard, though
+/// MutexLock is preferred — the analysis does not see through std locks) can
+/// use it directly.
+class PQ_CAPABILITY("mutex") Mutex {
+ public:
+  constexpr explicit Mutex(LockRank rank) noexcept
+#if PQCACHE_LOCK_RANK_CHECKS
+      : rank_(rank)
+#endif
+  {
+    (void)rank;
+  }
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PQ_ACQUIRE() {
+#if PQCACHE_LOCK_RANK_CHECKS
+    lock_rank_internal::NoteAcquire(this, rank_);
+#endif
+    mu_.lock();
+  }
+
+  bool try_lock() PQ_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+#if PQCACHE_LOCK_RANK_CHECKS
+    lock_rank_internal::NoteAcquire(this, rank_);
+#endif
+    return true;
+  }
+
+  void unlock() PQ_RELEASE() {
+#if PQCACHE_LOCK_RANK_CHECKS
+    lock_rank_internal::NoteRelease(this);
+#endif
+    mu_.unlock();
+  }
+
+ private:
+  std::mutex mu_;
+#if PQCACHE_LOCK_RANK_CHECKS
+  const LockRank rank_;
+#endif
+};
+
+/// std::shared_mutex counterpart. Shared (reader) acquisitions obey the same
+/// rank order as exclusive ones: readers can still deadlock writers across
+/// objects, so the ordering is capability-wide, not mode-specific.
+class PQ_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  constexpr explicit SharedMutex(LockRank rank) noexcept
+#if PQCACHE_LOCK_RANK_CHECKS
+      : rank_(rank)
+#endif
+  {
+    (void)rank;
+  }
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() PQ_ACQUIRE() {
+#if PQCACHE_LOCK_RANK_CHECKS
+    lock_rank_internal::NoteAcquire(this, rank_);
+#endif
+    mu_.lock();
+  }
+
+  bool try_lock() PQ_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+#if PQCACHE_LOCK_RANK_CHECKS
+    lock_rank_internal::NoteAcquire(this, rank_);
+#endif
+    return true;
+  }
+
+  void unlock() PQ_RELEASE() {
+#if PQCACHE_LOCK_RANK_CHECKS
+    lock_rank_internal::NoteRelease(this);
+#endif
+    mu_.unlock();
+  }
+
+  void lock_shared() PQ_ACQUIRE_SHARED() {
+#if PQCACHE_LOCK_RANK_CHECKS
+    lock_rank_internal::NoteAcquire(this, rank_);
+#endif
+    mu_.lock_shared();
+  }
+
+  void unlock_shared() PQ_RELEASE_SHARED() {
+#if PQCACHE_LOCK_RANK_CHECKS
+    lock_rank_internal::NoteRelease(this);
+#endif
+    mu_.unlock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+#if PQCACHE_LOCK_RANK_CHECKS
+  const LockRank rank_;
+#endif
+};
+
+/// Scoped exclusive lock — the std::lock_guard of this layer, but visible to
+/// the capability analysis. Also satisfies BasicLockable so it can be handed
+/// to std::condition_variable_any::wait, which releases and reacquires it
+/// around the sleep (invisible to the analysis, which correctly treats the
+/// mutex as held across the wait from the caller's perspective).
+class PQ_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PQ_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() PQ_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  // For condition_variable_any only; user code should let the destructor
+  // release. Calls must balance before destruction.
+  void lock() PQ_ACQUIRE() { mu_.lock(); }
+  void unlock() PQ_RELEASE() { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+/// Scoped exclusive lock over a SharedMutex (the writer side).
+class PQ_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) PQ_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterLock() PQ_RELEASE() { mu_.unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Scoped shared (reader) lock over a SharedMutex.
+class PQ_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) PQ_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderLock() PQ_RELEASE() { mu_.unlock_shared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace pqcache
+
+#endif  // PQCACHE_COMMON_MUTEX_H_

@@ -1,0 +1,85 @@
+// Clang -Wthread-safety capability annotations, compiled to nothing on other
+// compilers. Annotating a mutex-guarded field with PQ_GUARDED_BY (and the
+// methods that touch it with PQ_REQUIRES) turns locking discipline into a
+// compile-time proof: `clang++ -Wthread-safety -Werror` rejects any access
+// that is not dominated by an acquisition of the named capability. GCC builds
+// see empty macros, so the annotations cost nothing there.
+//
+// The annotated lock types live in src/common/mutex.h (pqcache::Mutex /
+// SharedMutex / MutexLock / ReaderLock); these macros are kept separate so
+// headers can annotate without pulling in the lock implementation.
+//
+// Cheat sheet:
+//   PQ_GUARDED_BY(mu)   field: reads/writes require mu held.
+//   PQ_REQUIRES(mu)     method: caller must hold mu exclusively.
+//   PQ_EXCLUDES(mu)     method: caller must NOT hold mu (re-entry guard).
+//   PQ_ACQUIRE / PQ_RELEASE / PQ_TRY_ACQUIRE   lock-implementation methods.
+//   PQ_NO_THREAD_SAFETY_ANALYSIS   opt-out; every use needs a justifying
+//                                  comment (the static-analysis CI gate
+//                                  greps for undocumented escapes).
+#ifndef PQCACHE_COMMON_THREAD_ANNOTATIONS_H_
+#define PQCACHE_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define PQ_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PQ_THREAD_ANNOTATION(x)  // GCC and others: no-op.
+#endif
+
+/// Marks a type as a lockable capability ("mutex" names it in diagnostics).
+#define PQ_CAPABILITY(x) PQ_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define PQ_SCOPED_CAPABILITY PQ_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be accessed while holding the given capability.
+#define PQ_GUARDED_BY(x) PQ_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field: the *pointee* may only be accessed while holding `x`.
+#define PQ_PT_GUARDED_BY(x) PQ_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability/capabilities held exclusively on entry.
+#define PQ_REQUIRES(...) \
+  PQ_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function requires the capability held at least shared on entry.
+#define PQ_REQUIRES_SHARED(...) \
+  PQ_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability exclusively (and does not release it).
+#define PQ_ACQUIRE(...) PQ_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function acquires the capability shared.
+#define PQ_ACQUIRE_SHARED(...) \
+  PQ_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (generic: exclusive or shared).
+#define PQ_RELEASE(...) PQ_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function releases a shared hold of the capability.
+#define PQ_RELEASE_SHARED(...) \
+  PQ_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; the first argument is the return value
+/// that means success, e.g. PQ_TRY_ACQUIRE(true).
+#define PQ_TRY_ACQUIRE(...) \
+  PQ_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (guards against re-entrant acquire
+/// through callbacks).
+#define PQ_EXCLUDES(...) PQ_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (for code reachable only
+/// under the lock through paths the analysis cannot see).
+#define PQ_ASSERT_CAPABILITY(x) PQ_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the given capability (accessor pattern).
+#define PQ_RETURN_CAPABILITY(x) PQ_THREAD_ANNOTATION(lock_returned(x))
+
+/// Disables analysis for one function. Every use must carry a comment
+/// explaining why the discipline cannot be expressed, and none are permitted
+/// on serve/net/core hot paths (enforced by bench/run_static_analysis.sh).
+#define PQ_NO_THREAD_SAFETY_ANALYSIS \
+  PQ_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // PQCACHE_COMMON_THREAD_ANNOTATIONS_H_

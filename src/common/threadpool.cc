@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -28,7 +28,7 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> future = packaged.get_future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(packaged));
   }
   cv_.notify_one();
@@ -36,8 +36,10 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mu_);
+  // Explicit loop (not the predicate overload): the guarded reads stay in
+  // this function, where the analysis knows mu_ is held.
+  while (!queue_.empty() || active_ != 0) idle_cv_.wait(lock);
 }
 
 ThreadPool& ThreadPool::Global() {
@@ -49,8 +51,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.wait(lock);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -58,7 +60,7 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --active_;
       if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
     }
@@ -78,13 +80,14 @@ struct ParallelForState {
   std::atomic<bool> abort{false};
   std::function<void(size_t)> fn;
 
-  std::mutex mu;
-  std::condition_variable cv;
-  size_t active_helpers = 0;  // Helpers currently inside Drain.
-  std::exception_ptr error;   // First exception thrown by fn.
+  Mutex mu{LockRank::kParallelFor};
+  std::condition_variable_any cv;
+  size_t active_helpers PQ_GUARDED_BY(mu) = 0;  // Helpers inside Drain.
+  std::exception_ptr error PQ_GUARDED_BY(mu);   // First exception from fn.
 
   // Claims and runs chunks until the range is exhausted or aborted. Never
   // throws: the first exception is parked in `error` and aborts the range.
+  // mu is never held while fn runs, so fn may itself take any lock.
   void Drain() noexcept {
     for (;;) {
       if (abort.load(std::memory_order_relaxed)) return;
@@ -95,7 +98,7 @@ struct ParallelForState {
         for (size_t i = lo; i < hi; ++i) fn(i);
       } catch (...) {
         {
-          std::lock_guard<std::mutex> lock(mu);
+          MutexLock lock(mu);
           if (!error) error = std::current_exception();
         }
         abort.store(true, std::memory_order_relaxed);
@@ -134,19 +137,19 @@ void ParallelFor(ThreadPool& pool, size_t begin, size_t end,
   for (size_t i = 0; i < n_helpers; ++i) {
     pool.Submit([state] {
       {
-        std::lock_guard<std::mutex> lock(state->mu);
+        MutexLock lock(state->mu);
         ++state->active_helpers;
       }
       state->Drain();
       {
-        std::lock_guard<std::mutex> lock(state->mu);
+        MutexLock lock(state->mu);
         if (--state->active_helpers == 0) state->cv.notify_all();
       }
     });
   }
   state->Drain();
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&state] { return state->active_helpers == 0; });
+  MutexLock lock(state->mu);
+  while (state->active_helpers != 0) state->cv.wait(lock);
   if (state->error) std::rethrow_exception(state->error);
 }
 

@@ -9,9 +9,11 @@
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 namespace pqcache {
 
@@ -45,12 +47,15 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::packaged_task<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  size_t active_ = 0;
-  bool stop_ = false;
+  Mutex mu_{LockRank::kThreadPool};
+  std::deque<std::packaged_task<void()>> queue_ PQ_GUARDED_BY(mu_);
+  // condition_variable_any: waits directly on the annotated Mutex (via
+  // MutexLock), so the wait loops stay inside the capability analysis
+  // instead of dropping to a raw std::mutex.
+  std::condition_variable_any cv_;
+  std::condition_variable_any idle_cv_;
+  size_t active_ PQ_GUARDED_BY(mu_) = 0;
+  bool stop_ PQ_GUARDED_BY(mu_) = false;
 };
 
 /// Runs fn(i) for i in [begin, end) across the pool, blocking until done.

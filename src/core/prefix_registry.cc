@@ -175,7 +175,7 @@ std::shared_ptr<const PrefixAttachment> PrefixRegistry::Lookup(
     std::span<const int32_t> prompt, size_t cap_tokens) {
   const size_t block = options_.block_tokens;
   const size_t max_depth = std::min(prompt.size(), cap_tokens) / block;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.lookups;
   obs::MetricsRegistry::Add(obs::Counter::kPrefixLookups);
   if (max_depth == 0) return LookupMiss();
@@ -249,7 +249,7 @@ Status PrefixRegistry::Publish(const PrefixNodeHandle& parent,
   size_t start_depth = 0;
   std::vector<PrefixNodeHandle> base_chain;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (radix && parent != nullptr && parent->block_tokens == block &&
         parent->depth <= depth) {
       const std::vector<PrefixNodeHandle> parent_chain = ChainOf(parent);
@@ -357,7 +357,7 @@ Status PrefixRegistry::Publish(const PrefixNodeHandle& parent,
     // Would blow the retention budget on its own; eviction never drops the
     // most recent chain, so refusing up front is the only way to honor
     // max_bytes for oversized prefixes.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.rejected_bytes;
     return Status::OK();
   }
@@ -377,7 +377,7 @@ Status PrefixRegistry::Publish(const PrefixNodeHandle& parent,
     }
     if (!charge.ok()) {
       new_nodes.clear();  // Destructors release the funded prefix.
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++stats_.rejected_bytes;
       return Status::OK();
     }
@@ -389,7 +389,7 @@ Status PrefixRegistry::Publish(const PrefixNodeHandle& parent,
   // is one retention unit holding every copied node — even ones shadowed in
   // the map by an earlier chain — so evicting the earlier chain can heal the
   // slots from this unit's own copies (the legacy full-segment behavior).
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++publish_gen_;
   size_t registered = 0;
   if (radix) {

@@ -41,12 +41,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/kvcache/kv_store.h"
 #include "src/memory/hierarchy.h"
 #include "src/pq/pq_span_set.h"
@@ -242,7 +243,7 @@ class PrefixRegistry {
                            size_t block_tokens);
 
   Stats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return stats_;
   }
 
@@ -273,24 +274,27 @@ class PrefixRegistry {
   /// (hash collisions read as a miss). Returns the matched nodes root-first.
   std::vector<PrefixNodeHandle> MatchChainLocked(
       std::span<const int32_t> prompt, size_t max_depth,
-      std::vector<uint64_t>* hashes_out);
+      std::vector<uint64_t>* hashes_out) PQ_REQUIRES(mu_);
 
-  void TouchLocked(const PrefixNodeHandle& node);
-  void EvictOverBudgetLocked();
+  void TouchLocked(const PrefixNodeHandle& node) PQ_REQUIRES(mu_);
+  void EvictOverBudgetLocked() PQ_REQUIRES(mu_);
   /// Drops one unit from the map + LRU (charges release when the last
-  /// outside handle drops). kFlat only: retained units re-register their
-  /// nodes into emptied slots afterwards (legacy interior-marker healing).
-  void RemoveUnitLocked(std::list<std::shared_ptr<Unit>>::iterator it);
+  /// outside handle drops — possibly right here, nesting the MemoryPool
+  /// lock under mu_: rank 400 -> 500, in order). kFlat only: retained units
+  /// re-register their nodes into emptied slots afterwards (legacy
+  /// interior-marker healing).
+  void RemoveUnitLocked(std::list<std::shared_ptr<Unit>>::iterator it)
+      PQ_REQUIRES(mu_);
 
   Options options_;
-  mutable std::mutex mu_;
+  mutable Mutex mu_{LockRank::kPrefixRegistry};
   /// chain_hash -> retained node. The chain hash is seeded with the parent
   /// chain's hash, so one flat map encodes the whole tree.
-  std::unordered_map<uint64_t, Slot> slots_;
+  std::unordered_map<uint64_t, Slot> slots_ PQ_GUARDED_BY(mu_);
   /// Retention units, most recently used first.
-  std::list<std::shared_ptr<Unit>> lru_;
-  uint64_t publish_gen_ = 0;
-  Stats stats_;
+  std::list<std::shared_ptr<Unit>> lru_ PQ_GUARDED_BY(mu_);
+  uint64_t publish_gen_ PQ_GUARDED_BY(mu_) = 0;
+  Stats stats_ PQ_GUARDED_BY(mu_);
 };
 
 }  // namespace pqcache

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 
 #include "src/common/logging.h"
+#include "src/common/mutex.h"
 #include "src/policies/basic_policies.h"
 #include "src/policies/h2o_policy.h"
 #include "src/policies/infllm_policy.h"
@@ -47,7 +47,7 @@ TaskResult QualityHarness::RunTask(
       std::vector<std::vector<StepCoverage>>(
           static_cast<size_t>(spec.n_instances),
           std::vector<StepCoverage>(static_cast<size_t>(n_steps))));
-  std::mutex mu;
+  Mutex mu{LockRank::kEvalHarness};
 
   auto run_one = [&](int instance, int head_idx) {
     const InstanceLayout layout = generator.MakeLayout(instance);
@@ -91,7 +91,7 @@ TaskResult QualityHarness::RunTask(
         policies[m]->Observe(step, true_scores);
       }
     }
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     for (size_t m = 0; m < n_methods; ++m) {
       for (int step = 0; step < n_steps; ++step) {
         sums[m][static_cast<size_t>(instance)][static_cast<size_t>(step)]

@@ -34,7 +34,7 @@ Status MemoryPool::Allocate(size_t bytes) {
   // Fires before any accounting mutates, so an injected charge failure is
   // always safe to retry.
   PQC_FAULT_INJECT("memory_pool.allocate");
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterLock lock(mu_);
   if (used_ + bytes > capacity_) {
     return Status::OutOfMemory(name_ + ": requested " + std::to_string(bytes) +
                                " bytes, " +
@@ -48,7 +48,9 @@ Status MemoryPool::Allocate(size_t bytes) {
 }
 
 void MemoryPool::Free(size_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterLock lock(mu_);
+  // PQC_CHECK's fatal path locks the logging sink while mu_ is held — legal
+  // because kLogging is the maximum rank.
   PQC_CHECK_LE(bytes, used_);
   used_ -= bytes;
   PublishGauges(name_, used_, peak_);

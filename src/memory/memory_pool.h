@@ -8,10 +8,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
+#include "src/common/mutex.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 
 namespace pqcache {
 
@@ -25,16 +26,19 @@ class MemoryPool {
 
   const std::string& name() const { return name_; }
   size_t capacity_bytes() const { return capacity_; }
+  // Watermark readers take the shared side, so admission-control polling of
+  // available_bytes from several threads never serializes against itself,
+  // only against a concurrent charge.
   size_t used_bytes() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    ReaderLock lock(mu_);
     return used_;
   }
   size_t peak_bytes() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    ReaderLock lock(mu_);
     return peak_;
   }
   size_t available_bytes() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    ReaderLock lock(mu_);
     return capacity_ - used_;
   }
 
@@ -46,16 +50,16 @@ class MemoryPool {
 
   /// Drops all accounting (used by per-request reset).
   void Reset() {
-    std::lock_guard<std::mutex> lock(mu_);
+    WriterLock lock(mu_);
     used_ = 0;
   }
 
  private:
   std::string name_;
   size_t capacity_;
-  mutable std::mutex mu_;
-  size_t used_ = 0;
-  size_t peak_ = 0;
+  mutable SharedMutex mu_{LockRank::kMemoryPool};
+  size_t used_ PQ_GUARDED_BY(mu_) = 0;
+  size_t peak_ PQ_GUARDED_BY(mu_) = 0;
 };
 
 /// Sizes of common LLM artifacts, used for capacity planning (Fig. 1).

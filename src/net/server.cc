@@ -126,14 +126,14 @@ void Server::WakeNet() {
 
 void Server::NotifyScheduler() {
   {
-    std::lock_guard<std::mutex> lock(sched_mu_);
+    MutexLock lock(sched_mu_);
     sched_work_ = true;
   }
   sched_cv_.notify_one();
 }
 
 NetStats Server::net_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return net_stats_;
 }
 
@@ -150,15 +150,15 @@ size_t Server::LiveStreams(const Connection& conn) const {
 void Server::SchedulerLoop() {
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(sched_mu_);
-      sched_cv_.wait(lock, [this] { return sched_stop_ || sched_work_; });
+      MutexLock lock(sched_mu_);
+      while (!sched_stop_ && !sched_work_) sched_cv_.wait(lock);
       sched_work_ = false;
     }
     while (manager_->queued_sessions() > 0 ||
            manager_->active_sessions() > 0) {
       manager_->RunUntilDrained();
     }
-    std::lock_guard<std::mutex> lock(sched_mu_);
+    MutexLock lock(sched_mu_);
     if (sched_stop_ && !sched_work_ && manager_->queued_sessions() == 0) {
       return;
     }
@@ -169,7 +169,7 @@ void Server::SchedulerLoop() {
 
 void Server::OnToken(uint64_t conn_id, uint32_t stream_id, int32_t token,
                      size_t index) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto conn_it = conns_.find(conn_id);
   if (conn_it == conns_.end()) return;  // Connection gone; token dropped.
   Connection* conn = conn_it->second.get();
@@ -197,7 +197,7 @@ void Server::OnToken(uint64_t conn_id, uint32_t stream_id, int32_t token,
 }
 
 void Server::OnRecord(const SessionRecord& record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto index_it = session_index_.find(record.id);
   if (index_it == session_index_.end()) return;  // Not a network session.
   const auto [conn_id, stream_id] = index_it->second;
@@ -253,7 +253,7 @@ void Server::OnRecord(const SessionRecord& record) {
 }
 
 void Server::OnRequeue(int64_t old_id, int64_t new_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto index_it = session_index_.find(old_id);
   if (index_it == session_index_.end()) return;
   const auto entry = index_it->second;
@@ -277,7 +277,7 @@ void Server::NetLoop() {
     owner.clear();
     bool any_parked = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (net_stop_) return;
       fds.push_back({wake_pipe_[0], POLLIN, 0});
       owner.push_back(0);
@@ -306,7 +306,7 @@ void Server::NetLoop() {
     // takeable yet (the suspend lands at the next round boundary).
     poll(fds.data(), fds.size(), any_parked ? 2 : 100);
 
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (net_stop_) return;
     for (size_t i = 0; i < fds.size(); ++i) {
       if (fds[i].revents == 0) continue;
@@ -662,7 +662,7 @@ void Server::TryResumeParked(Connection* conn) {
 
 Status Server::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutting_down_ && net_stop_) return Status::OK();  // Already done.
     shutting_down_ = true;
     if (tcp_listen_fd_ >= 0) {
@@ -690,7 +690,7 @@ Status Server::Shutdown() {
     bool idle = manager_->queued_sessions() == 0 &&
                 manager_->active_sessions() == 0;
     if (idle) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       for (const auto& [id, conn] : conns_) {
         if (conn->dead) continue;
         if (!conn->ring.empty() || !conn->spill.empty() ||
@@ -707,7 +707,7 @@ Status Server::Shutdown() {
 
   // Stop the scheduler first: no more records/tokens will be produced.
   {
-    std::lock_guard<std::mutex> lock(sched_mu_);
+    MutexLock lock(sched_mu_);
     sched_stop_ = true;
   }
   sched_cv_.notify_one();
@@ -715,7 +715,7 @@ Status Server::Shutdown() {
 
   // Discard checkpoints of streams that never drained (force-closed next).
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto& [id, conn] : conns_) {
       for (auto& [sid, stream] : conn->streams) {
         if (stream.parked) {
@@ -731,7 +731,7 @@ Status Server::Shutdown() {
   WakeNet();
   if (net_thread_.joinable()) net_thread_.join();
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [id, conn] : conns_) {
     if (conn->fd >= 0) {
       close(conn->fd);

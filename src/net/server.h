@@ -37,12 +37,13 @@
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 
+#include "src/common/mutex.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/net/byte_ring.h"
 #include "src/net/protocol.h"
 #include "src/serve/session_manager.h"
@@ -166,15 +167,16 @@ class Server {
   void NotifyScheduler();
 
   // All of the below require mu_ held (net or scheduler thread).
-  void HandleReadable(Connection* conn);
-  void HandleFrames(Connection* conn);
-  void HandleSubmit(Connection* conn, uint32_t stream_id, SubmitFrame frame);
-  void ProtocolError(Connection* conn, const Status& status);
-  void QueueFrame(Connection* conn, std::string frame);
-  void FlushConnection(Connection* conn);
-  void CloseConnection(Connection* conn);
-  void TryResumeParked(Connection* conn);
-  size_t LiveStreams(const Connection& conn) const;
+  void HandleReadable(Connection* conn) PQ_REQUIRES(mu_);
+  void HandleFrames(Connection* conn) PQ_REQUIRES(mu_);
+  void HandleSubmit(Connection* conn, uint32_t stream_id, SubmitFrame frame)
+      PQ_REQUIRES(mu_);
+  void ProtocolError(Connection* conn, const Status& status) PQ_REQUIRES(mu_);
+  void QueueFrame(Connection* conn, std::string frame) PQ_REQUIRES(mu_);
+  void FlushConnection(Connection* conn) PQ_REQUIRES(mu_);
+  void CloseConnection(Connection* conn) PQ_REQUIRES(mu_);
+  void TryResumeParked(Connection* conn) PQ_REQUIRES(mu_);
+  size_t LiveStreams(const Connection& conn) const PQ_REQUIRES(mu_);
 
   // Manager hooks (scheduler thread, no manager locks held).
   void OnToken(uint64_t conn_id, uint32_t stream_id, int32_t token,
@@ -189,20 +191,23 @@ class Server {
   int uds_listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};
 
-  mutable std::mutex mu_;
-  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
+  mutable Mutex mu_{LockRank::kNetServer};
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_
+      PQ_GUARDED_BY(mu_);
   /// Live manager session id -> (connection id, stream id).
-  std::unordered_map<int64_t, std::pair<uint64_t, uint32_t>> session_index_;
-  uint64_t next_conn_id_ = 1;
-  NetStats net_stats_;
-  size_t buffered_bytes_ = 0;  ///< Sum of ring + spill across connections.
-  bool shutting_down_ = false;
-  bool net_stop_ = false;
+  std::unordered_map<int64_t, std::pair<uint64_t, uint32_t>> session_index_
+      PQ_GUARDED_BY(mu_);
+  uint64_t next_conn_id_ PQ_GUARDED_BY(mu_) = 1;
+  NetStats net_stats_ PQ_GUARDED_BY(mu_);
+  /// Sum of ring + spill across connections.
+  size_t buffered_bytes_ PQ_GUARDED_BY(mu_) = 0;
+  bool shutting_down_ PQ_GUARDED_BY(mu_) = false;
+  bool net_stop_ PQ_GUARDED_BY(mu_) = false;
 
-  std::mutex sched_mu_;
-  std::condition_variable sched_cv_;
-  bool sched_work_ = false;
-  bool sched_stop_ = false;
+  Mutex sched_mu_{LockRank::kNetScheduler};
+  std::condition_variable_any sched_cv_;
+  bool sched_work_ PQ_GUARDED_BY(sched_mu_) = false;
+  bool sched_stop_ PQ_GUARDED_BY(sched_mu_) = false;
 
   std::thread net_thread_;
   std::thread sched_thread_;

@@ -62,7 +62,7 @@ void Tracer::Start() { armed_.store(true, std::memory_order_relaxed); }
 void Tracer::Stop() { armed_.store(false, std::memory_order_relaxed); }
 
 const char* Tracer::InternString(std::string_view s) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const std::string& existing : interned_) {
     if (existing == s) return existing.c_str();
   }
@@ -71,7 +71,7 @@ const char* Tracer::InternString(std::string_view s) {
 }
 
 Tracer::ThreadBuffer* Tracer::RegisterThisThread() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   buffers_.push_back(
       std::make_unique<ThreadBuffer>(ring_capacity_, next_tid_++));
   ThreadBuffer* buffer = buffers_.back().get();
@@ -131,7 +131,7 @@ void Tracer::Instant(const char* cat, const char* name, const char* arg0_name,
 }
 
 uint64_t Tracer::RetainedEvents() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t total = 0;
   for (const auto& buffer : buffers_) {
     total += std::min<uint64_t>(buffer->head.load(std::memory_order_acquire),
@@ -141,7 +141,7 @@ uint64_t Tracer::RetainedEvents() const {
 }
 
 uint64_t Tracer::DroppedEvents() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t dropped = 0;
   for (const auto& buffer : buffers_) {
     const uint64_t head = buffer->head.load(std::memory_order_acquire);
@@ -160,7 +160,7 @@ std::string Tracer::ToChromeTraceJson() const {
   };
   std::vector<Row> rows;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& buffer : buffers_) {
       const uint64_t head = buffer->head.load(std::memory_order_acquire);
       const uint64_t size = buffer->ring.size();
@@ -254,7 +254,7 @@ Status Tracer::ExportChromeTrace(const std::string& path) const {
 }
 
 void Tracer::ResetForTesting(size_t ring_capacity_events) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (ring_capacity_events > 0) ring_capacity_ = ring_capacity_events;
   buffers_.clear();
   next_tid_ = 1;

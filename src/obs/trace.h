@@ -32,12 +32,13 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/obs/clock.h"
 
 namespace pqcache::obs {
@@ -142,11 +143,15 @@ class Tracer {
   ThreadBuffer* RegisterThisThread();
 
   static std::atomic<bool> armed_;
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
-  std::deque<std::string> interned_;
-  size_t ring_capacity_ = kDefaultRingCapacity;
-  uint32_t next_tid_ = 1;
+  // kTracer ranks just below kLogging: Instant/Emit fire while holding any
+  // subsystem lock (server, registry, fault injection), and only the lazy
+  // per-thread ring registration ever takes mu_ — the emit itself is
+  // lock-free against the thread's own ring.
+  mutable Mutex mu_{LockRank::kTracer};
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ PQ_GUARDED_BY(mu_);
+  std::deque<std::string> interned_ PQ_GUARDED_BY(mu_);
+  size_t ring_capacity_ PQ_GUARDED_BY(mu_) = kDefaultRingCapacity;
+  uint32_t next_tid_ PQ_GUARDED_BY(mu_) = 1;
   /// Bumped by ResetForTesting so threads drop their cached buffer pointer.
   std::atomic<uint64_t> generation_{1};
 };

@@ -14,10 +14,11 @@
 #include <iterator>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/serve/session.h"
 
 namespace pqcache {
@@ -39,7 +40,7 @@ class RequestQueue {
   size_t capacity() const { return capacity_; }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return size_;
   }
 
@@ -48,7 +49,7 @@ class RequestQueue {
   /// Enqueues into the session's (tenant, user) lane; returns false (leaving
   /// `session` untouched) when the global capacity is reached.
   bool TryPush(std::unique_ptr<Session>& session) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (size_ >= capacity_) return false;
     LaneFor(session->tenant(), session->user())
         .push_back(std::move(session));
@@ -60,7 +61,7 @@ class RequestQueue {
   /// preemption requeue: a preempted session was already admitted once, so
   /// the bound (which gates *new* work) must not be able to drop it.
   void PushUnbounded(std::unique_ptr<Session> session) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     LaneFor(session->tenant(), session->user())
         .push_back(std::move(session));
     ++size_;
@@ -70,7 +71,7 @@ class RequestQueue {
   /// rotates its own admission cursor over this list; the list itself is a
   /// stable snapshot (lane heads only move when the scheduler pops).
   std::vector<LaneKey> Lanes() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::vector<LaneKey> keys;
     keys.reserve(lanes_.size());
     for (const Lane& lane : lanes_) {
@@ -85,7 +86,7 @@ class RequestQueue {
   /// resolve prefix-sharing attachments and to evaluate preemption bounds
   /// (which need the head's prompt and wait time, not just its footprints).
   Session* PeekHead(const LaneKey& key) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const Lane& lane : lanes_) {
       if (lane.key != key) continue;
       return lane.fifo.empty() ? nullptr : lane.fifo.front().get();
@@ -98,7 +99,7 @@ class RequestQueue {
   /// (retired between the request and the round boundary, or never a real
   /// id).
   bool Contains(int64_t id) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const Lane& lane : lanes_) {
       for (const auto& session : lane.fifo) {
         if (session->id() == id) return true;
@@ -110,7 +111,7 @@ class RequestQueue {
   /// Pops the head of a lane (nullptr when empty). Empty lanes are dropped
   /// so long-lived servers don't accumulate one per identity ever seen.
   std::unique_ptr<Session> TryPop(const LaneKey& key) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto it = lanes_.begin(); it != lanes_.end(); ++it) {
       if (it->key != key) continue;
       if (it->fifo.empty()) return nullptr;
@@ -128,7 +129,7 @@ class RequestQueue {
   /// lane order. Emptied lanes are dropped. Scheduler thread only.
   template <typename Pred>
   std::vector<std::unique_ptr<Session>> ExtractIf(Pred pred) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::vector<std::unique_ptr<Session>> extracted;
     for (auto lane = lanes_.begin(); lane != lanes_.end();) {
       for (auto it = lane->fifo.begin(); it != lane->fifo.end();) {
@@ -152,7 +153,8 @@ class RequestQueue {
   };
 
   std::deque<std::unique_ptr<Session>>& LaneFor(const std::string& tenant,
-                                                const std::string& user) {
+                                                const std::string& user)
+      PQ_REQUIRES(mu_) {
     for (Lane& lane : lanes_) {
       if (lane.key.tenant == tenant && lane.key.user == user) {
         return lane.fifo;
@@ -163,11 +165,11 @@ class RequestQueue {
   }
 
   size_t capacity_;
-  mutable std::mutex mu_;
-  size_t size_ = 0;  ///< Total sessions across lanes.
+  mutable Mutex mu_{LockRank::kRequestQueue};
+  size_t size_ PQ_GUARDED_BY(mu_) = 0;  ///< Total sessions across lanes.
   /// Lanes in identity first-seen order (a list: lane erasure must not move
   /// other lanes' queued sessions; linear scans are fine at lane counts).
-  std::list<Lane> lanes_;
+  std::list<Lane> lanes_ PQ_GUARDED_BY(mu_);
 };
 
 }  // namespace pqcache

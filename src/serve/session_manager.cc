@@ -51,7 +51,7 @@ Result<int64_t> SessionManager::Submit(ServeRequest request) {
       options_.engine, request.prompt.size(), request.max_new_tokens);
   const size_t cpu_footprint = PQCacheEngine::EstimateCpuFootprintBytes(
       options_.engine, request.prompt.size(), request.max_new_tokens);
-  std::lock_guard<std::mutex> lock(submit_mu_);
+  MutexLock lock(submit_mu_);
   ++stats_.submitted;
   if (gpu_footprint > hierarchy_->gpu().capacity_bytes()) {
     ++stats_.rejected_capacity;
@@ -113,7 +113,7 @@ Result<int64_t> SessionManager::Resume(
       options_.engine, checkpoint.prompt.size(), checkpoint.max_new_tokens);
   const size_t cpu_footprint = PQCacheEngine::EstimateCpuFootprintBytes(
       options_.engine, checkpoint.prompt.size(), checkpoint.max_new_tokens);
-  std::lock_guard<std::mutex> lock(submit_mu_);
+  MutexLock lock(submit_mu_);
   ++stats_.submitted;
   if (gpu_footprint > hierarchy_->gpu().capacity_bytes() ||
       cpu_footprint > hierarchy_->cpu().capacity_bytes()) {
@@ -144,7 +144,7 @@ Result<int64_t> SessionManager::Resume(
 }
 
 Status SessionManager::Suspend(int64_t session_id) {
-  std::lock_guard<std::mutex> lock(suspend_mu_);
+  MutexLock lock(suspend_mu_);
   if (std::find(suspend_requests_.begin(), suspend_requests_.end(),
                 session_id) == suspend_requests_.end()) {
     suspend_requests_.push_back(session_id);
@@ -153,7 +153,7 @@ Status SessionManager::Suspend(int64_t session_id) {
 }
 
 Result<SessionCheckpoint> SessionManager::TakeSuspended(int64_t session_id) {
-  std::lock_guard<std::mutex> lock(suspend_mu_);
+  MutexLock lock(suspend_mu_);
   auto it = suspended_.find(session_id);
   if (it == suspended_.end()) {
     return Status::NotFound("TakeSuspended: no suspended session " +
@@ -168,7 +168,7 @@ Status SessionManager::Cancel(int64_t session_id, Status reason) {
   if (reason.ok()) {
     return Status::InvalidArgument("Cancel: reason must be a non-OK Status");
   }
-  std::lock_guard<std::mutex> lock(suspend_mu_);
+  MutexLock lock(suspend_mu_);
   for (const auto& pending : cancel_requests_) {
     if (pending.first == session_id) return Status::OK();
   }
@@ -184,7 +184,7 @@ void SessionManager::AppendRecord(SessionRecord record) {
 void SessionManager::ProcessCancellations() {
   std::vector<std::pair<int64_t, Status>> requested;
   {
-    std::lock_guard<std::mutex> lock(suspend_mu_);
+    MutexLock lock(suspend_mu_);
     if (cancel_requests_.empty()) return;
     requested.swap(cancel_requests_);
   }
@@ -242,7 +242,7 @@ void SessionManager::ProcessCancellations() {
                 active_.end());
   active_count_.store(active_.size(), std::memory_order_relaxed);
   if (!keep.empty()) {
-    std::lock_guard<std::mutex> lock(suspend_mu_);
+    MutexLock lock(suspend_mu_);
     for (auto& pending : keep) cancel_requests_.push_back(std::move(pending));
   }
 }
@@ -425,7 +425,7 @@ void SessionManager::RequeueVictim(Session* victim,
   const int64_t old_id = victim->id();
   int64_t new_id = 0;
   {
-    std::lock_guard<std::mutex> lock(submit_mu_);
+    MutexLock lock(submit_mu_);
     // Counted like an internal Resume so the counter algebra stays intact:
     // every admitted session was submitted, and every resumed-flagged
     // record has a matching resumed count.
@@ -786,12 +786,12 @@ SessionRecord SessionManager::RecordFor(const Session& session) const {
 void SessionManager::ProcessSuspensions() {
   std::vector<int64_t> requested;
   {
-    std::lock_guard<std::mutex> lock(suspend_mu_);
+    MutexLock lock(suspend_mu_);
     if (suspend_requests_.empty()) return;
     requested = suspend_requests_;
   }
   auto drop_request = [this](int64_t id) {
-    std::lock_guard<std::mutex> lock(suspend_mu_);
+    MutexLock lock(suspend_mu_);
     suspend_requests_.erase(std::remove(suspend_requests_.begin(),
                                         suspend_requests_.end(), id),
                             suspend_requests_.end());
@@ -816,7 +816,7 @@ void SessionManager::ProcessSuspensions() {
     // Unlike a preemption (which auto-requeues), an explicit suspend parks
     // the state in suspended_ for TakeSuspended.
     {
-      std::lock_guard<std::mutex> lock(suspend_mu_);
+      MutexLock lock(suspend_mu_);
       suspended_[id] = std::move(checkpoint).value();
     }
     drop_request(id);

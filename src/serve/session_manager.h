@@ -58,12 +58,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/threadpool.h"
 #include "src/core/pqcache_engine.h"
 #include "src/memory/hierarchy.h"
@@ -297,7 +298,8 @@ class SessionManager {
   void ProcessCancellations();
   /// Appends a record to stats_.sessions and fires options_.on_record. Must
   /// be called with no manager locks held (the observer may call back in).
-  void AppendRecord(SessionRecord record);
+  void AppendRecord(SessionRecord record)
+      PQ_EXCLUDES(submit_mu_, suspend_mu_);
   /// Suspends the longest-running lowest-priority decode when a strictly
   /// higher-priority queued head has waited past preempt_after_seconds and
   /// the preceding AdmitFromQueue could not seat it (checkpoint +
@@ -367,14 +369,22 @@ class SessionManager {
   /// deferred; entries are pruned the moment the publisher publishes or
   /// stops being active.
   std::unordered_map<uint64_t, int64_t> pending_prefills_;
-  std::mutex submit_mu_;
-  int64_t next_id_ = 0;
+  Mutex submit_mu_{LockRank::kServeSubmit};
+  int64_t next_id_ PQ_GUARDED_BY(submit_mu_) = 0;
   /// Pending Suspend requests + checkpoints awaiting TakeSuspended.
-  std::mutex suspend_mu_;
-  std::vector<int64_t> suspend_requests_;
-  std::unordered_map<int64_t, SessionCheckpoint> suspended_;
-  /// Pending Cancel requests (id -> reason), guarded by suspend_mu_.
-  std::vector<std::pair<int64_t, Status>> cancel_requests_;
+  Mutex suspend_mu_{LockRank::kServeSuspend};
+  std::vector<int64_t> suspend_requests_ PQ_GUARDED_BY(suspend_mu_);
+  std::unordered_map<int64_t, SessionCheckpoint> suspended_
+      PQ_GUARDED_BY(suspend_mu_);
+  /// Pending Cancel requests (id -> reason).
+  std::vector<std::pair<int64_t, Status>> cancel_requests_
+      PQ_GUARDED_BY(suspend_mu_);
+  /// Mixed discipline, so deliberately not PQ_GUARDED_BY: the submitted/
+  /// rejected/resumed counters are mutated under submit_mu_ (Submit, Resume,
+  /// RequeueVictim), every other field is written by the scheduler thread
+  /// only and read after Run() returns. Each field has a single locking
+  /// story, so there is no C++ memory-model race — but no single mutex
+  /// covers the struct.
   ServerStats stats_;
 };
 

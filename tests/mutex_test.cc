@@ -1,0 +1,263 @@
+#include "src/common/mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+
+#include "src/common/thread_annotations.h"
+
+namespace pqcache {
+namespace {
+
+// The release contract: the wrapper must be layout-identical to the std
+// primitive it wraps whenever rank checks are compiled out, so swapping it
+// into a hot structure cannot change that structure's size or alignment.
+#if !PQCACHE_LOCK_RANK_CHECKS
+static_assert(sizeof(Mutex) == sizeof(std::mutex));
+static_assert(alignof(Mutex) == alignof(std::mutex));
+static_assert(sizeof(SharedMutex) == sizeof(std::shared_mutex));
+static_assert(alignof(SharedMutex) == alignof(std::shared_mutex));
+#endif
+
+// The annotation macros must expand cleanly under the active compiler
+// (attributes on Clang, nothing on GCC) — exercised simply by this file and
+// every annotated header compiling. A locally-annotated struct proves the
+// macros compose on user code, not just in src/common.
+struct PQ_CAPABILITY("mutex") AnnotatedTag {};
+struct Annotated {
+  Mutex mu{LockRank::kEvalHarness};
+  int value PQ_GUARDED_BY(mu) = 0;
+  void Bump() {
+    MutexLock lock(mu);
+    ++value;
+  }
+};
+
+TEST(MutexTest, LockUnlockAndScopedLock) {
+  Mutex mu(LockRank::kEvalHarness);
+  mu.lock();
+  mu.unlock();
+  {
+    MutexLock lock(mu);
+  }
+  Annotated a;
+  a.Bump();
+  MutexLock lock(a.mu);
+  EXPECT_EQ(a.value, 1);
+}
+
+TEST(MutexTest, TryLockSucceedsWhenFreeAndFailsWhenHeld) {
+  Mutex mu(LockRank::kEvalHarness);
+  ASSERT_TRUE(mu.try_lock());
+  // Contend from another thread: the holder is this thread, so a
+  // cross-thread try_lock must fail without aborting (rank validation only
+  // applies to successful acquires).
+  std::atomic<bool> other_got{true};
+  std::thread t([&] { other_got = mu.try_lock(); });
+  t.join();
+  EXPECT_FALSE(other_got.load());
+  mu.unlock();
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(MutexTest, InOrderNestingPasses) {
+  // Acquiring in strictly increasing rank order is the documented global
+  // order; this mirrors the deepest real chain (net server -> serve submit
+  // -> request queue -> memory pool -> logging).
+  Mutex net(LockRank::kNetServer);
+  Mutex submit(LockRank::kServeSubmit);
+  Mutex queue(LockRank::kRequestQueue);
+  Mutex pool(LockRank::kMemoryPool);
+  Mutex log(LockRank::kLogging);
+  MutexLock l1(net);
+  MutexLock l2(submit);
+  MutexLock l3(queue);
+  MutexLock l4(pool);
+  MutexLock l5(log);
+}
+
+TEST(MutexTest, NonLifoReleaseIsTolerated) {
+  Mutex a(LockRank::kServeSubmit);
+  Mutex b(LockRank::kRequestQueue);
+  a.lock();
+  b.lock();
+  a.unlock();  // Released out of acquisition order: legal, only order of
+  b.unlock();  // *acquisition* is ranked.
+  // The held-lock bookkeeping must be clean afterwards: re-acquiring in
+  // order still passes.
+  MutexLock l1(a);
+  MutexLock l2(b);
+}
+
+TEST(MutexTest, SharedMutexReadersDoNotExclude) {
+  SharedMutex mu(LockRank::kMemoryPool);
+  ReaderLock r1(mu);
+  // A second reader on another thread must get in while r1 is held.
+  std::atomic<bool> reader_entered{false};
+  std::thread t([&] {
+    ReaderLock r2(mu);
+    reader_entered = true;
+  });
+  t.join();
+  EXPECT_TRUE(reader_entered.load());
+}
+
+TEST(MutexTest, WriterLockExcludesReaders) {
+  SharedMutex mu(LockRank::kMemoryPool);
+  int guarded = 0;
+  {
+    WriterLock w(mu);
+    guarded = 1;
+  }
+  ReaderLock r(mu);
+  EXPECT_EQ(guarded, 1);
+}
+
+TEST(MutexTest, ConditionVariableAnyWaitsOnMutexLock) {
+  // The ThreadPool wait pattern: condition_variable_any over the annotated
+  // scoped lock, explicit while loop so guarded reads stay analyzed.
+  Mutex mu(LockRank::kThreadPool);
+  std::condition_variable_any cv;
+  bool ready = false;
+  std::thread t([&] {
+    {
+      MutexLock lock(mu);
+      ready = true;
+    }
+    cv.notify_one();
+  });
+  {
+    MutexLock lock(mu);
+    while (!ready) cv.wait(lock);
+    EXPECT_TRUE(ready);
+  }
+  t.join();
+}
+
+#if PQCACHE_LOCK_RANK_CHECKS
+
+using MutexDeathTest = ::testing::Test;
+
+TEST(MutexDeathTest, OutOfOrderAcquireAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex low(LockRank::kNetServer);
+  Mutex high(LockRank::kLogging);
+  EXPECT_DEATH(
+      {
+        MutexLock l1(high);
+        MutexLock l2(low);  // kNetServer under kLogging: order violation.
+      },
+      "lock-rank");
+}
+
+TEST(MutexDeathTest, EqualRankNestingAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex a(LockRank::kMemoryPool);
+  Mutex b(LockRank::kMemoryPool);
+  EXPECT_DEATH(
+      {
+        MutexLock l1(a);
+        MutexLock l2(b);  // Same rank: no order is defined, still fatal.
+      },
+      "lock-rank");
+}
+
+TEST(MutexDeathTest, ReentrantAcquireAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex mu(LockRank::kMemoryPool);
+  EXPECT_DEATH(
+      {
+        mu.lock();
+        mu.lock();  // Would self-deadlock; the validator aborts instead.
+      },
+      "re-entrant");
+}
+
+TEST(MutexDeathTest, SharedAcquireIsRankValidated) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  SharedMutex low(LockRank::kNetServer);
+  Mutex high(LockRank::kLogging);
+  EXPECT_DEATH(
+      {
+        MutexLock l1(high);
+        ReaderLock l2(low);  // Shared acquires obey the same order.
+      },
+      "lock-rank");
+}
+
+TEST(MutexDeathTest, AbortMessageNamesBothRanks) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex low(LockRank::kNetServer);
+  Mutex high(LockRank::kLogging);
+  EXPECT_DEATH(
+      {
+        MutexLock l1(high);
+        MutexLock l2(low);
+      },
+      "kNetServer.*kLogging|kLogging.*kNetServer");
+}
+
+TEST(MutexTest, DisarmedValidationSkipsChecks) {
+  SetLockRankValidationForTesting(false);
+  Mutex low(LockRank::kNetServer);
+  Mutex high(LockRank::kLogging);
+  {
+    MutexLock l1(high);
+    MutexLock l2(low);  // Out of order, but validation is disarmed.
+  }
+  SetLockRankValidationForTesting(true);
+  // Re-armed bookkeeping must be consistent: in-order acquire still passes
+  // even though the disarmed acquires were never recorded.
+  MutexLock l1(low);
+  MutexLock l2(high);
+}
+
+#else  // !PQCACHE_LOCK_RANK_CHECKS
+
+TEST(MutexTest, DisarmHookIsANoOpInReleaseBuilds) {
+  SetLockRankValidationForTesting(false);
+  Mutex low(LockRank::kNetServer);
+  Mutex high(LockRank::kLogging);
+  {
+    // Checks are compiled out entirely: any order is (unsafely) accepted.
+    MutexLock l1(high);
+    MutexLock l2(low);
+  }
+  SetLockRankValidationForTesting(true);
+}
+
+#endif  // PQCACHE_LOCK_RANK_CHECKS
+
+TEST(MutexTest, LockRankNamesCoverEveryRank) {
+  EXPECT_STREQ(LockRankName(LockRank::kNetServer), "kNetServer");
+  EXPECT_STREQ(LockRankName(LockRank::kNetScheduler), "kNetScheduler");
+  EXPECT_STREQ(LockRankName(LockRank::kServeSubmit), "kServeSubmit");
+  EXPECT_STREQ(LockRankName(LockRank::kServeSuspend), "kServeSuspend");
+  EXPECT_STREQ(LockRankName(LockRank::kRequestQueue), "kRequestQueue");
+  EXPECT_STREQ(LockRankName(LockRank::kPrefixRegistry), "kPrefixRegistry");
+  EXPECT_STREQ(LockRankName(LockRank::kMemoryPool), "kMemoryPool");
+  EXPECT_STREQ(LockRankName(LockRank::kThreadPool), "kThreadPool");
+  EXPECT_STREQ(LockRankName(LockRank::kParallelFor), "kParallelFor");
+  EXPECT_STREQ(LockRankName(LockRank::kFaultInjection), "kFaultInjection");
+  EXPECT_STREQ(LockRankName(LockRank::kEvalHarness), "kEvalHarness");
+  EXPECT_STREQ(LockRankName(LockRank::kTracer), "kTracer");
+  EXPECT_STREQ(LockRankName(LockRank::kLogging), "kLogging");
+}
+
+TEST(MutexTest, RanksHeldOnSeparateThreadsAreIndependent) {
+  // The witness stack is per-thread: thread A holding a high rank must not
+  // constrain thread B acquiring a low one.
+  Mutex low(LockRank::kNetServer);
+  Mutex high(LockRank::kLogging);
+  MutexLock l1(high);
+  std::thread t([&] { MutexLock l2(low); });
+  t.join();
+}
+
+}  // namespace
+}  // namespace pqcache
