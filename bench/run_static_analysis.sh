@@ -56,11 +56,30 @@ find_tool() {  # find_tool <env-value> <name> [versioned names...]
   return 1
 }
 
-CLANGXX="$(find_tool "${CLANGXX:-}" clang++ \
-    clang++ clang++-20 clang++-19 clang++-18 clang++-17 clang++-16)" || true
-CLANG_TIDY="$(find_tool "${CLANG_TIDY:-}" clang-tidy \
+# An explicitly requested binary that is absent is a misconfiguration (e.g.
+# the CI job's clang install broke) and must fail loudly; only unset env vars
+# fall through to the graceful GCC-only skip below.
+CLANGXX_REQ="${CLANGXX:-}"
+CLANG_TIDY_REQ="${CLANG_TIDY:-}"
+CLANGXX="$(find_tool "$CLANGXX_REQ" \
+    clang++ clang++-20 clang++-19 clang++-18 clang++-17 clang++-16)" || {
+  if [ -n "$CLANGXX_REQ" ]; then
+    echo "run_static_analysis: CLANGXX='$CLANGXX_REQ' requested but not" \
+         "found; refusing to silently skip the gate" >&2
+    exit 2
+  fi
+  CLANGXX=""
+}
+CLANG_TIDY="$(find_tool "$CLANG_TIDY_REQ" \
     clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18 clang-tidy-17 \
-    clang-tidy-16)" || true
+    clang-tidy-16)" || {
+  if [ -n "$CLANG_TIDY_REQ" ]; then
+    echo "run_static_analysis: CLANG_TIDY='$CLANG_TIDY_REQ' requested but" \
+         "not found; refusing to silently skip the gate" >&2
+    exit 2
+  fi
+  CLANG_TIDY=""
+}
 
 BUILD_DIR="${BUILD_DIR:-build-tidy}"
 LOG="${STATIC_ANALYSIS_LOG:-$BUILD_DIR/static_analysis.log}"
@@ -73,8 +92,12 @@ FAILED=0
 # justification comment on the same or the preceding line.
 while IFS=: read -r file line _; do
   [ -z "$file" ] && continue
-  prev=$((line - 1))
-  context="$(sed -n "${prev}p;${line}p" "$file")"
+  # A hit on line 1 has no preceding line; address 0 is invalid in sed.
+  if [ "$line" -gt 1 ]; then
+    context="$(sed -n "$((line - 1))p;${line}p" "$file")"
+  else
+    context="$(sed -n "${line}p" "$file")"
+  fi
   if ! printf '%s\n' "$context" | grep -q '//'; then
     echo "$file:$line: PQ_NO_THREAD_SAFETY_ANALYSIS without a justification" \
          "comment" | tee -a "$LOG"
@@ -139,8 +162,14 @@ if [ -n "$CLANG_TIDY" ]; then
     if [ -e "$stamp" ] && [ "$FIX_DRY_RUN" -eq 0 ]; then
       continue
     fi
-    if "$CLANG_TIDY" "${TIDY_ARGS[@]}" "$f" 2>&1 | tee -a "$LOG" \
-        | grep -q 'error:'; then
+    # Judge by clang-tidy's own exit code: with WarningsAsErrors it exits
+    # non-zero on any finding, and also on hard failures (file missing from
+    # the compile database) that produce no 'error:' line — neither may be
+    # stamped as clean.
+    out="$("$CLANG_TIDY" "${TIDY_ARGS[@]}" "$f" 2>&1)"; rc=$?
+    printf '%s\n' "$out" >> "$LOG"
+    if [ "$rc" -ne 0 ]; then
+      printf '%s\n' "$out"
       echo "clang-tidy: FAILED on $f"
       FAILED=1
     else
